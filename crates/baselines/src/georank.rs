@@ -1,0 +1,176 @@
+//! GeoRank (paper ref [6]): pairwise ranking over *annotated locations*.
+//!
+//! Each annotated location of an address is a candidate; a decision-tree
+//! pairwise ranker (max 1024 leaves, as the paper configures) is trained on
+//! candidate pairs and inference picks the candidate that wins the most
+//! round-robin comparisons. Because candidates come from annotations only,
+//! the method inherits the annotations' mis-annotation errors — the paper's
+//! core criticism.
+
+use crate::annotated::AnnotatedLocations;
+use dlinfma_geo::Point;
+use dlinfma_ml::{
+    make_training_pairs, vote_best, FeatureMatrix, TreeClassifier, TreeConfig,
+};
+use dlinfma_synth::{AddressId, Dataset};
+use std::collections::HashMap;
+
+/// Per-annotation features: distance to the geocode, mean distance to the
+/// address's other annotations (centrality), and local annotation density.
+fn annotation_features(pts: &[Point], geocode: Point) -> Vec<Vec<f32>> {
+    let n = pts.len();
+    pts.iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let mean_other = if n > 1 {
+                pts.iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, q)| p.distance(q))
+                    .sum::<f64>()
+                    / (n - 1) as f64
+            } else {
+                0.0
+            };
+            let density = pts.iter().filter(|q| p.distance(q) <= 20.0).count() as f64 / n as f64;
+            vec![
+                (p.distance(&geocode) / 100.0) as f32,
+                (mean_other / 100.0) as f32,
+                density as f32,
+            ]
+        })
+        .collect()
+}
+
+/// A fitted GeoRank model.
+pub struct GeoRank {
+    clf: TreeClassifier,
+}
+
+impl GeoRank {
+    /// Trains the pairwise ranker on `train` addresses, with positives taken
+    /// as the annotation nearest the ground truth.
+    pub fn fit(
+        dataset: &Dataset,
+        ann: &AnnotatedLocations,
+        train: &[AddressId],
+        gt: &HashMap<AddressId, Point>,
+    ) -> Self {
+        let mut rows: Vec<Vec<f32>> = Vec::new();
+        let mut labels: Vec<bool> = Vec::new();
+        for &a in train {
+            let pts = ann.of(a);
+            if pts.len() < 2 {
+                continue;
+            }
+            let Some(&truth) = gt.get(&a) else { continue };
+            let pos = pts
+                .iter()
+                .enumerate()
+                .min_by(|(_, p), (_, q)| {
+                    p.distance(&truth)
+                        .partial_cmp(&q.distance(&truth))
+                        .expect("finite")
+                })
+                .map(|(i, _)| i)
+                .expect("len >= 2");
+            let feats = FeatureMatrix::from_rows(&annotation_features(
+                pts,
+                dataset.address(a).geocode,
+            ));
+            make_training_pairs(&feats, pos, &mut rows, &mut labels);
+        }
+        let x = FeatureMatrix::from_rows(&rows);
+        let clf = TreeClassifier::fit(
+            &x,
+            &labels,
+            None,
+            &TreeConfig {
+                max_leaf_nodes: 1024,
+                max_depth: 20,
+                ..TreeConfig::default()
+            },
+            None as Option<&mut rand::rngs::StdRng>,
+        );
+        Self { clf }
+    }
+
+    /// Infers the delivery location of one address by round-robin voting
+    /// over its annotated locations.
+    pub fn infer(&self, dataset: &Dataset, ann: &AnnotatedLocations, addr: AddressId) -> Option<Point> {
+        let pts = ann.of(addr);
+        if pts.is_empty() {
+            return None;
+        }
+        if pts.len() == 1 {
+            return Some(pts[0]);
+        }
+        let feats = FeatureMatrix::from_rows(&annotation_features(
+            pts,
+            dataset.address(addr).geocode,
+        ));
+        let scorer = |a: &[f32], b: &[f32]| {
+            let mut row = a.to_vec();
+            row.extend_from_slice(b);
+            self.clf.predict_proba(&row)
+        };
+        vote_best(&feats, &scorer).map(|i| pts[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlinfma_synth::{generate, spatial_split, Preset, Scale};
+
+    #[test]
+    fn georank_beats_plain_centroid_under_delays() {
+        let (city, ds) = generate(Preset::DowBJ, Scale::Tiny, 3);
+        let ann = AnnotatedLocations::from_dataset(&ds);
+        let split = spatial_split(&ds, 0.7, 0.0);
+        let gt: HashMap<AddressId, Point> = city
+            .addresses
+            .iter()
+            .map(|a| (a.id, a.true_delivery_location))
+            .collect();
+        let model = GeoRank::fit(&ds, &ann, &split.train, &gt);
+
+        let mut err_rank = 0.0;
+        let mut err_centroid = 0.0;
+        let mut n = 0;
+        for &a in &split.test {
+            let truth = gt[&a];
+            let Some(p) = model.infer(&ds, &ann, a) else { continue };
+            let c = dlinfma_geo::centroid(ann.of(a)).unwrap();
+            err_rank += p.distance(&truth);
+            err_centroid += c.distance(&truth);
+            n += 1;
+        }
+        assert!(n > 0);
+        // Selecting one annotation should not be much worse than the
+        // centroid, and is typically better under batch-delay annotations.
+        assert!(
+            err_rank <= err_centroid * 1.25,
+            "GeoRank {:.1} vs centroid {:.1}",
+            err_rank / n as f64,
+            err_centroid / n as f64
+        );
+    }
+
+    #[test]
+    fn single_annotation_short_circuits() {
+        let (city, ds) = generate(Preset::DowBJ, Scale::Tiny, 4);
+        let ann = AnnotatedLocations::from_parts(vec![(
+            AddressId(0),
+            vec![Point::new(1.0, 2.0)],
+        )]);
+        let gt: HashMap<AddressId, Point> = city
+            .addresses
+            .iter()
+            .map(|a| (a.id, a.true_delivery_location))
+            .collect();
+        let model = GeoRank::fit(&ds, &ann, &[], &gt);
+        assert_eq!(model.infer(&ds, &ann, AddressId(0)), Some(Point::new(1.0, 2.0)));
+        assert_eq!(model.infer(&ds, &ann, AddressId(1)), None);
+    }
+}

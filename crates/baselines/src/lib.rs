@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! Baselines and ablation variants from the paper's Section V-B.
+//!
+//! Annotation-based baselines ([`annotated`] derives their input from
+//! confirmation timestamps):
+//!
+//! * Geocoding, Annotation, GeoCloud ([`simple`]);
+//! * GeoRank — pairwise ranking over annotated locations ([`georank`]);
+//! * UNet-based — 9×9 raster semantic segmentation ([`unet`]).
+//!
+//! Candidate-based heuristics ([`simple`]): MinDist, MaxTC, MaxTC-ILC.
+//!
+//! DLInfMA variants sharing the paper's candidate generation and features:
+//!
+//! * DLInfMA-GBDT / -RF / -MLP — independent classification ([`classif`]);
+//! * DLInfMA-RkDT / -RkNet — pairwise ranking ([`ranking`]);
+//! * DLInfMA-PN — LSTM instead of the transformer ([`pn`]);
+//! * DLInfMA-Grid — grid-merging candidates (via
+//!   `dlinfma_core::PoolMethod::Grid`).
+
+pub mod annotated;
+pub mod classif;
+pub mod georank;
+pub mod pn;
+pub mod ranking;
+pub mod simple;
+pub mod unet;
+
+pub use annotated::AnnotatedLocations;
+pub use classif::{ClassifierKind, ClassifierVariant, MlpClassifier};
+pub use georank::GeoRank;
+pub use pn::{PnConfig, PnMatcher};
+pub use ranking::{RankerKind, RankingVariant};
+pub use simple::{
+    annotation, geocloud, geocoding, max_tc, max_tc_ilc, min_dist, PrecomputedInference,
+};
+pub use unet::{rasterize, Raster, UNetBaseline, UNetConfig, CELL_H_M, CELL_W_M, GRID};

@@ -1,0 +1,257 @@
+//! Pairwise-ranking DLInfMA variants (Section V-B):
+//! DLInfMA-RkDT (decision-tree base learner) and DLInfMA-RkNet (RankNet).
+//!
+//! Same candidates and features as DLInfMA, but the model judges candidate
+//! *pairs* and inference aggregates round-robin wins. The paper shows
+//! ranking beats independent classification (it models pairwise relations)
+//! but still loses to LocMatcher (which considers all candidates jointly).
+
+use dlinfma_core::{AddressSample, CandidatePool, FeatureConfig};
+use dlinfma_geo::Point;
+use dlinfma_ml::{make_training_pairs, vote_best, FeatureMatrix, TreeClassifier, TreeConfig};
+use dlinfma_nn::layers::{Activation, Dense};
+use dlinfma_nn::{Adam, Graph, ParamStore, Tensor};
+use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+
+/// Which base learner ranks the pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankerKind {
+    /// CART with at most 1024 leaves (DLInfMA-RkDT).
+    DecisionTree,
+    /// RankNet: a scoring MLP trained on pair preferences (DLInfMA-RkNet).
+    RankNet,
+}
+
+impl RankerKind {
+    /// Name as printed in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RankerKind::DecisionTree => "DLInfMA-RkDT",
+            RankerKind::RankNet => "DLInfMA-RkNet",
+        }
+    }
+}
+
+/// RankNet scorer: a 16-unit hidden layer producing a scalar utility; the
+/// probability that `a` beats `b` is `sigma(s(a) - s(b))`.
+struct RankNet {
+    store: ParamStore,
+    hidden: Dense,
+    out: Dense,
+}
+
+impl RankNet {
+    fn fit(samples: &[(Vec<f32>, Vec<f32>)], dim: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let hidden = Dense::new(&mut store, "h", dim, 16, Activation::Relu, &mut rng);
+        let out = Dense::new(&mut store, "o", 16, 1, Activation::Identity, &mut rng);
+        let mut model = Self { store, hidden, out };
+        let mut adam = Adam::new(3e-3);
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        for _ in 0..10 {
+            order.shuffle(&mut rng);
+            for batch in order.chunks(32) {
+                model.store.zero_grads();
+                for &i in batch {
+                    let (winner, loser) = &samples[i];
+                    let mut g = Graph::new();
+                    let sw = model.score_var(&mut g, winner);
+                    let sl = model.score_var(&mut g, loser);
+                    let pair = g.concat1d(&[sw, sl]);
+                    // Cross-entropy on [s_w, s_l] with target 0 is exactly
+                    // RankNet's logistic pair loss.
+                    let loss = g.softmax_cross_entropy_1d(pair, 0);
+                    let grads = g.backward(loss);
+                    for (pid, grad) in g.param_grads(&grads) {
+                        model.store.accumulate_grad(pid, grad);
+                    }
+                }
+                adam.step(&mut model.store, batch.len(), 1.0);
+            }
+        }
+        model
+    }
+
+    fn score_var(&self, g: &mut Graph, row: &[f32]) -> dlinfma_nn::Var {
+        let input = g.constant(Tensor::new(vec![1, row.len()], row.to_vec()));
+        let h = self.hidden.forward(g, &self.store, input);
+        let s = self.out.forward(g, &self.store, h);
+        g.reshape(s, vec![1])
+    }
+
+    fn score(&self, row: &[f32]) -> f64 {
+        let mut g = Graph::new();
+        let s = self.score_var(&mut g, row);
+        f64::from(g.value(s).item())
+    }
+}
+
+enum Model {
+    Tree(TreeClassifier),
+    Net(RankNet),
+}
+
+/// A fitted ranking variant.
+pub struct RankingVariant {
+    kind: RankerKind,
+    model: Model,
+    fcfg: FeatureConfig,
+}
+
+impl RankingVariant {
+    /// Trains on labelled samples by forming all positive/negative candidate
+    /// pairs per address.
+    pub fn fit(
+        samples: &[AddressSample],
+        fcfg: FeatureConfig,
+        kind: RankerKind,
+        seed: u64,
+    ) -> Self {
+        let model = match kind {
+            RankerKind::DecisionTree => {
+                let mut rows: Vec<Vec<f32>> = Vec::new();
+                let mut labels: Vec<bool> = Vec::new();
+                for s in samples {
+                    let Some(pos) = s.label else { continue };
+                    if s.features.len() < 2 {
+                        continue;
+                    }
+                    let feats = FeatureMatrix::from_rows(
+                        &s.features.iter().map(|f| f.to_vec(&fcfg)).collect::<Vec<_>>(),
+                    );
+                    make_training_pairs(&feats, pos, &mut rows, &mut labels);
+                }
+                let x = FeatureMatrix::from_rows(&rows);
+                Model::Tree(TreeClassifier::fit(
+                    &x,
+                    &labels,
+                    None,
+                    &TreeConfig {
+                        max_leaf_nodes: 1024,
+                        max_depth: 20,
+                        ..TreeConfig::default()
+                    },
+                    None as Option<&mut StdRng>,
+                ))
+            }
+            RankerKind::RankNet => {
+                let mut pairs: Vec<(Vec<f32>, Vec<f32>)> = Vec::new();
+                for s in samples {
+                    let Some(pos) = s.label else { continue };
+                    let win = s.features[pos].to_vec(&fcfg);
+                    for (i, f) in s.features.iter().enumerate() {
+                        if i != pos {
+                            pairs.push((win.clone(), f.to_vec(&fcfg)));
+                        }
+                    }
+                }
+                let dim = dlinfma_core::CandidateFeatures::vec_len(&fcfg);
+                Model::Net(RankNet::fit(&pairs, dim, seed))
+            }
+        };
+        Self { kind, model, fcfg }
+    }
+
+    /// Name of the variant.
+    pub fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    /// Infers by round-robin voting (tree) or utility argmax (RankNet,
+    /// whose scores are transitive by construction).
+    pub fn infer_sample(&self, s: &AddressSample, pool: &CandidatePool) -> Option<Point> {
+        if s.candidates.is_empty() {
+            return None;
+        }
+        let rows: Vec<Vec<f32>> = s.features.iter().map(|f| f.to_vec(&self.fcfg)).collect();
+        let best = match &self.model {
+            Model::Tree(clf) => {
+                let feats = FeatureMatrix::from_rows(&rows);
+                let scorer = |a: &[f32], b: &[f32]| {
+                    let mut row = a.to_vec();
+                    row.extend_from_slice(b);
+                    clf.predict_proba(&row)
+                };
+                vote_best(&feats, &scorer)?
+            }
+            Model::Net(net) => rows
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| {
+                    net.score(a).partial_cmp(&net.score(b)).expect("finite")
+                })
+                .map(|(i, _)| i)?,
+        };
+        Some(pool.candidate(s.candidates[best]).pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlinfma_core::{DlInfMa, DlInfMaConfig};
+    use dlinfma_synth::{generate, spatial_split, Preset, Scale};
+
+    #[test]
+    fn both_rankers_beat_first_candidate() {
+        let (city, ds) = generate(Preset::DowBJ, Scale::Tiny, 6);
+        let mut dlinfma = DlInfMa::prepare(&ds, DlInfMaConfig::fast());
+        dlinfma.label_from_dataset(&ds);
+        let split = spatial_split(&ds, 0.7, 0.0);
+        let train: Vec<AddressSample> = split
+            .train
+            .iter()
+            .filter_map(|a| dlinfma.sample(*a).cloned())
+            .collect();
+        let fcfg = FeatureConfig::default();
+
+        for kind in [RankerKind::DecisionTree, RankerKind::RankNet] {
+            let model = RankingVariant::fit(&train, fcfg, kind, 0);
+            let mut err_model = 0.0;
+            let mut err_first = 0.0;
+            let mut n = 0;
+            for &a in &split.test {
+                let Some(s) = dlinfma.sample(a) else { continue };
+                let Some(p) = model.infer_sample(s, dlinfma.pool()) else {
+                    continue;
+                };
+                let gt = city.addresses[a.0 as usize].true_delivery_location;
+                let first = dlinfma.pool().candidate(s.candidates[0]).pos;
+                err_model += p.distance(&gt);
+                err_first += first.distance(&gt);
+                n += 1;
+            }
+            assert!(n > 0);
+            assert!(
+                err_model < err_first,
+                "{}: {:.1}m !< {:.1}m",
+                kind.name(),
+                err_model / n as f64,
+                err_first / n as f64
+            );
+        }
+    }
+
+    #[test]
+    fn empty_sample_is_none() {
+        let model = RankingVariant {
+            kind: RankerKind::RankNet,
+            model: Model::Net(RankNet::fit(&[], 3, 0)),
+            fcfg: FeatureConfig::default(),
+        };
+        let (_, ds) = generate(Preset::DowBJ, Scale::Tiny, 7);
+        let dlinfma = DlInfMa::prepare(&ds, DlInfMaConfig::fast());
+        let empty = AddressSample {
+            address: dlinfma_synth::AddressId(0),
+            candidates: vec![],
+            features: vec![],
+            n_deliveries: 0,
+            poi_category: 0,
+            geocode: Point::ZERO,
+            label: None,
+            truth_distances: None,
+        };
+        assert!(model.infer_sample(&empty, dlinfma.pool()).is_none());
+    }
+}

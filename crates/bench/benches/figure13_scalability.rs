@@ -1,0 +1,137 @@
+//! Figure 13: inference-time scalability.
+//!
+//! Times per-address inference of the trained models as the number of
+//! queried addresses grows, reporting throughput. The paper's shape to
+//! reproduce: time grows linearly in the number of addresses; heuristics
+//! are fastest, GeoRank is slower than GeoCloud (quadratic in annotations),
+//! DLInfMA is faster than UNet-based and sustains >= 1 K addresses/s.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dlinfma_baselines::{
+    geocloud, max_tc_ilc, GeoRank, UNetBaseline, UNetConfig,
+};
+use dlinfma_core::LocMatcher;
+use dlinfma_eval::ExperimentWorld;
+use dlinfma_synth::{AddressId, Preset, Scale};
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Fixture {
+    world: ExperimentWorld,
+    locmatcher: LocMatcher,
+    georank: GeoRank,
+    unet: UNetBaseline,
+}
+
+fn fixture() -> Fixture {
+    let world = ExperimentWorld::build(Preset::DowBJ, Scale::Small, 1);
+    let mut locmatcher = LocMatcher::new(world.dlinfma.config().model);
+    locmatcher.train(&world.train_samples(), &world.val_samples());
+    let georank = GeoRank::fit(&world.dataset, &world.ann, &world.split.train, &world.gt);
+    let unet = UNetBaseline::fit(
+        &world.ann,
+        &world.split.train,
+        &world.gt,
+        &UNetConfig::default(),
+    );
+    Fixture {
+        world,
+        locmatcher,
+        georank,
+        unet,
+    }
+}
+
+/// Addresses to query: the test split cycled up to `n`.
+fn query_set(world: &ExperimentWorld, n: usize) -> Vec<AddressId> {
+    world.split.test.iter().copied().cycle().take(n).collect()
+}
+
+fn print_throughput(fx: &Fixture) {
+    println!("\n===== Figure 13: inference throughput (addresses/s) =====");
+    let n = 1000;
+    let addrs = query_set(&fx.world, n);
+
+    let time = |name: &str, f: &mut dyn FnMut(AddressId)| {
+        let t0 = Instant::now();
+        for &a in &addrs {
+            f(a);
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        println!("{name:<12} {:>10.0} addr/s  ({:.2} ms / 1K)", n as f64 / dt, dt * 1e3);
+    };
+
+    let pool = fx.world.dlinfma.pool();
+    time("MaxTC-ILC", &mut |a| {
+        if let Some(s) = fx.world.dlinfma.sample(a) {
+            black_box(max_tc_ilc(std::slice::from_ref(s), pool));
+        }
+    });
+    time("GeoCloud", &mut |a| {
+        let ann = &fx.world.ann;
+        black_box(geocloud_single(ann, a));
+    });
+    time("GeoRank", &mut |a| {
+        black_box(fx.georank.infer(&fx.world.dataset, &fx.world.ann, a));
+    });
+    time("DLInfMA", &mut |a| {
+        if let Some(s) = fx.world.dlinfma.sample(a) {
+            black_box(fx.locmatcher.predict(s));
+        }
+    });
+    time("UNet-based", &mut |a| {
+        black_box(fx.unet.infer(&fx.world.ann, a));
+    });
+    println!();
+}
+
+/// GeoCloud for a single address (DBSCAN over its annotations).
+fn geocloud_single(
+    ann: &dlinfma_baselines::AnnotatedLocations,
+    addr: AddressId,
+) -> Option<dlinfma_geo::Point> {
+    let single = dlinfma_baselines::AnnotatedLocations::from_parts(vec![(
+        addr,
+        ann.of(addr).to_vec(),
+    )]);
+    geocloud(&single, 20.0).infer(addr)
+}
+
+fn bench_scalability(c: &mut Criterion) {
+    let fx = fixture();
+    print_throughput(&fx);
+
+    let mut group = c.benchmark_group("figure13/inference");
+    group.sample_size(10);
+    for n in [100usize, 300, 1000] {
+        let addrs = query_set(&fx.world, n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("DLInfMA", n), &addrs, |b, addrs| {
+            b.iter(|| {
+                for &a in addrs {
+                    if let Some(s) = fx.world.dlinfma.sample(a) {
+                        black_box(fx.locmatcher.predict(s));
+                    }
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("UNet-based", n), &addrs, |b, addrs| {
+            b.iter(|| {
+                for &a in addrs {
+                    black_box(fx.unet.infer(&fx.world.ann, a));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("GeoRank", n), &addrs, |b, addrs| {
+            b.iter(|| {
+                for &a in addrs {
+                    black_box(fx.georank.infer(&fx.world.dataset, &fx.world.ann, a));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

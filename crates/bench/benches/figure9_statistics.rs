@@ -1,0 +1,72 @@
+//! Figure 9: the four dataset distributions.
+//!
+//! (a) distinct delivery locations per building, (b) deliveries per address
+//! (cumulative), (c) stay points per trip, (d) location candidates per
+//! address. Prints each series and benchmarks the stay-point extraction that
+//! feeds (c)/(d).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlinfma_core::{extract_stay_points, DlInfMa, DlInfMaConfig, ExtractionConfig};
+use dlinfma_eval::stats;
+use dlinfma_synth::{generate, Preset, Scale};
+
+fn print_figure9() {
+    println!("\n===== Figure 9: dataset distributions =====");
+    for preset in [Preset::DowBJ, Preset::SubBJ] {
+        let (_, ds) = generate(preset, Scale::Small, 1);
+        let stays = extract_stay_points(&ds, &ExtractionConfig::paper_defaults());
+        let dlinfma = DlInfMa::prepare(&ds, DlInfMaConfig::fast());
+        let samples: Vec<_> = dlinfma.samples().cloned().collect();
+
+        println!("\n--- {} ---", preset.name());
+
+        // (a) distinct delivery locations per building.
+        let dist_a = stats::building_location_distribution(&ds);
+        let total: usize = dist_a.iter().sum();
+        print!("Fig 9(a) locations/building:");
+        for (k, &n) in dist_a.iter().enumerate().take(5) {
+            print!("  {}:{:.1}%", k + 1, n as f64 / total as f64 * 100.0);
+        }
+        println!(
+            "   (multi-location buildings: {:.1}%)",
+            stats::multi_location_building_fraction(&ds) * 100.0
+        );
+
+        // (b) deliveries per address: cumulative distribution points.
+        let dist_b = stats::deliveries_per_address(&ds);
+        print!("Fig 9(b) deliveries/address CDF:");
+        for q in [0.25, 0.5, 0.75, 0.9, 1.0] {
+            let idx = ((dist_b.len() - 1) as f64 * q) as usize;
+            print!("  p{:.0}:{}", q * 100.0, dist_b[idx]);
+        }
+        println!();
+
+        // (c) stay points per trip.
+        let dist_c = stats::stays_per_trip(&stays);
+        println!(
+            "Fig 9(c) stays/trip: mean {:.1}  (paper: 24 DowBJ / 27 SubBJ)",
+            stats::mean(&dist_c)
+        );
+
+        // (d) candidates per address.
+        let dist_d = stats::candidates_per_address(&samples);
+        println!(
+            "Fig 9(d) candidates/address: mean {:.1}  (paper: 32 DowBJ / 38 SubBJ)",
+            stats::mean(&dist_d)
+        );
+    }
+    println!();
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    print_figure9();
+    let (_, ds) = generate(Preset::DowBJ, Scale::Small, 1);
+    let cfg = ExtractionConfig::paper_defaults();
+    let mut group = c.benchmark_group("figure9/stay_point_extraction");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| b.iter(|| extract_stay_points(&ds, &cfg)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction);
+criterion_main!(benches);

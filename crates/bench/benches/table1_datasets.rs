@@ -1,0 +1,59 @@
+//! Table I: dataset statistics for the two synthetic datasets.
+//!
+//! Prints the per-dataset summary the paper tabulates (addresses, trips,
+//! waybills, GPS fixes, splits) and times world generation with Criterion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlinfma_eval::{dataset_stats, multi_location_building_fraction};
+use dlinfma_synth::{generate, spatial_split, Preset, Scale};
+
+fn print_table1() {
+    println!("\n===== Table I: dataset statistics (synthetic substitutes) =====");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>12} {:>10} {:>8} {:>8} {:>8} {:>12}",
+        "Dataset",
+        "addresses",
+        "buildings",
+        "trips",
+        "waybills",
+        "GPS fixes",
+        "train",
+        "val",
+        "test",
+        "multi-bldg %"
+    );
+    for preset in [Preset::DowBJ, Preset::SubBJ] {
+        let (_, ds) = generate(preset, Scale::Small, 1);
+        let s = dataset_stats(&ds);
+        let split = spatial_split(&ds, 0.6, 0.2);
+        println!(
+            "{:<12} {:>10} {:>10} {:>10} {:>12} {:>10} {:>8} {:>8} {:>8} {:>12.1}",
+            preset.name(),
+            s.n_addresses,
+            s.n_buildings,
+            s.n_trips,
+            s.n_waybills,
+            s.n_gps_points,
+            split.train.len(),
+            split.val.len(),
+            split.test.len(),
+            multi_location_building_fraction(&ds) * 100.0
+        );
+    }
+    println!();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    print_table1();
+    let mut group = c.benchmark_group("table1/world_generation");
+    group.sample_size(10);
+    for preset in [Preset::DowBJ, Preset::SubBJ] {
+        group.bench_function(preset.name(), |b| {
+            b.iter(|| generate(preset, Scale::Small, 1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

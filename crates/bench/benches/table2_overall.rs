@@ -1,0 +1,66 @@
+//! Table II: overall effectiveness of every baseline, DLInfMA, its model
+//! variants and its feature ablations, on both datasets.
+//!
+//! This is the paper's headline table. Absolute numbers differ from the
+//! JD Logistics testbed (the substrate is a simulator), but the ordering —
+//! DLInfMA best, supervised baselines next, Annotation/MaxTC worst — is
+//! what the reproduction checks. Criterion additionally times DLInfMA
+//! end-to-end inference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlinfma_eval::{evaluate, evaluate_mean, render_metrics_table, ExperimentWorld, Method};
+use dlinfma_synth::{Preset, Scale};
+
+/// World seeds each method is averaged over (the synthetic test regions are
+/// small, so a single world's ordering is noisy).
+const SEEDS: [u64; 2] = [1, 2];
+
+fn print_table2() {
+    println!("\n===== Table II: overall effectiveness (mean over {} world seeds) =====", SEEDS.len());
+    for preset in [Preset::DowBJ, Preset::SubBJ] {
+        let worlds: Vec<ExperimentWorld> = SEEDS
+            .iter()
+            .map(|&s| ExperimentWorld::build(preset, Scale::Small, s))
+            .collect();
+        let blocks: [(&str, Vec<Method>); 3] = [
+            ("baselines + DLInfMA", Method::baselines_and_main()),
+            ("model variants", Method::variants()),
+            ("feature ablations", Method::ablations()),
+        ];
+        for (title, methods) in blocks {
+            let results: Vec<_> = methods
+                .into_iter()
+                .map(|m| evaluate_mean(&worlds, m))
+                .collect();
+            println!(
+                "{}",
+                render_metrics_table(&format!("{} — {title}", preset.name()), &results)
+            );
+        }
+    }
+}
+
+fn bench_inference(c: &mut Criterion) {
+    print_table2();
+    // Criterion target: one LocMatcher training run plus the cheap
+    // heuristic, to keep `cargo bench` affordable on small machines.
+    let world = ExperimentWorld::build(Preset::DowBJ, Scale::Small, 1);
+    let train = world.train_samples();
+    let val = world.val_samples();
+    let mut group = c.benchmark_group("table2/evaluation");
+    group.sample_size(10);
+    group.bench_function("LocMatcher_train", |b| {
+        b.iter(|| {
+            let mut m = dlinfma_core::LocMatcher::new(world.dlinfma.config().model);
+            m.train(&train, &val);
+            m
+        })
+    });
+    group.bench_function("MaxTC-ILC", |b| {
+        b.iter(|| evaluate(&world, Method::MaxTcIlc))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

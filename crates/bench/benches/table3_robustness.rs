@@ -1,0 +1,78 @@
+//! Table III: robustness against injected confirmation delays.
+//!
+//! Sweeps the batch-confirmation delay probability `p_d ∈ {0.2, 0.6, 1.0}`
+//! (Section V-D's synthetic-dataset protocol) on both datasets and reports
+//! MAE / P95 / β50 for the baselines and DLInfMA. The paper's finding to
+//! reproduce: annotation-based methods (Annotation, GeoCloud, GeoRank,
+//! UNet-based) degrade sharply with `p_d` — ultimately below Geocoding —
+//! while DLInfMA and the candidate heuristics stay stable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlinfma_core::DlInfMaConfig;
+use dlinfma_eval::{evaluate_mean, render_metrics_table, ExperimentWorld, Method};
+use dlinfma_synth::{world_config, DelayConfig, Preset, Scale};
+
+/// World seeds each method is averaged over.
+const SEEDS: [u64; 2] = [1, 2];
+
+fn print_table3() {
+    println!("\n===== Table III: robustness to confirmation delays =====");
+    let methods = [
+        Method::Geocoding,
+        Method::Annotation,
+        Method::GeoCloud,
+        Method::GeoRank,
+        Method::UNetBased,
+        Method::MinDist,
+        Method::MaxTC,
+        Method::MaxTcIlc,
+        Method::DlInfMa,
+    ];
+    for preset in [Preset::DowBJ, Preset::SubBJ] {
+        for p_delay in [0.2, 0.6, 1.0] {
+            let mut cfg = world_config(preset, Scale::Small);
+            cfg.delays = DelayConfig::sweep(p_delay);
+            let mut pcfg = DlInfMaConfig::fast();
+            pcfg.clustering_distance_m = match preset {
+                Preset::DowBJ => 30.0,
+                Preset::SubBJ => 40.0,
+            };
+            let worlds: Vec<ExperimentWorld> = SEEDS
+                .iter()
+                .map(|&s| ExperimentWorld::build_from(&cfg, s, pcfg))
+                .collect();
+            let results: Vec<_> = methods.iter().map(|&m| evaluate_mean(&worlds, m)).collect();
+            println!(
+                "{}",
+                render_metrics_table(
+                    &format!("{} — p_d = {p_delay}", preset.name()),
+                    &results
+                )
+            );
+        }
+    }
+}
+
+fn bench_injection(c: &mut Criterion) {
+    print_table3();
+    // Criterion target: the delay-injection pass itself.
+    let (_, ds) = dlinfma_synth::generate(Preset::DowBJ, Scale::Small, 1);
+    let mut group = c.benchmark_group("table3/delay_injection");
+    group.sample_size(20);
+    group.bench_function("p=0.6", |b| {
+        b.iter_batched(
+            || ds.clone(),
+            |mut d| {
+                use rand::SeedableRng;
+                let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+                dlinfma_synth::inject_delays(&mut d, &DelayConfig::sweep(0.6), &mut rng);
+                d
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_injection);
+criterion_main!(benches);

@@ -1,0 +1,254 @@
+//! `dlinfma` — command-line interface to the reproduction.
+//!
+//! ```text
+//! dlinfma generate --preset dowbj --scale small --seed 1 --out world.json
+//! dlinfma stats    --preset subbj --scale small --seed 1
+//! dlinfma eval     --preset dowbj --scale tiny  --seed 1 [--all]
+//! dlinfma infer    --preset dowbj --scale tiny  --seed 1 --address 12
+//! dlinfma geojson  --preset dowbj --scale tiny  --seed 1 --out map.geojson
+//! ```
+
+use dlinfma_core::{DlInfMa, DlInfMaConfig};
+use dlinfma_eval::{
+    dataset_stats, evaluate, multi_location_building_fraction, render_metrics_table,
+    ExperimentWorld, Method,
+};
+use dlinfma_synth::{generate, AddressId, Preset, Scale};
+use std::process::ExitCode;
+
+/// Minimal `--flag value` argument map (no external parser dependency).
+struct Args {
+    command: String,
+    flags: Vec<(String, String)>,
+    all: bool,
+}
+
+impl Args {
+    fn parse() -> Option<Args> {
+        let mut argv = std::env::args().skip(1);
+        let command = argv.next()?;
+        let mut flags = Vec::new();
+        let mut all = false;
+        while let Some(a) = argv.next() {
+            if a == "--all" {
+                all = true;
+                continue;
+            }
+            let name = a.strip_prefix("--")?.to_string();
+            let value = argv.next()?;
+            flags.push((name, value));
+        }
+        Some(Args { command, flags, all })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn preset(&self) -> Result<Preset, String> {
+        match self.get("preset").unwrap_or("dowbj") {
+            "dowbj" => Ok(Preset::DowBJ),
+            "subbj" => Ok(Preset::SubBJ),
+            other => Err(format!("unknown preset '{other}' (dowbj|subbj)")),
+        }
+    }
+
+    fn scale(&self) -> Result<Scale, String> {
+        match self.get("scale").unwrap_or("small") {
+            "tiny" => Ok(Scale::Tiny),
+            "small" => Ok(Scale::Small),
+            "full" => Ok(Scale::Full),
+            other => Err(format!("unknown scale '{other}' (tiny|small|full)")),
+        }
+    }
+
+    fn seed(&self) -> Result<u64, String> {
+        self.get("seed")
+            .unwrap_or("1")
+            .parse()
+            .map_err(|e| format!("bad --seed: {e}"))
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: dlinfma <command> [--preset dowbj|subbj] [--scale tiny|small|full] [--seed N]\n\
+     commands:\n\
+     \x20 generate  --out FILE     write the synthetic dataset as JSON\n\
+     \x20 stats                    print Table I-style dataset statistics\n\
+     \x20 eval      [--all]        train + evaluate methods on the test region\n\
+     \x20 infer     --address N    train DLInfMA and infer one address\n\
+     \x20 geojson   --out FILE     train DLInfMA and export a GeoJSON map"
+}
+
+fn run() -> Result<(), String> {
+    let Some(args) = Args::parse() else {
+        return Err(usage().to_string());
+    };
+    let preset = args.preset()?;
+    let scale = args.scale()?;
+    let seed = args.seed()?;
+
+    match args.command.as_str() {
+        "generate" => {
+            let out = args.get("out").ok_or("generate needs --out FILE")?;
+            let (_, dataset) = generate(preset, scale, seed);
+            let json = serde_json::to_string(&dataset)
+                .map_err(|e| format!("serialize: {e}"))?;
+            std::fs::write(out, json).map_err(|e| format!("write {out}: {e}"))?;
+            println!(
+                "wrote {} ({} addresses, {} trips, {} waybills)",
+                out,
+                dataset.addresses.len(),
+                dataset.trips.len(),
+                dataset.waybills.len()
+            );
+        }
+        "stats" => {
+            let (_, dataset) = generate(preset, scale, seed);
+            let s = dataset_stats(&dataset);
+            println!("dataset          {}", preset.name());
+            println!("addresses        {}", s.n_addresses);
+            println!("buildings        {}", s.n_buildings);
+            println!("trips            {}", s.n_trips);
+            println!("waybills         {}", s.n_waybills);
+            println!("gps fixes        {}", s.n_gps_points);
+            println!("sampling rate    {:.1} s", s.mean_sampling_s);
+            println!(
+                "multi-location buildings {:.1}%",
+                multi_location_building_fraction(&dataset) * 100.0
+            );
+        }
+        "eval" => {
+            let world = ExperimentWorld::build(preset, scale, seed);
+            let methods = if args.all {
+                Method::all()
+            } else {
+                vec![
+                    Method::Geocoding,
+                    Method::Annotation,
+                    Method::GeoCloud,
+                    Method::MinDist,
+                    Method::MaxTcIlc,
+                    Method::DlInfMa,
+                ]
+            };
+            let results: Vec<_> = methods.into_iter().map(|m| evaluate(&world, m)).collect();
+            println!(
+                "{}",
+                render_metrics_table(
+                    &format!("{} test region (seed {seed})", preset.name()),
+                    &results
+                )
+            );
+        }
+        "infer" => {
+            let address: u32 = args
+                .get("address")
+                .ok_or("infer needs --address N")?
+                .parse()
+                .map_err(|e| format!("bad --address: {e}"))?;
+            let (city, dataset) = generate(preset, scale, seed);
+            let split = dlinfma_synth::spatial_split(&dataset, 0.6, 0.2);
+            let mut dlinfma = DlInfMa::prepare(&dataset, DlInfMaConfig::fast());
+            dlinfma.label_from_dataset(&dataset);
+            dlinfma.train(&split.train, &split.val);
+            let addr = AddressId(address);
+            if (address as usize) >= dataset.addresses.len() {
+                return Err(format!("address {address} out of range"));
+            }
+            let inferred = dlinfma.infer_or_geocode(&dataset, addr);
+            let truth = city.addresses[address as usize].true_delivery_location;
+            println!("address      {address}");
+            println!("geocode      ({:.1}, {:.1})", dataset.address(addr).geocode.x, dataset.address(addr).geocode.y);
+            println!("inferred     ({:.1}, {:.1})", inferred.x, inferred.y);
+            println!("ground truth ({:.1}, {:.1})", truth.x, truth.y);
+            println!("error        {:.1} m", inferred.distance(&truth));
+        }
+        "geojson" => {
+            let out = args.get("out").ok_or("geojson needs --out FILE")?;
+            let (city, dataset) = generate(preset, scale, seed);
+            let split = dlinfma_synth::spatial_split(&dataset, 0.6, 0.2);
+            let mut dlinfma = DlInfMa::prepare(&dataset, DlInfMaConfig::fast());
+            dlinfma.label_from_dataset(&dataset);
+            dlinfma.train(&split.train, &split.val);
+            let json = geojson::export(&city, &dataset, &dlinfma);
+            std::fs::write(out, json).map_err(|e| format!("write {out}: {e}"))?;
+            println!("wrote {out}");
+        }
+        other => return Err(format!("unknown command '{other}'\n{}", usage())),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+mod geojson {
+    //! Minimal GeoJSON export: the local metric frame is re-projected onto
+    //! WGS-84 around Beijing so the output opens in any GIS viewer.
+
+    use dlinfma_core::DlInfMa;
+    use dlinfma_geo::{LatLng, Point, Projection};
+    use dlinfma_synth::{City, Dataset};
+    use serde_json::{json, Value};
+
+    fn lnglat(proj: &Projection, p: Point) -> Value {
+        let ll = proj.unproject(&p);
+        json!([ll.lng, ll.lat])
+    }
+
+    /// Renders addresses (geocode + ground truth), candidates and inferred
+    /// locations as one GeoJSON FeatureCollection string.
+    pub fn export(city: &City, dataset: &Dataset, dlinfma: &DlInfMa) -> String {
+        let proj = Projection::new(LatLng::new(39.9042, 116.4074));
+        let mut features: Vec<Value> = Vec::new();
+        for a in &city.addresses {
+            features.push(json!({
+                "type": "Feature",
+                "geometry": {"type": "Point", "coordinates": lnglat(&proj, a.geocode)},
+                "properties": {"kind": "geocode", "address": a.id.0}
+            }));
+            features.push(json!({
+                "type": "Feature",
+                "geometry": {"type": "Point", "coordinates": lnglat(&proj, a.true_delivery_location)},
+                "properties": {"kind": "truth", "address": a.id.0, "spot": format!("{:?}", a.true_spot_kind)}
+            }));
+            if let Some(p) = dlinfma.infer(a.id) {
+                features.push(json!({
+                    "type": "Feature",
+                    "geometry": {"type": "Point", "coordinates": lnglat(&proj, p)},
+                    "properties": {"kind": "inferred", "address": a.id.0}
+                }));
+            }
+        }
+        for c in dlinfma.pool().candidates() {
+            features.push(json!({
+                "type": "Feature",
+                "geometry": {"type": "Point", "coordinates": lnglat(&proj, c.pos)},
+                "properties": {
+                    "kind": "candidate",
+                    "id": c.id.0,
+                    "stays": c.profile.n_stays,
+                    "couriers": c.profile.n_couriers,
+                    "avg_dwell_s": c.profile.avg_duration_s
+                }
+            }));
+        }
+        let _ = dataset;
+        serde_json::to_string_pretty(&json!({
+            "type": "FeatureCollection",
+            "features": features
+        }))
+        .expect("GeoJSON serializes")
+    }
+}

@@ -1,0 +1,95 @@
+//! End-to-end tests driving the `dlinfma` binary.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dlinfma"))
+}
+
+#[test]
+fn stats_prints_dataset_summary() {
+    let out = bin()
+        .args(["stats", "--preset", "dowbj", "--scale", "tiny", "--seed", "5"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("SynthDowBJ"));
+    assert!(text.contains("addresses"));
+    assert!(text.contains("waybills"));
+}
+
+#[test]
+fn generate_writes_parseable_json() {
+    let path = std::env::temp_dir().join("dlinfma_cli_test_world.json");
+    let out = bin()
+        .args([
+            "generate",
+            "--preset",
+            "subbj",
+            "--scale",
+            "tiny",
+            "--seed",
+            "5",
+            "--out",
+            path.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let json = std::fs::read_to_string(&path).expect("file written");
+    let value: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+    assert!(value["addresses"].as_array().expect("addresses array").len() > 10);
+    assert!(value["trips"].as_array().expect("trips array").len() > 1);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = bin().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "stderr: {err}");
+}
+
+#[test]
+fn bad_preset_is_rejected() {
+    let out = bin()
+        .args(["stats", "--preset", "mars"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown preset"));
+}
+
+#[test]
+fn geojson_export_is_valid() {
+    let path = std::env::temp_dir().join("dlinfma_cli_test_map.geojson");
+    let out = bin()
+        .args([
+            "geojson",
+            "--preset",
+            "dowbj",
+            "--scale",
+            "tiny",
+            "--seed",
+            "5",
+            "--out",
+            path.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&path).expect("written")).expect("valid");
+    assert_eq!(json["type"], "FeatureCollection");
+    let features = json["features"].as_array().expect("features");
+    assert!(features.len() > 50);
+    // Coordinates are plausible WGS-84 near Beijing.
+    let coord = &features[0]["geometry"]["coordinates"];
+    let lng = coord[0].as_f64().expect("lng");
+    let lat = coord[1].as_f64().expect("lat");
+    assert!((115.0..118.0).contains(&lng), "lng {lng}");
+    assert!((39.0..41.0).contains(&lat), "lat {lat}");
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,164 @@
+//! DBSCAN density-based clustering.
+//!
+//! Used by the GeoCloud baseline (Section V-B): annotated locations are
+//! DBSCAN-clustered and the centroid of the biggest cluster becomes the
+//! inferred delivery location, which filters out mis-annotated outliers.
+
+use dlinfma_geo::{GridIndex, Point};
+
+/// DBSCAN parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DbscanConfig {
+    /// Neighbourhood radius in meters.
+    pub eps: f64,
+    /// Minimum neighbourhood size (including the point itself) for a core
+    /// point. The paper sets this to 1 for GeoCloud so single-delivery
+    /// addresses still form a cluster.
+    pub min_pts: usize,
+}
+
+impl Default for DbscanConfig {
+    fn default() -> Self {
+        Self {
+            eps: 20.0,
+            min_pts: 1,
+        }
+    }
+}
+
+/// Runs DBSCAN over `points`.
+///
+/// Returns one label per input point: `Some(cluster_id)` with ids dense from
+/// zero, or `None` for noise points.
+pub fn dbscan(points: &[Point], cfg: &DbscanConfig) -> Vec<Option<usize>> {
+    assert!(cfg.eps.is_finite() && cfg.eps > 0.0, "eps must be positive");
+    assert!(cfg.min_pts >= 1, "min_pts must be at least 1");
+    let n = points.len();
+    let mut labels: Vec<Option<usize>> = vec![None; n];
+    let mut visited = vec![false; n];
+    if n == 0 {
+        return labels;
+    }
+
+    let grid = GridIndex::from_items(cfg.eps, points.iter().enumerate().map(|(i, p)| (*p, i)));
+    let neighbors = |i: usize| -> Vec<usize> {
+        let mut out = Vec::new();
+        grid.for_each_within(&points[i], cfg.eps, |_, &j| out.push(j));
+        out
+    };
+
+    let mut next_cluster = 0usize;
+    for i in 0..n {
+        if visited[i] {
+            continue;
+        }
+        visited[i] = true;
+        let nbrs = neighbors(i);
+        if nbrs.len() < cfg.min_pts {
+            continue; // noise (may be claimed by a later cluster as border)
+        }
+        let cid = next_cluster;
+        next_cluster += 1;
+        labels[i] = Some(cid);
+        // Expand the cluster breadth-first.
+        let mut queue: Vec<usize> = nbrs;
+        while let Some(j) = queue.pop() {
+            if labels[j].is_none() {
+                labels[j] = Some(cid); // border or core point joins
+            }
+            if visited[j] {
+                continue;
+            }
+            visited[j] = true;
+            let jn = neighbors(j);
+            if jn.len() >= cfg.min_pts {
+                queue.extend(jn);
+            }
+        }
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn empty_input() {
+        assert!(dbscan(&[], &DbscanConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn min_pts_one_clusters_everything() {
+        // With min_pts = 1 (the GeoCloud setting) every point is a core
+        // point, so there is no noise.
+        let pts = [Point::new(0.0, 0.0), Point::new(1000.0, 0.0)];
+        let labels = dbscan(&pts, &DbscanConfig { eps: 20.0, min_pts: 1 });
+        assert_eq!(labels, vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn two_blobs_two_clusters() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut pts = Vec::new();
+        for _ in 0..30 {
+            pts.push(Point::new(rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)));
+        }
+        for _ in 0..30 {
+            pts.push(Point::new(
+                300.0 + rng.gen_range(-5.0..5.0),
+                rng.gen_range(-5.0..5.0),
+            ));
+        }
+        let labels = dbscan(&pts, &DbscanConfig { eps: 15.0, min_pts: 3 });
+        let a = labels[0].expect("first blob clustered");
+        let b = labels[30].expect("second blob clustered");
+        assert_ne!(a, b);
+        assert!(labels[..30].iter().all(|l| *l == Some(a)));
+        assert!(labels[30..].iter().all(|l| *l == Some(b)));
+    }
+
+    #[test]
+    fn isolated_point_is_noise_with_high_min_pts() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(500.0, 0.0), // isolated
+        ];
+        let labels = dbscan(&pts, &DbscanConfig { eps: 10.0, min_pts: 3 });
+        assert!(labels[0].is_some());
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], None);
+    }
+
+    #[test]
+    fn chain_connectivity() {
+        // A chain of points each within eps of the next links into one cluster.
+        let pts: Vec<Point> = (0..20).map(|i| Point::new(i as f64 * 8.0, 0.0)).collect();
+        let labels = dbscan(&pts, &DbscanConfig { eps: 10.0, min_pts: 2 });
+        assert!(labels.iter().all(|l| *l == Some(0)));
+    }
+
+    #[test]
+    fn cluster_ids_are_dense() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 0.0),
+            Point::new(200.0, 0.0),
+        ];
+        let labels = dbscan(&pts, &DbscanConfig { eps: 10.0, min_pts: 1 });
+        let mut ids: Vec<usize> = labels.iter().flatten().copied().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be positive")]
+    fn bad_eps_panics() {
+        let _ = dbscan(&[Point::ZERO], &DbscanConfig { eps: -1.0, min_pts: 1 });
+    }
+}

@@ -1,0 +1,119 @@
+//! Fixed-grid location generation (the DLInfMA-Grid variant).
+//!
+//! Space is discretized into `cell x cell` squares and each occupied cell
+//! becomes one location (the centroid of its points). The paper observes
+//! this produces *more* locations than hierarchical clustering because two
+//! stays of the same physical location can straddle a cell boundary — the
+//! exact artifact this module intentionally reproduces for the ablation.
+
+use crate::hierarchical::Cluster;
+use dlinfma_geo::{centroid, Point};
+use std::collections::HashMap;
+
+/// Buckets points into a fixed grid of `cell_size x cell_size` squares; each
+/// occupied cell becomes a [`Cluster`] with the cell's points as members.
+///
+/// # Panics
+/// Panics if `cell_size` is not positive and finite.
+pub fn grid_clusters(points: &[Point], cell_size: f64) -> Vec<Cluster> {
+    assert!(
+        cell_size.is_finite() && cell_size > 0.0,
+        "cell size must be positive, got {cell_size}"
+    );
+    let mut cells: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+    for (i, p) in points.iter().enumerate() {
+        let key = (
+            (p.x / cell_size).floor() as i64,
+            (p.y / cell_size).floor() as i64,
+        );
+        cells.entry(key).or_default().push(i);
+    }
+    let mut out: Vec<Cluster> = cells
+        .into_values()
+        .map(|members| {
+            let pts: Vec<Point> = members.iter().map(|&i| points[i]).collect();
+            Cluster {
+                centroid: centroid(&pts).expect("cell is occupied"),
+                weight: members.len(),
+                members,
+            }
+        })
+        .collect();
+    // Deterministic output order regardless of hash iteration.
+    out.sort_by(|a, b| {
+        (a.centroid.x, a.centroid.y)
+            .partial_cmp(&(b.centroid.x, b.centroid.y))
+            .expect("finite centroids")
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchical::hierarchical_cluster;
+
+    #[test]
+    fn empty_input() {
+        assert!(grid_clusters(&[], 40.0).is_empty());
+    }
+
+    #[test]
+    fn points_in_same_cell_merge() {
+        let pts = [Point::new(1.0, 1.0), Point::new(5.0, 5.0)];
+        let out = grid_clusters(&pts, 40.0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].weight, 2);
+        assert_eq!(out[0].centroid, Point::new(3.0, 3.0));
+    }
+
+    #[test]
+    fn boundary_straddling_splits_nearby_points() {
+        // Two points 2 m apart on either side of the x = 40 boundary end up
+        // in different cells — the artifact the paper reports.
+        let pts = [Point::new(39.0, 0.0), Point::new(41.0, 0.0)];
+        let grid = grid_clusters(&pts, 40.0);
+        assert_eq!(grid.len(), 2);
+        let hier = hierarchical_cluster(&pts, 40.0);
+        assert_eq!(hier.len(), 1, "hierarchical merges what the grid splits");
+    }
+
+    #[test]
+    fn negative_coordinates_bucket_correctly() {
+        let pts = [Point::new(-1.0, -1.0), Point::new(-39.0, -39.0), Point::new(1.0, 1.0)];
+        let out = grid_clusters(&pts, 40.0);
+        // (-1,-1) and (-39,-39) share cell (-1,-1); (1,1) is in cell (0,0).
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn members_partition_input() {
+        let pts: Vec<Point> = (0..100)
+            .map(|i| Point::new((i % 17) as f64 * 11.0, (i % 13) as f64 * 7.0))
+            .collect();
+        let out = grid_clusters(&pts, 25.0);
+        let mut seen: Vec<usize> = out.iter().flat_map(|c| c.members.iter().copied()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn grid_never_fewer_locations_than_hierarchical_on_tight_blobs() {
+        // Blobs of radius << cell size: hierarchical gives exactly one
+        // cluster per blob; the grid may split blobs near boundaries, so its
+        // count is >= the hierarchical count.
+        let mut pts = Vec::new();
+        for bx in 0..5 {
+            for by in 0..5 {
+                let cx = bx as f64 * 100.0 + 39.0; // deliberately near boundaries
+                let cy = by as f64 * 100.0 + 39.0;
+                for k in 0..6 {
+                    pts.push(Point::new(cx + (k % 3) as f64, cy + (k / 3) as f64));
+                }
+            }
+        }
+        let g = grid_clusters(&pts, 40.0).len();
+        let h = hierarchical_cluster(&pts, 40.0).len();
+        assert!(g >= h, "grid {g} < hierarchical {h}");
+    }
+}

@@ -1,0 +1,413 @@
+//! Centroid-linkage agglomerative clustering with a distance threshold.
+//!
+//! This is the clustering method DLInfMA adopts for candidate-pool
+//! construction: start with every stay point as its own cluster and
+//! repeatedly merge the two clusters whose centroids are closest, until no
+//! two centroids are within the distance threshold `D`. The centroid of each
+//! final cluster becomes a location candidate.
+//!
+//! The implementation is grid-accelerated with a lazy-deletion binary heap:
+//! merge candidates are only generated between clusters whose centroids are
+//! within `D`, which keeps the common case (tens of thousands of stay points
+//! spread over a district) near `O(n log n)` instead of the naive `O(n^3)`.
+
+use dlinfma_geo::{GridIndex, Point};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A point with a multiplicity, used for incremental pool merging where an
+/// existing candidate summarizes many stay points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedPoint {
+    /// Centroid of the mass this entry represents.
+    pub pos: Point,
+    /// Number of original stay points it summarizes (≥ 1).
+    pub weight: usize,
+}
+
+impl WeightedPoint {
+    /// A unit-weight point.
+    pub fn unit(pos: Point) -> Self {
+        Self { pos, weight: 1 }
+    }
+}
+
+/// A cluster produced by [`hierarchical_cluster`] / [`merge_weighted`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    /// Weighted centroid of all member mass.
+    pub centroid: Point,
+    /// Indices into the input slice of the members merged into this cluster.
+    pub members: Vec<usize>,
+    /// Total weight (number of original stay points).
+    pub weight: usize,
+}
+
+#[derive(Debug)]
+struct Active {
+    centroid: Point,
+    weight: usize,
+    members: Vec<usize>,
+    generation: u64,
+    alive: bool,
+}
+
+/// Heap entry ordered by smallest distance first.
+#[derive(Debug, PartialEq)]
+struct Pair {
+    dist: f64,
+    a: usize,
+    b: usize,
+    a_gen: u64,
+    b_gen: u64,
+}
+
+impl Eq for Pair {}
+
+impl Ord for Pair {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the smallest distance.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("distances are finite")
+            .then_with(|| other.a.cmp(&self.a))
+            .then_with(|| other.b.cmp(&self.b))
+    }
+}
+
+impl PartialOrd for Pair {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Clusters unit-weight points; see [`merge_weighted`] for the general form.
+///
+/// Returns clusters whose member lists index into `points`. The union of all
+/// member lists is exactly `0..points.len()`.
+pub fn hierarchical_cluster(points: &[Point], distance_threshold: f64) -> Vec<Cluster> {
+    let weighted: Vec<WeightedPoint> = points.iter().map(|&p| WeightedPoint::unit(p)).collect();
+    merge_weighted(&weighted, distance_threshold)
+}
+
+/// Clusters weighted points with centroid linkage until no two cluster
+/// centroids are closer than `distance_threshold`.
+///
+/// This single entry point serves both the initial pool construction (all
+/// weights 1) and the paper's bi-weekly incremental update: pass the existing
+/// candidates (with their accumulated stay-point counts as weights) together
+/// with the new batch's points, and the same merge process combines them.
+///
+/// # Panics
+/// Panics if `distance_threshold` is not finite and positive, or any weight
+/// is zero.
+pub fn merge_weighted(items: &[WeightedPoint], distance_threshold: f64) -> Vec<Cluster> {
+    assert!(
+        distance_threshold.is_finite() && distance_threshold > 0.0,
+        "distance threshold must be positive, got {distance_threshold}"
+    );
+    assert!(
+        items.iter().all(|w| w.weight > 0),
+        "weights must be positive"
+    );
+
+    let d = distance_threshold;
+    let mut active: Vec<Active> = items
+        .iter()
+        .enumerate()
+        .map(|(i, w)| Active {
+            centroid: w.pos,
+            weight: w.weight,
+            members: vec![i],
+            generation: 0,
+            alive: true,
+        })
+        .collect();
+
+    // Grid of (cluster id, generation) entries; stale entries are skipped.
+    let mut grid: GridIndex<(usize, u64)> = GridIndex::new(d.max(1.0));
+    for (i, a) in active.iter().enumerate() {
+        grid.insert(a.centroid, (i, 0));
+    }
+
+    let mut heap: BinaryHeap<Pair> = BinaryHeap::new();
+    let push_neighbors =
+        |id: usize, active: &[Active], grid: &GridIndex<(usize, u64)>, heap: &mut BinaryHeap<Pair>| {
+            let me = &active[id];
+            grid.for_each_within(&me.centroid, d, |_, &(other, other_gen)| {
+                if other == id {
+                    return;
+                }
+                let o = &active[other];
+                if !o.alive || o.generation != other_gen {
+                    return;
+                }
+                let dist = me.centroid.distance(&o.centroid);
+                if dist < d {
+                    heap.push(Pair {
+                        dist,
+                        a: id,
+                        b: other,
+                        a_gen: me.generation,
+                        b_gen: other_gen,
+                    });
+                }
+            });
+        };
+
+    for id in 0..active.len() {
+        push_neighbors(id, &active, &grid, &mut heap);
+    }
+
+    while let Some(Pair {
+        a, b, a_gen, b_gen, ..
+    }) = heap.pop()
+    {
+        if !active[a].alive
+            || !active[b].alive
+            || active[a].generation != a_gen
+            || active[b].generation != b_gen
+        {
+            continue; // stale entry
+        }
+        // Merge b into a with a weighted centroid.
+        let (wa, wb) = (active[a].weight as f64, active[b].weight as f64);
+        let new_centroid = Point::new(
+            (active[a].centroid.x * wa + active[b].centroid.x * wb) / (wa + wb),
+            (active[a].centroid.y * wa + active[b].centroid.y * wb) / (wa + wb),
+        );
+        let b_members = std::mem::take(&mut active[b].members);
+        active[b].alive = false;
+        active[a].members.extend(b_members);
+        active[a].weight += active[b].weight;
+        active[a].centroid = new_centroid;
+        active[a].generation += 1;
+        let gen = active[a].generation;
+        grid.insert(new_centroid, (a, gen));
+        push_neighbors(a, &active, &grid, &mut heap);
+    }
+
+    active
+        .into_iter()
+        .filter(|a| a.alive)
+        .map(|a| Cluster {
+            centroid: a.centroid,
+            members: a.members,
+            weight: a.weight,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn empty_input_gives_no_clusters() {
+        assert!(hierarchical_cluster(&[], 40.0).is_empty());
+    }
+
+    #[test]
+    fn single_point_is_its_own_cluster() {
+        let out = hierarchical_cluster(&[Point::new(3.0, 4.0)], 40.0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].centroid, Point::new(3.0, 4.0));
+        assert_eq!(out[0].members, vec![0]);
+        assert_eq!(out[0].weight, 1);
+    }
+
+    #[test]
+    fn two_close_points_merge() {
+        let out = hierarchical_cluster(&[Point::new(0.0, 0.0), Point::new(10.0, 0.0)], 40.0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].centroid, Point::new(5.0, 0.0));
+        assert_eq!(out[0].weight, 2);
+    }
+
+    #[test]
+    fn two_far_points_stay_apart() {
+        let out = hierarchical_cluster(&[Point::new(0.0, 0.0), Point::new(100.0, 0.0)], 40.0);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn threshold_is_exclusive_at_exactly_d() {
+        // "until there does not exist two clusters such that the distance of
+        // their centroids is smaller than D" — exactly D apart must NOT merge.
+        let out = hierarchical_cluster(&[Point::new(0.0, 0.0), Point::new(40.0, 0.0)], 40.0);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn closest_pair_merges_first() {
+        // Three collinear points: 0, 30, 100. The (0,30) pair merges to
+        // centroid 15; 100 is 85 m from it, so it stays separate.
+        let out = hierarchical_cluster(
+            &[Point::new(0.0, 0.0), Point::new(30.0, 0.0), Point::new(100.0, 0.0)],
+            40.0,
+        );
+        assert_eq!(out.len(), 2);
+        let mut centroids: Vec<f64> = out.iter().map(|c| c.centroid.x).collect();
+        centroids.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((centroids[0] - 15.0).abs() < 1e-9);
+        assert!((centroids[1] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_merges_through_moving_centroid() {
+        // Points at 0, 35, 70: (0,35) merge -> 17.5; 70 is 52.5 away (> 40)
+        // so the chain stops. Centroid movement matters.
+        let out = hierarchical_cluster(
+            &[Point::new(0.0, 0.0), Point::new(35.0, 0.0), Point::new(70.0, 0.0)],
+            40.0,
+        );
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn dense_blob_becomes_one_cluster() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts: Vec<Point> = (0..200)
+            .map(|_| Point::new(rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)))
+            .collect();
+        let out = hierarchical_cluster(&pts, 40.0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].weight, 200);
+        assert!(out[0].centroid.norm() < 2.0);
+    }
+
+    #[test]
+    fn well_separated_blobs_stay_separate() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut pts = Vec::new();
+        let centers = [
+            Point::new(0.0, 0.0),
+            Point::new(500.0, 0.0),
+            Point::new(0.0, 500.0),
+        ];
+        for c in &centers {
+            for _ in 0..50 {
+                pts.push(Point::new(
+                    c.x + rng.gen_range(-8.0..8.0),
+                    c.y + rng.gen_range(-8.0..8.0),
+                ));
+            }
+        }
+        let out = hierarchical_cluster(&pts, 40.0);
+        assert_eq!(out.len(), 3);
+        for cl in &out {
+            assert_eq!(cl.weight, 50);
+            assert!(centers.iter().any(|c| cl.centroid.distance(c) < 10.0));
+        }
+    }
+
+    #[test]
+    fn members_partition_the_input() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts: Vec<Point> = (0..150)
+            .map(|_| Point::new(rng.gen_range(-300.0..300.0), rng.gen_range(-300.0..300.0)))
+            .collect();
+        let out = hierarchical_cluster(&pts, 40.0);
+        let mut seen: Vec<usize> = out.iter().flat_map(|c| c.members.iter().copied()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..150).collect::<Vec<_>>());
+        for c in &out {
+            assert_eq!(c.weight, c.members.len());
+        }
+    }
+
+    #[test]
+    fn weighted_merge_respects_mass() {
+        // A heavy existing candidate at x=0 (weight 9) and a new unit point
+        // at x=10 merge to x=1, not x=5.
+        let items = [
+            WeightedPoint {
+                pos: Point::new(0.0, 0.0),
+                weight: 9,
+            },
+            WeightedPoint::unit(Point::new(10.0, 0.0)),
+        ];
+        let out = merge_weighted(&items, 40.0);
+        assert_eq!(out.len(), 1);
+        assert!((out[0].centroid.x - 1.0).abs() < 1e-9);
+        assert_eq!(out[0].weight, 10);
+    }
+
+    #[test]
+    fn incremental_equals_rerun_for_separated_batches() {
+        // When the two batches occupy disjoint areas, clustering batch 2 into
+        // batch 1's candidates equals clustering everything at once.
+        let batch1 = [Point::new(0.0, 0.0), Point::new(5.0, 0.0)];
+        let batch2 = [Point::new(500.0, 0.0), Point::new(505.0, 0.0)];
+        let pool1 = hierarchical_cluster(&batch1, 40.0);
+        let mut items: Vec<WeightedPoint> = pool1
+            .iter()
+            .map(|c| WeightedPoint {
+                pos: c.centroid,
+                weight: c.weight,
+            })
+            .collect();
+        items.extend(batch2.iter().map(|&p| WeightedPoint::unit(p)));
+        let merged = merge_weighted(&items, 40.0);
+
+        let all: Vec<Point> = batch1.iter().chain(batch2.iter()).copied().collect();
+        let rerun = hierarchical_cluster(&all, 40.0);
+        assert_eq!(merged.len(), rerun.len());
+        let mut a: Vec<(i64, i64)> = merged
+            .iter()
+            .map(|c| (c.centroid.x.round() as i64, c.centroid.y.round() as i64))
+            .collect();
+        let mut b: Vec<(i64, i64)> = rerun
+            .iter()
+            .map(|c| (c.centroid.x.round() as i64, c.centroid.y.round() as i64))
+            .collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "distance threshold must be positive")]
+    fn invalid_threshold_panics() {
+        let _ = hierarchical_cluster(&[Point::ZERO], 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn no_two_final_centroids_within_d(
+            pts in proptest::collection::vec((-500.0..500.0f64, -500.0..500.0f64), 0..120),
+            d in 5.0..80.0f64,
+        ) {
+            let points: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let out = hierarchical_cluster(&points, d);
+            for i in 0..out.len() {
+                for j in (i + 1)..out.len() {
+                    prop_assert!(
+                        out[i].centroid.distance(&out[j].centroid) >= d - 1e-9,
+                        "centroids {} and {} are {} < {}",
+                        i, j, out[i].centroid.distance(&out[j].centroid), d
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn members_always_partition(
+            pts in proptest::collection::vec((-500.0..500.0f64, -500.0..500.0f64), 0..120),
+            d in 5.0..80.0f64,
+        ) {
+            let points: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let out = hierarchical_cluster(&points, d);
+            let mut seen: Vec<usize> = out.iter().flat_map(|c| c.members.iter().copied()).collect();
+            seen.sort_unstable();
+            prop_assert_eq!(seen, (0..points.len()).collect::<Vec<_>>());
+            let total: usize = out.iter().map(|c| c.weight).sum();
+            prop_assert_eq!(total, points.len());
+        }
+    }
+}

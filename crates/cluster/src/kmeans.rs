@@ -1,0 +1,199 @@
+//! Lloyd's k-means with k-means++ seeding.
+//!
+//! The paper lists k-means among the clustering methods previously adopted
+//! for generating locations from stay points and rejects it because the
+//! number of clusters is hard to set. It is implemented here so ablation
+//! benches can quantify that claim.
+
+use dlinfma_geo::{centroid, Point};
+use rand::Rng;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Final cluster centers (`<= k`; empty clusters are dropped).
+    pub centers: Vec<Point>,
+    /// For each input point, the index of its center in `centers`.
+    pub assignment: Vec<usize>,
+    /// Number of Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+/// Runs k-means++ seeded Lloyd iterations until assignments stabilize or
+/// `max_iters` is reached.
+///
+/// Returns `None` when `points` is empty or `k == 0`.
+pub fn kmeans<R: Rng>(
+    points: &[Point],
+    k: usize,
+    max_iters: usize,
+    rng: &mut R,
+) -> Option<KMeansResult> {
+    if points.is_empty() || k == 0 {
+        return None;
+    }
+    let k = k.min(points.len());
+
+    // k-means++ seeding: first center uniform, then proportional to squared
+    // distance from the nearest chosen center.
+    let mut centers: Vec<Point> = Vec::with_capacity(k);
+    centers.push(points[rng.gen_range(0..points.len())]);
+    let mut d2: Vec<f64> = points
+        .iter()
+        .map(|p| p.distance_sq(&centers[0]))
+        .collect();
+    while centers.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= f64::EPSILON {
+            // All remaining points coincide with a center; pick any.
+            points[rng.gen_range(0..points.len())]
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = points.len() - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if target < w {
+                    chosen = i;
+                    break;
+                }
+                target -= w;
+            }
+            points[chosen]
+        };
+        centers.push(next);
+        for (i, p) in points.iter().enumerate() {
+            d2[i] = d2[i].min(p.distance_sq(&next));
+        }
+    }
+
+    let mut assignment = vec![0usize; points.len()];
+    let mut iterations = 0;
+    for it in 0..max_iters {
+        iterations = it + 1;
+        // Assign.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = centers
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    p.distance_sq(a)
+                        .partial_cmp(&p.distance_sq(b))
+                        .expect("finite")
+                })
+                .map(|(j, _)| j)
+                .expect("k >= 1");
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        if !changed && it > 0 {
+            break;
+        }
+        // Update.
+        let mut buckets: Vec<Vec<Point>> = vec![Vec::new(); centers.len()];
+        for (i, p) in points.iter().enumerate() {
+            buckets[assignment[i]].push(*p);
+        }
+        for (c, bucket) in centers.iter_mut().zip(&buckets) {
+            if let Some(m) = centroid(bucket) {
+                *c = m;
+            }
+        }
+    }
+
+    // Drop empty clusters and remap assignments densely.
+    let mut counts = vec![0usize; centers.len()];
+    for &a in &assignment {
+        counts[a] += 1;
+    }
+    let mut remap = vec![usize::MAX; centers.len()];
+    let mut kept = Vec::new();
+    for (i, c) in centers.into_iter().enumerate() {
+        if counts[i] > 0 {
+            remap[i] = kept.len();
+            kept.push(c);
+        }
+    }
+    for a in &mut assignment {
+        *a = remap[*a];
+    }
+
+    Some(KMeansResult {
+        centers: kept,
+        assignment,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn empty_input_is_none() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(kmeans(&[], 3, 10, &mut rng).is_none());
+        assert!(kmeans(&[Point::ZERO], 0, 10, &mut rng).is_none());
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let res = kmeans(&[Point::ZERO, Point::new(10.0, 0.0)], 5, 10, &mut rng).unwrap();
+        assert!(res.centers.len() <= 2);
+    }
+
+    #[test]
+    fn recovers_two_well_separated_blobs() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut pts = Vec::new();
+        for _ in 0..50 {
+            pts.push(Point::new(rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0)));
+        }
+        for _ in 0..50 {
+            pts.push(Point::new(
+                200.0 + rng.gen_range(-3.0..3.0),
+                rng.gen_range(-3.0..3.0),
+            ));
+        }
+        let res = kmeans(&pts, 2, 50, &mut rng).unwrap();
+        assert_eq!(res.centers.len(), 2);
+        let mut xs: Vec<f64> = res.centers.iter().map(|c| c.x).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(xs[0].abs() < 5.0, "center near origin, got {}", xs[0]);
+        assert!((xs[1] - 200.0).abs() < 5.0, "center near 200, got {}", xs[1]);
+        // First 50 points share a cluster, last 50 the other.
+        assert!(res.assignment[..50].iter().all(|&a| a == res.assignment[0]));
+        assert!(res.assignment[50..].iter().all(|&a| a == res.assignment[50]));
+        assert_ne!(res.assignment[0], res.assignment[50]);
+    }
+
+    #[test]
+    fn assignment_indices_valid_and_dense() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let pts: Vec<Point> = (0..40)
+            .map(|_| Point::new(rng.gen_range(-100.0..100.0), rng.gen_range(-100.0..100.0)))
+            .collect();
+        let res = kmeans(&pts, 6, 30, &mut rng).unwrap();
+        assert_eq!(res.assignment.len(), 40);
+        for &a in &res.assignment {
+            assert!(a < res.centers.len());
+        }
+        // Every kept center has at least one member.
+        for c in 0..res.centers.len() {
+            assert!(res.assignment.contains(&c));
+        }
+    }
+
+    #[test]
+    fn identical_points_collapse() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let pts = vec![Point::new(7.0, 7.0); 10];
+        let res = kmeans(&pts, 3, 10, &mut rng).unwrap();
+        for c in &res.centers {
+            assert_eq!(*c, Point::new(7.0, 7.0));
+        }
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! Clustering algorithms for stay points.
+//!
+//! The paper's candidate-pool construction (Section III-B) clusters couriers'
+//! stay points so each physical delivery location is represented once:
+//!
+//! * [`hierarchical`] — centroid-linkage agglomerative clustering driven by a
+//!   single distance threshold `D` (the method the paper adopts, `D = 40 m`),
+//!   including the incremental *merge-new-into-existing* mode used for
+//!   bi-weekly batch updates;
+//! * [`dbscan`] — density-based clustering (used by the GeoCloud baseline);
+//! * [`kmeans`] — Lloyd's algorithm with k-means++ seeding (mentioned as a
+//!   rejected alternative; exercised by ablation benches);
+//! * [`gridmerge`] — fixed-grid bucketing (the DLInfMA-Grid variant, which
+//!   the paper shows splits locations at cell boundaries);
+//! * [`optics`] — the OPTICS ordering (another rejected alternative),
+//!   exercised by the clustering-choice ablation bench.
+
+pub mod dbscan;
+pub mod gridmerge;
+pub mod hierarchical;
+pub mod kmeans;
+pub mod optics;
+
+pub use dbscan::{dbscan, DbscanConfig};
+pub use gridmerge::grid_clusters;
+pub use hierarchical::{hierarchical_cluster, merge_weighted, Cluster, WeightedPoint};
+pub use kmeans::{kmeans, KMeansResult};
+pub use optics::{optics_extract, optics_ordering, OpticsConfig, OrderedPoint};

@@ -1,0 +1,246 @@
+//! OPTICS: Ordering Points To Identify the Clustering Structure
+//! (Ankerst et al., 1999).
+//!
+//! The paper lists OPTICS (its reference [11]) among the clustering methods
+//! previously used to generate locations from stay points and rejects
+//! density-based methods because their density parameter is hard to set and
+//! their clusters have irregular shapes. It is implemented here so the
+//! clustering-choice ablation bench can quantify that claim.
+
+use dlinfma_geo::{GridIndex, Point};
+
+/// OPTICS parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct OpticsConfig {
+    /// Maximum neighbourhood radius examined, meters.
+    pub max_eps: f64,
+    /// Minimum neighbourhood size (including the point) for a core point.
+    pub min_pts: usize,
+}
+
+impl Default for OpticsConfig {
+    fn default() -> Self {
+        Self {
+            max_eps: 40.0,
+            min_pts: 3,
+        }
+    }
+}
+
+/// One entry of the OPTICS ordering.
+#[derive(Debug, Clone, Copy)]
+pub struct OrderedPoint {
+    /// Index into the input slice.
+    pub index: usize,
+    /// Reachability distance (`f64::INFINITY` for ordering starts).
+    pub reachability: f64,
+}
+
+/// Computes the OPTICS cluster ordering with reachability distances.
+pub fn optics_ordering(points: &[Point], cfg: &OpticsConfig) -> Vec<OrderedPoint> {
+    assert!(cfg.max_eps > 0.0 && cfg.max_eps.is_finite(), "bad max_eps");
+    assert!(cfg.min_pts >= 1, "min_pts must be >= 1");
+    let n = points.len();
+    let mut processed = vec![false; n];
+    let mut reachability = vec![f64::INFINITY; n];
+    let mut order: Vec<OrderedPoint> = Vec::with_capacity(n);
+    if n == 0 {
+        return order;
+    }
+    let grid = GridIndex::from_items(cfg.max_eps, points.iter().enumerate().map(|(i, p)| (*p, i)));
+
+    let neighbors = |i: usize| -> Vec<(usize, f64)> {
+        let mut out = Vec::new();
+        grid.for_each_within(&points[i], cfg.max_eps, |p, &j| {
+            out.push((j, points[i].distance(p)));
+        });
+        out
+    };
+
+    // Core distance: distance to the min_pts-th nearest neighbour.
+    let core_distance = |nbrs: &[(usize, f64)]| -> Option<f64> {
+        if nbrs.len() < cfg.min_pts {
+            return None;
+        }
+        let mut ds: Vec<f64> = nbrs.iter().map(|&(_, d)| d).collect();
+        ds.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Some(ds[cfg.min_pts - 1])
+    };
+
+    for start in 0..n {
+        if processed[start] {
+            continue;
+        }
+        processed[start] = true;
+        order.push(OrderedPoint {
+            index: start,
+            reachability: f64::INFINITY,
+        });
+        let nbrs = neighbors(start);
+        let Some(core) = core_distance(&nbrs) else {
+            continue;
+        };
+        // Seed list as a simple binary-heap-free priority scan (n is modest
+        // for stay-point workloads; correctness over micro-optimization).
+        let mut seeds: Vec<usize> = Vec::new();
+        let mut update = |center_core: f64,
+                          nbrs: &[(usize, f64)],
+                          reachability: &mut [f64],
+                          seeds: &mut Vec<usize>,
+                          processed: &[bool]| {
+            for &(j, d) in nbrs {
+                if processed[j] {
+                    continue;
+                }
+                let new_reach = center_core.max(d);
+                if new_reach < reachability[j] {
+                    reachability[j] = new_reach;
+                    if !seeds.contains(&j) {
+                        seeds.push(j);
+                    }
+                }
+            }
+        };
+        update(core, &nbrs, &mut reachability, &mut seeds, &processed);
+
+        while !seeds.is_empty() {
+            // Pop the seed with the smallest reachability.
+            let (pos, &next) = seeds
+                .iter()
+                .enumerate()
+                .min_by(|(_, &a), (_, &b)| {
+                    reachability[a]
+                        .partial_cmp(&reachability[b])
+                        .expect("finite")
+                })
+                .expect("non-empty");
+            seeds.swap_remove(pos);
+            if processed[next] {
+                continue;
+            }
+            processed[next] = true;
+            order.push(OrderedPoint {
+                index: next,
+                reachability: reachability[next],
+            });
+            let nn = neighbors(next);
+            if let Some(c) = core_distance(&nn) {
+                update(c, &nn, &mut reachability, &mut seeds, &processed);
+            }
+        }
+    }
+    order
+}
+
+/// Extracts flat clusters from an OPTICS ordering by cutting the
+/// reachability plot at `eps_cut`: a new cluster starts wherever the
+/// reachability exceeds the cut. Returns per-point labels
+/// (`None` = noise).
+pub fn optics_extract(
+    points: &[Point],
+    cfg: &OpticsConfig,
+    eps_cut: f64,
+) -> Vec<Option<usize>> {
+    let order = optics_ordering(points, cfg);
+    let mut labels = vec![None; points.len()];
+    let mut current: Option<usize> = None;
+    let mut next_cluster = 0usize;
+    for op in &order {
+        if op.reachability > eps_cut {
+            // This point is not density-reachable at eps_cut: it either
+            // starts a new cluster (if it is a core point at the cut) or is
+            // noise. Peek: treat it as a potential cluster opener; it will
+            // be claimed when followers arrive.
+            current = None;
+        }
+        match current {
+            Some(c) => labels[op.index] = Some(c),
+            None => {
+                // Open a tentative cluster; confirmed by the next in-cut
+                // follower, otherwise the point stays a singleton cluster.
+                labels[op.index] = Some(next_cluster);
+                current = Some(next_cluster);
+                next_cluster += 1;
+            }
+        }
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn blob(rng: &mut StdRng, cx: f64, cy: f64, n: usize, r: f64) -> Vec<Point> {
+        (0..n)
+            .map(|_| Point::new(cx + rng.gen_range(-r..r), cy + rng.gen_range(-r..r)))
+            .collect()
+    }
+
+    #[test]
+    fn empty_input() {
+        let cfg = OpticsConfig::default();
+        assert!(optics_ordering(&[], &cfg).is_empty());
+        assert!(optics_extract(&[], &cfg, 20.0).is_empty());
+    }
+
+    #[test]
+    fn ordering_visits_every_point_once() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let pts = blob(&mut rng, 0.0, 0.0, 40, 10.0);
+        let order = optics_ordering(&pts, &OpticsConfig::default());
+        assert_eq!(order.len(), 40);
+        let mut seen: Vec<usize> = order.iter().map(|o| o.index).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 40);
+    }
+
+    #[test]
+    fn two_blobs_get_two_clusters() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut pts = blob(&mut rng, 0.0, 0.0, 30, 8.0);
+        pts.extend(blob(&mut rng, 300.0, 0.0, 30, 8.0));
+        let labels = optics_extract(&pts, &OpticsConfig::default(), 20.0);
+        let a = labels[0].expect("first blob labelled");
+        let b = labels[30].expect("second blob labelled");
+        assert_ne!(a, b);
+        assert!(labels[..30].iter().all(|l| *l == Some(a)));
+        assert!(labels[30..].iter().all(|l| *l == Some(b)));
+    }
+
+    #[test]
+    fn dense_core_has_small_reachability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pts = blob(&mut rng, 0.0, 0.0, 50, 5.0);
+        let order = optics_ordering(&pts, &OpticsConfig::default());
+        // After the ordering start, reachabilities inside one dense blob stay
+        // far below max_eps.
+        for op in order.iter().skip(1) {
+            assert!(op.reachability < 15.0, "reach {}", op.reachability);
+        }
+    }
+
+    #[test]
+    fn isolated_points_are_singletons() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(500.0, 0.0),
+            Point::new(1000.0, 0.0),
+        ];
+        let labels = optics_extract(
+            &pts,
+            &OpticsConfig {
+                max_eps: 40.0,
+                min_pts: 2,
+            },
+            20.0,
+        );
+        // Each point opens its own (singleton) cluster.
+        let mut ids: Vec<usize> = labels.iter().flatten().copied().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+    }
+}

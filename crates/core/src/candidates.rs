@@ -1,0 +1,609 @@
+//! Candidate pool construction (pipeline step III-B).
+//!
+//! All couriers' stay points are clustered with centroid-linkage
+//! hierarchical clustering under a distance threshold `D` (paper default
+//! 40 m); each cluster centroid becomes a *location candidate* carrying a
+//! profile: average stay duration, number of distinct couriers, and a 24-bin
+//! hour-of-day visit distribution.
+//!
+//! The pool also remembers, per trip, which candidates the trip visited and
+//! when — the raw material for candidate retrieval and the TC/LC features.
+//!
+//! Construction can be *incremental*: the deployed system generates
+//! candidates bi-weekly and merges new batches into the existing pool with
+//! the same clustering process ([`IncrementalPoolBuilder`]).
+
+use crate::staypoints::TripStays;
+use dlinfma_cluster::{merge_weighted, WeightedPoint};
+use dlinfma_geo::{KdTree, Point};
+use dlinfma_synth::{CourierId, Dataset, TripId};
+use std::collections::HashSet;
+
+/// Identifier of a location candidate within a [`CandidatePool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CandidateId(pub u32);
+
+/// Number of hour-of-day bins in the visit-time distribution.
+pub const TIME_BINS: usize = 24;
+
+/// Aggregated description of a location candidate (Section III-B profiles).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocationProfile {
+    /// Mean dwell duration of the member stay points, seconds.
+    pub avg_duration_s: f64,
+    /// Number of distinct couriers who have stayed here.
+    pub n_couriers: usize,
+    /// Hour-of-day distribution of visits, normalized to sum 1.
+    pub time_distribution: [f64; TIME_BINS],
+    /// Number of member stay points.
+    pub n_stays: usize,
+}
+
+/// A location candidate: a cluster centroid plus its profile.
+#[derive(Debug, Clone)]
+pub struct LocationCandidate {
+    /// Identifier (dense index into the pool).
+    pub id: CandidateId,
+    /// Cluster centroid in the local metric frame.
+    pub pos: Point,
+    /// Aggregated profile.
+    pub profile: LocationProfile,
+}
+
+/// The full candidate pool with per-trip visit records.
+#[derive(Debug, Clone)]
+pub struct CandidatePool {
+    candidates: Vec<LocationCandidate>,
+    /// Per trip (indexed by `TripId`), chronologically-sorted
+    /// `(candidate, stay mid-time)` visits.
+    trip_visits: Vec<Vec<(CandidateId, f64)>>,
+    kdtree: KdTree<CandidateId>,
+}
+
+impl CandidatePool {
+    /// All candidates, ordered by id.
+    pub fn candidates(&self) -> &[LocationCandidate] {
+        &self.candidates
+    }
+
+    /// Candidate lookup by id.
+    pub fn candidate(&self, id: CandidateId) -> &LocationCandidate {
+        &self.candidates[id.0 as usize]
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// True when the pool has no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// Chronological `(candidate, time)` visits of a trip.
+    pub fn visits(&self, trip: TripId) -> &[(CandidateId, f64)] {
+        &self.trip_visits[trip.0 as usize]
+    }
+
+    /// Number of trips tracked.
+    pub fn n_trips(&self) -> usize {
+        self.trip_visits.len()
+    }
+
+    /// The candidate nearest to `pos` (used to label training data with the
+    /// ground-truth delivery location), or `None` for an empty pool.
+    pub fn nearest(&self, pos: &Point) -> Option<(CandidateId, f64)> {
+        self.kdtree.nearest(pos).map(|(_, &id, d)| (id, d))
+    }
+}
+
+/// Internal aggregate of one growing candidate cluster.
+#[derive(Debug, Clone)]
+struct Agg {
+    pos: Point,
+    weight: usize,
+    total_duration_s: f64,
+    couriers: HashSet<u32>,
+    hist: [u32; TIME_BINS],
+}
+
+impl Agg {
+    fn from_stay(pos: Point, duration: f64, courier: CourierId, hour_bin: usize) -> Self {
+        let mut hist = [0u32; TIME_BINS];
+        hist[hour_bin] += 1;
+        let mut couriers = HashSet::new();
+        couriers.insert(courier.0);
+        Self {
+            pos,
+            weight: 1,
+            total_duration_s: duration,
+            couriers,
+            hist,
+        }
+    }
+
+    fn merge_into(&mut self, other: &Agg) {
+        // Position is recomputed by the clustering; only stats merge here.
+        self.weight += other.weight;
+        self.total_duration_s += other.total_duration_s;
+        self.couriers.extend(other.couriers.iter().copied());
+        for (a, b) in self.hist.iter_mut().zip(&other.hist) {
+            *a += b;
+        }
+    }
+}
+
+fn hour_bin(t: f64) -> usize {
+    let secs_of_day = t.rem_euclid(86_400.0);
+    ((secs_of_day / 3_600.0) as usize).min(TIME_BINS - 1)
+}
+
+/// Builds candidate pools, either in one shot or batch by batch (the
+/// deployed bi-weekly mode).
+#[derive(Debug, Default)]
+pub struct IncrementalPoolBuilder {
+    aggs: Vec<Agg>,
+    /// Per inserted stay point: current aggregate index.
+    sp_assign: Vec<usize>,
+    /// Per inserted stay point: originating trip and mid-time.
+    sp_meta: Vec<(TripId, f64)>,
+}
+
+impl IncrementalPoolBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of candidates after the batches merged so far.
+    pub fn n_candidates(&self) -> usize {
+        self.aggs.len()
+    }
+
+    /// Merges a batch of per-trip stay points into the pool, clustering new
+    /// stays together with the existing candidates under threshold
+    /// `distance_threshold` (the paper's `D`).
+    ///
+    /// `courier_of` maps a trip to its courier (profiles count distinct
+    /// couriers).
+    pub fn add_batch(
+        &mut self,
+        batch: &[TripStays],
+        courier_of: &dyn Fn(TripId) -> CourierId,
+        distance_threshold: f64,
+    ) {
+        let n_old = self.aggs.len();
+        // Items: existing aggregates first, then the new stay points.
+        let mut items: Vec<WeightedPoint> = self
+            .aggs
+            .iter()
+            .map(|a| WeightedPoint {
+                pos: a.pos,
+                weight: a.weight,
+            })
+            .collect();
+        let mut new_aggs: Vec<Agg> = Vec::new();
+        let mut new_meta: Vec<(TripId, f64)> = Vec::new();
+        for ts in batch {
+            let courier = courier_of(ts.trip);
+            for sp in &ts.stays {
+                items.push(WeightedPoint::unit(sp.pos));
+                new_aggs.push(Agg::from_stay(
+                    sp.pos,
+                    sp.duration(),
+                    courier,
+                    hour_bin(sp.mid_time()),
+                ));
+                new_meta.push((ts.trip, sp.mid_time()));
+            }
+        }
+
+        let clusters = merge_weighted(&items, distance_threshold);
+
+        // Fold members into fresh aggregates and remap assignments.
+        let mut next_aggs: Vec<Agg> = Vec::with_capacity(clusters.len());
+        let mut old_remap = vec![usize::MAX; n_old];
+        let mut new_remap = vec![usize::MAX; new_aggs.len()];
+        for cluster in &clusters {
+            let idx = next_aggs.len();
+            let mut agg: Option<Agg> = None;
+            for &m in &cluster.members {
+                let part = if m < n_old {
+                    old_remap[m] = idx;
+                    &self.aggs[m]
+                } else {
+                    new_remap[m - n_old] = idx;
+                    &new_aggs[m - n_old]
+                };
+                match &mut agg {
+                    Some(a) => a.merge_into(part),
+                    None => agg = Some(part.clone()),
+                }
+            }
+            let mut agg = agg.expect("clusters are non-empty");
+            agg.pos = cluster.centroid;
+            next_aggs.push(agg);
+        }
+
+        for a in &mut self.sp_assign {
+            *a = old_remap[*a];
+        }
+        self.sp_assign
+            .extend(new_remap.iter().copied());
+        self.sp_meta.extend(new_meta);
+        self.aggs = next_aggs;
+        debug_assert!(self.sp_assign.iter().all(|&a| a != usize::MAX));
+    }
+
+    /// Finalizes the pool. `n_trips` sizes the per-trip visit table (trips
+    /// with no stay points get empty visit lists).
+    pub fn finish(self, n_trips: usize) -> CandidatePool {
+        let candidates: Vec<LocationCandidate> = self
+            .aggs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let total: u32 = a.hist.iter().sum();
+                let mut dist = [0.0; TIME_BINS];
+                if total > 0 {
+                    for (d, &h) in dist.iter_mut().zip(&a.hist) {
+                        *d = f64::from(h) / f64::from(total);
+                    }
+                }
+                LocationCandidate {
+                    id: CandidateId(i as u32),
+                    pos: a.pos,
+                    profile: LocationProfile {
+                        avg_duration_s: a.total_duration_s / a.weight.max(1) as f64,
+                        n_couriers: a.couriers.len(),
+                        time_distribution: dist,
+                        n_stays: a.weight,
+                    },
+                }
+            })
+            .collect();
+
+        let mut trip_visits: Vec<Vec<(CandidateId, f64)>> = vec![Vec::new(); n_trips];
+        for (&(trip, t), &agg) in self.sp_meta.iter().zip(&self.sp_assign) {
+            trip_visits[trip.0 as usize].push((CandidateId(agg as u32), t));
+        }
+        for visits in &mut trip_visits {
+            visits.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"));
+        }
+
+        let kdtree = KdTree::build(candidates.iter().map(|c| (c.pos, c.id)).collect());
+        CandidatePool {
+            candidates,
+            trip_visits,
+            kdtree,
+        }
+    }
+}
+
+/// One-shot pool construction from all trips of a dataset.
+pub fn build_pool(
+    dataset: &Dataset,
+    stays: &[TripStays],
+    distance_threshold: f64,
+) -> CandidatePool {
+    let mut builder = IncrementalPoolBuilder::new();
+    builder.add_batch(
+        stays,
+        &|trip| dataset.trip(trip).courier,
+        distance_threshold,
+    );
+    builder.finish(dataset.trips.len())
+}
+
+/// Grid-merging pool construction (the DLInfMA-Grid ablation): stay points
+/// are bucketed into `cell_size x cell_size` squares and each occupied cell
+/// becomes a candidate. The paper shows this yields *more* candidates than
+/// hierarchical clustering because stays of one physical location can
+/// straddle a cell boundary.
+pub fn build_pool_grid(dataset: &Dataset, stays: &[TripStays], cell_size: f64) -> CandidatePool {
+    // Flatten stays with their metadata.
+    let mut flat: Vec<(TripId, f64, f64, usize)> = Vec::new(); // trip, mid_time, duration, hour bin
+    let mut positions: Vec<Point> = Vec::new();
+    let mut couriers: Vec<CourierId> = Vec::new();
+    for ts in stays {
+        let courier = dataset.trip(ts.trip).courier;
+        for sp in &ts.stays {
+            flat.push((ts.trip, sp.mid_time(), sp.duration(), hour_bin(sp.mid_time())));
+            positions.push(sp.pos);
+            couriers.push(courier);
+        }
+    }
+    let clusters = dlinfma_cluster::grid_clusters(&positions, cell_size);
+
+    let mut builder = IncrementalPoolBuilder::new();
+    for cluster in &clusters {
+        let mut agg: Option<Agg> = None;
+        for &m in &cluster.members {
+            let (_, _, duration, bin) = flat[m];
+            let part = Agg::from_stay(positions[m], duration, couriers[m], bin);
+            match &mut agg {
+                Some(a) => a.merge_into(&part),
+                None => agg = Some(part),
+            }
+        }
+        let mut agg = agg.expect("clusters are non-empty");
+        agg.pos = cluster.centroid;
+        let idx = builder.aggs.len();
+        builder.aggs.push(agg);
+        for &m in &cluster.members {
+            // sp_assign/sp_meta are appended per member in cluster order; the
+            // final pool only needs the stay -> candidate mapping.
+            builder.sp_assign.push(idx);
+            builder.sp_meta.push((flat[m].0, flat[m].1));
+        }
+    }
+    builder.finish(dataset.trips.len())
+}
+
+/// Station-parallel construction (Section V-F): each station's stay points
+/// are clustered on its own worker, then the per-station pools are merged
+/// with the same clustering process. Stations own disjoint regions, so the
+/// cross-station merge mostly concatenates.
+pub fn build_pool_station_parallel(
+    dataset: &Dataset,
+    stays: &[TripStays],
+    distance_threshold: f64,
+) -> CandidatePool {
+    // Partition per-trip stays by station.
+    let n_stations = dataset.stations.len().max(1);
+    let mut per_station: Vec<Vec<TripStays>> = vec![Vec::new(); n_stations];
+    for ts in stays {
+        let s = dataset.trip(ts.trip).station.0 as usize;
+        per_station[s.min(n_stations - 1)].push(ts.clone());
+    }
+
+    // Cluster each station independently in parallel.
+    let mut builders: Vec<Option<IncrementalPoolBuilder>> = Vec::new();
+    builders.resize_with(n_stations, || None);
+    crossbeam::scope(|scope| {
+        for (batch, slot) in per_station.iter().zip(builders.iter_mut()) {
+            scope.spawn(move |_| {
+                let mut b = IncrementalPoolBuilder::new();
+                b.add_batch(
+                    batch,
+                    &|trip| dataset.trip(trip).courier,
+                    distance_threshold,
+                );
+                *slot = Some(b);
+            });
+        }
+    })
+    .expect("station workers do not panic");
+
+    // Merge station pools: one more clustering pass over all aggregates.
+    let mut merged = IncrementalPoolBuilder::new();
+    for b in builders.into_iter().flatten() {
+        let offset = merged.aggs.len();
+        merged.aggs.extend(b.aggs);
+        merged
+            .sp_assign
+            .extend(b.sp_assign.iter().map(|&a| a + offset));
+        merged.sp_meta.extend(b.sp_meta);
+    }
+    // Re-cluster the concatenated aggregates under the same threshold so
+    // border locations shared by two stations collapse.
+    let items: Vec<WeightedPoint> = merged
+        .aggs
+        .iter()
+        .map(|a| WeightedPoint {
+            pos: a.pos,
+            weight: a.weight,
+        })
+        .collect();
+    let clusters = merge_weighted(&items, distance_threshold);
+    let mut next_aggs: Vec<Agg> = Vec::with_capacity(clusters.len());
+    let mut remap = vec![usize::MAX; merged.aggs.len()];
+    for cluster in &clusters {
+        let idx = next_aggs.len();
+        let mut agg: Option<Agg> = None;
+        for &m in &cluster.members {
+            remap[m] = idx;
+            match &mut agg {
+                Some(a) => a.merge_into(&merged.aggs[m]),
+                None => agg = Some(merged.aggs[m].clone()),
+            }
+        }
+        let mut agg = agg.expect("clusters are non-empty");
+        agg.pos = cluster.centroid;
+        next_aggs.push(agg);
+    }
+    for a in &mut merged.sp_assign {
+        *a = remap[*a];
+    }
+    merged.aggs = next_aggs;
+    merged.finish(dataset.trips.len())
+}
+
+/// Bi-weekly incremental construction: trips are batched by `batch_len_s`
+/// windows of their start time and merged window by window, mirroring the
+/// deployment.
+pub fn build_pool_incremental(
+    dataset: &Dataset,
+    stays: &[TripStays],
+    distance_threshold: f64,
+    batch_len_s: f64,
+) -> CandidatePool {
+    assert!(batch_len_s > 0.0, "batch length must be positive");
+    let mut order: Vec<&TripStays> = stays.iter().collect();
+    order.sort_by(|a, b| {
+        dataset
+            .trip(a.trip)
+            .t_start
+            .partial_cmp(&dataset.trip(b.trip).t_start)
+            .expect("finite")
+    });
+    let mut builder = IncrementalPoolBuilder::new();
+    let mut batch: Vec<TripStays> = Vec::new();
+    let mut window_start: Option<f64> = None;
+    for ts in order {
+        let t = dataset.trip(ts.trip).t_start;
+        let ws = *window_start.get_or_insert(t);
+        if t - ws >= batch_len_s && !batch.is_empty() {
+            builder.add_batch(
+                &batch,
+                &|trip| dataset.trip(trip).courier,
+                distance_threshold,
+            );
+            batch.clear();
+            window_start = Some(t);
+        }
+        batch.push(ts.clone());
+    }
+    if !batch.is_empty() {
+        builder.add_batch(
+            &batch,
+            &|trip| dataset.trip(trip).courier,
+            distance_threshold,
+        );
+    }
+    builder.finish(dataset.trips.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::staypoints::{extract_stay_points, ExtractionConfig};
+    use dlinfma_synth::{generate, Preset, Scale};
+
+    fn world() -> (dlinfma_synth::City, Dataset, Vec<TripStays>) {
+        let (city, ds) = generate(Preset::DowBJ, Scale::Tiny, 0);
+        let stays = extract_stay_points(&ds, &ExtractionConfig::paper_defaults());
+        (city, ds, stays)
+    }
+
+    #[test]
+    fn pool_has_candidates_with_valid_profiles() {
+        let (_, ds, stays) = world();
+        let pool = build_pool(&ds, &stays, 40.0);
+        assert!(!pool.is_empty());
+        for c in pool.candidates() {
+            assert!(c.profile.avg_duration_s > 0.0);
+            assert!(c.profile.n_couriers >= 1);
+            assert!(c.profile.n_stays >= 1);
+            let sum: f64 = c.profile.time_distribution.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "time distribution sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn candidate_ids_are_dense_and_positions_separated() {
+        let (_, ds, stays) = world();
+        let d = 40.0;
+        let pool = build_pool(&ds, &stays, d);
+        for (i, c) in pool.candidates().iter().enumerate() {
+            assert_eq!(c.id.0 as usize, i);
+        }
+        for i in 0..pool.len() {
+            for j in (i + 1)..pool.len() {
+                let dist = pool.candidates()[i].pos.distance(&pool.candidates()[j].pos);
+                assert!(dist >= d - 1e-6, "candidates {i},{j} only {dist}m apart");
+            }
+        }
+    }
+
+    #[test]
+    fn trip_visits_are_chronological_and_reference_valid_candidates() {
+        let (_, ds, stays) = world();
+        let pool = build_pool(&ds, &stays, 40.0);
+        assert_eq!(pool.n_trips(), ds.trips.len());
+        let mut total = 0;
+        for t in &ds.trips {
+            let visits = pool.visits(t.id);
+            total += visits.len();
+            for w in visits.windows(2) {
+                assert!(w[0].1 <= w[1].1);
+            }
+            for &(c, _) in visits {
+                assert!((c.0 as usize) < pool.len());
+            }
+        }
+        let n_stays: usize = stays.iter().map(|s| s.stays.len()).sum();
+        assert_eq!(total, n_stays, "every stay maps to exactly one visit");
+    }
+
+    #[test]
+    fn deliveries_produce_candidates_near_true_locations() {
+        let (city, ds, stays) = world();
+        let pool = build_pool(&ds, &stays, 40.0);
+        // Most delivered addresses should have a candidate within ~30 m of
+        // their true delivery location.
+        let delivered: std::collections::HashSet<u32> =
+            ds.waybills.iter().map(|w| w.address.0).collect();
+        let mut near = 0;
+        for &aid in &delivered {
+            let gt = city.addresses[aid as usize].true_delivery_location;
+            if let Some((_, d)) = pool.nearest(&gt) {
+                if d < 30.0 {
+                    near += 1;
+                }
+            }
+        }
+        assert!(
+            near * 10 >= delivered.len() * 8,
+            "{near}/{} addresses have a nearby candidate",
+            delivered.len()
+        );
+    }
+
+    #[test]
+    fn incremental_build_matches_one_shot_scale() {
+        let (_, ds, stays) = world();
+        let one_shot = build_pool(&ds, &stays, 40.0);
+        let incremental = build_pool_incremental(&ds, &stays, 40.0, 2.0 * 86_400.0);
+        // Incremental merging can differ slightly at cluster boundaries but
+        // must be the same order of magnitude and preserve visit counts.
+        let total_visits = |p: &CandidatePool| -> usize {
+            (0..p.n_trips()).map(|i| p.visits(TripId(i as u32)).len()).sum()
+        };
+        assert_eq!(total_visits(&one_shot), total_visits(&incremental));
+        let ratio = incremental.len() as f64 / one_shot.len() as f64;
+        assert!(
+            (0.7..1.5).contains(&ratio),
+            "incremental {} vs one-shot {}",
+            incremental.len(),
+            one_shot.len()
+        );
+    }
+
+    #[test]
+    fn station_parallel_matches_one_shot_scale() {
+        // A two-station world: per-station clustering plus the border merge
+        // must preserve every visit and land near the one-shot pool size.
+        let (_, ds) = generate(Preset::DowBJ, Scale::Small, 5);
+        let stays = crate::staypoints::extract_stay_points(
+            &ds,
+            &crate::staypoints::ExtractionConfig::paper_defaults(),
+        );
+        assert!(ds.stations.len() >= 2, "need a multi-station world");
+        let one_shot = build_pool(&ds, &stays, 40.0);
+        let par = build_pool_station_parallel(&ds, &stays, 40.0);
+        let total_visits = |p: &CandidatePool| -> usize {
+            (0..p.n_trips()).map(|i| p.visits(TripId(i as u32)).len()).sum()
+        };
+        assert_eq!(total_visits(&one_shot), total_visits(&par));
+        let ratio = par.len() as f64 / one_shot.len() as f64;
+        assert!((0.8..1.3).contains(&ratio), "{} vs {}", par.len(), one_shot.len());
+        for c in par.candidates() {
+            assert!(c.profile.n_stays >= 1);
+        }
+    }
+
+    #[test]
+    fn empty_dataset_pool() {
+        let ds = Dataset {
+            addresses: vec![],
+            trips: vec![],
+            waybills: vec![],
+            stations: vec![],
+        };
+        let pool = build_pool(&ds, &[], 40.0);
+        assert!(pool.is_empty());
+        assert!(pool.nearest(&Point::ZERO).is_none());
+    }
+}

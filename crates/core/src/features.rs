@@ -1,0 +1,486 @@
+//! Feature extraction (pipeline step IV-A).
+//!
+//! Three feature families per the paper:
+//!
+//! * **Matching features** — trip coverage (Equation 1), building-level
+//!   location commonality (Equation 2), and the distance to the geocoded
+//!   waybill location;
+//! * **Profile features** — average stay duration, number of couriers and
+//!   the 24-bin visit-time distribution of the candidate;
+//! * **Address features** — number of deliveries and the geocoder's POI
+//!   category.
+//!
+//! [`FeatureConfig`] switches individual families off for the paper's
+//! ablations (DLInfMA-nTC / -nD / -nP / -nLC) and swaps the building-level
+//! LC for the address-level variant (DLInfMA-LC_addr).
+
+use crate::candidates::{CandidateId, CandidatePool, TIME_BINS};
+use crate::retrieval::{retrieve_candidates, AddressEvidence};
+use dlinfma_geo::Point;
+use dlinfma_synth::{AddressId, BuildingId, Dataset, TripId};
+use std::collections::{HashMap, HashSet};
+
+/// Which features to extract; all on by default.
+#[derive(Debug, Clone, Copy)]
+pub struct FeatureConfig {
+    /// Include trip coverage (Equation 1).
+    pub use_trip_coverage: bool,
+    /// Include location commonality (Equation 2).
+    pub use_location_commonality: bool,
+    /// Include the distance to the geocoded location.
+    pub use_distance: bool,
+    /// Include the location profile (duration, couriers, time distribution).
+    pub use_profile: bool,
+    /// Compute LC against the *address* instead of its building
+    /// (the DLInfMA-LC_addr ablation, shown inferior by the paper).
+    pub lc_address_level: bool,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        Self {
+            use_trip_coverage: true,
+            use_location_commonality: true,
+            use_distance: true,
+            use_profile: true,
+            lc_address_level: false,
+        }
+    }
+}
+
+/// Features of one `(address, candidate)` pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateFeatures {
+    /// Fraction of the address's trips passing through the candidate.
+    pub trip_coverage: f64,
+    /// Fraction of *other-building* trips passing through the candidate.
+    pub location_commonality: f64,
+    /// Distance from the candidate to the address's geocode, meters.
+    pub distance_m: f64,
+    /// Candidate profile: mean dwell seconds.
+    pub avg_duration_s: f64,
+    /// Candidate profile: distinct couriers.
+    pub n_couriers: f64,
+    /// Candidate profile: member stay points.
+    pub n_stays: f64,
+    /// Candidate profile: hour-of-day visit distribution.
+    pub time_distribution: [f64; TIME_BINS],
+}
+
+impl CandidateFeatures {
+    /// Dense feature vector for classical models, honouring `cfg`'s feature
+    /// switches. Scalar features are squashed to comparable magnitudes.
+    pub fn to_vec(&self, cfg: &FeatureConfig) -> Vec<f32> {
+        let mut v = Vec::with_capacity(6 + TIME_BINS);
+        if cfg.use_trip_coverage {
+            v.push(self.trip_coverage as f32);
+        }
+        if cfg.use_location_commonality {
+            v.push(self.location_commonality as f32);
+        }
+        if cfg.use_distance {
+            // Log scale keeps resolution where it matters (0-50 m) while
+            // bounding wrong-parse outliers (hundreds of meters).
+            v.push((self.distance_m / 10.0).ln_1p() as f32);
+        }
+        if cfg.use_profile {
+            v.push((self.avg_duration_s / 60.0).ln_1p() as f32);
+            v.push((self.n_couriers).ln_1p() as f32);
+            v.push((self.n_stays).ln_1p() as f32);
+            v.extend(self.time_distribution.iter().map(|&x| x as f32));
+        }
+        v
+    }
+
+    /// Scalar features only (everything except the time distribution), for
+    /// models that embed the time distribution separately (LocMatcher's
+    /// dense `r`-unit branch).
+    pub fn scalars(&self, cfg: &FeatureConfig) -> Vec<f32> {
+        let mut v = Vec::with_capacity(6);
+        if cfg.use_trip_coverage {
+            v.push(self.trip_coverage as f32);
+        }
+        if cfg.use_location_commonality {
+            v.push(self.location_commonality as f32);
+        }
+        if cfg.use_distance {
+            v.push((self.distance_m / 10.0).ln_1p() as f32);
+        }
+        if cfg.use_profile {
+            v.push((self.avg_duration_s / 60.0).ln_1p() as f32);
+            v.push((self.n_couriers).ln_1p() as f32);
+            v.push((self.n_stays).ln_1p() as f32);
+        }
+        v
+    }
+
+    /// Number of scalar features under `cfg`.
+    pub fn scalars_len(cfg: &FeatureConfig) -> usize {
+        let mut n = 0;
+        if cfg.use_trip_coverage {
+            n += 1;
+        }
+        if cfg.use_location_commonality {
+            n += 1;
+        }
+        if cfg.use_distance {
+            n += 1;
+        }
+        if cfg.use_profile {
+            n += 3;
+        }
+        n
+    }
+
+    /// Length of [`CandidateFeatures::to_vec`] under `cfg`.
+    pub fn vec_len(cfg: &FeatureConfig) -> usize {
+        let mut n = 0;
+        if cfg.use_trip_coverage {
+            n += 1;
+        }
+        if cfg.use_location_commonality {
+            n += 1;
+        }
+        if cfg.use_distance {
+            n += 1;
+        }
+        if cfg.use_profile {
+            n += 3 + TIME_BINS;
+        }
+        n
+    }
+}
+
+/// One address with its retrieved candidates and all features — the unit of
+/// training and inference for every model in this reproduction.
+#[derive(Debug, Clone)]
+pub struct AddressSample {
+    /// The address.
+    pub address: AddressId,
+    /// Retrieved candidate ids (sorted).
+    pub candidates: Vec<CandidateId>,
+    /// Per-candidate features, parallel to `candidates`.
+    pub features: Vec<CandidateFeatures>,
+    /// Number of deliveries (trips) involving the address.
+    pub n_deliveries: usize,
+    /// POI category from the geocoder.
+    pub poi_category: u8,
+    /// Geocoded location of the address.
+    pub geocode: Point,
+    /// Index (into `candidates`) of the candidate nearest the ground-truth
+    /// delivery location; `None` until labelled by evaluation code.
+    pub label: Option<usize>,
+    /// Distance (m) from each candidate to the ground-truth delivery
+    /// location, parallel to `candidates`; set together with `label` and
+    /// consumed by spatially-soft training targets.
+    pub truth_distances: Option<Vec<f64>>,
+}
+
+/// Precomputed inverted indexes shared by all feature computations.
+pub struct FeatureExtractor<'a> {
+    dataset: &'a Dataset,
+    pool: &'a CandidatePool,
+    cfg: FeatureConfig,
+    /// Trips passing through each candidate (unfiltered `L_tr` membership).
+    cand_trips: Vec<HashSet<TripId>>,
+    /// Trips involving each building.
+    building_trips: HashMap<BuildingId, HashSet<TripId>>,
+    /// Trips involving each address.
+    address_trips: HashMap<AddressId, HashSet<TripId>>,
+    n_trips: usize,
+}
+
+impl<'a> FeatureExtractor<'a> {
+    /// Builds the inverted indexes.
+    pub fn new(dataset: &'a Dataset, pool: &'a CandidatePool, cfg: FeatureConfig) -> Self {
+        let mut cand_trips: Vec<HashSet<TripId>> = vec![HashSet::new(); pool.len()];
+        for trip in &dataset.trips {
+            for &(c, _) in pool.visits(trip.id) {
+                cand_trips[c.0 as usize].insert(trip.id);
+            }
+        }
+        let mut building_trips: HashMap<BuildingId, HashSet<TripId>> = HashMap::new();
+        let mut address_trips: HashMap<AddressId, HashSet<TripId>> = HashMap::new();
+        for w in &dataset.waybills {
+            let building = dataset.address(w.address).building;
+            building_trips.entry(building).or_default().insert(w.trip);
+            address_trips.entry(w.address).or_default().insert(w.trip);
+        }
+        Self {
+            dataset,
+            pool,
+            cfg,
+            cand_trips,
+            building_trips,
+            address_trips,
+            n_trips: dataset.trips.len(),
+        }
+    }
+
+    /// The feature configuration in effect.
+    pub fn config(&self) -> &FeatureConfig {
+        &self.cfg
+    }
+
+    /// Trip coverage of candidate `cand` for the trips in `addr_trips`
+    /// (Equation 1).
+    fn trip_coverage(&self, cand: CandidateId, addr_trips: &HashSet<TripId>) -> f64 {
+        if addr_trips.is_empty() {
+            return 0.0;
+        }
+        let hits = addr_trips
+            .iter()
+            .filter(|t| self.cand_trips[cand.0 as usize].contains(t))
+            .count();
+        hits as f64 / addr_trips.len() as f64
+    }
+
+    /// Location commonality of `cand` for an address (Equation 2): the
+    /// fraction of trips *not* involving the address's building (or, in the
+    /// ablation, the address itself) that pass through the candidate.
+    fn location_commonality(&self, cand: CandidateId, address: AddressId) -> f64 {
+        let exclude: &HashSet<TripId> = if self.cfg.lc_address_level {
+            self.address_trips
+                .get(&address)
+                .unwrap_or(&EMPTY_TRIPS)
+        } else {
+            let building = self.dataset.address(address).building;
+            self.building_trips
+                .get(&building)
+                .unwrap_or(&EMPTY_TRIPS)
+        };
+        let denom = self.n_trips - exclude.len();
+        if denom == 0 {
+            return 0.0;
+        }
+        let cand_set = &self.cand_trips[cand.0 as usize];
+        let num = cand_set.len() - cand_set.iter().filter(|t| exclude.contains(t)).count();
+        num as f64 / denom as f64
+    }
+
+    /// Full features for one `(address, candidate)` pair given the address's
+    /// trip set.
+    fn candidate_features(
+        &self,
+        address: AddressId,
+        cand: CandidateId,
+        addr_trips: &HashSet<TripId>,
+    ) -> CandidateFeatures {
+        let c = self.pool.candidate(cand);
+        let geocode = self.dataset.address(address).geocode;
+        CandidateFeatures {
+            trip_coverage: if self.cfg.use_trip_coverage {
+                self.trip_coverage(cand, addr_trips)
+            } else {
+                0.0
+            },
+            location_commonality: if self.cfg.use_location_commonality {
+                self.location_commonality(cand, address)
+            } else {
+                0.0
+            },
+            distance_m: if self.cfg.use_distance {
+                c.pos.distance(&geocode)
+            } else {
+                0.0
+            },
+            avg_duration_s: c.profile.avg_duration_s,
+            n_couriers: c.profile.n_couriers as f64,
+            n_stays: c.profile.n_stays as f64,
+            time_distribution: c.profile.time_distribution,
+        }
+    }
+
+    /// Builds the full [`AddressSample`] for one address (unlabelled).
+    pub fn sample(&self, evidence: &AddressEvidence) -> AddressSample {
+        let candidates = retrieve_candidates(self.pool, evidence);
+        let addr_trips: HashSet<TripId> = evidence.trips.iter().map(|&(t, _)| t).collect();
+        let features = candidates
+            .iter()
+            .map(|&c| self.candidate_features(evidence.address, c, &addr_trips))
+            .collect();
+        let a = self.dataset.address(evidence.address);
+        AddressSample {
+            address: evidence.address,
+            candidates,
+            features,
+            n_deliveries: evidence.trips.len(),
+            poi_category: a.poi_category,
+            geocode: a.geocode,
+            label: None,
+            truth_distances: None,
+        }
+    }
+}
+
+static EMPTY_TRIPS: std::sync::LazyLock<HashSet<TripId>> =
+    std::sync::LazyLock::new(HashSet::new);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::build_pool;
+    use crate::retrieval::collect_evidence;
+    use crate::staypoints::{extract_stay_points, ExtractionConfig};
+    use dlinfma_synth::{generate, Preset, Scale};
+
+    fn world() -> (dlinfma_synth::City, Dataset, CandidatePool, Vec<AddressEvidence>) {
+        let (city, ds) = generate(Preset::DowBJ, Scale::Tiny, 0);
+        let stays = extract_stay_points(&ds, &ExtractionConfig::paper_defaults());
+        let pool = build_pool(&ds, &stays, 40.0);
+        let ev = collect_evidence(&ds);
+        (city, ds, pool, ev)
+    }
+
+    #[test]
+    fn features_are_bounded_and_finite() {
+        let (_, ds, pool, ev) = world();
+        let fx = FeatureExtractor::new(&ds, &pool, FeatureConfig::default());
+        for e in &ev {
+            let s = fx.sample(e);
+            assert_eq!(s.candidates.len(), s.features.len());
+            for f in &s.features {
+                assert!((0.0..=1.0).contains(&f.trip_coverage), "TC {}", f.trip_coverage);
+                assert!(
+                    (0.0..=1.0).contains(&f.location_commonality),
+                    "LC {}",
+                    f.location_commonality
+                );
+                assert!(f.distance_m >= 0.0 && f.distance_m.is_finite());
+                assert!(f.avg_duration_s > 0.0);
+                let v = f.to_vec(fx.config());
+                assert_eq!(v.len(), CandidateFeatures::vec_len(fx.config()));
+                assert!(v.iter().all(|x| x.is_finite()));
+            }
+        }
+    }
+
+    /// The paper's Figure 5 scenario: candidates visited by all of the
+    /// address's trips have TC = 1; one visited by 2 of 3 trips has 2/3.
+    #[test]
+    fn trip_coverage_matches_figure5_arithmetic() {
+        let (_, ds, pool, ev) = world();
+        let fx = FeatureExtractor::new(&ds, &pool, FeatureConfig::default());
+        // Find an address with >= 2 trips and verify TC arithmetic directly
+        // against the inverted index.
+        let e = ev
+            .iter()
+            .find(|e| e.trips.len() >= 2)
+            .expect("some address has multiple deliveries");
+        let s = fx.sample(e);
+        let addr_trips: HashSet<TripId> = e.trips.iter().map(|&(t, _)| t).collect();
+        for (c, f) in s.candidates.iter().zip(&s.features) {
+            let manual = addr_trips
+                .iter()
+                .filter(|&&t| pool.visits(t).iter().any(|&(cc, _)| cc == *c))
+                .count() as f64
+                / addr_trips.len() as f64;
+            assert!((f.trip_coverage - manual).abs() < 1e-12);
+            assert!(f.trip_coverage > 0.0, "retrieved candidates are visited");
+        }
+    }
+
+    /// The paper's Figure 6 argument: a common corridor location visited by
+    /// everyone has high LC; the address's own doorstep has low LC.
+    #[test]
+    fn location_commonality_separates_corridors_from_doorsteps() {
+        let (city, ds, pool, ev) = world();
+        let fx = FeatureExtractor::new(&ds, &pool, FeatureConfig::default());
+        // For each address with a near-truth candidate, compare its LC with
+        // the max LC among retrieved candidates — the doorstep should not be
+        // the most common location on average.
+        let mut doorstep_lc = Vec::new();
+        let mut max_lc = Vec::new();
+        for e in &ev {
+            let gt = city.addresses[e.address.0 as usize].true_delivery_location;
+            let s = fx.sample(e);
+            if s.candidates.is_empty() {
+                continue;
+            }
+            let nearest = s
+                .candidates
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    pool.candidate(**a)
+                        .pos
+                        .distance(&gt)
+                        .partial_cmp(&pool.candidate(**b).pos.distance(&gt))
+                        .unwrap()
+                })
+                .map(|(i, _)| i)
+                .unwrap();
+            if pool.candidate(s.candidates[nearest]).pos.distance(&gt) > 30.0 {
+                continue;
+            }
+            if city.addresses[e.address.0 as usize].true_spot_kind
+                != dlinfma_synth::DeliverySpotKind::Doorstep
+            {
+                continue; // lockers/receptions are legitimately common
+            }
+            doorstep_lc.push(s.features[nearest].location_commonality);
+            max_lc.push(
+                s.features
+                    .iter()
+                    .map(|f| f.location_commonality)
+                    .fold(0.0, f64::max),
+            );
+        }
+        assert!(!doorstep_lc.is_empty());
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&doorstep_lc) < mean(&max_lc),
+            "doorstep LC {} !< max LC {}",
+            mean(&doorstep_lc),
+            mean(&max_lc)
+        );
+    }
+
+    #[test]
+    fn ablation_switches_shrink_the_vector() {
+        let full = FeatureConfig::default();
+        let no_profile = FeatureConfig {
+            use_profile: false,
+            ..full
+        };
+        let no_tc = FeatureConfig {
+            use_trip_coverage: false,
+            ..full
+        };
+        assert_eq!(CandidateFeatures::vec_len(&full), 6 + TIME_BINS);
+        assert_eq!(CandidateFeatures::vec_len(&no_profile), 3);
+        assert_eq!(
+            CandidateFeatures::vec_len(&no_tc),
+            CandidateFeatures::vec_len(&full) - 1
+        );
+    }
+
+    #[test]
+    fn address_level_lc_is_at_least_building_level() {
+        // Excluding fewer trips (address < building) leaves more trips in
+        // the denominator and numerator; the variant must still be bounded
+        // and generally differ.
+        let (_, ds, pool, ev) = world();
+        let fx_b = FeatureExtractor::new(&ds, &pool, FeatureConfig::default());
+        let fx_a = FeatureExtractor::new(
+            &ds,
+            &pool,
+            FeatureConfig {
+                lc_address_level: true,
+                ..FeatureConfig::default()
+            },
+        );
+        let mut any_diff = false;
+        for e in ev.iter().take(30) {
+            let sb = fx_b.sample(e);
+            let sa = fx_a.sample(e);
+            for (fb, fa) in sb.features.iter().zip(&sa.features) {
+                assert!((0.0..=1.0).contains(&fa.location_commonality));
+                if (fb.location_commonality - fa.location_commonality).abs() > 1e-12 {
+                    any_diff = true;
+                }
+            }
+        }
+        assert!(any_diff, "LC variants should differ somewhere");
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! DLInfMA — Delivery Location Inference under Mis-Annotation.
+//!
+//! The primary contribution of *"Discovering Actual Delivery Locations from
+//! Mis-Annotated Couriers' Trajectories"* (Ruan et al., ICDE 2022),
+//! implemented end to end:
+//!
+//! 1. **Location candidate generation** — [`staypoints`] extracts stay
+//!    points from noise-filtered trajectories; [`candidates`] clusters them
+//!    into a profiled candidate pool (one-shot or bi-weekly incremental);
+//!    [`retrieval`] filters per-address candidates with the recorded
+//!    delivery time as a temporal upper bound.
+//! 2. **Delivery location discovery** — [`features`] computes the matching
+//!    (trip coverage, location commonality, distance), profile and address
+//!    features; [`locmatcher`] selects the delivery location with a
+//!    transformer encoder over all candidates jointly plus an additive
+//!    attention conditioned on the address context.
+//!
+//! [`DlInfMa`] in [`pipeline`] wires both components into the public API.
+
+pub mod candidates;
+pub mod features;
+pub mod locmatcher;
+pub mod pipeline;
+pub mod retrieval;
+pub mod staypoints;
+
+pub use candidates::{
+    build_pool, build_pool_grid, build_pool_incremental, build_pool_station_parallel, CandidateId, CandidatePool, IncrementalPoolBuilder,
+    LocationCandidate, LocationProfile, TIME_BINS,
+};
+pub use features::{AddressSample, CandidateFeatures, FeatureConfig, FeatureExtractor};
+pub use locmatcher::{LocMatcher, LocMatcherConfig, TrainReport};
+pub use pipeline::{DlInfMa, DlInfMaConfig, PoolMethod};
+pub use retrieval::{collect_evidence, retrieve_candidates, AddressEvidence};
+pub use staypoints::{
+    extract_stay_points, extract_stay_points_parallel, ExtractionConfig, TripStays,
+};

@@ -1,0 +1,193 @@
+//! Location candidate retrieval (pipeline step III-C).
+//!
+//! For an address, the candidates are the union — over all trips that
+//! delivered to it — of the candidates the trip visited *no later than* the
+//! recorded delivery time of the address's waybill in that trip. The
+//! recorded time is a temporal upper bound: a delayed confirmation can only
+//! push the bound later, so the actual delivery location always remains in
+//! the retrieved set (the key robustness property versus annotation-based
+//! methods).
+
+use crate::candidates::{CandidateId, CandidatePool};
+use dlinfma_synth::{AddressId, Dataset, TripId};
+use std::collections::HashMap;
+
+/// Precomputed per-address delivery evidence: the trips that served it and
+/// the recorded-time bound in each.
+#[derive(Debug, Clone)]
+pub struct AddressEvidence {
+    /// The address.
+    pub address: AddressId,
+    /// `(trip, recorded delivery time bound)` — if several waybills for the
+    /// address share a trip, the latest recorded time is the bound.
+    pub trips: Vec<(TripId, f64)>,
+}
+
+/// Builds evidence for every address that appears in at least one waybill.
+pub fn collect_evidence(dataset: &Dataset) -> Vec<AddressEvidence> {
+    let mut per_addr: HashMap<AddressId, HashMap<TripId, f64>> = HashMap::new();
+    for w in &dataset.waybills {
+        let bound = per_addr
+            .entry(w.address)
+            .or_default()
+            .entry(w.trip)
+            .or_insert(f64::NEG_INFINITY);
+        *bound = bound.max(w.t_recorded_delivery);
+    }
+    let mut out: Vec<AddressEvidence> = per_addr
+        .into_iter()
+        .map(|(address, trips)| {
+            let mut trips: Vec<(TripId, f64)> = trips.into_iter().collect();
+            trips.sort_by_key(|(t, _)| *t);
+            AddressEvidence { address, trips }
+        })
+        .collect();
+    out.sort_by_key(|e| e.address);
+    out
+}
+
+/// Retrieves the candidate set of one address: the union over its trips of
+/// candidates visited at or before the recorded-time bound.
+///
+/// Candidates visited by only *some* of the trips are kept (the paper keeps
+/// them to tolerate GPS noise). The result is sorted by id and deduplicated.
+pub fn retrieve_candidates(pool: &CandidatePool, evidence: &AddressEvidence) -> Vec<CandidateId> {
+    let mut out: Vec<CandidateId> = Vec::new();
+    for &(trip, bound) in &evidence.trips {
+        for &(cand, t) in pool.visits(trip) {
+            if t <= bound {
+                out.push(cand);
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::build_pool;
+    use crate::staypoints::{extract_stay_points, ExtractionConfig};
+    use dlinfma_synth::{generate, DelayConfig, Preset, Scale};
+
+    fn world(
+        seed: u64,
+    ) -> (
+        dlinfma_synth::City,
+        Dataset,
+        CandidatePool,
+        Vec<AddressEvidence>,
+    ) {
+        let (city, ds) = generate(Preset::DowBJ, Scale::Tiny, seed);
+        let stays = extract_stay_points(&ds, &ExtractionConfig::paper_defaults());
+        let pool = build_pool(&ds, &stays, 40.0);
+        let ev = collect_evidence(&ds);
+        (city, ds, pool, ev)
+    }
+
+    #[test]
+    fn evidence_covers_every_delivered_address_once() {
+        let (_, ds, _, ev) = world(0);
+        let mut delivered: Vec<u32> = ds.waybills.iter().map(|w| w.address.0).collect();
+        delivered.sort_unstable();
+        delivered.dedup();
+        let got: Vec<u32> = ev.iter().map(|e| e.address.0).collect();
+        assert_eq!(got, delivered);
+    }
+
+    #[test]
+    fn bounds_are_the_latest_recorded_time_per_trip() {
+        let (_, ds, _, ev) = world(1);
+        for e in &ev {
+            for &(trip, bound) in &e.trips {
+                let max = ds
+                    .waybills
+                    .iter()
+                    .filter(|w| w.address == e.address && w.trip == trip)
+                    .map(|w| w.t_recorded_delivery)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                assert_eq!(bound, max);
+            }
+        }
+    }
+
+    #[test]
+    fn retrieval_respects_temporal_upper_bound() {
+        let (_, _, pool, ev) = world(2);
+        for e in ev.iter().take(20) {
+            let cands = retrieve_candidates(&pool, e);
+            for &c in &cands {
+                // Must be visited at or before the bound in at least one trip.
+                let ok = e.trips.iter().any(|&(trip, bound)| {
+                    pool.visits(trip).iter().any(|&(cc, t)| cc == c && t <= bound)
+                });
+                assert!(ok, "candidate {c:?} visited only after the bound");
+            }
+        }
+    }
+
+    #[test]
+    fn retrieved_set_contains_a_candidate_near_truth_for_most_addresses() {
+        let (city, _, pool, ev) = world(3);
+        let mut hit = 0;
+        for e in &ev {
+            let gt = city.addresses[e.address.0 as usize].true_delivery_location;
+            let cands = retrieve_candidates(&pool, e);
+            if cands
+                .iter()
+                .any(|&c| pool.candidate(c).pos.distance(&gt) < 30.0)
+            {
+                hit += 1;
+            }
+        }
+        assert!(
+            hit * 10 >= ev.len() * 8,
+            "{hit}/{} addresses retrievable",
+            ev.len()
+        );
+    }
+
+    #[test]
+    fn heavier_delays_never_shrink_the_candidate_set() {
+        // The recorded time only moves later under delays, so the retrieved
+        // set can only grow — the property that makes the method robust.
+        let (_, ds_base) = generate(Preset::DowBJ, Scale::Tiny, 4);
+        let mut light = ds_base.clone();
+        let mut heavy = ds_base.clone();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        use rand::SeedableRng;
+        dlinfma_synth::inject_delays(&mut light, &DelayConfig::sweep(0.0), &mut rng);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        dlinfma_synth::inject_delays(&mut heavy, &DelayConfig::sweep(1.0), &mut rng);
+
+        let stays = extract_stay_points(&light, &ExtractionConfig::paper_defaults());
+        let pool = build_pool(&light, &stays, 40.0);
+
+        let ev_light = collect_evidence(&light);
+        let ev_heavy = collect_evidence(&heavy);
+        for (el, eh) in ev_light.iter().zip(&ev_heavy) {
+            assert_eq!(el.address, eh.address);
+            let cl = retrieve_candidates(&pool, el);
+            let ch = retrieve_candidates(&pool, eh);
+            for c in &cl {
+                assert!(
+                    ch.contains(c),
+                    "delay removed candidate {c:?} from {:?}",
+                    el.address
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_evidence_yields_empty_candidates() {
+        let (_, _, pool, _) = world(5);
+        let e = AddressEvidence {
+            address: AddressId(0),
+            trips: vec![],
+        };
+        assert!(retrieve_candidates(&pool, &e).is_empty());
+    }
+}

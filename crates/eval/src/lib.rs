@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! Evaluation harness for the DLInfMA reproduction.
+//!
+//! * [`metrics`] — MAE, P95 and β_δ (Section V-B);
+//! * [`world`] — a shared experiment fixture (generated world + prepared
+//!   pipeline + annotations + ground truth);
+//! * [`methods`] — the full method registry of Tables II/III, with
+//!   [`methods::evaluate`] producing per-method metrics;
+//! * [`stats`] — Table I statistics and the Figure 9 distributions;
+//! * [`report`] — plain-text table/series rendering used by the benches.
+
+pub mod aggregate;
+pub mod methods;
+pub mod metrics;
+pub mod report;
+pub mod stats;
+pub mod world;
+
+pub use aggregate::evaluate_mean;
+pub use methods::{evaluate, evaluate_errors, Ablation, Method, MethodResult};
+pub use metrics::{percentile, Metrics, BETA_DELTA_M};
+pub use report::{render_metrics_table, render_series};
+pub use stats::{
+    building_location_distribution, candidates_per_address, dataset_stats,
+    deliveries_per_address, multi_location_building_fraction, stays_per_trip, DatasetStats,
+};
+pub use world::ExperimentWorld;

@@ -1,0 +1,149 @@
+//! Evaluation metrics (Section V-B): MAE, P95 and β_δ.
+
+/// Distance threshold (meters) for the headline β metric; the paper uses
+/// δ = 50 m following its reference [20].
+pub const BETA_DELTA_M: f64 = 50.0;
+
+/// Aggregated inference-error metrics over a set of addresses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// Mean absolute error in meters (Equation 6).
+    pub mae: f64,
+    /// 95th-percentile error in meters (bad-case behaviour).
+    pub p95: f64,
+    /// Percentage of addresses with error below 50 m (Equation 7).
+    pub beta50: f64,
+    /// Number of evaluated addresses.
+    pub n: usize,
+}
+
+impl Metrics {
+    /// Computes all metrics from per-address errors (meters).
+    ///
+    /// Returns `None` for an empty error set.
+    pub fn from_errors(errors: &[f64]) -> Option<Metrics> {
+        if errors.is_empty() {
+            return None;
+        }
+        let n = errors.len();
+        let mae = errors.iter().sum::<f64>() / n as f64;
+        let beta50 =
+            errors.iter().filter(|&&e| e < BETA_DELTA_M).count() as f64 / n as f64 * 100.0;
+        Some(Metrics {
+            mae,
+            p95: percentile(errors, 0.95),
+            beta50,
+            n,
+        })
+    }
+}
+
+/// The `q`-quantile of `values` using linear interpolation between order
+/// statistics (the same convention as numpy's default).
+///
+/// # Panics
+/// Panics on an empty slice or `q` outside `[0, 1]`.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_errors_is_none() {
+        assert!(Metrics::from_errors(&[]).is_none());
+    }
+
+    #[test]
+    fn single_error() {
+        let m = Metrics::from_errors(&[30.0]).unwrap();
+        assert_eq!(m.mae, 30.0);
+        assert_eq!(m.p95, 30.0);
+        assert_eq!(m.beta50, 100.0);
+        assert_eq!(m.n, 1);
+    }
+
+    #[test]
+    fn known_values() {
+        let errors: Vec<f64> = (1..=100).map(f64::from).collect();
+        let m = Metrics::from_errors(&errors).unwrap();
+        assert!((m.mae - 50.5).abs() < 1e-9);
+        // Linear interpolation: 0.95 * 99 = 94.05 -> between 95 and 96.
+        assert!((m.p95 - 95.05).abs() < 1e-9);
+        assert_eq!(m.beta50, 49.0); // 1..=49 are < 50
+    }
+
+    #[test]
+    fn beta_boundary_is_strict() {
+        let m = Metrics::from_errors(&[49.999, 50.0, 50.001]).unwrap();
+        assert!((m.beta50 - 100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_extremes() {
+        let v = [3.0, 1.0, 2.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 3.0);
+        assert_eq!(percentile(&v, 0.5), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile(&[], 0.5);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn metrics_are_bounded_by_the_errors(
+                errors in proptest::collection::vec(0.0..5_000.0f64, 1..200)
+            ) {
+                let m = Metrics::from_errors(&errors).unwrap();
+                let min = errors.iter().copied().fold(f64::MAX, f64::min);
+                let max = errors.iter().copied().fold(f64::MIN, f64::max);
+                prop_assert!(m.mae >= min - 1e-9 && m.mae <= max + 1e-9);
+                prop_assert!(m.p95 >= min - 1e-9 && m.p95 <= max + 1e-9);
+                prop_assert!((0.0..=100.0).contains(&m.beta50));
+                prop_assert_eq!(m.n, errors.len());
+            }
+
+            #[test]
+            fn percentile_monotone_in_q(
+                values in proptest::collection::vec(-100.0..100.0f64, 1..80),
+                q1 in 0.0..1.0f64,
+                q2 in 0.0..1.0f64,
+            ) {
+                let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+                prop_assert!(percentile(&values, lo) <= percentile(&values, hi) + 1e-9);
+            }
+
+            #[test]
+            fn percentile_is_order_invariant(
+                mut values in proptest::collection::vec(-100.0..100.0f64, 1..60),
+                q in 0.0..1.0f64,
+            ) {
+                let before = percentile(&values, q);
+                values.reverse();
+                prop_assert!((percentile(&values, q) - before).abs() < 1e-9);
+            }
+        }
+    }
+}

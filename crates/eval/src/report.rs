@@ -1,0 +1,79 @@
+//! Plain-text table rendering for experiment outputs.
+
+use crate::methods::MethodResult;
+
+/// Renders a Table II/III-style block: one row per method with
+/// MAE / P95 / β50 columns.
+pub fn render_metrics_table(title: &str, results: &[MethodResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str(&format!(
+        "{:<18} {:>10} {:>10} {:>8} {:>6}\n",
+        "Method", "MAE (m)", "P95 (m)", "β50 (%)", "N"
+    ));
+    for r in results {
+        out.push_str(&format!(
+            "{:<18} {:>10.1} {:>10.1} {:>8.1} {:>6}\n",
+            r.name, r.metrics.mae, r.metrics.p95, r.metrics.beta50, r.metrics.n
+        ));
+    }
+    out
+}
+
+/// Renders a two-column numeric series (figures): `label, value` rows.
+pub fn render_series(title: &str, x_label: &str, y_label: &str, rows: &[(String, f64)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str(&format!("{x_label:<20} {y_label:>12}\n"));
+    for (x, y) in rows {
+        out.push_str(&format!("{x:<20} {y:>12.2}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+
+    #[test]
+    fn table_renders_every_row() {
+        let results = vec![
+            MethodResult {
+                name: "Geocoding",
+                metrics: Metrics {
+                    mae: 101.5,
+                    p95: 300.0,
+                    beta50: 40.0,
+                    n: 100,
+                },
+            },
+            MethodResult {
+                name: "DLInfMA",
+                metrics: Metrics {
+                    mae: 20.0,
+                    p95: 80.0,
+                    beta50: 84.1,
+                    n: 100,
+                },
+            },
+        ];
+        let s = render_metrics_table("SynthDowBJ", &results);
+        assert!(s.contains("SynthDowBJ"));
+        assert!(s.contains("Geocoding"));
+        assert!(s.contains("DLInfMA"));
+        assert!(s.contains("84.1"));
+    }
+
+    #[test]
+    fn series_renders() {
+        let s = render_series(
+            "Fig 10(a)",
+            "D (m)",
+            "MAE (m)",
+            &[("20".into(), 31.0), ("40".into(), 24.5)],
+        );
+        assert!(s.contains("Fig 10(a)"));
+        assert!(s.contains("24.50"));
+    }
+}

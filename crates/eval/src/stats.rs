@@ -1,0 +1,187 @@
+//! Dataset statistics: Table I and the four Figure 9 distributions.
+
+use dlinfma_core::{AddressSample, CandidatePool};
+use dlinfma_synth::{Dataset, DeliverySpotKind};
+use std::collections::HashMap;
+
+/// Table I-style summary of one dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetStats {
+    /// Number of addresses with at least one delivery.
+    pub n_addresses: usize,
+    /// Number of delivery trips.
+    pub n_trips: usize,
+    /// Number of waybills.
+    pub n_waybills: usize,
+    /// Number of GPS fixes across all trajectories.
+    pub n_gps_points: usize,
+    /// Number of buildings with at least one delivered address.
+    pub n_buildings: usize,
+    /// Mean GPS sampling interval, seconds.
+    pub mean_sampling_s: f64,
+}
+
+/// Computes the Table I summary.
+pub fn dataset_stats(dataset: &Dataset) -> DatasetStats {
+    let mut delivered: Vec<u32> = dataset.waybills.iter().map(|w| w.address.0).collect();
+    delivered.sort_unstable();
+    delivered.dedup();
+    let mut buildings: Vec<u32> = delivered
+        .iter()
+        .map(|&a| dataset.addresses[a as usize].building.0)
+        .collect();
+    buildings.sort_unstable();
+    buildings.dedup();
+    let intervals: Vec<f64> = dataset
+        .trips
+        .iter()
+        .filter_map(|t| t.trajectory.mean_sampling_interval())
+        .collect();
+    DatasetStats {
+        n_addresses: delivered.len(),
+        n_trips: dataset.trips.len(),
+        n_waybills: dataset.waybills.len(),
+        n_gps_points: dataset.total_gps_points(),
+        n_buildings: buildings.len(),
+        mean_sampling_s: intervals.iter().sum::<f64>() / intervals.len().max(1) as f64,
+    }
+}
+
+/// Figure 9(a): distribution of the number of *distinct delivery locations*
+/// per building. Returns `counts[k]` = number of buildings with `k + 1`
+/// distinct locations (two locations are distinct when > 10 m apart).
+pub fn building_location_distribution(dataset: &Dataset) -> Vec<usize> {
+    let mut per_building: HashMap<u32, Vec<dlinfma_geo::Point>> = HashMap::new();
+    for a in &dataset.addresses {
+        // Distinctness is defined on ground-truth spots; lockers shared by
+        // several addresses count once.
+        let locs = per_building.entry(a.building.0).or_default();
+        if !locs
+            .iter()
+            .any(|l| l.distance(&a.true_delivery_location) <= 10.0)
+        {
+            locs.push(a.true_delivery_location);
+        }
+        let _ = DeliverySpotKind::Doorstep; // spot kinds feed the narrative only
+    }
+    let max = per_building.values().map(Vec::len).max().unwrap_or(0);
+    let mut counts = vec![0usize; max];
+    for locs in per_building.values() {
+        counts[locs.len() - 1] += 1;
+    }
+    counts
+}
+
+/// Fraction of buildings with more than one distinct delivery location
+/// (the paper reports >22% for DowBJ and >14% for SubBJ).
+pub fn multi_location_building_fraction(dataset: &Dataset) -> f64 {
+    let dist = building_location_distribution(dataset);
+    let total: usize = dist.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let multi: usize = dist.iter().skip(1).sum();
+    multi as f64 / total as f64
+}
+
+/// Figure 9(b): deliveries per address, as a sorted vector (one entry per
+/// address) from which cumulative distributions are derived.
+pub fn deliveries_per_address(dataset: &Dataset) -> Vec<usize> {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for w in &dataset.waybills {
+        *counts.entry(w.address.0).or_default() += 1;
+    }
+    let mut v: Vec<usize> = counts.into_values().collect();
+    v.sort_unstable();
+    v
+}
+
+/// Figure 9(c): stay points per trip (one entry per trip).
+pub fn stays_per_trip(stays: &[dlinfma_core::TripStays]) -> Vec<usize> {
+    stays.iter().map(|t| t.stays.len()).collect()
+}
+
+/// Figure 9(d): retrieved candidates per address (one entry per sample).
+pub fn candidates_per_address(samples: &[AddressSample]) -> Vec<usize> {
+    samples.iter().map(|s| s.candidates.len()).collect()
+}
+
+/// Mean of an integer distribution.
+pub fn mean(v: &[usize]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.iter().sum::<usize>() as f64 / v.len() as f64
+}
+
+/// Median of a *sorted* integer distribution.
+pub fn median_sorted(v: &[usize]) -> usize {
+    if v.is_empty() {
+        0
+    } else {
+        v[v.len() / 2]
+    }
+}
+
+/// Average number of candidates per address straight from a pool + samples.
+pub fn mean_candidates(samples: &[AddressSample], _pool: &CandidatePool) -> f64 {
+    mean(&candidates_per_address(samples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlinfma_core::{extract_stay_points, DlInfMa, DlInfMaConfig, ExtractionConfig};
+    use dlinfma_synth::{generate, Preset, Scale};
+
+    #[test]
+    fn table1_stats_are_consistent() {
+        let (_, ds) = generate(Preset::DowBJ, Scale::Tiny, 0);
+        let s = dataset_stats(&ds);
+        assert!(s.n_addresses > 0);
+        assert_eq!(s.n_trips, ds.trips.len());
+        assert_eq!(s.n_waybills, ds.waybills.len());
+        assert!(s.n_buildings <= s.n_addresses);
+        assert!((10.0..18.0).contains(&s.mean_sampling_s));
+    }
+
+    #[test]
+    fn fig9a_multi_location_buildings_exist() {
+        let (_, ds) = generate(Preset::DowBJ, Scale::Tiny, 1);
+        let frac = multi_location_building_fraction(&ds);
+        assert!(
+            frac > 0.1,
+            "expected >10% multi-location buildings, got {frac:.2}"
+        );
+        let dist = building_location_distribution(&ds);
+        assert!(!dist.is_empty());
+        assert!(dist[0] > 0, "some buildings have exactly one location");
+    }
+
+    #[test]
+    fn fig9b_distribution_is_sorted_and_heavy_tailed() {
+        let (_, ds) = generate(Preset::DowBJ, Scale::Tiny, 2);
+        let d = deliveries_per_address(&ds);
+        assert!(d.windows(2).all(|w| w[0] <= w[1]));
+        assert!(*d.last().unwrap() >= median_sorted(&d) * 2);
+    }
+
+    #[test]
+    fn fig9cd_counts() {
+        let (_, ds) = generate(Preset::DowBJ, Scale::Tiny, 3);
+        let stays = extract_stay_points(&ds, &ExtractionConfig::paper_defaults());
+        let per_trip = stays_per_trip(&stays);
+        assert_eq!(per_trip.len(), ds.trips.len());
+
+        let dlinfma = DlInfMa::prepare(&ds, DlInfMaConfig::fast());
+        let samples: Vec<_> = dlinfma.samples().cloned().collect();
+        let per_addr = candidates_per_address(&samples);
+        // At Tiny scale an address is only served by 1-2 trips, so its
+        // candidate union is roughly the before-confirmation half of one
+        // trip's stays; the paper's full Figure 9(d) relation (candidates
+        // per address > stays per trip) emerges at larger scales and is
+        // checked by the figure9 bench.
+        assert!(mean(&per_addr) > 0.0);
+        assert!(mean(&per_addr) >= mean(&per_trip) * 0.3);
+    }
+}

@@ -1,0 +1,134 @@
+//! A shared experiment fixture: one generated world with the DLInfMA
+//! pipeline prepared, labelled, and split, plus the annotation view the
+//! annotation-based baselines consume.
+
+use dlinfma_baselines::AnnotatedLocations;
+use dlinfma_core::{AddressSample, DlInfMa, DlInfMaConfig};
+use dlinfma_geo::Point;
+use dlinfma_synth::{
+    generate_with, spatial_split, AddressId, City, Dataset, Preset, Scale, Split, WorldConfig,
+};
+use std::collections::HashMap;
+
+/// Everything an experiment needs, built once per dataset.
+pub struct ExperimentWorld {
+    /// The generated city (carries ground truth).
+    pub city: City,
+    /// The simulated dataset.
+    pub dataset: Dataset,
+    /// Spatially-disjoint train/val/test address split.
+    pub split: Split,
+    /// Prepared (and labelled, but untrained) DLInfMA pipeline.
+    pub dlinfma: DlInfMa,
+    /// Annotated locations for annotation-based baselines.
+    pub ann: AnnotatedLocations,
+    /// Ground-truth delivery locations per address.
+    pub gt: HashMap<AddressId, Point>,
+}
+
+impl ExperimentWorld {
+    /// Builds a world from a preset at a scale, with the clustering
+    /// distance `D` at the preset's Figure 10(a) optimum (30 m for
+    /// SynthDowBJ, 40 m for SynthSubBJ — the same selection procedure the
+    /// paper runs, which lands on 40 m for its real datasets).
+    pub fn build(preset: Preset, scale: Scale, seed: u64) -> Self {
+        let mut cfg = DlInfMaConfig::fast();
+        cfg.clustering_distance_m = match preset {
+            Preset::DowBJ => 30.0,
+            Preset::SubBJ => 40.0,
+        };
+        Self::build_from(&dlinfma_synth::world_config(preset, scale), seed, cfg)
+    }
+
+    /// Builds from an explicit world + pipeline configuration (parameter
+    /// sweeps).
+    pub fn build_from(cfg: &WorldConfig, seed: u64, pipeline_cfg: DlInfMaConfig) -> Self {
+        let (city, dataset) = generate_with(cfg, seed);
+        let split = spatial_split(&dataset, 0.6, 0.2);
+        let mut dlinfma = DlInfMa::prepare(&dataset, pipeline_cfg);
+        dlinfma.label_from_dataset(&dataset);
+        let ann = AnnotatedLocations::from_dataset(&dataset);
+        let gt = city
+            .addresses
+            .iter()
+            .map(|a| (a.id, a.true_delivery_location))
+            .collect();
+        Self {
+            city,
+            dataset,
+            split,
+            dlinfma,
+            ann,
+            gt,
+        }
+    }
+
+    /// Labelled samples of the training split.
+    pub fn train_samples(&self) -> Vec<AddressSample> {
+        self.samples_of(&self.split.train)
+    }
+
+    /// Labelled samples of the validation split.
+    pub fn val_samples(&self) -> Vec<AddressSample> {
+        self.samples_of(&self.split.val)
+    }
+
+    /// Labelled samples of the test split.
+    pub fn test_samples(&self) -> Vec<AddressSample> {
+        self.samples_of(&self.split.test)
+    }
+
+    fn samples_of(&self, ids: &[AddressId]) -> Vec<AddressSample> {
+        ids.iter()
+            .filter_map(|a| self.dlinfma.sample(*a).cloned())
+            .collect()
+    }
+
+    /// Ground truth of one address.
+    pub fn truth(&self, addr: AddressId) -> Point {
+        self.gt[&addr]
+    }
+
+    /// Per-address error of a prediction function over the test split, with
+    /// the deployment fallback (geocode) for addresses the method cannot
+    /// answer.
+    pub fn test_errors(&self, mut infer: impl FnMut(AddressId) -> Option<Point>) -> Vec<f64> {
+        self.split
+            .test
+            .iter()
+            .map(|&a| {
+                let p = infer(a).unwrap_or_else(|| self.dataset.address(a).geocode);
+                p.distance(&self.truth(a))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_builds_and_labels() {
+        let w = ExperimentWorld::build(Preset::DowBJ, Scale::Tiny, 0);
+        assert!(!w.split.test.is_empty());
+        let labelled = w
+            .train_samples()
+            .iter()
+            .filter(|s| s.label.is_some())
+            .count();
+        assert!(labelled > 0, "training samples must be labelled");
+    }
+
+    #[test]
+    fn test_errors_fall_back_to_geocode() {
+        let w = ExperimentWorld::build(Preset::DowBJ, Scale::Tiny, 1);
+        let errors = w.test_errors(|_| None);
+        assert_eq!(errors.len(), w.split.test.len());
+        // Falls back to geocode: errors equal geocode errors.
+        for (e, &a) in errors.iter().zip(&w.split.test) {
+            let geo_err = w.dataset.address(a).geocode.distance(&w.truth(a));
+            assert!((e - geo_err).abs() < 1e-9);
+        }
+    }
+}

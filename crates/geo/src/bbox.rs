@@ -1,0 +1,173 @@
+//! Axis-aligned bounding boxes in the local metric frame.
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box. `min` is the south-west corner, `max` the
+/// north-east corner; both are inclusive.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BBox {
+    /// South-west (minimum x and y) corner.
+    pub min: Point,
+    /// North-east (maximum x and y) corner.
+    pub max: Point,
+}
+
+impl BBox {
+    /// Creates a bounding box from two corners, swapping coordinates so the
+    /// result is always well-formed.
+    pub fn new(a: Point, b: Point) -> Self {
+        Self {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// The tightest box containing every point, or `None` for an empty slice.
+    pub fn from_points(points: &[Point]) -> Option<Self> {
+        let first = *points.first()?;
+        let mut bb = BBox::new(first, first);
+        for p in &points[1..] {
+            bb.expand(p);
+        }
+        Some(bb)
+    }
+
+    /// Grows the box in place so it contains `p`.
+    pub fn expand(&mut self, p: &Point) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    /// Returns a copy grown by `margin` meters on every side.
+    pub fn inflated(&self, margin: f64) -> Self {
+        Self {
+            min: Point::new(self.min.x - margin, self.min.y - margin),
+            max: Point::new(self.max.x + margin, self.max.y + margin),
+        }
+    }
+
+    /// True when `p` lies inside the box (boundary inclusive).
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// True when the two boxes share any point.
+    pub fn intersects(&self, other: &BBox) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+    }
+
+    /// Width (east-west extent) in meters.
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height (north-south extent) in meters.
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Center of the box.
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min.x + self.max.x) / 2.0,
+            (self.min.y + self.max.y) / 2.0,
+        )
+    }
+
+    /// Minimum distance from `p` to the box (zero if `p` is inside).
+    pub fn distance_to_point(&self, p: &Point) -> f64 {
+        let dx = (self.min.x - p.x).max(0.0).max(p.x - self.max.x);
+        let dy = (self.min.y - p.y).max(0.0).max(p.y - self.max.y);
+        dx.hypot(dy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn new_normalizes_corners() {
+        let bb = BBox::new(Point::new(5.0, -1.0), Point::new(-2.0, 3.0));
+        assert_eq!(bb.min, Point::new(-2.0, -1.0));
+        assert_eq!(bb.max, Point::new(5.0, 3.0));
+    }
+
+    #[test]
+    fn from_points_matches_extremes() {
+        let pts = [
+            Point::new(1.0, 4.0),
+            Point::new(-3.0, 2.0),
+            Point::new(0.0, -5.0),
+        ];
+        let bb = BBox::from_points(&pts).unwrap();
+        assert_eq!(bb.min, Point::new(-3.0, -5.0));
+        assert_eq!(bb.max, Point::new(1.0, 4.0));
+    }
+
+    #[test]
+    fn from_points_empty_is_none() {
+        assert!(BBox::from_points(&[]).is_none());
+    }
+
+    #[test]
+    fn contains_boundary() {
+        let bb = BBox::new(Point::ZERO, Point::new(10.0, 10.0));
+        assert!(bb.contains(&Point::new(0.0, 0.0)));
+        assert!(bb.contains(&Point::new(10.0, 10.0)));
+        assert!(bb.contains(&Point::new(5.0, 5.0)));
+        assert!(!bb.contains(&Point::new(10.01, 5.0)));
+    }
+
+    #[test]
+    fn intersects_cases() {
+        let a = BBox::new(Point::ZERO, Point::new(10.0, 10.0));
+        let b = BBox::new(Point::new(5.0, 5.0), Point::new(15.0, 15.0));
+        let c = BBox::new(Point::new(11.0, 11.0), Point::new(12.0, 12.0));
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        // Touching edges counts as intersecting.
+        let d = BBox::new(Point::new(10.0, 0.0), Point::new(20.0, 10.0));
+        assert!(a.intersects(&d));
+    }
+
+    #[test]
+    fn distance_to_point_inside_is_zero() {
+        let bb = BBox::new(Point::ZERO, Point::new(10.0, 10.0));
+        assert_eq!(bb.distance_to_point(&Point::new(3.0, 7.0)), 0.0);
+    }
+
+    #[test]
+    fn distance_to_point_outside() {
+        let bb = BBox::new(Point::ZERO, Point::new(10.0, 10.0));
+        assert!((bb.distance_to_point(&Point::new(13.0, 14.0)) - 5.0).abs() < 1e-12);
+        assert!((bb.distance_to_point(&Point::new(-4.0, 5.0)) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inflated_grows_every_side() {
+        let bb = BBox::new(Point::ZERO, Point::new(2.0, 2.0)).inflated(1.0);
+        assert_eq!(bb.min, Point::new(-1.0, -1.0));
+        assert_eq!(bb.max, Point::new(3.0, 3.0));
+    }
+
+    proptest! {
+        #[test]
+        fn from_points_contains_all(
+            pts in proptest::collection::vec((-1e4..1e4f64, -1e4..1e4f64).prop_map(|(x, y)| Point::new(x, y)), 1..40)
+        ) {
+            let bb = BBox::from_points(&pts).unwrap();
+            for p in &pts {
+                prop_assert!(bb.contains(p));
+            }
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! GeoHash encoding and decoding.
+//!
+//! The UNet-based baseline of the paper rasterizes annotated locations onto a
+//! 9×9 grid of GeoHash-8 cells (≈ 32 m × 19 m at Beijing's latitude). This
+//! module implements standard base-32 GeoHash with cell arithmetic so the
+//! baseline can locate a center cell and enumerate its neighbourhood.
+
+use crate::latlng::LatLng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+const BASE32: &[u8; 32] = b"0123456789bcdefghjkmnpqrstuvwxyz";
+
+fn base32_index(c: u8) -> Option<u32> {
+    BASE32.iter().position(|&b| b == c.to_ascii_lowercase()).map(|i| i as u32)
+}
+
+/// A GeoHash cell, stored as interleaved bit indices plus a precision.
+///
+/// `lat_bits`/`lng_bits` hold the cell's row/column index at the given
+/// precision, which makes neighbour arithmetic (needed for the 9×9 raster)
+/// exact instead of string-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GeoHash {
+    lat_bits: u64,
+    lng_bits: u64,
+    /// Number of base-32 characters (1..=12).
+    precision: u8,
+}
+
+impl GeoHash {
+    /// Encodes a coordinate at the given precision (number of characters,
+    /// clamped to `1..=12`).
+    pub fn encode(ll: &LatLng, precision: u8) -> Self {
+        let precision = precision.clamp(1, 12);
+        let total_bits = precision as u32 * 5;
+        let lng_nbits = total_bits.div_ceil(2);
+        let lat_nbits = total_bits / 2;
+
+        let lng_frac = (ll.lng + 180.0) / 360.0;
+        let lat_frac = (ll.lat + 90.0) / 180.0;
+        let lng_bits = frac_to_bits(lng_frac, lng_nbits);
+        let lat_bits = frac_to_bits(lat_frac, lat_nbits);
+        Self {
+            lat_bits,
+            lng_bits,
+            precision,
+        }
+    }
+
+    /// Parses a base-32 GeoHash string. Returns `None` on invalid characters
+    /// or unsupported lengths.
+    pub fn from_str_hash(s: &str) -> Option<Self> {
+        if s.is_empty() || s.len() > 12 {
+            return None;
+        }
+        let mut lat_bits: u64 = 0;
+        let mut lng_bits: u64 = 0;
+        let mut even = true; // GeoHash interleaving starts with longitude.
+        for &c in s.as_bytes() {
+            let idx = base32_index(c)?;
+            for shift in (0..5).rev() {
+                let bit = (idx >> shift) & 1;
+                if even {
+                    lng_bits = (lng_bits << 1) | bit as u64;
+                } else {
+                    lat_bits = (lat_bits << 1) | bit as u64;
+                }
+                even = !even;
+            }
+        }
+        Some(Self {
+            lat_bits,
+            lng_bits,
+            precision: s.len() as u8,
+        })
+    }
+
+    /// Number of base-32 characters.
+    pub fn precision(&self) -> u8 {
+        self.precision
+    }
+
+    /// Renders the base-32 string.
+    pub fn to_string_hash(&self) -> String {
+        let total_bits = self.precision as u32 * 5;
+        let lng_nbits = total_bits.div_ceil(2);
+        let lat_nbits = total_bits / 2;
+        let mut chars = Vec::with_capacity(self.precision as usize);
+        let mut acc: u32 = 0;
+        let mut nacc = 0;
+        let mut lng_i = lng_nbits;
+        let mut lat_i = lat_nbits;
+        for i in 0..total_bits {
+            let bit = if i % 2 == 0 {
+                lng_i -= 1;
+                (self.lng_bits >> lng_i) & 1
+            } else {
+                lat_i -= 1;
+                (self.lat_bits >> lat_i) & 1
+            };
+            acc = (acc << 1) | bit as u32;
+            nacc += 1;
+            if nacc == 5 {
+                chars.push(BASE32[acc as usize]);
+                acc = 0;
+                nacc = 0;
+            }
+        }
+        String::from_utf8(chars).expect("base32 output is ASCII")
+    }
+
+    /// The south-west corner and extent of the cell, as
+    /// `(min_lat, min_lng, lat_size, lng_size)` in degrees.
+    pub fn bounds(&self) -> (f64, f64, f64, f64) {
+        let total_bits = self.precision as u32 * 5;
+        let lng_nbits = total_bits.div_ceil(2);
+        let lat_nbits = total_bits / 2;
+        let lng_size = 360.0 / (1u64 << lng_nbits) as f64;
+        let lat_size = 180.0 / (1u64 << lat_nbits) as f64;
+        let min_lng = -180.0 + self.lng_bits as f64 * lng_size;
+        let min_lat = -90.0 + self.lat_bits as f64 * lat_size;
+        (min_lat, min_lng, lat_size, lng_size)
+    }
+
+    /// Center of the cell.
+    pub fn center(&self) -> LatLng {
+        let (min_lat, min_lng, lat_size, lng_size) = self.bounds();
+        LatLng::new(min_lat + lat_size / 2.0, min_lng + lng_size / 2.0)
+    }
+
+    /// The cell `d_row` rows north and `d_col` columns east of this one,
+    /// wrapping at the antimeridian and clamping at the poles.
+    pub fn neighbor(&self, d_row: i64, d_col: i64) -> GeoHash {
+        let total_bits = self.precision as u32 * 5;
+        let lng_nbits = total_bits.div_ceil(2);
+        let lat_nbits = total_bits / 2;
+        let lng_cells = 1u64 << lng_nbits;
+        let lat_cells = 1u64 << lat_nbits;
+        let lng = (self.lng_bits as i64 + d_col).rem_euclid(lng_cells as i64) as u64;
+        let lat = (self.lat_bits as i64 + d_row).clamp(0, lat_cells as i64 - 1) as u64;
+        GeoHash {
+            lat_bits: lat,
+            lng_bits: lng,
+            precision: self.precision,
+        }
+    }
+
+    /// Row/column index of the cell at its precision (row 0 at the south pole,
+    /// column 0 at the antimeridian).
+    pub fn cell_index(&self) -> (u64, u64) {
+        (self.lat_bits, self.lng_bits)
+    }
+}
+
+impl fmt::Display for GeoHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string_hash())
+    }
+}
+
+fn frac_to_bits(frac: f64, nbits: u32) -> u64 {
+    let cells = (1u64 << nbits) as f64;
+    let idx = (frac * cells).floor();
+    (idx.max(0.0) as u64).min((1u64 << nbits) - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encodes_known_value() {
+        // Reference value from the original geohash.org implementation.
+        let gh = GeoHash::encode(&LatLng::new(57.64911, 10.40744), 11);
+        assert_eq!(gh.to_string_hash(), "u4pruydqqvj");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let gh = GeoHash::from_str_hash("wx4g0ec1").unwrap();
+        assert_eq!(gh.to_string_hash(), "wx4g0ec1");
+        assert_eq!(gh.precision(), 8);
+    }
+
+    #[test]
+    fn parse_rejects_invalid() {
+        assert!(GeoHash::from_str_hash("").is_none());
+        assert!(GeoHash::from_str_hash("abcai").is_none()); // 'a' and 'i' not in alphabet
+        assert!(GeoHash::from_str_hash("0123456789012").is_none()); // too long
+    }
+
+    #[test]
+    fn center_within_bounds() {
+        let ll = LatLng::new(39.9042, 116.4074);
+        let gh = GeoHash::encode(&ll, 8);
+        let c = gh.center();
+        let (min_lat, min_lng, lat_size, lng_size) = gh.bounds();
+        assert!(c.lat > min_lat && c.lat < min_lat + lat_size);
+        assert!(c.lng > min_lng && c.lng < min_lng + lng_size);
+        // Original point must fall inside its own cell.
+        assert!(ll.lat >= min_lat && ll.lat < min_lat + lat_size);
+        assert!(ll.lng >= min_lng && ll.lng < min_lng + lng_size);
+    }
+
+    #[test]
+    fn geohash8_cell_size_near_beijing() {
+        let gh = GeoHash::encode(&LatLng::new(39.9, 116.4), 8);
+        let (min_lat, min_lng, lat_size, lng_size) = gh.bounds();
+        let sw = LatLng::new(min_lat, min_lng);
+        let se = LatLng::new(min_lat, min_lng + lng_size);
+        let nw = LatLng::new(min_lat + lat_size, min_lng);
+        let w = sw.haversine(&se);
+        let h = sw.haversine(&nw);
+        // Paper: "resolution GeoHash 8 (about 32m x 19m)".
+        assert!((25.0..40.0).contains(&w), "width {w}");
+        assert!((15.0..25.0).contains(&h), "height {h}");
+    }
+
+    #[test]
+    fn neighbor_moves_one_cell() {
+        let gh = GeoHash::encode(&LatLng::new(39.9, 116.4), 8);
+        let east = gh.neighbor(0, 1);
+        let (r0, c0) = gh.cell_index();
+        let (r1, c1) = east.cell_index();
+        assert_eq!(r0, r1);
+        assert_eq!(c0 + 1, c1);
+        let back = east.neighbor(0, -1);
+        assert_eq!(back, gh);
+    }
+
+    #[test]
+    fn neighbor_zero_is_identity() {
+        let gh = GeoHash::encode(&LatLng::new(39.9, 116.4), 8);
+        assert_eq!(gh.neighbor(0, 0), gh);
+    }
+
+    proptest! {
+        #[test]
+        fn string_roundtrip(lat in -85.0..85.0f64, lng in -179.0..179.0f64, prec in 1u8..=12) {
+            let gh = GeoHash::encode(&LatLng::new(lat, lng), prec);
+            let s = gh.to_string_hash();
+            prop_assert_eq!(s.len(), prec as usize);
+            let parsed = GeoHash::from_str_hash(&s).unwrap();
+            prop_assert_eq!(parsed, gh);
+        }
+
+        #[test]
+        fn point_in_own_cell(lat in -85.0..85.0f64, lng in -179.0..179.0f64) {
+            let gh = GeoHash::encode(&LatLng::new(lat, lng), 8);
+            let (min_lat, min_lng, lat_size, lng_size) = gh.bounds();
+            prop_assert!(lat >= min_lat && lat < min_lat + lat_size + 1e-12);
+            prop_assert!(lng >= min_lng && lng < min_lng + lng_size + 1e-12);
+        }
+
+        #[test]
+        fn neighbor_grid_consistent(lat in -60.0..60.0f64, lng in -170.0..170.0f64, dr in -4i64..=4, dc in -4i64..=4) {
+            let gh = GeoHash::encode(&LatLng::new(lat, lng), 8);
+            let n = gh.neighbor(dr, dc);
+            let back = n.neighbor(-dr, -dc);
+            prop_assert_eq!(back, gh);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! A static 2-d tree for nearest-neighbour queries.
+//!
+//! Used where the query set is built once and queried many times, e.g.
+//! snapping ground-truth delivery locations to their nearest location
+//! candidate when labelling training data.
+
+use crate::point::Point;
+
+/// A balanced, immutable k-d tree over `(Point, T)` pairs.
+#[derive(Debug, Clone)]
+pub struct KdTree<T> {
+    nodes: Vec<Node<T>>,
+    root: Option<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    point: Point,
+    value: T,
+    left: Option<usize>,
+    right: Option<usize>,
+    axis: u8,
+}
+
+impl<T> KdTree<T> {
+    /// Builds a balanced tree by recursive median splitting.
+    pub fn build(items: Vec<(Point, T)>) -> Self {
+        let mut tree = KdTree {
+            nodes: Vec::with_capacity(items.len()),
+            root: None,
+        };
+        let mut items = items;
+        tree.root = tree.build_rec(&mut items, 0);
+        tree
+    }
+
+    fn build_rec(&mut self, items: &mut Vec<(Point, T)>, depth: u8) -> Option<usize> {
+        if items.is_empty() {
+            return None;
+        }
+        let axis = depth % 2;
+        let mid = items.len() / 2;
+        items.select_nth_unstable_by(mid, |a, b| {
+            let (ka, kb) = if axis == 0 {
+                (a.0.x, b.0.x)
+            } else {
+                (a.0.y, b.0.y)
+            };
+            ka.partial_cmp(&kb).expect("coordinates must not be NaN")
+        });
+        let mut right_items: Vec<(Point, T)> = items.split_off(mid + 1);
+        let (point, value) = items.pop().expect("mid element exists");
+        let left = self.build_rec(items, depth + 1);
+        let right = self.build_rec(&mut right_items, depth + 1);
+        let idx = self.nodes.len();
+        self.nodes.push(Node {
+            point,
+            value,
+            left,
+            right,
+            axis,
+        });
+        Some(idx)
+    }
+
+    /// Number of stored items.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tree holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Nearest item to `query`, or `None` when empty.
+    pub fn nearest(&self, query: &Point) -> Option<(&Point, &T, f64)> {
+        let root = self.root?;
+        let mut best = (root, self.nodes[root].point.distance_sq(query));
+        self.nearest_rec(root, query, &mut best);
+        let node = &self.nodes[best.0];
+        Some((&node.point, &node.value, best.1.sqrt()))
+    }
+
+    fn nearest_rec(&self, idx: usize, query: &Point, best: &mut (usize, f64)) {
+        let node = &self.nodes[idx];
+        let d2 = node.point.distance_sq(query);
+        if d2 < best.1 {
+            *best = (idx, d2);
+        }
+        let (qk, nk) = if node.axis == 0 {
+            (query.x, node.point.x)
+        } else {
+            (query.y, node.point.y)
+        };
+        let (near, far) = if qk < nk {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
+        if let Some(n) = near {
+            self.nearest_rec(n, query, best);
+        }
+        let plane = qk - nk;
+        if plane * plane < best.1 {
+            if let Some(f) = far {
+                self.nearest_rec(f, query, best);
+            }
+        }
+    }
+
+    /// All items within `radius` of `query`.
+    pub fn within(&self, query: &Point, radius: f64) -> Vec<(&Point, &T)> {
+        let mut out = Vec::new();
+        if let Some(root) = self.root {
+            self.within_rec(root, query, radius, radius * radius, &mut out);
+        }
+        out
+    }
+
+    fn within_rec<'a>(
+        &'a self,
+        idx: usize,
+        query: &Point,
+        radius: f64,
+        r2: f64,
+        out: &mut Vec<(&'a Point, &'a T)>,
+    ) {
+        let node = &self.nodes[idx];
+        if node.point.distance_sq(query) <= r2 {
+            out.push((&node.point, &node.value));
+        }
+        let (qk, nk) = if node.axis == 0 {
+            (query.x, node.point.x)
+        } else {
+            (query.y, node.point.y)
+        };
+        if qk - radius <= nk {
+            if let Some(l) = node.left {
+                self.within_rec(l, query, radius, r2, out);
+            }
+        }
+        if qk + radius >= nk {
+            if let Some(r) = node.right {
+                self.within_rec(r, query, radius, r2, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn empty_tree() {
+        let t = KdTree::<u8>::build(vec![]);
+        assert!(t.is_empty());
+        assert!(t.nearest(&Point::ZERO).is_none());
+        assert!(t.within(&Point::ZERO, 100.0).is_empty());
+    }
+
+    #[test]
+    fn single_node() {
+        let t = KdTree::build(vec![(Point::new(1.0, 1.0), "a")]);
+        let (p, v, d) = t.nearest(&Point::ZERO).unwrap();
+        assert_eq!(*p, Point::new(1.0, 1.0));
+        assert_eq!(*v, "a");
+        assert!((d - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_matches_linear_scan_randomized() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let pts: Vec<(Point, usize)> = (0..500)
+            .map(|i| {
+                (
+                    Point::new(rng.gen_range(-1e3..1e3), rng.gen_range(-1e3..1e3)),
+                    i,
+                )
+            })
+            .collect();
+        let tree = KdTree::build(pts.clone());
+        assert_eq!(tree.len(), 500);
+        for _ in 0..100 {
+            let q = Point::new(rng.gen_range(-1.2e3..1.2e3), rng.gen_range(-1.2e3..1.2e3));
+            let (_, _, d) = tree.nearest(&q).unwrap();
+            let best = pts.iter().map(|(p, _)| p.distance(&q)).fold(f64::MAX, f64::min);
+            assert!((d - best).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn duplicate_points_are_kept() {
+        let p = Point::new(3.0, 3.0);
+        let t = KdTree::build(vec![(p, 1), (p, 2), (p, 3)]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.within(&p, 0.0).len(), 3);
+    }
+
+    proptest! {
+        #[test]
+        fn within_matches_linear_scan(
+            pts in proptest::collection::vec((-300.0..300.0f64, -300.0..300.0f64), 0..80),
+            qx in -350.0..350.0f64, qy in -350.0..350.0f64, r in 0.0..250.0f64,
+        ) {
+            let items: Vec<(Point, usize)> = pts
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| (Point::new(x, y), i))
+                .collect();
+            let tree = KdTree::build(items.clone());
+            let q = Point::new(qx, qy);
+            let mut got: Vec<usize> = tree.within(&q, r).into_iter().map(|(_, v)| *v).collect();
+            got.sort_unstable();
+            let mut want: Vec<usize> = items
+                .iter()
+                .filter(|(p, _)| p.distance(&q) <= r)
+                .map(|(_, i)| *i)
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn nearest_never_beaten_by_scan(
+            pts in proptest::collection::vec((-300.0..300.0f64, -300.0..300.0f64), 1..80),
+            qx in -350.0..350.0f64, qy in -350.0..350.0f64,
+        ) {
+            let items: Vec<(Point, usize)> = pts
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| (Point::new(x, y), i))
+                .collect();
+            let tree = KdTree::build(items.clone());
+            let q = Point::new(qx, qy);
+            let (_, _, d) = tree.nearest(&q).unwrap();
+            let best = items.iter().map(|(p, _)| p.distance(&q)).fold(f64::MAX, f64::min);
+            prop_assert!((d - best).abs() < 1e-9);
+        }
+    }
+}

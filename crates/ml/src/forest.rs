@@ -1,0 +1,175 @@
+//! Random forest of CART trees (bagging + per-split feature subsampling).
+//!
+//! Matches the DLInfMA-RF variant's setting: 400 trees of maximum depth 10,
+//! class weights 8:2.
+
+use crate::matrix::FeatureMatrix;
+use crate::tree::{RegressionTree, TreeConfig};
+use rand::Rng;
+
+/// Random forest hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree growth limits (feature subsampling is derived from
+    /// `max_features`; `None` defaults to `sqrt(n_features)`).
+    pub tree: TreeConfig,
+    /// Class weights `(weight_of_0, weight_of_1)` applied to 0/1 targets.
+    pub class_weights: Option<(f64, f64)>,
+}
+
+impl Default for RandomForestConfig {
+    fn default() -> Self {
+        // The paper's DLInfMA-RF settings.
+        Self {
+            n_trees: 400,
+            tree: TreeConfig {
+                max_depth: 10,
+                ..TreeConfig::default()
+            },
+            class_weights: Some((0.2, 0.8)),
+        }
+    }
+}
+
+/// A fitted random-forest binary classifier.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<RegressionTree>,
+}
+
+impl RandomForest {
+    /// Fits `cfg.n_trees` trees on bootstrap resamples of `(x, labels)`.
+    pub fn fit<R: Rng>(
+        x: &FeatureMatrix,
+        labels: &[bool],
+        cfg: &RandomForestConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert_eq!(x.n_rows(), labels.len(), "x/labels length mismatch");
+        let n = x.n_rows();
+        let y: Vec<f64> = labels.iter().map(|&b| f64::from(u8::from(b))).collect();
+        let base_w: Vec<f64> = match cfg.class_weights {
+            Some((w0, w1)) => labels.iter().map(|&b| if b { w1 } else { w0 }).collect(),
+            None => vec![1.0; n],
+        };
+        let mut tree_cfg = cfg.tree;
+        if tree_cfg.max_features.is_none() && x.n_cols() > 1 {
+            tree_cfg.max_features = Some((x.n_cols() as f64).sqrt().ceil() as usize);
+        }
+
+        let mut trees = Vec::with_capacity(cfg.n_trees);
+        for _ in 0..cfg.n_trees {
+            // Bootstrap via multiplicity weights: cheaper than copying rows
+            // and statistically identical for weighted CART.
+            let mut w = vec![0.0f64; n];
+            if n > 0 {
+                for _ in 0..n {
+                    w[rng.gen_range(0..n)] += 1.0;
+                }
+                for (wi, bw) in w.iter_mut().zip(&base_w) {
+                    *wi *= bw;
+                }
+            }
+            trees.push(RegressionTree::fit(x, &y, Some(&w), &tree_cfg, Some(rng)));
+        }
+        Self { trees }
+    }
+
+    /// Mean predicted probability over all trees.
+    pub fn predict_proba(&self, row: &[f32]) -> f64 {
+        if self.trees.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.trees.iter().map(|t| t.predict(row)).sum();
+        (sum / self.trees.len() as f64).clamp(0.0, 1.0)
+    }
+
+    /// Hard decision at threshold 0.5.
+    pub fn predict(&self, row: &[f32]) -> bool {
+        self.predict_proba(row) >= 0.5
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn ring_data(rng: &mut StdRng, n: usize) -> (Vec<Vec<f32>>, Vec<bool>) {
+        // Points inside radius 1 are positive, outside radius 2 negative —
+        // non-linearly separable in raw coordinates.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let inner = i % 2 == 0;
+            let r: f32 = if inner {
+                rng.gen_range(0.0..1.0)
+            } else {
+                rng.gen_range(2.0..3.0)
+            };
+            let theta: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+            rows.push(vec![r * theta.cos(), r * theta.sin()]);
+            labels.push(inner);
+        }
+        (rows, labels)
+    }
+
+    #[test]
+    fn learns_nonlinear_boundary() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (rows, labels) = ring_data(&mut rng, 400);
+        let x = FeatureMatrix::from_rows(&rows);
+        let cfg = RandomForestConfig {
+            n_trees: 30,
+            ..RandomForestConfig::default()
+        };
+        let rf = RandomForest::fit(&x, &labels, &cfg, &mut rng);
+        assert_eq!(rf.n_trees(), 30);
+
+        let (test_rows, test_labels) = ring_data(&mut rng, 200);
+        let correct = test_rows
+            .iter()
+            .zip(&test_labels)
+            .filter(|(r, &l)| rf.predict(r) == l)
+            .count();
+        assert!(correct >= 180, "accuracy {correct}/200");
+    }
+
+    #[test]
+    fn empty_forest_predicts_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = RandomForestConfig {
+            n_trees: 0,
+            ..RandomForestConfig::default()
+        };
+        let rf = RandomForest::fit(&FeatureMatrix::from_rows(&[]), &[], &cfg, &mut rng);
+        assert_eq!(rf.predict_proba(&[0.0]), 0.0);
+    }
+
+    #[test]
+    fn probability_bounded() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let rows = vec![vec![0.0f32], vec![1.0]];
+        let labels = vec![false, true];
+        let rf = RandomForest::fit(
+            &FeatureMatrix::from_rows(&rows),
+            &labels,
+            &RandomForestConfig {
+                n_trees: 10,
+                ..RandomForestConfig::default()
+            },
+            &mut rng,
+        );
+        for v in [-5.0f32, 0.0, 0.5, 1.0, 5.0] {
+            let p = rf.predict_proba(&[v]);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

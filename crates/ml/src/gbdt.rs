@@ -1,0 +1,247 @@
+//! Gradient-boosted decision trees with logistic loss.
+//!
+//! Friedman-style boosting for binary classification: each stage fits a
+//! shallow regression tree to the negative gradient of the logistic loss
+//! and replaces each leaf value with a one-step Newton update. Matches the
+//! DLInfMA-GBDT variant (150 boosting stages, class weights 8:2).
+
+use crate::matrix::FeatureMatrix;
+use crate::tree::{RegressionTree, TreeConfig};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// GBDT hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GbdtConfig {
+    /// Number of boosting stages.
+    pub n_stages: usize,
+    /// Shrinkage applied to each stage's contribution.
+    pub learning_rate: f64,
+    /// Per-stage tree limits (boosting uses shallow trees).
+    pub tree: TreeConfig,
+    /// Class weights `(weight_of_0, weight_of_1)`.
+    pub class_weights: Option<(f64, f64)>,
+}
+
+impl Default for GbdtConfig {
+    fn default() -> Self {
+        // The paper's DLInfMA-GBDT setting: 150 stages.
+        Self {
+            n_stages: 150,
+            learning_rate: 0.1,
+            tree: TreeConfig {
+                max_depth: 3,
+                ..TreeConfig::default()
+            },
+            class_weights: Some((0.2, 0.8)),
+        }
+    }
+}
+
+/// A fitted gradient-boosted binary classifier.
+#[derive(Debug, Clone)]
+pub struct Gbdt {
+    base_score: f64,
+    learning_rate: f64,
+    trees: Vec<RegressionTree>,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl Gbdt {
+    /// Fits the boosted ensemble.
+    #[allow(clippy::needless_range_loop)] // i couples rows, targets and scores
+    pub fn fit<R: Rng>(
+        x: &FeatureMatrix,
+        labels: &[bool],
+        cfg: &GbdtConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert_eq!(x.n_rows(), labels.len(), "x/labels length mismatch");
+        let n = x.n_rows();
+        let w: Vec<f64> = match cfg.class_weights {
+            Some((w0, w1)) => labels.iter().map(|&b| if b { w1 } else { w0 }).collect(),
+            None => vec![1.0; n],
+        };
+        let y: Vec<f64> = labels.iter().map(|&b| f64::from(u8::from(b))).collect();
+
+        // Base score: weighted log-odds.
+        let pos: f64 = y.iter().zip(&w).map(|(&yi, &wi)| yi * wi).sum();
+        let total: f64 = w.iter().sum();
+        let p0 = if total > 0.0 {
+            (pos / total).clamp(1e-6, 1.0 - 1e-6)
+        } else {
+            0.5
+        };
+        let base_score = (p0 / (1.0 - p0)).ln();
+
+        let mut f: Vec<f64> = vec![base_score; n];
+        let mut trees = Vec::with_capacity(cfg.n_stages);
+        for _ in 0..cfg.n_stages {
+            if n == 0 {
+                break;
+            }
+            // Negative gradient of weighted logistic loss: w * (y - p).
+            let residual: Vec<f64> = y
+                .iter()
+                .zip(&f)
+                .map(|(&yi, &fi)| yi - sigmoid(fi))
+                .collect();
+            let mut tree = RegressionTree::fit(x, &residual, Some(&w), &cfg.tree, Some(rng));
+
+            // Newton leaf update: sum(w*(y-p)) / sum(w*p*(1-p)) per leaf.
+            let mut num: HashMap<usize, f64> = HashMap::new();
+            let mut den: HashMap<usize, f64> = HashMap::new();
+            for i in 0..n {
+                let leaf = tree.apply(x.row(i));
+                let p = sigmoid(f[i]);
+                *num.entry(leaf).or_default() += w[i] * (y[i] - p);
+                *den.entry(leaf).or_default() += w[i] * p * (1.0 - p);
+            }
+            for (&leaf, &nv) in &num {
+                let dv = den[&leaf].max(1e-9);
+                tree.set_leaf_value(leaf, nv / dv);
+            }
+
+            for i in 0..n {
+                f[i] += cfg.learning_rate * tree.predict(x.row(i));
+            }
+            trees.push(tree);
+        }
+
+        Self {
+            base_score,
+            learning_rate: cfg.learning_rate,
+            trees,
+        }
+    }
+
+    /// Raw additive score (log-odds).
+    pub fn decision_function(&self, row: &[f32]) -> f64 {
+        self.base_score
+            + self.learning_rate
+                * self
+                    .trees
+                    .iter()
+                    .map(|t| t.predict(row))
+                    .sum::<f64>()
+    }
+
+    /// Probability that the label is `true`.
+    pub fn predict_proba(&self, row: &[f32]) -> f64 {
+        sigmoid(self.decision_function(row))
+    }
+
+    /// Hard decision at probability 0.5.
+    pub fn predict(&self, row: &[f32]) -> bool {
+        self.predict_proba(row) >= 0.5
+    }
+
+    /// Number of fitted stages.
+    pub fn n_stages(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn learns_xor() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let rows = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let labels = vec![false, true, true, false];
+        let x = FeatureMatrix::from_rows(&rows);
+        let cfg = GbdtConfig {
+            n_stages: 50,
+            ..GbdtConfig::default()
+        };
+        let model = Gbdt::fit(&x, &labels, &cfg, &mut rng);
+        for (r, &l) in rows.iter().zip(&labels) {
+            assert_eq!(model.predict(r), l, "row {r:?}");
+        }
+    }
+
+    #[test]
+    fn probability_increases_with_signal() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // y = 1 iff x > 0.5, with noise-free data.
+        let rows: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32 / 100.0]).collect();
+        let labels: Vec<bool> = (0..100).map(|i| i > 50).collect();
+        let x = FeatureMatrix::from_rows(&rows);
+        let model = Gbdt::fit(
+            &x,
+            &labels,
+            &GbdtConfig {
+                n_stages: 30,
+                ..GbdtConfig::default()
+            },
+            &mut rng,
+        );
+        assert!(model.predict_proba(&[0.9]) > 0.9);
+        assert!(model.predict_proba(&[0.1]) < 0.1);
+        // 0.9 and 0.6 may share a leaf on separable data, so only demand
+        // monotonicity across the boundary, not strictly within a side.
+        assert!(model.predict_proba(&[0.9]) >= model.predict_proba(&[0.6]));
+        assert!(model.predict_proba(&[0.6]) > model.predict_proba(&[0.4]));
+    }
+
+    #[test]
+    fn empty_training_set() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = Gbdt::fit(
+            &FeatureMatrix::from_rows(&[]),
+            &[],
+            &GbdtConfig::default(),
+            &mut rng,
+        );
+        let p = model.predict_proba(&[0.0]);
+        assert!((p - 0.5).abs() < 1e-9, "uninformed prior, got {p}");
+    }
+
+    #[test]
+    fn all_one_class() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let rows = vec![vec![0.0f32], vec![1.0], vec![2.0]];
+        let labels = vec![true, true, true];
+        let model = Gbdt::fit(
+            &FeatureMatrix::from_rows(&rows),
+            &labels,
+            &GbdtConfig {
+                n_stages: 5,
+                ..GbdtConfig::default()
+            },
+            &mut rng,
+        );
+        assert!(model.predict_proba(&[0.5]) > 0.9);
+    }
+
+    #[test]
+    fn class_weights_shift_decision() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // Identical features, 50/50 labels: decision follows the weights.
+        let rows = vec![vec![0.0f32]; 10];
+        let labels: Vec<bool> = (0..10).map(|i| i < 5).collect();
+        let x = FeatureMatrix::from_rows(&rows);
+        let upweight_pos = Gbdt::fit(
+            &x,
+            &labels,
+            &GbdtConfig {
+                n_stages: 5,
+                class_weights: Some((0.2, 0.8)),
+                ..GbdtConfig::default()
+            },
+            &mut rng,
+        );
+        assert!(upweight_pos.predict_proba(&[0.0]) > 0.5);
+    }
+}

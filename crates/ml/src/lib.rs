@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! Classical machine learning used by the paper's baselines and variants.
+//!
+//! * [`RegressionTree`] — weighted CART with best-first growth (supports the
+//!   `max_leaf_nodes = 1024` setting of GeoRank / DLInfMA-RkDT);
+//! * [`TreeClassifier`] — binary classification on top of a regression tree
+//!   over 0/1 targets with class weights (the paper uses 8:2);
+//! * [`RandomForest`] — bagged trees with per-split feature subsampling
+//!   (DLInfMA-RF: 400 trees, depth 10);
+//! * [`Gbdt`] — gradient-boosted trees with logistic loss and Newton leaf
+//!   updates (DLInfMA-GBDT: 150 stages);
+//! * [`pairwise`] — the pairwise-ranking harness used by GeoRank and the
+//!   RkDT/RkNet variants (train on candidate pairs, infer by vote counting).
+
+pub mod forest;
+pub mod gbdt;
+pub mod matrix;
+pub mod pairwise;
+pub mod tree;
+
+pub use forest::{RandomForest, RandomForestConfig};
+pub use gbdt::{Gbdt, GbdtConfig};
+pub use matrix::FeatureMatrix;
+pub use pairwise::{make_training_pairs, vote_best, PairwiseScorer};
+pub use tree::{RegressionTree, TreeClassifier, TreeConfig};

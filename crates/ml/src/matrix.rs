@@ -1,0 +1,90 @@
+//! A dense row-major feature matrix.
+
+/// A dense `n_rows x n_cols` matrix of `f32` features, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureMatrix {
+    data: Vec<f32>,
+    n_rows: usize,
+    n_cols: usize,
+}
+
+impl FeatureMatrix {
+    /// Creates a matrix from flat row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != n_rows * n_cols`.
+    pub fn new(n_rows: usize, n_cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), n_rows * n_cols, "data length mismatch");
+        Self {
+            data,
+            n_rows,
+            n_cols,
+        }
+    }
+
+    /// Builds a matrix from per-sample feature vectors.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(n_rows * n_cols);
+        for r in rows {
+            assert_eq!(r.len(), n_cols, "ragged feature rows");
+            data.extend_from_slice(r);
+        }
+        Self {
+            data,
+            n_rows,
+            n_cols,
+        }
+    }
+
+    /// Number of samples.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of features.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Feature vector of sample `i`.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// Feature `j` of sample `i`.
+    pub fn at(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.n_cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let m = FeatureMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.n_cols(), 2);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.at(0, 1), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = FeatureMatrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = FeatureMatrix::from_rows(&[]);
+        assert_eq!(m.n_rows(), 0);
+        assert_eq!(m.n_cols(), 0);
+    }
+}

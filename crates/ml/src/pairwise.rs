@@ -1,0 +1,185 @@
+//! Pairwise ranking harness.
+//!
+//! GeoRank and the DLInfMA-RkDT / DLInfMA-RkNet variants train a binary
+//! model on *pairs* of candidates — "is candidate `i` a better delivery
+//! location than candidate `j`?" — and infer by letting every candidate play
+//! every other and counting wins (the paper's voting scheme).
+
+use crate::matrix::FeatureMatrix;
+
+/// Anything that can judge an ordered pair of feature vectors, returning the
+/// probability that the first is the better candidate.
+pub trait PairwiseScorer {
+    /// Probability that `a` should rank above `b`.
+    fn score_pair(&self, a: &[f32], b: &[f32]) -> f64;
+}
+
+impl<F: Fn(&[f32], &[f32]) -> f64> PairwiseScorer for F {
+    fn score_pair(&self, a: &[f32], b: &[f32]) -> f64 {
+        self(a, b)
+    }
+}
+
+/// Builds pairwise training rows from one group of candidates.
+///
+/// For a group with positive candidate `pos`, emits for every negative `j`
+/// both orderings: `(pos ++ x_j, true)` and `(x_j ++ pos, false)`. Rows are
+/// appended to `rows`/`labels`.
+pub fn make_training_pairs(
+    features: &FeatureMatrix,
+    pos: usize,
+    rows: &mut Vec<Vec<f32>>,
+    labels: &mut Vec<bool>,
+) {
+    assert!(pos < features.n_rows(), "positive index out of range");
+    for j in 0..features.n_rows() {
+        if j == pos {
+            continue;
+        }
+        let mut fwd = features.row(pos).to_vec();
+        fwd.extend_from_slice(features.row(j));
+        rows.push(fwd);
+        labels.push(true);
+        let mut rev = features.row(j).to_vec();
+        rev.extend_from_slice(features.row(pos));
+        rows.push(rev);
+        labels.push(false);
+    }
+}
+
+/// Runs the round-robin vote: each ordered pair `(i, j)` is scored and `i`
+/// gets a win when the scorer says it ranks above `j` (p > 0.5). Returns the
+/// index with the most wins; ties break toward the lower index (stable).
+///
+/// Returns `None` for an empty candidate set.
+#[allow(clippy::needless_range_loop)] // i/j index features and the tally
+pub fn vote_best<S: PairwiseScorer>(features: &FeatureMatrix, scorer: &S) -> Option<usize> {
+    let n = features.n_rows();
+    if n == 0 {
+        return None;
+    }
+    if n == 1 {
+        return Some(0);
+    }
+    let mut wins = vec![0u32; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            if scorer.score_pair(features.row(i), features.row(j)) > 0.5 {
+                wins[i] += 1;
+            }
+        }
+    }
+    wins.iter()
+        .enumerate()
+        .max_by(|(ia, a), (ib, b)| a.cmp(b).then(ib.cmp(ia)))
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{TreeClassifier, TreeConfig};
+
+    #[test]
+    fn vote_best_empty_and_single() {
+        let scorer = |_: &[f32], _: &[f32]| 1.0;
+        assert_eq!(vote_best(&FeatureMatrix::from_rows(&[]), &scorer), None);
+        assert_eq!(
+            vote_best(&FeatureMatrix::from_rows(&[vec![1.0]]), &scorer),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn vote_best_follows_a_transitive_scorer() {
+        // Scorer: first feature decides; larger wins.
+        let scorer =
+            |a: &[f32], b: &[f32]| if a[0] > b[0] { 0.9 } else { 0.1 };
+        let feats = FeatureMatrix::from_rows(&[vec![3.0], vec![7.0], vec![5.0], vec![1.0]]);
+        assert_eq!(vote_best(&feats, &scorer), Some(1));
+    }
+
+    #[test]
+    fn ties_break_to_lower_index() {
+        let scorer = |_: &[f32], _: &[f32]| 0.0; // nobody ever wins
+        let feats = FeatureMatrix::from_rows(&[vec![0.0], vec![0.0], vec![0.0]]);
+        assert_eq!(vote_best(&feats, &scorer), Some(0));
+    }
+
+    #[test]
+    fn make_pairs_counts_and_symmetry() {
+        let feats = FeatureMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        make_training_pairs(&feats, 1, &mut rows, &mut labels);
+        assert_eq!(rows.len(), 4); // 2 negatives x 2 orderings
+        assert_eq!(labels, vec![true, false, true, false]);
+        assert_eq!(rows[0], vec![3.0, 4.0, 1.0, 2.0]);
+        assert_eq!(rows[1], vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    /// End-to-end: a decision-tree pairwise ranker (the GeoRank construction)
+    /// learns to pick the candidate with the largest first feature.
+    #[test]
+    fn tree_ranker_end_to_end() {
+        // Groups of 4 candidates; positive = argmax of feature 0.
+        let groups: Vec<Vec<Vec<f32>>> = (0..30)
+            .map(|g| {
+                (0..4)
+                    .map(|c| vec![((g * 7 + c * 13) % 10) as f32, (c % 3) as f32])
+                    .collect()
+            })
+            .collect();
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for g in &groups {
+            let feats = FeatureMatrix::from_rows(g);
+            let pos = g
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| a[0].partial_cmp(&b[0]).unwrap())
+                .map(|(i, _)| i)
+                .unwrap();
+            make_training_pairs(&feats, pos, &mut rows, &mut labels);
+        }
+        let x = FeatureMatrix::from_rows(&rows);
+        let clf = TreeClassifier::fit(
+            &x,
+            &labels,
+            None,
+            &TreeConfig {
+                max_leaf_nodes: 1024,
+                ..TreeConfig::default()
+            },
+            None as Option<&mut rand::rngs::ThreadRng>,
+        );
+        let scorer = |a: &[f32], b: &[f32]| {
+            let mut row = a.to_vec();
+            row.extend_from_slice(b);
+            clf.predict_proba(&row)
+        };
+        // Held-out groups drawn from the same value distribution; the
+        // `c * 13 % 10` offsets (0, 3, 6, 9) keep feature 0 distinct within
+        // a group so the argmax target is unambiguous.
+        let mut correct = 0;
+        for g in 100..120 {
+            let cand: Vec<Vec<f32>> = (0..4)
+                .map(|c| vec![((g * 7 + c * 13) % 10) as f32, (c % 2) as f32])
+                .collect();
+            let want = cand
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| a[0].partial_cmp(&b[0]).unwrap())
+                .map(|(i, _)| i)
+                .unwrap();
+            let feats = FeatureMatrix::from_rows(&cand);
+            if vote_best(&feats, &scorer) == Some(want) {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 16, "ranker accuracy {correct}/20");
+    }
+}

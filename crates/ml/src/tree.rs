@@ -1,0 +1,574 @@
+//! Weighted CART regression trees with best-first growth, and a binary
+//! classifier wrapper.
+//!
+//! For binary 0/1 targets, minimizing weighted squared error at a split is
+//! equivalent to maximizing weighted Gini gain, so a single regression-tree
+//! implementation serves classification (predicted value = probability),
+//! gradient boosting (fit to residuals) and ranking (fit to pair outcomes).
+
+use crate::matrix::FeatureMatrix;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Growth limits for a tree.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum number of samples in a leaf.
+    pub min_samples_leaf: usize,
+    /// Minimum number of samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Maximum number of leaves; growth is best-first by impurity decrease,
+    /// so the most useful splits happen before the budget runs out.
+    pub max_leaf_nodes: usize,
+    /// Number of features considered per split (`None` = all). Used by the
+    /// random forest; requires an RNG at fit time.
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 10,
+            min_samples_leaf: 1,
+            min_samples_split: 2,
+            max_leaf_nodes: usize::MAX,
+            max_features: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted CART regression tree.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+struct Candidate {
+    gain: f64,
+    node_slot: usize,
+    depth: usize,
+    split: Option<(usize, f32, Vec<usize>, Vec<usize>)>,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.gain == other.gain
+    }
+}
+impl Eq for Candidate {}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.gain
+            .partial_cmp(&other.gain)
+            .expect("gains are finite")
+    }
+}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn weighted_mean(samples: &[usize], y: &[f64], w: &[f64]) -> f64 {
+    let mut sw = 0.0;
+    let mut swy = 0.0;
+    for &i in samples {
+        sw += w[i];
+        swy += w[i] * y[i];
+    }
+    if sw > 0.0 {
+        swy / sw
+    } else {
+        0.0
+    }
+}
+
+/// `(feature, threshold, gain, left samples, right samples)` of a split.
+type SplitChoice = (usize, f32, f64, Vec<usize>, Vec<usize>);
+
+/// Finds the split of `samples` minimizing weighted SSE, optionally over a
+/// random feature subset.
+fn best_split<R: Rng>(
+    x: &FeatureMatrix,
+    y: &[f64],
+    w: &[f64],
+    samples: &[usize],
+    cfg: &TreeConfig,
+    rng: &mut Option<&mut R>,
+) -> Option<SplitChoice> {
+    let n_features = x.n_cols();
+    let features: Vec<usize> = match (cfg.max_features, rng.as_deref_mut()) {
+        (Some(k), Some(r)) if k < n_features => {
+            let mut all: Vec<usize> = (0..n_features).collect();
+            all.shuffle(r);
+            all.truncate(k);
+            all
+        }
+        _ => (0..n_features).collect(),
+    };
+
+    // Parent statistics.
+    let (mut sw, mut swy, mut swy2) = (0.0f64, 0.0f64, 0.0f64);
+    for &i in samples {
+        sw += w[i];
+        swy += w[i] * y[i];
+        swy2 += w[i] * y[i] * y[i];
+    }
+    if sw <= 0.0 {
+        return None;
+    }
+    let parent_sse = swy2 - swy * swy / sw;
+    if parent_sse <= 1e-12 {
+        return None; // pure node
+    }
+
+    let mut best: Option<(usize, f32, f64)> = None;
+    let mut order: Vec<usize> = samples.to_vec();
+    for &f in &features {
+        order.sort_by(|&a, &b| {
+            x.at(a, f)
+                .partial_cmp(&x.at(b, f))
+                .expect("features are finite")
+        });
+        let (mut lw, mut lwy, mut lwy2) = (0.0f64, 0.0f64, 0.0f64);
+        let mut n_left = 0usize;
+        for k in 0..order.len() - 1 {
+            let i = order[k];
+            lw += w[i];
+            lwy += w[i] * y[i];
+            lwy2 += w[i] * y[i] * y[i];
+            n_left += 1;
+            let xv = x.at(i, f);
+            let xn = x.at(order[k + 1], f);
+            if xv == xn {
+                continue; // can't split between equal values
+            }
+            let n_right = order.len() - n_left;
+            if n_left < cfg.min_samples_leaf || n_right < cfg.min_samples_leaf {
+                continue;
+            }
+            let rw = sw - lw;
+            if lw <= 0.0 || rw <= 0.0 {
+                continue;
+            }
+            let left_sse = lwy2 - lwy * lwy / lw;
+            let right_sse = (swy2 - lwy2) - (swy - lwy) * (swy - lwy) / rw;
+            let gain = parent_sse - left_sse - right_sse;
+            let threshold = (xv + xn) / 2.0;
+            // Like sklearn's CART, an impure node may split even at zero
+            // gain (XOR needs a zero-gain first split); keep the best gain.
+            if best.map_or(gain >= 0.0, |(_, _, bg)| gain > bg) {
+                best = Some((f, threshold, gain));
+            }
+        }
+    }
+
+    best.map(|(f, thr, gain)| {
+        let (mut left, mut right) = (Vec::new(), Vec::new());
+        for &i in samples {
+            if x.at(i, f) <= thr {
+                left.push(i);
+            } else {
+                right.push(i);
+            }
+        }
+        (f, thr, gain, left, right)
+    })
+}
+
+impl RegressionTree {
+    /// Fits a tree to `(x, y)` with optional per-sample weights, growing
+    /// best-first by impurity decrease under the limits in `cfg`.
+    ///
+    /// `rng` enables per-split feature subsampling when
+    /// `cfg.max_features` is set.
+    pub fn fit<R: Rng>(
+        x: &FeatureMatrix,
+        y: &[f64],
+        weights: Option<&[f64]>,
+        cfg: &TreeConfig,
+        mut rng: Option<&mut R>,
+    ) -> Self {
+        assert_eq!(x.n_rows(), y.len(), "x/y length mismatch");
+        let w: Vec<f64> = match weights {
+            Some(w) => {
+                assert_eq!(w.len(), y.len(), "weights length mismatch");
+                w.to_vec()
+            }
+            None => vec![1.0; y.len()],
+        };
+        let mut nodes: Vec<Node> = Vec::new();
+        if x.n_rows() == 0 {
+            nodes.push(Node::Leaf { value: 0.0 });
+            return Self { nodes };
+        }
+
+        let all: Vec<usize> = (0..x.n_rows()).collect();
+        nodes.push(Node::Leaf {
+            value: weighted_mean(&all, y, &w),
+        });
+        let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
+        let push_candidate =
+            |slot: usize, samples: Vec<usize>, depth: usize, heap: &mut BinaryHeap<Candidate>, rng: &mut Option<&mut R>| {
+                if depth >= cfg.max_depth || samples.len() < cfg.min_samples_split {
+                    return;
+                }
+                if let Some((f, thr, gain, l, r)) = best_split(x, y, &w, &samples, cfg, rng) {
+                    heap.push(Candidate {
+                        gain,
+                        node_slot: slot,
+                        depth,
+                        split: Some((f, thr, l, r)),
+                    });
+                }
+            };
+        push_candidate(0, all, 0, &mut heap, &mut rng);
+
+        let mut n_leaves = 1usize;
+        while let Some(cand) = heap.pop() {
+            if n_leaves >= cfg.max_leaf_nodes {
+                break;
+            }
+            let (f, thr, left_samples, right_samples) =
+                cand.split.expect("candidates always carry a split");
+            let left_slot = nodes.len();
+            nodes.push(Node::Leaf {
+                value: weighted_mean(&left_samples, y, &w),
+            });
+            let right_slot = nodes.len();
+            nodes.push(Node::Leaf {
+                value: weighted_mean(&right_samples, y, &w),
+            });
+            nodes[cand.node_slot] = Node::Split {
+                feature: f,
+                threshold: thr,
+                left: left_slot,
+                right: right_slot,
+            };
+            n_leaves += 1; // one leaf became two
+            push_candidate(left_slot, left_samples, cand.depth + 1, &mut heap, &mut rng);
+            push_candidate(right_slot, right_samples, cand.depth + 1, &mut heap, &mut rng);
+        }
+        Self { nodes }
+    }
+
+    /// Predicted value for a feature row.
+    pub fn predict(&self, row: &[f32]) -> f64 {
+        let mut idx = 0;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Index of the leaf node a row falls into (for boosted leaf updates).
+    pub fn apply(&self, row: &[f32]) -> usize {
+        let mut idx = 0;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { .. } => return idx,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Overwrites a leaf's value (Newton updates in gradient boosting).
+    ///
+    /// # Panics
+    /// Panics if `leaf` is not a leaf node.
+    pub fn set_leaf_value(&mut self, leaf: usize, value: f64) {
+        match &mut self.nodes[leaf] {
+            Node::Leaf { value: v } => *v = value,
+            Node::Split { .. } => panic!("node {leaf} is not a leaf"),
+        }
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+
+    /// Depth of the tree (root-only tree has depth 0).
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[Node], idx: usize) -> usize {
+            match &nodes[idx] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + rec(nodes, *left).max(rec(nodes, *right)),
+            }
+        }
+        rec(&self.nodes, 0)
+    }
+}
+
+/// Binary classifier on top of a regression tree over 0/1 targets.
+#[derive(Debug, Clone)]
+pub struct TreeClassifier {
+    tree: RegressionTree,
+}
+
+impl TreeClassifier {
+    /// Fits with optional class weights `(weight_of_0, weight_of_1)` — the
+    /// paper uses `(0.2, 0.8)` for its imbalanced candidate labels.
+    pub fn fit<R: Rng>(
+        x: &FeatureMatrix,
+        labels: &[bool],
+        class_weights: Option<(f64, f64)>,
+        cfg: &TreeConfig,
+        rng: Option<&mut R>,
+    ) -> Self {
+        let y: Vec<f64> = labels.iter().map(|&b| f64::from(u8::from(b))).collect();
+        let w: Option<Vec<f64>> = class_weights.map(|(w0, w1)| {
+            labels.iter().map(|&b| if b { w1 } else { w0 }).collect()
+        });
+        let tree = RegressionTree::fit(x, &y, w.as_deref(), cfg, rng);
+        Self { tree }
+    }
+
+    /// Probability that the row's label is `true` (clamped to `[0, 1]`).
+    pub fn predict_proba(&self, row: &[f32]) -> f64 {
+        self.tree.predict(row).clamp(0.0, 1.0)
+    }
+
+    /// Hard decision at threshold 0.5.
+    pub fn predict(&self, row: &[f32]) -> bool {
+        self.predict_proba(row) >= 0.5
+    }
+
+    /// The underlying regression tree.
+    pub fn tree(&self) -> &RegressionTree {
+        &self.tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    type NoRng = Option<&'static mut StdRng>;
+
+    fn xor_data() -> (FeatureMatrix, Vec<f64>) {
+        let rows = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let y = vec![0.0, 1.0, 1.0, 0.0];
+        (FeatureMatrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn fits_xor_exactly() {
+        let (x, y) = xor_data();
+        let tree = RegressionTree::fit(&x, &y, None, &TreeConfig::default(), None as NoRng);
+        for (i, yi) in y.iter().enumerate() {
+            assert!((tree.predict(x.row(i)) - yi).abs() < 1e-9);
+        }
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn empty_training_set_predicts_zero() {
+        let x = FeatureMatrix::from_rows(&[]);
+        let tree = RegressionTree::fit(&x, &[], None, &TreeConfig::default(), None as NoRng);
+        assert_eq!(tree.predict(&[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn constant_target_is_single_leaf() {
+        let x = FeatureMatrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
+        let tree =
+            RegressionTree::fit(&x, &[5.0, 5.0, 5.0], None, &TreeConfig::default(), None as NoRng);
+        assert_eq!(tree.n_leaves(), 1);
+        assert_eq!(tree.predict(&[7.0]), 5.0);
+    }
+
+    #[test]
+    fn max_depth_limits_growth() {
+        let rows: Vec<Vec<f32>> = (0..64).map(|i| vec![i as f32]).collect();
+        let y: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let cfg = TreeConfig {
+            max_depth: 3,
+            ..TreeConfig::default()
+        };
+        let tree = RegressionTree::fit(
+            &FeatureMatrix::from_rows(&rows),
+            &y,
+            None,
+            &cfg,
+            None as NoRng,
+        );
+        assert!(tree.depth() <= 3);
+        assert!(tree.n_leaves() <= 8);
+    }
+
+    #[test]
+    fn max_leaf_nodes_limits_growth() {
+        let rows: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32]).collect();
+        let y: Vec<f64> = (0..100).map(|i| (i % 7) as f64).collect();
+        let cfg = TreeConfig {
+            max_depth: 30,
+            max_leaf_nodes: 5,
+            ..TreeConfig::default()
+        };
+        let tree = RegressionTree::fit(
+            &FeatureMatrix::from_rows(&rows),
+            &y,
+            None,
+            &cfg,
+            None as NoRng,
+        );
+        assert!(tree.n_leaves() <= 5, "got {} leaves", tree.n_leaves());
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let rows: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32]).collect();
+        let y: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let cfg = TreeConfig {
+            min_samples_leaf: 10,
+            ..TreeConfig::default()
+        };
+        let tree = RegressionTree::fit(
+            &FeatureMatrix::from_rows(&rows),
+            &y,
+            None,
+            &cfg,
+            None as NoRng,
+        );
+        // Only one split (10/10) is possible.
+        assert!(tree.n_leaves() <= 2);
+    }
+
+    #[test]
+    fn sample_weights_shift_the_mean() {
+        let x = FeatureMatrix::from_rows(&[vec![0.0], vec![0.0]]);
+        let y = [0.0, 1.0];
+        // Identical features: no split possible; weighted mean decides.
+        let w = [1.0, 3.0];
+        let tree = RegressionTree::fit(
+            &x,
+            &y,
+            Some(&w),
+            &TreeConfig::default(),
+            None as NoRng,
+        );
+        assert!((tree.predict(&[0.0]) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_first_growth_spends_budget_on_best_gains() {
+        // Feature 0 separates targets 0 vs 100 (huge gain); feature 1 only
+        // separates 0 vs 1 (small gain). With a 2-leaf budget, the tree must
+        // split on feature 0.
+        let rows = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let y = vec![0.0, 1.0, 100.0, 101.0];
+        let cfg = TreeConfig {
+            max_leaf_nodes: 2,
+            ..TreeConfig::default()
+        };
+        let tree = RegressionTree::fit(
+            &FeatureMatrix::from_rows(&rows),
+            &y,
+            None,
+            &cfg,
+            None as NoRng,
+        );
+        assert!((tree.predict(&[0.0, 0.5]) - 0.5).abs() < 1e-9);
+        assert!((tree.predict(&[1.0, 0.5]) - 100.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classifier_with_class_weights() {
+        // 9 negatives at x=0, 1 positive at x=1: separable, both classified.
+        let mut rows: Vec<Vec<f32>> = (0..9).map(|_| vec![0.0]).collect();
+        rows.push(vec![1.0]);
+        let mut labels = vec![false; 9];
+        labels.push(true);
+        let clf = TreeClassifier::fit(
+            &FeatureMatrix::from_rows(&rows),
+            &labels,
+            Some((0.2, 0.8)),
+            &TreeConfig::default(),
+            None as NoRng,
+        );
+        assert!(!clf.predict(&[0.0]));
+        assert!(clf.predict(&[1.0]));
+        assert!(clf.predict_proba(&[1.0]) > 0.9);
+    }
+
+    #[test]
+    fn feature_subsampling_still_learns() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let rows: Vec<Vec<f32>> = (0..200)
+            .map(|i| vec![(i % 2) as f32, ((i / 2) % 5) as f32, 0.0])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| f64::from(r[0])).collect();
+        let cfg = TreeConfig {
+            max_features: Some(2),
+            ..TreeConfig::default()
+        };
+        let tree = RegressionTree::fit(
+            &FeatureMatrix::from_rows(&rows),
+            &y,
+            None,
+            &cfg,
+            Some(&mut rng),
+        );
+        // With max_features 2 of 3 per split and many split opportunities,
+        // the informative feature is eventually used.
+        assert!((tree.predict(&[1.0, 0.0, 0.0]) - 1.0).abs() < 0.2);
+        assert!(tree.predict(&[0.0, 0.0, 0.0]) < 0.2);
+    }
+}

@@ -1,0 +1,415 @@
+//! Reusable layers built on the autograd graph.
+//!
+//! Each layer owns [`ParamId`]s in a shared [`ParamStore`] and exposes a
+//! `forward` that appends operations to a per-step [`Graph`]. The set is
+//! exactly what the paper's models need: dense layers, layer norm,
+//! multi-head self-attention, a transformer encoder (LocMatcher), an LSTM
+//! (the DLInfMA-PN variant and RankNet ablations), embeddings (POI
+//! category), and 2-D convolutions (the UNet-based baseline).
+
+use crate::graph::{Graph, Var};
+use crate::optim::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Activation applied after a dense layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// No activation.
+    Identity,
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+/// A fully-connected layer `y = act(x W + b)` on `[n, in] -> [n, out]`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    w: ParamId,
+    b: ParamId,
+    activation: Activation,
+}
+
+impl Dense {
+    /// Creates a dense layer with Xavier-initialized weights.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        input: usize,
+        output: usize,
+        activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        let w = store.register_xavier(format!("{name}.w"), input, output, rng);
+        let b = store.register_zeros(format!("{name}.b"), vec![output]);
+        Self { w, b, activation }
+    }
+
+    /// Applies the layer to a `[n, in]` input.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        let w = g.param(self.w, store.value(self.w).clone());
+        let b = g.param(self.b, store.value(self.b).clone());
+        let z = g.matmul(x, w);
+        let z = g.add_bias_rows(z, b);
+        match self.activation {
+            Activation::Identity => z,
+            Activation::Relu => g.relu(z),
+            Activation::Tanh => g.tanh(z),
+            Activation::Sigmoid => g.sigmoid(z),
+        }
+    }
+}
+
+/// Learned row-wise layer normalization.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    gamma: ParamId,
+    beta: ParamId,
+}
+
+impl LayerNorm {
+    /// Creates a layer norm over feature dimension `dim` (gamma = 1,
+    /// beta = 0).
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
+        let gamma = store.register(format!("{name}.gamma"), Tensor::full(vec![dim], 1.0));
+        let beta = store.register_zeros(format!("{name}.beta"), vec![dim]);
+        Self { gamma, beta }
+    }
+
+    /// Normalizes each row of a `[n, dim]` input.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        let gamma = g.param(self.gamma, store.value(self.gamma).clone());
+        let beta = g.param(self.beta, store.value(self.beta).clone());
+        g.layer_norm(x, gamma, beta)
+    }
+}
+
+/// Multi-head scaled dot-product self-attention over `[n, dim]`.
+#[derive(Debug, Clone)]
+pub struct MultiHeadSelfAttention {
+    wq: ParamId,
+    wk: ParamId,
+    wv: ParamId,
+    wo: ParamId,
+    heads: usize,
+    dim: usize,
+}
+
+impl MultiHeadSelfAttention {
+    /// Creates an attention block; `dim` must divide evenly by `heads`.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        heads: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(heads > 0 && dim.is_multiple_of(heads), "dim {dim} % heads {heads} != 0");
+        Self {
+            wq: store.register_xavier(format!("{name}.wq"), dim, dim, rng),
+            wk: store.register_xavier(format!("{name}.wk"), dim, dim, rng),
+            wv: store.register_xavier(format!("{name}.wv"), dim, dim, rng),
+            wo: store.register_xavier(format!("{name}.wo"), dim, dim, rng),
+            heads,
+            dim,
+        }
+    }
+
+    /// Applies self-attention; input and output are `[n, dim]`.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        let wq = g.param(self.wq, store.value(self.wq).clone());
+        let wk = g.param(self.wk, store.value(self.wk).clone());
+        let wv = g.param(self.wv, store.value(self.wv).clone());
+        let wo = g.param(self.wo, store.value(self.wo).clone());
+        let q = g.matmul(x, wq);
+        let k = g.matmul(x, wk);
+        let v = g.matmul(x, wv);
+        let dh = self.dim / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut head_outputs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let (from, to) = (h * dh, (h + 1) * dh);
+            let qh = g.col_slice(q, from, to);
+            let kh = g.col_slice(k, from, to);
+            let vh = g.col_slice(v, from, to);
+            let kt = g.transpose(kh);
+            let scores = g.matmul(qh, kt);
+            let scores = g.scale(scores, scale);
+            let attn = g.softmax_rows(scores);
+            head_outputs.push(g.matmul(attn, vh));
+        }
+        let concat = g.concat_cols(&head_outputs);
+        g.matmul(concat, wo)
+    }
+}
+
+/// One transformer encoder layer: self-attention and a position-wise
+/// feed-forward network, each wrapped in residual + layer norm
+/// (post-norm, as in Vaswani et al. and the paper's Figure 8).
+#[derive(Debug, Clone)]
+pub struct TransformerEncoderLayer {
+    attn: MultiHeadSelfAttention,
+    ln1: LayerNorm,
+    ff1: Dense,
+    ff2: Dense,
+    ln2: LayerNorm,
+    dropout: f32,
+}
+
+impl TransformerEncoderLayer {
+    /// Creates an encoder layer with feed-forward width `ff_dim`.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        heads: usize,
+        ff_dim: usize,
+        dropout: f32,
+        rng: &mut R,
+    ) -> Self {
+        Self {
+            attn: MultiHeadSelfAttention::new(store, &format!("{name}.attn"), dim, heads, rng),
+            ln1: LayerNorm::new(store, &format!("{name}.ln1"), dim),
+            ff1: Dense::new(
+                store,
+                &format!("{name}.ff1"),
+                dim,
+                ff_dim,
+                Activation::Relu,
+                rng,
+            ),
+            ff2: Dense::new(
+                store,
+                &format!("{name}.ff2"),
+                ff_dim,
+                dim,
+                Activation::Identity,
+                rng,
+            ),
+            ln2: LayerNorm::new(store, &format!("{name}.ln2"), dim),
+            dropout,
+        }
+    }
+
+    /// Applies the layer to `[n, dim]`.
+    pub fn forward<R: Rng>(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        x: Var,
+        training: bool,
+        rng: &mut R,
+    ) -> Var {
+        let attn_out = self.attn.forward(g, store, x);
+        let attn_out = g.dropout(attn_out, self.dropout, training, rng);
+        let res1 = g.add(x, attn_out);
+        let norm1 = self.ln1.forward(g, store, res1);
+        let ff = self.ff1.forward(g, store, norm1);
+        let ff = self.ff2.forward(g, store, ff);
+        let ff = g.dropout(ff, self.dropout, training, rng);
+        let res2 = g.add(norm1, ff);
+        self.ln2.forward(g, store, res2)
+    }
+}
+
+/// A stack of [`TransformerEncoderLayer`]s (the paper uses `N = 3` layers,
+/// 2 heads, 32-unit feed-forward sublayers, dropout 0.1).
+#[derive(Debug, Clone)]
+pub struct TransformerEncoder {
+    layers: Vec<TransformerEncoderLayer>,
+}
+
+impl TransformerEncoder {
+    /// Creates `n_layers` encoder layers.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        n_layers: usize,
+        dim: usize,
+        heads: usize,
+        ff_dim: usize,
+        dropout: f32,
+        rng: &mut R,
+    ) -> Self {
+        let layers = (0..n_layers)
+            .map(|i| {
+                TransformerEncoderLayer::new(
+                    store,
+                    &format!("{name}.layer{i}"),
+                    dim,
+                    heads,
+                    ff_dim,
+                    dropout,
+                    rng,
+                )
+            })
+            .collect();
+        Self { layers }
+    }
+
+    /// Applies all layers in sequence to `[n, dim]`.
+    pub fn forward<R: Rng>(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        mut x: Var,
+        training: bool,
+        rng: &mut R,
+    ) -> Var {
+        for layer in &self.layers {
+            x = layer.forward(g, store, x, training, rng);
+        }
+        x
+    }
+}
+
+/// A single-layer LSTM processed step by step over the rows of a `[n, in]`
+/// sequence; returns the `[n, hidden]` stack of hidden states.
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    /// Input-to-gates weights `[in, 4*hidden]`, gate order `i, f, g, o`.
+    wx: ParamId,
+    /// Hidden-to-gates weights `[hidden, 4*hidden]`.
+    wh: ParamId,
+    /// Gate biases `[4*hidden]` (forget-gate slice initialized to 1).
+    b: ParamId,
+    hidden: usize,
+}
+
+impl Lstm {
+    /// Creates an LSTM with `hidden` units.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        input: usize,
+        hidden: usize,
+        rng: &mut R,
+    ) -> Self {
+        let wx = store.register_xavier(format!("{name}.wx"), input, 4 * hidden, rng);
+        let wh = store.register_xavier(format!("{name}.wh"), hidden, 4 * hidden, rng);
+        // Standard trick: bias the forget gate open so early training does
+        // not wash out the cell state.
+        let mut bias = Tensor::zeros(vec![4 * hidden]);
+        for j in hidden..2 * hidden {
+            bias.data_mut()[j] = 1.0;
+        }
+        let b = store.register(format!("{name}.b"), bias);
+        Self { wx, wh, b, hidden }
+    }
+
+    /// Runs the LSTM over the rows of `x` (`[n, in]`), returning `[n, hidden]`.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        let n = g.value(x).rows();
+        let wx = g.param(self.wx, store.value(self.wx).clone());
+        let wh = g.param(self.wh, store.value(self.wh).clone());
+        let b = g.param(self.b, store.value(self.b).clone());
+        let h0 = g.constant(Tensor::zeros(vec![1, self.hidden]));
+        let c0 = g.constant(Tensor::zeros(vec![1, self.hidden]));
+        let (mut h, mut c) = (h0, c0);
+        let mut hidden_rows = Vec::with_capacity(n);
+        for t in 0..n {
+            let xt = g.row_slice(x, t);
+            let zx = g.matmul(xt, wx);
+            let zh = g.matmul(h, wh);
+            let z = g.add(zx, zh);
+            let z = g.add_bias_rows(z, b);
+            let hd = self.hidden;
+            let i_gate = g.col_slice(z, 0, hd);
+            let f_gate = g.col_slice(z, hd, 2 * hd);
+            let g_gate = g.col_slice(z, 2 * hd, 3 * hd);
+            let o_gate = g.col_slice(z, 3 * hd, 4 * hd);
+            let i_gate = g.sigmoid(i_gate);
+            let f_gate = g.sigmoid(f_gate);
+            let g_gate = g.tanh(g_gate);
+            let o_gate = g.sigmoid(o_gate);
+            let fc = g.mul(f_gate, c);
+            let ig = g.mul(i_gate, g_gate);
+            c = g.add(fc, ig);
+            let ct = g.tanh(c);
+            h = g.mul(o_gate, ct);
+            let h_row = g.reshape(h, vec![self.hidden]);
+            hidden_rows.push(h_row);
+        }
+        g.stack_rows(&hidden_rows)
+    }
+}
+
+/// A learned embedding table; lookup by index.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    table: ParamId,
+}
+
+impl Embedding {
+    /// Creates a `[vocab, dim]` table with small Gaussian initialization.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let table = store.register(name, Tensor::randn(vec![vocab, dim], 0.1, rng));
+        Self { table }
+    }
+
+    /// Looks up one row as a 1-D vector.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, index: usize) -> Var {
+        let table = g.param(self.table, store.value(self.table).clone());
+        g.embedding_row(table, index)
+    }
+}
+
+/// A 2-D convolution layer with optional ReLU (stride 1, zero padding).
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    kernel: ParamId,
+    bias: ParamId,
+    pad: usize,
+    relu: bool,
+}
+
+impl Conv2d {
+    /// Creates a conv layer with a `[out, in, k, k]` kernel.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        in_channels: usize,
+        out_channels: usize,
+        k: usize,
+        pad: usize,
+        relu: bool,
+        rng: &mut R,
+    ) -> Self {
+        let fan_in = in_channels * k * k;
+        let std = (2.0 / fan_in as f32).sqrt();
+        let kernel = store.register(
+            format!("{name}.kernel"),
+            Tensor::randn(vec![out_channels, in_channels, k, k], std, rng),
+        );
+        let bias = store.register_zeros(format!("{name}.bias"), vec![out_channels]);
+        Self {
+            kernel,
+            bias,
+            pad,
+            relu,
+        }
+    }
+
+    /// Applies the convolution to a `[in, h, w]` input.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        let kernel = g.param(self.kernel, store.value(self.kernel).clone());
+        let bias = g.param(self.bias, store.value(self.bias).clone());
+        let out = g.conv2d(x, kernel, bias, self.pad);
+        if self.relu {
+            g.relu(out)
+        } else {
+            out
+        }
+    }
+}

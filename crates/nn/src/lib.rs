@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! A small tape-based autograd engine and neural-network layer library.
+//!
+//! Mature deep-learning crates were unavailable for this offline
+//! reproduction, and the paper's models are small — LocMatcher is a 3-layer,
+//! 2-head transformer with 8-dimensional candidate embeddings — so this
+//! crate implements exactly what the paper needs from first principles:
+//!
+//! * [`Tensor`]: dense row-major `f32` tensors;
+//! * [`Graph`]: a forward tape with reverse-mode differentiation, covering
+//!   dense algebra, softmax/cross-entropy, layer norm, attention plumbing
+//!   (column slicing / concatenation), dropout, embeddings, and conv2d;
+//! * [`layers`]: `Dense`, `LayerNorm`, `MultiHeadSelfAttention`,
+//!   `TransformerEncoder`, `Lstm`, `Embedding`, `Conv2d`;
+//! * [`optim`]: a `ParamStore` plus `Adam` with the paper's step-decay
+//!   schedule;
+//! * [`gradcheck`]: finite-difference validation used throughout the test
+//!   suites.
+//!
+//! # Example
+//! ```
+//! use dlinfma_nn::{Graph, ParamStore, Tensor};
+//! use dlinfma_nn::layers::{Activation, Dense};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut store = ParamStore::new();
+//! let layer = Dense::new(&mut store, "fc", 4, 2, Activation::Relu, &mut rng);
+//! let mut g = Graph::new();
+//! let x = g.constant(Tensor::new(vec![3, 4], vec![0.5; 12]));
+//! let y = layer.forward(&mut g, &store, x);
+//! assert_eq!(g.value(y).shape(), &[3, 2]);
+//! ```
+
+pub mod gradcheck;
+pub mod graph;
+pub mod layers;
+pub mod optim;
+pub mod tensor;
+
+pub use graph::{Gradients, Graph, Var};
+pub use optim::{Adam, ParamId, ParamStore, StepDecay};
+pub use tensor::Tensor;

@@ -1,0 +1,404 @@
+//! Parameter storage and the Adam optimizer.
+//!
+//! The paper trains LocMatcher with Adam (`beta1 = 0.9`, `beta2 = 0.999`,
+//! learning rate `1e-4`) and halves the learning rate every 5 epochs; the
+//! [`StepDecay`] schedule reproduces that.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Handle to a parameter in a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub usize);
+
+struct ParamSlot {
+    name: String,
+    value: Tensor,
+    m: Tensor,
+    v: Tensor,
+    grad: Tensor,
+    has_grad: bool,
+}
+
+/// Owns all learnable tensors of a model together with their Adam state.
+#[derive(Default)]
+pub struct ParamStore {
+    slots: Vec<ParamSlot>,
+}
+
+impl ParamStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter with an initial value.
+    pub fn register(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let shape = value.shape().to_vec();
+        self.slots.push(ParamSlot {
+            name: name.into(),
+            m: Tensor::zeros(shape.clone()),
+            v: Tensor::zeros(shape.clone()),
+            grad: Tensor::zeros(shape),
+            has_grad: false,
+            value,
+        });
+        ParamId(self.slots.len() - 1)
+    }
+
+    /// Registers a Xavier-initialized `[fan_in, fan_out]` matrix.
+    pub fn register_xavier<R: Rng>(
+        &mut self,
+        name: impl Into<String>,
+        fan_in: usize,
+        fan_out: usize,
+        rng: &mut R,
+    ) -> ParamId {
+        self.register(name, Tensor::xavier(fan_in, fan_out, rng))
+    }
+
+    /// Registers a zero-initialized tensor (biases).
+    pub fn register_zeros(&mut self, name: impl Into<String>, shape: Vec<usize>) -> ParamId {
+        self.register(name, Tensor::zeros(shape))
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.slots[id.0].value
+    }
+
+    /// Mutable access to a parameter's value (used by tests and by loading
+    /// saved weights).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.slots[id.0].value
+    }
+
+    /// Name the parameter was registered under.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.slots[id.0].name
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total number of scalar weights.
+    pub fn num_weights(&self) -> usize {
+        self.slots.iter().map(|s| s.value.numel()).sum()
+    }
+
+    /// Clears accumulated gradients; call once per step before accumulation.
+    pub fn zero_grads(&mut self) {
+        for s in &mut self.slots {
+            if s.has_grad {
+                s.grad.data_mut().fill(0.0);
+                s.has_grad = false;
+            }
+        }
+    }
+
+    /// Accumulates `grad` into the parameter's gradient buffer (summed over
+    /// a mini-batch of per-sample graphs).
+    pub fn accumulate_grad(&mut self, id: ParamId, grad: &Tensor) {
+        let slot = &mut self.slots[id.0];
+        slot.grad.add_assign(grad);
+        slot.has_grad = true;
+    }
+
+    /// Copies all parameter values (for early-stopping weight restore).
+    pub fn snapshot(&self) -> Vec<Tensor> {
+        self.slots.iter().map(|s| s.value.clone()).collect()
+    }
+
+    /// Exports every parameter as `(name, shape, data)` — a
+    /// serialization-agnostic weight dump for persistence layers.
+    pub fn export_weights(&self) -> Vec<(String, Vec<usize>, Vec<f32>)> {
+        self.slots
+            .iter()
+            .map(|s| {
+                (
+                    s.name.clone(),
+                    s.value.shape().to_vec(),
+                    s.value.data().to_vec(),
+                )
+            })
+            .collect()
+    }
+
+    /// Imports weights produced by [`ParamStore::export_weights`] into a
+    /// store with the *same registration order and shapes* (i.e. a model
+    /// rebuilt from the same configuration). Optimizer moments reset.
+    ///
+    /// # Errors
+    /// Returns a description of the first mismatch (count, name, or shape).
+    pub fn import_weights(
+        &mut self,
+        weights: &[(String, Vec<usize>, Vec<f32>)],
+    ) -> Result<(), String> {
+        if weights.len() != self.slots.len() {
+            return Err(format!(
+                "parameter count mismatch: store has {}, dump has {}",
+                self.slots.len(),
+                weights.len()
+            ));
+        }
+        for (slot, (name, shape, data)) in self.slots.iter().zip(weights) {
+            if &slot.name != name {
+                return Err(format!("parameter name mismatch: {} vs {name}", slot.name));
+            }
+            if slot.value.shape() != shape.as_slice() {
+                return Err(format!(
+                    "shape mismatch for {name}: {:?} vs {shape:?}",
+                    slot.value.shape()
+                ));
+            }
+            if data.len() != slot.value.numel() {
+                return Err(format!("data length mismatch for {name}"));
+            }
+        }
+        for (slot, (_, shape, data)) in self.slots.iter_mut().zip(weights) {
+            slot.value = Tensor::new(shape.clone(), data.clone());
+            slot.m = Tensor::zeros(shape.clone());
+            slot.v = Tensor::zeros(shape.clone());
+            slot.grad = Tensor::zeros(shape.clone());
+            slot.has_grad = false;
+        }
+        Ok(())
+    }
+
+    /// Restores parameter values from a [`ParamStore::snapshot`].
+    ///
+    /// # Panics
+    /// Panics if the snapshot does not match the current parameter layout.
+    pub fn restore(&mut self, snapshot: &[Tensor]) {
+        assert_eq!(snapshot.len(), self.slots.len(), "snapshot layout mismatch");
+        for (slot, value) in self.slots.iter_mut().zip(snapshot) {
+            assert_eq!(slot.value.shape(), value.shape(), "snapshot shape mismatch");
+            slot.value = value.clone();
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba, 2015).
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Base learning rate (before any schedule).
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability term.
+    pub eps: f32,
+    t: u64,
+}
+
+impl Adam {
+    /// Adam with the paper's hyperparameters (`lr = 1e-4`, `beta1 = 0.9`,
+    /// `beta2 = 0.999`).
+    pub fn paper_defaults() -> Self {
+        Self::new(1e-4)
+    }
+
+    /// Adam with a custom base learning rate and standard betas.
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+        }
+    }
+
+    /// Number of update steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one update to every parameter that accumulated a gradient,
+    /// scaling gradients by `1 / batch_size` and the learning rate by
+    /// `lr_scale` (for schedules).
+    pub fn step(&mut self, store: &mut ParamStore, batch_size: usize, lr_scale: f32) {
+        assert!(batch_size > 0, "batch size must be positive");
+        self.t += 1;
+        let t = self.t as f32;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        let lr = self.lr * lr_scale;
+        let inv_batch = 1.0 / batch_size as f32;
+        for slot in &mut store.slots {
+            if !slot.has_grad {
+                continue;
+            }
+            let g = slot.grad.data();
+            let m = slot.m.data_mut();
+            for (mi, &gi) in m.iter_mut().zip(g) {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi * inv_batch;
+            }
+            let v = slot.v.data_mut();
+            for (vi, &gi) in v.iter_mut().zip(g) {
+                let gs = gi * inv_batch;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gs * gs;
+            }
+            let (m, v, w) = (
+                slot.m.data(),
+                slot.v.data(),
+                slot.value.data_mut(),
+            );
+            for ((wi, &mi), &vi) in w.iter_mut().zip(m).zip(v) {
+                let mhat = mi / bc1;
+                let vhat = vi / bc2;
+                *wi -= lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+/// Learning-rate schedule that multiplies the base rate by `factor` every
+/// `every_epochs` epochs — the paper halves the rate every 5 epochs.
+#[derive(Debug, Clone, Copy)]
+pub struct StepDecay {
+    /// Epoch interval between decays.
+    pub every_epochs: usize,
+    /// Multiplicative factor applied at each decay.
+    pub factor: f32,
+}
+
+impl StepDecay {
+    /// The paper's schedule: halve every 5 epochs.
+    pub fn paper_defaults() -> Self {
+        Self {
+            every_epochs: 5,
+            factor: 0.5,
+        }
+    }
+
+    /// Learning-rate multiplier in effect during `epoch` (0-based).
+    pub fn scale_at(&self, epoch: usize) -> f32 {
+        self.factor.powi((epoch / self.every_epochs) as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::vector(&[1.0, 2.0]));
+        assert_eq!(store.name(id), "w");
+        assert_eq!(store.value(id).data(), &[1.0, 2.0]);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.num_weights(), 2);
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        // Minimize f(w) = (w - 3)^2 by hand-computed gradients.
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::scalar(0.0));
+        let mut adam = Adam::new(0.1);
+        for _ in 0..500 {
+            store.zero_grads();
+            let w = store.value(id).item();
+            let grad = 2.0 * (w - 3.0);
+            store.accumulate_grad(id, &Tensor::scalar(grad));
+            adam.step(&mut store, 1, 1.0);
+        }
+        let w = store.value(id).item();
+        assert!((w - 3.0).abs() < 0.05, "converged to {w}");
+    }
+
+    #[test]
+    fn batch_scaling_averages_gradients() {
+        // Two identical samples with batch_size 2 must move the weight the
+        // same as one sample with batch_size 1.
+        let run = |batch: usize| {
+            let mut store = ParamStore::new();
+            let id = store.register("w", Tensor::scalar(1.0));
+            let mut adam = Adam::new(0.01);
+            store.zero_grads();
+            for _ in 0..batch {
+                store.accumulate_grad(id, &Tensor::scalar(4.0));
+            }
+            adam.step(&mut store, batch, 1.0);
+            store.value(id).item()
+        };
+        assert!((run(1) - run(2)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn params_without_grads_are_untouched() {
+        let mut store = ParamStore::new();
+        let a = store.register("a", Tensor::scalar(5.0));
+        let b = store.register("b", Tensor::scalar(7.0));
+        let mut adam = Adam::new(0.1);
+        store.zero_grads();
+        store.accumulate_grad(a, &Tensor::scalar(1.0));
+        adam.step(&mut store, 1, 1.0);
+        assert_ne!(store.value(a).item(), 5.0);
+        assert_eq!(store.value(b).item(), 7.0);
+    }
+
+    #[test]
+    fn step_decay_halves_every_five_epochs() {
+        let s = StepDecay::paper_defaults();
+        assert_eq!(s.scale_at(0), 1.0);
+        assert_eq!(s.scale_at(4), 1.0);
+        assert_eq!(s.scale_at(5), 0.5);
+        assert_eq!(s.scale_at(10), 0.25);
+        assert_eq!(s.scale_at(14), 0.25);
+    }
+
+    #[test]
+    fn weight_export_import_roundtrip() {
+        let mut a = ParamStore::new();
+        let w = a.register("w", Tensor::vector(&[1.0, 2.0, 3.0]));
+        let b = a.register("b", Tensor::scalar(7.0));
+        let dump = a.export_weights();
+
+        let mut fresh = ParamStore::new();
+        fresh.register("w", Tensor::zeros(vec![3]));
+        fresh.register("b", Tensor::zeros(vec![1]));
+        fresh.import_weights(&dump).expect("layout matches");
+        assert_eq!(fresh.value(w).data(), &[1.0, 2.0, 3.0]);
+        assert_eq!(fresh.value(b).item(), 7.0);
+    }
+
+    #[test]
+    fn import_rejects_mismatches() {
+        let mut a = ParamStore::new();
+        a.register("w", Tensor::vector(&[1.0]));
+        let dump = a.export_weights();
+
+        let mut wrong_count = ParamStore::new();
+        assert!(wrong_count.import_weights(&dump).is_err());
+
+        let mut wrong_name = ParamStore::new();
+        wrong_name.register("x", Tensor::vector(&[0.0]));
+        assert!(wrong_name.import_weights(&dump).is_err());
+
+        let mut wrong_shape = ParamStore::new();
+        wrong_shape.register("w", Tensor::vector(&[0.0, 0.0]));
+        assert!(wrong_shape.import_weights(&dump).is_err());
+    }
+
+    #[test]
+    fn zero_grads_resets_accumulation() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::scalar(0.0));
+        store.accumulate_grad(id, &Tensor::scalar(2.0));
+        store.zero_grads();
+        let mut adam = Adam::new(0.1);
+        adam.step(&mut store, 1, 1.0);
+        assert_eq!(store.value(id).item(), 0.0, "no grad, no movement");
+    }
+}

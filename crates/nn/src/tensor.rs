@@ -1,0 +1,364 @@
+//! Dense row-major f32 tensors.
+//!
+//! Shapes are kept deliberately simple: the models in this reproduction are
+//! small (a 3-layer, 2-head transformer over at most a few hundred location
+//! candidates), so a `Vec<f32>` with a shape vector is both fast enough and
+//! easy to verify.
+
+use rand::Rng;
+
+/// A dense row-major tensor of `f32` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a shape and backing data.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not equal the product of `shape`.
+    pub fn new(shape: Vec<usize>, data: Vec<f32>) -> Self {
+        let numel: usize = shape.iter().product();
+        assert_eq!(
+            numel,
+            data.len(),
+            "shape {shape:?} implies {numel} elements, got {}",
+            data.len()
+        );
+        Self { shape, data }
+    }
+
+    /// A tensor filled with zeros.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        let numel = shape.iter().product();
+        Self {
+            shape,
+            data: vec![0.0; numel],
+        }
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: Vec<usize>, value: f32) -> Self {
+        let numel = shape.iter().product();
+        Self {
+            shape,
+            data: vec![value; numel],
+        }
+    }
+
+    /// A 1-D tensor from a slice.
+    pub fn vector(values: &[f32]) -> Self {
+        Self::new(vec![values.len()], values.to_vec())
+    }
+
+    /// A scalar (shape `[1]`) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Self::new(vec![1], vec![value])
+    }
+
+    /// Gaussian-initialized tensor with the given standard deviation
+    /// (Box-Muller over the provided RNG, so runs are reproducible).
+    pub fn randn<R: Rng>(shape: Vec<usize>, std: f32, rng: &mut R) -> Self {
+        let numel: usize = shape.iter().product();
+        let mut data = Vec::with_capacity(numel);
+        while data.len() < numel {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * theta.cos() * std);
+            if data.len() < numel {
+                data.push(r * theta.sin() * std);
+            }
+        }
+        Self { shape, data }
+    }
+
+    /// Xavier/Glorot-uniform initialization for a `[fan_in, fan_out]` matrix.
+    pub fn xavier<R: Rng>(fan_in: usize, fan_out: usize, rng: &mut R) -> Self {
+        let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        let data = (0..fan_in * fan_out)
+            .map(|_| rng.gen_range(-limit..limit))
+            .collect();
+        Self {
+            shape: vec![fan_in, fan_out],
+            data,
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Immutable view of the backing data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its backing data.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Number of rows of a 2-D tensor.
+    ///
+    /// # Panics
+    /// Panics unless the tensor is 2-D.
+    pub fn rows(&self) -> usize {
+        assert_eq!(self.shape.len(), 2, "expected 2-D, got {:?}", self.shape);
+        self.shape[0]
+    }
+
+    /// Number of columns of a 2-D tensor.
+    ///
+    /// # Panics
+    /// Panics unless the tensor is 2-D.
+    pub fn cols(&self) -> usize {
+        assert_eq!(self.shape.len(), 2, "expected 2-D, got {:?}", self.shape);
+        self.shape[1]
+    }
+
+    /// Element at `(i, j)` of a 2-D tensor.
+    pub fn at2(&self, i: usize, j: usize) -> f32 {
+        let c = self.cols();
+        self.data[i * c + j]
+    }
+
+    /// The single value of a scalar tensor.
+    ///
+    /// # Panics
+    /// Panics unless the tensor has exactly one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.numel(), 1, "item() on non-scalar {:?}", self.shape);
+        self.data[0]
+    }
+
+    /// Returns a copy with a new shape covering the same elements.
+    ///
+    /// # Panics
+    /// Panics if the element counts differ.
+    pub fn reshaped(&self, shape: Vec<usize>) -> Tensor {
+        Tensor::new(shape, self.data.clone())
+    }
+
+    /// Matrix product of two 2-D tensors (`[m,k] x [k,n] -> [m,n]`).
+    ///
+    /// # Panics
+    /// Panics on non-2-D inputs or mismatched inner dimensions.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (m, k) = (self.rows(), self.cols());
+        let (k2, n) = (other.rows(), other.cols());
+        assert_eq!(k, k2, "matmul {:?} x {:?}", self.shape, other.shape);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &self.data[i * k..(i + 1) * k];
+            for (kk, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[kk * n..(kk + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor::new(vec![m, n], out)
+    }
+
+    /// Transpose of a 2-D tensor.
+    pub fn transposed(&self) -> Tensor {
+        let (m, n) = (self.rows(), self.cols());
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor::new(vec![n, m], out)
+    }
+
+    /// Elementwise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Elementwise combination of two same-shaped tensors.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, other.shape, "zip shape mismatch");
+        Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// In-place `self += other`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// True when every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    #[should_panic(expected = "implies")]
+    fn shape_data_mismatch_panics() {
+        let _ = Tensor::new(vec![2, 3], vec![0.0; 5]);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::new(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::new(vec![3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::new(vec![2, 2], vec![3.0, -1.0, 2.0, 5.0]);
+        let i = Tensor::new(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::new(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transposed().transposed(), a);
+        assert_eq!(a.transposed().at2(2, 1), 6.0);
+    }
+
+    #[test]
+    fn randn_statistics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = Tensor::randn(vec![10_000], 2.0, &mut rng);
+        let mean = t.sum() / t.numel() as f32;
+        let var = t.data().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / t.numel() as f32;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn xavier_within_limit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Tensor::xavier(8, 32, &mut rng);
+        let limit = (6.0f32 / 40.0).sqrt();
+        assert!(t.data().iter().all(|x| x.abs() <= limit));
+    }
+
+    #[test]
+    fn map_zip_add_assign() {
+        let a = Tensor::vector(&[1.0, -2.0, 3.0]);
+        let b = Tensor::vector(&[10.0, 20.0, 30.0]);
+        assert_eq!(a.map(|x| x * 2.0).data(), &[2.0, -4.0, 6.0]);
+        assert_eq!(a.zip(&b, |x, y| x + y).data(), &[11.0, 18.0, 33.0]);
+        let mut c = a.clone();
+        c.add_assign(&b);
+        assert_eq!(c.data(), &[11.0, 18.0, 33.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::new(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = a.reshaped(vec![6]);
+        assert_eq!(b.shape(), &[6]);
+        assert_eq!(b.data(), a.data());
+    }
+
+    #[test]
+    fn item_and_scalar() {
+        assert_eq!(Tensor::scalar(4.25).item(), 4.25);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+            proptest::collection::vec(-10.0..10.0f32, rows * cols)
+                .prop_map(move |data| Tensor::new(vec![rows, cols], data))
+        }
+
+        proptest! {
+            #[test]
+            fn matmul_distributes_over_addition(
+                a in arb_matrix(3, 4),
+                b in arb_matrix(3, 4),
+                c in arb_matrix(4, 2),
+            ) {
+                // (a + b) c == a c + b c
+                let left = a.zip(&b, |x, y| x + y).matmul(&c);
+                let right = a.matmul(&c).zip(&b.matmul(&c), |x, y| x + y);
+                for (l, r) in left.data().iter().zip(right.data()) {
+                    prop_assert!((l - r).abs() < 1e-3, "{l} vs {r}");
+                }
+            }
+
+            #[test]
+            fn transpose_of_product_is_reversed_product(
+                a in arb_matrix(3, 4),
+                b in arb_matrix(4, 2),
+            ) {
+                // (a b)^T == b^T a^T
+                let left = a.matmul(&b).transposed();
+                let right = b.transposed().matmul(&a.transposed());
+                for (l, r) in left.data().iter().zip(right.data()) {
+                    prop_assert!((l - r).abs() < 1e-3);
+                }
+            }
+
+            #[test]
+            fn sum_is_linear(
+                a in arb_matrix(4, 4),
+                k in -5.0..5.0f32,
+            ) {
+                let scaled = a.map(|x| x * k);
+                prop_assert!((scaled.sum() - a.sum() * k).abs() < 1e-2);
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! End-to-end training smoke tests: each model family must actually learn.
+
+use dlinfma_nn::layers::{Activation, Dense, Lstm, TransformerEncoder};
+use dlinfma_nn::{Adam, Graph, ParamStore, Tensor};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A two-layer MLP must fit XOR — the classic non-linear sanity check.
+#[test]
+fn mlp_learns_xor() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut store = ParamStore::new();
+    let l1 = Dense::new(&mut store, "l1", 2, 8, Activation::Tanh, &mut rng);
+    let l2 = Dense::new(&mut store, "l2", 8, 2, Activation::Identity, &mut rng);
+    let mut adam = Adam::new(0.05);
+
+    let data: [([f32; 2], usize); 4] = [
+        ([0.0, 0.0], 0),
+        ([0.0, 1.0], 1),
+        ([1.0, 0.0], 1),
+        ([1.0, 1.0], 0),
+    ];
+
+    for _ in 0..300 {
+        store.zero_grads();
+        for (x, y) in &data {
+            let mut g = Graph::new();
+            let input = g.constant(Tensor::new(vec![1, 2], x.to_vec()));
+            let h = l1.forward(&mut g, &store, input);
+            let logits2d = l2.forward(&mut g, &store, h);
+            let logits = g.reshape(logits2d, vec![2]);
+            let loss = g.softmax_cross_entropy_1d(logits, *y);
+            let grads = g.backward(loss);
+            for (pid, grad) in g.param_grads(&grads) {
+                store.accumulate_grad(pid, grad);
+            }
+        }
+        adam.step(&mut store, data.len(), 1.0);
+    }
+
+    // All four points classified correctly.
+    for (x, y) in &data {
+        let mut g = Graph::new();
+        let input = g.constant(Tensor::new(vec![1, 2], x.to_vec()));
+        let h = l1.forward(&mut g, &store, input);
+        let logits = l2.forward(&mut g, &store, h);
+        let row = g.value(logits);
+        let pred = if row.at2(0, 0) > row.at2(0, 1) { 0 } else { 1 };
+        assert_eq!(pred, *y, "misclassified {x:?}");
+    }
+}
+
+/// The transformer + attention-selection stack (LocMatcher's shape) must
+/// learn a toy "pick the row with the largest first feature" task over
+/// variable-length candidate sets.
+#[test]
+fn transformer_learns_argmax_selection() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut store = ParamStore::new();
+    let embed = Dense::new(&mut store, "embed", 3, 8, Activation::Tanh, &mut rng);
+    let enc = TransformerEncoder::new(&mut store, "enc", 1, 8, 2, 16, 0.0, &mut rng);
+    let score = Dense::new(&mut store, "score", 8, 1, Activation::Identity, &mut rng);
+    let mut adam = Adam::new(0.01);
+
+    let gen_sample = |rng: &mut StdRng| {
+        let n = rng.gen_range(3..8);
+        let feats: Vec<Vec<f32>> = (0..n)
+            .map(|_| {
+                vec![
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                ]
+            })
+            .collect();
+        let target = feats
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a[0].partial_cmp(&b[0]).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        (feats, target)
+    };
+
+    let run = |store: &ParamStore,
+               embed: &Dense,
+               enc: &TransformerEncoder,
+               score: &Dense,
+               feats: &[Vec<f32>]|
+     -> (Graph, dlinfma_nn::Var) {
+        let n = feats.len();
+        let flat: Vec<f32> = feats.iter().flatten().copied().collect();
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::new(vec![n, 3], flat));
+        let e = embed.forward(&mut g, store, x);
+        let mut dummy = StdRng::seed_from_u64(0);
+        let z = enc.forward(&mut g, store, e, false, &mut dummy);
+        let s = score.forward(&mut g, store, z);
+        let logits = g.reshape(s, vec![n]);
+        (g, logits)
+    };
+
+    for _ in 0..400 {
+        store.zero_grads();
+        let batch = 8;
+        for _ in 0..batch {
+            let (feats, target) = gen_sample(&mut rng);
+            let (mut g, logits) = run(&store, &embed, &enc, &score, &feats);
+            let loss = g.softmax_cross_entropy_1d(logits, target);
+            let grads = g.backward(loss);
+            for (pid, grad) in g.param_grads(&grads) {
+                store.accumulate_grad(pid, grad);
+            }
+        }
+        adam.step(&mut store, 8, 1.0);
+    }
+
+    let mut correct = 0;
+    let total = 100;
+    for _ in 0..total {
+        let (feats, target) = gen_sample(&mut rng);
+        let (g, logits) = run(&store, &embed, &enc, &score, &feats);
+        let vals = g.value(logits);
+        let pred = vals
+            .data()
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        if pred == target {
+            correct += 1;
+        }
+    }
+    assert!(
+        correct >= 85,
+        "transformer selection accuracy {correct}/{total}"
+    );
+}
+
+/// The LSTM must learn a short-sequence task: predict whether the sum of
+/// inputs so far is positive at the last step.
+#[test]
+fn lstm_learns_running_sign() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut store = ParamStore::new();
+    let lstm = Lstm::new(&mut store, "lstm", 1, 8, &mut rng);
+    let head = Dense::new(&mut store, "head", 8, 2, Activation::Identity, &mut rng);
+    let mut adam = Adam::new(0.02);
+
+    let gen = |rng: &mut StdRng| {
+        let n = rng.gen_range(3..7);
+        let xs: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let label = usize::from(xs.iter().sum::<f32>() > 0.0);
+        (xs, label)
+    };
+
+    for _ in 0..300 {
+        store.zero_grads();
+        for _ in 0..8 {
+            let (xs, label) = gen(&mut rng);
+            let n = xs.len();
+            let mut g = Graph::new();
+            let x = g.constant(Tensor::new(vec![n, 1], xs));
+            let h = lstm.forward(&mut g, &store, x);
+            let last = g.row_slice(h, n - 1);
+            let logits2d = head.forward(&mut g, &store, last);
+            let logits = g.reshape(logits2d, vec![2]);
+            let loss = g.softmax_cross_entropy_1d(logits, label);
+            let grads = g.backward(loss);
+            for (pid, grad) in g.param_grads(&grads) {
+                store.accumulate_grad(pid, grad);
+            }
+        }
+        adam.step(&mut store, 8, 1.0);
+    }
+
+    let mut correct = 0;
+    for _ in 0..100 {
+        let (xs, label) = gen(&mut rng);
+        let n = xs.len();
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::new(vec![n, 1], xs));
+        let h = lstm.forward(&mut g, &store, x);
+        let last = g.row_slice(h, n - 1);
+        let logits = head.forward(&mut g, &store, last);
+        let v = g.value(logits);
+        let pred = usize::from(v.at2(0, 1) > v.at2(0, 0));
+        if pred == label {
+            correct += 1;
+        }
+    }
+    assert!(correct >= 85, "lstm accuracy {correct}/100");
+}
+
+/// Dropout must be identity at eval time and roughly mean-preserving in
+/// expectation at train time.
+#[test]
+fn dropout_semantics() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let x = Tensor::full(vec![1000], 1.0);
+    let mut g = Graph::new();
+    let xv = g.constant(x.clone());
+    let eval = g.dropout(xv, 0.5, false, &mut rng);
+    assert_eq!(g.value(eval).data(), x.data());
+
+    let train = g.dropout(xv, 0.5, true, &mut rng);
+    let mean = g.value(train).sum() / 1000.0;
+    assert!((mean - 1.0).abs() < 0.15, "inverted dropout mean {mean}");
+    let zeros = g.value(train).data().iter().filter(|&&v| v == 0.0).count();
+    assert!((350..650).contains(&zeros), "dropped {zeros}/1000");
+}
+
+/// Softmax cross-entropy must match the analytic value for known logits.
+#[test]
+fn cross_entropy_known_value() {
+    let mut g = Graph::new();
+    let logits = g.constant(Tensor::vector(&[1.0, 2.0, 3.0]));
+    let loss = g.softmax_cross_entropy_1d(logits, 2);
+    // -log(e^3 / (e^1 + e^2 + e^3)) = log(1 + e^-1 + e^-2)
+    let expected = (1.0f32 + (-1.0f32).exp() + (-2.0f32).exp()).ln();
+    assert!((g.value(loss).item() - expected).abs() < 1e-5);
+}

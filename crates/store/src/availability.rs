@@ -1,0 +1,263 @@
+//! Application 2: customer availability inference (Section VI-C).
+//!
+//! Knowing *when* a customer actually receives parcels improves delivery
+//! success rates. Recorded confirmation times are delayed, so the deployed
+//! system corrects them: after the delivery location of an address is
+//! inferred, the *actual* delivery time of each waybill is recovered as the
+//! time of the courier's stay point nearest the inferred location within the
+//! trip, and an hour-of-day availability profile is accumulated from the
+//! corrected times.
+
+use dlinfma_core::{CandidatePool, DlInfMa};
+use dlinfma_synth::{AddressId, Dataset};
+use std::collections::HashMap;
+
+/// Hour-of-day availability profile of one address.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AvailabilityProfile {
+    /// Per-hour delivery counts.
+    pub counts: [u32; 24],
+}
+
+impl AvailabilityProfile {
+    /// Normalized hour-of-day distribution (sums to 1, all zeros when no
+    /// deliveries).
+    pub fn distribution(&self) -> [f64; 24] {
+        let total: u32 = self.counts.iter().sum();
+        let mut out = [0.0; 24];
+        if total > 0 {
+            for (o, &c) in out.iter_mut().zip(&self.counts) {
+                *o = f64::from(c) / f64::from(total);
+            }
+        }
+        out
+    }
+
+    /// Hours whose availability probability is at least `threshold`
+    /// (Figure 15(b)'s shaded windows).
+    pub fn windows(&self, threshold: f64) -> Vec<usize> {
+        self.distribution()
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p >= threshold)
+            .map(|(h, _)| h)
+            .collect()
+    }
+}
+
+/// Weekly availability: per day-of-week, per hour-of-day delivery counts
+/// (Section VI-C models feasibility by time of day AND day of week).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeeklyAvailability {
+    /// `counts[dow][hour]`, `dow` 0 = the epoch's weekday.
+    pub counts: [[u32; 24]; 7],
+}
+
+impl WeeklyAvailability {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Self {
+            counts: [[0; 24]; 7],
+        }
+    }
+
+    /// Records a delivery at epoch-relative time `t` (seconds).
+    pub fn record(&mut self, t: f64) {
+        let day = ((t.rem_euclid(7.0 * 86_400.0)) / 86_400.0) as usize % 7;
+        let hour = ((t.rem_euclid(86_400.0)) / 3_600.0) as usize % 24;
+        self.counts[day][hour] += 1;
+    }
+
+    /// Hour windows of one weekday whose probability (within that weekday)
+    /// reaches `threshold`.
+    pub fn windows_on(&self, day: usize, threshold: f64) -> Vec<usize> {
+        let total: u32 = self.counts[day].iter().sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        self.counts[day]
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| f64::from(c) / f64::from(total) >= threshold)
+            .map(|(h, _)| h)
+            .collect()
+    }
+
+    /// Total deliveries recorded.
+    pub fn total(&self) -> u32 {
+        self.counts.iter().flatten().sum()
+    }
+}
+
+impl Default for WeeklyAvailability {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Builds weekly availability profiles from corrected delivery times.
+pub fn weekly_availability(
+    dataset: &Dataset,
+    dlinfma: &DlInfMa,
+    radius_m: f64,
+) -> HashMap<AddressId, WeeklyAvailability> {
+    let mut out: HashMap<AddressId, WeeklyAvailability> = HashMap::new();
+    for (wi, w) in dataset.waybills.iter().enumerate() {
+        let Some(inferred) = dlinfma.infer(w.address) else {
+            continue;
+        };
+        let t = corrected_delivery_time(dlinfma.pool(), dataset, wi, inferred, radius_m);
+        out.entry(w.address).or_default().record(t);
+    }
+    out
+}
+
+/// Recovers the actual delivery time of a waybill: the mid-time of the
+/// trip's candidate visit nearest the inferred delivery location (within
+/// `radius_m`), falling back to the recorded time.
+pub fn corrected_delivery_time(
+    pool: &CandidatePool,
+    dataset: &Dataset,
+    waybill_idx: usize,
+    inferred: dlinfma_geo::Point,
+    radius_m: f64,
+) -> f64 {
+    let w = &dataset.waybills[waybill_idx];
+    pool.visits(w.trip)
+        .iter()
+        .filter(|&&(c, t)| {
+            pool.candidate(c).pos.distance(&inferred) <= radius_m
+                && t <= w.t_recorded_delivery
+        })
+        .map(|&(_, t)| t)
+        .min_by(|a, b| {
+            // Closest stay time *before* the recorded bound: the latest one.
+            b.partial_cmp(a).expect("finite")
+        })
+        .unwrap_or(w.t_recorded_delivery)
+}
+
+/// Builds availability profiles for every delivered address using corrected
+/// delivery times.
+pub fn availability_profiles(
+    dataset: &Dataset,
+    dlinfma: &DlInfMa,
+    radius_m: f64,
+) -> HashMap<AddressId, AvailabilityProfile> {
+    let mut out: HashMap<AddressId, AvailabilityProfile> = HashMap::new();
+    for (wi, w) in dataset.waybills.iter().enumerate() {
+        let Some(inferred) = dlinfma.infer(w.address) else {
+            continue;
+        };
+        let t = corrected_delivery_time(dlinfma.pool(), dataset, wi, inferred, radius_m);
+        let hour = ((t.rem_euclid(86_400.0)) / 3_600.0) as usize % 24;
+        out.entry(w.address)
+            .or_insert(AvailabilityProfile { counts: [0; 24] })
+            .counts[hour] += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlinfma_core::DlInfMaConfig;
+    use dlinfma_synth::{generate, spatial_split, Preset, Scale};
+
+    fn trained() -> (Dataset, DlInfMa) {
+        let (_, ds) = generate(Preset::DowBJ, Scale::Tiny, 31);
+        let split = spatial_split(&ds, 0.6, 0.2);
+        let mut cfg = DlInfMaConfig::fast();
+        cfg.model.max_epochs = 5;
+        let mut dl = DlInfMa::prepare(&ds, cfg);
+        dl.label_from_dataset(&ds);
+        dl.train(&split.train, &split.val);
+        (ds, dl)
+    }
+
+    #[test]
+    fn corrected_times_are_no_later_than_recorded() {
+        let (ds, dl) = trained();
+        for (wi, w) in ds.waybills.iter().enumerate().take(100) {
+            let Some(inferred) = dl.infer(w.address) else { continue };
+            let t = corrected_delivery_time(dl.pool(), &ds, wi, inferred, 30.0);
+            assert!(t <= w.t_recorded_delivery + 1e-6);
+            assert!(t >= ds.trip(w.trip).t_start - 1e-6);
+        }
+    }
+
+    #[test]
+    fn correction_moves_toward_actual_time() {
+        let (ds, dl) = trained();
+        let mut err_recorded = 0.0;
+        let mut err_corrected = 0.0;
+        let mut n = 0;
+        for (wi, w) in ds.waybills.iter().enumerate() {
+            let Some(inferred) = dl.infer(w.address) else { continue };
+            let t = corrected_delivery_time(dl.pool(), &ds, wi, inferred, 30.0);
+            err_recorded += (w.t_recorded_delivery - w.t_actual_delivery).abs();
+            err_corrected += (t - w.t_actual_delivery).abs();
+            n += 1;
+        }
+        assert!(n > 0);
+        assert!(
+            err_corrected < err_recorded,
+            "corrected {:.0}s !< recorded {:.0}s (n={n})",
+            err_corrected / n as f64,
+            err_recorded / n as f64
+        );
+    }
+
+    #[test]
+    fn profiles_cover_working_hours() {
+        let (ds, dl) = trained();
+        let profiles = availability_profiles(&ds, &dl, 30.0);
+        assert!(!profiles.is_empty());
+        for p in profiles.values() {
+            let dist = p.distribution();
+            let sum: f64 = dist.iter().sum();
+            assert!(sum == 0.0 || (sum - 1.0).abs() < 1e-9);
+            // Trips run 08:30-late; no deliveries before 6am.
+            for h in 0..6 {
+                assert_eq!(p.counts[h], 0, "delivery at {h}h?");
+            }
+        }
+    }
+
+    #[test]
+    fn weekly_profile_buckets_by_day_and_hour() {
+        let mut w = WeeklyAvailability::new();
+        // Day 0, 09:00 and day 2, 14:00.
+        w.record(9.0 * 3_600.0);
+        w.record(2.0 * 86_400.0 + 14.0 * 3_600.0);
+        w.record(2.0 * 86_400.0 + 14.5 * 3_600.0);
+        assert_eq!(w.total(), 3);
+        assert_eq!(w.counts[0][9], 1);
+        assert_eq!(w.counts[2][14], 2);
+        assert_eq!(w.windows_on(0, 0.5), vec![9]);
+        assert_eq!(w.windows_on(2, 0.5), vec![14]);
+        assert!(w.windows_on(5, 0.1).is_empty());
+    }
+
+    #[test]
+    fn weekly_availability_covers_delivered_addresses() {
+        let (ds, dl) = trained();
+        let weekly = weekly_availability(&ds, &dl, 30.0);
+        assert!(!weekly.is_empty());
+        for p in weekly.values() {
+            assert!(p.total() > 0);
+        }
+    }
+
+    #[test]
+    fn windows_threshold() {
+        let mut counts = [0u32; 24];
+        counts[9] = 6;
+        counts[15] = 3;
+        counts[20] = 1;
+        let p = AvailabilityProfile { counts };
+        assert_eq!(p.windows(0.3), vec![9, 15]);
+        assert_eq!(p.windows(0.05), vec![9, 15, 20]);
+        assert!(p.windows(0.9).is_empty());
+    }
+}

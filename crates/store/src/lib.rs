@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+//! Deployment layer (Section VI): the delivery-location store and the two
+//! applications built on it.
+//!
+//! * [`kv`] — the concurrent address→location store with the deployed
+//!   fallback chain (address → building → geocode);
+//! * [`route`] — Application 1: TSP route planning over inferred locations;
+//! * [`availability`] — Application 2: customer availability inference from
+//!   corrected delivery times.
+
+pub mod availability;
+pub mod kv;
+pub mod route;
+
+pub use availability::{
+    availability_profiles, corrected_delivery_time, weekly_availability, AvailabilityProfile,
+    WeeklyAvailability,
+};
+pub use kv::{DeliveryLocationStore, QuerySource};
+pub use route::{plan_route, Route};

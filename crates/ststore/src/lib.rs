@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+//! JUST-lite: an embedded spatio-temporal data engine.
+//!
+//! The deployed system (Section VI-A, Figure 14) pre-processes and stores
+//! couriers' raw trajectories and waybills in JD's distributed
+//! spatio-temporal platform *JUST*, from which DLInfMA pulls its inputs.
+//! This crate is the single-node substitute: an embedded store with
+//!
+//! * spatio-temporal **range queries** over trajectory fixes
+//!   (bounding box × time interval), backed by a grid × time-bucket index;
+//! * **per-courier** trajectory retrieval in time order;
+//! * **waybill queries** by address and by time interval;
+//! * concurrent readers under `parking_lot` locks (queries while ingesting).
+//!
+//! The pipeline can be fed straight from a store snapshot
+//! ([`TrajectoryStore::ingest_dataset`] → [`TrajectoryStore::export_dataset`]),
+//! which the tests use to prove storage round-trips preserve the data the
+//! inference consumes.
+
+pub mod query;
+pub mod store;
+
+pub use query::{SpatioTemporalQuery, TimeRange};
+pub use store::{StoredFix, TrajectoryStore};

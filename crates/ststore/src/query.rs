@@ -1,0 +1,79 @@
+//! Query types for the spatio-temporal store.
+
+use dlinfma_geo::BBox;
+
+/// A closed time interval in dataset-epoch seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeRange {
+    /// Inclusive start.
+    pub start: f64,
+    /// Inclusive end.
+    pub end: f64,
+}
+
+impl TimeRange {
+    /// Creates a range; flips the endpoints if given in reverse.
+    pub fn new(a: f64, b: f64) -> Self {
+        if a <= b {
+            Self { start: a, end: b }
+        } else {
+            Self { start: b, end: a }
+        }
+    }
+
+    /// The unbounded range.
+    pub fn all() -> Self {
+        Self {
+            start: f64::NEG_INFINITY,
+            end: f64::INFINITY,
+        }
+    }
+
+    /// True when `t` lies inside the range (boundaries inclusive).
+    pub fn contains(&self, t: f64) -> bool {
+        t >= self.start && t <= self.end
+    }
+
+    /// Length of the range in seconds (zero for degenerate ranges).
+    pub fn duration(&self) -> f64 {
+        (self.end - self.start).max(0.0)
+    }
+}
+
+/// A spatio-temporal range query: fixes inside `bbox` during `time`.
+#[derive(Debug, Clone, Copy)]
+pub struct SpatioTemporalQuery {
+    /// Spatial window (boundary inclusive).
+    pub bbox: BBox,
+    /// Temporal window (boundary inclusive).
+    pub time: TimeRange,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_normalizes_order() {
+        let r = TimeRange::new(10.0, 3.0);
+        assert_eq!(r.start, 3.0);
+        assert_eq!(r.end, 10.0);
+        assert_eq!(r.duration(), 7.0);
+    }
+
+    #[test]
+    fn contains_is_inclusive() {
+        let r = TimeRange::new(0.0, 10.0);
+        assert!(r.contains(0.0));
+        assert!(r.contains(10.0));
+        assert!(!r.contains(10.000001));
+        assert!(!r.contains(-0.000001));
+    }
+
+    #[test]
+    fn all_contains_everything() {
+        let r = TimeRange::all();
+        assert!(r.contains(-1e18));
+        assert!(r.contains(1e18));
+    }
+}

@@ -1,0 +1,386 @@
+//! The embedded trajectory/waybill store.
+
+use crate::query::{SpatioTemporalQuery, TimeRange};
+use dlinfma_geo::Point;
+use dlinfma_synth::{AddressId, CourierId, Dataset, TripId, Waybill};
+use dlinfma_traj::{TrajPoint, Trajectory};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// One stored GPS fix with its provenance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoredFix {
+    /// The trip the fix belongs to.
+    pub trip: TripId,
+    /// The courier who produced it.
+    pub courier: CourierId,
+    /// Location in the local metric frame.
+    pub pos: Point,
+    /// Time in dataset-epoch seconds.
+    pub t: f64,
+}
+
+/// Spatial cell edge for the fix index, meters. Urban range queries in this
+/// codebase span tens to hundreds of meters, so ~100 m cells keep buckets
+/// small without exploding the cell count.
+const CELL_M: f64 = 100.0;
+/// Temporal bucket for the fix index, seconds (one hour).
+const BUCKET_S: f64 = 3_600.0;
+
+#[derive(Default)]
+struct Inner {
+    /// Grid×time index: (cell x, cell y, time bucket) -> fixes.
+    st_index: HashMap<(i64, i64, i64), Vec<StoredFix>>,
+    /// Per-courier fixes in insertion (chronological) order.
+    by_courier: HashMap<CourierId, Vec<StoredFix>>,
+    /// Per-trip metadata mirrored from the dataset.
+    trips: HashMap<TripId, (CourierId, f64, f64)>,
+    /// All waybills in dataset order.
+    waybills: Vec<Waybill>,
+    /// Waybill indices per address.
+    waybills_by_address: HashMap<AddressId, Vec<usize>>,
+    n_fixes: usize,
+}
+
+/// An embedded, concurrently-readable spatio-temporal store.
+#[derive(Default)]
+pub struct TrajectoryStore {
+    inner: RwLock<Inner>,
+}
+
+fn st_key(pos: Point, t: f64) -> (i64, i64, i64) {
+    (
+        (pos.x / CELL_M).floor() as i64,
+        (pos.y / CELL_M).floor() as i64,
+        (t / BUCKET_S).floor() as i64,
+    )
+}
+
+impl TrajectoryStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests one trip's trajectory.
+    pub fn ingest_trip(&self, trip: TripId, courier: CourierId, trajectory: &Trajectory) {
+        let mut inner = self.inner.write();
+        let (t0, t1) = (
+            trajectory.start_time().unwrap_or(0.0),
+            trajectory.end_time().unwrap_or(0.0),
+        );
+        inner.trips.insert(trip, (courier, t0, t1));
+        for p in trajectory.points() {
+            let fix = StoredFix {
+                trip,
+                courier,
+                pos: p.pos,
+                t: p.t,
+            };
+            inner
+                .st_index
+                .entry(st_key(p.pos, p.t))
+                .or_default()
+                .push(fix);
+            inner.by_courier.entry(courier).or_default().push(fix);
+            inner.n_fixes += 1;
+        }
+    }
+
+    /// Ingests one waybill.
+    pub fn ingest_waybill(&self, waybill: Waybill) {
+        let mut inner = self.inner.write();
+        let idx = inner.waybills.len();
+        inner
+            .waybills_by_address
+            .entry(waybill.address)
+            .or_default()
+            .push(idx);
+        inner.waybills.push(waybill);
+    }
+
+    /// Ingests a whole synthetic dataset (trajectories + waybills).
+    pub fn ingest_dataset(&self, dataset: &Dataset) {
+        for trip in &dataset.trips {
+            self.ingest_trip(trip.id, trip.courier, &trip.trajectory);
+        }
+        for w in &dataset.waybills {
+            self.ingest_waybill(w.clone());
+        }
+    }
+
+    /// Number of stored fixes.
+    pub fn n_fixes(&self) -> usize {
+        self.inner.read().n_fixes
+    }
+
+    /// Number of stored waybills.
+    pub fn n_waybills(&self) -> usize {
+        self.inner.read().waybills.len()
+    }
+
+    /// Spatio-temporal range query: all fixes inside the query window,
+    /// sorted by time (ties broken by trip id for determinism).
+    pub fn range_query(&self, q: &SpatioTemporalQuery) -> Vec<StoredFix> {
+        let inner = self.inner.read();
+        let (x0, y0, _) = st_key(q.bbox.min, 0.0);
+        let (x1, y1, _) = st_key(q.bbox.max, 0.0);
+        // Clamp unbounded time ranges to the buckets that actually exist.
+        let (mut b0, mut b1) = (
+            (q.time.start / BUCKET_S).floor(),
+            (q.time.end / BUCKET_S).floor(),
+        );
+        if !b0.is_finite() || !b1.is_finite() {
+            let buckets = inner.st_index.keys().map(|&(_, _, b)| b);
+            let (lo, hi) = buckets.fold((i64::MAX, i64::MIN), |(lo, hi), b| {
+                (lo.min(b), hi.max(b))
+            });
+            if lo > hi {
+                return Vec::new();
+            }
+            if !b0.is_finite() {
+                b0 = lo as f64;
+            }
+            if !b1.is_finite() {
+                b1 = hi as f64;
+            }
+        }
+        let mut out = Vec::new();
+        for cx in x0..=x1 {
+            for cy in y0..=y1 {
+                for bucket in (b0 as i64)..=(b1 as i64) {
+                    if let Some(fixes) = inner.st_index.get(&(cx, cy, bucket)) {
+                        for f in fixes {
+                            if q.bbox.contains(&f.pos) && q.time.contains(f.t) {
+                                out.push(*f);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| {
+            a.t.partial_cmp(&b.t)
+                .expect("finite times")
+                .then(a.trip.cmp(&b.trip))
+        });
+        out
+    }
+
+    /// A courier's trajectory within a time range, reassembled in time order.
+    pub fn courier_trajectory(&self, courier: CourierId, time: TimeRange) -> Trajectory {
+        let inner = self.inner.read();
+        let pts: Vec<TrajPoint> = inner
+            .by_courier
+            .get(&courier)
+            .map(|fixes| {
+                fixes
+                    .iter()
+                    .filter(|f| time.contains(f.t))
+                    .map(|f| TrajPoint::new(f.pos, f.t))
+                    .collect()
+            })
+            .unwrap_or_default();
+        Trajectory::from_points(pts)
+    }
+
+    /// Waybills shipping to an address, in ingestion order.
+    pub fn waybills_for_address(&self, addr: AddressId) -> Vec<Waybill> {
+        let inner = self.inner.read();
+        inner
+            .waybills_by_address
+            .get(&addr)
+            .map(|idxs| idxs.iter().map(|&i| inner.waybills[i].clone()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Waybills whose recorded delivery time falls in `time`.
+    pub fn waybills_in_range(&self, time: TimeRange) -> Vec<Waybill> {
+        let inner = self.inner.read();
+        inner
+            .waybills
+            .iter()
+            .filter(|w| time.contains(w.t_recorded_delivery))
+            .cloned()
+            .collect()
+    }
+
+    /// Exports a dataset snapshot the inference pipeline can consume:
+    /// trajectories reassembled per trip plus all waybills, against the
+    /// address/station tables of `reference` (addresses and stations are
+    /// dimension data the store does not own).
+    pub fn export_dataset(&self, reference: &Dataset) -> Dataset {
+        let inner = self.inner.read();
+        // Reassemble each trip's fixes from the courier streams.
+        let mut per_trip: HashMap<TripId, Vec<TrajPoint>> = HashMap::new();
+        for fixes in inner.by_courier.values() {
+            for f in fixes {
+                per_trip
+                    .entry(f.trip)
+                    .or_default()
+                    .push(TrajPoint::new(f.pos, f.t));
+            }
+        }
+        let mut trips = reference.trips.clone();
+        for trip in &mut trips {
+            if let Some(pts) = per_trip.remove(&trip.id) {
+                trip.trajectory = Trajectory::from_points(pts);
+            }
+        }
+        Dataset {
+            addresses: reference.addresses.clone(),
+            trips,
+            waybills: inner.waybills.clone(),
+            stations: reference.stations.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlinfma_geo::BBox;
+    use dlinfma_synth::{generate, Preset, Scale};
+
+    fn store_with_world() -> (Dataset, TrajectoryStore) {
+        let (_, ds) = generate(Preset::DowBJ, Scale::Tiny, 77);
+        let store = TrajectoryStore::new();
+        store.ingest_dataset(&ds);
+        (ds, store)
+    }
+
+    #[test]
+    fn ingest_counts_match_dataset() {
+        let (ds, store) = store_with_world();
+        assert_eq!(store.n_fixes(), ds.total_gps_points());
+        assert_eq!(store.n_waybills(), ds.waybills.len());
+    }
+
+    #[test]
+    fn range_query_matches_linear_scan() {
+        let (ds, store) = store_with_world();
+        let q = SpatioTemporalQuery {
+            bbox: BBox::new(Point::new(50.0, 50.0), Point::new(260.0, 260.0)),
+            time: TimeRange::new(0.0, 2.0 * 86_400.0),
+        };
+        let got = store.range_query(&q);
+        let mut want = 0;
+        for trip in &ds.trips {
+            for p in trip.trajectory.points() {
+                if q.bbox.contains(&p.pos) && q.time.contains(p.t) {
+                    want += 1;
+                }
+            }
+        }
+        assert_eq!(got.len(), want);
+        assert!(got.windows(2).all(|w| w[0].t <= w[1].t), "sorted by time");
+        for f in &got {
+            assert!(q.bbox.contains(&f.pos));
+            assert!(q.time.contains(f.t));
+        }
+    }
+
+    #[test]
+    fn unbounded_time_range_query() {
+        let (ds, store) = store_with_world();
+        let all = dlinfma_geo::BBox::new(
+            Point::new(-1e5, -1e5),
+            Point::new(1e5, 1e5),
+        );
+        let got = store.range_query(&SpatioTemporalQuery {
+            bbox: all,
+            time: TimeRange::all(),
+        });
+        assert_eq!(got.len(), ds.total_gps_points());
+    }
+
+    #[test]
+    fn empty_store_queries() {
+        let store = TrajectoryStore::new();
+        let q = SpatioTemporalQuery {
+            bbox: BBox::new(Point::ZERO, Point::new(10.0, 10.0)),
+            time: TimeRange::all(),
+        };
+        assert!(store.range_query(&q).is_empty());
+        assert!(store
+            .courier_trajectory(CourierId(0), TimeRange::all())
+            .is_empty());
+        assert!(store.waybills_for_address(AddressId(0)).is_empty());
+    }
+
+    #[test]
+    fn courier_trajectory_reassembles_in_order() {
+        let (ds, store) = store_with_world();
+        let courier = ds.trips[0].courier;
+        let traj = store.courier_trajectory(courier, TimeRange::all());
+        let want: usize = ds
+            .trips
+            .iter()
+            .filter(|t| t.courier == courier)
+            .map(|t| t.trajectory.len())
+            .sum();
+        assert_eq!(traj.len(), want);
+        assert!(traj
+            .points()
+            .windows(2)
+            .all(|w| w[0].t <= w[1].t));
+    }
+
+    #[test]
+    fn waybill_queries() {
+        let (ds, store) = store_with_world();
+        let addr = ds.waybills[0].address;
+        let got = store.waybills_for_address(addr);
+        let want = ds.waybills.iter().filter(|w| w.address == addr).count();
+        assert_eq!(got.len(), want);
+
+        let day1 = TimeRange::new(0.0, 86_400.0);
+        let in_range = store.waybills_in_range(day1);
+        let want_range = ds
+            .waybills
+            .iter()
+            .filter(|w| day1.contains(w.t_recorded_delivery))
+            .count();
+        assert_eq!(in_range.len(), want_range);
+    }
+
+    #[test]
+    fn export_roundtrips_the_pipeline_inputs() {
+        let (ds, store) = store_with_world();
+        let exported = store.export_dataset(&ds);
+        exported.validate();
+        assert_eq!(exported.waybills.len(), ds.waybills.len());
+        assert_eq!(exported.trips.len(), ds.trips.len());
+        for (a, b) in exported.trips.iter().zip(&ds.trips) {
+            assert_eq!(a.trajectory.len(), b.trajectory.len());
+            assert_eq!(
+                a.trajectory.points().first(),
+                b.trajectory.points().first()
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_readers_during_ingest() {
+        let (ds, _) = store_with_world();
+        let store = std::sync::Arc::new(TrajectoryStore::new());
+        std::thread::scope(|scope| {
+            let writer = {
+                let store = store.clone();
+                let ds = &ds;
+                scope.spawn(move || store.ingest_dataset(ds))
+            };
+            for _ in 0..3 {
+                let store = store.clone();
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        let _ = store.n_fixes();
+                        let _ = store.courier_trajectory(CourierId(0), TimeRange::all());
+                    }
+                });
+            }
+            writer.join().expect("writer finishes");
+        });
+        assert_eq!(store.n_fixes(), ds.total_gps_points());
+    }
+}

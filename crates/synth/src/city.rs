@@ -1,0 +1,362 @@
+//! Synthetic city generation: blocks, buildings, addresses, delivery spots
+//! and the simulated geocoder.
+//!
+//! The generator reproduces the structural facts the paper reports about its
+//! JD Logistics datasets: addresses in one building can have *different*
+//! delivery locations (Figure 9(a): >22% / >14% of buildings), drop spots are
+//! doorsteps, shared lockers or receptions (Figure 1), and geocodes fail in
+//! three distinct ways (Figure 12): wrong address parsing, coarse POI
+//! databases, and one-geocode-per-compound collapsing.
+
+use crate::model::{
+    Address, AddressId, BuildingId, DeliverySpotKind, N_POI_CATEGORIES,
+};
+use dlinfma_geo::Point;
+use rand::Rng;
+
+/// How the simulated geocoder resolves a given address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeocodeMode {
+    /// Near the true building with small noise.
+    Accurate,
+    /// Collapsed to the center of the address's block (coarse POI database;
+    /// every address of the compound shares it).
+    CoarseCompound,
+    /// Parsed to a *different*, similarly-named compound a few hundred
+    /// meters away.
+    WrongParse,
+}
+
+/// Probabilities of each geocoder failure mode.
+#[derive(Debug, Clone, Copy)]
+pub struct GeocoderQuality {
+    /// Probability of an accurate geocode.
+    pub p_accurate: f64,
+    /// Probability of a coarse compound-level geocode.
+    pub p_coarse: f64,
+    /// Standard deviation (m) of accurate-geocode noise.
+    pub accurate_sigma_m: f64,
+    /// Distance range (m) of wrong-parse displacement.
+    pub wrong_parse_range_m: (f64, f64),
+}
+
+impl GeocoderQuality {
+    /// Probability of a wrong parse (the remaining mass).
+    pub fn p_wrong(&self) -> f64 {
+        (1.0 - self.p_accurate - self.p_coarse).max(0.0)
+    }
+}
+
+/// Parameters of the synthetic city.
+#[derive(Debug, Clone)]
+pub struct CityConfig {
+    /// Number of blocks east-west.
+    pub blocks_x: usize,
+    /// Number of blocks north-south.
+    pub blocks_y: usize,
+    /// Block edge length in meters.
+    pub block_size_m: f64,
+    /// Buildings per block.
+    pub buildings_per_block: usize,
+    /// Addresses per building (inclusive range).
+    pub addresses_per_building: (usize, usize),
+    /// Probability a *building's dominant* drop spot is its entrance;
+    /// remaining mass splits between the block's locker and the building's
+    /// reception.
+    pub p_doorstep: f64,
+    /// Probability (of non-entrance mass) of choosing the locker over the
+    /// reception as the dominant spot.
+    pub p_locker_given_not_door: f64,
+    /// Probability an address follows its building's dominant spot. The
+    /// deviation rate controls Figure 9(a)'s multi-location-building
+    /// fraction (paper: >22% in DowBJ, >14% in SubBJ).
+    pub p_follow_building: f64,
+    /// Geocoder quality model.
+    pub geocoder: GeocoderQuality,
+}
+
+/// A generated city: blocks with buildings, lockers and addresses.
+#[derive(Debug, Clone)]
+pub struct City {
+    /// Per-block centers (index = by * blocks_x + bx).
+    pub block_centers: Vec<Point>,
+    /// Building centers, indexed by `BuildingId`.
+    pub building_centers: Vec<Point>,
+    /// Express locker position of each block.
+    pub lockers: Vec<Point>,
+    /// All generated addresses.
+    pub addresses: Vec<Address>,
+    /// Overall city extent (for station placement etc.).
+    pub width_m: f64,
+    /// North-south extent.
+    pub height_m: f64,
+}
+
+fn gaussian<R: Rng>(rng: &mut R, sigma: f64) -> f64 {
+    // Box-Muller.
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos() * sigma
+}
+
+/// Generates a city from the config with the given RNG (fully deterministic
+/// per seed).
+pub fn generate_city<R: Rng>(cfg: &CityConfig, rng: &mut R) -> City {
+    let bs = cfg.block_size_m;
+    let mut block_centers = Vec::with_capacity(cfg.blocks_x * cfg.blocks_y);
+    let mut lockers = Vec::with_capacity(cfg.blocks_x * cfg.blocks_y);
+    let mut building_centers = Vec::new();
+    let mut addresses: Vec<Address> = Vec::new();
+
+    for by in 0..cfg.blocks_y {
+        for bx in 0..cfg.blocks_x {
+            let center = Point::new((bx as f64 + 0.5) * bs, (by as f64 + 0.5) * bs);
+            block_centers.push(center);
+            // Locker sits near the block entrance (south-west corner area).
+            lockers.push(Point::new(
+                center.x - bs * 0.35 + rng.gen_range(0.0..6.0),
+                center.y - bs * 0.35 + rng.gen_range(0.0..6.0),
+            ));
+        }
+    }
+
+    // Buildings: jittered grid inside each block, comfortably separated.
+    for (block_idx, &bc) in block_centers.iter().enumerate() {
+        for b in 0..cfg.buildings_per_block {
+            let angle = (b as f64 / cfg.buildings_per_block as f64) * std::f64::consts::TAU;
+            let radius = bs * 0.28;
+            let center = Point::new(
+                bc.x + radius * angle.cos() + gaussian(rng, 4.0),
+                bc.y + radius * angle.sin() + gaussian(rng, 4.0),
+            );
+            let building_id = BuildingId(building_centers.len() as u32);
+            building_centers.push(center);
+            // Reception: at the building entrance, offset from the center.
+            let reception = Point::new(center.x + 12.0, center.y - 8.0);
+
+            // Dominant drop spot shared by most of the building's customers.
+            let entrance = Point::new(
+                center.x + gaussian(rng, 2.0),
+                center.y - 10.0 + gaussian(rng, 2.0),
+            );
+            let (dominant_kind, dominant_loc) = if rng.gen_bool(cfg.p_doorstep) {
+                (DeliverySpotKind::Doorstep, entrance)
+            } else if rng.gen_bool(cfg.p_locker_given_not_door) {
+                (DeliverySpotKind::Locker, lockers[block_idx])
+            } else {
+                (DeliverySpotKind::Reception, reception)
+            };
+
+            let n_addr = rng.gen_range(cfg.addresses_per_building.0..=cfg.addresses_per_building.1);
+            for _ in 0..n_addr {
+                let (kind, true_loc) = if rng.gen_bool(cfg.p_follow_building) {
+                    (dominant_kind, dominant_loc)
+                } else {
+                    // Deviating customer: own doorstep, the locker, or the
+                    // reception, whichever differs from the dominant spot.
+                    match rng.gen_range(0..3) {
+                        0 => (
+                            DeliverySpotKind::Doorstep,
+                            Point::new(
+                                center.x + gaussian(rng, 8.0),
+                                center.y + gaussian(rng, 8.0),
+                            ),
+                        ),
+                        1 if dominant_kind != DeliverySpotKind::Locker => {
+                            (DeliverySpotKind::Locker, lockers[block_idx])
+                        }
+                        _ if dominant_kind != DeliverySpotKind::Reception => {
+                            (DeliverySpotKind::Reception, reception)
+                        }
+                        _ => (DeliverySpotKind::Locker, lockers[block_idx]),
+                    }
+                };
+                let id = AddressId(addresses.len() as u32);
+                // Geocode per the quality model.
+                let mode_roll: f64 = rng.gen_range(0.0..1.0);
+                let mode = if mode_roll < cfg.geocoder.p_accurate {
+                    GeocodeMode::Accurate
+                } else if mode_roll < cfg.geocoder.p_accurate + cfg.geocoder.p_coarse {
+                    GeocodeMode::CoarseCompound
+                } else {
+                    GeocodeMode::WrongParse
+                };
+                let geocode = match mode {
+                    GeocodeMode::Accurate => Point::new(
+                        center.x + gaussian(rng, cfg.geocoder.accurate_sigma_m),
+                        center.y + gaussian(rng, cfg.geocoder.accurate_sigma_m),
+                    ),
+                    GeocodeMode::CoarseCompound => bc,
+                    GeocodeMode::WrongParse => {
+                        // A similarly-named compound: a different block within
+                        // the configured distance ring.
+                        let (lo, hi) = cfg.geocoder.wrong_parse_range_m;
+                        let ring: Vec<Point> = block_centers
+                            .iter()
+                            .filter(|&&c| {
+                                let d = c.distance(&bc);
+                                d >= lo && d <= hi
+                            })
+                            .copied()
+                            .collect();
+                        if ring.is_empty() {
+                            // Small cities may lack a block in the ring; fall
+                            // back to a fixed-offset phantom compound.
+                            Point::new(bc.x + hi, bc.y)
+                        } else {
+                            ring[rng.gen_range(0..ring.len())]
+                        }
+                    }
+                };
+                addresses.push(Address {
+                    id,
+                    building: building_id,
+                    geocode,
+                    poi_category: rng.gen_range(0..N_POI_CATEGORIES as u8),
+                    true_delivery_location: true_loc,
+                    true_spot_kind: kind,
+                });
+            }
+        }
+    }
+
+    City {
+        block_centers,
+        building_centers,
+        lockers,
+        addresses,
+        width_m: cfg.blocks_x as f64 * bs,
+        height_m: cfg.blocks_y as f64 * bs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn test_cfg() -> CityConfig {
+        CityConfig {
+            blocks_x: 4,
+            blocks_y: 3,
+            block_size_m: 120.0,
+            buildings_per_block: 3,
+            addresses_per_building: (2, 4),
+            p_doorstep: 0.5,
+            p_locker_given_not_door: 0.5,
+            p_follow_building: 0.85,
+            geocoder: GeocoderQuality {
+                p_accurate: 0.6,
+                p_coarse: 0.3,
+                accurate_sigma_m: 15.0,
+                wrong_parse_range_m: (150.0, 400.0),
+            },
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c1 = generate_city(&test_cfg(), &mut StdRng::seed_from_u64(9));
+        let c2 = generate_city(&test_cfg(), &mut StdRng::seed_from_u64(9));
+        assert_eq!(c1.addresses.len(), c2.addresses.len());
+        for (a, b) in c1.addresses.iter().zip(&c2.addresses) {
+            assert_eq!(a.geocode, b.geocode);
+            assert_eq!(a.true_delivery_location, b.true_delivery_location);
+        }
+    }
+
+    #[test]
+    fn counts_match_config() {
+        let cfg = test_cfg();
+        let city = generate_city(&cfg, &mut StdRng::seed_from_u64(1));
+        assert_eq!(city.block_centers.len(), 12);
+        assert_eq!(city.building_centers.len(), 36);
+        assert_eq!(city.lockers.len(), 12);
+        assert!(city.addresses.len() >= 72 && city.addresses.len() <= 144);
+        // Dense address ids.
+        for (i, a) in city.addresses.iter().enumerate() {
+            assert_eq!(a.id.0 as usize, i);
+        }
+    }
+
+    #[test]
+    fn some_buildings_have_multiple_delivery_locations() {
+        // Figure 9(a): the phenomenon must exist in the synthetic world.
+        let city = generate_city(&test_cfg(), &mut StdRng::seed_from_u64(2));
+        let mut by_building: std::collections::HashMap<u32, Vec<Point>> = Default::default();
+        for a in &city.addresses {
+            by_building
+                .entry(a.building.0)
+                .or_default()
+                .push(a.true_delivery_location);
+        }
+        let multi = by_building
+            .values()
+            .filter(|locs| {
+                locs.iter()
+                    .any(|l| l.distance(&locs[0]) > 1.0)
+            })
+            .count();
+        assert!(
+            multi * 10 >= by_building.len(),
+            "only {multi}/{} buildings have >1 delivery location",
+            by_building.len()
+        );
+    }
+
+    #[test]
+    fn locker_addresses_share_exact_location() {
+        let city = generate_city(&test_cfg(), &mut StdRng::seed_from_u64(3));
+        let lockers: Vec<&Address> = city
+            .addresses
+            .iter()
+            .filter(|a| a.true_spot_kind == DeliverySpotKind::Locker)
+            .collect();
+        assert!(!lockers.is_empty());
+        for a in &lockers {
+            assert!(
+                city.lockers
+                    .iter()
+                    .any(|l| l.distance(&a.true_delivery_location) < 1e-9),
+                "locker address points at a real locker"
+            );
+        }
+    }
+
+    #[test]
+    fn geocode_failure_modes_all_present() {
+        let mut cfg = test_cfg();
+        cfg.blocks_x = 6;
+        cfg.blocks_y = 6;
+        let city = generate_city(&cfg, &mut StdRng::seed_from_u64(4));
+        let mut far = 0; // wrong parse: > 150 m from building
+        let mut coarse = 0; // exactly a block center
+        for a in &city.addresses {
+            let bc = city.building_centers[a.building.0 as usize];
+            let d = a.geocode.distance(&bc);
+            if d > 150.0 {
+                far += 1;
+            }
+            if city.block_centers.iter().any(|c| c.distance(&a.geocode) < 1e-9) {
+                coarse += 1;
+            }
+        }
+        assert!(far > 0, "no wrong-parse geocodes generated");
+        assert!(coarse > 0, "no coarse geocodes generated");
+    }
+
+    #[test]
+    fn spot_kind_mix_follows_probabilities() {
+        let mut cfg = test_cfg();
+        cfg.blocks_x = 8;
+        cfg.blocks_y = 8;
+        let city = generate_city(&cfg, &mut StdRng::seed_from_u64(5));
+        let n = city.addresses.len() as f64;
+        let doors = city
+            .addresses
+            .iter()
+            .filter(|a| a.true_spot_kind == DeliverySpotKind::Doorstep)
+            .count() as f64;
+        assert!((doors / n - 0.5).abs() < 0.1, "doorstep fraction {}", doors / n);
+    }
+}

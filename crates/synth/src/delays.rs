@@ -1,0 +1,256 @@
+//! Batch-confirmation delay injection (Section V-D of the paper).
+//!
+//! Couriers rarely confirm each parcel at the doorstep; they deliver a batch
+//! and confirm all of it at once while standing somewhere. The paper models
+//! this by splitting each trip's deliveries into `n_batches` sequential
+//! groups; the time of the last delivery in a group is the batch confirmation
+//! time, and each waybill in the group is delayed to it with probability
+//! `p_delay`. The paper's real data shows roughly 2 batches and
+//! `p_delay ≈ 0.3`; the Table III robustness study sweeps
+//! `p_delay ∈ {0.2, 0.6, 1.0}`.
+
+use crate::model::Dataset;
+use rand::Rng;
+
+/// Delay-injection parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DelayConfig {
+    /// Number of batch confirmations per trip (paper: usually 2).
+    pub n_batches: usize,
+    /// Probability a waybill is delayed to its batch confirmation time.
+    pub p_delay: f64,
+    /// Small operational lag (seconds) added even to undelayed
+    /// confirmations — couriers type after handing the parcel over.
+    pub base_lag_s: (f64, f64),
+}
+
+impl DelayConfig {
+    /// The behaviour observed in the paper's real data: 2 batches,
+    /// `p_delay = 0.3`.
+    pub fn observed() -> Self {
+        Self {
+            n_batches: 2,
+            p_delay: 0.3,
+            base_lag_s: (10.0, 180.0),
+        }
+    }
+
+    /// A Table III sweep point with the given delay probability.
+    pub fn sweep(p_delay: f64) -> Self {
+        Self {
+            p_delay,
+            ..Self::observed()
+        }
+    }
+
+    /// No delays at all (annotations are perfect).
+    pub fn none() -> Self {
+        Self {
+            n_batches: 1,
+            p_delay: 0.0,
+            base_lag_s: (0.0, 1e-9),
+        }
+    }
+}
+
+/// Overwrites every waybill's `t_recorded_delivery` according to the batch
+/// confirmation model, starting from the actual delivery times.
+///
+/// Idempotent with respect to the *actual* times: recorded times are always
+/// recomputed from `t_actual_delivery`, so calling this again with another
+/// config re-injects from scratch.
+pub fn inject_delays<R: Rng>(dataset: &mut Dataset, cfg: &DelayConfig, rng: &mut R) {
+    assert!(cfg.n_batches >= 1, "need at least one batch");
+    assert!((0.0..=1.0).contains(&cfg.p_delay), "p_delay in [0,1]");
+    // Borrow-friendly: collect per-trip waybill indices first.
+    let trip_waybills: Vec<Vec<usize>> = dataset
+        .trips
+        .iter()
+        .map(|t| {
+            let mut ws = t.waybills.clone();
+            ws.sort_by(|&a, &b| {
+                dataset.waybills[a]
+                    .t_actual_delivery
+                    .partial_cmp(&dataset.waybills[b].t_actual_delivery)
+                    .expect("times are finite")
+            });
+            ws
+        })
+        .collect();
+
+    for ws in &trip_waybills {
+        if ws.is_empty() {
+            continue;
+        }
+        let batch_size = ws.len().div_ceil(cfg.n_batches);
+        for chunk in ws.chunks(batch_size) {
+            let confirm_time = dataset.waybills[*chunk.last().expect("non-empty chunk")]
+                .t_actual_delivery;
+            for &wi in chunk {
+                let w = &mut dataset.waybills[wi];
+                let lag = rng.gen_range(cfg.base_lag_s.0..cfg.base_lag_s.1.max(cfg.base_lag_s.0 + 1e-9));
+                // Drawn explicitly (not `gen_bool`, which skips the RNG at
+                // p = 1) so the stream consumption — and therefore each
+                // waybill's lag — is identical across `p_delay` sweeps.
+                // That keeps recorded times monotone in `p_delay` per
+                // waybill, which Table III's fixed-seed comparisons rely on.
+                let delayed = rng.gen_range(0.0..1.0) < cfg.p_delay;
+                w.t_recorded_delivery = if delayed {
+                    confirm_time.max(w.t_actual_delivery) + lag
+                } else {
+                    w.t_actual_delivery + lag
+                };
+            }
+        }
+    }
+}
+
+/// Mean recorded-minus-actual delay in seconds over all waybills.
+pub fn mean_delay_s(dataset: &Dataset) -> f64 {
+    if dataset.waybills.is_empty() {
+        return 0.0;
+    }
+    dataset
+        .waybills
+        .iter()
+        .map(|w| w.t_recorded_delivery - w.t_actual_delivery)
+        .sum::<f64>()
+        / dataset.waybills.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::{generate_city, CityConfig, GeocoderQuality};
+    use crate::sim::{simulate, SimConfig};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn dataset(seed: u64) -> Dataset {
+        let city_cfg = CityConfig {
+            blocks_x: 3,
+            blocks_y: 3,
+            block_size_m: 120.0,
+            buildings_per_block: 3,
+            addresses_per_building: (2, 3),
+            p_doorstep: 0.6,
+            p_locker_given_not_door: 0.5,
+            p_follow_building: 0.9,
+            geocoder: GeocoderQuality {
+                p_accurate: 0.7,
+                p_coarse: 0.2,
+                accurate_sigma_m: 15.0,
+                wrong_parse_range_m: (150.0, 400.0),
+            },
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let city = generate_city(&city_cfg, &mut rng);
+        simulate(
+            &city,
+            &SimConfig {
+                n_stations: 1,
+                couriers_per_station: 2,
+                n_days: 4,
+                ..SimConfig::default()
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn recorded_never_earlier_than_actual() {
+        let mut ds = dataset(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        inject_delays(&mut ds, &DelayConfig::sweep(0.6), &mut rng);
+        for w in &ds.waybills {
+            assert!(w.t_recorded_delivery >= w.t_actual_delivery);
+        }
+        ds.validate();
+    }
+
+    #[test]
+    fn p_zero_keeps_only_base_lag() {
+        let mut ds = dataset(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        inject_delays(&mut ds, &DelayConfig::sweep(0.0), &mut rng);
+        for w in &ds.waybills {
+            let d = w.t_recorded_delivery - w.t_actual_delivery;
+            assert!((0.0..=180.0).contains(&d), "delay {d}");
+        }
+    }
+
+    #[test]
+    fn p_one_delays_everything_to_batch_time() {
+        let mut ds = dataset(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        inject_delays(&mut ds, &DelayConfig::sweep(1.0), &mut rng);
+        // Within each trip's batch, the recorded times must cluster at the
+        // batch confirmation time (+ lag ≤ 30 s); in particular the earliest
+        // delivery of a batch of size ≥ 2 is genuinely delayed.
+        let mut delayed = 0;
+        let mut eligible = 0;
+        for t in &ds.trips {
+            if t.waybills.len() < 2 {
+                continue;
+            }
+            for &wi in &t.waybills {
+                let w = &ds.waybills[wi];
+                eligible += 1;
+                if w.t_recorded_delivery - w.t_actual_delivery > 60.0 {
+                    delayed += 1;
+                }
+            }
+        }
+        assert!(
+            delayed * 10 >= eligible * 3,
+            "only {delayed}/{eligible} significantly delayed at p=1"
+        );
+    }
+
+    #[test]
+    fn higher_p_gives_larger_mean_delay() {
+        let base = dataset(3);
+        let delay_at = |p: f64| {
+            let mut ds = base.clone();
+            let mut rng = StdRng::seed_from_u64(42);
+            inject_delays(&mut ds, &DelayConfig::sweep(p), &mut rng);
+            mean_delay_s(&ds)
+        };
+        let d02 = delay_at(0.2);
+        let d06 = delay_at(0.6);
+        let d10 = delay_at(1.0);
+        assert!(d02 < d06 && d06 < d10, "delays {d02} {d06} {d10}");
+    }
+
+    #[test]
+    fn reinjection_is_from_scratch() {
+        let mut ds = dataset(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        inject_delays(&mut ds, &DelayConfig::sweep(1.0), &mut rng);
+        let heavy = mean_delay_s(&ds);
+        inject_delays(&mut ds, &DelayConfig::sweep(0.0), &mut rng);
+        let light = mean_delay_s(&ds);
+        assert!(light < heavy, "re-injection must reset: {light} vs {heavy}");
+        assert!(light < 181.0);
+    }
+
+    #[test]
+    fn batch_count_controls_delay_magnitude() {
+        // More batches = shorter distance to the batch end = smaller delays.
+        let base = dataset(5);
+        let delay_with_batches = |n: usize| {
+            let mut ds = base.clone();
+            let mut rng = StdRng::seed_from_u64(7);
+            inject_delays(
+                &mut ds,
+                &DelayConfig {
+                    n_batches: n,
+                    p_delay: 1.0,
+                    base_lag_s: (0.0, 1e-9),
+                },
+                &mut rng,
+            );
+            mean_delay_s(&ds)
+        };
+        assert!(delay_with_batches(1) > delay_with_batches(4));
+    }
+}

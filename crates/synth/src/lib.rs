@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! Synthetic logistics worlds for the DLInfMA reproduction.
+//!
+//! The paper evaluates on two proprietary JD Logistics datasets (DowBJ and
+//! SubBJ). This crate substitutes them with a parametric simulator that
+//! reproduces the structure those datasets are reported to have:
+//!
+//! * a city of blocks, buildings and addresses whose actual delivery spots
+//!   are doorsteps, shared express lockers or receptions ([`city`]);
+//! * couriers locked to spatial regions running nearest-neighbour delivery
+//!   trips with noisy ~13.5 s GPS sampling, delivery dwells and non-delivery
+//!   stops ([`sim`]);
+//! * a geocoder with the paper's three failure modes (wrong parsing, coarse
+//!   POI database, compound-level collapse) ([`city::GeocoderQuality`]);
+//! * the batch-confirmation delay model of Section V-D ([`delays`]);
+//! * presets mimicking DowBJ/SubBJ statistics at several scales
+//!   ([`presets`]) and the paper's disjoint spatial train/val/test split
+//!   ([`split`]).
+//!
+//! Ground-truth fields exist on the generated types because the world is
+//! synthetic; the inference pipeline (in `dlinfma-core`) never reads them.
+
+pub mod city;
+pub mod delays;
+pub mod model;
+pub mod presets;
+pub mod sim;
+pub mod split;
+
+pub use city::{generate_city, City, CityConfig, GeocodeMode, GeocoderQuality};
+pub use delays::{inject_delays, mean_delay_s, DelayConfig};
+pub use model::{
+    Address, AddressId, BuildingId, CourierId, Dataset, DeliverySpotKind, DeliveryTrip, Station,
+    StationId, TripId, Waybill, N_POI_CATEGORIES,
+};
+pub use presets::{generate, generate_with, world_config, Preset, Scale, WorldConfig};
+pub use sim::{assign_regions, simulate, SimConfig};
+pub use split::{spatial_split, Split};

@@ -1,0 +1,205 @@
+//! The logistics data model shared by the whole reproduction.
+//!
+//! These types mirror the paper's definitions: waybills (Definition 1),
+//! delivery locations (Definition 2) and delivery trips (Definition 5).
+//! Ground-truth fields (`true_delivery_location`, `t_actual_delivery`) exist
+//! because the data is synthesized; inference code must never read them —
+//! they are consumed only by evaluation and labelling.
+
+use dlinfma_geo::Point;
+use dlinfma_traj::Trajectory;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AddressId(pub u32);
+
+/// Identifier of a building.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BuildingId(pub u32);
+
+/// Identifier of a courier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CourierId(pub u32);
+
+/// Identifier of a delivery station.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StationId(pub u32);
+
+/// Identifier of a delivery trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TripId(pub u32);
+
+/// Number of POI categories returned by the (simulated) geocoder; the paper
+/// reports 21.
+pub const N_POI_CATEGORIES: usize = 21;
+
+/// The kind of spot a parcel is actually dropped at. Mirrors the paper's
+/// Figure 1 taxonomy; used only by the generator and by evaluation
+/// narratives (inference never sees it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeliverySpotKind {
+    /// Customer's doorstep.
+    Doorstep,
+    /// Shared express locker of the neighbourhood.
+    Locker,
+    /// Reception / convenience store that accepts parcels.
+    Reception,
+}
+
+/// A shipping address together with its (simulated) geocoding result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Address {
+    /// Stable identifier.
+    pub id: AddressId,
+    /// Building the address belongs to (from address segmentation).
+    pub building: BuildingId,
+    /// Geocoded location of the address text — may be wrong or coarse.
+    pub geocode: Point,
+    /// POI category index in `0..N_POI_CATEGORIES` from the geocoder.
+    pub poi_category: u8,
+    /// Ground truth: where parcels for this address are actually dropped.
+    pub true_delivery_location: Point,
+    /// Ground truth: the kind of drop spot.
+    pub true_spot_kind: DeliverySpotKind,
+}
+
+/// A waybill (Definition 1): one parcel to one address within one trip.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Waybill {
+    /// Address the parcel ships to.
+    pub address: AddressId,
+    /// Trip that delivered the parcel.
+    pub trip: TripId,
+    /// Time the courier received the parcel (trip start).
+    pub t_received: f64,
+    /// Recorded delivery (confirmation) time — possibly delayed.
+    pub t_recorded_delivery: f64,
+    /// Ground truth: when the parcel was actually handed over.
+    pub t_actual_delivery: f64,
+}
+
+/// A delivery trip (Definition 5).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeliveryTrip {
+    /// Stable identifier (index into `Dataset::trips`).
+    pub id: TripId,
+    /// Courier who drove the trip.
+    pub courier: CourierId,
+    /// Station the courier departs from.
+    pub station: StationId,
+    /// Trip start time.
+    pub t_start: f64,
+    /// Trip end time.
+    pub t_end: f64,
+    /// Raw GPS trajectory of the courier during the trip.
+    pub trajectory: Trajectory,
+    /// Indices into `Dataset::waybills` of the parcels delivered.
+    pub waybills: Vec<usize>,
+}
+
+/// A delivery station with a fixed depot location.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Station {
+    /// Stable identifier.
+    pub id: StationId,
+    /// Depot location couriers start and end trips at.
+    pub location: Point,
+}
+
+/// A complete (synthetic) logistics dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// All addresses, indexed by `AddressId`.
+    pub addresses: Vec<Address>,
+    /// All delivery trips, indexed by `TripId`.
+    pub trips: Vec<DeliveryTrip>,
+    /// All waybills; `DeliveryTrip::waybills` holds indices into this.
+    pub waybills: Vec<Waybill>,
+    /// All stations.
+    pub stations: Vec<Station>,
+}
+
+impl Dataset {
+    /// Address lookup by id.
+    pub fn address(&self, id: AddressId) -> &Address {
+        &self.addresses[id.0 as usize]
+    }
+
+    /// Trip lookup by id.
+    pub fn trip(&self, id: TripId) -> &DeliveryTrip {
+        &self.trips[id.0 as usize]
+    }
+
+    /// Indices of waybills shipping to `addr`, in dataset order.
+    pub fn waybills_for_address(&self, addr: AddressId) -> Vec<usize> {
+        self.waybills
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.address == addr)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Trip ids that include a waybill for `addr` (deduplicated, ordered).
+    pub fn trips_for_address(&self, addr: AddressId) -> Vec<TripId> {
+        let mut trips: Vec<TripId> = self
+            .waybills
+            .iter()
+            .filter(|w| w.address == addr)
+            .map(|w| w.trip)
+            .collect();
+        trips.sort_unstable();
+        trips.dedup();
+        trips
+    }
+
+    /// Addresses sharing a building, grouped by building id.
+    pub fn addresses_by_building(&self) -> std::collections::HashMap<BuildingId, Vec<AddressId>> {
+        let mut map: std::collections::HashMap<BuildingId, Vec<AddressId>> =
+            std::collections::HashMap::new();
+        for a in &self.addresses {
+            map.entry(a.building).or_default().push(a.id);
+        }
+        map
+    }
+
+    /// Total number of GPS fixes across all trips.
+    pub fn total_gps_points(&self) -> usize {
+        self.trips.iter().map(|t| t.trajectory.len()).sum()
+    }
+
+    /// Basic sanity checks; used by tests and the generators.
+    ///
+    /// # Panics
+    /// Panics when referential integrity is broken (bad ids, waybills
+    /// outside their trip's time window, recorded time before actual).
+    pub fn validate(&self) {
+        for (i, a) in self.addresses.iter().enumerate() {
+            assert_eq!(a.id.0 as usize, i, "address ids must be dense");
+        }
+        for (i, t) in self.trips.iter().enumerate() {
+            assert_eq!(t.id.0 as usize, i, "trip ids must be dense");
+            assert!(t.t_start <= t.t_end, "trip {} time order", i);
+            for &wi in &t.waybills {
+                let w = &self.waybills[wi];
+                assert_eq!(w.trip, t.id, "waybill {} trip backlink", wi);
+            }
+        }
+        for (i, w) in self.waybills.iter().enumerate() {
+            assert!(
+                (w.address.0 as usize) < self.addresses.len(),
+                "waybill {i} address id"
+            );
+            assert!((w.trip.0 as usize) < self.trips.len(), "waybill {i} trip id");
+            assert!(
+                w.t_recorded_delivery >= w.t_actual_delivery - 1e-6,
+                "waybill {i}: recorded time may only be delayed, never early"
+            );
+            assert!(
+                w.t_actual_delivery >= w.t_received - 1e-6,
+                "waybill {i}: delivered before received"
+            );
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Dataset presets mirroring the paper's two real-world datasets.
+//!
+//! * `DowBJ` (downtown, inside the 3rd Ring): denser city, better geocoding
+//!   precision, more deliveries per address, fewer stay points per trip
+//!   (paper: avg 24 stays/trip, 32 candidates/address);
+//! * `SubBJ` (suburban, outside the 3rd Ring): coarser geocoding, fewer
+//!   deliveries per address, more stay points per trip (avg 27 stays/trip,
+//!   38 candidates/address).
+//!
+//! A [`Scale`] knob sizes the world so unit tests run in milliseconds while
+//! benches exercise realistic volumes.
+
+use crate::city::{generate_city, City, CityConfig, GeocoderQuality};
+use crate::delays::{inject_delays, DelayConfig};
+use crate::model::Dataset;
+use crate::sim::{simulate, SimConfig};
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Which real dataset's statistics to mimic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// Downtown Beijing (inside the 3rd Ring).
+    DowBJ,
+    /// Suburban Beijing (outside the 3rd Ring).
+    SubBJ,
+}
+
+impl Preset {
+    /// Human-readable dataset name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Preset::DowBJ => "SynthDowBJ",
+            Preset::SubBJ => "SynthSubBJ",
+        }
+    }
+}
+
+/// World size; larger scales multiply blocks and simulated days.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes of simulated operation; unit-test sized.
+    Tiny,
+    /// A few weeks over a small district; example-sized.
+    Small,
+    /// Months over a larger district; bench/experiment-sized.
+    Full,
+}
+
+/// Combined world + simulation + delay configuration.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// City layout parameters.
+    pub city: CityConfig,
+    /// Trip simulation parameters.
+    pub sim: SimConfig,
+    /// Confirmation-delay behaviour.
+    pub delays: DelayConfig,
+}
+
+/// Returns the configuration for a preset at a scale.
+pub fn world_config(preset: Preset, scale: Scale) -> WorldConfig {
+    let (blocks, days, stations) = match scale {
+        Scale::Tiny => (3, 4, 1),
+        Scale::Small => (5, 14, 2),
+        Scale::Full => (8, 40, 3),
+    };
+    match preset {
+        Preset::DowBJ => WorldConfig {
+            city: CityConfig {
+                blocks_x: blocks,
+                blocks_y: blocks,
+                block_size_m: 110.0,
+                buildings_per_block: 4,
+                addresses_per_building: (2, 4),
+                p_doorstep: 0.55,
+                p_locker_given_not_door: 0.5,
+                p_follow_building: 0.92,
+                geocoder: GeocoderQuality {
+                    p_accurate: 0.55,
+                    p_coarse: 0.3,
+                    accurate_sigma_m: 25.0,
+                    wrong_parse_range_m: (150.0, 400.0),
+                },
+            },
+            sim: SimConfig {
+                n_stations: stations,
+                couriers_per_station: 2,
+                n_days: days,
+                trips_per_day: 2,
+                parcels_per_trip: (20, 30),
+                p_extra_stop: 0.2,
+                activity_alpha: 1.1, // heavier tail: downtown orders more
+                ..SimConfig::default()
+            },
+            delays: DelayConfig::observed(),
+        },
+        Preset::SubBJ => WorldConfig {
+            city: CityConfig {
+                blocks_x: blocks + 2,
+                blocks_y: blocks,
+                block_size_m: 150.0,
+                buildings_per_block: 3,
+                addresses_per_building: (3, 6),
+                p_doorstep: 0.5,
+                p_locker_given_not_door: 0.6,
+                p_follow_building: 0.97,
+                geocoder: GeocoderQuality {
+                    p_accurate: 0.4,
+                    p_coarse: 0.35,
+                    accurate_sigma_m: 35.0,
+                    wrong_parse_range_m: (200.0, 600.0),
+                },
+            },
+            sim: SimConfig {
+                n_stations: stations,
+                couriers_per_station: 2,
+                n_days: days,
+                trips_per_day: 2,
+                parcels_per_trip: (24, 36),
+                p_extra_stop: 0.35,
+                activity_alpha: 1.5, // lighter tail: fewer repeat orders
+                ..SimConfig::default()
+            },
+            delays: DelayConfig::observed(),
+        },
+    }
+}
+
+/// Generates a complete world: city + simulated trips + injected delays.
+///
+/// Deterministic per `(preset, scale, seed)`.
+pub fn generate(preset: Preset, scale: Scale, seed: u64) -> (City, Dataset) {
+    let cfg = world_config(preset, scale);
+    generate_with(&cfg, seed)
+}
+
+/// Generates a world from an explicit configuration (used by experiments
+/// that sweep a single parameter, e.g. Table III's `p_delay`).
+pub fn generate_with(cfg: &WorldConfig, seed: u64) -> (City, Dataset) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let city = generate_city(&cfg.city, &mut rng);
+    let mut dataset = simulate(&city, &cfg.sim, &mut rng);
+    inject_delays(&mut dataset, &cfg.delays, &mut rng);
+    dataset.validate();
+    (city, dataset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlinfma_traj::{detect_stay_points, StayPointConfig};
+
+    #[test]
+    fn tiny_worlds_generate_quickly_and_validate() {
+        for preset in [Preset::DowBJ, Preset::SubBJ] {
+            let (_, ds) = generate(preset, Scale::Tiny, 0);
+            assert!(!ds.waybills.is_empty(), "{}", preset.name());
+            ds.validate();
+        }
+    }
+
+    #[test]
+    fn subbj_has_more_stays_per_trip_than_dowbj() {
+        let (_, dow) = generate(Preset::DowBJ, Scale::Small, 1);
+        let (_, sub) = generate(Preset::SubBJ, Scale::Small, 1);
+        let cfg = StayPointConfig::default();
+        let mean_stays = |ds: &Dataset| {
+            let total: usize = ds
+                .trips
+                .iter()
+                .map(|t| detect_stay_points(&t.trajectory, &cfg).len())
+                .sum();
+            total as f64 / ds.trips.len() as f64
+        };
+        let d = mean_stays(&dow);
+        let s = mean_stays(&sub);
+        assert!(
+            s > d,
+            "SubBJ should have more stays per trip: {s:.1} vs {d:.1}"
+        );
+    }
+
+    #[test]
+    fn dowbj_has_more_deliveries_per_address() {
+        let (_, dow) = generate(Preset::DowBJ, Scale::Small, 2);
+        let (_, sub) = generate(Preset::SubBJ, Scale::Small, 2);
+        let mean_deliveries = |ds: &Dataset| ds.waybills.len() as f64 / ds.addresses.len() as f64;
+        assert!(mean_deliveries(&dow) > mean_deliveries(&sub));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Preset::DowBJ.name(), "SynthDowBJ");
+        assert_eq!(Preset::SubBJ.name(), "SynthSubBJ");
+    }
+}

@@ -1,0 +1,549 @@
+//! Courier and delivery-trip simulation.
+//!
+//! Produces raw GPS trajectories plus waybills with *actual* delivery times;
+//! recorded (possibly delayed) confirmation times are added afterwards by
+//! [`crate::delays`], exactly mirroring the paper's observation that delays
+//! come from couriers' batch-confirmation habit.
+//!
+//! The simulator reproduces the statistical structure the paper reports:
+//! heavy-tailed per-address order rates (Figure 9(b)), tens of stay points
+//! per trip from deliveries plus non-delivery stops (Figure 9(c)), region
+//! -locked courier assignment ("delivery tasks in a certain region are
+//! usually assigned to the same courier"), and a ~13.5 s GPS sampling rate.
+
+use crate::city::City;
+use crate::model::{
+    AddressId, CourierId, Dataset, DeliveryTrip, Station, StationId, TripId, Waybill,
+};
+use dlinfma_geo::Point;
+use dlinfma_traj::{TrajPoint, Trajectory};
+use rand::Rng;
+
+/// Parameters of the trip simulation.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of delivery stations (the paper's data covers 11).
+    pub n_stations: usize,
+    /// Couriers per station; each owns a sub-region.
+    pub couriers_per_station: usize,
+    /// Number of simulated days.
+    pub n_days: usize,
+    /// Trips per courier per day.
+    pub trips_per_day: usize,
+    /// Inclusive range of parcels per trip.
+    pub parcels_per_trip: (usize, usize),
+    /// Courier travel speed range in m/s (walking / tricycle).
+    pub speed_mps: (f64, f64),
+    /// GPS noise standard deviation in meters.
+    pub gps_sigma_m: f64,
+    /// Probability that a fix is a multipath spike far off-route.
+    pub p_gps_spike: f64,
+    /// Mean GPS sampling interval in seconds (paper: 13.5 s).
+    pub sample_interval_s: f64,
+    /// Dwell duration range at a delivery, in seconds.
+    pub dwell_s: (f64, f64),
+    /// Per-dwell systematic GPS bias sigma, meters. Urban-canyon multipath
+    /// offsets are correlated over minutes, so a whole dwell shares one
+    /// offset — this is what makes repeated visits to one door land tens of
+    /// meters apart and fragments candidates at small clustering distances
+    /// (the left arm of the paper's Figure 10(a) U-shape).
+    pub dwell_bias_sigma_m: f64,
+    /// Probability of a non-delivery stop (rest, traffic) per leg.
+    pub p_extra_stop: f64,
+    /// Dwell range of non-delivery stops.
+    pub extra_stop_dwell_s: (f64, f64),
+    /// Pareto tail exponent of per-address order rates (smaller = heavier
+    /// tail = more "active customers").
+    pub activity_alpha: f64,
+    /// Probability a trip draws its parcels from the whole *station* pool
+    /// instead of the courier's own region (couriers covering for each
+    /// other) — this is what makes shared locations accumulate visits from
+    /// several couriers, giving the "number of couriers" profile signal.
+    pub p_cross_region: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            n_stations: 2,
+            couriers_per_station: 3,
+            n_days: 30,
+            trips_per_day: 2,
+            parcels_per_trip: (10, 22),
+            speed_mps: (1.5, 4.0),
+            gps_sigma_m: 4.0,
+            p_gps_spike: 0.002,
+            sample_interval_s: 13.5,
+            dwell_s: (40.0, 200.0),
+            dwell_bias_sigma_m: 8.0,
+            p_extra_stop: 0.15,
+            extra_stop_dwell_s: (35.0, 120.0),
+            activity_alpha: 1.3,
+            p_cross_region: 0.12,
+        }
+    }
+}
+
+fn gaussian<R: Rng>(rng: &mut R, sigma: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos() * sigma
+}
+
+/// Internal builder walking the simulated courier and emitting noisy fixes.
+struct Walker<'r, R: Rng> {
+    rng: &'r mut R,
+    cfg: &'r SimConfig,
+    pos: Point,
+    t: f64,
+    fixes: Vec<TrajPoint>,
+    city_extent: f64,
+}
+
+impl<'r, R: Rng> Walker<'r, R> {
+    fn emit_fix(&mut self) {
+        let spike = self.rng.gen_bool(self.cfg.p_gps_spike);
+        let (nx, ny) = if spike {
+            // Urban-canyon multipath: hundreds of meters off.
+            (
+                gaussian(self.rng, self.city_extent * 0.5),
+                gaussian(self.rng, self.city_extent * 0.5),
+            )
+        } else {
+            (
+                gaussian(self.rng, self.cfg.gps_sigma_m),
+                gaussian(self.rng, self.cfg.gps_sigma_m),
+            )
+        };
+        self.fixes.push(TrajPoint::xyt(
+            self.pos.x + nx,
+            self.pos.y + ny,
+            self.t,
+        ));
+    }
+
+    fn next_interval(&mut self) -> f64 {
+        // Jittered sampling around the configured mean.
+        let m = self.cfg.sample_interval_s;
+        self.rng.gen_range(m * 0.7..m * 1.3)
+    }
+
+    /// Moves in a straight line to `target`, emitting fixes en route.
+    fn travel_to(&mut self, target: Point) {
+        let speed = self.rng.gen_range(self.cfg.speed_mps.0..self.cfg.speed_mps.1);
+        loop {
+            let dist = self.pos.distance(&target);
+            let dt = self.next_interval();
+            let step = speed * dt;
+            if step >= dist {
+                let remain = dist / speed;
+                self.t += remain;
+                self.pos = target;
+                self.emit_fix();
+                return;
+            }
+            self.pos = self.pos.lerp(&target, step / dist);
+            self.t += dt;
+            self.emit_fix();
+        }
+    }
+
+    /// Dwells near the current position for `duration` seconds, under a
+    /// per-dwell systematic GPS bias (correlated multipath).
+    fn dwell(&mut self, duration: f64) {
+        let bias = Point::new(
+            gaussian(self.rng, self.cfg.dwell_bias_sigma_m),
+            gaussian(self.rng, self.cfg.dwell_bias_sigma_m),
+        );
+        let true_pos = self.pos;
+        self.pos = true_pos + bias;
+        let end = self.t + duration;
+        while self.t < end {
+            let dt = self.next_interval().min(end - self.t).max(1.0);
+            self.t += dt;
+            self.emit_fix();
+        }
+        self.pos = true_pos;
+    }
+}
+
+/// Nearest-neighbour route over stops, starting from `start`.
+fn route_order(start: Point, stops: &[Point]) -> Vec<usize> {
+    let mut order = Vec::with_capacity(stops.len());
+    let mut visited = vec![false; stops.len()];
+    let mut pos = start;
+    for _ in 0..stops.len() {
+        let next = (0..stops.len())
+            .filter(|&i| !visited[i])
+            .min_by(|&a, &b| {
+                pos.distance(&stops[a])
+                    .partial_cmp(&pos.distance(&stops[b]))
+                    .expect("finite")
+            })
+            .expect("unvisited stop exists");
+        visited[next] = true;
+        order.push(next);
+        pos = stops[next];
+    }
+    order
+}
+
+/// Assigns each address to a `(station, courier)` pair by spatial bands:
+/// stations split the city east-west, couriers split a station's band
+/// north-south.
+pub fn assign_regions(city: &City, cfg: &SimConfig) -> Vec<(StationId, CourierId)> {
+    let n_s = cfg.n_stations.max(1);
+    let n_c = cfg.couriers_per_station.max(1);
+    city.addresses
+        .iter()
+        .map(|a| {
+            let sx = ((a.true_delivery_location.x / city.width_m * n_s as f64).floor() as usize)
+                .min(n_s - 1);
+            let sy = ((a.true_delivery_location.y / city.height_m * n_c as f64).floor() as usize)
+                .min(n_c - 1);
+            (
+                StationId(sx as u32),
+                CourierId((sx * n_c + sy) as u32),
+            )
+        })
+        .collect()
+}
+
+/// Simulates all trips, returning a [`Dataset`] whose waybills have
+/// `t_recorded_delivery == t_actual_delivery` (no delays yet; see
+/// [`crate::delays::inject_delays`]).
+#[allow(clippy::needless_range_loop)] // courier indexes pools and ids alike
+pub fn simulate<R: Rng>(city: &City, cfg: &SimConfig, rng: &mut R) -> Dataset {
+    let assignment = assign_regions(city, cfg);
+    let n_couriers = cfg.n_stations * cfg.couriers_per_station;
+
+    // Station depots at the south edge of each station band.
+    let stations: Vec<Station> = (0..cfg.n_stations)
+        .map(|s| Station {
+            id: StationId(s as u32),
+            location: Point::new(
+                (s as f64 + 0.5) * city.width_m / cfg.n_stations as f64,
+                -60.0,
+            ),
+        })
+        .collect();
+
+    // Heavy-tailed activity per address: Pareto(alpha) weights.
+    let activity: Vec<f64> = city
+        .addresses
+        .iter()
+        .map(|_| {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            u.powf(-1.0 / cfg.activity_alpha)
+        })
+        .collect();
+
+    // Pool per courier.
+    let mut pools: Vec<Vec<AddressId>> = vec![Vec::new(); n_couriers];
+    for (a, &(_, courier)) in city.addresses.iter().zip(&assignment) {
+        pools[courier.0 as usize].push(a.id);
+    }
+
+    let mut trips: Vec<DeliveryTrip> = Vec::new();
+    let mut waybills: Vec<Waybill> = Vec::new();
+
+    for day in 0..cfg.n_days {
+        for courier in 0..n_couriers {
+            let pool = &pools[courier];
+            if pool.is_empty() {
+                continue;
+            }
+            let station = StationId((courier / cfg.couriers_per_station) as u32);
+            // The station's whole pool, for covering trips.
+            let station_pool: Vec<AddressId> = {
+                let base = (courier / cfg.couriers_per_station) * cfg.couriers_per_station;
+                (base..base + cfg.couriers_per_station)
+                    .flat_map(|c| pools[c].iter().copied())
+                    .collect()
+            };
+            for trip_k in 0..cfg.trips_per_day {
+                // 08:30 and 14:00 departures.
+                let depart = day as f64 * 86_400.0
+                    + if trip_k == 0 { 8.5 * 3_600.0 } else { 14.0 * 3_600.0 }
+                    + rng.gen_range(0.0..900.0);
+
+                let covering = rng.gen_bool(cfg.p_cross_region);
+                let draw_pool: &[AddressId] = if covering { &station_pool } else { pool };
+                let n_parcels = rng
+                    .gen_range(cfg.parcels_per_trip.0..=cfg.parcels_per_trip.1)
+                    .min(draw_pool.len());
+                // Weighted sampling without replacement.
+                let mut chosen: Vec<AddressId> = Vec::with_capacity(n_parcels);
+                let mut weights: Vec<f64> =
+                    draw_pool.iter().map(|a| activity[a.0 as usize]).collect();
+                let mut total: f64 = weights.iter().sum();
+                for _ in 0..n_parcels {
+                    if total <= 0.0 {
+                        break;
+                    }
+                    let mut target = rng.gen_range(0.0..total);
+                    let mut pick = 0;
+                    for (i, &w) in weights.iter().enumerate() {
+                        if w <= 0.0 {
+                            continue;
+                        }
+                        if target < w {
+                            pick = i;
+                            break;
+                        }
+                        target -= w;
+                    }
+                    chosen.push(draw_pool[pick]);
+                    total -= weights[pick];
+                    weights[pick] = 0.0;
+                }
+                if chosen.is_empty() {
+                    continue;
+                }
+
+                let stops: Vec<Point> = chosen
+                    .iter()
+                    .map(|&a| city.addresses[a.0 as usize].true_delivery_location)
+                    .collect();
+                // Dwell scale by drop-spot kind: lockers take longer (several
+                // compartments), receptions are a quick handover.
+                let dwell_scale: Vec<f64> = chosen
+                    .iter()
+                    .map(|&a| match city.addresses[a.0 as usize].true_spot_kind {
+                        crate::model::DeliverySpotKind::Locker => 1.5,
+                        crate::model::DeliverySpotKind::Reception => 0.6,
+                        crate::model::DeliverySpotKind::Doorstep => 1.0,
+                    })
+                    .collect();
+                let order = route_order(stations[station.0 as usize].location, &stops);
+
+                let mut walker = Walker {
+                    rng,
+                    cfg,
+                    pos: stations[station.0 as usize].location,
+                    t: depart,
+                    fixes: Vec::new(),
+                    city_extent: city.width_m.max(city.height_m),
+                };
+                walker.emit_fix();
+
+                let trip_id = TripId(trips.len() as u32);
+                let mut trip_waybills = Vec::with_capacity(chosen.len());
+                for &stop_idx in &order {
+                    // Possible non-delivery stop on the way.
+                    if walker.rng.gen_bool(cfg.p_extra_stop) {
+                        let here = walker.pos;
+                        let target = stops[stop_idx];
+                        let midway = here.lerp(&target, walker.rng.gen_range(0.2..0.8));
+                        walker.travel_to(midway);
+                        let dwell = walker
+                            .rng
+                            .gen_range(cfg.extra_stop_dwell_s.0..cfg.extra_stop_dwell_s.1);
+                        walker.dwell(dwell);
+                    }
+                    walker.travel_to(stops[stop_idx]);
+                    let dwell =
+                        walker.rng.gen_range(cfg.dwell_s.0..cfg.dwell_s.1) * dwell_scale[stop_idx];
+                    let t_arrive = walker.t;
+                    walker.dwell(dwell);
+                    let t_actual = t_arrive + dwell / 2.0;
+                    let wb_index = waybills.len();
+                    waybills.push(Waybill {
+                        address: chosen[stop_idx],
+                        trip: trip_id,
+                        t_received: depart,
+                        t_recorded_delivery: t_actual,
+                        t_actual_delivery: t_actual,
+                    });
+                    trip_waybills.push(wb_index);
+                }
+                // Return to the depot.
+                let depot = stations[station.0 as usize].location;
+                walker.travel_to(depot);
+
+                let trajectory = Trajectory::from_points(walker.fixes);
+                let t_end = trajectory.end_time().unwrap_or(depart);
+                trips.push(DeliveryTrip {
+                    id: trip_id,
+                    courier: CourierId(courier as u32),
+                    station,
+                    t_start: depart,
+                    t_end,
+                    trajectory,
+                    waybills: trip_waybills,
+                });
+            }
+        }
+    }
+
+    let dataset = Dataset {
+        addresses: city.addresses.clone(),
+        trips,
+        waybills,
+        stations,
+    };
+    dataset.validate();
+    dataset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::{generate_city, CityConfig, GeocoderQuality};
+    use dlinfma_traj::{detect_stay_points, StayPointConfig};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn small_world(seed: u64) -> (City, Dataset) {
+        let city_cfg = CityConfig {
+            blocks_x: 3,
+            blocks_y: 3,
+            block_size_m: 120.0,
+            buildings_per_block: 3,
+            addresses_per_building: (2, 3),
+            p_doorstep: 0.6,
+            p_locker_given_not_door: 0.5,
+            p_follow_building: 0.9,
+            geocoder: GeocoderQuality {
+                p_accurate: 0.7,
+                p_coarse: 0.2,
+                accurate_sigma_m: 15.0,
+                wrong_parse_range_m: (150.0, 400.0),
+            },
+        };
+        let sim_cfg = SimConfig {
+            n_stations: 1,
+            couriers_per_station: 2,
+            n_days: 5,
+            ..SimConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let city = generate_city(&city_cfg, &mut rng);
+        let ds = simulate(&city, &sim_cfg, &mut rng);
+        (city, ds)
+    }
+
+    #[test]
+    fn produces_valid_dataset() {
+        let (_, ds) = small_world(0);
+        assert!(!ds.trips.is_empty());
+        assert!(!ds.waybills.is_empty());
+        ds.validate(); // also run by simulate; explicit here
+    }
+
+    #[test]
+    fn trajectories_sampled_near_configured_rate() {
+        let (_, ds) = small_world(1);
+        let trip = &ds.trips[0];
+        let interval = trip.trajectory.mean_sampling_interval().unwrap();
+        assert!(
+            (10.0..18.0).contains(&interval),
+            "mean interval {interval}"
+        );
+    }
+
+    #[test]
+    fn deliveries_create_stay_points_near_true_locations() {
+        let (city, ds) = small_world(2);
+        let cfg = StayPointConfig::default();
+        let trip = &ds.trips[0];
+        let stays = detect_stay_points(&trip.trajectory, &cfg);
+        assert!(
+            stays.len() >= trip.waybills.len() / 2,
+            "{} stays for {} deliveries",
+            stays.len(),
+            trip.waybills.len()
+        );
+        // Every waybill's true location has a stay within 25 m whose span
+        // covers the actual delivery time.
+        let mut covered = 0;
+        for &wi in &trip.waybills {
+            let w = &ds.waybills[wi];
+            let loc = city.addresses[w.address.0 as usize].true_delivery_location;
+            if stays.iter().any(|sp| {
+                sp.pos.distance(&loc) < 25.0
+                    && sp.t_start <= w.t_actual_delivery
+                    && w.t_actual_delivery <= sp.t_end
+            }) {
+                covered += 1;
+            }
+        }
+        assert!(
+            covered * 10 >= trip.waybills.len() * 8,
+            "{covered}/{} deliveries matched by a stay",
+            trip.waybills.len()
+        );
+    }
+
+    #[test]
+    fn actual_times_within_trip_window() {
+        let (_, ds) = small_world(3);
+        for t in &ds.trips {
+            for &wi in &t.waybills {
+                let w = &ds.waybills[wi];
+                assert!(w.t_actual_delivery >= t.t_start);
+                assert!(w.t_actual_delivery <= t.t_end);
+            }
+        }
+    }
+
+    #[test]
+    fn courier_regions_are_spatially_coherent() {
+        let (city, ds) = small_world(4);
+        // Addresses of the same courier should be closer on average than
+        // addresses of different couriers (region assignment).
+        let cfg = SimConfig {
+            n_stations: 1,
+            couriers_per_station: 2,
+            ..SimConfig::default()
+        };
+        let assign = assign_regions(&city, &cfg);
+        let mut same = Vec::new();
+        let mut diff = Vec::new();
+        for i in 0..city.addresses.len() {
+            for j in (i + 1)..city.addresses.len() {
+                let d = city.addresses[i]
+                    .true_delivery_location
+                    .distance(&city.addresses[j].true_delivery_location);
+                if assign[i].1 == assign[j].1 {
+                    same.push(d);
+                } else {
+                    diff.push(d);
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(mean(&same) < mean(&diff));
+        let _ = ds;
+    }
+
+    #[test]
+    fn heavy_tail_activity_produces_repeat_customers() {
+        let (_, ds) = small_world(5);
+        let mut counts: std::collections::HashMap<u32, usize> = Default::default();
+        for w in &ds.waybills {
+            *counts.entry(w.address.0).or_default() += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        let med = {
+            let mut v: Vec<usize> = counts.values().copied().collect();
+            v.sort_unstable();
+            v[v.len() / 2]
+        };
+        assert!(
+            max >= med * 2,
+            "no heavy tail: max {max}, median {med}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (_, a) = small_world(7);
+        let (_, b) = small_world(7);
+        assert_eq!(a.waybills.len(), b.waybills.len());
+        assert_eq!(a.trips.len(), b.trips.len());
+        assert_eq!(
+            a.trips[0].trajectory.points()[0],
+            b.trips[0].trajectory.points()[0]
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Spatial train/validation/test splitting.
+//!
+//! The paper splits its datasets "according to disjoint spatial regions to
+//! make sure there is no delivery location overlap". This module bands the
+//! city east-west: addresses are ordered by the x coordinate of their
+//! building area and cut into contiguous train/val/test bands, so no two
+//! splits share a neighbourhood.
+
+use crate::model::{AddressId, Dataset};
+
+/// A three-way split of address ids into disjoint spatial regions.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Training addresses (western band).
+    pub train: Vec<AddressId>,
+    /// Validation addresses (middle band).
+    pub val: Vec<AddressId>,
+    /// Test addresses (eastern band).
+    pub test: Vec<AddressId>,
+}
+
+impl Split {
+    /// Total number of addresses across all splits.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.val.len() + self.test.len()
+    }
+
+    /// True when all splits are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Splits addresses by spatial bands with the given (train, val) fractions;
+/// the remainder becomes the test set. Only addresses that appear in at
+/// least one waybill are included (others have nothing to infer from).
+///
+/// Bands are formed on the *geocode* x coordinate so the split never reads
+/// ground truth; geocodes are noisy but spatially coherent, which is enough
+/// to keep regions disjoint.
+///
+/// # Panics
+/// Panics unless `0 < train`, `0 <= val` and `train + val < 1`.
+pub fn spatial_split(dataset: &Dataset, train_frac: f64, val_frac: f64) -> Split {
+    assert!(
+        train_frac > 0.0 && val_frac >= 0.0 && train_frac + val_frac < 1.0,
+        "invalid split fractions ({train_frac}, {val_frac})"
+    );
+    let mut delivered: Vec<AddressId> = dataset.waybills.iter().map(|w| w.address).collect();
+    delivered.sort_unstable();
+    delivered.dedup();
+
+    let mut by_x: Vec<(f64, AddressId)> = delivered
+        .into_iter()
+        .map(|a| (dataset.address(a).geocode.x, a))
+        .collect();
+    by_x.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite x").then(a.1.cmp(&b.1)));
+
+    let n = by_x.len();
+    let n_train = (n as f64 * train_frac).round() as usize;
+    let n_val = (n as f64 * val_frac).round() as usize;
+    let n_train = n_train.min(n);
+    let n_val = n_val.min(n - n_train);
+
+    let ids: Vec<AddressId> = by_x.into_iter().map(|(_, a)| a).collect();
+    Split {
+        train: ids[..n_train].to_vec(),
+        val: ids[n_train..n_train + n_val].to_vec(),
+        test: ids[n_train + n_val..].to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{generate, Preset, Scale};
+
+    #[test]
+    fn splits_are_disjoint_and_cover_delivered_addresses() {
+        let (_, ds) = generate(Preset::DowBJ, Scale::Tiny, 0);
+        let split = spatial_split(&ds, 0.6, 0.2);
+        let mut all: Vec<u32> = split
+            .train
+            .iter()
+            .chain(&split.val)
+            .chain(&split.test)
+            .map(|a| a.0)
+            .collect();
+        let total = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), total, "splits overlap");
+
+        let mut delivered: Vec<u32> = ds.waybills.iter().map(|w| w.address.0).collect();
+        delivered.sort_unstable();
+        delivered.dedup();
+        assert_eq!(all, delivered);
+    }
+
+    #[test]
+    fn bands_are_spatially_ordered() {
+        let (_, ds) = generate(Preset::DowBJ, Scale::Tiny, 1);
+        let split = spatial_split(&ds, 0.5, 0.25);
+        let max_x = |ids: &[AddressId]| {
+            ids.iter()
+                .map(|&a| ds.address(a).geocode.x)
+                .fold(f64::MIN, f64::max)
+        };
+        let min_x = |ids: &[AddressId]| {
+            ids.iter()
+                .map(|&a| ds.address(a).geocode.x)
+                .fold(f64::MAX, f64::min)
+        };
+        if !split.train.is_empty() && !split.val.is_empty() {
+            assert!(max_x(&split.train) <= min_x(&split.val) + 1e-9);
+        }
+        if !split.val.is_empty() && !split.test.is_empty() {
+            assert!(max_x(&split.val) <= min_x(&split.test) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn fractions_roughly_respected() {
+        let (_, ds) = generate(Preset::SubBJ, Scale::Tiny, 2);
+        let split = spatial_split(&ds, 0.6, 0.2);
+        let n = split.len() as f64;
+        assert!((split.train.len() as f64 / n - 0.6).abs() < 0.05);
+        assert!((split.val.len() as f64 / n - 0.2).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid split fractions")]
+    fn bad_fractions_panic() {
+        let (_, ds) = generate(Preset::DowBJ, Scale::Tiny, 3);
+        let _ = spatial_split(&ds, 0.8, 0.3);
+    }
+}

@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+//! Trajectory types and preprocessing for the DLInfMA reproduction.
+//!
+//! A courier's GPS stream enters the pipeline as a [`Trajectory`] of
+//! [`TrajPoint`]s. Before stay points can be extracted it is cleaned with the
+//! heuristics-based [`noise`] filter (speed outlier removal, following Zheng,
+//! "Trajectory Data Mining", 2015), and then segmented into [`StayPoint`]s
+//! with the classic detector of Li et al. (2008) exactly as Definition 4 of
+//! the paper prescribes (`D_max = 20 m`, `T_min = 30 s` by default).
+
+pub mod noise;
+pub mod segment;
+pub mod simplify;
+pub mod staypoint;
+pub mod types;
+
+pub use noise::{filter_noise, NoiseFilterConfig};
+pub use segment::{segment_trips, SegmentConfig};
+pub use simplify::simplify;
+pub use staypoint::{detect_stay_points, StayPoint, StayPointConfig};
+pub use types::{TrajPoint, Trajectory};

@@ -1,0 +1,161 @@
+//! Heuristics-based GPS noise filtering.
+//!
+//! Section III-A of the paper cleans trajectories with the heuristic outlier
+//! filter from Zheng's trajectory-mining survey before stay-point detection:
+//! a fix whose implied travel speed from the previous *kept* fix exceeds a
+//! physical threshold is discarded. Couriers move on foot or by tricycle, so
+//! the default threshold is generous (30 m/s ≈ 108 km/h) and only removes
+//! true jumps such as urban-canyon multipath spikes.
+
+use crate::types::{TrajPoint, Trajectory};
+
+/// Configuration for [`filter_noise`].
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseFilterConfig {
+    /// Maximum plausible speed in m/s; fixes implying a higher speed from the
+    /// previous kept fix are dropped.
+    pub max_speed_mps: f64,
+    /// When two fixes share a timestamp (`dt <= min_dt_s`) the later one is
+    /// dropped if it moved further than `max_speed_mps * min_dt_s`; otherwise
+    /// it is kept. Guards the speed computation against division by zero.
+    pub min_dt_s: f64,
+}
+
+impl Default for NoiseFilterConfig {
+    fn default() -> Self {
+        Self {
+            max_speed_mps: 30.0,
+            min_dt_s: 1.0,
+        }
+    }
+}
+
+/// Removes speed-outlier fixes from `traj`, returning the cleaned trajectory.
+///
+/// The first fix is always kept; each subsequent fix is kept iff its speed
+/// relative to the previous *kept* fix is plausible. This is the standard
+/// greedy heuristic: after a spike, the next genuine fix is close to the last
+/// kept fix again, so only the spike is lost.
+pub fn filter_noise(traj: &Trajectory, cfg: &NoiseFilterConfig) -> Trajectory {
+    let pts = traj.points();
+    if pts.is_empty() {
+        return Trajectory::new();
+    }
+    let mut kept: Vec<TrajPoint> = Vec::with_capacity(pts.len());
+    kept.push(pts[0]);
+    for &p in &pts[1..] {
+        let last = kept.last().expect("kept is non-empty");
+        let dt = (p.t - last.t).max(cfg.min_dt_s);
+        let speed = last.pos.distance(&p.pos) / dt;
+        if speed <= cfg.max_speed_mps {
+            kept.push(p);
+        }
+    }
+    Trajectory::from_points(kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn walk(speed: f64, dt: f64, n: usize) -> Vec<TrajPoint> {
+        (0..n)
+            .map(|i| TrajPoint::xyt(i as f64 * speed * dt, 0.0, i as f64 * dt))
+            .collect()
+    }
+
+    #[test]
+    fn clean_walk_is_untouched() {
+        let traj = Trajectory::from_points(walk(1.4, 13.5, 50));
+        let cleaned = filter_noise(&traj, &NoiseFilterConfig::default());
+        assert_eq!(cleaned.len(), 50);
+    }
+
+    #[test]
+    fn single_spike_is_removed() {
+        let mut pts = walk(1.4, 10.0, 20);
+        // Teleport fix 10 a kilometer away: 100 m/s implied speed.
+        pts[10].pos = dlinfma_geo::Point::new(pts[10].pos.x + 1000.0, 0.0);
+        let cleaned = filter_noise(&Trajectory::from_points(pts), &NoiseFilterConfig::default());
+        assert_eq!(cleaned.len(), 19);
+        // No remaining segment implies a speed above the threshold.
+        for w in cleaned.points().windows(2) {
+            let v = w[0].pos.distance(&w[1].pos) / (w[1].t - w[0].t).max(1.0);
+            assert!(v <= 30.0);
+        }
+    }
+
+    #[test]
+    fn consecutive_spikes_are_removed() {
+        let mut pts = walk(1.4, 10.0, 30);
+        for p in pts.iter_mut().take(15).skip(12) {
+            p.pos = dlinfma_geo::Point::new(5000.0, 5000.0);
+        }
+        let cleaned = filter_noise(&Trajectory::from_points(pts), &NoiseFilterConfig::default());
+        assert_eq!(cleaned.len(), 27);
+    }
+
+    #[test]
+    fn empty_input() {
+        let cleaned = filter_noise(&Trajectory::new(), &NoiseFilterConfig::default());
+        assert!(cleaned.is_empty());
+    }
+
+    #[test]
+    fn first_fix_always_kept() {
+        let pts = vec![TrajPoint::xyt(1e9, 1e9, 0.0), TrajPoint::xyt(0.0, 0.0, 10.0)];
+        let cleaned = filter_noise(&Trajectory::from_points(pts), &NoiseFilterConfig::default());
+        assert_eq!(cleaned.len(), 1);
+        assert_eq!(cleaned.points()[0].pos.x, 1e9);
+    }
+
+    #[test]
+    fn zero_dt_duplicate_fix_handled() {
+        // Two fixes at the same time, second 5 m away: speed over min_dt 1 s
+        // is 5 m/s, plausible, kept. A 100 m jump at the same instant is not.
+        let pts = vec![
+            TrajPoint::xyt(0.0, 0.0, 0.0),
+            TrajPoint::xyt(5.0, 0.0, 0.0),
+            TrajPoint::xyt(100.0, 0.0, 0.0),
+        ];
+        let cleaned = filter_noise(&Trajectory::from_points(pts), &NoiseFilterConfig::default());
+        assert_eq!(cleaned.len(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn output_never_longer_and_keeps_order(
+            coords in proptest::collection::vec((-1e4..1e4f64, -1e4..1e4f64, 0.0..1e5f64), 0..100)
+        ) {
+            let traj: Trajectory = coords
+                .iter()
+                .map(|&(x, y, t)| TrajPoint::xyt(x, y, t))
+                .collect();
+            let cleaned = filter_noise(&traj, &NoiseFilterConfig::default());
+            prop_assert!(cleaned.len() <= traj.len());
+            for w in cleaned.points().windows(2) {
+                prop_assert!(w[0].t <= w[1].t);
+            }
+        }
+
+        #[test]
+        fn no_kept_segment_exceeds_speed(
+            coords in proptest::collection::vec((-1e4..1e4f64, -1e4..1e4f64), 2..60)
+        ) {
+            // Fixes 10 s apart at random positions; after filtering, every
+            // consecutive pair must satisfy the speed bound.
+            let traj: Trajectory = coords
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| TrajPoint::xyt(x, y, i as f64 * 10.0))
+                .collect();
+            let cfg = NoiseFilterConfig::default();
+            let cleaned = filter_noise(&traj, &cfg);
+            for w in cleaned.points().windows(2) {
+                let v = w[0].pos.distance(&w[1].pos) / (w[1].t - w[0].t).max(cfg.min_dt_s);
+                prop_assert!(v <= cfg.max_speed_mps + 1e-9);
+            }
+        }
+    }
+}

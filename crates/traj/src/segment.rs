@@ -1,0 +1,150 @@
+//! Trip segmentation: splitting a courier's continuous GPS stream into
+//! delivery trips.
+//!
+//! The paper's pipeline consumes *trips* (Definition 5), but a production
+//! GPS feed is one long stream per courier per day. The deployed system must
+//! therefore segment first; this module provides the standard heuristics:
+//! a new segment starts after a temporal gap (the courier's app went
+//! offline / the courier went home) and segments are optionally required to
+//! start and end near the depot.
+
+use crate::types::{TrajPoint, Trajectory};
+use dlinfma_geo::Point;
+
+/// Segmentation rules.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentConfig {
+    /// A gap between consecutive fixes larger than this starts a new
+    /// segment.
+    pub max_gap_s: f64,
+    /// Segments shorter than this (in fixes) are discarded as noise.
+    pub min_points: usize,
+    /// When set, a segment is only kept if both its first and last fix are
+    /// within `depot_radius_m` of the depot.
+    pub depot: Option<(Point, f64)>,
+}
+
+impl Default for SegmentConfig {
+    fn default() -> Self {
+        Self {
+            max_gap_s: 45.0 * 60.0,
+            min_points: 10,
+            depot: None,
+        }
+    }
+}
+
+/// Splits a continuous fix stream into trip-like segments.
+pub fn segment_trips(stream: &Trajectory, cfg: &SegmentConfig) -> Vec<Trajectory> {
+    assert!(cfg.max_gap_s > 0.0, "max_gap_s must be positive");
+    let mut segments: Vec<Vec<TrajPoint>> = Vec::new();
+    let mut current: Vec<TrajPoint> = Vec::new();
+    for &p in stream.points() {
+        if let Some(last) = current.last() {
+            if p.t - last.t > cfg.max_gap_s {
+                segments.push(std::mem::take(&mut current));
+            }
+        }
+        current.push(p);
+    }
+    if !current.is_empty() {
+        segments.push(current);
+    }
+
+    segments
+        .into_iter()
+        .filter(|seg| seg.len() >= cfg.min_points)
+        .filter(|seg| match cfg.depot {
+            None => true,
+            Some((depot, r)) => {
+                seg.first().map_or(false, |p| p.pos.distance(&depot) <= r)
+                    && seg.last().map_or(false, |p| p.pos.distance(&depot) <= r)
+            }
+        })
+        .map(Trajectory::from_points)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream_with_gap() -> Trajectory {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            pts.push(TrajPoint::xyt(i as f64, 0.0, i as f64 * 10.0));
+        }
+        // One-hour gap, then a second trip.
+        for i in 0..15 {
+            pts.push(TrajPoint::xyt(i as f64, 100.0, 3_800.0 + i as f64 * 10.0));
+        }
+        Trajectory::from_points(pts)
+    }
+
+    #[test]
+    fn splits_at_temporal_gap() {
+        let cfg = SegmentConfig {
+            max_gap_s: 600.0,
+            min_points: 5,
+            depot: None,
+        };
+        let segs = segment_trips(&stream_with_gap(), &cfg);
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].len(), 20);
+        assert_eq!(segs[1].len(), 15);
+        assert!(segs[0].end_time().unwrap() < segs[1].start_time().unwrap());
+    }
+
+    #[test]
+    fn short_segments_are_dropped() {
+        let cfg = SegmentConfig {
+            max_gap_s: 600.0,
+            min_points: 16,
+            depot: None,
+        };
+        let segs = segment_trips(&stream_with_gap(), &cfg);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].len(), 20);
+    }
+
+    #[test]
+    fn depot_filter_keeps_round_trips_only() {
+        let depot = Point::new(0.0, 0.0);
+        // Round trip: starts and ends at the depot.
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(TrajPoint::xyt(i as f64 * 10.0, 0.0, i as f64 * 10.0));
+        }
+        for i in 0..10 {
+            pts.push(TrajPoint::xyt(90.0 - i as f64 * 10.0, 0.0, 100.0 + i as f64 * 10.0));
+        }
+        let round = Trajectory::from_points(pts);
+        let cfg = SegmentConfig {
+            max_gap_s: 600.0,
+            min_points: 5,
+            depot: Some((depot, 20.0)),
+        };
+        assert_eq!(segment_trips(&round, &cfg).len(), 1);
+
+        // One-way drift away from the depot is rejected.
+        let one_way: Trajectory = (0..20)
+            .map(|i| TrajPoint::xyt(i as f64 * 10.0, 0.0, i as f64 * 10.0))
+            .collect();
+        assert!(segment_trips(&one_way, &cfg).is_empty());
+    }
+
+    #[test]
+    fn empty_stream() {
+        assert!(segment_trips(&Trajectory::new(), &SegmentConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn no_gap_is_one_segment() {
+        let t: Trajectory = (0..30)
+            .map(|i| TrajPoint::xyt(i as f64, 0.0, i as f64 * 13.5))
+            .collect();
+        let segs = segment_trips(&t, &SegmentConfig::default());
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].len(), 30);
+    }
+}

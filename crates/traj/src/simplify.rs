@@ -1,0 +1,148 @@
+//! Douglas–Peucker trajectory simplification.
+//!
+//! The deployed system stores 20 months of raw GPS (tens of millions of
+//! fixes); simplification is the standard storage/transfer optimization for
+//! such archives. Stay-point detection runs on the *raw* stream — this
+//! module is for downstream storage, rendering and map-matching substrates.
+
+use crate::types::{TrajPoint, Trajectory};
+use dlinfma_geo::Point;
+
+/// Perpendicular distance from `p` to the segment `a`-`b` (or to the points
+/// themselves when the segment degenerates).
+fn segment_distance(p: &Point, a: &Point, b: &Point) -> f64 {
+    let (dx, dy) = (b.x - a.x, b.y - a.y);
+    let len2 = dx * dx + dy * dy;
+    if len2 <= f64::EPSILON {
+        return p.distance(a);
+    }
+    let t = (((p.x - a.x) * dx + (p.y - a.y) * dy) / len2).clamp(0.0, 1.0);
+    p.distance(&Point::new(a.x + t * dx, a.y + t * dy))
+}
+
+/// Simplifies a trajectory with Douglas–Peucker: keeps the subset of fixes
+/// such that every dropped fix is within `epsilon_m` of the simplified
+/// polyline. The first and last fix are always kept.
+pub fn simplify(traj: &Trajectory, epsilon_m: f64) -> Trajectory {
+    assert!(epsilon_m >= 0.0, "epsilon must be non-negative");
+    let pts = traj.points();
+    if pts.len() <= 2 {
+        return traj.clone();
+    }
+    let mut keep = vec![false; pts.len()];
+    keep[0] = true;
+    keep[pts.len() - 1] = true;
+    let mut stack = vec![(0usize, pts.len() - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi <= lo + 1 {
+            continue;
+        }
+        let (mut worst, mut worst_d) = (lo + 1, -1.0f64);
+        for i in (lo + 1)..hi {
+            let d = segment_distance(&pts[i].pos, &pts[lo].pos, &pts[hi].pos);
+            if d > worst_d {
+                worst = i;
+                worst_d = d;
+            }
+        }
+        if worst_d > epsilon_m {
+            keep[worst] = true;
+            stack.push((lo, worst));
+            stack.push((worst, hi));
+        }
+    }
+    let kept: Vec<TrajPoint> = pts
+        .iter()
+        .zip(&keep)
+        .filter(|(_, &k)| k)
+        .map(|(p, _)| *p)
+        .collect();
+    Trajectory::from_points(kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn straight_line_collapses_to_endpoints() {
+        let t: Trajectory = (0..50)
+            .map(|i| TrajPoint::xyt(i as f64 * 10.0, 0.0, i as f64))
+            .collect();
+        let s = simplify(&t, 1.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.points()[0].pos.x, 0.0);
+        assert_eq!(s.points()[1].pos.x, 490.0);
+    }
+
+    #[test]
+    fn corner_is_preserved() {
+        let mut pts: Vec<TrajPoint> = (0..10)
+            .map(|i| TrajPoint::xyt(i as f64 * 10.0, 0.0, i as f64))
+            .collect();
+        pts.extend((1..10).map(|i| TrajPoint::xyt(90.0, i as f64 * 10.0, 9.0 + i as f64)));
+        let t = Trajectory::from_points(pts);
+        let s = simplify(&t, 1.0);
+        assert_eq!(s.len(), 3, "endpoints plus the corner");
+        assert_eq!(s.points()[1].pos, Point::new(90.0, 0.0));
+    }
+
+    #[test]
+    fn epsilon_zero_keeps_everything_off_line() {
+        let t = Trajectory::from_points(vec![
+            TrajPoint::xyt(0.0, 0.0, 0.0),
+            TrajPoint::xyt(5.0, 0.1, 1.0),
+            TrajPoint::xyt(10.0, 0.0, 2.0),
+        ]);
+        assert_eq!(simplify(&t, 0.0).len(), 3);
+    }
+
+    #[test]
+    fn tiny_trajectories_untouched() {
+        let one: Trajectory = std::iter::once(TrajPoint::xyt(1.0, 1.0, 0.0)).collect();
+        assert_eq!(simplify(&one, 5.0).len(), 1);
+        assert!(simplify(&Trajectory::new(), 5.0).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn every_dropped_point_is_within_epsilon(
+            coords in proptest::collection::vec((-500.0..500.0f64, -500.0..500.0f64), 2..60),
+            eps in 0.5..50.0f64,
+        ) {
+            let t: Trajectory = coords
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| TrajPoint::xyt(x, y, i as f64))
+                .collect();
+            let s = simplify(&t, eps);
+            // Endpoints kept.
+            prop_assert_eq!(s.points()[0], t.points()[0]);
+            prop_assert_eq!(*s.points().last().unwrap(), *t.points().last().unwrap());
+            // Every original fix lies within eps of the simplified polyline.
+            for p in t.points() {
+                let min_d = s
+                    .points()
+                    .windows(2)
+                    .map(|w| segment_distance(&p.pos, &w[0].pos, &w[1].pos))
+                    .fold(f64::MAX, f64::min)
+                    .min(s.points().iter().map(|q| q.pos.distance(&p.pos)).fold(f64::MAX, f64::min));
+                prop_assert!(min_d <= eps + 1e-6, "dropped point {min_d} > {eps}");
+            }
+        }
+
+        #[test]
+        fn simplification_never_grows(
+            coords in proptest::collection::vec((-100.0..100.0f64, -100.0..100.0f64), 0..40),
+            eps in 0.0..20.0f64,
+        ) {
+            let t: Trajectory = coords
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| TrajPoint::xyt(x, y, i as f64))
+                .collect();
+            prop_assert!(simplify(&t, eps).len() <= t.len());
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Stay-point detection (Definition 4; Li et al. 2008).
+//!
+//! A stay point is a maximal run of consecutive fixes `<p_i .. p_j>` such
+//! that every fix stays within `D_max` meters of the anchor `p_i` and the run
+//! spans at least `T_min` seconds. Its *location* is the spatial centroid of
+//! the run and its *time* is the middle of its interval — both exactly as the
+//! paper defines, because the candidate-retrieval step compares this time
+//! against recorded delivery times.
+
+use crate::types::Trajectory;
+use dlinfma_geo::{centroid, Point};
+use serde::{Deserialize, Serialize};
+
+/// Thresholds for stay-point detection. The paper (following its ref [5])
+/// uses `D_max = 20 m` and `T_min = 30 s`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StayPointConfig {
+    /// Maximum distance from the anchor fix, in meters.
+    pub d_max_m: f64,
+    /// Minimum dwell duration, in seconds.
+    pub t_min_s: f64,
+}
+
+impl Default for StayPointConfig {
+    fn default() -> Self {
+        Self {
+            d_max_m: 20.0,
+            t_min_s: 30.0,
+        }
+    }
+}
+
+/// A detected stay: where a courier lingered and for how long.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StayPoint {
+    /// Spatial centroid of the member fixes.
+    pub pos: Point,
+    /// Time the stay began (first member fix).
+    pub t_start: f64,
+    /// Time the stay ended (last member fix).
+    pub t_end: f64,
+    /// Number of member fixes.
+    pub n_points: usize,
+}
+
+impl StayPoint {
+    /// The representative time of the stay: the middle of its interval
+    /// (Definition 4).
+    pub fn mid_time(&self) -> f64 {
+        (self.t_start + self.t_end) / 2.0
+    }
+
+    /// Dwell duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.t_end - self.t_start
+    }
+}
+
+/// Extracts all stay points from a (cleaned) trajectory.
+///
+/// Implements the anchor-advance algorithm of Li et al. (2008): grow a window
+/// from anchor `i` while every fix remains within `d_max_m` of `p_i`; when the
+/// window breaks, emit it as a stay point if it lasted at least `t_min_s`,
+/// then restart after the window (or at `i + 1` if it was too short).
+pub fn detect_stay_points(traj: &Trajectory, cfg: &StayPointConfig) -> Vec<StayPoint> {
+    let pts = traj.points();
+    let n = pts.len();
+    let mut stays = Vec::new();
+    let mut i = 0;
+    while i < n {
+        // Grow j while p_j stays within D_max of the anchor p_i.
+        let mut j = i + 1;
+        while j < n && pts[i].pos.distance(&pts[j].pos) <= cfg.d_max_m {
+            j += 1;
+        }
+        // Window is pts[i..j] (j exclusive); it spans [t_i, t_{j-1}].
+        let last = j - 1;
+        if pts[last].t - pts[i].t >= cfg.t_min_s {
+            let member_pos: Vec<Point> = pts[i..j].iter().map(|p| p.pos).collect();
+            stays.push(StayPoint {
+                pos: centroid(&member_pos).expect("window is non-empty"),
+                t_start: pts[i].t,
+                t_end: pts[last].t,
+                n_points: j - i,
+            });
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    stays
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TrajPoint;
+    use proptest::prelude::*;
+
+    const CFG: StayPointConfig = StayPointConfig {
+        d_max_m: 20.0,
+        t_min_s: 30.0,
+    };
+
+    /// A courier that walks, dwells, then walks again.
+    fn walk_dwell_walk(dwell_secs: f64) -> Trajectory {
+        let mut pts = Vec::new();
+        let mut t = 0.0;
+        // Walk east 1.4 m/s for 60 s.
+        for i in 0..6 {
+            pts.push(TrajPoint::xyt(i as f64 * 14.0, 0.0, t));
+            t += 10.0;
+        }
+        // Dwell at (100, 0) within a 3 m jitter.
+        let dwell_start = t;
+        let mut k = 0;
+        while t - dwell_start <= dwell_secs {
+            let dx = if k % 2 == 0 { 1.5 } else { -1.5 };
+            pts.push(TrajPoint::xyt(100.0 + dx, 0.0, t));
+            t += 10.0;
+            k += 1;
+        }
+        // Walk away northward.
+        for i in 0..6 {
+            pts.push(TrajPoint::xyt(100.0, (i + 1) as f64 * 30.0, t));
+            t += 10.0;
+        }
+        Trajectory::from_points(pts)
+    }
+
+    #[test]
+    fn detects_a_single_dwell() {
+        let traj = walk_dwell_walk(120.0);
+        let stays = detect_stay_points(&traj, &CFG);
+        assert_eq!(stays.len(), 1);
+        let sp = stays[0];
+        assert!(sp.pos.distance(&Point::new(100.0, 0.0)) < 5.0);
+        assert!(sp.duration() >= 30.0);
+    }
+
+    #[test]
+    fn short_dwell_is_not_a_stay() {
+        // Dwell of only ~20 s is below T_min = 30 s.
+        let traj = walk_dwell_walk(20.0);
+        let stays = detect_stay_points(&traj, &CFG);
+        assert!(stays.is_empty());
+    }
+
+    #[test]
+    fn continuous_walk_has_no_stays() {
+        let traj: Trajectory = (0..100)
+            .map(|i| TrajPoint::xyt(i as f64 * 14.0, 0.0, i as f64 * 10.0))
+            .collect();
+        assert!(detect_stay_points(&traj, &CFG).is_empty());
+    }
+
+    #[test]
+    fn stationary_trajectory_is_one_stay() {
+        let traj: Trajectory = (0..20)
+            .map(|i| TrajPoint::xyt(0.0, 0.0, i as f64 * 10.0))
+            .collect();
+        let stays = detect_stay_points(&traj, &CFG);
+        assert_eq!(stays.len(), 1);
+        assert_eq!(stays[0].n_points, 20);
+        assert_eq!(stays[0].t_start, 0.0);
+        assert_eq!(stays[0].t_end, 190.0);
+        assert!((stays[0].mid_time() - 95.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_separate_dwells() {
+        let mut pts = Vec::new();
+        let mut t = 0.0;
+        for _ in 0..10 {
+            pts.push(TrajPoint::xyt(0.0, 0.0, t));
+            t += 10.0;
+        }
+        // Move 500 m away quickly.
+        for i in 0..10 {
+            pts.push(TrajPoint::xyt((i + 1) as f64 * 50.0, 0.0, t));
+            t += 10.0;
+        }
+        for _ in 0..10 {
+            pts.push(TrajPoint::xyt(500.0, 0.0, t));
+            t += 10.0;
+        }
+        let stays = detect_stay_points(&Trajectory::from_points(pts), &CFG);
+        assert_eq!(stays.len(), 2);
+        assert!(stays[0].pos.distance(&Point::new(0.0, 0.0)) < 1.0);
+        assert!(stays[1].pos.distance(&Point::new(500.0, 0.0)) < 1.0);
+        assert!(stays[0].t_end < stays[1].t_start);
+    }
+
+    #[test]
+    fn empty_and_single_point_trajectories() {
+        assert!(detect_stay_points(&Trajectory::new(), &CFG).is_empty());
+        let one: Trajectory = std::iter::once(TrajPoint::xyt(0.0, 0.0, 0.0)).collect();
+        assert!(detect_stay_points(&one, &CFG).is_empty());
+    }
+
+    #[test]
+    fn definition4_anchor_distance_respected() {
+        // A slow drift: each fix 5 m from the previous. Fixes stay within
+        // 20 m of the anchor for 5 fixes (0,5,10,15,20), then break.
+        let traj: Trajectory = (0..10)
+            .map(|i| TrajPoint::xyt(i as f64 * 5.0, 0.0, i as f64 * 10.0))
+            .collect();
+        let stays = detect_stay_points(&traj, &CFG);
+        // First window: fixes 0..=4 spans 40 s >= 30 s -> stay at centroid x=10.
+        assert_eq!(stays.len(), 2, "drift splits into anchored windows");
+        assert!((stays[0].pos.x - 10.0).abs() < 1e-9);
+        assert_eq!(stays[0].n_points, 5);
+    }
+
+    proptest! {
+        #[test]
+        fn stays_obey_definition(
+            coords in proptest::collection::vec((-100.0..100.0f64, -100.0..100.0f64), 0..80)
+        ) {
+            let traj: Trajectory = coords
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| TrajPoint::xyt(x, y, i as f64 * 10.0))
+                .collect();
+            let stays = detect_stay_points(&traj, &CFG);
+            for sp in &stays {
+                prop_assert!(sp.duration() >= CFG.t_min_s);
+                prop_assert!(sp.n_points >= 2);
+                prop_assert!(sp.t_start <= sp.mid_time() && sp.mid_time() <= sp.t_end);
+            }
+            // Stays are disjoint and ordered in time.
+            for w in stays.windows(2) {
+                prop_assert!(w[0].t_end <= w[1].t_start);
+            }
+        }
+
+        #[test]
+        fn centroid_is_near_anchor(
+            coords in proptest::collection::vec((-15.0..15.0f64, -15.0..15.0f64), 4..40)
+        ) {
+            // All fixes within 5 m of origin (max pairwise distance
+            // 10*sqrt(2) < D_max) and spanning > T_min: exactly one stay
+            // containing every fix.
+            let traj: Trajectory = coords
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| TrajPoint::xyt(x / 3.0, y / 3.0, i as f64 * 15.0))
+                .collect();
+            let stays = detect_stay_points(&traj, &CFG);
+            prop_assert_eq!(stays.len(), 1);
+            prop_assert_eq!(stays[0].n_points, traj.len());
+        }
+    }
+}

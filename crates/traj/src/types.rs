@@ -1,0 +1,294 @@
+//! Core trajectory data types (Definition 3 of the paper).
+
+use dlinfma_geo::Point;
+use serde::{Deserialize, Serialize};
+
+/// A single spatio-temporal GPS fix: a location at a time.
+///
+/// Times throughout the pipeline are seconds since the dataset epoch
+/// (f64 so sub-second sampling is representable).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrajPoint {
+    /// Location in the local metric frame.
+    pub pos: Point,
+    /// Seconds since the dataset epoch.
+    pub t: f64,
+}
+
+impl TrajPoint {
+    /// Creates a fix at `pos` observed at time `t`.
+    pub const fn new(pos: Point, t: f64) -> Self {
+        Self { pos, t }
+    }
+
+    /// Convenience constructor from raw coordinates.
+    pub const fn xyt(x: f64, y: f64, t: f64) -> Self {
+        Self {
+            pos: Point::new(x, y),
+            t,
+        }
+    }
+}
+
+/// A chronologically ordered sequence of GPS fixes produced by one courier
+/// (Definition 3).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    points: Vec<TrajPoint>,
+}
+
+impl Trajectory {
+    /// Creates an empty trajectory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a trajectory from fixes, sorting them chronologically.
+    ///
+    /// Fixes with non-finite coordinates or times are dropped — upstream GPS
+    /// decoders occasionally emit them and they would poison every distance
+    /// computation downstream.
+    pub fn from_points(mut points: Vec<TrajPoint>) -> Self {
+        points.retain(|p| p.pos.is_finite() && p.t.is_finite());
+        points.sort_by(|a, b| a.t.partial_cmp(&b.t).expect("times are finite"));
+        Self { points }
+    }
+
+    /// Appends a fix.
+    ///
+    /// # Panics
+    /// Panics if `p` is earlier than the current last fix; trajectories are
+    /// append-only in time order.
+    pub fn push(&mut self, p: TrajPoint) {
+        if let Some(last) = self.points.last() {
+            assert!(
+                p.t >= last.t,
+                "fixes must be appended in chronological order ({} < {})",
+                p.t,
+                last.t
+            );
+        }
+        self.points.push(p);
+    }
+
+    /// The fixes in chronological order.
+    pub fn points(&self) -> &[TrajPoint] {
+        &self.points
+    }
+
+    /// Number of fixes.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the trajectory has no fixes.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Time of the first fix, or `None` when empty.
+    pub fn start_time(&self) -> Option<f64> {
+        self.points.first().map(|p| p.t)
+    }
+
+    /// Time of the last fix, or `None` when empty.
+    pub fn end_time(&self) -> Option<f64> {
+        self.points.last().map(|p| p.t)
+    }
+
+    /// Duration in seconds covered by the trajectory (zero when fewer than
+    /// two fixes).
+    pub fn duration(&self) -> f64 {
+        match (self.start_time(), self.end_time()) {
+            (Some(s), Some(e)) => e - s,
+            _ => 0.0,
+        }
+    }
+
+    /// Total path length in meters (sum of segment lengths).
+    pub fn path_length(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| w[0].pos.distance(&w[1].pos))
+            .sum()
+    }
+
+    /// The sub-trajectory with fixes in the closed time interval `[t0, t1]`.
+    pub fn slice_time(&self, t0: f64, t1: f64) -> Trajectory {
+        let points = self
+            .points
+            .iter()
+            .filter(|p| p.t >= t0 && p.t <= t1)
+            .copied()
+            .collect();
+        Trajectory { points }
+    }
+
+    /// Mean interval between consecutive fixes, or `None` with fewer than
+    /// two fixes. The paper's datasets average 13.5 s.
+    pub fn mean_sampling_interval(&self) -> Option<f64> {
+        if self.points.len() < 2 {
+            return None;
+        }
+        Some(self.duration() / (self.points.len() - 1) as f64)
+    }
+
+    /// The courier's (interpolated) position at time `t`: linear between the
+    /// surrounding fixes, clamped to the first/last fix outside the covered
+    /// interval. `None` for an empty trajectory.
+    ///
+    /// This is how annotation-based baselines derive the "annotated
+    /// location" of a delivery from its confirmation timestamp.
+    pub fn position_at(&self, t: f64) -> Option<Point> {
+        let pts = &self.points;
+        let first = pts.first()?;
+        if t <= first.t {
+            return Some(first.pos);
+        }
+        let last = pts.last().expect("non-empty");
+        if t >= last.t {
+            return Some(last.pos);
+        }
+        // Binary search for the segment containing t.
+        let idx = pts.partition_point(|p| p.t <= t);
+        let (a, b) = (&pts[idx - 1], &pts[idx]);
+        let span = b.t - a.t;
+        if span <= 0.0 {
+            return Some(a.pos);
+        }
+        Some(a.pos.lerp(&b.pos, (t - a.t) / span))
+    }
+}
+
+impl FromIterator<TrajPoint> for Trajectory {
+    fn from_iter<I: IntoIterator<Item = TrajPoint>>(iter: I) -> Self {
+        Trajectory::from_points(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn from_points_sorts_chronologically() {
+        let t = Trajectory::from_points(vec![
+            TrajPoint::xyt(0.0, 0.0, 10.0),
+            TrajPoint::xyt(1.0, 0.0, 5.0),
+            TrajPoint::xyt(2.0, 0.0, 7.5),
+        ]);
+        let times: Vec<f64> = t.points().iter().map(|p| p.t).collect();
+        assert_eq!(times, vec![5.0, 7.5, 10.0]);
+    }
+
+    #[test]
+    fn from_points_drops_non_finite() {
+        let t = Trajectory::from_points(vec![
+            TrajPoint::xyt(0.0, 0.0, 0.0),
+            TrajPoint::xyt(f64::NAN, 0.0, 1.0),
+            TrajPoint::xyt(0.0, f64::INFINITY, 2.0),
+            TrajPoint::xyt(1.0, 1.0, f64::NAN),
+            TrajPoint::xyt(1.0, 1.0, 3.0),
+        ]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "chronological order")]
+    fn push_out_of_order_panics() {
+        let mut t = Trajectory::new();
+        t.push(TrajPoint::xyt(0.0, 0.0, 10.0));
+        t.push(TrajPoint::xyt(0.0, 0.0, 5.0));
+    }
+
+    #[test]
+    fn duration_and_length() {
+        let t = Trajectory::from_points(vec![
+            TrajPoint::xyt(0.0, 0.0, 0.0),
+            TrajPoint::xyt(3.0, 4.0, 10.0),
+            TrajPoint::xyt(3.0, 10.0, 20.0),
+        ]);
+        assert!((t.duration() - 20.0).abs() < 1e-12);
+        assert!((t.path_length() - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trajectory_edge_cases() {
+        let t = Trajectory::new();
+        assert!(t.is_empty());
+        assert_eq!(t.duration(), 0.0);
+        assert_eq!(t.path_length(), 0.0);
+        assert!(t.start_time().is_none());
+        assert!(t.mean_sampling_interval().is_none());
+    }
+
+    #[test]
+    fn slice_time_is_inclusive() {
+        let t: Trajectory = (0..10)
+            .map(|i| TrajPoint::xyt(i as f64, 0.0, i as f64))
+            .collect();
+        let s = t.slice_time(2.0, 5.0);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.start_time(), Some(2.0));
+        assert_eq!(s.end_time(), Some(5.0));
+    }
+
+    #[test]
+    fn mean_sampling_interval() {
+        let t: Trajectory = (0..5)
+            .map(|i| TrajPoint::xyt(0.0, 0.0, i as f64 * 13.5))
+            .collect();
+        assert!((t.mean_sampling_interval().unwrap() - 13.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn position_at_interpolates_and_clamps() {
+        let t = Trajectory::from_points(vec![
+            TrajPoint::xyt(0.0, 0.0, 10.0),
+            TrajPoint::xyt(10.0, 0.0, 20.0),
+            TrajPoint::xyt(10.0, 20.0, 40.0),
+        ]);
+        assert_eq!(t.position_at(5.0), Some(crate::types::TrajPoint::xyt(0.0, 0.0, 0.0).pos));
+        assert_eq!(t.position_at(15.0).unwrap(), dlinfma_geo::Point::new(5.0, 0.0));
+        assert_eq!(t.position_at(30.0).unwrap(), dlinfma_geo::Point::new(10.0, 10.0));
+        assert_eq!(t.position_at(100.0).unwrap(), dlinfma_geo::Point::new(10.0, 20.0));
+        assert!(Trajectory::new().position_at(0.0).is_none());
+    }
+
+    #[test]
+    fn position_at_exact_fix_times() {
+        let t = Trajectory::from_points(vec![
+            TrajPoint::xyt(1.0, 1.0, 0.0),
+            TrajPoint::xyt(2.0, 2.0, 10.0),
+        ]);
+        assert_eq!(t.position_at(0.0).unwrap(), dlinfma_geo::Point::new(1.0, 1.0));
+        assert_eq!(t.position_at(10.0).unwrap(), dlinfma_geo::Point::new(2.0, 2.0));
+    }
+
+    proptest! {
+        #[test]
+        fn from_points_always_sorted(
+            ts in proptest::collection::vec(0.0..1e6f64, 0..50)
+        ) {
+            let pts: Vec<TrajPoint> = ts.iter().map(|&t| TrajPoint::xyt(0.0, 0.0, t)).collect();
+            let traj = Trajectory::from_points(pts);
+            for w in traj.points().windows(2) {
+                prop_assert!(w[0].t <= w[1].t);
+            }
+        }
+
+        #[test]
+        fn slice_never_exceeds_bounds(
+            ts in proptest::collection::vec(0.0..1000.0f64, 0..50),
+            t0 in 0.0..1000.0f64,
+            dt in 0.0..500.0f64,
+        ) {
+            let traj: Trajectory = ts.iter().map(|&t| TrajPoint::xyt(0.0, 0.0, t)).collect();
+            let s = traj.slice_time(t0, t0 + dt);
+            for p in s.points() {
+                prop_assert!(p.t >= t0 && p.t <= t0 + dt);
+            }
+        }
+    }
+}

