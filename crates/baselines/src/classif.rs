@@ -45,12 +45,7 @@ pub struct MlpClassifier {
 
 impl MlpClassifier {
     /// Fits the paper's MLP variant (1 hidden layer, 16 neurons).
-    pub fn fit(
-        x: &FeatureMatrix,
-        labels: &[bool],
-        class_weights: (f32, f32),
-        seed: u64,
-    ) -> Self {
+    pub fn fit(x: &FeatureMatrix, labels: &[bool], class_weights: (f32, f32), seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut store = ParamStore::new();
         let hidden = Dense::new(&mut store, "h", x.n_cols(), 16, Activation::Relu, &mut rng);
@@ -64,8 +59,7 @@ impl MlpClassifier {
                 model.store.zero_grads();
                 for &i in batch {
                     let mut g = Graph::new();
-                    let input =
-                        g.constant(Tensor::new(vec![1, x.n_cols()], x.row(i).to_vec()));
+                    let input = g.constant(Tensor::new(vec![1, x.n_cols()], x.row(i).to_vec()));
                     let h = model.hidden.forward(&mut g, &model.store, input);
                     let logits2d = model.out.forward(&mut g, &model.store, h);
                     let logits = g.reshape(logits2d, vec![2]);

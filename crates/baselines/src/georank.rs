@@ -9,9 +9,7 @@
 
 use crate::annotated::AnnotatedLocations;
 use dlinfma_geo::Point;
-use dlinfma_ml::{
-    make_training_pairs, vote_best, FeatureMatrix, TreeClassifier, TreeConfig,
-};
+use dlinfma_ml::{make_training_pairs, vote_best, FeatureMatrix, TreeClassifier, TreeConfig};
 use dlinfma_synth::{AddressId, Dataset};
 use std::collections::HashMap;
 
@@ -74,10 +72,8 @@ impl GeoRank {
                 })
                 .map(|(i, _)| i)
                 .expect("len >= 2");
-            let feats = FeatureMatrix::from_rows(&annotation_features(
-                pts,
-                dataset.address(a).geocode,
-            ));
+            let feats =
+                FeatureMatrix::from_rows(&annotation_features(pts, dataset.address(a).geocode));
             make_training_pairs(&feats, pos, &mut rows, &mut labels);
         }
         let x = FeatureMatrix::from_rows(&rows);
@@ -97,7 +93,12 @@ impl GeoRank {
 
     /// Infers the delivery location of one address by round-robin voting
     /// over its annotated locations.
-    pub fn infer(&self, dataset: &Dataset, ann: &AnnotatedLocations, addr: AddressId) -> Option<Point> {
+    pub fn infer(
+        &self,
+        dataset: &Dataset,
+        ann: &AnnotatedLocations,
+        addr: AddressId,
+    ) -> Option<Point> {
         let pts = ann.of(addr);
         if pts.is_empty() {
             return None;
@@ -105,10 +106,8 @@ impl GeoRank {
         if pts.len() == 1 {
             return Some(pts[0]);
         }
-        let feats = FeatureMatrix::from_rows(&annotation_features(
-            pts,
-            dataset.address(addr).geocode,
-        ));
+        let feats =
+            FeatureMatrix::from_rows(&annotation_features(pts, dataset.address(addr).geocode));
         let scorer = |a: &[f32], b: &[f32]| {
             let mut row = a.to_vec();
             row.extend_from_slice(b);
@@ -140,7 +139,9 @@ mod tests {
         let mut n = 0;
         for &a in &split.test {
             let truth = gt[&a];
-            let Some(p) = model.infer(&ds, &ann, a) else { continue };
+            let Some(p) = model.infer(&ds, &ann, a) else {
+                continue;
+            };
             let c = dlinfma_geo::centroid(ann.of(a)).unwrap();
             err_rank += p.distance(&truth);
             err_centroid += c.distance(&truth);
@@ -160,17 +161,17 @@ mod tests {
     #[test]
     fn single_annotation_short_circuits() {
         let (city, ds) = generate(Preset::DowBJ, Scale::Tiny, 4);
-        let ann = AnnotatedLocations::from_parts(vec![(
-            AddressId(0),
-            vec![Point::new(1.0, 2.0)],
-        )]);
+        let ann = AnnotatedLocations::from_parts(vec![(AddressId(0), vec![Point::new(1.0, 2.0)])]);
         let gt: HashMap<AddressId, Point> = city
             .addresses
             .iter()
             .map(|a| (a.id, a.true_delivery_location))
             .collect();
         let model = GeoRank::fit(&ds, &ann, &[], &gt);
-        assert_eq!(model.infer(&ds, &ann, AddressId(0)), Some(Point::new(1.0, 2.0)));
+        assert_eq!(
+            model.infer(&ds, &ann, AddressId(0)),
+            Some(Point::new(1.0, 2.0))
+        );
         assert_eq!(model.infer(&ds, &ann, AddressId(1)), None);
     }
 }

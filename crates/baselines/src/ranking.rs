@@ -118,7 +118,10 @@ impl RankingVariant {
                         continue;
                     }
                     let feats = FeatureMatrix::from_rows(
-                        &s.features.iter().map(|f| f.to_vec(&fcfg)).collect::<Vec<_>>(),
+                        &s.features
+                            .iter()
+                            .map(|f| f.to_vec(&fcfg))
+                            .collect::<Vec<_>>(),
                     );
                     make_training_pairs(&feats, pos, &mut rows, &mut labels);
                 }
@@ -178,9 +181,7 @@ impl RankingVariant {
             Model::Net(net) => rows
                 .iter()
                 .enumerate()
-                .max_by(|(_, a), (_, b)| {
-                    net.score(a).partial_cmp(&net.score(b)).expect("finite")
-                })
+                .max_by(|(_, a), (_, b)| net.score(a).partial_cmp(&net.score(b)).expect("finite"))
                 .map(|(i, _)| i)?,
         };
         Some(pool.candidate(s.candidates[best]).pos)

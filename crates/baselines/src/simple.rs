@@ -147,10 +147,7 @@ pub fn max_tc_ilc(samples: &[AddressSample], pool: &CandidatePool) -> Precompute
     // phantom off-building visit in twenty trips.
     from_samples("MaxTC-ILC", samples, pool, |s| {
         argmin_by(&s.features, |f| {
-            (
-                -(f.trip_coverage / (f.location_commonality + 0.05)),
-                0.0,
-            )
+            (-(f.trip_coverage / (f.location_commonality + 0.05)), 0.0)
         })
     })
 }
@@ -214,8 +211,14 @@ mod tests {
         let ann = AnnotatedLocations::from_parts(vec![(AddressId(0), pts.to_vec())]);
         let gc = geocloud(&ann, 20.0).infer(AddressId(0)).unwrap();
         let an = annotation(&ann).infer(AddressId(0)).unwrap();
-        assert!(gc.distance(&Point::new(1.67, 1.67)) < 1.0, "geocloud at {gc:?}");
-        assert!(an.distance(&Point::new(101.25, 101.25)) < 1.0, "annotation at {an:?}");
+        assert!(
+            gc.distance(&Point::new(1.67, 1.67)) < 1.0,
+            "geocloud at {gc:?}"
+        );
+        assert!(
+            an.distance(&Point::new(101.25, 101.25)) < 1.0,
+            "annotation at {an:?}"
+        );
     }
 
     #[test]

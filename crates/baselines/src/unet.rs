@@ -118,10 +118,7 @@ impl Raster {
     pub fn cell_center(&self, idx: usize) -> Point {
         let cx = self.origin.0 + (idx % GRID) as i64;
         let cy = self.origin.1 + (idx / GRID) as i64;
-        Point::new(
-            (cx as f64 + 0.5) * CELL_W_M,
-            (cy as f64 + 0.5) * CELL_H_M,
-        )
+        Point::new((cx as f64 + 0.5) * CELL_W_M, (cy as f64 + 0.5) * CELL_H_M)
     }
 }
 
@@ -175,7 +172,9 @@ impl UNetBaseline {
 
         let mut samples: Vec<(Vec<f32>, usize)> = Vec::new();
         for &a in train {
-            let Some(raster) = rasterize(ann.of(a)) else { continue };
+            let Some(raster) = rasterize(ann.of(a)) else {
+                continue;
+            };
             let Some(&truth) = gt.get(&a) else { continue };
             let Some(target) = raster.cell_of(&truth) else {
                 continue; // truth escaped the window — unlearnable sample
@@ -268,10 +267,7 @@ mod tests {
         let mut parts = Vec::new();
         let mut gt = HashMap::new();
         for i in 0..80u32 {
-            let base = Point::new(
-                rng.gen_range(0.0..5_000.0),
-                rng.gen_range(0.0..5_000.0),
-            );
+            let base = Point::new(rng.gen_range(0.0..5_000.0), rng.gen_range(0.0..5_000.0));
             let pts: Vec<Point> = (0..5)
                 .map(|_| {
                     Point::new(

@@ -11,8 +11,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dlinfma_cluster::{
-    dbscan, grid_clusters, hierarchical_cluster, kmeans, optics_extract, DbscanConfig,
-    OpticsConfig,
+    dbscan, grid_clusters, hierarchical_cluster, kmeans, optics_extract, DbscanConfig, OpticsConfig,
 };
 use dlinfma_core::{extract_stay_points, ExtractionConfig};
 use dlinfma_geo::{centroid, KdTree, Point};
@@ -28,10 +27,7 @@ fn centroids_of(points: &[Point], labels: &[Option<usize>]) -> Vec<Point> {
             groups.entry(*c).or_default().push(*p);
         }
     }
-    groups
-        .into_values()
-        .filter_map(|g| centroid(&g))
-        .collect()
+    groups.into_values().filter_map(|g| centroid(&g)).collect()
 }
 
 fn coverage(pool: &[Point], truths: &[Point]) -> (f64, f64) {
@@ -62,13 +58,17 @@ fn print_ablation() {
         .map(|&a| city.addresses[a as usize].true_delivery_location)
         .collect();
 
-    println!("{} stay points, {} delivered addresses\n", points.len(), truths.len());
+    println!(
+        "{} stay points, {} delivered addresses\n",
+        points.len(),
+        truths.len()
+    );
     println!(
         "{:<24} {:>10} {:>12} {:>12}",
         "Method", "locations", "cover MAE", "cover P95"
     );
 
-    let mut report = |name: &str, pool: Vec<Point>| {
+    let report = |name: &str, pool: Vec<Point>| {
         let (mae, p95) = coverage(&pool, &truths);
         println!("{name:<24} {:>10} {:>12.1} {:>12.1}", pool.len(), mae, p95);
     };
@@ -84,12 +84,18 @@ fn print_ablation() {
     // Grid merging (DLInfMA-Grid): more locations from boundary splits.
     report(
         "grid 40x40",
-        grid_clusters(&points, 40.0).iter().map(|c| c.centroid).collect(),
+        grid_clusters(&points, 40.0)
+            .iter()
+            .map(|c| c.centroid)
+            .collect(),
     );
     // DBSCAN: density threshold produces irregular merged regions.
     for (eps, min_pts) in [(20.0, 3), (40.0, 3)] {
         let labels = dbscan(&points, &DbscanConfig { eps, min_pts });
-        report(&format!("dbscan eps={eps} min={min_pts}"), centroids_of(&points, &labels));
+        report(
+            &format!("dbscan eps={eps} min={min_pts}"),
+            centroids_of(&points, &labels),
+        );
     }
     // OPTICS with a cut.
     let labels = optics_extract(
@@ -127,7 +133,15 @@ fn bench_clustering(c: &mut Criterion) {
     });
     group.bench_function("grid", |b| b.iter(|| grid_clusters(&points, 40.0)));
     group.bench_function("dbscan", |b| {
-        b.iter(|| dbscan(&points, &DbscanConfig { eps: 20.0, min_pts: 3 }))
+        b.iter(|| {
+            dbscan(
+                &points,
+                &DbscanConfig {
+                    eps: 20.0,
+                    min_pts: 3,
+                },
+            )
+        })
     });
     group.finish();
 }

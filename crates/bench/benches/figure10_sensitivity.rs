@@ -90,10 +90,8 @@ fn bench_sweep(c: &mut Criterion) {
     figure10b();
     // Criterion target: candidate-pool construction across D values.
     let (_, ds) = dlinfma_synth::generate(Preset::DowBJ, Scale::Small, 1);
-    let stays = dlinfma_core::extract_stay_points(
-        &ds,
-        &dlinfma_core::ExtractionConfig::paper_defaults(),
-    );
+    let stays =
+        dlinfma_core::extract_stay_points(&ds, &dlinfma_core::ExtractionConfig::paper_defaults());
     let mut group = c.benchmark_group("figure10/pool_construction");
     group.sample_size(10);
     for d in [20.0, 40.0, 60.0] {

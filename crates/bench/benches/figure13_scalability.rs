@@ -7,9 +7,7 @@
 //! DLInfMA is faster than UNet-based and sustains >= 1 K addresses/s.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dlinfma_baselines::{
-    geocloud, max_tc_ilc, GeoRank, UNetBaseline, UNetConfig,
-};
+use dlinfma_baselines::{geocloud, max_tc_ilc, GeoRank, UNetBaseline, UNetConfig};
 use dlinfma_core::LocMatcher;
 use dlinfma_eval::ExperimentWorld;
 use dlinfma_synth::{AddressId, Preset, Scale};
@@ -58,7 +56,11 @@ fn print_throughput(fx: &Fixture) {
             f(a);
         }
         let dt = t0.elapsed().as_secs_f64();
-        println!("{name:<12} {:>10.0} addr/s  ({:.2} ms / 1K)", n as f64 / dt, dt * 1e3);
+        println!(
+            "{name:<12} {:>10.0} addr/s  ({:.2} ms / 1K)",
+            n as f64 / dt,
+            dt * 1e3
+        );
     };
 
     let pool = fx.world.dlinfma.pool();
@@ -90,10 +92,8 @@ fn geocloud_single(
     ann: &dlinfma_baselines::AnnotatedLocations,
     addr: AddressId,
 ) -> Option<dlinfma_geo::Point> {
-    let single = dlinfma_baselines::AnnotatedLocations::from_parts(vec![(
-        addr,
-        ann.of(addr).to_vec(),
-    )]);
+    let single =
+        dlinfma_baselines::AnnotatedLocations::from_parts(vec![(addr, ann.of(addr).to_vec())]);
     geocloud(&single, 20.0).infer(addr)
 }
 

@@ -16,7 +16,10 @@ use dlinfma_synth::{Preset, Scale};
 const SEEDS: [u64; 2] = [1, 2];
 
 fn print_table2() {
-    println!("\n===== Table II: overall effectiveness (mean over {} world seeds) =====", SEEDS.len());
+    println!(
+        "\n===== Table II: overall effectiveness (mean over {} world seeds) =====",
+        SEEDS.len()
+    );
     for preset in [Preset::DowBJ, Preset::SubBJ] {
         let worlds: Vec<ExperimentWorld> = SEEDS
             .iter()

@@ -44,10 +44,7 @@ fn print_table3() {
             let results: Vec<_> = methods.iter().map(|&m| evaluate_mean(&worlds, m)).collect();
             println!(
                 "{}",
-                render_metrics_table(
-                    &format!("{} — p_d = {p_delay}", preset.name()),
-                    &results
-                )
+                render_metrics_table(&format!("{} — p_d = {p_delay}", preset.name()), &results)
             );
         }
     }

@@ -10,35 +10,71 @@
 
 use dlinfma_core::{DlInfMa, DlInfMaConfig};
 use dlinfma_eval::{
-    dataset_stats, evaluate, multi_location_building_fraction, render_metrics_table,
-    ExperimentWorld, Method,
+    dataset_stats, evaluate, multi_location_building_fraction, pipeline_config,
+    render_metrics_table, ExperimentWorld, Method,
 };
+use dlinfma_obs as obs;
 use dlinfma_synth::{generate, AddressId, Preset, Scale};
 use std::process::ExitCode;
 
 /// Minimal `--flag value` argument map (no external parser dependency).
+#[derive(Debug)]
 struct Args {
     command: String,
     flags: Vec<(String, String)>,
     all: bool,
+    verbose: bool,
 }
 
 impl Args {
-    fn parse() -> Option<Args> {
-        let mut argv = std::env::args().skip(1);
-        let command = argv.next()?;
+    fn parse() -> Result<Args, String> {
+        Self::parse_from(std::env::args().skip(1).collect())
+    }
+
+    /// Parses `argv` (without the program name). Errors name the offending
+    /// flag or argument so a typo is diagnosable from the message alone.
+    fn parse_from(argv: Vec<String>) -> Result<Args, String> {
+        let mut argv = argv.into_iter();
+        let command = argv.next().ok_or_else(|| usage().to_string())?;
         let mut flags = Vec::new();
         let mut all = false;
+        let mut verbose = false;
         while let Some(a) = argv.next() {
-            if a == "--all" {
-                all = true;
-                continue;
+            match a.as_str() {
+                "--all" => all = true,
+                "--verbose" => verbose = true,
+                _ => {
+                    let Some(name) = a.strip_prefix("--") else {
+                        return Err(format!(
+                            "unexpected argument '{a}' (flags start with --)\n{}",
+                            usage()
+                        ));
+                    };
+                    const KNOWN: &[&str] = &[
+                        "preset",
+                        "scale",
+                        "seed",
+                        "workers",
+                        "out",
+                        "address",
+                        "metrics-out",
+                    ];
+                    if !KNOWN.contains(&name) {
+                        return Err(format!("unknown flag '--{name}'\n{}", usage()));
+                    }
+                    let Some(value) = argv.next() else {
+                        return Err(format!("flag '--{name}' is missing a value"));
+                    };
+                    flags.push((name.to_string(), value));
+                }
             }
-            let name = a.strip_prefix("--")?.to_string();
-            let value = argv.next()?;
-            flags.push((name, value));
         }
-        Some(Args { command, flags, all })
+        Ok(Args {
+            command,
+            flags,
+            all,
+            verbose,
+        })
     }
 
     fn get(&self, name: &str) -> Option<&str> {
@@ -66,37 +102,82 @@ impl Args {
     }
 
     fn seed(&self) -> Result<u64, String> {
-        self.get("seed")
-            .unwrap_or("1")
-            .parse()
-            .map_err(|e| format!("bad --seed: {e}"))
+        let v = self.get("seed").unwrap_or("1");
+        v.parse().map_err(|e| format!("bad --seed '{v}': {e}"))
+    }
+
+    fn workers(&self) -> Result<Option<usize>, String> {
+        match self.get("workers") {
+            None => Ok(None),
+            Some(v) => match v.parse::<usize>() {
+                Ok(0) => Err("bad --workers '0': must be at least 1".to_string()),
+                Ok(n) => Ok(Some(n)),
+                Err(e) => Err(format!("bad --workers '{v}': {e}")),
+            },
+        }
+    }
+
+    /// The pipeline configuration for this invocation: the preset's tuned
+    /// configuration with the `--workers` override applied.
+    fn pipeline_cfg(&self, preset: Preset) -> Result<DlInfMaConfig, String> {
+        let mut cfg = pipeline_config(preset);
+        if let Some(w) = self.workers()? {
+            cfg.workers = w;
+        }
+        Ok(cfg)
     }
 }
 
 fn usage() -> &'static str {
     "usage: dlinfma <command> [--preset dowbj|subbj] [--scale tiny|small|full] [--seed N]\n\
+     \x20              [--workers N] [--verbose] [--metrics-out FILE]\n\
      commands:\n\
      \x20 generate  --out FILE     write the synthetic dataset as JSON\n\
      \x20 stats                    print Table I-style dataset statistics\n\
      \x20 eval      [--all]        train + evaluate methods on the test region\n\
      \x20 infer     --address N    train DLInfMA and infer one address\n\
-     \x20 geojson   --out FILE     train DLInfMA and export a GeoJSON map"
+     \x20 geojson   --out FILE     train DLInfMA and export a GeoJSON map\n\
+     observability:\n\
+     \x20 --verbose           print stage timings, spans and metrics to stderr\n\
+     \x20 --metrics-out FILE  write spans/metrics/report as JSON"
+}
+
+/// Prints the collected observability data to stderr (`--verbose`) and/or
+/// writes the JSON export (`--metrics-out FILE`).
+fn emit_observability(args: &Args, report: Option<&obs::PipelineReport>) -> Result<(), String> {
+    if args.verbose {
+        if let Some(r) = report {
+            eprint!("{}", r.render_table());
+        }
+        let spans = obs::spans_snapshot();
+        if !spans.is_empty() {
+            eprint!("{}", obs::render_spans(&spans));
+        }
+        eprint!("{}", obs::render_metrics(&obs::metrics_snapshot()));
+    }
+    if let Some(path) = args.get("metrics-out") {
+        let json = obs::export_json(report).render_pretty();
+        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote metrics to {path}");
+    }
+    Ok(())
 }
 
 fn run() -> Result<(), String> {
-    let Some(args) = Args::parse() else {
-        return Err(usage().to_string());
-    };
+    let args = Args::parse()?;
     let preset = args.preset()?;
     let scale = args.scale()?;
     let seed = args.seed()?;
+    if args.verbose || args.get("metrics-out").is_some() {
+        obs::enable();
+    }
+    let mut report: Option<obs::PipelineReport> = None;
 
     match args.command.as_str() {
         "generate" => {
             let out = args.get("out").ok_or("generate needs --out FILE")?;
             let (_, dataset) = generate(preset, scale, seed);
-            let json = serde_json::to_string(&dataset)
-                .map_err(|e| format!("serialize: {e}"))?;
+            let json = serde_json::to_string(&dataset).map_err(|e| format!("serialize: {e}"))?;
             std::fs::write(out, json).map_err(|e| format!("write {out}: {e}"))?;
             println!(
                 "wrote {} ({} addresses, {} trips, {} waybills)",
@@ -122,7 +203,9 @@ fn run() -> Result<(), String> {
             );
         }
         "eval" => {
-            let world = ExperimentWorld::build(preset, scale, seed);
+            let world =
+                ExperimentWorld::build_with_config(preset, scale, seed, args.pipeline_cfg(preset)?);
+            report = Some(world.dlinfma.report().clone());
             let methods = if args.all {
                 Method::all()
             } else {
@@ -152,9 +235,10 @@ fn run() -> Result<(), String> {
                 .map_err(|e| format!("bad --address: {e}"))?;
             let (city, dataset) = generate(preset, scale, seed);
             let split = dlinfma_synth::spatial_split(&dataset, 0.6, 0.2);
-            let mut dlinfma = DlInfMa::prepare(&dataset, DlInfMaConfig::fast());
+            let mut dlinfma = DlInfMa::prepare(&dataset, args.pipeline_cfg(preset)?);
             dlinfma.label_from_dataset(&dataset);
             dlinfma.train(&split.train, &split.val);
+            report = Some(dlinfma.report().clone());
             let addr = AddressId(address);
             if (address as usize) >= dataset.addresses.len() {
                 return Err(format!("address {address} out of range"));
@@ -162,7 +246,11 @@ fn run() -> Result<(), String> {
             let inferred = dlinfma.infer_or_geocode(&dataset, addr);
             let truth = city.addresses[address as usize].true_delivery_location;
             println!("address      {address}");
-            println!("geocode      ({:.1}, {:.1})", dataset.address(addr).geocode.x, dataset.address(addr).geocode.y);
+            println!(
+                "geocode      ({:.1}, {:.1})",
+                dataset.address(addr).geocode.x,
+                dataset.address(addr).geocode.y
+            );
             println!("inferred     ({:.1}, {:.1})", inferred.x, inferred.y);
             println!("ground truth ({:.1}, {:.1})", truth.x, truth.y);
             println!("error        {:.1} m", inferred.distance(&truth));
@@ -171,16 +259,17 @@ fn run() -> Result<(), String> {
             let out = args.get("out").ok_or("geojson needs --out FILE")?;
             let (city, dataset) = generate(preset, scale, seed);
             let split = dlinfma_synth::spatial_split(&dataset, 0.6, 0.2);
-            let mut dlinfma = DlInfMa::prepare(&dataset, DlInfMaConfig::fast());
+            let mut dlinfma = DlInfMa::prepare(&dataset, args.pipeline_cfg(preset)?);
             dlinfma.label_from_dataset(&dataset);
             dlinfma.train(&split.train, &split.val);
+            report = Some(dlinfma.report().clone());
             let json = geojson::export(&city, &dataset, &dlinfma);
             std::fs::write(out, json).map_err(|e| format!("write {out}: {e}"))?;
             println!("wrote {out}");
         }
         other => return Err(format!("unknown command '{other}'\n{}", usage())),
     }
-    Ok(())
+    emit_observability(&args, report.as_ref())
 }
 
 fn main() -> ExitCode {
@@ -190,6 +279,64 @@ fn main() -> ExitCode {
             eprintln!("{msg}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        Args::parse_from(args.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn parse_collects_flags_and_booleans() {
+        let a = parse(&["eval", "--seed", "7", "--all", "--verbose"]).unwrap();
+        assert_eq!(a.command, "eval");
+        assert_eq!(a.seed().unwrap(), 7);
+        assert!(a.all);
+        assert!(a.verbose);
+    }
+
+    #[test]
+    fn parse_names_the_flag_missing_a_value() {
+        let err = parse(&["stats", "--seed"]).unwrap_err();
+        assert!(err.contains("'--seed' is missing a value"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_positional_arguments_by_name() {
+        let err = parse(&["stats", "seed", "5"]).unwrap_err();
+        assert!(err.contains("unexpected argument 'seed'"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_unknown_flags_by_name() {
+        let err = parse(&["stats", "--bogus", "5"]).unwrap_err();
+        assert!(err.contains("unknown flag '--bogus'"), "{err}");
+    }
+
+    #[test]
+    fn bad_flag_values_name_the_flag() {
+        let a = parse(&["stats", "--seed", "ten"]).unwrap();
+        assert!(a.seed().unwrap_err().contains("--seed 'ten'"));
+        let a = parse(&["eval", "--workers", "0"]).unwrap();
+        assert!(a.workers().unwrap_err().contains("--workers '0'"));
+        let a = parse(&["eval", "--workers", "x"]).unwrap();
+        assert!(a.workers().unwrap_err().contains("--workers 'x'"));
+    }
+
+    #[test]
+    fn workers_flag_overrides_pipeline_config() {
+        let a = parse(&["eval", "--workers", "2"]).unwrap();
+        let cfg = a.pipeline_cfg(Preset::DowBJ).unwrap();
+        assert_eq!(cfg.workers, 2);
+        let a = parse(&["eval"]).unwrap();
+        assert_eq!(
+            a.pipeline_cfg(Preset::DowBJ).unwrap().workers,
+            pipeline_config(Preset::DowBJ).workers
+        );
     }
 }
 

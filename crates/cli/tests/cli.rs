@@ -9,10 +9,16 @@ fn bin() -> Command {
 #[test]
 fn stats_prints_dataset_summary() {
     let out = bin()
-        .args(["stats", "--preset", "dowbj", "--scale", "tiny", "--seed", "5"])
+        .args([
+            "stats", "--preset", "dowbj", "--scale", "tiny", "--seed", "5",
+        ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("SynthDowBJ"));
     assert!(text.contains("addresses"));
@@ -36,10 +42,20 @@ fn generate_writes_parseable_json() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let json = std::fs::read_to_string(&path).expect("file written");
     let value: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
-    assert!(value["addresses"].as_array().expect("addresses array").len() > 10);
+    assert!(
+        value["addresses"]
+            .as_array()
+            .expect("addresses array")
+            .len()
+            > 10
+    );
     assert!(value["trips"].as_array().expect("trips array").len() > 1);
     std::fs::remove_file(&path).ok();
 }
@@ -63,6 +79,93 @@ fn bad_preset_is_rejected() {
 }
 
 #[test]
+fn malformed_flag_is_named_in_error() {
+    let out = bin()
+        .args(["stats", "--seed"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("'--seed' is missing a value"), "stderr: {err}");
+
+    let out = bin()
+        .args(["eval", "--workers", "zero"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--workers 'zero'"), "stderr: {err}");
+}
+
+#[test]
+fn eval_verbose_writes_metrics_json() {
+    let path = std::env::temp_dir().join("dlinfma_cli_test_metrics.json");
+    let out = bin()
+        .args([
+            "eval",
+            "--preset",
+            "dowbj",
+            "--scale",
+            "tiny",
+            "--seed",
+            "5",
+            "--workers",
+            "2",
+            "--verbose",
+            "--metrics-out",
+            path.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // --verbose prints the stage/funnel tables to stderr, not stdout.
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("pipeline report"), "stderr: {err}");
+    assert!(err.contains("funnel: raw"), "stderr: {err}");
+    assert!(err.contains("== spans =="), "stderr: {err}");
+    let table = String::from_utf8_lossy(&out.stdout);
+    assert!(table.contains("DLInfMA"), "stdout: {table}");
+
+    // The hand-rolled JSON writer round-trips through a real JSON parser.
+    let json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&path).expect("written")).expect("valid");
+    let spans = json["spans"].as_array().expect("spans array");
+    let names: Vec<&str> = spans
+        .iter()
+        .map(|s| s["name"].as_str().expect("span name"))
+        .collect();
+    for stage in [
+        "noise-filter",
+        "stay-point-extraction",
+        "clustering",
+        "retrieval",
+        "feature-extraction",
+        "training",
+        "inference",
+    ] {
+        assert!(
+            names.contains(&stage),
+            "missing span '{stage}' in {names:?}"
+        );
+    }
+    assert!(json["metrics"]["counters"].is_object());
+    assert!(json["metrics"]["histograms"]["retrieval/candidate-set-size"].is_object());
+    let stages = json["report"]["stages"].as_array().expect("report stages");
+    assert!(stages.len() >= 5, "stages: {stages:?}");
+    for s in stages {
+        assert!(s["duration_ns"].as_f64().expect("duration") > 0.0, "{s:?}");
+    }
+    let funnel = &json["report"]["funnel"];
+    assert!(funnel["raw_points"].as_f64().expect("raw") > 0.0);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn geojson_export_is_valid() {
     let path = std::env::temp_dir().join("dlinfma_cli_test_map.geojson");
     let out = bin()
@@ -79,7 +182,11 @@ fn geojson_export_is_valid() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let json: serde_json::Value =
         serde_json::from_str(&std::fs::read_to_string(&path).expect("written")).expect("valid");
     assert_eq!(json["type"], "FeatureCollection");

@@ -94,7 +94,13 @@ mod tests {
         // With min_pts = 1 (the GeoCloud setting) every point is a core
         // point, so there is no noise.
         let pts = [Point::new(0.0, 0.0), Point::new(1000.0, 0.0)];
-        let labels = dbscan(&pts, &DbscanConfig { eps: 20.0, min_pts: 1 });
+        let labels = dbscan(
+            &pts,
+            &DbscanConfig {
+                eps: 20.0,
+                min_pts: 1,
+            },
+        );
         assert_eq!(labels, vec![Some(0), Some(1)]);
     }
 
@@ -103,7 +109,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut pts = Vec::new();
         for _ in 0..30 {
-            pts.push(Point::new(rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)));
+            pts.push(Point::new(
+                rng.gen_range(-5.0..5.0),
+                rng.gen_range(-5.0..5.0),
+            ));
         }
         for _ in 0..30 {
             pts.push(Point::new(
@@ -111,7 +120,13 @@ mod tests {
                 rng.gen_range(-5.0..5.0),
             ));
         }
-        let labels = dbscan(&pts, &DbscanConfig { eps: 15.0, min_pts: 3 });
+        let labels = dbscan(
+            &pts,
+            &DbscanConfig {
+                eps: 15.0,
+                min_pts: 3,
+            },
+        );
         let a = labels[0].expect("first blob clustered");
         let b = labels[30].expect("second blob clustered");
         assert_ne!(a, b);
@@ -127,7 +142,13 @@ mod tests {
             Point::new(2.0, 0.0),
             Point::new(500.0, 0.0), // isolated
         ];
-        let labels = dbscan(&pts, &DbscanConfig { eps: 10.0, min_pts: 3 });
+        let labels = dbscan(
+            &pts,
+            &DbscanConfig {
+                eps: 10.0,
+                min_pts: 3,
+            },
+        );
         assert!(labels[0].is_some());
         assert_eq!(labels[0], labels[1]);
         assert_eq!(labels[1], labels[2]);
@@ -138,7 +159,13 @@ mod tests {
     fn chain_connectivity() {
         // A chain of points each within eps of the next links into one cluster.
         let pts: Vec<Point> = (0..20).map(|i| Point::new(i as f64 * 8.0, 0.0)).collect();
-        let labels = dbscan(&pts, &DbscanConfig { eps: 10.0, min_pts: 2 });
+        let labels = dbscan(
+            &pts,
+            &DbscanConfig {
+                eps: 10.0,
+                min_pts: 2,
+            },
+        );
         assert!(labels.iter().all(|l| *l == Some(0)));
     }
 
@@ -149,7 +176,13 @@ mod tests {
             Point::new(100.0, 0.0),
             Point::new(200.0, 0.0),
         ];
-        let labels = dbscan(&pts, &DbscanConfig { eps: 10.0, min_pts: 1 });
+        let labels = dbscan(
+            &pts,
+            &DbscanConfig {
+                eps: 10.0,
+                min_pts: 1,
+            },
+        );
         let mut ids: Vec<usize> = labels.iter().flatten().copied().collect();
         ids.sort_unstable();
         ids.dedup();
@@ -159,6 +192,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "eps must be positive")]
     fn bad_eps_panics() {
-        let _ = dbscan(&[Point::ZERO], &DbscanConfig { eps: -1.0, min_pts: 1 });
+        let _ = dbscan(
+            &[Point::ZERO],
+            &DbscanConfig {
+                eps: -1.0,
+                min_pts: 1,
+            },
+        );
     }
 }

@@ -80,7 +80,11 @@ mod tests {
 
     #[test]
     fn negative_coordinates_bucket_correctly() {
-        let pts = [Point::new(-1.0, -1.0), Point::new(-39.0, -39.0), Point::new(1.0, 1.0)];
+        let pts = [
+            Point::new(-1.0, -1.0),
+            Point::new(-39.0, -39.0),
+            Point::new(1.0, 1.0),
+        ];
         let out = grid_clusters(&pts, 40.0);
         // (-1,-1) and (-39,-39) share cell (-1,-1); (1,1) is in cell (0,0).
         assert_eq!(out.len(), 2);

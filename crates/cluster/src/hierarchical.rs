@@ -103,6 +103,7 @@ pub fn hierarchical_cluster(points: &[Point], distance_threshold: f64) -> Vec<Cl
 /// Panics if `distance_threshold` is not finite and positive, or any weight
 /// is zero.
 pub fn merge_weighted(items: &[WeightedPoint], distance_threshold: f64) -> Vec<Cluster> {
+    let _span = dlinfma_obs::span("cluster/merge-weighted");
     assert!(
         distance_threshold.is_finite() && distance_threshold > 0.0,
         "distance threshold must be positive, got {distance_threshold}"
@@ -132,34 +133,38 @@ pub fn merge_weighted(items: &[WeightedPoint], distance_threshold: f64) -> Vec<C
     }
 
     let mut heap: BinaryHeap<Pair> = BinaryHeap::new();
-    let push_neighbors =
-        |id: usize, active: &[Active], grid: &GridIndex<(usize, u64)>, heap: &mut BinaryHeap<Pair>| {
-            let me = &active[id];
-            grid.for_each_within(&me.centroid, d, |_, &(other, other_gen)| {
-                if other == id {
-                    return;
-                }
-                let o = &active[other];
-                if !o.alive || o.generation != other_gen {
-                    return;
-                }
-                let dist = me.centroid.distance(&o.centroid);
-                if dist < d {
-                    heap.push(Pair {
-                        dist,
-                        a: id,
-                        b: other,
-                        a_gen: me.generation,
-                        b_gen: other_gen,
-                    });
-                }
-            });
-        };
+    let push_neighbors = |id: usize,
+                          active: &[Active],
+                          grid: &GridIndex<(usize, u64)>,
+                          heap: &mut BinaryHeap<Pair>| {
+        let me = &active[id];
+        grid.for_each_within(&me.centroid, d, |_, &(other, other_gen)| {
+            if other == id {
+                return;
+            }
+            let o = &active[other];
+            if !o.alive || o.generation != other_gen {
+                return;
+            }
+            let dist = me.centroid.distance(&o.centroid);
+            if dist < d {
+                heap.push(Pair {
+                    dist,
+                    a: id,
+                    b: other,
+                    a_gen: me.generation,
+                    b_gen: other_gen,
+                });
+            }
+        });
+    };
 
     for id in 0..active.len() {
         push_neighbors(id, &active, &grid, &mut heap);
     }
 
+    let mut n_merges = 0u64;
+    let mut n_stale = 0u64;
     while let Some(Pair {
         a, b, a_gen, b_gen, ..
     }) = heap.pop()
@@ -169,8 +174,10 @@ pub fn merge_weighted(items: &[WeightedPoint], distance_threshold: f64) -> Vec<C
             || active[a].generation != a_gen
             || active[b].generation != b_gen
         {
+            n_stale += 1;
             continue; // stale entry
         }
+        n_merges += 1;
         // Merge b into a with a weighted centroid.
         let (wa, wb) = (active[a].weight as f64, active[b].weight as f64);
         let new_centroid = Point::new(
@@ -188,7 +195,7 @@ pub fn merge_weighted(items: &[WeightedPoint], distance_threshold: f64) -> Vec<C
         push_neighbors(a, &active, &grid, &mut heap);
     }
 
-    active
+    let out: Vec<Cluster> = active
         .into_iter()
         .filter(|a| a.alive)
         .map(|a| Cluster {
@@ -196,7 +203,14 @@ pub fn merge_weighted(items: &[WeightedPoint], distance_threshold: f64) -> Vec<C
             members: a.members,
             weight: a.weight,
         })
-        .collect()
+        .collect();
+    if dlinfma_obs::enabled() {
+        dlinfma_obs::counter("cluster/inputs").add(items.len() as u64);
+        dlinfma_obs::counter("cluster/merges").add(n_merges);
+        dlinfma_obs::counter("cluster/stale-heap-entries").add(n_stale);
+        dlinfma_obs::counter("cluster/clusters-out").add(out.len() as u64);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -246,7 +260,11 @@ mod tests {
         // Three collinear points: 0, 30, 100. The (0,30) pair merges to
         // centroid 15; 100 is 85 m from it, so it stays separate.
         let out = hierarchical_cluster(
-            &[Point::new(0.0, 0.0), Point::new(30.0, 0.0), Point::new(100.0, 0.0)],
+            &[
+                Point::new(0.0, 0.0),
+                Point::new(30.0, 0.0),
+                Point::new(100.0, 0.0),
+            ],
             40.0,
         );
         assert_eq!(out.len(), 2);
@@ -261,7 +279,11 @@ mod tests {
         // Points at 0, 35, 70: (0,35) merge -> 17.5; 70 is 52.5 away (> 40)
         // so the chain stops. Centroid movement matters.
         let out = hierarchical_cluster(
-            &[Point::new(0.0, 0.0), Point::new(35.0, 0.0), Point::new(70.0, 0.0)],
+            &[
+                Point::new(0.0, 0.0),
+                Point::new(35.0, 0.0),
+                Point::new(70.0, 0.0),
+            ],
             40.0,
         );
         assert_eq!(out.len(), 2);

@@ -38,10 +38,7 @@ pub fn kmeans<R: Rng>(
     // distance from the nearest chosen center.
     let mut centers: Vec<Point> = Vec::with_capacity(k);
     centers.push(points[rng.gen_range(0..points.len())]);
-    let mut d2: Vec<f64> = points
-        .iter()
-        .map(|p| p.distance_sq(&centers[0]))
-        .collect();
+    let mut d2: Vec<f64> = points.iter().map(|p| p.distance_sq(&centers[0])).collect();
     while centers.len() < k {
         let total: f64 = d2.iter().sum();
         let next = if total <= f64::EPSILON {
@@ -150,7 +147,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let mut pts = Vec::new();
         for _ in 0..50 {
-            pts.push(Point::new(rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0)));
+            pts.push(Point::new(
+                rng.gen_range(-3.0..3.0),
+                rng.gen_range(-3.0..3.0),
+            ));
         }
         for _ in 0..50 {
             pts.push(Point::new(
@@ -163,10 +163,16 @@ mod tests {
         let mut xs: Vec<f64> = res.centers.iter().map(|c| c.x).collect();
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert!(xs[0].abs() < 5.0, "center near origin, got {}", xs[0]);
-        assert!((xs[1] - 200.0).abs() < 5.0, "center near 200, got {}", xs[1]);
+        assert!(
+            (xs[1] - 200.0).abs() < 5.0,
+            "center near 200, got {}",
+            xs[1]
+        );
         // First 50 points share a cluster, last 50 the other.
         assert!(res.assignment[..50].iter().all(|&a| a == res.assignment[0]));
-        assert!(res.assignment[50..].iter().all(|&a| a == res.assignment[50]));
+        assert!(res.assignment[50..]
+            .iter()
+            .all(|&a| a == res.assignment[50]));
         assert_ne!(res.assignment[0], res.assignment[50]);
     }
 

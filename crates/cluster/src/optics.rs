@@ -83,11 +83,11 @@ pub fn optics_ordering(points: &[Point], cfg: &OpticsConfig) -> Vec<OrderedPoint
         // Seed list as a simple binary-heap-free priority scan (n is modest
         // for stay-point workloads; correctness over micro-optimization).
         let mut seeds: Vec<usize> = Vec::new();
-        let mut update = |center_core: f64,
-                          nbrs: &[(usize, f64)],
-                          reachability: &mut [f64],
-                          seeds: &mut Vec<usize>,
-                          processed: &[bool]| {
+        let update = |center_core: f64,
+                      nbrs: &[(usize, f64)],
+                      reachability: &mut [f64],
+                      seeds: &mut Vec<usize>,
+                      processed: &[bool]| {
             for &(j, d) in nbrs {
                 if processed[j] {
                     continue;
@@ -136,11 +136,7 @@ pub fn optics_ordering(points: &[Point], cfg: &OpticsConfig) -> Vec<OrderedPoint
 /// reachability plot at `eps_cut`: a new cluster starts wherever the
 /// reachability exceeds the cut. Returns per-point labels
 /// (`None` = noise).
-pub fn optics_extract(
-    points: &[Point],
-    cfg: &OpticsConfig,
-    eps_cut: f64,
-) -> Vec<Option<usize>> {
+pub fn optics_extract(points: &[Point], cfg: &OpticsConfig, eps_cut: f64) -> Vec<Option<usize>> {
     let order = optics_ordering(points, cfg);
     let mut labels = vec![None; points.len()];
     let mut current: Option<usize> = None;

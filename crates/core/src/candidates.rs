@@ -229,8 +229,7 @@ impl IncrementalPoolBuilder {
         for a in &mut self.sp_assign {
             *a = old_remap[*a];
         }
-        self.sp_assign
-            .extend(new_remap.iter().copied());
+        self.sp_assign.extend(new_remap.iter().copied());
         self.sp_meta.extend(new_meta);
         self.aggs = next_aggs;
         debug_assert!(self.sp_assign.iter().all(|&a| a != usize::MAX));
@@ -309,7 +308,12 @@ pub fn build_pool_grid(dataset: &Dataset, stays: &[TripStays], cell_size: f64) -
     for ts in stays {
         let courier = dataset.trip(ts.trip).courier;
         for sp in &ts.stays {
-            flat.push((ts.trip, sp.mid_time(), sp.duration(), hour_bin(sp.mid_time())));
+            flat.push((
+                ts.trip,
+                sp.mid_time(),
+                sp.duration(),
+                hour_bin(sp.mid_time()),
+            ));
             positions.push(sp.pos);
             couriers.push(courier);
         }
@@ -559,7 +563,9 @@ mod tests {
         // Incremental merging can differ slightly at cluster boundaries but
         // must be the same order of magnitude and preserve visit counts.
         let total_visits = |p: &CandidatePool| -> usize {
-            (0..p.n_trips()).map(|i| p.visits(TripId(i as u32)).len()).sum()
+            (0..p.n_trips())
+                .map(|i| p.visits(TripId(i as u32)).len())
+                .sum()
         };
         assert_eq!(total_visits(&one_shot), total_visits(&incremental));
         let ratio = incremental.len() as f64 / one_shot.len() as f64;
@@ -584,11 +590,18 @@ mod tests {
         let one_shot = build_pool(&ds, &stays, 40.0);
         let par = build_pool_station_parallel(&ds, &stays, 40.0);
         let total_visits = |p: &CandidatePool| -> usize {
-            (0..p.n_trips()).map(|i| p.visits(TripId(i as u32)).len()).sum()
+            (0..p.n_trips())
+                .map(|i| p.visits(TripId(i as u32)).len())
+                .sum()
         };
         assert_eq!(total_visits(&one_shot), total_visits(&par));
         let ratio = par.len() as f64 / one_shot.len() as f64;
-        assert!((0.8..1.3).contains(&ratio), "{} vs {}", par.len(), one_shot.len());
+        assert!(
+            (0.8..1.3).contains(&ratio),
+            "{} vs {}",
+            par.len(),
+            one_shot.len()
+        );
         for c in par.candidates() {
             assert!(c.profile.n_stays >= 1);
         }

@@ -240,14 +240,10 @@ impl<'a> FeatureExtractor<'a> {
     /// ablation, the address itself) that pass through the candidate.
     fn location_commonality(&self, cand: CandidateId, address: AddressId) -> f64 {
         let exclude: &HashSet<TripId> = if self.cfg.lc_address_level {
-            self.address_trips
-                .get(&address)
-                .unwrap_or(&EMPTY_TRIPS)
+            self.address_trips.get(&address).unwrap_or(&EMPTY_TRIPS)
         } else {
             let building = self.dataset.address(address).building;
-            self.building_trips
-                .get(&building)
-                .unwrap_or(&EMPTY_TRIPS)
+            self.building_trips.get(&building).unwrap_or(&EMPTY_TRIPS)
         };
         let denom = self.n_trips - exclude.len();
         if denom == 0 {
@@ -293,7 +289,17 @@ impl<'a> FeatureExtractor<'a> {
 
     /// Builds the full [`AddressSample`] for one address (unlabelled).
     pub fn sample(&self, evidence: &AddressEvidence) -> AddressSample {
-        let candidates = retrieve_candidates(self.pool, evidence);
+        self.sample_with_candidates(evidence, retrieve_candidates(self.pool, evidence))
+    }
+
+    /// [`FeatureExtractor::sample`] with an already-retrieved candidate set,
+    /// so callers can time (and count) retrieval separately from feature
+    /// computation.
+    pub fn sample_with_candidates(
+        &self,
+        evidence: &AddressEvidence,
+        candidates: Vec<CandidateId>,
+    ) -> AddressSample {
         let addr_trips: HashSet<TripId> = evidence.trips.iter().map(|&(t, _)| t).collect();
         let features = candidates
             .iter()
@@ -313,8 +319,7 @@ impl<'a> FeatureExtractor<'a> {
     }
 }
 
-static EMPTY_TRIPS: std::sync::LazyLock<HashSet<TripId>> =
-    std::sync::LazyLock::new(HashSet::new);
+static EMPTY_TRIPS: std::sync::LazyLock<HashSet<TripId>> = std::sync::LazyLock::new(HashSet::new);
 
 #[cfg(test)]
 mod tests {
@@ -324,7 +329,12 @@ mod tests {
     use crate::staypoints::{extract_stay_points, ExtractionConfig};
     use dlinfma_synth::{generate, Preset, Scale};
 
-    fn world() -> (dlinfma_synth::City, Dataset, CandidatePool, Vec<AddressEvidence>) {
+    fn world() -> (
+        dlinfma_synth::City,
+        Dataset,
+        CandidatePool,
+        Vec<AddressEvidence>,
+    ) {
         let (city, ds) = generate(Preset::DowBJ, Scale::Tiny, 0);
         let stays = extract_stay_points(&ds, &ExtractionConfig::paper_defaults());
         let pool = build_pool(&ds, &stays, 40.0);
@@ -340,7 +350,11 @@ mod tests {
             let s = fx.sample(e);
             assert_eq!(s.candidates.len(), s.features.len());
             for f in &s.features {
-                assert!((0.0..=1.0).contains(&f.trip_coverage), "TC {}", f.trip_coverage);
+                assert!(
+                    (0.0..=1.0).contains(&f.trip_coverage),
+                    "TC {}",
+                    f.trip_coverage
+                );
                 assert!(
                     (0.0..=1.0).contains(&f.location_commonality),
                     "LC {}",

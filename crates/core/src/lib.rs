@@ -26,8 +26,8 @@ pub mod retrieval;
 pub mod staypoints;
 
 pub use candidates::{
-    build_pool, build_pool_grid, build_pool_incremental, build_pool_station_parallel, CandidateId, CandidatePool, IncrementalPoolBuilder,
-    LocationCandidate, LocationProfile, TIME_BINS,
+    build_pool, build_pool_grid, build_pool_incremental, build_pool_station_parallel, CandidateId,
+    CandidatePool, IncrementalPoolBuilder, LocationCandidate, LocationProfile, TIME_BINS,
 };
 pub use features::{AddressSample, CandidateFeatures, FeatureConfig, FeatureExtractor};
 pub use locmatcher::{LocMatcher, LocMatcherConfig, TrainReport};

@@ -130,7 +130,10 @@ impl LocMatcherConfig {
 /// to the ground truth.
 fn soft_targets(distances: &[f64], tau: f64) -> Vec<f32> {
     let max_neg = distances.iter().fold(f64::MIN, |m, &d| m.max(-d / tau));
-    let exps: Vec<f64> = distances.iter().map(|&d| (-d / tau - max_neg).exp()).collect();
+    let exps: Vec<f64> = distances
+        .iter()
+        .map(|&d| (-d / tau - max_neg).exp())
+        .collect();
     let denom: f64 = exps.iter().sum();
     exps.into_iter().map(|e| (e / denom) as f32).collect()
 }
@@ -149,12 +152,7 @@ fn augment(sample: &AddressSample, keep_prob: f64, rng: &mut StdRng) -> (Address
     out.features.clear();
     let mut kept_distances = Vec::new();
     let mut new_target = 0;
-    for (i, (c, f)) in sample
-        .candidates
-        .iter()
-        .zip(&sample.features)
-        .enumerate()
-    {
+    for (i, (c, f)) in sample.candidates.iter().zip(&sample.features).enumerate() {
         if i == target {
             new_target = out.candidates.len();
         } else if !rng.gen_bool(keep_prob) {
@@ -180,6 +178,8 @@ pub struct TrainReport {
     pub best_val_loss: f32,
     /// Mean training loss per epoch.
     pub train_losses: Vec<f32>,
+    /// Validation loss per epoch, parallel to `train_losses`.
+    pub val_losses: Vec<f32>,
 }
 
 /// The fitted model; see the module docs for the architecture.
@@ -336,6 +336,19 @@ impl LocMatcher {
     /// restoring the best-epoch weights. Samples without a label or without
     /// candidates are skipped.
     pub fn train(&mut self, train: &[AddressSample], val: &[AddressSample]) -> TrainReport {
+        self.train_with_progress(train, val, &mut |_| {})
+    }
+
+    /// [`LocMatcher::train`] invoking `progress` after every epoch, so
+    /// long-running training can surface live loss curves. Emits a
+    /// `training` span when the global collector is enabled.
+    pub fn train_with_progress(
+        &mut self,
+        train: &[AddressSample],
+        val: &[AddressSample],
+        progress: &mut dyn FnMut(dlinfma_obs::EpochProgress),
+    ) -> TrainReport {
+        let _span = dlinfma_obs::span(dlinfma_obs::stage::TRAINING);
         let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(1));
         let usable: Vec<&AddressSample> = train
             .iter()
@@ -346,6 +359,7 @@ impl LocMatcher {
         let mut best_snapshot = self.store.snapshot();
         let mut since_best = 0usize;
         let mut train_losses = Vec::new();
+        let mut val_losses = Vec::new();
         let mut epochs = 0;
 
         for epoch in 0..self.cfg.max_epochs {
@@ -358,7 +372,8 @@ impl LocMatcher {
             for batch in order.chunks(self.cfg.batch_size) {
                 self.store.zero_grads();
                 for &i in batch {
-                    let (sample, target) = augment(usable[i], self.cfg.candidate_keep_prob, &mut rng);
+                    let (sample, target) =
+                        augment(usable[i], self.cfg.candidate_keep_prob, &mut rng);
                     let sample = &sample;
                     let mut g = Graph::new();
                     let logits = self.forward(&mut g, sample, true, &mut rng);
@@ -378,10 +393,19 @@ impl LocMatcher {
                 }
                 adam.step(&mut self.store, batch.len(), lr_scale);
             }
-            train_losses.push(epoch_loss / n_samples.max(1) as f32);
+            let train_loss = epoch_loss / n_samples.max(1) as f32;
+            train_losses.push(train_loss);
 
             let val_loss = self.mean_loss(val);
-            if val_loss < best_val - 1e-5 {
+            val_losses.push(val_loss);
+            let improved = val_loss < best_val - 1e-5;
+            progress(dlinfma_obs::EpochProgress {
+                epoch,
+                train_loss: train_loss as f64,
+                val_loss: val_loss as f64,
+                improved,
+            });
+            if improved {
                 best_val = val_loss;
                 best_snapshot = self.store.snapshot();
                 since_best = 0;
@@ -397,6 +421,7 @@ impl LocMatcher {
             epochs,
             best_val_loss: best_val,
             train_losses,
+            val_losses,
         }
     }
 
@@ -451,7 +476,9 @@ impl LocMatcher {
         let mut total = 0.0;
         let mut n = 0usize;
         for s in samples {
-            let Some(d) = &s.truth_distances else { continue };
+            let Some(d) = &s.truth_distances else {
+                continue;
+            };
             if s.candidates.is_empty() {
                 continue;
             }
@@ -533,7 +560,7 @@ impl LocMatcher {
         probs
             .iter()
             .enumerate()
-            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite probs"))
+            .max_by(|(_, a), (_, b)| a.total_cmp(b))
             .map(|(i, _)| i)
     }
 }
@@ -587,7 +614,9 @@ mod tests {
             geocode: Point::ZERO,
             label: Some(target),
             truth_distances: Some(
-                (0..n).map(|i| if i == target { 5.0 } else { 80.0 }).collect(),
+                (0..n)
+                    .map(|i| if i == target { 5.0 } else { 80.0 })
+                    .collect(),
             ),
         }
     }
@@ -632,10 +661,7 @@ mod tests {
                 toy_sample(&mut rng, n)
             })
             .collect();
-        let correct = test
-            .iter()
-            .filter(|s| model.predict(s) == s.label)
-            .count();
+        let correct = test.iter().filter(|s| model.predict(s) == s.label).count();
         assert!(correct >= 40, "accuracy {correct}/50");
     }
 
@@ -721,6 +747,26 @@ mod tests {
         let mut other = cfg;
         other.z = cfg.z * 2;
         assert!(LocMatcher::from_weights(other, &dump).is_err());
+    }
+
+    #[test]
+    fn progress_hook_fires_once_per_epoch() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let train: Vec<AddressSample> = (0..20).map(|_| toy_sample(&mut rng, 5)).collect();
+        let val: Vec<AddressSample> = (0..8).map(|_| toy_sample(&mut rng, 5)).collect();
+        let mut cfg = LocMatcherConfig::fast();
+        cfg.max_epochs = 4;
+        let mut model = LocMatcher::new(cfg);
+        let mut seen = Vec::new();
+        let report = model.train_with_progress(&train, &val, &mut |p| seen.push(p));
+        assert_eq!(seen.len(), report.epochs);
+        assert_eq!(report.val_losses.len(), report.epochs);
+        for (i, p) in seen.iter().enumerate() {
+            assert_eq!(p.epoch, i);
+            assert!(p.train_loss.is_finite());
+            assert_eq!(p.val_loss as f32, report.val_losses[i]);
+        }
+        assert!(seen.iter().any(|p| p.improved), "first epoch improves");
     }
 
     #[test]

@@ -22,11 +22,13 @@
 use crate::candidates::{build_pool, build_pool_grid, CandidatePool};
 use crate::features::{AddressSample, FeatureConfig, FeatureExtractor};
 use crate::locmatcher::{LocMatcher, LocMatcherConfig, TrainReport};
-use crate::retrieval::collect_evidence;
-use crate::staypoints::{extract_stay_points_parallel, ExtractionConfig};
+use crate::retrieval::{collect_evidence, retrieve_candidates};
+use crate::staypoints::{extract_stay_points_parallel_with_stats, ExtractionConfig};
 use dlinfma_geo::Point;
+use dlinfma_obs::{self as obs, stage, PipelineReport};
 use dlinfma_synth::{AddressId, Dataset};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Which clustering backs the candidate pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,36 +89,117 @@ pub struct DlInfMa {
     pool: CandidatePool,
     samples: HashMap<AddressId, AddressSample>,
     model: Option<LocMatcher>,
+    report: PipelineReport,
 }
 
 impl DlInfMa {
     /// Runs candidate generation and feature extraction over a dataset.
+    ///
+    /// Stage timings and funnel counts are recorded in [`DlInfMa::report`]
+    /// unconditionally (a handful of clock reads); per-stage spans and the
+    /// candidate-set-size histogram are additionally emitted when the
+    /// global `dlinfma_obs` collector is enabled.
     pub fn prepare(dataset: &Dataset, cfg: DlInfMaConfig) -> Self {
         // Keep the model's feature switches in lockstep with extraction.
         let mut cfg = cfg;
         cfg.model.features = cfg.features;
+        let mut report = PipelineReport::new();
 
-        let stays = extract_stay_points_parallel(dataset, &cfg.extraction, cfg.workers);
-        let pool = match cfg.pool_method {
-            PoolMethod::Hierarchical => build_pool(dataset, &stays, cfg.clustering_distance_m),
-            PoolMethod::Grid => build_pool_grid(dataset, &stays, cfg.clustering_distance_m),
+        let (stays, stats) =
+            extract_stay_points_parallel_with_stats(dataset, &cfg.extraction, cfg.workers);
+        obs::record_duration(stage::NOISE_FILTER, stats.noise_filter_ns);
+        obs::record_duration(stage::STAY_POINTS, stats.detect_ns);
+        report.push_stage(
+            stage::NOISE_FILTER,
+            stats.noise_filter_ns.max(1),
+            Some(stats.raw_points),
+            Some(stats.filtered_points),
+        );
+        report.push_stage(
+            stage::STAY_POINTS,
+            stats.detect_ns.max(1),
+            Some(stats.filtered_points),
+            Some(stats.stay_points),
+        );
+
+        let t = Instant::now();
+        let pool = {
+            let _span = obs::span(stage::CLUSTERING);
+            match cfg.pool_method {
+                PoolMethod::Hierarchical => build_pool(dataset, &stays, cfg.clustering_distance_m),
+                PoolMethod::Grid => build_pool_grid(dataset, &stays, cfg.clustering_distance_m),
+            }
         };
+        report.push_stage(
+            stage::CLUSTERING,
+            (t.elapsed().as_nanos() as u64).max(1),
+            Some(stats.stay_points),
+            Some(pool.len() as u64),
+        );
+
+        let t = Instant::now();
         let extractor = FeatureExtractor::new(dataset, &pool, cfg.features);
-        let samples: HashMap<AddressId, AddressSample> = collect_evidence(dataset)
-            .iter()
-            .map(|e| (e.address, extractor.sample(e)))
-            .collect();
+        let mut feature_ns = (t.elapsed().as_nanos() as u64).max(1);
+        let mut retrieval_ns = 1u64;
+        let mut candidates_retrieved = 0u64;
+        let cand_hist = obs::enabled().then(|| {
+            obs::histogram(
+                "retrieval/candidate-set-size",
+                &[1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0],
+            )
+        });
+        let evidence = collect_evidence(dataset);
+        let mut samples = HashMap::with_capacity(evidence.len());
+        for e in &evidence {
+            let t = Instant::now();
+            let candidates = retrieve_candidates(&pool, e);
+            retrieval_ns += t.elapsed().as_nanos() as u64;
+            candidates_retrieved += candidates.len() as u64;
+            if let Some(h) = &cand_hist {
+                h.observe(candidates.len() as f64);
+            }
+            let t = Instant::now();
+            let sample = extractor.sample_with_candidates(e, candidates);
+            feature_ns += t.elapsed().as_nanos() as u64;
+            samples.insert(e.address, sample);
+        }
+        obs::record_duration(stage::RETRIEVAL, retrieval_ns);
+        obs::record_duration(stage::FEATURES, feature_ns);
+        report.push_stage(
+            stage::RETRIEVAL,
+            retrieval_ns,
+            Some(evidence.len() as u64),
+            Some(candidates_retrieved),
+        );
+        report.push_stage(
+            stage::FEATURES,
+            feature_ns,
+            Some(candidates_retrieved),
+            Some(samples.len() as u64),
+        );
+        report.funnel.raw_points = stats.raw_points;
+        report.funnel.filtered_points = stats.filtered_points;
+        report.funnel.stay_points = stats.stay_points;
+        report.funnel.clusters = pool.len() as u64;
+        report.funnel.candidates_retrieved = candidates_retrieved;
+        report.funnel.addresses_sampled = samples.len() as u64;
+
         Self {
             cfg,
             pool,
             samples,
             model: None,
+            report,
         }
     }
 
     /// Labels every sample with the candidate nearest to the ground-truth
     /// delivery location provided by `gt` (supervised-learning labelling per
     /// Section V-A).
+    ///
+    /// Candidates at a non-finite distance from the truth (degenerate
+    /// ground-truth points) are never selected as the label; a sample whose
+    /// distances are all non-finite stays unlabelled.
     pub fn label_with(&mut self, gt: &dyn Fn(AddressId) -> Option<Point>) {
         for (addr, sample) in &mut self.samples {
             let Some(truth) = gt(*addr) else { continue };
@@ -128,10 +211,13 @@ impl DlInfMa {
             sample.label = distances
                 .iter()
                 .enumerate()
-                .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite distances"))
+                .filter(|(_, d)| d.is_finite())
+                .min_by(|(_, a), (_, b)| a.total_cmp(b))
                 .map(|(i, _)| i);
             sample.truth_distances = Some(distances);
         }
+        self.report.funnel.samples_labelled =
+            self.samples.values().filter(|s| s.label.is_some()).count() as u64;
     }
 
     /// Labels from the synthetic dataset's ground-truth fields.
@@ -147,6 +233,17 @@ impl DlInfMa {
     /// Trains LocMatcher on the given train/validation address splits.
     /// Requires labels (see [`DlInfMa::label_with`]).
     pub fn train(&mut self, train: &[AddressId], val: &[AddressId]) -> TrainReport {
+        self.train_with_progress(train, val, &mut |_| {})
+    }
+
+    /// [`DlInfMa::train`] with a per-epoch progress hook; also records the
+    /// `training` stage in [`DlInfMa::report`].
+    pub fn train_with_progress(
+        &mut self,
+        train: &[AddressId],
+        val: &[AddressId],
+        progress: &mut dyn FnMut(obs::EpochProgress),
+    ) -> TrainReport {
         let collect = |ids: &[AddressId]| -> Vec<AddressSample> {
             ids.iter()
                 .filter_map(|a| self.samples.get(a).cloned())
@@ -154,8 +251,15 @@ impl DlInfMa {
         };
         let train_samples = collect(train);
         let val_samples = collect(val);
+        let t = Instant::now();
         let mut model = LocMatcher::new(self.cfg.model);
-        let report = model.train(&train_samples, &val_samples);
+        let report = model.train_with_progress(&train_samples, &val_samples, progress);
+        self.report.push_stage(
+            stage::TRAINING,
+            (t.elapsed().as_nanos() as u64).max(1),
+            Some(train_samples.len() as u64),
+            Some(report.epochs as u64),
+        );
         self.model = Some(model);
         report
     }
@@ -169,6 +273,7 @@ impl DlInfMa {
     /// was never delivered in the data, has no candidates, or the model is
     /// untrained.
     pub fn infer(&self, addr: AddressId) -> Option<Point> {
+        let _span = obs::span(stage::INFERENCE);
         let sample = self.samples.get(&addr)?;
         let model = self.model.as_ref()?;
         let idx = model.predict(sample)?;
@@ -205,6 +310,12 @@ impl DlInfMa {
     /// The configuration in effect.
     pub fn config(&self) -> &DlInfMaConfig {
         &self.cfg
+    }
+
+    /// Stage timings and funnel counts accumulated by
+    /// [`DlInfMa::prepare`] / [`DlInfMa::label_with`] / [`DlInfMa::train`].
+    pub fn report(&self) -> &PipelineReport {
+        &self.report
     }
 }
 
@@ -250,6 +361,50 @@ mod tests {
         assert!(dlinfma.infer(addr).is_none());
         let fallback = dlinfma.infer_or_geocode(&ds, addr);
         assert_eq!(fallback, ds.address(addr).geocode);
+    }
+
+    #[test]
+    fn label_with_non_finite_truth_does_not_panic() {
+        let (_, ds) = generate(Preset::DowBJ, Scale::Tiny, 14);
+        let mut dlinfma = DlInfMa::prepare(&ds, DlInfMaConfig::fast());
+        // A NaN ground-truth point makes every candidate distance NaN; the
+        // old partial_cmp().expect() labelling panicked here.
+        dlinfma.label_with(&|_| Some(Point::new(f64::NAN, f64::NAN)));
+        for s in dlinfma.samples() {
+            assert_eq!(s.label, None, "non-finite distances must not label");
+        }
+        assert_eq!(dlinfma.report().funnel.samples_labelled, 0);
+
+        // Infinite truths behave the same, and a later finite labelling
+        // pass recovers.
+        dlinfma.label_with(&|_| Some(Point::new(f64::INFINITY, 0.0)));
+        assert_eq!(dlinfma.report().funnel.samples_labelled, 0);
+        dlinfma.label_from_dataset(&ds);
+        assert!(dlinfma.report().funnel.samples_labelled > 0);
+    }
+
+    #[test]
+    fn prepare_report_covers_all_stages() {
+        let (_, ds) = generate(Preset::DowBJ, Scale::Tiny, 15);
+        let dlinfma = DlInfMa::prepare(&ds, DlInfMaConfig::fast());
+        let report = dlinfma.report();
+        for name in [
+            obs::stage::NOISE_FILTER,
+            obs::stage::STAY_POINTS,
+            obs::stage::CLUSTERING,
+            obs::stage::RETRIEVAL,
+            obs::stage::FEATURES,
+        ] {
+            let s = report.stage(name).unwrap_or_else(|| panic!("stage {name}"));
+            assert!(s.duration_ns > 0, "{name} duration");
+        }
+        assert!(
+            report.check_funnel().is_empty(),
+            "{:?}",
+            report.check_funnel()
+        );
+        assert!(report.funnel.raw_points > 0);
+        assert_eq!(report.funnel.clusters, dlinfma.pool().len() as u64);
     }
 
     #[test]

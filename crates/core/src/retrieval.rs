@@ -121,7 +121,9 @@ mod tests {
             for &c in &cands {
                 // Must be visited at or before the bound in at least one trip.
                 let ok = e.trips.iter().any(|&(trip, bound)| {
-                    pool.visits(trip).iter().any(|&(cc, t)| cc == c && t <= bound)
+                    pool.visits(trip)
+                        .iter()
+                        .any(|&(cc, t)| cc == c && t <= bound)
                 });
                 assert!(ok, "candidate {c:?} visited only after the bound");
             }

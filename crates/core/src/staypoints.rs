@@ -36,16 +36,68 @@ pub struct TripStays {
     pub stays: Vec<StayPoint>,
 }
 
+/// Funnel counts and accumulated per-phase time for one extraction run.
+/// Feeds the `noise-filter` / `stay-point-extraction` stages of the
+/// pipeline report; both phases run fused per trip, so their times are
+/// accumulated here rather than measured as contiguous regions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExtractionStats {
+    /// GPS fixes before noise filtering.
+    pub raw_points: u64,
+    /// GPS fixes surviving the filter.
+    pub filtered_points: u64,
+    /// Stay points detected.
+    pub stay_points: u64,
+    /// Accumulated noise-filter time, nanoseconds.
+    pub noise_filter_ns: u64,
+    /// Accumulated stay-point-detection time, nanoseconds.
+    pub detect_ns: u64,
+}
+
+impl ExtractionStats {
+    fn merge(&mut self, other: &ExtractionStats) {
+        self.raw_points += other.raw_points;
+        self.filtered_points += other.filtered_points;
+        self.stay_points += other.stay_points;
+        self.noise_filter_ns += other.noise_filter_ns;
+        self.detect_ns += other.detect_ns;
+    }
+}
+
+fn extract_trip(
+    t: &dlinfma_synth::DeliveryTrip,
+    cfg: &ExtractionConfig,
+    stats: &mut ExtractionStats,
+) -> TripStays {
+    let t0 = std::time::Instant::now();
+    let filtered = filter_noise(&t.trajectory, &cfg.noise);
+    let t1 = std::time::Instant::now();
+    let stays = detect_stay_points(&filtered, &cfg.stay);
+    stats.raw_points += t.trajectory.len() as u64;
+    stats.filtered_points += filtered.len() as u64;
+    stats.stay_points += stays.len() as u64;
+    stats.noise_filter_ns += (t1 - t0).as_nanos() as u64;
+    stats.detect_ns += t1.elapsed().as_nanos() as u64;
+    TripStays { trip: t.id, stays }
+}
+
 /// Extracts stay points for every trip sequentially.
 pub fn extract_stay_points(dataset: &Dataset, cfg: &ExtractionConfig) -> Vec<TripStays> {
-    dataset
+    extract_stay_points_with_stats(dataset, cfg).0
+}
+
+/// [`extract_stay_points`] plus funnel counts and per-phase timings.
+pub fn extract_stay_points_with_stats(
+    dataset: &Dataset,
+    cfg: &ExtractionConfig,
+) -> (Vec<TripStays>, ExtractionStats) {
+    let mut stats = ExtractionStats::default();
+    let out = dataset
         .trips
         .iter()
-        .map(|t| TripStays {
-            trip: t.id,
-            stays: detect_stay_points(&filter_noise(&t.trajectory, &cfg.noise), &cfg.stay),
-        })
-        .collect()
+        .map(|t| extract_trip(t, cfg, &mut stats))
+        .collect();
+    (out, stats)
 }
 
 /// Extracts stay points for every trip in parallel across `n_workers`
@@ -55,36 +107,49 @@ pub fn extract_stay_points_parallel(
     cfg: &ExtractionConfig,
     n_workers: usize,
 ) -> Vec<TripStays> {
+    extract_stay_points_parallel_with_stats(dataset, cfg, n_workers).0
+}
+
+/// [`extract_stay_points_parallel`] plus funnel counts and per-phase
+/// timings. Phase times are summed across workers, so they measure CPU
+/// work rather than wall clock when `n_workers > 1`.
+pub fn extract_stay_points_parallel_with_stats(
+    dataset: &Dataset,
+    cfg: &ExtractionConfig,
+    n_workers: usize,
+) -> (Vec<TripStays>, ExtractionStats) {
     let n_workers = n_workers.max(1);
     if n_workers == 1 || dataset.trips.len() < 2 {
-        return extract_stay_points(dataset, cfg);
+        return extract_stay_points_with_stats(dataset, cfg);
     }
     let mut out: Vec<Option<TripStays>> = Vec::new();
     out.resize_with(dataset.trips.len(), || None);
     let chunk = dataset.trips.len().div_ceil(n_workers);
+    let mut chunk_stats = vec![ExtractionStats::default(); dataset.trips.len().div_ceil(chunk)];
     crossbeam::scope(|scope| {
-        for (trips, slots) in dataset
+        for ((trips, slots), stats) in dataset
             .trips
             .chunks(chunk)
             .zip(out.chunks_mut(chunk))
+            .zip(chunk_stats.iter_mut())
         {
             scope.spawn(move |_| {
                 for (t, slot) in trips.iter().zip(slots.iter_mut()) {
-                    *slot = Some(TripStays {
-                        trip: t.id,
-                        stays: detect_stay_points(
-                            &filter_noise(&t.trajectory, &cfg.noise),
-                            &cfg.stay,
-                        ),
-                    });
+                    *slot = Some(extract_trip(t, cfg, stats));
                 }
             });
         }
     })
     .expect("stay-point workers do not panic");
-    out.into_iter()
+    let mut stats = ExtractionStats::default();
+    for s in &chunk_stats {
+        stats.merge(s);
+    }
+    let out = out
+        .into_iter()
         .map(|s| s.expect("every slot filled"))
-        .collect()
+        .collect();
+    (out, stats)
 }
 
 #[cfg(test)]
@@ -120,8 +185,7 @@ mod tests {
     fn trips_have_plausible_stay_counts() {
         let (_, ds) = generate(Preset::DowBJ, Scale::Tiny, 2);
         let out = extract_stay_points(&ds, &ExtractionConfig::paper_defaults());
-        let mean =
-            out.iter().map(|t| t.stays.len()).sum::<usize>() as f64 / out.len() as f64;
+        let mean = out.iter().map(|t| t.stays.len()).sum::<usize>() as f64 / out.len() as f64;
         // Trips deliver 10..=18 parcels plus occasional extra stops.
         assert!((8.0..30.0).contains(&mean), "mean stays/trip {mean}");
     }

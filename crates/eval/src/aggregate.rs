@@ -28,6 +28,7 @@ pub fn evaluate_mean(worlds: &[ExperimentWorld], method: Method) -> MethodResult
     MethodResult {
         name: method.name(),
         metrics,
+        elapsed_s: results.iter().map(|r| r.elapsed_s).sum(),
     }
 }
 

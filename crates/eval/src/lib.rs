@@ -21,7 +21,7 @@ pub use methods::{evaluate, evaluate_errors, Ablation, Method, MethodResult};
 pub use metrics::{percentile, Metrics, BETA_DELTA_M};
 pub use report::{render_metrics_table, render_series};
 pub use stats::{
-    building_location_distribution, candidates_per_address, dataset_stats,
-    deliveries_per_address, multi_location_building_fraction, stays_per_trip, DatasetStats,
+    building_location_distribution, candidates_per_address, dataset_stats, deliveries_per_address,
+    multi_location_building_fraction, stays_per_trip, DatasetStats,
 };
-pub use world::ExperimentWorld;
+pub use world::{pipeline_config, ExperimentWorld};

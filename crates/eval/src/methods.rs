@@ -9,8 +9,8 @@ use dlinfma_baselines::{
     UNetConfig,
 };
 use dlinfma_core::{
-    collect_evidence, AddressSample, CandidatePool, DlInfMa, FeatureConfig,
-    FeatureExtractor, LocMatcher, PoolMethod,
+    collect_evidence, AddressSample, CandidatePool, DlInfMa, FeatureConfig, FeatureExtractor,
+    LocMatcher, PoolMethod,
 };
 use dlinfma_geo::Point;
 use dlinfma_synth::AddressId;
@@ -157,6 +157,10 @@ pub struct MethodResult {
     pub name: &'static str,
     /// Error metrics over the test split.
     pub metrics: Metrics,
+    /// Wall-clock seconds spent fitting and evaluating the method (training
+    /// plus inference over the test split; the shared pipeline preparation
+    /// in [`ExperimentWorld::build`] is not attributed to any method).
+    pub elapsed_s: f64,
 }
 
 /// Trains LocMatcher on the given samples and returns a closure-friendly
@@ -171,6 +175,7 @@ fn locmatcher_predictions(
     // The paper grid-searches hyperparameters per method; mirror that with
     // a small validation-selected grid around the base configuration.
     let model = LocMatcher::fit_best(&LocMatcher::experiment_grid(cfg), train, val);
+    let _span = dlinfma_obs::span(dlinfma_obs::stage::INFERENCE);
     test.iter()
         .filter_map(|s| {
             let idx = model.predict(s)?;
@@ -203,7 +208,8 @@ fn samples_with_features(
             s.label = distances
                 .iter()
                 .enumerate()
-                .min_by(|(_, x), (_, y)| x.partial_cmp(y).expect("finite"))
+                .filter(|(_, d)| d.is_finite())
+                .min_by(|(_, x), (_, y)| x.total_cmp(y))
                 .map(|(i, _)| i);
             s.truth_distances = Some(distances);
             Some(s)
@@ -213,10 +219,12 @@ fn samples_with_features(
 
 /// Evaluates one method over the world's test split and returns the metrics.
 pub fn evaluate(world: &ExperimentWorld, method: Method) -> MethodResult {
+    let start = std::time::Instant::now();
     let errors = evaluate_errors(world, method);
     MethodResult {
         name: method.name(),
         metrics: Metrics::from_errors(&errors).expect("test split is non-empty"),
+        elapsed_s: start.elapsed().as_secs_f64(),
     }
 }
 
@@ -409,8 +417,7 @@ mod tests {
         // full Table II comparison runs at Small/Full scale in the benches.)
         let mut cfg = dlinfma_synth::world_config(Preset::DowBJ, Scale::Tiny);
         cfg.delays = dlinfma_synth::DelayConfig::sweep(0.8);
-        let world =
-            ExperimentWorld::build_from(&cfg, 1, dlinfma_core::DlInfMaConfig::fast());
+        let world = ExperimentWorld::build_from(&cfg, 1, dlinfma_core::DlInfMaConfig::fast());
         let dl = evaluate(&world, Method::DlInfMa);
         let an = evaluate(&world, Method::Annotation);
         assert!(

@@ -27,8 +27,7 @@ impl Metrics {
         }
         let n = errors.len();
         let mae = errors.iter().sum::<f64>() / n as f64;
-        let beta50 =
-            errors.iter().filter(|&&e| e < BETA_DELTA_M).count() as f64 / n as f64 * 100.0;
+        let beta50 = errors.iter().filter(|&&e| e < BETA_DELTA_M).count() as f64 / n as f64 * 100.0;
         Some(Metrics {
             mae,
             p95: percentile(errors, 0.95),

@@ -3,18 +3,18 @@
 use crate::methods::MethodResult;
 
 /// Renders a Table II/III-style block: one row per method with
-/// MAE / P95 / β50 columns.
+/// MAE / P95 / β50 columns plus the wall-clock time the method took.
 pub fn render_metrics_table(title: &str, results: &[MethodResult]) -> String {
     let mut out = String::new();
     out.push_str(&format!("== {title} ==\n"));
     out.push_str(&format!(
-        "{:<18} {:>10} {:>10} {:>8} {:>6}\n",
-        "Method", "MAE (m)", "P95 (m)", "β50 (%)", "N"
+        "{:<18} {:>10} {:>10} {:>8} {:>6} {:>8}\n",
+        "Method", "MAE (m)", "P95 (m)", "β50 (%)", "N", "t (s)"
     ));
     for r in results {
         out.push_str(&format!(
-            "{:<18} {:>10.1} {:>10.1} {:>8.1} {:>6}\n",
-            r.name, r.metrics.mae, r.metrics.p95, r.metrics.beta50, r.metrics.n
+            "{:<18} {:>10.1} {:>10.1} {:>8.1} {:>6} {:>8.2}\n",
+            r.name, r.metrics.mae, r.metrics.p95, r.metrics.beta50, r.metrics.n, r.elapsed_s
         ));
     }
     out
@@ -47,6 +47,7 @@ mod tests {
                     beta50: 40.0,
                     n: 100,
                 },
+                elapsed_s: 0.25,
             },
             MethodResult {
                 name: "DLInfMA",
@@ -56,6 +57,7 @@ mod tests {
                     beta50: 84.1,
                     n: 100,
                 },
+                elapsed_s: 12.5,
             },
         ];
         let s = render_metrics_table("SynthDowBJ", &results);
@@ -63,6 +65,8 @@ mod tests {
         assert!(s.contains("Geocoding"));
         assert!(s.contains("DLInfMA"));
         assert!(s.contains("84.1"));
+        assert!(s.contains("t (s)"));
+        assert!(s.contains("12.50"));
     }
 
     #[test]

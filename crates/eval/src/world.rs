@@ -26,17 +26,29 @@ pub struct ExperimentWorld {
     pub gt: HashMap<AddressId, Point>,
 }
 
+/// The per-preset pipeline configuration [`ExperimentWorld::build`] uses:
+/// [`DlInfMaConfig::fast`] with the clustering distance `D` at the preset's
+/// Figure 10(a) optimum (30 m for SynthDowBJ, 40 m for SynthSubBJ — the same
+/// selection procedure the paper runs, which lands on 40 m for its real
+/// datasets).
+pub fn pipeline_config(preset: Preset) -> DlInfMaConfig {
+    let mut cfg = DlInfMaConfig::fast();
+    cfg.clustering_distance_m = match preset {
+        Preset::DowBJ => 30.0,
+        Preset::SubBJ => 40.0,
+    };
+    cfg
+}
+
 impl ExperimentWorld {
-    /// Builds a world from a preset at a scale, with the clustering
-    /// distance `D` at the preset's Figure 10(a) optimum (30 m for
-    /// SynthDowBJ, 40 m for SynthSubBJ — the same selection procedure the
-    /// paper runs, which lands on 40 m for its real datasets).
+    /// Builds a world from a preset at a scale with [`pipeline_config`].
     pub fn build(preset: Preset, scale: Scale, seed: u64) -> Self {
-        let mut cfg = DlInfMaConfig::fast();
-        cfg.clustering_distance_m = match preset {
-            Preset::DowBJ => 30.0,
-            Preset::SubBJ => 40.0,
-        };
+        Self::build_with_config(preset, scale, seed, pipeline_config(preset))
+    }
+
+    /// Builds a world from a preset at a scale with an explicit pipeline
+    /// configuration (e.g. a caller-chosen worker count).
+    pub fn build_with_config(preset: Preset, scale: Scale, seed: u64, cfg: DlInfMaConfig) -> Self {
         Self::build_from(&dlinfma_synth::world_config(preset, scale), seed, cfg)
     }
 

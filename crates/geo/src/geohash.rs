@@ -12,7 +12,10 @@ use std::fmt;
 const BASE32: &[u8; 32] = b"0123456789bcdefghjkmnpqrstuvwxyz";
 
 fn base32_index(c: u8) -> Option<u32> {
-    BASE32.iter().position(|&b| b == c.to_ascii_lowercase()).map(|i| i as u32)
+    BASE32
+        .iter()
+        .position(|&b| b == c.to_ascii_lowercase())
+        .map(|i| i as u32)
 }
 
 /// A GeoHash cell, stored as interleaved bit indices plus a precision.

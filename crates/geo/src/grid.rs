@@ -132,7 +132,11 @@ impl<T> GridIndex<T> {
             for gx in (cx - ring)..=(cx + ring) {
                 for gy in (cy - ring)..=(cy + ring) {
                     // Only the boundary of the ring is new.
-                    if ring > 0 && gx > cx - ring && gx < cx + ring && gy > cy - ring && gy < cy + ring
+                    if ring > 0
+                        && gx > cx - ring
+                        && gx < cx + ring
+                        && gy > cy - ring
+                        && gy < cy + ring
                     {
                         continue;
                     }
@@ -250,10 +254,7 @@ mod tests {
         for _ in 0..50 {
             let q = Point::new(rng.gen_range(-600.0..600.0), rng.gen_range(-600.0..600.0));
             let (_, _, d) = g.nearest(&q).unwrap();
-            let best = pts
-                .iter()
-                .map(|p| p.distance(&q))
-                .fold(f64::MAX, f64::min);
+            let best = pts.iter().map(|p| p.distance(&q)).fold(f64::MAX, f64::min);
             assert!((d - best).abs() < 1e-9, "grid {d} vs scan {best}");
         }
     }

@@ -187,7 +187,10 @@ mod tests {
         for _ in 0..100 {
             let q = Point::new(rng.gen_range(-1.2e3..1.2e3), rng.gen_range(-1.2e3..1.2e3));
             let (_, _, d) = tree.nearest(&q).unwrap();
-            let best = pts.iter().map(|(p, _)| p.distance(&q)).fold(f64::MAX, f64::min);
+            let best = pts
+                .iter()
+                .map(|(p, _)| p.distance(&q))
+                .fold(f64::MAX, f64::min);
             assert!((d - best).abs() < 1e-9);
         }
     }

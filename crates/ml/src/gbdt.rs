@@ -53,12 +53,7 @@ fn sigmoid(z: f64) -> f64 {
 impl Gbdt {
     /// Fits the boosted ensemble.
     #[allow(clippy::needless_range_loop)] // i couples rows, targets and scores
-    pub fn fit<R: Rng>(
-        x: &FeatureMatrix,
-        labels: &[bool],
-        cfg: &GbdtConfig,
-        rng: &mut R,
-    ) -> Self {
+    pub fn fit<R: Rng>(x: &FeatureMatrix, labels: &[bool], cfg: &GbdtConfig, rng: &mut R) -> Self {
         assert_eq!(x.n_rows(), labels.len(), "x/labels length mismatch");
         let n = x.n_rows();
         let w: Vec<f64> = match cfg.class_weights {
@@ -121,12 +116,7 @@ impl Gbdt {
     /// Raw additive score (log-odds).
     pub fn decision_function(&self, row: &[f32]) -> f64 {
         self.base_score
-            + self.learning_rate
-                * self
-                    .trees
-                    .iter()
-                    .map(|t| t.predict(row))
-                    .sum::<f64>()
+            + self.learning_rate * self.trees.iter().map(|t| t.predict(row)).sum::<f64>()
     }
 
     /// Probability that the label is `true`.

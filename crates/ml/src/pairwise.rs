@@ -96,8 +96,7 @@ mod tests {
     #[test]
     fn vote_best_follows_a_transitive_scorer() {
         // Scorer: first feature decides; larger wins.
-        let scorer =
-            |a: &[f32], b: &[f32]| if a[0] > b[0] { 0.9 } else { 0.1 };
+        let scorer = |a: &[f32], b: &[f32]| if a[0] > b[0] { 0.9 } else { 0.1 };
         let feats = FeatureMatrix::from_rows(&[vec![3.0], vec![7.0], vec![5.0], vec![1.0]]);
         assert_eq!(vote_best(&feats, &scorer), Some(1));
     }

@@ -225,20 +225,23 @@ impl RegressionTree {
             value: weighted_mean(&all, y, &w),
         });
         let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
-        let push_candidate =
-            |slot: usize, samples: Vec<usize>, depth: usize, heap: &mut BinaryHeap<Candidate>, rng: &mut Option<&mut R>| {
-                if depth >= cfg.max_depth || samples.len() < cfg.min_samples_split {
-                    return;
-                }
-                if let Some((f, thr, gain, l, r)) = best_split(x, y, &w, &samples, cfg, rng) {
-                    heap.push(Candidate {
-                        gain,
-                        node_slot: slot,
-                        depth,
-                        split: Some((f, thr, l, r)),
-                    });
-                }
-            };
+        let push_candidate = |slot: usize,
+                              samples: Vec<usize>,
+                              depth: usize,
+                              heap: &mut BinaryHeap<Candidate>,
+                              rng: &mut Option<&mut R>| {
+            if depth >= cfg.max_depth || samples.len() < cfg.min_samples_split {
+                return;
+            }
+            if let Some((f, thr, gain, l, r)) = best_split(x, y, &w, &samples, cfg, rng) {
+                heap.push(Candidate {
+                    gain,
+                    node_slot: slot,
+                    depth,
+                    split: Some((f, thr, l, r)),
+                });
+            }
+        };
         push_candidate(0, all, 0, &mut heap, &mut rng);
 
         let mut n_leaves = 1usize;
@@ -264,7 +267,13 @@ impl RegressionTree {
             };
             n_leaves += 1; // one leaf became two
             push_candidate(left_slot, left_samples, cand.depth + 1, &mut heap, &mut rng);
-            push_candidate(right_slot, right_samples, cand.depth + 1, &mut heap, &mut rng);
+            push_candidate(
+                right_slot,
+                right_samples,
+                cand.depth + 1,
+                &mut heap,
+                &mut rng,
+            );
         }
         Self { nodes }
     }
@@ -361,9 +370,8 @@ impl TreeClassifier {
         rng: Option<&mut R>,
     ) -> Self {
         let y: Vec<f64> = labels.iter().map(|&b| f64::from(u8::from(b))).collect();
-        let w: Option<Vec<f64>> = class_weights.map(|(w0, w1)| {
-            labels.iter().map(|&b| if b { w1 } else { w0 }).collect()
-        });
+        let w: Option<Vec<f64>> =
+            class_weights.map(|(w0, w1)| labels.iter().map(|&b| if b { w1 } else { w0 }).collect());
         let tree = RegressionTree::fit(x, &y, w.as_deref(), cfg, rng);
         Self { tree }
     }
@@ -423,8 +431,13 @@ mod tests {
     #[test]
     fn constant_target_is_single_leaf() {
         let x = FeatureMatrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
-        let tree =
-            RegressionTree::fit(&x, &[5.0, 5.0, 5.0], None, &TreeConfig::default(), None as NoRng);
+        let tree = RegressionTree::fit(
+            &x,
+            &[5.0, 5.0, 5.0],
+            None,
+            &TreeConfig::default(),
+            None as NoRng,
+        );
         assert_eq!(tree.n_leaves(), 1);
         assert_eq!(tree.predict(&[7.0]), 5.0);
     }
@@ -492,13 +505,7 @@ mod tests {
         let y = [0.0, 1.0];
         // Identical features: no split possible; weighted mean decides.
         let w = [1.0, 3.0];
-        let tree = RegressionTree::fit(
-            &x,
-            &y,
-            Some(&w),
-            &TreeConfig::default(),
-            None as NoRng,
-        );
+        let tree = RegressionTree::fit(&x, &y, Some(&w), &TreeConfig::default(), None as NoRng);
         assert!((tree.predict(&[0.0]) - 0.75).abs() < 1e-9);
     }
 

@@ -40,34 +40,62 @@ enum Op {
     /// Row-wise softmax of a 2-D tensor; node value caches the output.
     SoftmaxRows,
     /// Row-wise layer normalization; parents are `(x, gamma, beta)`.
-    LayerNorm { xhat: Tensor, inv_std: Vec<f32> },
+    LayerNorm {
+        xhat: Tensor,
+        inv_std: Vec<f32>,
+    },
     /// Column range `[from, to)` of a 2-D tensor.
-    ColSlice { from: usize, to: usize },
+    ColSlice {
+        from: usize,
+        to: usize,
+    },
     /// Horizontal concatenation of 2-D tensors with equal row counts.
-    ConcatCols { widths: Vec<usize> },
+    ConcatCols {
+        widths: Vec<usize>,
+    },
     /// Concatenation of 1-D tensors.
-    Concat1d { lens: Vec<usize> },
+    Concat1d {
+        lens: Vec<usize>,
+    },
     /// Stacks `n` 1-D tensors of length `d` into `[n,d]`.
-    StackRows { dim: usize },
+    StackRows {
+        dim: usize,
+    },
     /// Row `i` of a 2-D tensor as `[1,d]`.
-    RowSlice { row: usize },
+    RowSlice {
+        row: usize,
+    },
     /// Shape change over the same elements.
-    Reshape { parent_shape: Vec<usize> },
+    Reshape {
+        parent_shape: Vec<usize>,
+    },
     /// Sum of all elements, shape `[1]`.
     Sum,
     /// Mean of all elements, shape `[1]`.
     Mean,
     /// Inverted-dropout mask applied at train time.
-    Dropout { mask: Tensor },
+    Dropout {
+        mask: Tensor,
+    },
     /// Row `index` of an embedding table.
-    EmbeddingRow { index: usize },
+    EmbeddingRow {
+        index: usize,
+    },
     /// Cross-entropy of 1-D logits against a target index; caches softmax.
-    SoftmaxCe1d { target: usize, probs: Tensor },
+    SoftmaxCe1d {
+        target: usize,
+        probs: Tensor,
+    },
     /// Cross-entropy of 1-D logits against a soft target distribution.
-    SoftmaxCeSoft { target: Tensor, probs: Tensor },
+    SoftmaxCeSoft {
+        target: Tensor,
+        probs: Tensor,
+    },
     /// 2-D convolution: parents `(input [ci,h,w], kernel [co,ci,kh,kw],
     /// bias [co])`, stride 1, symmetric zero padding.
-    Conv2d { pad: usize },
+    Conv2d {
+        pad: usize,
+    },
 }
 
 struct Node {
@@ -144,19 +172,25 @@ impl Graph {
 
     /// Elementwise sum; shapes must match.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x + y);
+        let v = self.nodes[a.0]
+            .value
+            .zip(&self.nodes[b.0].value, |x, y| x + y);
         self.push(v, vec![a.0, b.0], Op::Add)
     }
 
     /// Elementwise difference; shapes must match.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x - y);
+        let v = self.nodes[a.0]
+            .value
+            .zip(&self.nodes[b.0].value, |x, y| x - y);
         self.push(v, vec![a.0, b.0], Op::Sub)
     }
 
     /// Elementwise product; shapes must match.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x * y);
+        let v = self.nodes[a.0]
+            .value
+            .zip(&self.nodes[b.0].value, |x, y| x * y);
         self.push(v, vec![a.0, b.0], Op::Mul)
     }
 
@@ -320,7 +354,10 @@ impl Graph {
     /// Concatenation of 1-D tensors into one vector.
     pub fn concat1d(&mut self, parts: &[Var]) -> Var {
         assert!(!parts.is_empty());
-        let lens: Vec<usize> = parts.iter().map(|v| self.nodes[v.0].value.numel()).collect();
+        let lens: Vec<usize> = parts
+            .iter()
+            .map(|v| self.nodes[v.0].value.numel())
+            .collect();
         let mut out = Vec::with_capacity(lens.iter().sum());
         for v in parts {
             out.extend_from_slice(self.nodes[v.0].value.data());
@@ -447,7 +484,10 @@ impl Graph {
         let lv = &self.nodes[logits.0].value;
         assert_eq!(lv.shape().len(), 1, "expected 1-D logits");
         assert_eq!(lv.numel(), q.len(), "target length mismatch");
-        debug_assert!((q.iter().sum::<f32>() - 1.0).abs() < 1e-4, "q must sum to 1");
+        debug_assert!(
+            (q.iter().sum::<f32>() - 1.0).abs() < 1e-4,
+            "q must sum to 1"
+        );
         let max = lv.data().iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let exps: Vec<f32> = lv.data().iter().map(|&x| (x - max).exp()).collect();
         let denom: f32 = exps.iter().sum();
@@ -477,12 +517,7 @@ impl Graph {
         let kv = self.nodes[kernel.0].value.clone();
         let bv = self.nodes[bias.0].value.clone();
         let (ci, h, w) = (iv.shape()[0], iv.shape()[1], iv.shape()[2]);
-        let (co, ci2, kh, kw) = (
-            kv.shape()[0],
-            kv.shape()[1],
-            kv.shape()[2],
-            kv.shape()[3],
-        );
+        let (co, ci2, kh, kw) = (kv.shape()[0], kv.shape()[1], kv.shape()[2], kv.shape()[3]);
         assert_eq!(ci, ci2, "conv2d channel mismatch");
         assert_eq!(bv.numel(), co);
         let oh = h + 2 * pad - kh + 1;
@@ -504,8 +539,7 @@ impl Graph {
                                     continue;
                                 }
                                 let ival = iv.data()[c_in * h * w + (iy - pad) * w + (ix - pad)];
-                                let kval =
-                                    kv.data()[((c_out * ci + c_in) * kh + ky) * kw + kx];
+                                let kval = kv.data()[((c_out * ci + c_in) * kh + ky) * kw + kx];
                                 acc += ival * kval;
                             }
                         }
@@ -659,8 +693,7 @@ impl Graph {
                     mean_dxhat_xhat /= d as f32;
                     for j in 0..d {
                         let dxh = grow[j] * gamma.data()[j];
-                        gx[i * d + j] =
-                            inv_std[i] * (dxh - mean_dxhat - xh[j] * mean_dxhat_xhat);
+                        gx[i * d + j] = inv_std[i] * (dxh - mean_dxhat - xh[j] * mean_dxhat_xhat);
                     }
                 }
                 let gamma_shape = gamma.shape().to_vec();
@@ -725,7 +758,10 @@ impl Graph {
             Op::Mean => {
                 let parent = &self.nodes[node.parents[0]].value;
                 let scale = g.item() / parent.numel() as f32;
-                add_grad(node.parents[0], Tensor::full(parent.shape().to_vec(), scale));
+                add_grad(
+                    node.parents[0],
+                    Tensor::full(parent.shape().to_vec(), scale),
+                );
             }
             Op::Dropout { mask } => {
                 add_grad(node.parents[0], g.zip(mask, |gv, m| gv * m));

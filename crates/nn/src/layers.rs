@@ -107,7 +107,10 @@ impl MultiHeadSelfAttention {
         heads: usize,
         rng: &mut R,
     ) -> Self {
-        assert!(heads > 0 && dim.is_multiple_of(heads), "dim {dim} % heads {heads} != 0");
+        assert!(
+            heads > 0 && dim.is_multiple_of(heads),
+            "dim {dim} % heads {heads} != 0"
+        );
         Self {
             wq: store.register_xavier(format!("{name}.wq"), dim, dim, rng),
             wk: store.register_xavier(format!("{name}.wk"), dim, dim, rng),

@@ -247,11 +247,7 @@ impl Adam {
                 let gs = gi * inv_batch;
                 *vi = self.beta2 * *vi + (1.0 - self.beta2) * gs * gs;
             }
-            let (m, v, w) = (
-                slot.m.data(),
-                slot.v.data(),
-                slot.value.data_mut(),
-            );
+            let (m, v, w) = (slot.m.data(), slot.v.data(), slot.value.data_mut());
             for ((wi, &mi), &vi) in w.iter_mut().zip(m).zip(v) {
                 let mhat = mi / bc1;
                 let vhat = vi / bc2;

@@ -1,0 +1,368 @@
+//! Named metrics: counters, gauges and fixed-bucket histograms.
+//!
+//! Handles returned by [`counter`] / [`gauge`] / [`histogram`] are cheap
+//! `Arc`-backed clones; after the one registry lookup, updates are lock-free
+//! atomic operations, safe to call concurrently from worker threads.
+//!
+//! Conventions: names are `area/metric` (e.g. `retrieval/candidate-set-size`);
+//! histograms use *upper-inclusive* buckets — observation `v` lands in the
+//! first bucket whose bound satisfies `v <= bound`, with one overflow bucket
+//! past the last bound.
+
+use crate::json::JsonValue;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, Arc<AtomicU64>>,
+    gauges: BTreeMap<String, Arc<AtomicU64>>,
+    histograms: BTreeMap<String, Arc<HistogramInner>>,
+}
+
+static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
+
+fn with_registry<T>(f: impl FnOnce(&mut Registry) -> T) -> T {
+    let mut guard = REGISTRY.lock().expect("metrics registry lock");
+    f(guard.get_or_insert_with(Registry::default))
+}
+
+/// A monotonically-increasing counter handle.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge handle (stores an `f64`).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Ascending upper bounds; observations land in the first bucket with
+    /// `v <= bound`. One extra overflow bucket follows the last bound.
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of observations as `f64` bits, updated by compare-exchange.
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl HistogramInner {
+    fn new(bounds: &[f64]) -> Self {
+        let mut bounds: Vec<f64> = bounds.iter().copied().filter(|b| b.is_finite()).collect();
+        bounds.sort_by(|a, b| a.partial_cmp(b).expect("finite bounds"));
+        bounds.dedup();
+        let n = bounds.len() + 1;
+        Self {
+            bounds,
+            counts: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    fn observe(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        fma_f64_atomic(&self.sum_bits, |s| s + v);
+        fma_f64_atomic(&self.min_bits, |m| m.min(v));
+        fma_f64_atomic(&self.max_bits, |m| m.max(v));
+    }
+}
+
+/// Compare-exchange update of an `f64` stored as bits.
+fn fma_f64_atomic(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(cur)).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+/// A fixed-bucket histogram handle.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// Records one observation. Non-finite values are ignored.
+    pub fn observe(&self, v: f64) {
+        self.0.observe(v);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean of recorded observations (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum() / n as f64)
+    }
+
+    /// The ascending upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.0.bounds
+    }
+
+    /// Per-bucket counts; the final entry is the overflow bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// Gets or creates the counter named `name`.
+pub fn counter(name: &str) -> Counter {
+    Counter(with_registry(|r| {
+        Arc::clone(
+            r.counters
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    }))
+}
+
+/// Gets or creates the gauge named `name`.
+pub fn gauge(name: &str) -> Gauge {
+    Gauge(with_registry(|r| {
+        Arc::clone(
+            r.gauges
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits()))),
+        )
+    }))
+}
+
+/// Gets or creates the histogram named `name` with the given upper bounds.
+/// If the histogram already exists its original bounds are kept.
+pub fn histogram(name: &str, bounds: &[f64]) -> Histogram {
+    Histogram(with_registry(|r| {
+        Arc::clone(
+            r.histograms
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(HistogramInner::new(bounds))),
+        )
+    }))
+}
+
+/// Clears the whole registry.
+pub fn reset_metrics() {
+    *REGISTRY.lock().expect("metrics registry lock") = None;
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Ascending upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; last entry is the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Minimum observation (`None` when empty).
+    pub min: Option<f64>,
+    /// Maximum observation (`None` when empty).
+    pub max: Option<f64>,
+}
+
+/// Point-in-time copy of the whole registry, sorted by name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram snapshots.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Converts the snapshot to a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            (
+                "counters".into(),
+                JsonValue::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(n, v)| (n.clone(), JsonValue::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".into(),
+                JsonValue::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(n, v)| (n.clone(), JsonValue::Num(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".into(),
+                JsonValue::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|h| {
+                            (
+                                h.name.clone(),
+                                JsonValue::Obj(vec![
+                                    (
+                                        "bounds".into(),
+                                        JsonValue::Arr(
+                                            h.bounds.iter().map(|&b| JsonValue::Num(b)).collect(),
+                                        ),
+                                    ),
+                                    (
+                                        "counts".into(),
+                                        JsonValue::Arr(
+                                            h.counts
+                                                .iter()
+                                                .map(|&c| JsonValue::Num(c as f64))
+                                                .collect(),
+                                        ),
+                                    ),
+                                    ("count".into(), JsonValue::Num(h.count as f64)),
+                                    ("sum".into(), JsonValue::Num(h.sum)),
+                                    ("min".into(), h.min.map_or(JsonValue::Null, JsonValue::Num)),
+                                    ("max".into(), h.max.map_or(JsonValue::Null, JsonValue::Num)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Snapshots the registry.
+pub fn metrics_snapshot() -> MetricsSnapshot {
+    with_registry(|r| MetricsSnapshot {
+        counters: r
+            .counters
+            .iter()
+            .map(|(n, v)| (n.clone(), v.load(Ordering::Relaxed)))
+            .collect(),
+        gauges: r
+            .gauges
+            .iter()
+            .map(|(n, v)| (n.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+            .collect(),
+        histograms: r
+            .histograms
+            .iter()
+            .map(|(n, h)| {
+                let count = h.count.load(Ordering::Relaxed);
+                HistogramSnapshot {
+                    name: n.clone(),
+                    bounds: h.bounds.clone(),
+                    counts: h.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+                    count,
+                    sum: f64::from_bits(h.sum_bits.load(Ordering::Relaxed)),
+                    min: (count > 0).then(|| f64::from_bits(h.min_bits.load(Ordering::Relaxed))),
+                    max: (count > 0).then(|| f64::from_bits(h.max_bits.load(Ordering::Relaxed))),
+                }
+            })
+            .collect(),
+    })
+}
+
+/// Renders a snapshot as a human-readable table.
+pub fn render_metrics(snap: &MetricsSnapshot) -> String {
+    let mut out = String::from("== metrics ==\n");
+    if snap.counters.is_empty() && snap.gauges.is_empty() && snap.histograms.is_empty() {
+        out.push_str("(registry empty)\n");
+        return out;
+    }
+    for (n, v) in &snap.counters {
+        out.push_str(&format!("{n:<44} {v:>14}\n"));
+    }
+    for (n, v) in &snap.gauges {
+        out.push_str(&format!("{n:<44} {v:>14.3}\n"));
+    }
+    for h in &snap.histograms {
+        let mean = if h.count > 0 {
+            h.sum / h.count as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "{:<44} n={} mean={:.2} min={:.2} max={:.2}\n",
+            h.name,
+            h.count,
+            mean,
+            h.min.unwrap_or(0.0),
+            h.max.unwrap_or(0.0)
+        ));
+        for (i, &c) in h.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let label = if i < h.bounds.len() {
+                format!("<= {}", h.bounds[i])
+            } else {
+                format!("> {}", h.bounds.last().copied().unwrap_or(0.0))
+            };
+            out.push_str(&format!("  {label:<42} {c:>14}\n"));
+        }
+    }
+    out
+}

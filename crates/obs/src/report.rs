@@ -1,0 +1,293 @@
+//! Typed pipeline run reports.
+//!
+//! A [`PipelineReport`] is the structured summary `DlInfMa::prepare` /
+//! `train` return alongside their normal results: wall-clock duration per
+//! stage plus the data funnel the paper's Fig. 3 pipeline implies
+//! (raw points → filtered points → stay points → clusters → candidates
+//! retrieved → samples labelled). Unlike spans and metrics it does not
+//! depend on the global collector being enabled — the counts and a handful
+//! of `Instant` reads are cheap enough to populate unconditionally.
+
+use crate::json::JsonValue;
+
+/// Canonical stage names, shared by spans, reports and exporters so the
+/// JSON output and the rendered tables always agree.
+pub mod stage {
+    /// Per-point noise filtering (paper Fig. 3 "noise filtering").
+    pub const NOISE_FILTER: &str = "noise-filter";
+    /// Stay-point detection over filtered trajectories.
+    pub const STAY_POINTS: &str = "stay-point-extraction";
+    /// Hierarchical clustering of stay points into the candidate pool.
+    pub const CLUSTERING: &str = "clustering";
+    /// Temporal-upper-bound candidate retrieval per address.
+    pub const RETRIEVAL: &str = "retrieval";
+    /// Candidate feature extraction.
+    pub const FEATURES: &str = "feature-extraction";
+    /// LocMatcher model training.
+    pub const TRAINING: &str = "training";
+    /// LocMatcher inference.
+    pub const INFERENCE: &str = "inference";
+}
+
+/// One pipeline stage: wall-clock duration and item counts in/out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageReport {
+    /// Stage name; see [`stage`] for the canonical set.
+    pub name: &'static str,
+    /// Wall-clock duration in nanoseconds.
+    pub duration_ns: u64,
+    /// Items entering the stage (e.g. raw points), when meaningful.
+    pub items_in: Option<u64>,
+    /// Items leaving the stage (e.g. filtered points), when meaningful.
+    pub items_out: Option<u64>,
+}
+
+/// The data funnel across the whole pipeline. Each field counts items
+/// surviving the corresponding stage; invariants between them are checked
+/// by [`PipelineReport::check_funnel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FunnelCounts {
+    /// GPS points before noise filtering.
+    pub raw_points: u64,
+    /// GPS points after noise filtering (≤ raw).
+    pub filtered_points: u64,
+    /// Stay points detected (≤ filtered, each aggregates ≥ 1 point).
+    pub stay_points: u64,
+    /// Clusters retained in the candidate pool (≤ stay points).
+    pub clusters: u64,
+    /// Candidate retrievals summed over all addresses (can exceed
+    /// `clusters`: one cluster serves many addresses).
+    pub candidates_retrieved: u64,
+    /// Addresses with at least one retrieved candidate.
+    pub addresses_sampled: u64,
+    /// Samples that received a ground-truth label via `label_with`.
+    pub samples_labelled: u64,
+}
+
+/// Progress snapshot for one training epoch, passed to the progress hook
+/// of `LocMatcher::train_with_progress`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochProgress {
+    /// Zero-based epoch index.
+    pub epoch: usize,
+    /// Mean training loss over the epoch.
+    pub train_loss: f64,
+    /// Validation loss after the epoch.
+    pub val_loss: f64,
+    /// Whether this epoch improved on the best validation loss so far.
+    pub improved: bool,
+}
+
+/// Per-stage durations and funnel counts for one pipeline run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PipelineReport {
+    /// Stages in execution order.
+    pub stages: Vec<StageReport>,
+    /// The data funnel.
+    pub funnel: FunnelCounts,
+}
+
+impl PipelineReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a stage, replacing a same-named entry if the stage re-ran.
+    pub fn push_stage(
+        &mut self,
+        name: &'static str,
+        duration_ns: u64,
+        items_in: Option<u64>,
+        items_out: Option<u64>,
+    ) {
+        let rec = StageReport {
+            name,
+            duration_ns,
+            items_in,
+            items_out,
+        };
+        match self.stages.iter_mut().find(|s| s.name == name) {
+            Some(slot) => *slot = rec,
+            None => self.stages.push(rec),
+        }
+    }
+
+    /// Looks up a stage by name.
+    pub fn stage(&self, name: &str) -> Option<&StageReport> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Total duration across recorded stages, in nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.stages.iter().map(|s| s.duration_ns).sum()
+    }
+
+    /// Checks the funnel invariants, returning a message per violation.
+    /// An empty result means the run was structurally sound.
+    pub fn check_funnel(&self) -> Vec<String> {
+        let f = &self.funnel;
+        let mut errs = Vec::new();
+        let mut le = |label: &str, a: u64, b: u64| {
+            if a > b {
+                errs.push(format!("{label}: {a} > {b}"));
+            }
+        };
+        le(
+            "filtered_points <= raw_points",
+            f.filtered_points,
+            f.raw_points,
+        );
+        le(
+            "stay_points <= filtered_points",
+            f.stay_points,
+            f.filtered_points,
+        );
+        le("clusters <= stay_points", f.clusters, f.stay_points);
+        le(
+            "clusters <= candidates_retrieved",
+            f.clusters.min(1),
+            f.candidates_retrieved.min(1),
+        );
+        le(
+            "samples_labelled <= addresses_sampled",
+            f.samples_labelled,
+            f.addresses_sampled,
+        );
+        errs
+    }
+
+    /// Renders the report as a human-readable table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::from("== pipeline report ==\n");
+        out.push_str(&format!(
+            "{:<26} {:>14} {:>12} {:>12}\n",
+            "stage", "duration (ms)", "items in", "items out"
+        ));
+        for s in &self.stages {
+            let fmt_opt = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |v| v.to_string());
+            out.push_str(&format!(
+                "{:<26} {:>14.3} {:>12} {:>12}\n",
+                s.name,
+                s.duration_ns as f64 / 1e6,
+                fmt_opt(s.items_in),
+                fmt_opt(s.items_out)
+            ));
+        }
+        let f = &self.funnel;
+        out.push_str(&format!(
+            "funnel: raw {} -> filtered {} -> stays {} -> clusters {} -> candidates {} -> labelled {}\n",
+            f.raw_points,
+            f.filtered_points,
+            f.stay_points,
+            f.clusters,
+            f.candidates_retrieved,
+            f.samples_labelled
+        ));
+        out
+    }
+
+    /// Converts the report to a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        let f = &self.funnel;
+        JsonValue::Obj(vec![
+            (
+                "stages".into(),
+                JsonValue::Arr(
+                    self.stages
+                        .iter()
+                        .map(|s| {
+                            JsonValue::Obj(vec![
+                                ("name".into(), JsonValue::Str(s.name.to_string())),
+                                ("duration_ns".into(), JsonValue::Num(s.duration_ns as f64)),
+                                (
+                                    "items_in".into(),
+                                    s.items_in
+                                        .map_or(JsonValue::Null, |v| JsonValue::Num(v as f64)),
+                                ),
+                                (
+                                    "items_out".into(),
+                                    s.items_out
+                                        .map_or(JsonValue::Null, |v| JsonValue::Num(v as f64)),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "funnel".into(),
+                JsonValue::Obj(vec![
+                    ("raw_points".into(), JsonValue::Num(f.raw_points as f64)),
+                    (
+                        "filtered_points".into(),
+                        JsonValue::Num(f.filtered_points as f64),
+                    ),
+                    ("stay_points".into(), JsonValue::Num(f.stay_points as f64)),
+                    ("clusters".into(), JsonValue::Num(f.clusters as f64)),
+                    (
+                        "candidates_retrieved".into(),
+                        JsonValue::Num(f.candidates_retrieved as f64),
+                    ),
+                    (
+                        "addresses_sampled".into(),
+                        JsonValue::Num(f.addresses_sampled as f64),
+                    ),
+                    (
+                        "samples_labelled".into(),
+                        JsonValue::Num(f.samples_labelled as f64),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_stage_replaces_same_name() {
+        let mut r = PipelineReport::new();
+        r.push_stage(stage::CLUSTERING, 10, Some(5), Some(2));
+        r.push_stage(stage::RETRIEVAL, 20, None, None);
+        r.push_stage(stage::CLUSTERING, 30, Some(6), Some(3));
+        assert_eq!(r.stages.len(), 2);
+        assert_eq!(r.stage(stage::CLUSTERING).unwrap().duration_ns, 30);
+        assert_eq!(r.total_ns(), 50);
+    }
+
+    #[test]
+    fn funnel_invariants_catch_violations() {
+        let mut r = PipelineReport::new();
+        r.funnel = FunnelCounts {
+            raw_points: 100,
+            filtered_points: 90,
+            stay_points: 10,
+            clusters: 4,
+            candidates_retrieved: 12,
+            addresses_sampled: 6,
+            samples_labelled: 6,
+        };
+        assert!(r.check_funnel().is_empty());
+
+        r.funnel.filtered_points = 200;
+        let errs = r.check_funnel();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("filtered_points"));
+    }
+
+    #[test]
+    fn table_and_json_mention_all_stages() {
+        let mut r = PipelineReport::new();
+        r.push_stage(stage::NOISE_FILTER, 1_000_000, Some(10), Some(9));
+        r.push_stage(stage::TRAINING, 2_000_000, None, None);
+        let table = r.render_table();
+        assert!(table.contains("noise-filter"));
+        assert!(table.contains("training"));
+        let json = r.to_json().render();
+        assert!(json.contains("\"noise-filter\""));
+        assert!(json.contains("\"funnel\""));
+    }
+}

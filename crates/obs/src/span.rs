@@ -1,0 +1,279 @@
+//! Structured spans: hierarchical wall-clock timing with a thread-safe
+//! global collector.
+//!
+//! A span measures one region of code. Spans nest through a per-thread
+//! stack, so a span opened while another is live on the same thread records
+//! that span as its parent — the exporters can then render the call tree.
+//!
+//! The collector is **disabled by default**. While disabled, [`span`] costs
+//! one relaxed atomic load and records nothing, which keeps instrumented hot
+//! paths within noise of their un-instrumented baseline. Enable it with
+//! [`enable`] before the code under observation runs.
+//!
+//! Timing uses [`Instant`] (monotonic); start offsets are reported relative
+//! to the first event after process start or the latest [`reset_spans`].
+
+use crate::json::JsonValue;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Hard cap on retained spans; beyond it new spans are counted but dropped,
+/// so a runaway loop cannot exhaust memory.
+pub const MAX_SPANS: usize = 1 << 16;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+/// Bumped by [`reset_spans`]; guards from before a reset must not write
+/// into records allocated after it.
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+
+static SPANS: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+static EPOCH: Mutex<Option<Instant>> = Mutex::new(None);
+
+thread_local! {
+    /// Indices (into the global span vec) of the spans currently open on
+    /// this thread, innermost last.
+    static STACK: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+    static THREAD_ID: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+}
+
+/// One recorded span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (static so that a disabled call allocates nothing).
+    pub name: &'static str,
+    /// Nesting depth on the recording thread (0 = top level).
+    pub depth: usize,
+    /// Index of the parent span in the recorded list, if any.
+    pub parent: Option<usize>,
+    /// Start offset in nanoseconds since the collector epoch.
+    pub start_ns: u64,
+    /// Measured duration in nanoseconds (0 while the span is still open).
+    pub duration_ns: u64,
+    /// Dense per-process id of the recording thread.
+    pub thread: u64,
+}
+
+/// Enables the global collector.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Disables the global collector. Spans already open finish recording.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether the collector is currently enabled. Instrumentation sites use
+/// this to gate work that would otherwise allocate or lock.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn now_since_epoch(now: Instant) -> u64 {
+    let mut epoch = EPOCH.lock().expect("span epoch lock");
+    let e = *epoch.get_or_insert(now);
+    now.saturating_duration_since(e).as_nanos() as u64
+}
+
+/// Opens a span; the returned guard records the duration when dropped.
+///
+/// While the collector is disabled this is a no-op costing one atomic load.
+#[must_use = "the span closes when the guard drops"]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard {
+            idx: None,
+            start: None,
+            generation: 0,
+        };
+    }
+    let start = Instant::now();
+    let start_ns = now_since_epoch(start);
+    let generation = GENERATION.load(Ordering::Relaxed);
+    let (parent, depth) = STACK.with(|s| {
+        let s = s.borrow();
+        (s.last().copied(), s.len())
+    });
+    let thread = THREAD_ID.with(|t| *t);
+    let idx = {
+        let mut spans = SPANS.lock().expect("span collector lock");
+        if spans.len() >= MAX_SPANS {
+            DROPPED.fetch_add(1, Ordering::Relaxed);
+            None
+        } else {
+            spans.push(SpanRecord {
+                name,
+                depth,
+                parent,
+                start_ns,
+                duration_ns: 0,
+                thread,
+            });
+            Some(spans.len() - 1)
+        }
+    };
+    if let Some(idx) = idx {
+        STACK.with(|s| s.borrow_mut().push(idx));
+    }
+    SpanGuard {
+        idx,
+        start: Some(start),
+        generation,
+    }
+}
+
+/// Records an already-measured duration as a completed span under the
+/// current span stack. Used where a stage's time is accumulated across many
+/// small pieces (e.g. per-trip noise filtering) rather than one contiguous
+/// region.
+pub fn record_duration(name: &'static str, duration_ns: u64) {
+    if !enabled() {
+        return;
+    }
+    let now = Instant::now();
+    let end_ns = now_since_epoch(now);
+    let (parent, depth) = STACK.with(|s| {
+        let s = s.borrow();
+        (s.last().copied(), s.len())
+    });
+    let thread = THREAD_ID.with(|t| *t);
+    let mut spans = SPANS.lock().expect("span collector lock");
+    if spans.len() >= MAX_SPANS {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    spans.push(SpanRecord {
+        name,
+        depth,
+        parent,
+        start_ns: end_ns.saturating_sub(duration_ns),
+        duration_ns: duration_ns.max(1),
+        thread,
+    });
+}
+
+/// Runs `f` under a span named `name`.
+pub fn scoped<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
+    let _guard = span(name);
+    f()
+}
+
+/// Guard returned by [`span`]; finishes the record on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    idx: Option<usize>,
+    start: Option<Instant>,
+    generation: u64,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(idx) = self.idx else { return };
+        // A reset between open and close invalidates the index.
+        if GENERATION.load(Ordering::Relaxed) != self.generation {
+            return;
+        }
+        STACK.with(|s| {
+            let mut st = s.borrow_mut();
+            if st.last() == Some(&idx) {
+                st.pop();
+            } else {
+                st.retain(|&i| i != idx);
+            }
+        });
+        let elapsed = self
+            .start
+            .expect("open span has a start")
+            .elapsed()
+            .as_nanos() as u64;
+        let mut spans = SPANS.lock().expect("span collector lock");
+        if let Some(r) = spans.get_mut(idx) {
+            r.duration_ns = elapsed.max(1);
+        }
+    }
+}
+
+/// A copy of every recorded span, in recording order.
+pub fn spans_snapshot() -> Vec<SpanRecord> {
+    SPANS.lock().expect("span collector lock").clone()
+}
+
+/// Drains and returns every recorded span.
+pub fn take_spans() -> Vec<SpanRecord> {
+    GENERATION.fetch_add(1, Ordering::Relaxed);
+    let mut spans = SPANS.lock().expect("span collector lock");
+    std::mem::take(&mut *spans)
+}
+
+/// Clears all recorded spans and restarts the epoch.
+pub fn reset_spans() {
+    GENERATION.fetch_add(1, Ordering::Relaxed);
+    SPANS.lock().expect("span collector lock").clear();
+    *EPOCH.lock().expect("span epoch lock") = None;
+    DROPPED.store(0, Ordering::Relaxed);
+    STACK.with(|s| s.borrow_mut().clear());
+}
+
+/// Number of spans dropped because the [`MAX_SPANS`] cap was hit.
+pub fn dropped_spans() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Renders spans as an indented tree table (one line per span).
+pub fn render_spans(spans: &[SpanRecord]) -> String {
+    let mut out = String::from("== spans ==\n");
+    if spans.is_empty() {
+        out.push_str("(none recorded — is the collector enabled?)\n");
+        return out;
+    }
+    out.push_str(&format!(
+        "{:<44} {:>12} {:>14}\n",
+        "span", "start (ms)", "duration (ms)"
+    ));
+    for s in spans {
+        let name = format!("{}{}", "  ".repeat(s.depth), s.name);
+        out.push_str(&format!(
+            "{:<44} {:>12.3} {:>14.3}\n",
+            name,
+            s.start_ns as f64 / 1e6,
+            s.duration_ns as f64 / 1e6
+        ));
+    }
+    let dropped = dropped_spans();
+    if dropped > 0 {
+        out.push_str(&format!(
+            "({dropped} spans dropped at the {MAX_SPANS} cap)\n"
+        ));
+    }
+    out
+}
+
+/// Converts spans to a JSON array of objects.
+pub fn spans_to_json(spans: &[SpanRecord]) -> JsonValue {
+    JsonValue::Arr(
+        spans
+            .iter()
+            .map(|s| {
+                JsonValue::Obj(vec![
+                    ("name".into(), JsonValue::Str(s.name.to_string())),
+                    ("depth".into(), JsonValue::Num(s.depth as f64)),
+                    (
+                        "parent".into(),
+                        match s.parent {
+                            Some(p) => JsonValue::Num(p as f64),
+                            None => JsonValue::Null,
+                        },
+                    ),
+                    ("start_ns".into(), JsonValue::Num(s.start_ns as f64)),
+                    ("duration_ns".into(), JsonValue::Num(s.duration_ns as f64)),
+                    ("thread".into(), JsonValue::Num(s.thread as f64)),
+                ])
+            })
+            .collect(),
+    )
+}

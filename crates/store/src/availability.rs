@@ -126,8 +126,7 @@ pub fn corrected_delivery_time(
     pool.visits(w.trip)
         .iter()
         .filter(|&&(c, t)| {
-            pool.candidate(c).pos.distance(&inferred) <= radius_m
-                && t <= w.t_recorded_delivery
+            pool.candidate(c).pos.distance(&inferred) <= radius_m && t <= w.t_recorded_delivery
         })
         .map(|&(_, t)| t)
         .min_by(|a, b| {
@@ -179,7 +178,9 @@ mod tests {
     fn corrected_times_are_no_later_than_recorded() {
         let (ds, dl) = trained();
         for (wi, w) in ds.waybills.iter().enumerate().take(100) {
-            let Some(inferred) = dl.infer(w.address) else { continue };
+            let Some(inferred) = dl.infer(w.address) else {
+                continue;
+            };
             let t = corrected_delivery_time(dl.pool(), &ds, wi, inferred, 30.0);
             assert!(t <= w.t_recorded_delivery + 1e-6);
             assert!(t >= ds.trip(w.trip).t_start - 1e-6);
@@ -193,7 +194,9 @@ mod tests {
         let mut err_corrected = 0.0;
         let mut n = 0;
         for (wi, w) in ds.waybills.iter().enumerate() {
-            let Some(inferred) = dl.infer(w.address) else { continue };
+            let Some(inferred) = dl.infer(w.address) else {
+                continue;
+            };
             let t = corrected_delivery_time(dl.pool(), &ds, wi, inferred, 30.0);
             err_recorded += (w.t_recorded_delivery - w.t_actual_delivery).abs();
             err_corrected += (t - w.t_actual_delivery).abs();

@@ -139,6 +139,9 @@ mod tests {
             order: (0..stops.len()).collect(),
         }
         .length(depot, &stops);
-        assert!(planned <= identity, "planned {planned} vs identity {identity}");
+        assert!(
+            planned <= identity,
+            "planned {planned} vs identity {identity}"
+        );
     }
 }

@@ -132,9 +132,7 @@ impl TrajectoryStore {
         );
         if !b0.is_finite() || !b1.is_finite() {
             let buckets = inner.st_index.keys().map(|&(_, _, b)| b);
-            let (lo, hi) = buckets.fold((i64::MAX, i64::MIN), |(lo, hi), b| {
-                (lo.min(b), hi.max(b))
-            });
+            let (lo, hi) = buckets.fold((i64::MAX, i64::MIN), |(lo, hi), b| (lo.min(b), hi.max(b)));
             if lo > hi {
                 return Vec::new();
             }
@@ -283,10 +281,7 @@ mod tests {
     #[test]
     fn unbounded_time_range_query() {
         let (ds, store) = store_with_world();
-        let all = dlinfma_geo::BBox::new(
-            Point::new(-1e5, -1e5),
-            Point::new(1e5, 1e5),
-        );
+        let all = dlinfma_geo::BBox::new(Point::new(-1e5, -1e5), Point::new(1e5, 1e5));
         let got = store.range_query(&SpatioTemporalQuery {
             bbox: all,
             time: TimeRange::all(),
@@ -320,10 +315,7 @@ mod tests {
             .map(|t| t.trajectory.len())
             .sum();
         assert_eq!(traj.len(), want);
-        assert!(traj
-            .points()
-            .windows(2)
-            .all(|w| w[0].t <= w[1].t));
+        assert!(traj.points().windows(2).all(|w| w[0].t <= w[1].t));
     }
 
     #[test]
@@ -353,10 +345,7 @@ mod tests {
         assert_eq!(exported.trips.len(), ds.trips.len());
         for (a, b) in exported.trips.iter().zip(&ds.trips) {
             assert_eq!(a.trajectory.len(), b.trajectory.len());
-            assert_eq!(
-                a.trajectory.points().first(),
-                b.trajectory.points().first()
-            );
+            assert_eq!(a.trajectory.points().first(), b.trajectory.points().first());
         }
     }
 

@@ -8,9 +8,7 @@
 //! three distinct ways (Figure 12): wrong address parsing, coarse POI
 //! databases, and one-geocode-per-compound collapsing.
 
-use crate::model::{
-    Address, AddressId, BuildingId, DeliverySpotKind, N_POI_CATEGORIES,
-};
+use crate::model::{Address, AddressId, BuildingId, DeliverySpotKind, N_POI_CATEGORIES};
 use dlinfma_geo::Point;
 use rand::Rng;
 
@@ -292,10 +290,7 @@ mod tests {
         }
         let multi = by_building
             .values()
-            .filter(|locs| {
-                locs.iter()
-                    .any(|l| l.distance(&locs[0]) > 1.0)
-            })
+            .filter(|locs| locs.iter().any(|l| l.distance(&locs[0]) > 1.0))
             .count();
         assert!(
             multi * 10 >= by_building.len(),
@@ -337,7 +332,11 @@ mod tests {
             if d > 150.0 {
                 far += 1;
             }
-            if city.block_centers.iter().any(|c| c.distance(&a.geocode) < 1e-9) {
+            if city
+                .block_centers
+                .iter()
+                .any(|c| c.distance(&a.geocode) < 1e-9)
+            {
                 coarse += 1;
             }
         }
@@ -357,6 +356,10 @@ mod tests {
             .iter()
             .filter(|a| a.true_spot_kind == DeliverySpotKind::Doorstep)
             .count() as f64;
-        assert!((doors / n - 0.5).abs() < 0.1, "doorstep fraction {}", doors / n);
+        assert!(
+            (doors / n - 0.5).abs() < 0.1,
+            "doorstep fraction {}",
+            doors / n
+        );
     }
 }

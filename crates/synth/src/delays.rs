@@ -84,11 +84,12 @@ pub fn inject_delays<R: Rng>(dataset: &mut Dataset, cfg: &DelayConfig, rng: &mut
         }
         let batch_size = ws.len().div_ceil(cfg.n_batches);
         for chunk in ws.chunks(batch_size) {
-            let confirm_time = dataset.waybills[*chunk.last().expect("non-empty chunk")]
-                .t_actual_delivery;
+            let confirm_time =
+                dataset.waybills[*chunk.last().expect("non-empty chunk")].t_actual_delivery;
             for &wi in chunk {
                 let w = &mut dataset.waybills[wi];
-                let lag = rng.gen_range(cfg.base_lag_s.0..cfg.base_lag_s.1.max(cfg.base_lag_s.0 + 1e-9));
+                let lag =
+                    rng.gen_range(cfg.base_lag_s.0..cfg.base_lag_s.1.max(cfg.base_lag_s.0 + 1e-9));
                 // Drawn explicitly (not `gen_bool`, which skips the RNG at
                 // p = 1) so the stream consumption — and therefore each
                 // waybill's lag — is identical across `p_delay` sweeps.

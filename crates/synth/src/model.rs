@@ -191,7 +191,10 @@ impl Dataset {
                 (w.address.0 as usize) < self.addresses.len(),
                 "waybill {i} address id"
             );
-            assert!((w.trip.0 as usize) < self.trips.len(), "waybill {i} trip id");
+            assert!(
+                (w.trip.0 as usize) < self.trips.len(),
+                "waybill {i} trip id"
+            );
             assert!(
                 w.t_recorded_delivery >= w.t_actual_delivery - 1e-6,
                 "waybill {i}: recorded time may only be delayed, never early"

@@ -115,11 +115,8 @@ impl<'r, R: Rng> Walker<'r, R> {
                 gaussian(self.rng, self.cfg.gps_sigma_m),
             )
         };
-        self.fixes.push(TrajPoint::xyt(
-            self.pos.x + nx,
-            self.pos.y + ny,
-            self.t,
-        ));
+        self.fixes
+            .push(TrajPoint::xyt(self.pos.x + nx, self.pos.y + ny, self.t));
     }
 
     fn next_interval(&mut self) -> f64 {
@@ -130,7 +127,9 @@ impl<'r, R: Rng> Walker<'r, R> {
 
     /// Moves in a straight line to `target`, emitting fixes en route.
     fn travel_to(&mut self, target: Point) {
-        let speed = self.rng.gen_range(self.cfg.speed_mps.0..self.cfg.speed_mps.1);
+        let speed = self
+            .rng
+            .gen_range(self.cfg.speed_mps.0..self.cfg.speed_mps.1);
         loop {
             let dist = self.pos.distance(&target);
             let dt = self.next_interval();
@@ -201,10 +200,7 @@ pub fn assign_regions(city: &City, cfg: &SimConfig) -> Vec<(StationId, CourierId
                 .min(n_s - 1);
             let sy = ((a.true_delivery_location.y / city.height_m * n_c as f64).floor() as usize)
                 .min(n_c - 1);
-            (
-                StationId(sx as u32),
-                CourierId((sx * n_c + sy) as u32),
-            )
+            (StationId(sx as u32), CourierId((sx * n_c + sy) as u32))
         })
         .collect()
 }
@@ -214,6 +210,7 @@ pub fn assign_regions(city: &City, cfg: &SimConfig) -> Vec<(StationId, CourierId
 /// [`crate::delays::inject_delays`]).
 #[allow(clippy::needless_range_loop)] // courier indexes pools and ids alike
 pub fn simulate<R: Rng>(city: &City, cfg: &SimConfig, rng: &mut R) -> Dataset {
+    let _span = dlinfma_obs::span("synth/simulate");
     let assignment = assign_regions(city, cfg);
     let n_couriers = cfg.n_stations * cfg.couriers_per_station;
 
@@ -264,7 +261,11 @@ pub fn simulate<R: Rng>(city: &City, cfg: &SimConfig, rng: &mut R) -> Dataset {
             for trip_k in 0..cfg.trips_per_day {
                 // 08:30 and 14:00 departures.
                 let depart = day as f64 * 86_400.0
-                    + if trip_k == 0 { 8.5 * 3_600.0 } else { 14.0 * 3_600.0 }
+                    + if trip_k == 0 {
+                        8.5 * 3_600.0
+                    } else {
+                        14.0 * 3_600.0
+                    }
                     + rng.gen_range(0.0..900.0);
 
                 let covering = rng.gen_bool(cfg.p_cross_region);
@@ -383,6 +384,12 @@ pub fn simulate<R: Rng>(city: &City, cfg: &SimConfig, rng: &mut R) -> Dataset {
         stations,
     };
     dataset.validate();
+    if dlinfma_obs::enabled() {
+        dlinfma_obs::counter("synth/trips").add(dataset.trips.len() as u64);
+        dlinfma_obs::counter("synth/waybills").add(dataset.waybills.len() as u64);
+        let fixes: usize = dataset.trips.iter().map(|t| t.trajectory.len()).sum();
+        dlinfma_obs::counter("synth/gps-fixes").add(fixes as u64);
+    }
     dataset
 }
 
@@ -435,10 +442,7 @@ mod tests {
         let (_, ds) = small_world(1);
         let trip = &ds.trips[0];
         let interval = trip.trajectory.mean_sampling_interval().unwrap();
-        assert!(
-            (10.0..18.0).contains(&interval),
-            "mean interval {interval}"
-        );
+        assert!((10.0..18.0).contains(&interval), "mean interval {interval}");
     }
 
     #[test]
@@ -529,10 +533,7 @@ mod tests {
             v.sort_unstable();
             v[v.len() / 2]
         };
-        assert!(
-            max >= med * 2,
-            "no heavy tail: max {max}, median {med}"
-        );
+        assert!(max >= med * 2, "no heavy tail: max {max}, median {med}");
     }
 
     #[test]

@@ -104,7 +104,10 @@ mod tests {
 
     #[test]
     fn first_fix_always_kept() {
-        let pts = vec![TrajPoint::xyt(1e9, 1e9, 0.0), TrajPoint::xyt(0.0, 0.0, 10.0)];
+        let pts = vec![
+            TrajPoint::xyt(1e9, 1e9, 0.0),
+            TrajPoint::xyt(0.0, 0.0, 10.0),
+        ];
         let cleaned = filter_noise(&Trajectory::from_points(pts), &NoiseFilterConfig::default());
         assert_eq!(cleaned.len(), 1);
         assert_eq!(cleaned.points()[0].pos.x, 1e9);

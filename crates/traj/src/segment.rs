@@ -57,8 +57,8 @@ pub fn segment_trips(stream: &Trajectory, cfg: &SegmentConfig) -> Vec<Trajectory
         .filter(|seg| match cfg.depot {
             None => true,
             Some((depot, r)) => {
-                seg.first().map_or(false, |p| p.pos.distance(&depot) <= r)
-                    && seg.last().map_or(false, |p| p.pos.distance(&depot) <= r)
+                seg.first().is_some_and(|p| p.pos.distance(&depot) <= r)
+                    && seg.last().is_some_and(|p| p.pos.distance(&depot) <= r)
             }
         })
         .map(Trajectory::from_points)
@@ -116,7 +116,11 @@ mod tests {
             pts.push(TrajPoint::xyt(i as f64 * 10.0, 0.0, i as f64 * 10.0));
         }
         for i in 0..10 {
-            pts.push(TrajPoint::xyt(90.0 - i as f64 * 10.0, 0.0, 100.0 + i as f64 * 10.0));
+            pts.push(TrajPoint::xyt(
+                90.0 - i as f64 * 10.0,
+                0.0,
+                100.0 + i as f64 * 10.0,
+            ));
         }
         let round = Trajectory::from_points(pts);
         let cfg = SegmentConfig {

@@ -249,10 +249,22 @@ mod tests {
             TrajPoint::xyt(10.0, 0.0, 20.0),
             TrajPoint::xyt(10.0, 20.0, 40.0),
         ]);
-        assert_eq!(t.position_at(5.0), Some(crate::types::TrajPoint::xyt(0.0, 0.0, 0.0).pos));
-        assert_eq!(t.position_at(15.0).unwrap(), dlinfma_geo::Point::new(5.0, 0.0));
-        assert_eq!(t.position_at(30.0).unwrap(), dlinfma_geo::Point::new(10.0, 10.0));
-        assert_eq!(t.position_at(100.0).unwrap(), dlinfma_geo::Point::new(10.0, 20.0));
+        assert_eq!(
+            t.position_at(5.0),
+            Some(crate::types::TrajPoint::xyt(0.0, 0.0, 0.0).pos)
+        );
+        assert_eq!(
+            t.position_at(15.0).unwrap(),
+            dlinfma_geo::Point::new(5.0, 0.0)
+        );
+        assert_eq!(
+            t.position_at(30.0).unwrap(),
+            dlinfma_geo::Point::new(10.0, 10.0)
+        );
+        assert_eq!(
+            t.position_at(100.0).unwrap(),
+            dlinfma_geo::Point::new(10.0, 20.0)
+        );
         assert!(Trajectory::new().position_at(0.0).is_none());
     }
 
@@ -262,8 +274,14 @@ mod tests {
             TrajPoint::xyt(1.0, 1.0, 0.0),
             TrajPoint::xyt(2.0, 2.0, 10.0),
         ]);
-        assert_eq!(t.position_at(0.0).unwrap(), dlinfma_geo::Point::new(1.0, 1.0));
-        assert_eq!(t.position_at(10.0).unwrap(), dlinfma_geo::Point::new(2.0, 2.0));
+        assert_eq!(
+            t.position_at(0.0).unwrap(),
+            dlinfma_geo::Point::new(1.0, 1.0)
+        );
+        assert_eq!(
+            t.position_at(10.0).unwrap(),
+            dlinfma_geo::Point::new(2.0, 2.0)
+        );
     }
 
     proptest! {

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Local CI: the exact gate a change must pass before merging.
+#
+# Offline-safe: pass --offline (or set CARGO_NET_OFFLINE=true) to forbid
+# network access; the build then uses only vendored/cached dependencies.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO_FLAGS=()
+for arg in "$@"; do
+    case "$arg" in
+    --offline) CARGO_FLAGS+=(--offline) ;;
+    *)
+        echo "usage: scripts/ci.sh [--offline]" >&2
+        exit 2
+        ;;
+    esac
+done
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --workspace "${CARGO_FLAGS[@]}"
+run cargo test --workspace -q "${CARGO_FLAGS[@]}"
+run cargo fmt --all --check
+run cargo clippy --workspace --all-targets "${CARGO_FLAGS[@]}" -- -D warnings
+
+echo "ci: all green"

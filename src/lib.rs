@@ -13,6 +13,7 @@ pub use dlinfma_eval as eval;
 pub use dlinfma_geo as geo;
 pub use dlinfma_ml as ml;
 pub use dlinfma_nn as nn;
+pub use dlinfma_obs as obs;
 pub use dlinfma_store as store;
 pub use dlinfma_ststore as ststore;
 pub use dlinfma_synth as synth;

@@ -13,7 +13,11 @@ use dlinfma::traj::{TrajPoint, Trajectory};
 /// A dataset with one empty trajectory, one single-fix trajectory, and one
 /// all-spikes trajectory.
 fn degenerate_dataset() -> Dataset {
-    let (_, mut ds) = generate(dlinfma::synth::Preset::DowBJ, dlinfma::synth::Scale::Tiny, 400);
+    let (_, mut ds) = generate(
+        dlinfma::synth::Preset::DowBJ,
+        dlinfma::synth::Scale::Tiny,
+        400,
+    );
     // Trip 0: empty trajectory.
     ds.trips[0].trajectory = Trajectory::new();
     // Trip 1: single fix.
@@ -56,7 +60,10 @@ fn stay_point_extraction_handles_empty_and_spiky_trips() {
     let ds = degenerate_dataset();
     let stays = extract_stay_points(&ds, &ExtractionConfig::paper_defaults());
     assert_eq!(stays.len(), ds.trips.len());
-    assert!(stays[0].stays.is_empty(), "empty trajectory yields no stays");
+    assert!(
+        stays[0].stays.is_empty(),
+        "empty trajectory yields no stays"
+    );
     assert!(stays[1].stays.is_empty(), "single fix yields no stays");
     assert!(
         stays[2].stays.is_empty(),
@@ -136,7 +143,11 @@ fn waybills_with_identical_times_and_duplicated_addresses() {
 fn all_confirmations_maximally_delayed_still_retrievable() {
     use dlinfma::synth::DelayConfig;
     use rand::SeedableRng;
-    let (city, mut ds) = generate(dlinfma::synth::Preset::DowBJ, dlinfma::synth::Scale::Tiny, 401);
+    let (city, mut ds) = generate(
+        dlinfma::synth::Preset::DowBJ,
+        dlinfma::synth::Scale::Tiny,
+        401,
+    );
     let mut rng = rand::rngs::StdRng::seed_from_u64(0);
     dlinfma::synth::inject_delays(
         &mut ds,
@@ -164,5 +175,8 @@ fn all_confirmations_maximally_delayed_still_retrievable() {
         }
     }
     assert!(total > 0);
-    assert!(hit * 10 >= total * 8, "{hit}/{total} retrievable at full delay");
+    assert!(
+        hit * 10 >= total * 8,
+        "{hit}/{total} retrievable at full delay"
+    );
 }

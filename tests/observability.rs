@@ -1,0 +1,86 @@
+//! Observability integration: pipeline-report funnel invariants on a full
+//! Tiny-scale run, positive stage durations, and same-seed determinism of
+//! the reported counts.
+
+use dlinfma::core::{DlInfMa, DlInfMaConfig};
+use dlinfma::obs::stage;
+use dlinfma::synth::{generate, spatial_split, Preset, Scale, Split};
+
+fn prepared(seed: u64) -> (DlInfMa, Split) {
+    let (_, ds) = generate(Preset::DowBJ, Scale::Tiny, seed);
+    let split = spatial_split(&ds, 0.6, 0.2);
+    let mut cfg = DlInfMaConfig::fast();
+    cfg.model.max_epochs = 10;
+    let mut dl = DlInfMa::prepare(&ds, cfg);
+    dl.label_from_dataset(&ds);
+    (dl, split)
+}
+
+#[test]
+fn funnel_counts_satisfy_pipeline_invariants() {
+    let (dl, _) = prepared(7);
+    let r = dl.report();
+    let f = &r.funnel;
+    assert!(f.raw_points > 0);
+    assert!(f.filtered_points <= f.raw_points);
+    assert!(f.stay_points <= f.filtered_points);
+    assert!(f.clusters <= f.stay_points);
+    assert!(f.clusters > 0);
+    // At Tiny scale every address retrieves a handful of candidates, so the
+    // summed retrievals exceed the pool size.
+    assert!(
+        f.candidates_retrieved >= f.clusters,
+        "candidates {} < clusters {}",
+        f.candidates_retrieved,
+        f.clusters
+    );
+    assert!(f.samples_labelled <= f.addresses_sampled);
+    assert!(f.samples_labelled > 0);
+    let violations = r.check_funnel();
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn every_stage_duration_is_positive() {
+    let (mut dl, split) = prepared(8);
+    dl.train(&split.train, &split.val);
+    let r = dl.report();
+    for name in [
+        stage::NOISE_FILTER,
+        stage::STAY_POINTS,
+        stage::CLUSTERING,
+        stage::RETRIEVAL,
+        stage::FEATURES,
+        stage::TRAINING,
+    ] {
+        let s = r
+            .stage(name)
+            .unwrap_or_else(|| panic!("stage '{name}' missing"));
+        assert!(s.duration_ns > 0, "stage '{name}' has zero duration");
+    }
+    assert!(r.total_ns() > 0);
+}
+
+#[test]
+fn same_seed_runs_report_identical_counts() {
+    let (a, _) = prepared(9);
+    let (b, _) = prepared(9);
+    let (ra, rb) = (a.report(), b.report());
+    assert_eq!(ra.funnel, rb.funnel);
+    assert_eq!(ra.stages.len(), rb.stages.len());
+    for (x, y) in ra.stages.iter().zip(&rb.stages) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.items_in, y.items_in, "stage '{}'", x.name);
+        assert_eq!(x.items_out, y.items_out, "stage '{}'", x.name);
+    }
+}
+
+#[test]
+fn report_populates_without_enabling_the_collector() {
+    // No test in this binary calls `obs::enable`, so the global collector
+    // stays disabled — yet the typed report is still filled in.
+    assert!(!dlinfma::obs::enabled());
+    let (dl, _) = prepared(10);
+    assert!(!dl.report().stages.is_empty());
+    assert!(dlinfma::obs::spans_snapshot().is_empty());
+}
