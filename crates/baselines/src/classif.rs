@@ -175,8 +175,7 @@ impl ClassifierVariant {
             .enumerate()
             .max_by(|(_, a), (_, b)| {
                 self.score(&a.to_vec(&self.fcfg))
-                    .partial_cmp(&self.score(&b.to_vec(&self.fcfg)))
-                    .expect("finite scores")
+                    .total_cmp(&self.score(&b.to_vec(&self.fcfg)))
             })
             .map(|(i, _)| i)?;
         Some(pool.candidate(s.candidates[best]).pos)

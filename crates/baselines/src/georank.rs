@@ -30,7 +30,11 @@ fn annotation_features(pts: &[Point], geocode: Point) -> Vec<Vec<f32>> {
             } else {
                 0.0
             };
-            let density = pts.iter().filter(|q| p.distance(q) <= 20.0).count() as f64 / n as f64;
+            let density = pts
+                .iter()
+                .filter(|q| p.distance(q) <= dlinfma_params::D_MAX_M)
+                .count() as f64
+                / n as f64;
             vec![
                 (p.distance(&geocode) / 100.0) as f32,
                 (mean_other / 100.0) as f32,
@@ -65,11 +69,7 @@ impl GeoRank {
             let pos = pts
                 .iter()
                 .enumerate()
-                .min_by(|(_, p), (_, q)| {
-                    p.distance(&truth)
-                        .partial_cmp(&q.distance(&truth))
-                        .expect("finite")
-                })
+                .min_by(|(_, p), (_, q)| p.distance(&truth).total_cmp(&q.distance(&truth)))
                 .map(|(i, _)| i)
                 .expect("len >= 2");
             let feats =

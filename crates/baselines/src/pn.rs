@@ -237,7 +237,7 @@ impl PnMatcher {
             .data()
             .iter()
             .enumerate()
-            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite"))
+            .max_by(|(_, a), (_, b)| a.total_cmp(b))
             .map(|(i, _)| i)?;
         Some(pool.candidate(s.candidates[best]).pos)
     }

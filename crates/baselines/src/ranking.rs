@@ -181,7 +181,7 @@ impl RankingVariant {
             Model::Net(net) => rows
                 .iter()
                 .enumerate()
-                .max_by(|(_, a), (_, b)| net.score(a).partial_cmp(&net.score(b)).expect("finite"))
+                .max_by(|(_, a), (_, b)| net.score(a).total_cmp(&net.score(b)))
                 .map(|(i, _)| i)?,
         };
         Some(pool.candidate(s.candidates[best]).pos)

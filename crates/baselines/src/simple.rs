@@ -159,7 +159,10 @@ fn argmin_by(
     features
         .iter()
         .enumerate()
-        .min_by(|(_, a), (_, b)| key(a).partial_cmp(&key(b)).expect("finite keys"))
+        .min_by(|(_, a), (_, b)| {
+            let (ka, kb) = (key(a), key(b));
+            ka.0.total_cmp(&kb.0).then(ka.1.total_cmp(&kb.1))
+        })
         .map(|(i, _)| i)
 }
 

@@ -214,7 +214,7 @@ impl UNetBaseline {
             .data()
             .iter()
             .enumerate()
-            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite"))
+            .max_by(|(_, a), (_, b)| a.total_cmp(b))
             .map(|(i, _)| i)?;
         Some(raster.cell_center(best))
     }

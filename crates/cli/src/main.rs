@@ -177,7 +177,7 @@ fn run() -> Result<(), String> {
         "generate" => {
             let out = args.get("out").ok_or("generate needs --out FILE")?;
             let (_, dataset) = generate(preset, scale, seed);
-            let json = serde_json::to_string(&dataset).map_err(|e| format!("serialize: {e}"))?;
+            let json = dataset.to_json().render();
             std::fs::write(out, json).map_err(|e| format!("write {out}: {e}"))?;
             println!(
                 "wrote {} ({} addresses, {} trips, {} waybills)",
@@ -346,56 +346,89 @@ mod geojson {
 
     use dlinfma_core::DlInfMa;
     use dlinfma_geo::{LatLng, Point, Projection};
+    use dlinfma_obs::JsonValue;
     use dlinfma_synth::{City, Dataset};
-    use serde_json::{json, Value};
 
-    fn lnglat(proj: &Projection, p: Point) -> Value {
+    fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+        JsonValue::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    fn lnglat(proj: &Projection, p: Point) -> JsonValue {
         let ll = proj.unproject(&p);
-        json!([ll.lng, ll.lat])
+        JsonValue::Arr(vec![JsonValue::Num(ll.lng), JsonValue::Num(ll.lat)])
+    }
+
+    fn feature(proj: &Projection, p: Point, properties: Vec<(&str, JsonValue)>) -> JsonValue {
+        obj(vec![
+            ("type", JsonValue::Str("Feature".into())),
+            (
+                "geometry",
+                obj(vec![
+                    ("type", JsonValue::Str("Point".into())),
+                    ("coordinates", lnglat(proj, p)),
+                ]),
+            ),
+            ("properties", obj(properties)),
+        ])
     }
 
     /// Renders addresses (geocode + ground truth), candidates and inferred
     /// locations as one GeoJSON FeatureCollection string.
     pub fn export(city: &City, dataset: &Dataset, dlinfma: &DlInfMa) -> String {
         let proj = Projection::new(LatLng::new(39.9042, 116.4074));
-        let mut features: Vec<Value> = Vec::new();
+        let mut features: Vec<JsonValue> = Vec::new();
         for a in &city.addresses {
-            features.push(json!({
-                "type": "Feature",
-                "geometry": {"type": "Point", "coordinates": lnglat(&proj, a.geocode)},
-                "properties": {"kind": "geocode", "address": a.id.0}
-            }));
-            features.push(json!({
-                "type": "Feature",
-                "geometry": {"type": "Point", "coordinates": lnglat(&proj, a.true_delivery_location)},
-                "properties": {"kind": "truth", "address": a.id.0, "spot": format!("{:?}", a.true_spot_kind)}
-            }));
+            features.push(feature(
+                &proj,
+                a.geocode,
+                vec![
+                    ("kind", JsonValue::Str("geocode".into())),
+                    ("address", JsonValue::Num(a.id.0 as f64)),
+                ],
+            ));
+            features.push(feature(
+                &proj,
+                a.true_delivery_location,
+                vec![
+                    ("kind", JsonValue::Str("truth".into())),
+                    ("address", JsonValue::Num(a.id.0 as f64)),
+                    ("spot", JsonValue::Str(format!("{:?}", a.true_spot_kind))),
+                ],
+            ));
             if let Some(p) = dlinfma.infer(a.id) {
-                features.push(json!({
-                    "type": "Feature",
-                    "geometry": {"type": "Point", "coordinates": lnglat(&proj, p)},
-                    "properties": {"kind": "inferred", "address": a.id.0}
-                }));
+                features.push(feature(
+                    &proj,
+                    p,
+                    vec![
+                        ("kind", JsonValue::Str("inferred".into())),
+                        ("address", JsonValue::Num(a.id.0 as f64)),
+                    ],
+                ));
             }
         }
         for c in dlinfma.pool().candidates() {
-            features.push(json!({
-                "type": "Feature",
-                "geometry": {"type": "Point", "coordinates": lnglat(&proj, c.pos)},
-                "properties": {
-                    "kind": "candidate",
-                    "id": c.id.0,
-                    "stays": c.profile.n_stays,
-                    "couriers": c.profile.n_couriers,
-                    "avg_dwell_s": c.profile.avg_duration_s
-                }
-            }));
+            features.push(feature(
+                &proj,
+                c.pos,
+                vec![
+                    ("kind", JsonValue::Str("candidate".into())),
+                    ("id", JsonValue::Num(c.id.0 as f64)),
+                    ("stays", JsonValue::Num(c.profile.n_stays as f64)),
+                    ("couriers", JsonValue::Num(c.profile.n_couriers as f64)),
+                    ("avg_dwell_s", JsonValue::Num(c.profile.avg_duration_s)),
+                ],
+            ));
         }
         let _ = dataset;
-        serde_json::to_string_pretty(&json!({
-            "type": "FeatureCollection",
-            "features": features
-        }))
-        .expect("GeoJSON serializes")
+        obj(vec![
+            ("type", JsonValue::Str("FeatureCollection".into())),
+            ("features", JsonValue::Arr(features)),
+        ])
+        .render_pretty()
     }
 }

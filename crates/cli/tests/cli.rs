@@ -1,5 +1,6 @@
 //! End-to-end tests driving the `dlinfma` binary.
 
+use dlinfma_obs::JsonValue;
 use std::process::Command;
 
 fn bin() -> Command {
@@ -48,7 +49,7 @@ fn generate_writes_parseable_json() {
         String::from_utf8_lossy(&out.stderr)
     );
     let json = std::fs::read_to_string(&path).expect("file written");
-    let value: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+    let value = JsonValue::parse(&json).expect("valid JSON");
     assert!(
         value["addresses"]
             .as_array()
@@ -131,9 +132,8 @@ fn eval_verbose_writes_metrics_json() {
     let table = String::from_utf8_lossy(&out.stdout);
     assert!(table.contains("DLInfMA"), "stdout: {table}");
 
-    // The hand-rolled JSON writer round-trips through a real JSON parser.
-    let json: serde_json::Value =
-        serde_json::from_str(&std::fs::read_to_string(&path).expect("written")).expect("valid");
+    // The hand-rolled JSON writer round-trips through the obs parser.
+    let json = JsonValue::parse(&std::fs::read_to_string(&path).expect("written")).expect("valid");
     let spans = json["spans"].as_array().expect("spans array");
     let names: Vec<&str> = spans
         .iter()
@@ -187,9 +187,8 @@ fn geojson_export_is_valid() {
         "{}",
         String::from_utf8_lossy(&out.stderr)
     );
-    let json: serde_json::Value =
-        serde_json::from_str(&std::fs::read_to_string(&path).expect("written")).expect("valid");
-    assert_eq!(json["type"], "FeatureCollection");
+    let json = JsonValue::parse(&std::fs::read_to_string(&path).expect("written")).expect("valid");
+    assert_eq!(json["type"].as_str(), Some("FeatureCollection"));
     let features = json["features"].as_array().expect("features");
     assert!(features.len() > 50);
     // Coordinates are plausible WGS-84 near Beijing.

@@ -20,7 +20,7 @@ pub struct DbscanConfig {
 impl Default for DbscanConfig {
     fn default() -> Self {
         Self {
-            eps: 20.0,
+            eps: dlinfma_params::D_MAX_M,
             min_pts: 1,
         }
     }

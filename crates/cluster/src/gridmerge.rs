@@ -30,20 +30,21 @@ pub fn grid_clusters(points: &[Point], cell_size: f64) -> Vec<Cluster> {
     }
     let mut out: Vec<Cluster> = cells
         .into_values()
-        .map(|members| {
+        .filter_map(|members| {
             let pts: Vec<Point> = members.iter().map(|&i| points[i]).collect();
-            Cluster {
-                centroid: centroid(&pts).expect("cell is occupied"),
+            centroid(&pts).map(|centroid| Cluster {
+                centroid,
                 weight: members.len(),
                 members,
-            }
+            })
         })
         .collect();
     // Deterministic output order regardless of hash iteration.
     out.sort_by(|a, b| {
-        (a.centroid.x, a.centroid.y)
-            .partial_cmp(&(b.centroid.x, b.centroid.y))
-            .expect("finite centroids")
+        a.centroid
+            .x
+            .total_cmp(&b.centroid.x)
+            .then(a.centroid.y.total_cmp(&b.centroid.y))
     });
     out
 }

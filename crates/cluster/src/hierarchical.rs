@@ -69,8 +69,7 @@ impl Ord for Pair {
         // Reverse: BinaryHeap is a max-heap, we want the smallest distance.
         other
             .dist
-            .partial_cmp(&self.dist)
-            .expect("distances are finite")
+            .total_cmp(&self.dist)
             .then_with(|| other.a.cmp(&self.a))
             .then_with(|| other.b.cmp(&self.b))
     }
@@ -269,7 +268,7 @@ mod tests {
         );
         assert_eq!(out.len(), 2);
         let mut centroids: Vec<f64> = out.iter().map(|c| c.centroid.x).collect();
-        centroids.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        centroids.sort_by(f64::total_cmp);
         assert!((centroids[0] - 15.0).abs() < 1e-9);
         assert!((centroids[1] - 100.0).abs() < 1e-9);
     }

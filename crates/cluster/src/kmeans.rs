@@ -40,7 +40,9 @@ pub fn kmeans<R: Rng>(
     centers.push(points[rng.gen_range(0..points.len())]);
     let mut d2: Vec<f64> = points.iter().map(|p| p.distance_sq(&centers[0])).collect();
     while centers.len() < k {
-        let total: f64 = d2.iter().sum();
+        // Non-finite weights (a NaN fix poisons its distance) carry no mass
+        // in the draw; without the filter a NaN total panics `gen_range`.
+        let total: f64 = d2.iter().filter(|w| w.is_finite()).sum();
         let next = if total <= f64::EPSILON {
             // All remaining points coincide with a center; pick any.
             points[rng.gen_range(0..points.len())]
@@ -48,6 +50,9 @@ pub fn kmeans<R: Rng>(
             let mut target = rng.gen_range(0.0..total);
             let mut chosen = points.len() - 1;
             for (i, &w) in d2.iter().enumerate() {
+                if !w.is_finite() {
+                    continue;
+                }
                 if target < w {
                     chosen = i;
                     break;
@@ -72,12 +77,9 @@ pub fn kmeans<R: Rng>(
             let best = centers
                 .iter()
                 .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    p.distance_sq(a)
-                        .partial_cmp(&p.distance_sq(b))
-                        .expect("finite")
-                })
+                .min_by(|(_, a), (_, b)| p.distance_sq(a).total_cmp(&p.distance_sq(b)))
                 .map(|(j, _)| j)
+                // lint: allow(L2, centers always holds the first seeded center)
                 .expect("k >= 1");
             if assignment[i] != best {
                 assignment[i] = best;
@@ -161,7 +163,7 @@ mod tests {
         let res = kmeans(&pts, 2, 50, &mut rng).unwrap();
         assert_eq!(res.centers.len(), 2);
         let mut xs: Vec<f64> = res.centers.iter().map(|c| c.x).collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.sort_by(f64::total_cmp);
         assert!(xs[0].abs() < 5.0, "center near origin, got {}", xs[0]);
         assert!(
             (xs[1] - 200.0).abs() < 5.0,
@@ -174,6 +176,25 @@ mod tests {
             .iter()
             .all(|&a| a == res.assignment[50]));
         assert_ne!(res.assignment[0], res.assignment[50]);
+    }
+
+    /// Regression: a NaN fix (corrupt GPS row) must not panic k-means.
+    /// The seeding draw skips non-finite weights and `total_cmp` gives NaN
+    /// distances a defined order, so Lloyd iterations terminate and every
+    /// point still gets an assignment.
+    #[test]
+    fn nan_coordinates_do_not_panic() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut pts: Vec<Point> = (0..20)
+            .map(|i| Point::new((i % 5) as f64 * 10.0, (i / 5) as f64 * 10.0))
+            .collect();
+        pts.push(Point::new(f64::NAN, f64::NAN));
+        let res = kmeans(&pts, 3, 20, &mut rng).unwrap();
+        assert_eq!(res.assignment.len(), pts.len());
+        assert!((1..=3).contains(&res.centers.len()));
+        for &a in &res.assignment {
+            assert!(a < res.centers.len());
+        }
     }
 
     #[test]

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 //! Clustering algorithms for stay points.
 //!
 //! The paper's candidate-pool construction (Section III-B) clusters couriers'

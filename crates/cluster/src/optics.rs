@@ -21,7 +21,7 @@ pub struct OpticsConfig {
 impl Default for OpticsConfig {
     fn default() -> Self {
         Self {
-            max_eps: 40.0,
+            max_eps: dlinfma_params::CLUSTER_DISTANCE_M,
             min_pts: 3,
         }
     }
@@ -63,8 +63,8 @@ pub fn optics_ordering(points: &[Point], cfg: &OpticsConfig) -> Vec<OrderedPoint
             return None;
         }
         let mut ds: Vec<f64> = nbrs.iter().map(|&(_, d)| d).collect();
-        ds.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        Some(ds[cfg.min_pts - 1])
+        ds.sort_by(f64::total_cmp);
+        ds.get(cfg.min_pts.checked_sub(1)?).copied()
     };
 
     for start in 0..n {
@@ -105,15 +105,13 @@ pub fn optics_ordering(points: &[Point], cfg: &OpticsConfig) -> Vec<OrderedPoint
 
         while !seeds.is_empty() {
             // Pop the seed with the smallest reachability.
-            let (pos, &next) = seeds
+            let Some((pos, &next)) = seeds
                 .iter()
                 .enumerate()
-                .min_by(|(_, &a), (_, &b)| {
-                    reachability[a]
-                        .partial_cmp(&reachability[b])
-                        .expect("finite")
-                })
-                .expect("non-empty");
+                .min_by(|(_, &a), (_, &b)| reachability[a].total_cmp(&reachability[b]))
+            else {
+                break;
+            };
             seeds.swap_remove(pos);
             if processed[next] {
                 continue;

@@ -213,15 +213,16 @@ impl IncrementalPoolBuilder {
                     old_remap[m] = idx;
                     &self.aggs[m]
                 } else {
-                    new_remap[m - n_old] = idx;
-                    &new_aggs[m - n_old]
+                    let j = m - n_old;
+                    new_remap[j] = idx;
+                    &new_aggs[j]
                 };
                 match &mut agg {
                     Some(a) => a.merge_into(part),
                     None => agg = Some(part.clone()),
                 }
             }
-            let mut agg = agg.expect("clusters are non-empty");
+            let Some(mut agg) = agg else { continue };
             agg.pos = cluster.centroid;
             next_aggs.push(agg);
         }
@@ -268,7 +269,7 @@ impl IncrementalPoolBuilder {
             trip_visits[trip.0 as usize].push((CandidateId(agg as u32), t));
         }
         for visits in &mut trip_visits {
-            visits.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"));
+            visits.sort_by(|a, b| a.1.total_cmp(&b.1));
         }
 
         let kdtree = KdTree::build(candidates.iter().map(|c| (c.pos, c.id)).collect());
@@ -331,7 +332,7 @@ pub fn build_pool_grid(dataset: &Dataset, stays: &[TripStays], cell_size: f64) -
                 None => agg = Some(part),
             }
         }
-        let mut agg = agg.expect("clusters are non-empty");
+        let Some(mut agg) = agg else { continue };
         agg.pos = cluster.centroid;
         let idx = builder.aggs.len();
         builder.aggs.push(agg);
@@ -358,8 +359,8 @@ pub fn build_pool_station_parallel(
     let n_stations = dataset.stations.len().max(1);
     let mut per_station: Vec<Vec<TripStays>> = vec![Vec::new(); n_stations];
     for ts in stays {
-        let s = dataset.trip(ts.trip).station.0 as usize;
-        per_station[s.min(n_stations - 1)].push(ts.clone());
+        let s = (dataset.trip(ts.trip).station.0 as usize).min(n_stations - 1);
+        per_station[s].push(ts.clone());
     }
 
     // Cluster each station independently in parallel.
@@ -378,6 +379,7 @@ pub fn build_pool_station_parallel(
             });
         }
     })
+    // lint: allow(L2, scope errs only when a worker panicked; re-panicking is correct)
     .expect("station workers do not panic");
 
     // Merge station pools: one more clustering pass over all aggregates.
@@ -413,7 +415,7 @@ pub fn build_pool_station_parallel(
                 None => agg = Some(merged.aggs[m].clone()),
             }
         }
-        let mut agg = agg.expect("clusters are non-empty");
+        let Some(mut agg) = agg else { continue };
         agg.pos = cluster.centroid;
         next_aggs.push(agg);
     }
@@ -439,8 +441,7 @@ pub fn build_pool_incremental(
         dataset
             .trip(a.trip)
             .t_start
-            .partial_cmp(&dataset.trip(b.trip).t_start)
-            .expect("finite")
+            .total_cmp(&dataset.trip(b.trip).t_start)
     });
     let mut builder = IncrementalPoolBuilder::new();
     let mut batch: Vec<TripStays> = Vec::new();

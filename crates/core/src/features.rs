@@ -419,8 +419,7 @@ mod tests {
                     pool.candidate(**a)
                         .pos
                         .distance(&gt)
-                        .partial_cmp(&pool.candidate(**b).pos.distance(&gt))
-                        .unwrap()
+                        .total_cmp(&pool.candidate(**b).pos.distance(&gt))
                 })
                 .map(|(i, _)| i)
                 .unwrap();

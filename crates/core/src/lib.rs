@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 //! DLInfMA — Delivery Location Inference under Mis-Annotation.
 //!
 //! The primary contribution of *"Discovering Actual Delivery Locations from
@@ -29,6 +30,7 @@ pub use candidates::{
     build_pool, build_pool_grid, build_pool_incremental, build_pool_station_parallel, CandidateId,
     CandidatePool, IncrementalPoolBuilder, LocationCandidate, LocationProfile, TIME_BINS,
 };
+pub use dlinfma_params as params;
 pub use features::{AddressSample, CandidateFeatures, FeatureConfig, FeatureExtractor};
 pub use locmatcher::{LocMatcher, LocMatcherConfig, TrainReport};
 pub use pipeline::{DlInfMa, DlInfMaConfig, PoolMethod};

@@ -143,6 +143,7 @@ fn soft_targets(distances: &[f64], tau: f64) -> Vec<f32> {
 /// the label's new index. `keep_prob >= 1` returns the sample unchanged.
 fn augment(sample: &AddressSample, keep_prob: f64, rng: &mut StdRng) -> (AddressSample, usize) {
     use rand::Rng;
+    // lint: allow(L2, train() is only handed labelled samples by construction)
     let target = sample.label.expect("training samples are labelled");
     if keep_prob >= 1.0 || sample.candidates.len() <= 2 {
         return (sample.clone(), target);
@@ -445,6 +446,7 @@ impl LocMatcher {
                 best = Some((score, model));
             }
         }
+        // lint: allow(L2, the assert above guarantees at least one iteration)
         best.expect("grid is non-empty").1
     }
 

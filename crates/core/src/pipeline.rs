@@ -26,9 +26,9 @@ use crate::retrieval::{collect_evidence, retrieve_candidates};
 use crate::staypoints::{extract_stay_points_parallel_with_stats, ExtractionConfig};
 use dlinfma_geo::Point;
 use dlinfma_obs::{self as obs, stage, PipelineReport};
+use dlinfma_params as params;
 use dlinfma_synth::{AddressId, Dataset};
 use std::collections::HashMap;
-use std::time::Instant;
 
 /// Which clustering backs the candidate pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,7 +62,7 @@ impl DlInfMaConfig {
     pub fn paper_defaults() -> Self {
         Self {
             extraction: ExtractionConfig::paper_defaults(),
-            clustering_distance_m: 40.0,
+            clustering_distance_m: params::CLUSTER_DISTANCE_M,
             pool_method: PoolMethod::Hierarchical,
             features: FeatureConfig::default(),
             model: LocMatcherConfig::paper_defaults(),
@@ -77,7 +77,7 @@ impl DlInfMaConfig {
     pub fn fast() -> Self {
         Self {
             model: LocMatcherConfig::fast(),
-            clustering_distance_m: 30.0,
+            clustering_distance_m: params::TUNED_CLUSTER_DISTANCE_M,
             ..Self::paper_defaults()
         }
     }
@@ -122,7 +122,7 @@ impl DlInfMa {
             Some(stats.stay_points),
         );
 
-        let t = Instant::now();
+        let t = obs::Stopwatch::start();
         let pool = {
             let _span = obs::span(stage::CLUSTERING);
             match cfg.pool_method {
@@ -132,35 +132,36 @@ impl DlInfMa {
         };
         report.push_stage(
             stage::CLUSTERING,
-            (t.elapsed().as_nanos() as u64).max(1),
+            t.elapsed_ns().max(1),
             Some(stats.stay_points),
             Some(pool.len() as u64),
         );
 
-        let t = Instant::now();
+        let t = obs::Stopwatch::start();
         let extractor = FeatureExtractor::new(dataset, &pool, cfg.features);
-        let mut feature_ns = (t.elapsed().as_nanos() as u64).max(1);
+        let mut feature_ns = t.elapsed_ns().max(1);
         let mut retrieval_ns = 1u64;
         let mut candidates_retrieved = 0u64;
         let cand_hist = obs::enabled().then(|| {
             obs::histogram(
                 "retrieval/candidate-set-size",
+                // lint: allow(L3, bucket edge in a 1-2-5 series of counts, not the 20 m stay radius)
                 &[1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0],
             )
         });
         let evidence = collect_evidence(dataset);
         let mut samples = HashMap::with_capacity(evidence.len());
         for e in &evidence {
-            let t = Instant::now();
+            let t = obs::Stopwatch::start();
             let candidates = retrieve_candidates(&pool, e);
-            retrieval_ns += t.elapsed().as_nanos() as u64;
+            retrieval_ns += t.elapsed_ns();
             candidates_retrieved += candidates.len() as u64;
             if let Some(h) = &cand_hist {
                 h.observe(candidates.len() as f64);
             }
-            let t = Instant::now();
+            let t = obs::Stopwatch::start();
             let sample = extractor.sample_with_candidates(e, candidates);
-            feature_ns += t.elapsed().as_nanos() as u64;
+            feature_ns += t.elapsed_ns();
             samples.insert(e.address, sample);
         }
         obs::record_duration(stage::RETRIEVAL, retrieval_ns);
@@ -251,12 +252,12 @@ impl DlInfMa {
         };
         let train_samples = collect(train);
         let val_samples = collect(val);
-        let t = Instant::now();
+        let t = obs::Stopwatch::start();
         let mut model = LocMatcher::new(self.cfg.model);
         let report = model.train_with_progress(&train_samples, &val_samples, progress);
         self.report.push_stage(
             stage::TRAINING,
-            (t.elapsed().as_nanos() as u64).max(1),
+            t.elapsed_ns().max(1),
             Some(train_samples.len() as u64),
             Some(report.epochs as u64),
         );
@@ -368,7 +369,7 @@ mod tests {
         let (_, ds) = generate(Preset::DowBJ, Scale::Tiny, 14);
         let mut dlinfma = DlInfMa::prepare(&ds, DlInfMaConfig::fast());
         // A NaN ground-truth point makes every candidate distance NaN; the
-        // old partial_cmp().expect() labelling panicked here.
+        // old partial_cmp-then-expect labelling panicked here.
         dlinfma.label_with(&|_| Some(Point::new(f64::NAN, f64::NAN)));
         for s in dlinfma.samples() {
             assert_eq!(s.label, None, "non-finite distances must not label");

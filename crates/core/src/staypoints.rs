@@ -5,6 +5,7 @@
 //! parallelization (Section V-F): trips are processed on a crossbeam scope
 //! across available cores.
 
+use dlinfma_obs as obs;
 use dlinfma_synth::{Dataset, TripId};
 use dlinfma_traj::{
     detect_stay_points, filter_noise, NoiseFilterConfig, StayPoint, StayPointConfig,
@@ -69,15 +70,16 @@ fn extract_trip(
     cfg: &ExtractionConfig,
     stats: &mut ExtractionStats,
 ) -> TripStays {
-    let t0 = std::time::Instant::now();
+    let watch = obs::Stopwatch::start();
     let filtered = filter_noise(&t.trajectory, &cfg.noise);
-    let t1 = std::time::Instant::now();
+    let filter_ns = watch.elapsed_ns();
+    let watch = obs::Stopwatch::start();
     let stays = detect_stay_points(&filtered, &cfg.stay);
     stats.raw_points += t.trajectory.len() as u64;
     stats.filtered_points += filtered.len() as u64;
     stats.stay_points += stays.len() as u64;
-    stats.noise_filter_ns += (t1 - t0).as_nanos() as u64;
-    stats.detect_ns += t1.elapsed().as_nanos() as u64;
+    stats.noise_filter_ns += filter_ns;
+    stats.detect_ns += watch.elapsed_ns();
     TripStays { trip: t.id, stays }
 }
 
@@ -140,6 +142,7 @@ pub fn extract_stay_points_parallel_with_stats(
             });
         }
     })
+    // lint: allow(L2, scope errs only when a worker panicked; re-panicking is correct)
     .expect("stay-point workers do not panic");
     let mut stats = ExtractionStats::default();
     for s in &chunk_stats {
@@ -147,6 +150,7 @@ pub fn extract_stay_points_parallel_with_stats(
     }
     let out = out
         .into_iter()
+        // lint: allow(L2, every slot is written by its chunk's worker before the scope joins)
         .map(|s| s.expect("every slot filled"))
         .collect();
     (out, stats)
@@ -156,6 +160,48 @@ pub fn extract_stay_points_parallel_with_stats(
 mod tests {
     use super::*;
     use dlinfma_synth::{generate, Preset, Scale};
+    use proptest::prelude::*;
+    use std::sync::OnceLock;
+
+    /// One shared Tiny world: dataset generation dominates a proptest case,
+    /// so every case reuses it and varies only the thresholds.
+    fn dataset() -> &'static Dataset {
+        static DS: OnceLock<Dataset> = OnceLock::new();
+        DS.get_or_init(|| generate(Preset::DowBJ, Scale::Tiny, 3).1)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn stays_respect_d_max_and_t_min(
+            d_max in 5.0..40.0f64,
+            t_min in 10.0..120.0f64,
+        ) {
+            let ds = dataset();
+            let cfg = ExtractionConfig {
+                stay: dlinfma_traj::StayPointConfig {
+                    d_max_m: d_max,
+                    t_min_s: t_min,
+                },
+                ..ExtractionConfig::default()
+            };
+            let out = extract_stay_points(ds, &cfg);
+            prop_assert_eq!(out.len(), ds.trips.len());
+            for ts in &out {
+                for s in &ts.stays {
+                    // Definition 4: a stay spans at least T_min and needs
+                    // at least two fixes to span any time at all.
+                    prop_assert!(s.duration() >= t_min);
+                    prop_assert!(s.n_points >= 2);
+                }
+                // Chronological and disjoint within a trip.
+                for w in ts.stays.windows(2) {
+                    prop_assert!(w[0].t_end <= w[1].t_start);
+                }
+            }
+        }
+    }
 
     #[test]
     fn sequential_and_parallel_agree() {

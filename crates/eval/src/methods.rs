@@ -219,7 +219,7 @@ fn samples_with_features(
 
 /// Evaluates one method over the world's test split and returns the metrics.
 pub fn evaluate(world: &ExperimentWorld, method: Method) -> MethodResult {
-    let start = std::time::Instant::now();
+    let start = dlinfma_obs::Stopwatch::start();
     let errors = evaluate_errors(world, method);
     MethodResult {
         name: method.name(),
@@ -243,7 +243,7 @@ pub fn evaluate_errors(world: &ExperimentWorld, method: Method) -> Vec<f64> {
             world.test_errors(|a| m.infer(a))
         }
         Method::GeoCloud => {
-            let m = geocloud(&world.ann, 20.0);
+            let m = geocloud(&world.ann, dlinfma_params::D_MAX_M);
             world.test_errors(|a| m.infer(a))
         }
         Method::GeoRank => {

@@ -34,8 +34,8 @@ pub struct ExperimentWorld {
 pub fn pipeline_config(preset: Preset) -> DlInfMaConfig {
     let mut cfg = DlInfMaConfig::fast();
     cfg.clustering_distance_m = match preset {
-        Preset::DowBJ => 30.0,
-        Preset::SubBJ => 40.0,
+        Preset::DowBJ => dlinfma_params::TUNED_CLUSTER_DISTANCE_M,
+        Preset::SubBJ => dlinfma_params::CLUSTER_DISTANCE_M,
     };
     cfg
 }

@@ -1,11 +1,10 @@
 //! Axis-aligned bounding boxes in the local metric frame.
 
 use crate::point::Point;
-use serde::{Deserialize, Serialize};
 
 /// An axis-aligned bounding box. `min` is the south-west corner, `max` the
 /// north-east corner; both are inclusive.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BBox {
     /// South-west (minimum x and y) corner.
     pub min: Point,

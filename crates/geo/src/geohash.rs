@@ -6,7 +6,7 @@
 //! baseline can locate a center cell and enumerate its neighbourhood.
 
 use crate::latlng::LatLng;
-use serde::{Deserialize, Serialize};
+
 use std::fmt;
 
 const BASE32: &[u8; 32] = b"0123456789bcdefghjkmnpqrstuvwxyz";
@@ -23,7 +23,7 @@ fn base32_index(c: u8) -> Option<u32> {
 /// `lat_bits`/`lng_bits` hold the cell's row/column index at the given
 /// precision, which makes neighbour arithmetic (needed for the 9×9 raster)
 /// exact instead of string-based.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GeoHash {
     lat_bits: u64,
     lng_bits: u64,
@@ -89,7 +89,7 @@ impl GeoHash {
         let total_bits = self.precision as u32 * 5;
         let lng_nbits = total_bits.div_ceil(2);
         let lat_nbits = total_bits / 2;
-        let mut chars = Vec::with_capacity(self.precision as usize);
+        let mut chars = String::with_capacity(self.precision as usize);
         let mut acc: u32 = 0;
         let mut nacc = 0;
         let mut lng_i = lng_nbits;
@@ -105,12 +105,12 @@ impl GeoHash {
             acc = (acc << 1) | bit as u32;
             nacc += 1;
             if nacc == 5 {
-                chars.push(BASE32[acc as usize]);
+                chars.push(BASE32[acc as usize] as char);
                 acc = 0;
                 nacc = 0;
             }
         }
-        String::from_utf8(chars).expect("base32 output is ASCII")
+        chars
     }
 
     /// The south-west corner and extent of the cell, as

@@ -46,10 +46,10 @@ impl<T> KdTree<T> {
             } else {
                 (a.0.y, b.0.y)
             };
-            ka.partial_cmp(&kb).expect("coordinates must not be NaN")
+            ka.total_cmp(&kb)
         });
         let mut right_items: Vec<(Point, T)> = items.split_off(mid + 1);
-        let (point, value) = items.pop().expect("mid element exists");
+        let (point, value) = items.pop()?;
         let left = self.build_rec(items, depth + 1);
         let right = self.build_rec(&mut right_items, depth + 1);
         let idx = self.nodes.len();

@@ -1,13 +1,12 @@
 //! WGS-84 coordinates and the local metric projection.
 
 use crate::point::Point;
-use serde::{Deserialize, Serialize};
 
 /// Mean Earth radius in meters (IUGG).
 pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
 
 /// A WGS-84 coordinate in decimal degrees.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatLng {
     /// Latitude in degrees, positive north. Valid range `[-90, 90]`.
     pub lat: f64,
@@ -38,7 +37,7 @@ impl LatLng {
 /// the pipeline. At city scale (≤ 50 km from the origin) the distortion
 /// relative to the haversine distance is below 0.1%, i.e. centimeters —
 /// negligible next to GPS noise.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Projection {
     origin: LatLng,
     cos_lat: f64,
@@ -144,6 +143,43 @@ mod tests {
             let d1 = BEIJING.haversine(&other);
             let d2 = other.haversine(&BEIJING);
             prop_assert!((d1 - d2).abs() < 1e-6);
+        }
+
+        #[test]
+        fn haversine_triangle_inequality(
+            (dlat1, dlng1) in (-0.5..0.5f64, -0.5..0.5f64),
+            (dlat2, dlng2) in (-0.5..0.5f64, -0.5..0.5f64),
+        ) {
+            let a = BEIJING;
+            let b = LatLng::new(BEIJING.lat + dlat1, BEIJING.lng + dlng1);
+            let c = LatLng::new(BEIJING.lat + dlat2, BEIJING.lng + dlng2);
+            let (ab, bc, ac) = (a.haversine(&b), b.haversine(&c), a.haversine(&c));
+            prop_assert!(ac <= ab + bc + 1e-6, "{ac} > {ab} + {bc}");
+        }
+
+        #[test]
+        fn projection_agrees_with_haversine_under_50km(
+            (dlat1, dlng1) in (-0.3..0.3f64, -0.35..0.35f64),
+            (dlat2, dlng2) in (-0.3..0.3f64, -0.35..0.35f64),
+        ) {
+            // Both endpoints stay within ~45 km of the projection origin.
+            // The dominant distortion is the fixed cos(origin.lat) scale
+            // applied to east-west spans at latitudes 0.3 deg off the
+            // origin: cos(40.2)/cos(39.9) - 1 is about 0.45%, so a 1%
+            // relative bound holds with margin while still catching a
+            // broken projection (wrong axis, degrees-vs-radians, missing
+            // cos factor are all tens of percent off). The absolute slack
+            // covers near-coincident pairs where the relative error is
+            // ill-conditioned.
+            let proj = Projection::new(BEIJING);
+            let a = LatLng::new(BEIJING.lat + dlat1, BEIJING.lng + dlng1);
+            let b = LatLng::new(BEIJING.lat + dlat2, BEIJING.lng + dlng2);
+            let planar = proj.project(&a).distance(&proj.project(&b));
+            let sphere = a.haversine(&b);
+            prop_assert!(
+                (planar - sphere).abs() < 1e-2 * sphere + 0.5,
+                "planar {planar} vs haversine {sphere}"
+            );
         }
     }
 }

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 //! Geographic primitives for the DLInfMA reproduction.
 //!
 //! All pipeline geometry operates on [`Point`]s in a *local metric frame*:

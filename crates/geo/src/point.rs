@@ -1,39 +1,31 @@
 //! Planar points in the local metric frame.
-
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, Div, Mul, Sub};
-
 /// A point in the local metric frame: `x` meters east and `y` meters north
 /// of the dataset origin.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {
     /// Meters east of the origin.
     pub x: f64,
     /// Meters north of the origin.
     pub y: f64,
 }
-
 impl Point {
     /// Creates a point from east/north offsets in meters.
     pub const fn new(x: f64, y: f64) -> Self {
         Self { x, y }
     }
-
     /// The origin of the local frame.
     pub const ZERO: Point = Point { x: 0.0, y: 0.0 };
-
     /// Euclidean distance to `other` in meters.
     pub fn distance(&self, other: &Point) -> f64 {
         (self.x - other.x).hypot(self.y - other.y)
     }
-
     /// Squared Euclidean distance, cheaper when only comparisons are needed.
     pub fn distance_sq(&self, other: &Point) -> f64 {
         let dx = self.x - other.x;
         let dy = self.y - other.y;
         dx * dx + dy * dy
     }
-
     /// Linear interpolation: returns the point a fraction `t` of the way from
     /// `self` to `other` (`t = 0` is `self`, `t = 1` is `other`).
     pub fn lerp(&self, other: &Point, t: f64) -> Point {
@@ -42,46 +34,39 @@ impl Point {
             self.y + (other.y - self.y) * t,
         )
     }
-
     /// Euclidean norm of the point treated as a vector from the origin.
     pub fn norm(&self) -> f64 {
         self.x.hypot(self.y)
     }
-
     /// Returns true when both coordinates are finite.
     pub fn is_finite(&self) -> bool {
         self.x.is_finite() && self.y.is_finite()
     }
 }
-
 impl Add for Point {
     type Output = Point;
     fn add(self, rhs: Point) -> Point {
         Point::new(self.x + rhs.x, self.y + rhs.y)
     }
 }
-
 impl Sub for Point {
     type Output = Point;
     fn sub(self, rhs: Point) -> Point {
         Point::new(self.x - rhs.x, self.y - rhs.y)
     }
 }
-
 impl Mul<f64> for Point {
     type Output = Point;
     fn mul(self, rhs: f64) -> Point {
         Point::new(self.x * rhs, self.y * rhs)
     }
 }
-
 impl Div<f64> for Point {
     type Output = Point;
     fn div(self, rhs: f64) -> Point {
         Point::new(self.x / rhs, self.y / rhs)
     }
 }
-
 /// Spatial centroid (arithmetic mean) of a non-empty set of points.
 ///
 /// Returns `None` for an empty slice; the candidate-pool code treats an empty
@@ -96,12 +81,10 @@ pub fn centroid(points: &[Point]) -> Option<Point> {
     }
     Some(sum / points.len() as f64)
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use proptest::prelude::*;
-
     #[test]
     fn distance_is_euclidean() {
         let a = Point::new(0.0, 0.0);
@@ -109,13 +92,11 @@ mod tests {
         assert!((a.distance(&b) - 5.0).abs() < 1e-12);
         assert!((a.distance_sq(&b) - 25.0).abs() < 1e-12);
     }
-
     #[test]
     fn distance_to_self_is_zero() {
         let p = Point::new(12.5, -7.25);
         assert_eq!(p.distance(&p), 0.0);
     }
-
     #[test]
     fn lerp_endpoints_and_midpoint() {
         let a = Point::new(0.0, 0.0);
@@ -125,18 +106,15 @@ mod tests {
         let mid = a.lerp(&b, 0.5);
         assert_eq!(mid, Point::new(5.0, -10.0));
     }
-
     #[test]
     fn centroid_of_empty_is_none() {
         assert!(centroid(&[]).is_none());
     }
-
     #[test]
     fn centroid_of_single_point_is_itself() {
         let p = Point::new(1.0, 2.0);
         assert_eq!(centroid(&[p]), Some(p));
     }
-
     #[test]
     fn centroid_of_square_is_center() {
         let pts = [
@@ -148,7 +126,6 @@ mod tests {
         let c = centroid(&pts).unwrap();
         assert!((c.x - 1.0).abs() < 1e-12 && (c.y - 1.0).abs() < 1e-12);
     }
-
     #[test]
     fn vector_ops() {
         let a = Point::new(1.0, 2.0);
@@ -158,27 +135,22 @@ mod tests {
         assert_eq!(a * 2.0, Point::new(2.0, 4.0));
         assert_eq!(b / 2.0, Point::new(1.5, -0.5));
     }
-
     fn arb_point() -> impl Strategy<Value = Point> {
         (-1e6..1e6f64, -1e6..1e6f64).prop_map(|(x, y)| Point::new(x, y))
     }
-
     proptest! {
         #[test]
         fn distance_symmetry(a in arb_point(), b in arb_point()) {
             prop_assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-9);
         }
-
         #[test]
         fn distance_nonnegative(a in arb_point(), b in arb_point()) {
             prop_assert!(a.distance(&b) >= 0.0);
         }
-
         #[test]
         fn triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
             prop_assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-6);
         }
-
         #[test]
         fn centroid_within_bbox(pts in proptest::collection::vec(arb_point(), 1..50)) {
             let c = centroid(&pts).unwrap();
@@ -187,7 +159,6 @@ mod tests {
             prop_assert!(c.x >= min_x - 1e-6 && c.x <= max_x + 1e-6);
             prop_assert!(c.y >= min_y - 1e-6 && c.y <= max_y + 1e-6);
         }
-
         #[test]
         fn centroid_translation_equivariant(pts in proptest::collection::vec(arb_point(), 1..20), dx in -1e3..1e3f64, dy in -1e3..1e3f64) {
             let shift = Point::new(dx, dy);

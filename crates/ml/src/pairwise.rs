@@ -120,6 +120,17 @@ mod tests {
         assert_eq!(rows[1], vec![1.0, 2.0, 3.0, 4.0]);
     }
 
+    /// Regression: a scorer that returns NaN (an untrained or diverged
+    /// model) must never panic the voting path — every `NaN > 0.5`
+    /// comparison is simply false, so the first index wins by tie-break.
+    #[test]
+    fn nan_scores_do_not_panic_vote_best() {
+        let rows: Vec<Vec<f32>> = (0..4).map(|i| vec![i as f32, 1.0]).collect();
+        let feats = FeatureMatrix::from_rows(&rows);
+        let scorer = |_: &[f32], _: &[f32]| f64::NAN;
+        assert_eq!(vote_best(&feats, &scorer), Some(0));
+    }
+
     /// End-to-end: a decision-tree pairwise ranker (the GeoRank construction)
     /// learns to pick the candidate with the largest first feature.
     #[test]
@@ -139,7 +150,7 @@ mod tests {
             let pos = g
                 .iter()
                 .enumerate()
-                .max_by(|(_, a), (_, b)| a[0].partial_cmp(&b[0]).unwrap())
+                .max_by(|(_, a), (_, b)| a[0].total_cmp(&b[0]))
                 .map(|(i, _)| i)
                 .unwrap();
             make_training_pairs(&feats, pos, &mut rows, &mut labels);
@@ -171,7 +182,7 @@ mod tests {
             let want = cand
                 .iter()
                 .enumerate()
-                .max_by(|(_, a), (_, b)| a[0].partial_cmp(&b[0]).unwrap())
+                .max_by(|(_, a), (_, b)| a[0].total_cmp(&b[0]))
                 .map(|(i, _)| i)
                 .unwrap();
             let feats = FeatureMatrix::from_rows(&cand);

@@ -75,9 +75,7 @@ impl PartialEq for Candidate {
 impl Eq for Candidate {}
 impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.gain
-            .partial_cmp(&other.gain)
-            .expect("gains are finite")
+        self.gain.total_cmp(&other.gain)
     }
 }
 impl PartialOrd for Candidate {
@@ -142,11 +140,7 @@ fn best_split<R: Rng>(
     let mut best: Option<(usize, f32, f64)> = None;
     let mut order: Vec<usize> = samples.to_vec();
     for &f in &features {
-        order.sort_by(|&a, &b| {
-            x.at(a, f)
-                .partial_cmp(&x.at(b, f))
-                .expect("features are finite")
-        });
+        order.sort_by(|&a, &b| x.at(a, f).total_cmp(&x.at(b, f)));
         let (mut lw, mut lwy, mut lwy2) = (0.0f64, 0.0f64, 0.0f64);
         let mut n_left = 0usize;
         for k in 0..order.len() - 1 {

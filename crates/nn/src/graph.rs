@@ -423,6 +423,7 @@ impl Graph {
     /// `p` and scales survivors by `1/(1-p)`; at eval time is the identity.
     pub fn dropout<R: Rng>(&mut self, a: Var, p: f32, training: bool, rng: &mut R) -> Var {
         assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1)");
+        // lint: allow(L5, exact 0 disables dropout; any nonzero p takes the other branch)
         if !training || p == 0.0 {
             let v = self.nodes[a.0].value.clone();
             let mask = Tensor::full(v.shape().to_vec(), 1.0);
@@ -811,6 +812,7 @@ impl Graph {
                     for oy in 0..oh {
                         for ox in 0..ow {
                             let gv = g.data()[c_out * oh * ow + oy * ow + ox];
+                            // lint: allow(L5, sparsity fast path; skipping exact zeros only avoids work)
                             if gv == 0.0 {
                                 continue;
                             }

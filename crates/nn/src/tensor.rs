@@ -166,6 +166,7 @@ impl Tensor {
         for i in 0..m {
             let arow = &self.data[i * k..(i + 1) * k];
             for (kk, &a) in arow.iter().enumerate() {
+                // lint: allow(L5, sparsity fast path; skipping exact zeros only avoids work)
                 if a == 0.0 {
                     continue;
                 }

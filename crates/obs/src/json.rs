@@ -1,10 +1,11 @@
-//! A minimal JSON value and writer.
+//! A minimal JSON value, writer and parser.
 //!
 //! The obs crate must stay dependency-free (offline registry), so exporters
 //! build a [`JsonValue`] tree and render it themselves instead of pulling in
 //! serde. Output is standard JSON: strings are escaped, non-finite numbers
 //! serialise as `null`, and integral floats print without a fraction so the
-//! files diff cleanly.
+//! files diff cleanly. [`JsonValue::parse`] is the matching recursive-descent
+//! reader used by the CLI and the integration tests.
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +71,96 @@ impl JsonValue {
         }
     }
 
+    /// Parses a JSON document.
+    ///
+    /// Accepts exactly the grammar of RFC 8259 (objects, arrays, strings
+    /// with escapes incl. `\uXXXX` surrogate pairs, numbers, booleans,
+    /// `null`); trailing garbage after the top-level value is an error.
+    pub fn parse(input: &str) -> Result<JsonValue, JsonParseError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(v)
+    }
+
+    /// Member lookup: `Some(&value)` if `self` is an object with key `key`.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Element lookup: `Some(&value)` if `self` is an array with index `idx`.
+    pub fn get_idx(&self, idx: usize) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Arr(items) => items.get(idx),
+            _ => None,
+        }
+    }
+
+    /// The elements if `self` is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields if `self` is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The number if `self` is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string contents if `self` is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean if `self` is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True if `self` is an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, JsonValue::Obj(_))
+    }
+
+    /// True if `self` is an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self, JsonValue::Arr(_))
+    }
+
+    /// True if `self` is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+
     fn write_pretty(&self, out: &mut String, indent: usize) {
         match self {
             JsonValue::Arr(items) if !items.is_empty() => {
@@ -105,6 +196,262 @@ impl JsonValue {
     }
 }
 
+/// Static `null` used by the panicking `Index` impls for absent members, so
+/// chained lookups (`v["a"]["b"]`) degrade to `Null` instead of panicking on
+/// the first missing key.
+static NULL: JsonValue = JsonValue::Null;
+
+impl std::ops::Index<&str> for JsonValue {
+    type Output = JsonValue;
+
+    fn index(&self, key: &str) -> &JsonValue {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for JsonValue {
+    type Output = JsonValue;
+
+    fn index(&self, idx: usize) -> &JsonValue {
+        self.get_idx(idx).unwrap_or(&NULL)
+    }
+}
+
+/// Error from [`JsonValue::parse`]: what went wrong and the byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Human-readable description of the syntax error.
+    pub message: String,
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonParseError {
+        JsonParseError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, lit: &str, value: JsonValue) -> Result<JsonValue, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonParseError> {
+        match self.peek() {
+            Some(b'n') => self.eat("null", JsonValue::Null),
+            Some(b't') => self.eat("true", JsonValue::Bool(true)),
+            Some(b'f') => self.eat("false", JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.pos += 1; // '{'
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected string key in object"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.err("expected `:` after object key"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.pos += 1; // opening '"'
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect `\uXXXX` low half.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    let combined = 0x10000
+                                        + ((hi - 0xD800) << 10)
+                                        + lo.checked_sub(0xDC00)
+                                            .ok_or_else(|| self.err("invalid low surrogate"))?;
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid \\u escape"))?);
+                            // hex4 leaves pos one past the last hex digit and
+                            // the outer loop advance below expects pos on the
+                            // last consumed byte, so step back one.
+                            self.pos -= 1;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is a &str, so this is safe
+                    // to do bytewise by finding the char boundary).
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
 fn push_indent(out: &mut String, indent: usize) {
     for _ in 0..indent {
         out.push_str("  ");
@@ -114,6 +461,7 @@ fn push_indent(out: &mut String, indent: usize) {
 fn write_num(out: &mut String, n: f64) {
     if !n.is_finite() {
         out.push_str("null");
+    // lint: allow(L5, fract() is exactly 0.0 for integral doubles; integer-format check)
     } else if n.fract() == 0.0 && n.abs() < 9e15 {
         out.push_str(&format!("{}", n as i64));
     } else {
@@ -157,6 +505,58 @@ mod tests {
             JsonValue::Str("a\"b\\c\nd\u{1}".into()).render(),
             "\"a\\\"b\\\\c\\nd\\u0001\""
         );
+    }
+
+    #[test]
+    fn parses_scalars_and_numbers() {
+        assert_eq!(JsonValue::parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(JsonValue::parse("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(JsonValue::parse(" false ").unwrap(), JsonValue::Bool(false));
+        assert_eq!(JsonValue::parse("42").unwrap(), JsonValue::Num(42.0));
+        assert_eq!(JsonValue::parse("-3.5e2").unwrap(), JsonValue::Num(-350.0));
+    }
+
+    #[test]
+    fn parses_strings_with_escapes() {
+        let v = JsonValue::parse(r#""a\"b\\c\ndAé""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "a\"b\\c\ndAé");
+        // Surrogate pair for U+1F600.
+        let v = JsonValue::parse(r#""😀""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "\u{1F600}");
+    }
+
+    #[test]
+    fn parses_nested_structures_and_roundtrips() {
+        let src = r#"{"addresses":[{"id":1,"lat":39.9},{"id":2,"lat":40.1}],"ok":true,"n":null}"#;
+        let v = JsonValue::parse(src).unwrap();
+        assert!(v.is_object());
+        assert_eq!(v["addresses"].as_array().unwrap().len(), 2);
+        assert_eq!(v["addresses"][1]["lat"].as_f64().unwrap(), 40.1);
+        assert_eq!(v["ok"].as_bool(), Some(true));
+        assert!(v["n"].is_null());
+        assert!(v["missing"].is_null());
+        // Render → parse is the identity on this tree.
+        assert_eq!(JsonValue::parse(&v.render()).unwrap(), v);
+        assert_eq!(JsonValue::parse(&v.render_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "1 2",
+            "\"unterminated",
+            "{a:1}",
+            "[1,]",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        let err = JsonValue::parse("[1, oops]").unwrap_err();
+        assert!(err.to_string().contains("byte 4"));
     }
 
     #[test]

@@ -18,8 +18,8 @@
 //! * [`report`] — the typed [`PipelineReport`] that `DlInfMa::prepare` /
 //!   `train` emit: per-stage durations and funnel counts, with invariant
 //!   checking.
-//! * [`json`] — a minimal JSON value/writer (no serde) used by every
-//!   exporter.
+//! * [`json`] — a minimal JSON value, writer and parser (no serde) used by
+//!   every exporter and by the CLI's readers.
 //!
 //! The collector is process-global and opt-in: call [`enable`] (the CLI does
 //! this under `--verbose` / `--metrics-out`), run the pipeline, then
@@ -30,15 +30,15 @@ pub mod metrics;
 pub mod report;
 pub mod span;
 
-pub use json::JsonValue;
+pub use json::{JsonParseError, JsonValue};
 pub use metrics::{
-    counter, gauge, histogram, metrics_snapshot, render_metrics, reset_metrics, Counter, Gauge,
-    Histogram, HistogramSnapshot, MetricsSnapshot,
+    counter, gauge, histogram, metrics_snapshot, render_metrics, reset_metrics, try_histogram,
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, NonFiniteBound,
 };
 pub use report::{stage, EpochProgress, FunnelCounts, PipelineReport, StageReport};
 pub use span::{
     disable, enable, enabled, record_duration, render_spans, reset_spans, span, spans_snapshot,
-    take_spans, SpanGuard, SpanRecord,
+    take_spans, SpanGuard, SpanRecord, Stopwatch,
 };
 
 /// One JSON document with everything the collector knows: recorded spans,

@@ -78,20 +78,46 @@ struct HistogramInner {
     max_bits: AtomicU64,
 }
 
+/// Error constructing a histogram: a bucket bound was NaN or infinite.
+/// Non-finite bounds cannot be ordered into buckets, so they are rejected
+/// up front rather than panicking inside the sort.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NonFiniteBound {
+    /// The offending bound value.
+    pub value: f64,
+    /// Its index in the caller-supplied bounds slice.
+    pub index: usize,
+}
+
+impl std::fmt::Display for NonFiniteBound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "histogram bound #{} is {}; bucket bounds must be finite",
+            self.index, self.value
+        )
+    }
+}
+
+impl std::error::Error for NonFiniteBound {}
+
 impl HistogramInner {
-    fn new(bounds: &[f64]) -> Self {
-        let mut bounds: Vec<f64> = bounds.iter().copied().filter(|b| b.is_finite()).collect();
-        bounds.sort_by(|a, b| a.partial_cmp(b).expect("finite bounds"));
+    fn new(bounds: &[f64]) -> Result<Self, NonFiniteBound> {
+        if let Some((index, &value)) = bounds.iter().enumerate().find(|(_, b)| !b.is_finite()) {
+            return Err(NonFiniteBound { value, index });
+        }
+        let mut bounds: Vec<f64> = bounds.to_vec();
+        bounds.sort_by(f64::total_cmp);
         bounds.dedup();
         let n = bounds.len() + 1;
-        Self {
+        Ok(Self {
             bounds,
             counts: (0..n).map(|_| AtomicU64::new(0)).collect(),
             count: AtomicU64::new(0),
             sum_bits: AtomicU64::new(0f64.to_bits()),
             min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
             max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
-        }
+        })
     }
 
     fn observe(&self, v: f64) {
@@ -186,16 +212,27 @@ pub fn gauge(name: &str) -> Gauge {
     }))
 }
 
-/// Gets or creates the histogram named `name` with the given upper bounds.
-/// If the histogram already exists its original bounds are kept.
-pub fn histogram(name: &str, bounds: &[f64]) -> Histogram {
-    Histogram(with_registry(|r| {
+/// Gets or creates the histogram named `name` with the given upper bounds,
+/// rejecting NaN/infinite bounds with a typed error. If the histogram
+/// already exists its original bounds are kept.
+pub fn try_histogram(name: &str, bounds: &[f64]) -> Result<Histogram, NonFiniteBound> {
+    // Validate outside the registry lock so an error never poisons it.
+    let validated = HistogramInner::new(bounds)?;
+    Ok(Histogram(with_registry(|r| {
         Arc::clone(
             r.histograms
                 .entry(name.to_string())
-                .or_insert_with(|| Arc::new(HistogramInner::new(bounds))),
+                .or_insert_with(|| Arc::new(validated)),
         )
-    }))
+    })))
+}
+
+/// Infallible [`try_histogram`]: non-finite bounds are dropped (with the
+/// rest kept) instead of erroring, which preserves the original lenient
+/// behaviour for callers with hard-coded bounds.
+pub fn histogram(name: &str, bounds: &[f64]) -> Histogram {
+    let finite: Vec<f64> = bounds.iter().copied().filter(|b| b.is_finite()).collect();
+    try_histogram(name, &finite).expect("all bounds are finite after filtering")
 }
 
 /// Clears the whole registry.

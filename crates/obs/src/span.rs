@@ -163,6 +163,35 @@ pub fn scoped<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
     f()
 }
 
+/// A monotonic stopwatch: the one sanctioned way to measure wall-clock time
+/// outside this crate (the `xtask lint` L4 rule rejects ad-hoc
+/// `Instant::now()` elsewhere). Unlike [`span`], a `Stopwatch` is always on
+/// — it exists for code that feeds durations into typed reports
+/// ([`crate::report::PipelineReport`] stages) rather than the span collector.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Time since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.start.elapsed()
+    }
+
+    /// Time since [`Stopwatch::start`] in whole nanoseconds.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+}
+
 /// Guard returned by [`span`]; finishes the record on drop.
 #[derive(Debug)]
 pub struct SpanGuard {

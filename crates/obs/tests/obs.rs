@@ -112,6 +112,26 @@ fn histogram_bucket_boundaries_are_upper_inclusive() {
 }
 
 #[test]
+fn non_finite_histogram_bounds_are_a_typed_error() {
+    let _g = lock();
+    let err = obs::try_histogram("test/bad-bounds", &[1.0, f64::NAN, 3.0]).unwrap_err();
+    assert_eq!(err.index, 1);
+    assert!(err.value.is_nan());
+    assert!(err.to_string().contains("bound #1"));
+
+    let err = obs::try_histogram("test/bad-bounds", &[f64::INFINITY]).unwrap_err();
+    assert_eq!((err.index, err.value), (0, f64::INFINITY));
+
+    // Nothing was registered by the failed attempts, and the lenient entry
+    // point still works by dropping the bad bound.
+    let h = obs::histogram("test/bad-bounds", &[2.0, f64::NAN, 1.0]);
+    assert_eq!(h.bounds(), &[1.0, 2.0]);
+
+    // A clean construction through the fallible path succeeds.
+    assert!(obs::try_histogram("test/good-bounds", &[1.0, 2.0]).is_ok());
+}
+
+#[test]
 fn concurrent_counter_increments_from_threads() {
     let _g = lock();
     const THREADS: usize = 8;

@@ -131,7 +131,7 @@ pub fn corrected_delivery_time(
         .map(|&(_, t)| t)
         .min_by(|a, b| {
             // Closest stay time *before* the recorded bound: the latest one.
-            b.partial_cmp(a).expect("finite")
+            b.total_cmp(a)
         })
         .unwrap_or(w.t_recorded_delivery)
 }

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 //! Deployment layer (Section VI): the delivery-location store and the two
 //! applications built on it.
 //!

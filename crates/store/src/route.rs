@@ -40,14 +40,12 @@ pub fn plan_route(depot: Point, stops: &[Point]) -> Route {
     let mut visited = vec![false; n];
     let mut pos = depot;
     for _ in 0..n {
-        let next = (0..n)
+        let Some(next) = (0..n)
             .filter(|&i| !visited[i])
-            .min_by(|&a, &b| {
-                pos.distance(&stops[a])
-                    .partial_cmp(&pos.distance(&stops[b]))
-                    .expect("finite")
-            })
-            .expect("unvisited stop exists");
+            .min_by(|&a, &b| pos.distance(&stops[a]).total_cmp(&pos.distance(&stops[b])))
+        else {
+            break;
+        };
         visited[next] = true;
         order.push(next);
         pos = stops[next];

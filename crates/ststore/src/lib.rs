@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 //! JUST-lite: an embedded spatio-temporal data engine.
 //!
 //! The deployed system (Section VI-A, Figure 14) pre-processes and stores

@@ -157,11 +157,7 @@ impl TrajectoryStore {
                 }
             }
         }
-        out.sort_by(|a, b| {
-            a.t.partial_cmp(&b.t)
-                .expect("finite times")
-                .then(a.trip.cmp(&b.trip))
-        });
+        out.sort_by(|a, b| a.t.total_cmp(&b.t).then(a.trip.cmp(&b.trip)));
         out
     }
 

@@ -71,8 +71,7 @@ pub fn inject_delays<R: Rng>(dataset: &mut Dataset, cfg: &DelayConfig, rng: &mut
             ws.sort_by(|&a, &b| {
                 dataset.waybills[a]
                     .t_actual_delivery
-                    .partial_cmp(&dataset.waybills[b].t_actual_delivery)
-                    .expect("times are finite")
+                    .total_cmp(&dataset.waybills[b].t_actual_delivery)
             });
             ws
         })

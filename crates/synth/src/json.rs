@@ -1,0 +1,147 @@
+//! JSON export of the synthetic [`Dataset`].
+//!
+//! Hand-rolled on [`dlinfma_obs::JsonValue`] (the workspace builds against an
+//! offline registry, so there is no serde). The shape mirrors the natural
+//! derive output: newtype ids serialise as bare numbers, unit enum variants
+//! as strings, and trajectories as `{"points": [{"pos": {"x", "y"}, "t"}]}`.
+
+use dlinfma_geo::Point;
+use dlinfma_obs::JsonValue;
+use dlinfma_traj::{TrajPoint, Trajectory};
+
+use crate::model::{Address, Dataset, DeliverySpotKind, DeliveryTrip, Station, Waybill};
+
+fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn num(n: f64) -> JsonValue {
+    JsonValue::Num(n)
+}
+
+fn point_json(p: Point) -> JsonValue {
+    obj(vec![("x", num(p.x)), ("y", num(p.y))])
+}
+
+fn traj_json(t: &Trajectory) -> JsonValue {
+    let points = t
+        .points()
+        .iter()
+        .map(|p: &TrajPoint| obj(vec![("pos", point_json(p.pos)), ("t", num(p.t))]))
+        .collect();
+    obj(vec![("points", JsonValue::Arr(points))])
+}
+
+impl DeliverySpotKind {
+    /// The variant name, as serialised in JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DeliverySpotKind::Doorstep => "Doorstep",
+            DeliverySpotKind::Locker => "Locker",
+            DeliverySpotKind::Reception => "Reception",
+        }
+    }
+}
+
+fn address_json(a: &Address) -> JsonValue {
+    obj(vec![
+        ("id", num(a.id.0 as f64)),
+        ("building", num(a.building.0 as f64)),
+        ("geocode", point_json(a.geocode)),
+        ("poi_category", num(a.poi_category as f64)),
+        (
+            "true_delivery_location",
+            point_json(a.true_delivery_location),
+        ),
+        (
+            "true_spot_kind",
+            JsonValue::Str(a.true_spot_kind.as_str().into()),
+        ),
+    ])
+}
+
+fn waybill_json(w: &Waybill) -> JsonValue {
+    obj(vec![
+        ("address", num(w.address.0 as f64)),
+        ("trip", num(w.trip.0 as f64)),
+        ("t_received", num(w.t_received)),
+        ("t_recorded_delivery", num(w.t_recorded_delivery)),
+        ("t_actual_delivery", num(w.t_actual_delivery)),
+    ])
+}
+
+fn trip_json(t: &DeliveryTrip) -> JsonValue {
+    obj(vec![
+        ("id", num(t.id.0 as f64)),
+        ("courier", num(t.courier.0 as f64)),
+        ("station", num(t.station.0 as f64)),
+        ("t_start", num(t.t_start)),
+        ("t_end", num(t.t_end)),
+        ("trajectory", traj_json(&t.trajectory)),
+        (
+            "waybills",
+            JsonValue::Arr(t.waybills.iter().map(|&i| num(i as f64)).collect()),
+        ),
+    ])
+}
+
+fn station_json(s: &Station) -> JsonValue {
+    obj(vec![
+        ("id", num(s.id.0 as f64)),
+        ("location", point_json(s.location)),
+    ])
+}
+
+impl Dataset {
+    /// Serialises the whole dataset as a JSON tree.
+    pub fn to_json(&self) -> JsonValue {
+        obj(vec![
+            (
+                "addresses",
+                JsonValue::Arr(self.addresses.iter().map(address_json).collect()),
+            ),
+            (
+                "trips",
+                JsonValue::Arr(self.trips.iter().map(trip_json).collect()),
+            ),
+            (
+                "waybills",
+                JsonValue::Arr(self.waybills.iter().map(waybill_json).collect()),
+            ),
+            (
+                "stations",
+                JsonValue::Arr(self.stations.iter().map(station_json).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, Preset, Scale};
+
+    #[test]
+    fn dataset_json_roundtrips_through_the_parser() {
+        let (_city, ds) = generate(Preset::DowBJ, Scale::Tiny, 7);
+        let text = ds.to_json().render();
+        let v = JsonValue::parse(&text).expect("generated JSON parses");
+        assert_eq!(v["addresses"].as_array().unwrap().len(), ds.addresses.len());
+        assert_eq!(v["trips"].as_array().unwrap().len(), ds.trips.len());
+        assert_eq!(v["waybills"].as_array().unwrap().len(), ds.waybills.len());
+        assert_eq!(v["stations"].as_array().unwrap().len(), ds.stations.len());
+        let a0 = &v["addresses"][0];
+        assert!(a0["geocode"]["x"].as_f64().is_some());
+        assert!(a0["true_spot_kind"].as_str().is_some());
+        let t0 = &v["trips"][0];
+        assert!(
+            t0["trajectory"]["points"].as_array().unwrap().len() > 1,
+            "trips carry trajectories"
+        );
+    }
+}

@@ -22,6 +22,7 @@
 
 pub mod city;
 pub mod delays;
+pub mod json;
 pub mod model;
 pub mod presets;
 pub mod sim;

@@ -8,26 +8,25 @@
 
 use dlinfma_geo::Point;
 use dlinfma_traj::Trajectory;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of an address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AddressId(pub u32);
 
 /// Identifier of a building.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BuildingId(pub u32);
 
 /// Identifier of a courier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CourierId(pub u32);
 
 /// Identifier of a delivery station.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StationId(pub u32);
 
 /// Identifier of a delivery trip.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TripId(pub u32);
 
 /// Number of POI categories returned by the (simulated) geocoder; the paper
@@ -37,7 +36,7 @@ pub const N_POI_CATEGORIES: usize = 21;
 /// The kind of spot a parcel is actually dropped at. Mirrors the paper's
 /// Figure 1 taxonomy; used only by the generator and by evaluation
 /// narratives (inference never sees it).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeliverySpotKind {
     /// Customer's doorstep.
     Doorstep,
@@ -48,7 +47,7 @@ pub enum DeliverySpotKind {
 }
 
 /// A shipping address together with its (simulated) geocoding result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Address {
     /// Stable identifier.
     pub id: AddressId,
@@ -65,7 +64,7 @@ pub struct Address {
 }
 
 /// A waybill (Definition 1): one parcel to one address within one trip.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Waybill {
     /// Address the parcel ships to.
     pub address: AddressId,
@@ -80,7 +79,7 @@ pub struct Waybill {
 }
 
 /// A delivery trip (Definition 5).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DeliveryTrip {
     /// Stable identifier (index into `Dataset::trips`).
     pub id: TripId,
@@ -99,7 +98,7 @@ pub struct DeliveryTrip {
 }
 
 /// A delivery station with a fixed depot location.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Station {
     /// Stable identifier.
     pub id: StationId,
@@ -108,7 +107,7 @@ pub struct Station {
 }
 
 /// A complete (synthetic) logistics dataset.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dataset {
     /// All addresses, indexed by `AddressId`.
     pub addresses: Vec<Address>,

@@ -73,7 +73,8 @@ impl Default for SimConfig {
             speed_mps: (1.5, 4.0),
             gps_sigma_m: 4.0,
             p_gps_spike: 0.002,
-            sample_interval_s: 13.5,
+            sample_interval_s: dlinfma_params::GPS_SAMPLE_INTERVAL_S,
+            // lint: allow(L3, dwell-time lower bound in seconds, not the 40 m cluster distance)
             dwell_s: (40.0, 200.0),
             dwell_bias_sigma_m: 8.0,
             p_extra_stop: 0.15,
@@ -174,11 +175,7 @@ fn route_order(start: Point, stops: &[Point]) -> Vec<usize> {
     for _ in 0..stops.len() {
         let next = (0..stops.len())
             .filter(|&i| !visited[i])
-            .min_by(|&a, &b| {
-                pos.distance(&stops[a])
-                    .partial_cmp(&pos.distance(&stops[b]))
-                    .expect("finite")
-            })
+            .min_by(|&a, &b| pos.distance(&stops[a]).total_cmp(&pos.distance(&stops[b])))
             .expect("unvisited stop exists");
         visited[next] = true;
         order.push(next);

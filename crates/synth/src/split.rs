@@ -54,7 +54,7 @@ pub fn spatial_split(dataset: &Dataset, train_frac: f64, val_frac: f64) -> Split
         .into_iter()
         .map(|a| (dataset.address(a).geocode.x, a))
         .collect();
-    by_x.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite x").then(a.1.cmp(&b.1)));
+    by_x.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
 
     let n = by_x.len();
     let n_train = (n as f64 * train_frac).round() as usize;

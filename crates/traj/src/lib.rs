@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 //! Trajectory types and preprocessing for the DLInfMA reproduction.
 //!
 //! A courier's GPS stream enters the pipeline as a [`Trajectory`] of

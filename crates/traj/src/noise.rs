@@ -24,6 +24,7 @@ pub struct NoiseFilterConfig {
 impl Default for NoiseFilterConfig {
     fn default() -> Self {
         Self {
+            // lint: allow(L3, courier speed cap in m/s, unrelated to the 30 s T_min)
             max_speed_mps: 30.0,
             min_dt_s: 1.0,
         }
@@ -42,13 +43,14 @@ pub fn filter_noise(traj: &Trajectory, cfg: &NoiseFilterConfig) -> Trajectory {
         return Trajectory::new();
     }
     let mut kept: Vec<TrajPoint> = Vec::with_capacity(pts.len());
-    kept.push(pts[0]);
+    let mut last = pts[0];
+    kept.push(last);
     for &p in &pts[1..] {
-        let last = kept.last().expect("kept is non-empty");
         let dt = (p.t - last.t).max(cfg.min_dt_s);
         let speed = last.pos.distance(&p.pos) / dt;
         if speed <= cfg.max_speed_mps {
             kept.push(p);
+            last = p;
         }
     }
     Trajectory::from_points(kept)

@@ -29,10 +29,11 @@ pub fn simplify(traj: &Trajectory, epsilon_m: f64) -> Trajectory {
     if pts.len() <= 2 {
         return traj.clone();
     }
+    let last = pts.len() - 1;
     let mut keep = vec![false; pts.len()];
     keep[0] = true;
-    keep[pts.len() - 1] = true;
-    let mut stack = vec![(0usize, pts.len() - 1)];
+    keep[last] = true;
+    let mut stack = vec![(0usize, last)];
     while let Some((lo, hi)) = stack.pop() {
         if hi <= lo + 1 {
             continue;

@@ -9,11 +9,10 @@
 
 use crate::types::Trajectory;
 use dlinfma_geo::{centroid, Point};
-use serde::{Deserialize, Serialize};
 
 /// Thresholds for stay-point detection. The paper (following its ref [5])
 /// uses `D_max = 20 m` and `T_min = 30 s`.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct StayPointConfig {
     /// Maximum distance from the anchor fix, in meters.
     pub d_max_m: f64,
@@ -24,14 +23,14 @@ pub struct StayPointConfig {
 impl Default for StayPointConfig {
     fn default() -> Self {
         Self {
-            d_max_m: 20.0,
-            t_min_s: 30.0,
+            d_max_m: dlinfma_params::D_MAX_M,
+            t_min_s: dlinfma_params::T_MIN_S,
         }
     }
 }
 
 /// A detected stay: where a courier lingered and for how long.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StayPoint {
     /// Spatial centroid of the member fixes.
     pub pos: Point,
@@ -77,12 +76,14 @@ pub fn detect_stay_points(traj: &Trajectory, cfg: &StayPointConfig) -> Vec<StayP
         let last = j - 1;
         if pts[last].t - pts[i].t >= cfg.t_min_s {
             let member_pos: Vec<Point> = pts[i..j].iter().map(|p| p.pos).collect();
-            stays.push(StayPoint {
-                pos: centroid(&member_pos).expect("window is non-empty"),
-                t_start: pts[i].t,
-                t_end: pts[last].t,
-                n_points: j - i,
-            });
+            if let Some(pos) = centroid(&member_pos) {
+                stays.push(StayPoint {
+                    pos,
+                    t_start: pts[i].t,
+                    t_end: pts[last].t,
+                    n_points: j - i,
+                });
+            }
             i = j;
         } else {
             i += 1;

@@ -1,13 +1,12 @@
 //! Core trajectory data types (Definition 3 of the paper).
 
 use dlinfma_geo::Point;
-use serde::{Deserialize, Serialize};
 
 /// A single spatio-temporal GPS fix: a location at a time.
 ///
 /// Times throughout the pipeline are seconds since the dataset epoch
 /// (f64 so sub-second sampling is representable).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrajPoint {
     /// Location in the local metric frame.
     pub pos: Point,
@@ -32,7 +31,7 @@ impl TrajPoint {
 
 /// A chronologically ordered sequence of GPS fixes produced by one courier
 /// (Definition 3).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trajectory {
     points: Vec<TrajPoint>,
 }
@@ -50,7 +49,7 @@ impl Trajectory {
     /// computation downstream.
     pub fn from_points(mut points: Vec<TrajPoint>) -> Self {
         points.retain(|p| p.pos.is_finite() && p.t.is_finite());
-        points.sort_by(|a, b| a.t.partial_cmp(&b.t).expect("times are finite"));
+        points.sort_by(|a, b| a.t.total_cmp(&b.t));
         Self { points }
     }
 
@@ -145,13 +144,13 @@ impl Trajectory {
         if t <= first.t {
             return Some(first.pos);
         }
-        let last = pts.last().expect("non-empty");
+        let last = pts.last()?;
         if t >= last.t {
             return Some(last.pos);
         }
         // Binary search for the segment containing t.
         let idx = pts.partition_point(|p| p.t <= t);
-        let (a, b) = (&pts[idx - 1], &pts[idx]);
+        let (a, b) = (pts.get(idx.checked_sub(1)?)?, pts.get(idx)?);
         let span = b.t - a.t;
         if span <= 0.0 {
             return Some(a.pos);

@@ -1,0 +1,18 @@
+// Seeded violation for rule L1: NaN-unsafe float ordering.
+// `cargo run -p xtask -- lint crates/xtask/fixtures/l1.rs` must exit non-zero.
+// (The unwrap/expect themselves would also trip L2; those are allowed inline
+// so this fixture seeds exactly one rule.)
+
+pub fn sort_scores(scores: &mut Vec<(usize, f64)>) {
+    // lint: allow(L2, fixture seeds L1 only)
+    scores.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+}
+
+pub fn best(scores: &[f64]) -> f64 {
+    scores
+        .iter()
+        .copied()
+        // lint: allow(L2, fixture seeds L1 only)
+        .max_by(|a, b| a.partial_cmp(b).expect("scores are finite"))
+        .unwrap_or(f64::NEG_INFINITY)
+}

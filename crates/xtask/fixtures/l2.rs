@@ -1,0 +1,11 @@
+// Seeded violation for rule L2: panic surface in hot-path library code.
+// `cargo run -p xtask -- lint crates/xtask/fixtures/l2.rs` must exit non-zero.
+
+pub fn window_mean(xs: &[f64], i: usize) -> f64 {
+    let prev = xs[i - 1];
+    let next = xs.get(i).copied().unwrap();
+    if xs.is_empty() {
+        panic!("empty window");
+    }
+    (prev + next) / 2.0
+}

@@ -1,0 +1,20 @@
+// Seeded violation for rule L3: magic paper constants.
+// `cargo run -p xtask -- lint crates/xtask/fixtures/l3.rs` must exit non-zero.
+
+pub struct Thresholds {
+    pub d_max_m: f64,
+    pub t_min_s: f64,
+    pub cluster_d_m: f64,
+    pub sample_interval_s: f64,
+}
+
+impl Thresholds {
+    pub fn paper() -> Self {
+        Self {
+            d_max_m: 20.0,
+            t_min_s: 30.0,
+            cluster_d_m: 40.0,
+            sample_interval_s: 13.5,
+        }
+    }
+}

@@ -1,0 +1,10 @@
+// Seeded violation for rule L4: ad-hoc timing outside crates/obs.
+// `cargo run -p xtask -- lint crates/xtask/fixtures/l4.rs` must exit non-zero.
+
+use std::time::Instant;
+
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, std::time::Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}

@@ -1,0 +1,10 @@
+// Seeded violation for rule L5: float equality.
+// `cargo run -p xtask -- lint crates/xtask/fixtures/l5.rs` must exit non-zero.
+
+pub fn is_unvisited(reach_distance: f64) -> bool {
+    reach_distance == 0.0
+}
+
+pub fn has_moved(delta_m: f64) -> bool {
+    delta_m != 0.0
+}

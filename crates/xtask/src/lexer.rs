@@ -1,0 +1,478 @@
+//! A comment- and string-aware Rust tokenizer.
+//!
+//! This is deliberately not a full Rust lexer: the lint rules only need
+//! identifiers, numeric literals, a handful of multi-character operators and
+//! line numbers, with comments and string/char literals consumed correctly so
+//! that `// partial_cmp` in prose or `"panic!"` in a message never trips a
+//! rule. Comments are captured separately so the `// lint: allow(..)`
+//! directives can be parsed per line.
+
+/// What a token is, as far as the lint rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`s, without the `r#`).
+    Ident,
+    /// Integer literal.
+    Int,
+    /// Floating-point literal (has a fraction, exponent or f32/f64 suffix).
+    Float,
+    /// String, raw-string, byte-string or char literal (contents dropped).
+    Literal,
+    /// Lifetime such as `'a`.
+    Lifetime,
+    /// Punctuation; multi-character operators the rules need (`==`, `!=`,
+    /// `::`, `..`, `->`, `=>`) come through as one token.
+    Punct,
+}
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokKind,
+    /// Source text (for `Literal`, a placeholder; contents are irrelevant).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// A comment with its line, used for `// lint: allow` directives. Block
+/// comments yield one entry per line they span.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line.
+    pub line: u32,
+    /// Text without the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// Tokenizer output: code tokens plus per-line comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes Rust source. Unterminated strings/comments end the scan early
+/// rather than erroring: lint rules degrade gracefully on malformed input
+/// (rustc will reject it anyway).
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        s: src.as_bytes(),
+        src,
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+        line_had_code: false,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    s: &'a [u8],
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+    /// Whether a code token has been emitted on the current line (to decide
+    /// if a trailing comment "owns" its line).
+    line_had_code: bool,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Lexed {
+        while self.pos < self.s.len() {
+            let c = self.s[self.pos];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.line_had_code = false;
+                    self.pos += 1;
+                }
+                c if c.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'r' | b'b' if self.raw_or_byte_string() => {}
+                b'\'' => self.char_or_lifetime(),
+                c if c == b'_' || c.is_ascii_alphabetic() => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.s.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, text: &str) {
+        self.line_had_code = true;
+        self.out.tokens.push(Token {
+            kind,
+            text: text.to_string(),
+            line: self.line,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos + 2;
+        let mut end = start;
+        while end < self.s.len() && self.s[end] != b'\n' {
+            end += 1;
+        }
+        self.out.comments.push(Comment {
+            line: self.line,
+            text: self.src[start..end]
+                .trim_start_matches(['/', '!'])
+                .trim()
+                .to_string(),
+        });
+        self.pos = end;
+    }
+
+    fn block_comment(&mut self) {
+        // Nested block comments, one Comment entry per line spanned.
+        self.pos += 2;
+        let mut depth = 1usize;
+        let mut line_start = self.pos;
+        while self.pos < self.s.len() && depth > 0 {
+            match self.s[self.pos] {
+                b'/' if self.peek(1) == Some(b'*') => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                b'*' if self.peek(1) == Some(b'/') => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                b'\n' => {
+                    self.emit_block_comment_line(line_start, self.pos);
+                    self.line += 1;
+                    self.pos += 1;
+                    line_start = self.pos;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        let end = self.pos.saturating_sub(2).max(line_start);
+        self.emit_block_comment_line(line_start, end);
+    }
+
+    fn emit_block_comment_line(&mut self, start: usize, end: usize) {
+        let text = self.src[start..end]
+            .trim_matches(['*', ' ', '\t'])
+            .to_string();
+        self.out.comments.push(Comment {
+            line: self.line,
+            text,
+        });
+    }
+
+    fn string(&mut self) {
+        self.push(TokKind::Literal, "\"...\"");
+        self.pos += 1;
+        while self.pos < self.s.len() {
+            match self.s[self.pos] {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Handles `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#` and raw idents
+    /// (`r#match`). Returns false when the `r`/`b` starts a plain identifier,
+    /// leaving the position untouched.
+    fn raw_or_byte_string(&mut self) -> bool {
+        let mut i = self.pos + 1;
+        if self.s[self.pos] == b'b' && self.s.get(i) == Some(&b'r') {
+            i += 1;
+        }
+        let mut hashes = 0usize;
+        while self.s.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        if self.s.get(i) == Some(&b'"') {
+            // Raw/byte string: scan to `"` followed by `hashes` hashes.
+            self.push(TokKind::Literal, "r\"...\"");
+            self.pos = i + 1;
+            while self.pos < self.s.len() {
+                if self.s[self.pos] == b'\n' {
+                    self.line += 1;
+                    self.pos += 1;
+                    continue;
+                }
+                if self.s[self.pos] == b'"' {
+                    let after = &self.s[self.pos + 1..];
+                    if after.len() >= hashes && after[..hashes].iter().all(|&b| b == b'#') {
+                        self.pos += 1 + hashes;
+                        return true;
+                    }
+                }
+                if self.s[self.pos] == b'\\' && hashes == 0 && self.s[self.pos - 1] != b'r' {
+                    // Raw strings have no escapes; this branch only guards
+                    // byte strings `b"..\""`.
+                }
+                self.pos += 1;
+            }
+            return true;
+        }
+        if self.s[self.pos] == b'r' && hashes == 1 {
+            // Raw identifier r#ident.
+            if let Some(c) = self.s.get(i) {
+                if *c == b'_' || c.is_ascii_alphabetic() {
+                    self.pos = i;
+                    self.ident();
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn char_or_lifetime(&mut self) {
+        // `'a` / `'static` are lifetimes unless a closing quote follows
+        // (`'a'`). Everything else (`'\n'`, `'\u{1F600}'`, `'('`) is a char.
+        let next = self.peek(1);
+        let is_lifetime_start = matches!(next, Some(c) if c == b'_' || c.is_ascii_alphabetic());
+        if is_lifetime_start {
+            let mut i = self.pos + 2;
+            while matches!(self.s.get(i), Some(c) if *c == b'_' || c.is_ascii_alphanumeric()) {
+                i += 1;
+            }
+            if self.s.get(i) != Some(&b'\'') {
+                let text = self.src[self.pos..i].to_string();
+                self.push(TokKind::Lifetime, &text);
+                self.pos = i;
+                return;
+            }
+        }
+        // Char literal.
+        self.push(TokKind::Literal, "'.'");
+        self.pos += 1;
+        if self.peek(0) == Some(b'\\') {
+            self.pos += 2;
+            // `\u{...}` escapes run to the closing brace.
+            while self.pos < self.s.len() && self.s[self.pos] != b'\'' {
+                self.pos += 1;
+            }
+        } else {
+            // One (possibly multi-byte) character.
+            self.pos += 1;
+            while self.pos < self.s.len() && (self.s[self.pos] & 0xC0) == 0x80 {
+                self.pos += 1;
+            }
+        }
+        if self.peek(0) == Some(b'\'') {
+            self.pos += 1;
+        }
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while matches!(self.peek(0), Some(c) if c == b'_' || c.is_ascii_alphanumeric()) {
+            self.pos += 1;
+        }
+        let text = self.src[start..self.pos].to_string();
+        self.push(TokKind::Ident, &text);
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        let mut is_float = false;
+        if self.peek(0) == Some(b'0') && matches!(self.peek(1), Some(b'x' | b'o' | b'b')) {
+            // Radix literal: never a float.
+            self.pos += 2;
+            while matches!(self.peek(0), Some(c) if c == b'_' || c.is_ascii_alphanumeric()) {
+                self.pos += 1;
+            }
+        } else {
+            while matches!(self.peek(0), Some(c) if c == b'_' || c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            // A fraction only if `.` is followed by a digit (so `0..n` and
+            // `1.max(x)` stay integers).
+            if self.peek(0) == Some(b'.') && matches!(self.peek(1), Some(c) if c.is_ascii_digit()) {
+                is_float = true;
+                self.pos += 1;
+                while matches!(self.peek(0), Some(c) if c == b'_' || c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            } else if self.peek(0) == Some(b'.')
+                && !matches!(self.peek(1), Some(c) if c == b'.' || c == b'_' || c.is_ascii_alphabetic())
+            {
+                // Trailing-dot float `1.`
+                is_float = true;
+                self.pos += 1;
+            }
+            // Exponent.
+            if matches!(self.peek(0), Some(b'e' | b'E')) {
+                let mut i = self.pos + 1;
+                if matches!(self.s.get(i), Some(b'+' | b'-')) {
+                    i += 1;
+                }
+                if matches!(self.s.get(i), Some(c) if c.is_ascii_digit()) {
+                    is_float = true;
+                    self.pos = i;
+                    while matches!(self.peek(0), Some(c) if c == b'_' || c.is_ascii_digit()) {
+                        self.pos += 1;
+                    }
+                }
+            }
+            // Type suffix (f64 makes it a float; u32/i64/usize don't).
+            let suffix_start = self.pos;
+            while matches!(self.peek(0), Some(c) if c == b'_' || c.is_ascii_alphanumeric()) {
+                self.pos += 1;
+            }
+            let suffix = &self.src[suffix_start..self.pos];
+            if suffix.starts_with('f') {
+                is_float = true;
+            }
+        }
+        let text = self.src[start..self.pos].to_string();
+        self.push(
+            if is_float {
+                TokKind::Float
+            } else {
+                TokKind::Int
+            },
+            &text,
+        );
+    }
+
+    fn punct(&mut self) {
+        // Greedy match of the multi-char operators the rules care about.
+        const MULTI: [&str; 9] = ["==", "!=", "<=", ">=", "->", "=>", "::", "..=", ".."];
+        let rest = &self.src[self.pos..];
+        for op in MULTI {
+            if rest.starts_with(op) {
+                self.push(TokKind::Punct, op);
+                self.pos += op.len();
+                return;
+            }
+        }
+        let ch = self.src[self.pos..].chars().next().unwrap_or('\u{FFFD}');
+        let text = ch.to_string();
+        self.push(TokKind::Punct, &text);
+        self.pos += ch.len_utf8();
+    }
+}
+
+/// Parsed numeric value of a float token, with `_` separators and any type
+/// suffix stripped. `None` for non-floats or unparseable text.
+pub fn float_value(tok: &Token) -> Option<f64> {
+    if tok.kind != TokKind::Float {
+        return None;
+    }
+    let cleaned: String = tok
+        .text
+        .replace('_', "")
+        .trim_end_matches("f64")
+        .trim_end_matches("f32")
+        .to_string();
+    cleaned.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_produce_code_tokens() {
+        let l = lex("let x = \"partial_cmp\"; // partial_cmp here\n/* unwrap() */ y");
+        let idents: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "x", "y"]);
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].text, "partial_cmp here");
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_opaque() {
+        let l = lex(r###"let s = r#"unwrap() "quoted" panic!"#; let c = '"'; let l = 'a';"###);
+        assert!(l
+            .tokens
+            .iter()
+            .all(|t| t.text != "unwrap" && t.text != "panic"));
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Literal)
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a f64) -> &'a f64 { x }");
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Lifetime)
+                .count(),
+            3
+        );
+        assert!(l.tokens.iter().all(|t| t.kind != TokKind::Literal));
+    }
+
+    #[test]
+    fn numbers_classify_ints_and_floats() {
+        let toks = kinds(
+            "let a = 20.0; let b = 20; let r = 0..13; let h = 0x14; let f = 2e1; let g = 1f64;",
+        );
+        let floats: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Float)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(floats, ["20.0", "2e1", "1f64"]);
+        let l = lex("x = 13.5;");
+        assert_eq!(float_value(&l.tokens[2]), Some(13.5));
+    }
+
+    #[test]
+    fn multi_char_operators_are_single_tokens() {
+        let toks = kinds("if a == b && c != 0.0 { a..=b; x::y }");
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert!(puncts.contains(&"=="));
+        assert!(puncts.contains(&"!="));
+        assert!(puncts.contains(&"..="));
+        assert!(puncts.contains(&"::"));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let l = lex("a\n\"x\ny\"\n/* b\nc */\nz");
+        let z = l.tokens.iter().find(|t| t.text == "z").unwrap();
+        assert_eq!(z.line, 6);
+    }
+}

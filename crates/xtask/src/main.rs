@@ -1,0 +1,300 @@
+//! `cargo run -p xtask -- lint` — the workspace's in-tree static analyzer.
+//!
+//! Five repo-specific rules (see [`rules`]) run over every `crates/*/src`
+//! file with a hand-rolled comment/string-aware tokenizer; findings print as
+//! `file:line: rule: message` and make the process exit non-zero. A
+//! committed baseline (`crates/xtask/lint.baseline`) can grandfather known
+//! findings — it ships empty, and the CI step keeps it that way.
+//!
+//! Usage:
+//!   cargo run -p xtask -- lint               # scan the workspace
+//!   cargo run -p xtask -- lint FILE...       # lint specific files, all rules
+//!   cargo run -p xtask -- lint --fixtures    # self-check on seeded fixtures
+
+mod lexer;
+mod rules;
+
+use rules::{lint_source, FileCtx, Finding, Rule};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Crates whose library code must stay panic-free (rule L2): everything on
+/// the batch/serving path that ingests real-world (mis-annotated) data.
+const HOT_PATH_CRATES: [&str; 6] = ["geo", "traj", "cluster", "core", "store", "ststore"];
+
+/// Directories under `crates/` that the workspace scan skips entirely: the
+/// linter itself (its fixtures are intentional violations) and the bench
+/// harness (timing code is its whole point).
+const SKIPPED_CRATES: [&str; 2] = ["xtask", "bench"];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint_command(&args[1..]),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint [--fixtures] [FILE...]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask → workspace root is two levels up.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask lives at <root>/crates/xtask")
+        .to_path_buf()
+}
+
+fn lint_command(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--fixtures") {
+        return fixtures_self_check();
+    }
+    if !args.is_empty() {
+        return lint_explicit_files(args);
+    }
+    lint_workspace()
+}
+
+/// Scans `crates/*/src`, applies the baseline, reports.
+fn lint_workspace() -> ExitCode {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = match std::fs::read_dir(&crates_dir) {
+        Ok(rd) => rd.filter_map(|e| e.ok().map(|e| e.path())).collect(),
+        Err(e) => {
+            eprintln!("xtask: cannot read {}: {e}", crates_dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let name = dir.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if SKIPPED_CRATES.contains(&name) {
+            continue;
+        }
+        collect_rs_files(&dir.join("src"), &mut files);
+    }
+    files.sort();
+
+    let baseline = load_baseline(&root);
+    let mut findings = Vec::new();
+    for file in &files {
+        findings.extend(lint_one(file, &root, false));
+    }
+
+    let mut seen_keys = BTreeSet::new();
+    let mut reported = 0usize;
+    for f in &findings {
+        seen_keys.insert(f.key());
+        if baseline.contains(&f.key()) {
+            continue;
+        }
+        println!("{}", f.render());
+        reported += 1;
+    }
+    for stale in baseline.difference(&seen_keys) {
+        eprintln!("xtask: warning: stale baseline entry `{stale}` (no longer fires)");
+    }
+    if reported > 0 {
+        eprintln!(
+            "xtask: {reported} lint finding(s) in {} file(s) — fix, `// lint: allow(<rule>, <reason>)`, or baseline",
+            files.len()
+        );
+        ExitCode::FAILURE
+    } else {
+        eprintln!("xtask: lint clean ({} files)", files.len());
+        ExitCode::SUCCESS
+    }
+}
+
+/// Lints explicitly named files with every rule enabled (no baseline). This
+/// is what the fixture acceptance check drives.
+fn lint_explicit_files(paths: &[String]) -> ExitCode {
+    let root = workspace_root();
+    let mut reported = 0usize;
+    for p in paths {
+        let path = PathBuf::from(p);
+        let abs = if path.is_absolute() {
+            path
+        } else {
+            root.join(&path)
+        };
+        if !abs.is_file() {
+            eprintln!("xtask: no such file: {p}");
+            return ExitCode::from(2);
+        }
+        for f in lint_one(&abs, &root, true) {
+            println!("{}", f.render());
+            reported += 1;
+        }
+    }
+    if reported > 0 {
+        eprintln!("xtask: {reported} lint finding(s)");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Runs each seeded fixture through the linter and asserts that exactly its
+/// rule fires — the linter linting itself.
+fn fixtures_self_check() -> ExitCode {
+    let root = workspace_root();
+    let fixtures = [
+        ("l1.rs", Rule::L1),
+        ("l2.rs", Rule::L2),
+        ("l3.rs", Rule::L3),
+        ("l4.rs", Rule::L4),
+        ("l5.rs", Rule::L5),
+    ];
+    let mut ok = true;
+    for (name, expected) in fixtures {
+        let path = root.join("crates/xtask/fixtures").join(name);
+        let findings = lint_one(&path, &root, true);
+        let hit = findings.iter().any(|f| f.rule == expected);
+        let clean_of_noise = findings.iter().all(|f| f.rule == expected);
+        if hit && clean_of_noise {
+            println!(
+                "fixture {name}: {} finding(s) of {} ✓",
+                findings.len(),
+                expected.name()
+            );
+        } else {
+            ok = false;
+            eprintln!(
+                "fixture {name}: expected only {} findings, got: {:?}",
+                expected.name(),
+                findings.iter().map(|f| f.key()).collect::<Vec<_>>()
+            );
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in rd.filter_map(Result::ok) {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn lint_one(path: &Path, root: &Path, all_rules: bool) -> Vec<Finding> {
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xtask: cannot read {}: {e}", path.display());
+            return Vec::new();
+        }
+    };
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let rel_str = rel.to_string_lossy().replace('\\', "/");
+    let crate_name = rel_str
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("");
+    let ctx = FileCtx {
+        path: &rel_str,
+        check_panics: all_rules || HOT_PATH_CRATES.contains(&crate_name),
+        is_params_module: rel_str == "crates/params/src/lib.rs",
+        is_obs_crate: !all_rules && crate_name == "obs",
+    };
+    lint_source(&src, ctx)
+}
+
+fn load_baseline(root: &Path) -> BTreeSet<String> {
+    let path = root.join("crates/xtask/lint.baseline");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return BTreeSet::new();
+    };
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_root_contains_cargo_toml() {
+        assert!(workspace_root().join("Cargo.toml").is_file());
+    }
+
+    #[test]
+    fn every_fixture_trips_exactly_its_rule() {
+        let root = workspace_root();
+        for (name, rule) in [
+            ("l1.rs", Rule::L1),
+            ("l2.rs", Rule::L2),
+            ("l3.rs", Rule::L3),
+            ("l4.rs", Rule::L4),
+            ("l5.rs", Rule::L5),
+        ] {
+            let path = root.join("crates/xtask/fixtures").join(name);
+            let findings = lint_one(&path, &root, true);
+            assert!(
+                !findings.is_empty() && findings.iter().all(|f| f.rule == rule),
+                "fixture {name}: {:?}",
+                findings.iter().map(|f| f.render()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn workspace_scan_is_lint_clean() {
+        // The committed tree must stay clean: this is the same check CI runs.
+        let root = workspace_root();
+        let mut files = Vec::new();
+        for dir in std::fs::read_dir(root.join("crates"))
+            .unwrap()
+            .filter_map(Result::ok)
+        {
+            let name = dir.file_name();
+            let name = name.to_string_lossy();
+            if SKIPPED_CRATES.contains(&name.as_ref()) {
+                continue;
+            }
+            collect_rs_files(&dir.path().join("src"), &mut files);
+        }
+        let baseline = load_baseline(&root);
+        let offending: Vec<String> = files
+            .iter()
+            .flat_map(|f| lint_one(f, &root, false))
+            .filter(|f| !baseline.contains(&f.key()))
+            .map(|f| f.render())
+            .collect();
+        assert!(
+            offending.is_empty(),
+            "lint findings:\n{}",
+            offending.join("\n")
+        );
+    }
+
+    #[test]
+    fn baseline_file_is_committed_and_empty() {
+        let path = workspace_root().join("crates/xtask/lint.baseline");
+        let text = std::fs::read_to_string(&path).expect("baseline committed");
+        assert!(
+            text.lines()
+                .all(|l| l.trim().is_empty() || l.trim().starts_with('#')),
+            "baseline must stay empty; fix or allow instead of baselining"
+        );
+    }
+}

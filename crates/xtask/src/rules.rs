@@ -1,0 +1,602 @@
+//! The lint rules (L1–L5) and the machinery they share: `#[cfg(test)]`
+//! region tracking, `// lint: allow(..)` directives, and finding reporting.
+//!
+//! Each rule is documented where it is implemented; `DESIGN.md` has the
+//! rationale tied to the paper's pipeline.
+
+use crate::lexer::{float_value, lex, Lexed, TokKind, Token};
+
+/// The lint rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rule {
+    /// NaN-unsafe float ordering: `partial_cmp(..).unwrap()/expect(..)`.
+    L1,
+    /// Panic surface in hot-path library code: `unwrap`/`expect`/`panic!`/
+    /// arithmetic indexing.
+    L2,
+    /// Magic paper constant (20.0 / 30.0 / 40.0 / 13.5) outside
+    /// `dlinfma-params`.
+    L3,
+    /// Direct `std::time::Instant` timing outside `crates/obs`.
+    L4,
+    /// `==` / `!=` on floats.
+    L5,
+}
+
+impl Rule {
+    /// The rule's display name (`L1` … `L5`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::L1 => "L1",
+            Rule::L2 => "L2",
+            Rule::L3 => "L3",
+            Rule::L4 => "L4",
+            Rule::L5 => "L5",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Rule> {
+        match s.trim() {
+            "L1" => Some(Rule::L1),
+            "L2" => Some(Rule::L2),
+            "L3" => Some(Rule::L3),
+            "L4" => Some(Rule::L4),
+            "L5" => Some(Rule::L5),
+            _ => None,
+        }
+    }
+}
+
+/// One lint violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Path as displayed (workspace-relative when scanning the workspace).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Explanation with the suggested fix.
+    pub message: String,
+}
+
+impl Finding {
+    /// The `file:line: rule` key used by the baseline file.
+    pub fn key(&self) -> String {
+        format!("{}:{}: {}", self.file, self.line, self.rule.name())
+    }
+
+    /// Renders as `file:line: rule: message`.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {}: {}",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Per-file lint context: which rules apply where.
+#[derive(Debug, Clone, Copy)]
+pub struct FileCtx<'a> {
+    /// Display path for findings.
+    pub path: &'a str,
+    /// L2 applies (hot-path crate src, or an explicitly named file).
+    pub check_panics: bool,
+    /// L3 exempt (the canonical constants module).
+    pub is_params_module: bool,
+    /// L4 exempt (the observability crate owns timing).
+    pub is_obs_crate: bool,
+}
+
+/// Paper constants L3 guards, with the canonical replacement for each.
+const PAPER_CONSTS: [(f64, &str); 4] = [
+    (20.0, "dlinfma_params::D_MAX_M"),
+    (
+        30.0,
+        "dlinfma_params::T_MIN_S (or TUNED_CLUSTER_DISTANCE_M)",
+    ),
+    (40.0, "dlinfma_params::CLUSTER_DISTANCE_M"),
+    (13.5, "dlinfma_params::GPS_SAMPLE_INTERVAL_S"),
+];
+
+/// Lints one file's source text.
+pub fn lint_source(src: &str, ctx: FileCtx) -> Vec<Finding> {
+    let lexed = lex(src);
+    let test_lines = test_regions(&lexed.tokens);
+    let allows = allow_directives(&lexed);
+
+    let mut findings = Vec::new();
+    rule_l1(&lexed.tokens, ctx, &mut findings);
+    if ctx.check_panics {
+        rule_l2(&lexed.tokens, ctx, &mut findings);
+    }
+    if !ctx.is_params_module {
+        rule_l3(&lexed.tokens, ctx, &mut findings);
+    }
+    if !ctx.is_obs_crate {
+        rule_l4(&lexed.tokens, ctx, &mut findings);
+    }
+    rule_l5(&lexed.tokens, ctx, &mut findings);
+
+    findings.retain(|f| {
+        !in_test_region(&test_lines, f.line)
+            && !allows
+                .iter()
+                .any(|(line, rule)| *rule == f.rule && *line == f.line)
+    });
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+/// Line ranges covered by `#[cfg(test)]` / `#[test]` items (inclusive).
+fn test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Match an outer attribute `#[ ... ]`.
+        if tokens[i].text == "#" && i + 1 < tokens.len() && tokens[i + 1].text == "[" {
+            let attr_start = i;
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            let mut saw_test = false;
+            let mut saw_not = false;
+            // `#[cfg_attr(test, ..)]` items are NOT test-only; the attribute
+            // merely applies in test builds.
+            let mut saw_cfg_attr = false;
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    "test" => saw_test = true,
+                    "not" => saw_not = true,
+                    "cfg_attr" => saw_cfg_attr = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if saw_test && !saw_not && !saw_cfg_attr && j < tokens.len() {
+                // Find the item extent: `;` before `{` → one-liner item,
+                // otherwise the matched brace block.
+                let start_line = tokens[attr_start].line;
+                let mut k = j + 1;
+                let mut end_line = start_line;
+                while k < tokens.len() {
+                    match tokens[k].text.as_str() {
+                        ";" => {
+                            end_line = tokens[k].line;
+                            break;
+                        }
+                        "{" => {
+                            let mut bdepth = 0usize;
+                            while k < tokens.len() {
+                                match tokens[k].text.as_str() {
+                                    "{" => bdepth += 1,
+                                    "}" => {
+                                        bdepth -= 1;
+                                        if bdepth == 0 {
+                                            break;
+                                        }
+                                    }
+                                    _ => {}
+                                }
+                                k += 1;
+                            }
+                            end_line = tokens.get(k).map_or(start_line, |t| t.line);
+                            break;
+                        }
+                        _ => k += 1,
+                    }
+                }
+                regions.push((start_line, end_line.max(start_line)));
+                i = k.max(j) + 1;
+                continue;
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+fn in_test_region(regions: &[(u32, u32)], line: u32) -> bool {
+    regions.iter().any(|&(a, b)| (a..=b).contains(&line))
+}
+
+/// Parses `// lint: allow(<rule>, <reason>)` directives. A directive with no
+/// reason is ignored (the reason is mandatory). Each directive covers its own
+/// line and the next line carrying code, so it can sit above or beside the
+/// offending expression.
+fn allow_directives(lexed: &Lexed) -> Vec<(u32, Rule)> {
+    let mut out = Vec::new();
+    for c in &lexed.comments {
+        let Some(idx) = c.text.find("lint: allow(") else {
+            continue;
+        };
+        let inner = &c.text[idx + "lint: allow(".len()..];
+        let Some(close) = inner.rfind(')') else {
+            continue;
+        };
+        let inner = &inner[..close];
+        let Some((rule_txt, reason)) = inner.split_once(',') else {
+            continue; // no reason given: directive does not count
+        };
+        let Some(rule) = Rule::parse(rule_txt) else {
+            continue;
+        };
+        if reason.trim().is_empty() {
+            continue;
+        }
+        out.push((c.line, rule));
+        // Also cover the next line that has code (directive-above style).
+        if let Some(next) = lexed.tokens.iter().map(|t| t.line).find(|&l| l > c.line) {
+            out.push((next, rule));
+        }
+    }
+    out
+}
+
+/// L1 — NaN-unsafe float ordering.
+///
+/// `partial_cmp` returns `None` for NaN, so `.unwrap()`/`.expect(..)` on it
+/// is a latent panic on the exact inputs (haversine of antipodal points,
+/// attention scores after overflow) where ordering matters most. The fix is
+/// `f64::total_cmp`, which is total over NaN.
+fn rule_l1(tokens: &[Token], ctx: FileCtx, out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.text != "partial_cmp" || t.kind != TokKind::Ident {
+            continue;
+        }
+        let Some(close) = match_paren(tokens, i + 1) else {
+            continue;
+        };
+        if tokens.get(close + 1).map(|t| t.text.as_str()) == Some(".") {
+            if let Some(next) = tokens.get(close + 2) {
+                if next.text == "unwrap" || next.text == "expect" {
+                    out.push(Finding {
+                        file: ctx.path.to_string(),
+                        line: t.line,
+                        rule: Rule::L1,
+                        message: format!(
+                            "`partial_cmp(..).{}(..)` panics on NaN; use `f64::total_cmp`",
+                            next.text
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// L2 — panic surface in hot-path library code.
+///
+/// The pipeline crates on the serving path (`geo`, `traj`, `cluster`,
+/// `core`, `store`, `ststore`) must not panic on bad data: a single
+/// mis-annotated waybill must not take down a batch job. Flags `.unwrap()`,
+/// `.expect(..)`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` and
+/// indexing whose subscript does arithmetic (`xs[i + 1]` — the classic
+/// off-by-one panic). Plain `xs[i]` loop indexing is accepted.
+fn rule_l2(tokens: &[Token], ctx: FileCtx, out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| tokens[p].text.as_str());
+        let next = tokens.get(i + 1).map(|t| t.text.as_str());
+        match t.text.as_str() {
+            "unwrap" | "expect" if prev == Some(".") && next == Some("(") => {
+                out.push(Finding {
+                    file: ctx.path.to_string(),
+                    line: t.line,
+                    rule: Rule::L2,
+                    message: format!(
+                        "`.{}(..)` in hot-path library code; return a Result or handle the None",
+                        t.text
+                    ),
+                });
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented" if next == Some("!") => {
+                out.push(Finding {
+                    file: ctx.path.to_string(),
+                    line: t.line,
+                    rule: Rule::L2,
+                    message: format!(
+                        "`{}!` in hot-path library code; return an error instead",
+                        t.text
+                    ),
+                });
+            }
+            _ => {}
+        }
+    }
+    // Arithmetic subscripts: `expr[i + 1]` / `expr[n - k]`.
+    for (i, t) in tokens.iter().enumerate() {
+        if t.text != "[" {
+            continue;
+        }
+        let indexes_expr = i
+            .checked_sub(1)
+            .map(|p| {
+                let prev = &tokens[p];
+                prev.kind == TokKind::Ident && !is_keyword(&prev.text)
+                    || prev.text == ")"
+                    || prev.text == "]"
+            })
+            .unwrap_or(false);
+        if !indexes_expr {
+            continue;
+        }
+        let Some(close) = match_bracket(tokens, i) else {
+            continue;
+        };
+        let inner = &tokens[i + 1..close];
+        // Range subscripts (`xs[a..b]`) are slicing; still panicky but
+        // overwhelmingly used with derived bounds — only flag arithmetic.
+        let has_arith = inner
+            .iter()
+            .any(|t| t.kind == TokKind::Punct && (t.text == "+" || t.text == "-"));
+        if has_arith && !inner.is_empty() {
+            out.push(Finding {
+                file: ctx.path.to_string(),
+                line: t.line,
+                rule: Rule::L2,
+                message: "arithmetic in index subscript can underflow/overflow and panic; \
+                          use .get(..) or prove the bound"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// L3 — magic paper constants.
+///
+/// D_max = 20 m, T_min = 30 s, D = 40 m and the 13.5 s sampling interval
+/// define the pipeline's behaviour; every copy that drifts is a silent
+/// correctness bug. They live once, in `dlinfma-params`.
+fn rule_l3(tokens: &[Token], ctx: FileCtx, out: &mut Vec<Finding>) {
+    for t in tokens {
+        let Some(v) = float_value(t) else { continue };
+        for (c, replacement) in PAPER_CONSTS {
+            if v == c {
+                out.push(Finding {
+                    file: ctx.path.to_string(),
+                    line: t.line,
+                    rule: Rule::L3,
+                    message: format!("magic paper constant `{}`; use `{replacement}`", t.text),
+                });
+            }
+        }
+    }
+}
+
+/// L4 — timing outside the observability layer.
+///
+/// All wall-clock measurement flows through `crates/obs` (spans,
+/// `Stopwatch`, `record_duration`) so stage latencies land in one exporter;
+/// ad-hoc `Instant::now()` timings are invisible to the run report.
+fn rule_l4(tokens: &[Token], ctx: FileCtx, out: &mut Vec<Finding>) {
+    for t in tokens {
+        if t.kind == TokKind::Ident && t.text == "Instant" {
+            out.push(Finding {
+                file: ctx.path.to_string(),
+                line: t.line,
+                rule: Rule::L4,
+                message: "direct `Instant` timing outside crates/obs; \
+                          use `obs::Stopwatch` / spans"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// L5 — float equality.
+///
+/// `==`/`!=` against a float literal is almost always a rounding bug in the
+/// making (distances and scores come out of transcendental functions).
+/// Compare against an epsilon, or allow with a reason when exactness is
+/// intended (e.g. a sentinel that is assigned, never computed).
+fn rule_l5(tokens: &[Token], ctx: FileCtx, out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Punct || (t.text != "==" && t.text != "!=") {
+            continue;
+        }
+        let float_side = [i.checked_sub(1).map(|p| &tokens[p]), tokens.get(i + 1)]
+            .into_iter()
+            .flatten()
+            .any(|n| n.kind == TokKind::Float);
+        if float_side {
+            out.push(Finding {
+                file: ctx.path.to_string(),
+                line: t.line,
+                rule: Rule::L5,
+                message: format!(
+                    "`{}` against a float literal; compare with an epsilon or justify exactness",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "else" | "match" | "return" | "in" | "while" | "loop" | "for" | "let" | "mut"
+    )
+}
+
+/// Index of the `)` matching the `(` expected at `open`; `None` when `open`
+/// is not `(` or the parens are unbalanced.
+fn match_paren(tokens: &[Token], open: usize) -> Option<usize> {
+    if tokens.get(open)?.text != "(" {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Index of the `]` matching the `[` at `open`.
+fn match_bracket(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> FileCtx<'static> {
+        FileCtx {
+            path: "test.rs",
+            check_panics: true,
+            is_params_module: false,
+            is_obs_crate: false,
+        }
+    }
+
+    fn rules_hit(src: &str) -> Vec<Rule> {
+        let mut r: Vec<Rule> = lint_source(src, ctx())
+            .into_iter()
+            .map(|f| f.rule)
+            .collect();
+        r.dedup();
+        r
+    }
+
+    #[test]
+    fn l1_fires_on_partial_cmp_unwrap_and_expect() {
+        // The unwrap also trips L2 (ctx is a hot-path crate); L1 is what this
+        // test pins down.
+        assert_eq!(
+            rules_hit("fn f(a:f64,b:f64){ a.partial_cmp(&b).unwrap(); }"),
+            [Rule::L1, Rule::L2]
+        );
+        assert_eq!(
+            rules_hit("fn f(a:f64,b:f64){ a.partial_cmp(&b).expect(\"finite\"); }"),
+            [Rule::L1, Rule::L2]
+        );
+        // total_cmp and unwrap_or are fine (unwrap_or is not `.unwrap(`).
+        assert!(rules_hit("fn f(a:f64,b:f64){ a.total_cmp(&b); }").is_empty());
+        assert!(!rules_hit(
+            "fn f(a:f64,b:f64){ a.partial_cmp(&b).unwrap_or(core::cmp::Ordering::Equal); }"
+        )
+        .contains(&Rule::L1));
+    }
+
+    #[test]
+    fn l2_fires_on_panics_and_arith_indexing() {
+        assert_eq!(rules_hit("fn f(x: Option<u8>) { x.unwrap(); }"), [Rule::L2]);
+        assert_eq!(rules_hit("fn f() { panic!(\"boom\"); }"), [Rule::L2]);
+        assert_eq!(
+            rules_hit("fn f(xs: &[u8], i: usize) { let _ = xs[i - 1]; }"),
+            [Rule::L2]
+        );
+        assert!(rules_hit("fn f(xs: &[u8], i: usize) { let _ = xs[i]; }").is_empty());
+        // Not in a hot-path crate → no L2.
+        let mut c = ctx();
+        c.check_panics = false;
+        assert!(lint_source("fn f(x: Option<u8>) { x.unwrap(); }", c).is_empty());
+    }
+
+    #[test]
+    fn l3_fires_on_paper_constants_only() {
+        assert_eq!(rules_hit("const D: f64 = 20.0;"), [Rule::L3]);
+        assert_eq!(rules_hit("let t = 13.5;"), [Rule::L3]);
+        assert!(rules_hit("let x = 21.0; let n = 20; let r = 0..40;").is_empty());
+        let mut c = ctx();
+        c.is_params_module = true;
+        assert!(lint_source("const D: f64 = 20.0;", c).is_empty());
+    }
+
+    #[test]
+    fn l4_fires_on_instant_outside_obs() {
+        assert_eq!(
+            rules_hit("fn f() { let t = std::time::Instant::now(); }"),
+            [Rule::L4]
+        );
+        let mut c = ctx();
+        c.is_obs_crate = true;
+        assert!(lint_source("fn f() { let t = std::time::Instant::now(); }", c).is_empty());
+    }
+
+    #[test]
+    fn l5_fires_on_float_literal_comparison() {
+        assert_eq!(rules_hit("fn f(x: f64) -> bool { x == 0.0 }"), [Rule::L5]);
+        assert_eq!(rules_hit("fn f(x: f64) -> bool { 1.5 != x }"), [Rule::L5]);
+        assert!(rules_hit("fn f(x: u8) -> bool { x == 0 }").is_empty());
+    }
+
+    #[test]
+    fn cfg_test_regions_are_skipped() {
+        let src = "fn f(x: f64) {}\n#[cfg(test)]\nmod tests {\n  fn g(a: f64, b: f64) { a.partial_cmp(&b).unwrap(); let d = 20.0; }\n}\n";
+        assert!(rules_hit(src).is_empty());
+        // cfg(not(test)) is NOT a test region.
+        let src = "#[cfg(not(test))]\nmod m {\n  pub fn g(a: f64, b: f64) { a.partial_cmp(&b).unwrap(); }\n}\n";
+        assert_eq!(rules_hit(src), [Rule::L1, Rule::L2]);
+    }
+
+    #[test]
+    fn test_attribute_on_fn_is_skipped() {
+        let src = "#[test]\nfn t() { let d = 40.0; Some(1).unwrap(); }\n";
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn allow_directive_suppresses_same_and_next_line() {
+        let inline = "fn f() { let d = 20.0; } // lint: allow(L3, histogram bound, not D_max)";
+        assert!(rules_hit(inline).is_empty());
+        let above = "// lint: allow(L3, coincidental value)\nfn f() { let d = 20.0; }";
+        assert!(rules_hit(above).is_empty());
+        // Reason is mandatory: a bare allow does not suppress.
+        let bare = "fn f() { let d = 20.0; } // lint: allow(L3)";
+        assert_eq!(rules_hit(bare), [Rule::L3]);
+        // Wrong rule does not suppress.
+        let wrong = "fn f() { let d = 20.0; } // lint: allow(L5, nope)";
+        assert_eq!(rules_hit(wrong), [Rule::L3]);
+    }
+
+    #[test]
+    fn comments_and_strings_never_trip_rules() {
+        let src = "// partial_cmp(x).unwrap() and 20.0 and Instant\nfn f() { let s = \"panic! 40.0 Instant\"; }";
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn findings_render_with_file_line_rule() {
+        let f = &lint_source("fn f(a:f64,b:f64){ a.partial_cmp(&b).unwrap(); }", ctx())[0];
+        assert_eq!(f.key(), "test.rs:1: L1");
+        assert!(f.render().starts_with("test.rs:1: L1: "));
+    }
+}

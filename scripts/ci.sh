@@ -20,11 +20,16 @@ done
 
 run() {
     echo "==> $*"
+    local t0=$SECONDS
     "$@"
+    echo "    ($(($SECONDS - t0))s) $1 ${2-}"
 }
 
 run cargo build --release --workspace "${CARGO_FLAGS[@]}"
 run cargo test --workspace -q "${CARGO_FLAGS[@]}"
+# In-tree static analysis (NaN ordering, panic freedom, paper constants);
+# offline-safe and fast, so it runs before the slower clippy pass.
+run cargo run -p xtask "${CARGO_FLAGS[@]}" -- lint
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets "${CARGO_FLAGS[@]}" -- -D warnings
 

@@ -1,0 +1,345 @@
+//! Offline stand-in for the `criterion` 0.5 crate.
+//!
+//! Implements the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Bencher::iter`
+//! / `iter_batched`, `BenchmarkId`, `Throughput`, `BatchSize`, `black_box`
+//! and the `criterion_group!` / `criterion_main!` macros — with a simple
+//! measurement loop (fixed warm-up, then per-sample medians) instead of
+//! criterion's statistical machinery. Substituted for the real crate via
+//! `[patch.crates-io]` because the build container has no registry access.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup; the stub treats all variants alike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// Throughput annotation attached to a group (printed, not analysed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id from a parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Runs one benchmark's measurement loop.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last run, for reporting.
+    result_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up plus auto-scaled iteration count targeting ~10ms/sample.
+        let once = time_once(&mut routine);
+        let per_sample = iters_for(once);
+        let mut medians: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            medians.push(t.elapsed().as_nanos() as f64 / per_sample as f64);
+        }
+        self.result_ns = median(&mut medians);
+    }
+
+    /// Times `routine` over values produced by `setup`, excluding setup time
+    /// only at batch granularity (the stub times whole batches).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut medians: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            medians.push(t.elapsed().as_nanos() as f64);
+        }
+        self.result_ns = median(&mut medians);
+    }
+}
+
+fn time_once<O, R: FnMut() -> O>(routine: &mut R) -> Duration {
+    let t = Instant::now();
+    black_box(routine());
+    t.elapsed()
+}
+
+fn iters_for(once: Duration) -> u64 {
+    let target = Duration::from_millis(10).as_nanos();
+    let once = once.as_nanos().max(1);
+    (target / once).clamp(1, 100_000) as u64
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs[xs.len() / 2]
+    }
+}
+
+fn report(name: &str, ns: f64, throughput: Option<Throughput>) {
+    let time = if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) if ns > 0.0 => {
+            println!(
+                "{name:<50} {time:>12}  ({:.0} elem/s)",
+                n as f64 / (ns / 1e9)
+            );
+        }
+        Some(Throughput::Bytes(n)) if ns > 0.0 => {
+            println!("{name:<50} {time:>12}  ({:.0} B/s)", n as f64 / (ns / 1e9));
+        }
+        _ => println!("{name:<50} {time:>12}"),
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// No-op in the stub (upstream parses CLI filters).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into_id();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            result_ns: 0.0,
+        };
+        f(&mut b);
+        report(&name, b.result_ns, None);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = id.into_id();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            result_ns: 0.0,
+        };
+        f(&mut b, input);
+        report(&name, b.result_ns, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates the group's throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher {
+            samples: self.sample_size,
+            result_ns: 0.0,
+        };
+        f(&mut b);
+        report(&name, b.result_ns, self.throughput);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher {
+            samples: self.sample_size,
+            result_ns: 0.0,
+        };
+        f(&mut b, input);
+        report(&name, b.result_ns, self.throughput);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut calls = 0u64;
+        Criterion::default()
+            .sample_size(2)
+            .bench_function("noop", |b| {
+                b.iter(|| {
+                    calls += 1;
+                })
+            });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_run_batched_and_parameterised_benches() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).throughput(Throughput::Elements(3));
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("param", 7), &7, |b, &p| {
+            b.iter_batched(|| vec![p; 4], |v| v.len(), BatchSize::LargeInput)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,76 @@
+//! Offline stand-in for the `crossbeam` 0.8 crate.
+//!
+//! Implements only [`scope`], the one API the workspace uses, on top of
+//! `std::thread::scope` (std's scoped threads subsume crossbeam's original
+//! motivation). Substituted for the real crate via `[patch.crates-io]`
+//! because the build container has no registry access.
+
+use std::any::Any;
+
+/// Error type of [`scope`]: the payload of a panicked child thread.
+pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+/// A handle for spawning scoped threads; mirrors `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope again so it
+    /// can spawn nested work, as in crossbeam.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Creates a scope in which borrowed-data threads can be spawned; all
+/// threads are joined before `scope` returns.
+///
+/// Unlike crossbeam, a panicking child makes the whole call panic (std
+/// semantics) rather than returning `Err`; callers here use
+/// `.expect("...")` on the result, so both behaviors end in the same panic.
+pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+pub mod thread {
+    //! Alias module mirroring `crossbeam::thread`.
+    pub use super::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let mut out = [0u64; 4];
+        scope(|s| {
+            for (d, o) in data.chunks(2).zip(out.chunks_mut(2)) {
+                s.spawn(move |_| {
+                    for (x, y) in d.iter().zip(o.iter_mut()) {
+                        *y = x * 10;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(out, [10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn nested_spawn_compiles_and_runs() {
+        let total = scope(|s| s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2).join().unwrap())
+            .unwrap();
+        assert_eq!(total, 42);
+    }
+}

@@ -1,0 +1,132 @@
+//! Offline stand-in for the `proptest` 1.x crate.
+//!
+//! The build container has no registry access, so the workspace patches
+//! `proptest` to this crate (see `[patch.crates-io]` in the root manifest).
+//! It implements the subset the workspace's tests use: the [`proptest!`]
+//! macro, `prop_assert!` / `prop_assert_eq!`, range and tuple strategies,
+//! `proptest::collection::vec`, `.prop_map`, `Just`, and
+//! `ProptestConfig::with_cases`.
+//!
+//! Differences from upstream, by design of a stand-in:
+//! - deterministic per-test seeding (derived from the test name) rather
+//!   than OS entropy + a persisted regression file;
+//! - no shrinking: a failing case reports the panic from the original
+//!   sampled inputs.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Property-test entry point; mirrors `proptest::proptest!`.
+///
+/// Each `fn name(pat in strategy, ...) { body }` expands to a `fn` that
+/// samples every strategy `cases` times and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            #[allow(unused_mut)]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..config.cases {
+                    let _ = case;
+                    $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!` without shrinking is just `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!` without shrinking is just `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `prop_assert_ne!` without shrinking is just `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (f64, f64)> {
+        (-10.0..10.0f64, 0.0..1.0f64)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -5.0..5.0f64, n in 1u8..=12, mut k in 0usize..9) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..=12).contains(&n));
+            k += 1;
+            prop_assert!(k >= 1 && k < 10);
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies_compose(
+            pts in crate::collection::vec((-1.0..1.0f64, -2.0..2.0f64), 0..20),
+            pair in arb_pair(),
+        ) {
+            prop_assert!(pts.len() < 20);
+            for (a, b) in &pts {
+                prop_assert!(a.abs() <= 1.0 && b.abs() <= 2.0);
+            }
+            prop_assert!(pair.0.abs() <= 10.0);
+        }
+
+        #[test]
+        fn prop_map_transforms(v in crate::collection::vec(0.0..1.0f64, 3..6).prop_map(|v| v.len())) {
+            prop_assert!((3..6).contains(&v));
+        }
+
+        #[test]
+        fn just_yields_constant(v in Just(41)) {
+            prop_assert_eq!(v + 1, 42);
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic_per_name() {
+        let mut a = TestRng::for_test("alpha");
+        let mut b = TestRng::for_test("alpha");
+        let mut c = TestRng::for_test("beta");
+        let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let sc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+}

@@ -1,0 +1,91 @@
+//! Test configuration and the deterministic generator behind the stub.
+
+/// Per-test configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream's default; properties here are cheap enough.
+        Self { cases: 256 }
+    }
+}
+
+/// Deterministic xoshiro256++ generator seeded from the test name, so runs
+/// are reproducible without a persisted regression file.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// Generator seeded from `name` (FNV-1a over the bytes).
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01B3);
+        }
+        let mut seed = h;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut seed);
+        }
+        Self { s }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform value in `0..span` (rejection sampled, no modulo bias).
+    pub fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        if span == 1 {
+            return 0;
+        }
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % span;
+            }
+        }
+    }
+}
