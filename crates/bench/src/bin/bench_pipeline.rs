@@ -1,0 +1,61 @@
+//! Machine-readable pipeline timing artifact.
+//!
+//! Runs the batch pipeline once and the streaming engine over a per-day
+//! replay on the Tiny world, then writes a single JSON file (default
+//! `BENCH_pipeline.json`, overridable as the first argument) with the
+//! one-shot prepare time, the per-stage breakdown, and per-day ingest
+//! timings. CI publishes this so pipeline-latency regressions show up as a
+//! diff rather than a vibe.
+
+use dlinfma_core::{DlInfMa, Engine};
+use dlinfma_eval::pipeline_config;
+use dlinfma_obs::{JsonValue, Stopwatch};
+use dlinfma_synth::{generate, replay, Preset, Scale};
+use std::process::ExitCode;
+
+const SEED: u64 = 1;
+
+fn run() -> Result<(), String> {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+    let preset = Preset::DowBJ;
+    let (_, dataset) = generate(preset, Scale::Tiny, SEED);
+    let cfg = pipeline_config(preset);
+
+    let t = Stopwatch::start();
+    let batch = DlInfMa::prepare(&dataset, cfg);
+    let prepare_ns = t.elapsed_ns();
+
+    let mut engine = Engine::new(dataset.addresses.clone(), cfg);
+    let mut days = Vec::new();
+    for day in replay(&dataset) {
+        days.push(engine.ingest(&day).to_json());
+    }
+
+    let n_days = days.len();
+    let json = JsonValue::Obj(vec![
+        ("preset".into(), JsonValue::Str(preset.name().into())),
+        ("scale".into(), JsonValue::Str("tiny".into())),
+        ("seed".into(), JsonValue::Num(SEED as f64)),
+        ("prepare_ns".into(), JsonValue::Num(prepare_ns as f64)),
+        ("prepare_report".into(), batch.report().to_json()),
+        ("ingest_days".into(), JsonValue::Arr(days)),
+    ]);
+    std::fs::write(&out, json.render_pretty()).map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "wrote {out} (prepare {:.3} ms, {n_days} replay days)",
+        prepare_ns as f64 / 1e6
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -5,10 +5,11 @@
 //! dlinfma stats    --preset subbj --scale small --seed 1
 //! dlinfma eval     --preset dowbj --scale tiny  --seed 1 [--all]
 //! dlinfma infer    --preset dowbj --scale tiny  --seed 1 --address 12
+//! dlinfma replay   --preset dowbj --scale tiny  --seed 1
 //! dlinfma geojson  --preset dowbj --scale tiny  --seed 1 --out map.geojson
 //! ```
 
-use dlinfma_core::{DlInfMa, DlInfMaConfig};
+use dlinfma_core::{DlInfMa, DlInfMaConfig, Engine};
 use dlinfma_eval::{
     dataset_stats, evaluate, multi_location_building_fraction, pipeline_config,
     render_metrics_table, ExperimentWorld, Method,
@@ -136,6 +137,7 @@ fn usage() -> &'static str {
      \x20 stats                    print Table I-style dataset statistics\n\
      \x20 eval      [--all]        train + evaluate methods on the test region\n\
      \x20 infer     --address N    train DLInfMA and infer one address\n\
+     \x20 replay                   stream the dataset day by day through the engine\n\
      \x20 geojson   --out FILE     train DLInfMA and export a GeoJSON map\n\
      observability:\n\
      \x20 --verbose           print stage timings, spans and metrics to stderr\n\
@@ -254,6 +256,31 @@ fn run() -> Result<(), String> {
             println!("inferred     ({:.1}, {:.1})", inferred.x, inferred.y);
             println!("ground truth ({:.1}, {:.1})", truth.x, truth.y);
             println!("error        {:.1} m", inferred.distance(&truth));
+        }
+        "replay" => {
+            let (_, dataset) = generate(preset, scale, seed);
+            let store = dlinfma_ststore::TrajectoryStore::new();
+            let mut engine = Engine::new(dataset.addresses.clone(), args.pipeline_cfg(preset)?);
+            let mut days = 0u64;
+            let mut total_ns = 0u64;
+            for batch in dlinfma_synth::replay(&dataset) {
+                store.ingest_batch(&batch);
+                let rep = engine.ingest(&batch);
+                println!("{}", rep.render_line());
+                days += 1;
+                total_ns += rep.total_ns();
+            }
+            println!(
+                "replayed {days} days: {} stays, {} candidates, {} sampled addresses \
+                 ({:.3} ms total ingest; store holds {} fixes, {} waybills)",
+                engine.n_stays(),
+                engine.pool().len(),
+                engine.samples().count(),
+                total_ns as f64 / 1e6,
+                store.n_fixes(),
+                store.n_waybills()
+            );
+            report = Some(engine.report().clone());
         }
         "geojson" => {
             let out = args.get("out").ok_or("geojson needs --out FILE")?;

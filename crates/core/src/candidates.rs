@@ -96,20 +96,39 @@ impl CandidatePool {
     pub fn nearest(&self, pos: &Point) -> Option<(CandidateId, f64)> {
         self.kdtree.nearest(pos).map(|(_, &id, d)| (id, d))
     }
+
+    /// Assembles a pool from already-materialized parts (the staged engine's
+    /// path); builds the spatial index over the given candidates.
+    pub(crate) fn from_parts(
+        candidates: Vec<LocationCandidate>,
+        trip_visits: Vec<Vec<(CandidateId, f64)>>,
+    ) -> Self {
+        let kdtree = KdTree::build(candidates.iter().map(|c| (c.pos, c.id)).collect());
+        Self {
+            candidates,
+            trip_visits,
+            kdtree,
+        }
+    }
 }
 
 /// Internal aggregate of one growing candidate cluster.
 #[derive(Debug, Clone)]
-struct Agg {
-    pos: Point,
-    weight: usize,
-    total_duration_s: f64,
-    couriers: HashSet<u32>,
-    hist: [u32; TIME_BINS],
+pub(crate) struct Agg {
+    pub(crate) pos: Point,
+    pub(crate) weight: usize,
+    pub(crate) total_duration_s: f64,
+    pub(crate) couriers: HashSet<u32>,
+    pub(crate) hist: [u32; TIME_BINS],
 }
 
 impl Agg {
-    fn from_stay(pos: Point, duration: f64, courier: CourierId, hour_bin: usize) -> Self {
+    pub(crate) fn from_stay(
+        pos: Point,
+        duration: f64,
+        courier: CourierId,
+        hour_bin: usize,
+    ) -> Self {
         let mut hist = [0u32; TIME_BINS];
         hist[hour_bin] += 1;
         let mut couriers = HashSet::new();
@@ -123,7 +142,7 @@ impl Agg {
         }
     }
 
-    fn merge_into(&mut self, other: &Agg) {
+    pub(crate) fn merge_into(&mut self, other: &Agg) {
         // Position is recomputed by the clustering; only stats merge here.
         self.weight += other.weight;
         self.total_duration_s += other.total_duration_s;
@@ -132,9 +151,26 @@ impl Agg {
             *a += b;
         }
     }
+
+    /// Finalizes the aggregate statistics into a candidate profile.
+    pub(crate) fn profile(&self) -> LocationProfile {
+        let total: u32 = self.hist.iter().sum();
+        let mut dist = [0.0; TIME_BINS];
+        if total > 0 {
+            for (d, &h) in dist.iter_mut().zip(&self.hist) {
+                *d = f64::from(h) / f64::from(total);
+            }
+        }
+        LocationProfile {
+            avg_duration_s: self.total_duration_s / self.weight.max(1) as f64,
+            n_couriers: self.couriers.len(),
+            time_distribution: dist,
+            n_stays: self.weight,
+        }
+    }
 }
 
-fn hour_bin(t: f64) -> usize {
+pub(crate) fn hour_bin(t: f64) -> usize {
     let secs_of_day = t.rem_euclid(86_400.0);
     ((secs_of_day / 3_600.0) as usize).min(TIME_BINS - 1)
 }
@@ -243,24 +279,10 @@ impl IncrementalPoolBuilder {
             .aggs
             .iter()
             .enumerate()
-            .map(|(i, a)| {
-                let total: u32 = a.hist.iter().sum();
-                let mut dist = [0.0; TIME_BINS];
-                if total > 0 {
-                    for (d, &h) in dist.iter_mut().zip(&a.hist) {
-                        *d = f64::from(h) / f64::from(total);
-                    }
-                }
-                LocationCandidate {
-                    id: CandidateId(i as u32),
-                    pos: a.pos,
-                    profile: LocationProfile {
-                        avg_duration_s: a.total_duration_s / a.weight.max(1) as f64,
-                        n_couriers: a.couriers.len(),
-                        time_distribution: dist,
-                        n_stays: a.weight,
-                    },
-                }
+            .map(|(i, a)| LocationCandidate {
+                id: CandidateId(i as u32),
+                pos: a.pos,
+                profile: a.profile(),
             })
             .collect();
 

@@ -1,0 +1,496 @@
+//! The incremental staged engine.
+//!
+//! [`Engine`] runs the DLInfMA pipeline the way the deployed system does
+//! (Section VI): trips arrive in batches, and each [`Engine::ingest`]
+//! updates the staged artifacts in place instead of recomputing the world —
+//!
+//! * stay points are extracted for the *new* trips only;
+//! * the candidate pool re-clusters only the radius-`D` components touched
+//!   by new stays ([`stages::PoolState`]);
+//! * retrieval and feature counting re-run only for *dirty* addresses:
+//!   addresses with new waybills plus addresses referencing a candidate
+//!   whose member set changed ([`stages::SampleTable`]);
+//! * the classic batch artifacts ([`CandidatePool`], [`AddressSample`]s)
+//!   are materialized after every ingest, so [`Engine::infer`] serves
+//!   between ingests and `DlInfMa::prepare` is just one big ingest.
+//!
+//! Streaming the same trips day by day or ingesting them in one batch
+//! yields identical artifacts — see `DESIGN.md` for why each invalidation
+//! rule is exact. The engine's API is panic-free on data: malformed input
+//! (duplicate trips, waybills for unknown trips or out-of-range addresses)
+//! is counted in the [`IngestReport`] rather than panicking.
+//!
+//! [`stages::PoolState`]: crate::stages::PoolState
+//! [`stages::SampleTable`]: crate::stages::SampleTable
+
+use crate::candidates::{hour_bin, CandidateId, CandidatePool, LocationCandidate};
+use crate::features::{AddressSample, CandidateFeatures};
+use crate::locmatcher::LocMatcher;
+use crate::pipeline::DlInfMaConfig;
+use crate::stages::{PoolState, RawSample, RetrievalIndex, SampleTable, StayPointSet, StayRec};
+use crate::staypoints::extract_batch_with_stats;
+use dlinfma_geo::Point;
+use dlinfma_obs::{self as obs, stage, IngestReport, PipelineReport};
+use dlinfma_synth::{Address, AddressId, DeliveryTrip, TripBatch, TripId};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Cumulative per-stage nanoseconds across every ingest.
+#[derive(Debug, Default, Clone, Copy)]
+struct StageNs {
+    noise: u64,
+    detect: u64,
+    cluster: u64,
+    retrieval: u64,
+    features: u64,
+}
+
+/// The incremental DLInfMA engine; see the module docs.
+pub struct Engine {
+    cfg: DlInfMaConfig,
+    addresses: Vec<Address>,
+    stays: StayPointSet,
+    pool_state: PoolState,
+    retrieval: RetrievalIndex,
+    table: SampleTable,
+    seen_trips: HashSet<u32>,
+    /// Length of the per-trip visit table (max ingested trip id + 1).
+    visits_len: usize,
+    /// Live `candidate key -> trips visiting it`, rebuilt each ingest.
+    trips_by_key: HashMap<usize, HashSet<TripId>>,
+    // Materialized artifacts, refreshed at the end of every ingest.
+    pool: CandidatePool,
+    samples: HashMap<AddressId, AddressSample>,
+    model: Option<LocMatcher>,
+    report: PipelineReport,
+    ns: StageNs,
+    cum_raw_points: u64,
+    cum_filtered_points: u64,
+}
+
+impl Engine {
+    /// An empty engine over a known address universe.
+    ///
+    /// The model's feature switches are forced into lockstep with the
+    /// engine's feature switches, like the batch pipeline does.
+    ///
+    /// # Panics
+    /// Panics if `cfg.clustering_distance_m` is not strictly positive and
+    /// finite (the clustering contract, identical to the batch path).
+    pub fn new(addresses: Vec<Address>, cfg: DlInfMaConfig) -> Self {
+        let mut cfg = cfg;
+        cfg.model.features = cfg.features;
+        Self {
+            addresses,
+            stays: StayPointSet::new(cfg.clustering_distance_m),
+            pool_state: PoolState::new(cfg.pool_method, cfg.clustering_distance_m),
+            retrieval: RetrievalIndex::new(),
+            table: SampleTable::new(),
+            seen_trips: HashSet::new(),
+            visits_len: 0,
+            trips_by_key: HashMap::new(),
+            pool: CandidatePool::from_parts(Vec::new(), Vec::new()),
+            samples: HashMap::new(),
+            model: None,
+            report: PipelineReport::new(),
+            ns: StageNs::default(),
+            cum_raw_points: 0,
+            cum_filtered_points: 0,
+            cfg,
+        }
+    }
+
+    /// Ingests one batch of trips and waybills, updating every staged
+    /// artifact and re-materializing the pool and samples.
+    pub fn ingest(&mut self, batch: &TripBatch) -> IngestReport {
+        let mut rep = IngestReport {
+            day: batch.day,
+            total_addresses: self.addresses.len() as u64,
+            ..IngestReport::default()
+        };
+
+        // --- Stage 1: stay-point extraction, new trips only. -------------
+        let accepted: Vec<&DeliveryTrip> = batch
+            .trips
+            .iter()
+            .filter(|t| {
+                let fresh = self.seen_trips.insert(t.id.0);
+                if !fresh {
+                    rep.rejected_trips += 1;
+                }
+                fresh
+            })
+            .collect();
+        let owned_trips: Vec<DeliveryTrip>;
+        let trips_slice: &[DeliveryTrip] = if rep.rejected_trips == 0 {
+            &batch.trips
+        } else {
+            owned_trips = accepted.iter().map(|t| (*t).clone()).collect();
+            &owned_trips
+        };
+        let (trip_stays, stats) =
+            extract_batch_with_stats(trips_slice, &self.cfg.extraction, self.cfg.workers);
+        obs::record_duration(stage::NOISE_FILTER, stats.noise_filter_ns);
+        obs::record_duration(stage::STAY_POINTS, stats.detect_ns);
+        self.ns.noise += stats.noise_filter_ns;
+        self.ns.detect += stats.detect_ns;
+        self.cum_raw_points += stats.raw_points;
+        self.cum_filtered_points += stats.filtered_points;
+        rep.trips = accepted.len() as u64;
+        rep.new_stays = stats.stay_points;
+        rep.extraction_ns = stats.noise_filter_ns + stats.detect_ns;
+
+        let new_start = self.stays.len();
+        for (trip, ts) in accepted.iter().zip(&trip_stays) {
+            self.retrieval.note_trip();
+            self.visits_len = self.visits_len.max(trip.id.0 as usize + 1);
+            for sp in &ts.stays {
+                self.stays.push(StayRec {
+                    trip: trip.id,
+                    pos: sp.pos,
+                    mid_time: sp.mid_time(),
+                    duration_s: sp.duration(),
+                    hour_bin: hour_bin(sp.mid_time()),
+                    courier: trip.courier,
+                });
+            }
+        }
+
+        // --- Stage 2: incremental clustering of touched components. ------
+        let t = obs::Stopwatch::start();
+        let delta = {
+            let _span = obs::span(stage::CLUSTERING);
+            self.pool_state.update(&mut self.stays, new_start)
+        };
+        rep.clustering_ns = t.elapsed_ns();
+        self.ns.cluster += rep.clustering_ns;
+        rep.clusters_added = delta.added;
+        rep.clusters_removed = delta.removed;
+
+        // --- Waybills: evidence + the waybill side of the dirty set. -----
+        let mut dirty: BTreeSet<AddressId> = BTreeSet::new();
+        for w in &batch.waybills {
+            if !self.seen_trips.contains(&w.trip.0) {
+                rep.rejected_waybills += 1;
+                continue;
+            }
+            let Some(addr) = self.addresses.get(w.address.0 as usize) else {
+                rep.rejected_waybills += 1;
+                continue;
+            };
+            self.retrieval
+                .add_waybill(w.address, addr.building, w.trip, w.t_recorded_delivery);
+            dirty.insert(w.address);
+            rep.waybills += 1;
+        }
+
+        // --- Dirty set: waybill addresses ∪ changed-candidate referrers. -
+        for a in self.table.addresses_referencing(&delta.changed_keys) {
+            dirty.insert(a);
+        }
+        rep.dirty_addresses = dirty.len() as u64;
+
+        // --- Stage 3: retrieval, dirty addresses only. --------------------
+        // One stopwatch per stage (not per address): the live visit index
+        // is rebuilt once, then each dirty address re-retrieves.
+        let t = obs::Stopwatch::start();
+        self.trips_by_key.clear();
+        for (i, rec) in self.stays.recs().iter().enumerate() {
+            self.trips_by_key
+                .entry(self.pool_state.key_of(i))
+                .or_default()
+                .insert(rec.trip);
+        }
+        let cand_hist = obs::enabled().then(|| {
+            obs::histogram(
+                "retrieval/candidate-set-size",
+                // lint: allow(L3, bucket edge in a 1-2-5 series of counts, not the 20 m stay radius)
+                &[1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0],
+            )
+        });
+        let mut retrieved: Vec<(AddressId, Vec<usize>)> = Vec::with_capacity(dirty.len());
+        for &a in &dirty {
+            let Some(ev) = self.retrieval.evidence(a) else {
+                continue;
+            };
+            let mut keys: Vec<usize> = Vec::new();
+            for &(trip, bound) in &ev.trips {
+                for &si in self.stays.stays_of_trip(trip) {
+                    if self.stays.rec(si).mid_time <= bound {
+                        keys.push(self.pool_state.key_of(si));
+                    }
+                }
+            }
+            keys.sort_unstable();
+            keys.dedup();
+            if let Some(h) = &cand_hist {
+                h.observe(keys.len() as f64);
+            }
+            retrieved.push((a, keys));
+        }
+        rep.retrieval_ns = t.elapsed_ns();
+        self.ns.retrieval += rep.retrieval_ns;
+        obs::record_duration(stage::RETRIEVAL, rep.retrieval_ns);
+
+        // --- Stage 4: raw feature counts, dirty addresses only. ----------
+        let t = obs::Stopwatch::start();
+        let empty: HashSet<TripId> = HashSet::new();
+        for (a, keys) in retrieved {
+            let addr_trips: HashSet<TripId> =
+                self.retrieval.address_trips(a).cloned().unwrap_or_default();
+            let exclude: &HashSet<TripId> = if self.cfg.features.lc_address_level {
+                self.retrieval.address_trips(a).unwrap_or(&empty)
+            } else {
+                let building = self.addresses[a.0 as usize].building;
+                self.retrieval.building_trips(building).unwrap_or(&empty)
+            };
+            let mut tc_hits: Vec<u32> = Vec::with_capacity(keys.len());
+            let mut overlap_excl: Vec<u32> = Vec::with_capacity(keys.len());
+            for &k in &keys {
+                let cand_set = self.trips_by_key.get(&k).unwrap_or(&empty);
+                tc_hits.push(addr_trips.iter().filter(|t| cand_set.contains(t)).count() as u32);
+                overlap_excl.push(cand_set.iter().filter(|t| exclude.contains(t)).count() as u32);
+            }
+            self.table.replace(
+                a,
+                RawSample {
+                    candidate_keys: keys,
+                    tc_hits,
+                    overlap_excl,
+                },
+            );
+        }
+        rep.features_ns = t.elapsed_ns();
+        self.ns.features += rep.features_ns;
+        obs::record_duration(stage::FEATURES, rep.features_ns);
+
+        // --- Stage 5: materialize the batch artifacts from live state. ---
+        let t = obs::Stopwatch::start();
+        self.materialize();
+        rep.materialize_ns = t.elapsed_ns();
+        self.ns.features += rep.materialize_ns;
+        rep.pool_size = self.pool.len() as u64;
+
+        self.refresh_report();
+        rep
+    }
+
+    /// Rebuilds the materialized [`CandidatePool`] and [`AddressSample`]s
+    /// from the staged state. Floating-point feature values are finalized
+    /// here from the stored integer counts and live normalizers, which is
+    /// what keeps clean addresses exact without recounting them.
+    fn materialize(&mut self) {
+        let mut snap = self.pool_state.snapshot();
+        snap.sort_unstable_by_key(|(k, _, _)| *k);
+        let key_to_id: HashMap<usize, u32> = snap
+            .iter()
+            .enumerate()
+            .map(|(i, (k, _, _))| (*k, i as u32))
+            .collect();
+        let candidates: Vec<LocationCandidate> = snap
+            .into_iter()
+            .enumerate()
+            .map(|(i, (_, pos, profile))| LocationCandidate {
+                id: CandidateId(i as u32),
+                pos,
+                profile,
+            })
+            .collect();
+        let mut trip_visits: Vec<Vec<(CandidateId, f64)>> = vec![Vec::new(); self.visits_len];
+        for (i, rec) in self.stays.recs().iter().enumerate() {
+            if let Some(&id) = key_to_id.get(&self.pool_state.key_of(i)) {
+                trip_visits[rec.trip.0 as usize].push((CandidateId(id), rec.mid_time));
+            }
+        }
+        for visits in &mut trip_visits {
+            visits.sort_by(|a, b| a.1.total_cmp(&b.1));
+        }
+        self.pool = CandidatePool::from_parts(candidates, trip_visits);
+
+        let n_trips = self.retrieval.n_trips();
+        let f = self.cfg.features;
+        self.samples.clear();
+        for (&a, raw) in self.table.iter() {
+            let Some(addr) = self.addresses.get(a.0 as usize) else {
+                continue;
+            };
+            let n_addr_trips = self.retrieval.address_trips(a).map_or(0, HashSet::len);
+            let exclude_len = if f.lc_address_level {
+                n_addr_trips
+            } else {
+                self.retrieval
+                    .building_trips(addr.building)
+                    .map_or(0, HashSet::len)
+            };
+            let mut ids: Vec<CandidateId> = Vec::with_capacity(raw.candidate_keys.len());
+            let mut features: Vec<CandidateFeatures> = Vec::with_capacity(raw.candidate_keys.len());
+            for (j, &k) in raw.candidate_keys.iter().enumerate() {
+                let Some(&cid) = key_to_id.get(&k) else {
+                    continue;
+                };
+                let cand = self.pool.candidate(CandidateId(cid));
+                let trips_c_len = self.trips_by_key.get(&k).map_or(0, HashSet::len);
+                let trip_coverage = if f.use_trip_coverage && n_addr_trips > 0 {
+                    raw.tc_hits[j] as f64 / n_addr_trips as f64
+                } else {
+                    0.0
+                };
+                let denom = n_trips - exclude_len;
+                let location_commonality = if f.use_location_commonality && denom > 0 {
+                    (trips_c_len - raw.overlap_excl[j] as usize) as f64 / denom as f64
+                } else {
+                    0.0
+                };
+                let distance_m = if f.use_distance {
+                    cand.pos.distance(&addr.geocode)
+                } else {
+                    0.0
+                };
+                ids.push(CandidateId(cid));
+                features.push(CandidateFeatures {
+                    trip_coverage,
+                    location_commonality,
+                    distance_m,
+                    avg_duration_s: cand.profile.avg_duration_s,
+                    n_couriers: cand.profile.n_couriers as f64,
+                    n_stays: cand.profile.n_stays as f64,
+                    time_distribution: cand.profile.time_distribution,
+                });
+            }
+            self.samples.insert(
+                a,
+                AddressSample {
+                    address: a,
+                    candidates: ids,
+                    features,
+                    n_deliveries: n_addr_trips,
+                    poi_category: addr.poi_category,
+                    geocode: addr.geocode,
+                    label: None,
+                    truth_distances: None,
+                },
+            );
+        }
+    }
+
+    /// Refreshes the cumulative [`PipelineReport`] (stage durations and the
+    /// funnel) from live totals, mirroring the batch pipeline's semantics.
+    fn refresh_report(&mut self) {
+        let candidates_retrieved: u64 = self
+            .samples
+            .values()
+            .map(|s| s.candidates.len() as u64)
+            .sum();
+        let stays = self.stays.len() as u64;
+        self.report.push_stage(
+            stage::NOISE_FILTER,
+            self.ns.noise.max(1),
+            Some(self.cum_raw_points),
+            Some(self.cum_filtered_points),
+        );
+        self.report.push_stage(
+            stage::STAY_POINTS,
+            self.ns.detect.max(1),
+            Some(self.cum_filtered_points),
+            Some(stays),
+        );
+        self.report.push_stage(
+            stage::CLUSTERING,
+            self.ns.cluster.max(1),
+            Some(stays),
+            Some(self.pool.len() as u64),
+        );
+        self.report.push_stage(
+            stage::RETRIEVAL,
+            self.ns.retrieval.max(1),
+            Some(self.samples.len() as u64),
+            Some(candidates_retrieved),
+        );
+        self.report.push_stage(
+            stage::FEATURES,
+            self.ns.features.max(1),
+            Some(candidates_retrieved),
+            Some(self.samples.len() as u64),
+        );
+        self.report.funnel.raw_points = self.cum_raw_points;
+        self.report.funnel.filtered_points = self.cum_filtered_points;
+        self.report.funnel.stay_points = stays;
+        self.report.funnel.clusters = self.pool.len() as u64;
+        self.report.funnel.candidates_retrieved = candidates_retrieved;
+        self.report.funnel.addresses_sampled = self.samples.len() as u64;
+    }
+
+    /// The materialized candidate pool.
+    pub fn pool(&self) -> &CandidatePool {
+        &self.pool
+    }
+
+    /// The materialized sample of an address.
+    pub fn sample(&self, addr: AddressId) -> Option<&AddressSample> {
+        self.samples.get(&addr)
+    }
+
+    /// All materialized samples (unordered).
+    pub fn samples(&self) -> impl Iterator<Item = &AddressSample> {
+        self.samples.values()
+    }
+
+    /// The engine's address universe.
+    pub fn addresses(&self) -> &[Address] {
+        &self.addresses
+    }
+
+    /// Total accepted trips across all ingests.
+    pub fn n_trips(&self) -> usize {
+        self.retrieval.n_trips()
+    }
+
+    /// Total extracted stay points across all ingests.
+    pub fn n_stays(&self) -> usize {
+        self.stays.len()
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &DlInfMaConfig {
+        &self.cfg
+    }
+
+    /// The cumulative pipeline report across all ingests.
+    pub fn report(&self) -> &PipelineReport {
+        &self.report
+    }
+
+    /// Installs an externally-trained model so [`Engine::infer`] can serve
+    /// between ingests.
+    pub fn set_model(&mut self, model: LocMatcher) {
+        self.model = Some(model);
+    }
+
+    /// The installed model, if any.
+    pub fn model(&self) -> Option<&LocMatcher> {
+        self.model.as_ref()
+    }
+
+    /// Inferred delivery location of an address, or `None` when the address
+    /// was never delivered, has no candidates, or no model is installed.
+    pub fn infer(&self, addr: AddressId) -> Option<Point> {
+        let _span = obs::span(stage::INFERENCE);
+        let sample = self.samples.get(&addr)?;
+        let model = self.model.as_ref()?;
+        let idx = model.predict(sample)?;
+        Some(self.pool.candidate(sample.candidates[idx]).pos)
+    }
+
+    /// Decomposes the engine into the batch pipeline's parts
+    /// (`DlInfMa::from_engine`'s back end).
+    pub(crate) fn into_parts(
+        self,
+    ) -> (
+        DlInfMaConfig,
+        CandidatePool,
+        HashMap<AddressId, AddressSample>,
+        Option<LocMatcher>,
+        PipelineReport,
+    ) {
+        (self.cfg, self.pool, self.samples, self.model, self.report)
+    }
+}

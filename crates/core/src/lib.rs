@@ -17,13 +17,21 @@
 //!    transformer encoder over all candidates jointly plus an additive
 //!    attention conditioned on the address context.
 //!
-//! [`DlInfMa`] in [`pipeline`] wires both components into the public API.
+//! [`DlInfMa`] in [`pipeline`] wires both components into the public batch
+//! API. Underneath, the pipeline is an incremental staged [`Engine`]
+//! ([`engine`], [`stages`]): trips stream in as per-day
+//! [`TripBatch`]es, each stage's artifact updates in place, and only dirty
+//! addresses are re-retrieved and re-featurized. `DlInfMa::prepare` is one
+//! big ingest over that engine, so batch and streaming stay bit-for-bit
+//! equal.
 
 pub mod candidates;
+pub mod engine;
 pub mod features;
 pub mod locmatcher;
 pub mod pipeline;
 pub mod retrieval;
+pub mod stages;
 pub mod staypoints;
 
 pub use candidates::{
@@ -31,10 +39,13 @@ pub use candidates::{
     CandidatePool, IncrementalPoolBuilder, LocationCandidate, LocationProfile, TIME_BINS,
 };
 pub use dlinfma_params as params;
+pub use dlinfma_synth::TripBatch;
+pub use engine::Engine;
 pub use features::{AddressSample, CandidateFeatures, FeatureConfig, FeatureExtractor};
 pub use locmatcher::{LocMatcher, LocMatcherConfig, TrainReport};
 pub use pipeline::{DlInfMa, DlInfMaConfig, PoolMethod};
 pub use retrieval::{collect_evidence, retrieve_candidates, AddressEvidence};
 pub use staypoints::{
-    extract_stay_points, extract_stay_points_parallel, ExtractionConfig, TripStays,
+    extract_batch_with_stats, extract_stay_points, extract_stay_points_parallel, ExtractionConfig,
+    TripStays,
 };

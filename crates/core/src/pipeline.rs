@@ -19,15 +19,15 @@
 //! assert!(inferred.is_some());
 //! ```
 
-use crate::candidates::{build_pool, build_pool_grid, CandidatePool};
-use crate::features::{AddressSample, FeatureConfig, FeatureExtractor};
+use crate::candidates::CandidatePool;
+use crate::engine::Engine;
+use crate::features::{AddressSample, FeatureConfig};
 use crate::locmatcher::{LocMatcher, LocMatcherConfig, TrainReport};
-use crate::retrieval::{collect_evidence, retrieve_candidates};
-use crate::staypoints::{extract_stay_points_parallel_with_stats, ExtractionConfig};
+use crate::staypoints::ExtractionConfig;
 use dlinfma_geo::Point;
 use dlinfma_obs::{self as obs, stage, PipelineReport};
 use dlinfma_params as params;
-use dlinfma_synth::{AddressId, Dataset};
+use dlinfma_synth::{AddressId, Dataset, TripBatch};
 use std::collections::HashMap;
 
 /// Which clustering backs the candidate pool.
@@ -58,7 +58,10 @@ pub struct DlInfMaConfig {
 }
 
 impl DlInfMaConfig {
-    /// The paper's configuration.
+    /// The paper's configuration. Worker count defaults to the machine's
+    /// available parallelism (clamped to 16; the deployed system's
+    /// trip-level parallelism saturates well before that), overridable via
+    /// the `workers` field or the CLI's `--workers`.
     pub fn paper_defaults() -> Self {
         Self {
             extraction: ExtractionConfig::paper_defaults(),
@@ -66,7 +69,7 @@ impl DlInfMaConfig {
             pool_method: PoolMethod::Hierarchical,
             features: FeatureConfig::default(),
             model: LocMatcherConfig::paper_defaults(),
-            workers: 4,
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get().min(16)),
         }
     }
 
@@ -95,101 +98,34 @@ pub struct DlInfMa {
 impl DlInfMa {
     /// Runs candidate generation and feature extraction over a dataset.
     ///
+    /// Since the staged-engine refactor this is literally *one big ingest*:
+    /// the whole dataset is fed to [`Engine::ingest`] as a single
+    /// [`TripBatch`] and the engine's materialized artifacts become the
+    /// batch pipeline's state. Streaming the same dataset day by day
+    /// through an [`Engine`] produces identical artifacts — the refactor's
+    /// correctness anchor, pinned by the `batch_streaming_parity` tests.
+    ///
     /// Stage timings and funnel counts are recorded in [`DlInfMa::report`]
-    /// unconditionally (a handful of clock reads); per-stage spans and the
-    /// candidate-set-size histogram are additionally emitted when the
-    /// global `dlinfma_obs` collector is enabled.
+    /// unconditionally (a handful of clock reads per stage — no longer two
+    /// per address); per-stage spans and the candidate-set-size histogram
+    /// are additionally emitted when the global `dlinfma_obs` collector is
+    /// enabled.
     pub fn prepare(dataset: &Dataset, cfg: DlInfMaConfig) -> Self {
-        // Keep the model's feature switches in lockstep with extraction.
-        let mut cfg = cfg;
-        cfg.model.features = cfg.features;
-        let mut report = PipelineReport::new();
+        let mut engine = Engine::new(dataset.addresses.clone(), cfg);
+        engine.ingest(&TripBatch::full(dataset));
+        Self::from_engine(engine)
+    }
 
-        let (stays, stats) =
-            extract_stay_points_parallel_with_stats(dataset, &cfg.extraction, cfg.workers);
-        obs::record_duration(stage::NOISE_FILTER, stats.noise_filter_ns);
-        obs::record_duration(stage::STAY_POINTS, stats.detect_ns);
-        report.push_stage(
-            stage::NOISE_FILTER,
-            stats.noise_filter_ns.max(1),
-            Some(stats.raw_points),
-            Some(stats.filtered_points),
-        );
-        report.push_stage(
-            stage::STAY_POINTS,
-            stats.detect_ns.max(1),
-            Some(stats.filtered_points),
-            Some(stats.stay_points),
-        );
-
-        let t = obs::Stopwatch::start();
-        let pool = {
-            let _span = obs::span(stage::CLUSTERING);
-            match cfg.pool_method {
-                PoolMethod::Hierarchical => build_pool(dataset, &stays, cfg.clustering_distance_m),
-                PoolMethod::Grid => build_pool_grid(dataset, &stays, cfg.clustering_distance_m),
-            }
-        };
-        report.push_stage(
-            stage::CLUSTERING,
-            t.elapsed_ns().max(1),
-            Some(stats.stay_points),
-            Some(pool.len() as u64),
-        );
-
-        let t = obs::Stopwatch::start();
-        let extractor = FeatureExtractor::new(dataset, &pool, cfg.features);
-        let mut feature_ns = t.elapsed_ns().max(1);
-        let mut retrieval_ns = 1u64;
-        let mut candidates_retrieved = 0u64;
-        let cand_hist = obs::enabled().then(|| {
-            obs::histogram(
-                "retrieval/candidate-set-size",
-                // lint: allow(L3, bucket edge in a 1-2-5 series of counts, not the 20 m stay radius)
-                &[1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0],
-            )
-        });
-        let evidence = collect_evidence(dataset);
-        let mut samples = HashMap::with_capacity(evidence.len());
-        for e in &evidence {
-            let t = obs::Stopwatch::start();
-            let candidates = retrieve_candidates(&pool, e);
-            retrieval_ns += t.elapsed_ns();
-            candidates_retrieved += candidates.len() as u64;
-            if let Some(h) = &cand_hist {
-                h.observe(candidates.len() as f64);
-            }
-            let t = obs::Stopwatch::start();
-            let sample = extractor.sample_with_candidates(e, candidates);
-            feature_ns += t.elapsed_ns();
-            samples.insert(e.address, sample);
-        }
-        obs::record_duration(stage::RETRIEVAL, retrieval_ns);
-        obs::record_duration(stage::FEATURES, feature_ns);
-        report.push_stage(
-            stage::RETRIEVAL,
-            retrieval_ns,
-            Some(evidence.len() as u64),
-            Some(candidates_retrieved),
-        );
-        report.push_stage(
-            stage::FEATURES,
-            feature_ns,
-            Some(candidates_retrieved),
-            Some(samples.len() as u64),
-        );
-        report.funnel.raw_points = stats.raw_points;
-        report.funnel.filtered_points = stats.filtered_points;
-        report.funnel.stay_points = stats.stay_points;
-        report.funnel.clusters = pool.len() as u64;
-        report.funnel.candidates_retrieved = candidates_retrieved;
-        report.funnel.addresses_sampled = samples.len() as u64;
-
+    /// Wraps an incrementally-fed [`Engine`] as the batch API, taking over
+    /// its materialized pool, samples, report, and model (if any). Labeling
+    /// and training work exactly as after [`DlInfMa::prepare`].
+    pub fn from_engine(engine: Engine) -> Self {
+        let (cfg, pool, samples, model, report) = engine.into_parts();
         Self {
             cfg,
             pool,
             samples,
-            model: None,
+            model,
             report,
         }
     }

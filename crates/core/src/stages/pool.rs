@@ -1,0 +1,292 @@
+//! Incremental candidate-pool state with stable cluster keys.
+//!
+//! The batch pipeline's centroid-linkage clustering is order-*dependent*:
+//! merging day-batches through the bi-weekly
+//! [`IncrementalPoolBuilder`](crate::IncrementalPoolBuilder) path drifts
+//! from the one-shot pool (measurably: different cluster counts, centroids
+//! tens of meters apart). The engine instead makes the pool a deterministic
+//! function of the *accumulated stay-point set*:
+//!
+//! 1. stays are partitioned into radius-`D` connected components (an
+//!    order-independent graph property, maintained by [`StayPointSet`]);
+//! 2. each component is clustered independently with the same
+//!    centroid-linkage `merge_weighted` over its member stays *in global
+//!    stay-index order* — same members, same order, bitwise-same clusters
+//!    whether the stays arrived in one batch or over many days;
+//! 3. every cluster gets a *stable key*: the minimum member stay index.
+//!    Keys survive ingests while a cluster's member set is unchanged, and
+//!    dense [`CandidateId`](crate::CandidateId)s are materialized per
+//!    ingest by sorting keys ascending.
+//!
+//! Only components containing new stays are re-clustered; clean components
+//! keep their records verbatim. The keys whose member sets changed are the
+//! [`PoolDelta`] downstream stages use to invalidate addresses.
+//!
+//! [`StayPointSet`]: super::StayPointSet
+
+use super::staypoint_set::StayPointSet;
+use crate::candidates::{Agg, LocationProfile};
+use crate::pipeline::PoolMethod;
+use dlinfma_cluster::{merge_weighted, WeightedPoint};
+use dlinfma_geo::Point;
+use std::collections::{HashMap, HashSet};
+
+/// What one pool update changed: the raw material for dirty-address
+/// tracking and the ingest report's pool delta.
+#[derive(Debug, Clone, Default)]
+pub struct PoolDelta {
+    /// Keys whose member set changed: removed keys, added keys, and keys
+    /// that survived with a different member set.
+    pub changed_keys: Vec<usize>,
+    /// Clusters created by the update.
+    pub added: u64,
+    /// Clusters removed (absorbed or re-cut) by the update.
+    pub removed: u64,
+}
+
+/// One cluster record: stable key, centroid, members, profile aggregate.
+#[derive(Debug, Clone)]
+struct ClusterRec {
+    key: usize,
+    centroid: Point,
+    /// Member stay indices, sorted ascending (for change detection).
+    members: Vec<usize>,
+    agg: Agg,
+}
+
+/// Incremental pool state for both clustering back-ends.
+#[derive(Debug)]
+pub struct PoolState {
+    method: PoolMethod,
+    /// Clustering distance `D`; doubles as the grid cell size.
+    distance: f64,
+    /// Hierarchical mode: cluster records per component, keyed by the
+    /// component key (minimum stay index in the component).
+    components: HashMap<usize, Vec<ClusterRec>>,
+    /// Grid mode: one record per occupied cell.
+    cells: HashMap<(i64, i64), ClusterRec>,
+    /// Current cluster key of every stay, parallel to the stay set.
+    assign: Vec<usize>,
+}
+
+impl PoolState {
+    /// An empty pool for the given method and clustering distance.
+    pub fn new(method: PoolMethod, distance: f64) -> Self {
+        Self {
+            method,
+            distance,
+            components: HashMap::new(),
+            cells: HashMap::new(),
+            assign: Vec::new(),
+        }
+    }
+
+    /// Number of clusters currently in the pool.
+    pub fn len(&self) -> usize {
+        match self.method {
+            PoolMethod::Hierarchical => self.components.values().map(Vec::len).sum(),
+            PoolMethod::Grid => self.cells.len(),
+        }
+    }
+
+    /// True when the pool has no clusters.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current cluster key of stay `i`.
+    pub fn key_of(&self, i: usize) -> usize {
+        self.assign[i]
+    }
+
+    /// Incorporates the stays appended since the last update (global
+    /// indices `new_start..`), re-clustering only the touched components.
+    pub fn update(&mut self, stays: &mut StayPointSet, new_start: usize) -> PoolDelta {
+        if stays.len() <= new_start {
+            return PoolDelta::default();
+        }
+        match self.method {
+            PoolMethod::Hierarchical => self.update_hierarchical(stays, new_start),
+            PoolMethod::Grid => self.update_grid(stays, new_start),
+        }
+    }
+
+    fn update_hierarchical(&mut self, stays: &mut StayPointSet, new_start: usize) -> PoolDelta {
+        let roots = stays.roots();
+        let dirty_roots: HashSet<usize> = roots[new_start..].iter().copied().collect();
+
+        // Gather the members of every dirty component, ascending by
+        // construction of the scan.
+        let mut members_by_root: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (i, &r) in roots.iter().enumerate() {
+            if dirty_roots.contains(&r) {
+                members_by_root.entry(r).or_default().push(i);
+            }
+        }
+
+        // Retire the records of dirty components: a component whose member
+        // set changed contains at least one new stay, so its key (any of
+        // its old members) resolves to a dirty root.
+        let mut old: HashMap<usize, Vec<usize>> = HashMap::new();
+        let dirty_comp_keys: Vec<usize> = self
+            .components
+            .keys()
+            .copied()
+            .filter(|&k| dirty_roots.contains(&roots[k]))
+            .collect();
+        for k in dirty_comp_keys {
+            if let Some(recs) = self.components.remove(&k) {
+                for rec in recs {
+                    old.insert(rec.key, rec.members);
+                }
+            }
+        }
+
+        // Rebuild each dirty component from its raw member stays, in global
+        // stay-index order — a pure function of the member set.
+        self.assign.resize(stays.len(), usize::MAX);
+        let mut fresh: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut comps: Vec<(usize, Vec<usize>)> =
+            members_by_root.into_values().map(|m| (m[0], m)).collect();
+        comps.sort_unstable_by_key(|(k, _)| *k);
+        for (comp_key, members) in comps {
+            let items: Vec<WeightedPoint> = members
+                .iter()
+                .map(|&i| WeightedPoint::unit(stays.rec(i).pos))
+                .collect();
+            let clusters = merge_weighted(&items, self.distance);
+            let mut recs: Vec<ClusterRec> = Vec::with_capacity(clusters.len());
+            for cluster in &clusters {
+                let mut agg: Option<Agg> = None;
+                for &m in &cluster.members {
+                    let rec = stays.rec(members[m]);
+                    let part = Agg::from_stay(rec.pos, rec.duration_s, rec.courier, rec.hour_bin);
+                    match &mut agg {
+                        Some(a) => a.merge_into(&part),
+                        None => agg = Some(part),
+                    }
+                }
+                let Some(mut agg) = agg else { continue };
+                agg.pos = cluster.centroid;
+                let mut global: Vec<usize> = cluster.members.iter().map(|&m| members[m]).collect();
+                global.sort_unstable();
+                let key = global[0];
+                for &g in &global {
+                    self.assign[g] = key;
+                }
+                fresh.insert(key, global.clone());
+                recs.push(ClusterRec {
+                    key,
+                    centroid: cluster.centroid,
+                    members: global,
+                    agg,
+                });
+            }
+            self.components.insert(comp_key, recs);
+        }
+
+        Self::delta_from(old, fresh)
+    }
+
+    fn update_grid(&mut self, stays: &mut StayPointSet, new_start: usize) -> PoolDelta {
+        self.assign.resize(stays.len(), usize::MAX);
+        let mut changed: Vec<usize> = Vec::new();
+        let mut added = 0u64;
+        for i in new_start..stays.len() {
+            let rec = stays.rec(i);
+            let cell = (
+                (rec.pos.x / self.distance).floor() as i64,
+                (rec.pos.y / self.distance).floor() as i64,
+            );
+            let part = Agg::from_stay(rec.pos, rec.duration_s, rec.courier, rec.hour_bin);
+            let entry = self.cells.entry(cell).or_insert_with(|| {
+                added += 1;
+                ClusterRec {
+                    key: i,
+                    centroid: Point::ZERO,
+                    members: Vec::new(),
+                    agg: Agg {
+                        pos: Point::ZERO,
+                        weight: 0,
+                        total_duration_s: 0.0,
+                        couriers: HashSet::new(),
+                        hist: [0; crate::candidates::TIME_BINS],
+                    },
+                }
+            });
+            if entry.agg.weight == 0 {
+                entry.agg = part;
+            } else {
+                entry.agg.merge_into(&part);
+            }
+            // Running centroid sums accumulate in global stay order, so the
+            // streamed sums replay the exact additions of a one-shot build.
+            entry.centroid = Point::new(entry.centroid.x + rec.pos.x, entry.centroid.y + rec.pos.y);
+            entry.members.push(i);
+            self.assign[i] = entry.key;
+            if changed.last() != Some(&entry.key) {
+                changed.push(entry.key);
+            }
+        }
+        changed.sort_unstable();
+        changed.dedup();
+        PoolDelta {
+            changed_keys: changed,
+            added,
+            removed: 0,
+        }
+    }
+
+    fn delta_from(old: HashMap<usize, Vec<usize>>, fresh: HashMap<usize, Vec<usize>>) -> PoolDelta {
+        let mut changed: Vec<usize> = Vec::new();
+        let mut added = 0u64;
+        let mut removed = 0u64;
+        for (k, members) in &fresh {
+            match old.get(k) {
+                None => {
+                    added += 1;
+                    changed.push(*k);
+                }
+                Some(prev) if prev != members => changed.push(*k),
+                Some(_) => {}
+            }
+        }
+        for k in old.keys() {
+            if !fresh.contains_key(k) {
+                removed += 1;
+                changed.push(*k);
+            }
+        }
+        changed.sort_unstable();
+        PoolDelta {
+            changed_keys: changed,
+            added,
+            removed,
+        }
+    }
+
+    /// All clusters as `(key, centroid, profile)`, unordered. Grid-mode
+    /// centroids are finalized from the running sums here.
+    pub fn snapshot(&self) -> Vec<(usize, Point, LocationProfile)> {
+        match self.method {
+            PoolMethod::Hierarchical => self
+                .components
+                .values()
+                .flatten()
+                .map(|r| (r.key, r.centroid, r.agg.profile()))
+                .collect(),
+            PoolMethod::Grid => self
+                .cells
+                .values()
+                .map(|r| {
+                    let n = r.members.len().max(1) as f64;
+                    (
+                        r.key,
+                        Point::new(r.centroid.x / n, r.centroid.y / n),
+                        r.agg.profile(),
+                    )
+                })
+                .collect(),
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Incremental per-address delivery evidence.
+//!
+//! The batch pipeline derives retrieval evidence and the feature
+//! normalization indexes from the frozen dataset
+//! ([`collect_evidence`](crate::collect_evidence) and
+//! [`FeatureExtractor`](crate::FeatureExtractor)'s inverted indexes). The
+//! engine maintains the same state incrementally from streamed waybills:
+//! per-address temporal upper bounds (the latest recorded delivery time per
+//! trip, folded exactly as the batch path folds them) plus the
+//! building-level and address-level trip sets Equation 2's normalization
+//! needs.
+
+use crate::retrieval::AddressEvidence;
+use dlinfma_synth::{AddressId, BuildingId, TripId};
+use std::collections::{HashMap, HashSet};
+
+/// Accumulated evidence across every ingested waybill.
+#[derive(Debug, Default)]
+pub struct RetrievalIndex {
+    /// Per address: per trip, the latest recorded delivery time (the
+    /// retrieval bound).
+    bounds: HashMap<AddressId, HashMap<TripId, f64>>,
+    /// Trips that delivered to each building.
+    building_trips: HashMap<BuildingId, HashSet<TripId>>,
+    /// Trips that delivered to each address.
+    address_trips: HashMap<AddressId, HashSet<TripId>>,
+    /// Accepted trips so far (the live `n_trips` of Equation 2).
+    n_trips: usize,
+}
+
+impl RetrievalIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one accepted trip.
+    pub fn note_trip(&mut self) {
+        self.n_trips += 1;
+    }
+
+    /// Total accepted trips.
+    pub fn n_trips(&self) -> usize {
+        self.n_trips
+    }
+
+    /// Folds one waybill into the evidence, exactly like the batch path:
+    /// the bound starts at `-inf` and takes the maximum recorded time.
+    pub fn add_waybill(
+        &mut self,
+        address: AddressId,
+        building: BuildingId,
+        trip: TripId,
+        t_recorded: f64,
+    ) {
+        let bound = self
+            .bounds
+            .entry(address)
+            .or_default()
+            .entry(trip)
+            .or_insert(f64::NEG_INFINITY);
+        *bound = bound.max(t_recorded);
+        self.building_trips
+            .entry(building)
+            .or_default()
+            .insert(trip);
+        self.address_trips.entry(address).or_default().insert(trip);
+    }
+
+    /// The evidence of one address (trips sorted by id), or `None` when the
+    /// address has no ingested waybills.
+    pub fn evidence(&self, address: AddressId) -> Option<AddressEvidence> {
+        let per_trip = self.bounds.get(&address)?;
+        let mut trips: Vec<(TripId, f64)> = per_trip.iter().map(|(&t, &b)| (t, b)).collect();
+        trips.sort_by_key(|(t, _)| *t);
+        Some(AddressEvidence { address, trips })
+    }
+
+    /// Addresses with at least one waybill, sorted.
+    pub fn addresses(&self) -> Vec<AddressId> {
+        let mut out: Vec<AddressId> = self.bounds.keys().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of addresses with evidence.
+    pub fn n_addresses(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Trips that delivered to `building`.
+    pub fn building_trips(&self, building: BuildingId) -> Option<&HashSet<TripId>> {
+        self.building_trips.get(&building)
+    }
+
+    /// Trips that delivered to `address`.
+    pub fn address_trips(&self, address: AddressId) -> Option<&HashSet<TripId>> {
+        self.address_trips.get(&address)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_take_the_latest_recorded_time() {
+        let mut idx = RetrievalIndex::new();
+        let (a, b, t) = (AddressId(1), BuildingId(0), TripId(2));
+        idx.add_waybill(a, b, t, 50.0);
+        idx.add_waybill(a, b, t, 20.0);
+        idx.add_waybill(a, b, TripId(1), 99.0);
+        let ev = idx.evidence(a).expect("evidence exists");
+        assert_eq!(ev.trips, vec![(TripId(1), 99.0), (TripId(2), 50.0)]);
+        assert!(idx.evidence(AddressId(9)).is_none());
+        assert_eq!(idx.address_trips(a).map(HashSet::len), Some(2));
+        assert_eq!(idx.building_trips(b).map(HashSet::len), Some(2));
+    }
+
+    #[test]
+    fn non_finite_recorded_times_keep_the_finite_maximum() {
+        let mut idx = RetrievalIndex::new();
+        let (a, b, t) = (AddressId(0), BuildingId(0), TripId(0));
+        idx.add_waybill(a, b, t, f64::NAN);
+        idx.add_waybill(a, b, t, 10.0);
+        idx.add_waybill(a, b, t, f64::NAN);
+        let ev = idx.evidence(a).expect("evidence exists");
+        assert_eq!(ev.trips, vec![(t, 10.0)]);
+    }
+}

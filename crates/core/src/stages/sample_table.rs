@@ -1,0 +1,126 @@
+//! Per-address raw feature counts and the key → addresses inverse index.
+//!
+//! Feature *values* cannot be cached across ingests: location commonality
+//! (Equation 2) is normalized by the live global trip count, which moves
+//! with every batch. What *can* be cached are the integer counts the
+//! features are computed from — they only change when an address's
+//! candidate set, trips, or a referenced candidate's trip set changes,
+//! i.e. exactly when the address is dirty. The engine therefore stores per
+//! `(address, candidate)` the raw intersection counts and finalizes the
+//! floating-point features at materialization time from live state,
+//! reproducing the batch extractor's arithmetic bit for bit.
+
+use dlinfma_synth::AddressId;
+use std::collections::{HashMap, HashSet};
+
+/// Raw (integer) feature state of one address, parallel vectors over its
+/// retrieved candidates.
+#[derive(Debug, Clone, Default)]
+pub struct RawSample {
+    /// Retrieved candidate keys, sorted ascending.
+    pub candidate_keys: Vec<usize>,
+    /// `|trips(address) ∩ trips(candidate)|` per candidate — the trip
+    /// coverage numerator.
+    pub tc_hits: Vec<u32>,
+    /// `|trips(candidate) ∩ exclude|` per candidate, where `exclude` is the
+    /// building's (or, in the LC_addr ablation, the address's) trip set —
+    /// the location-commonality overlap.
+    pub overlap_excl: Vec<u32>,
+}
+
+/// All addresses' raw samples plus the inverse candidate-key index.
+#[derive(Debug, Default)]
+pub struct SampleTable {
+    rows: HashMap<AddressId, RawSample>,
+    /// Which addresses reference each candidate key.
+    by_key: HashMap<usize, HashSet<AddressId>>,
+}
+
+impl SampleTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of addresses with a (possibly empty) raw sample.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no address has been sampled yet.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The raw sample of one address.
+    pub fn get(&self, address: AddressId) -> Option<&RawSample> {
+        self.rows.get(&address)
+    }
+
+    /// Iterates over all `(address, raw sample)` rows, unordered.
+    pub fn iter(&self) -> impl Iterator<Item = (&AddressId, &RawSample)> {
+        self.rows.iter()
+    }
+
+    /// Replaces an address's raw sample, keeping the inverse index in sync.
+    pub fn replace(&mut self, address: AddressId, raw: RawSample) {
+        if let Some(prev) = self.rows.get(&address) {
+            for k in &prev.candidate_keys {
+                if let Some(set) = self.by_key.get_mut(k) {
+                    set.remove(&address);
+                    if set.is_empty() {
+                        self.by_key.remove(k);
+                    }
+                }
+            }
+        }
+        for k in &raw.candidate_keys {
+            self.by_key.entry(*k).or_default().insert(address);
+        }
+        self.rows.insert(address, raw);
+    }
+
+    /// Every address referencing any of `keys` — the candidate-side dirty
+    /// set of an ingest.
+    pub fn addresses_referencing(&self, keys: &[usize]) -> HashSet<AddressId> {
+        let mut out = HashSet::new();
+        for k in keys {
+            if let Some(set) = self.by_key.get(k) {
+                out.extend(set.iter().copied());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replace_keeps_the_inverse_index_in_sync() {
+        let mut t = SampleTable::new();
+        let a = AddressId(0);
+        t.replace(
+            a,
+            RawSample {
+                candidate_keys: vec![3, 7],
+                tc_hits: vec![1, 2],
+                overlap_excl: vec![0, 1],
+            },
+        );
+        assert_eq!(t.addresses_referencing(&[7]).len(), 1);
+        // Re-sampling the address away from key 7 must drop the reference.
+        t.replace(
+            a,
+            RawSample {
+                candidate_keys: vec![3],
+                tc_hits: vec![1],
+                overlap_excl: vec![0],
+            },
+        );
+        assert!(t.addresses_referencing(&[7]).is_empty());
+        assert_eq!(t.addresses_referencing(&[3, 7]).len(), 1);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,228 @@
+//! The accumulated stay-point set and its radius-`D` connectivity.
+//!
+//! Stays are appended in ingest order, so a stay's index doubles as a
+//! stable, globally-unique identifier. A union-find over the "closer than
+//! `D`" relation partitions the set into *clustering components*: connected
+//! components are a property of the point set alone, so batch and streaming
+//! ingestion agree on them regardless of arrival order — the foundation of
+//! the engine's parity guarantee.
+
+use dlinfma_geo::{GridIndex, Point};
+use dlinfma_synth::{CourierId, TripId};
+
+/// One ingested stay point with the metadata every later stage needs.
+#[derive(Debug, Clone)]
+pub struct StayRec {
+    /// The trip the stay belongs to.
+    pub trip: TripId,
+    /// Spatial centroid of the stay.
+    pub pos: Point,
+    /// Representative (mid-interval) time of the stay.
+    pub mid_time: f64,
+    /// Dwell duration, seconds.
+    pub duration_s: f64,
+    /// Hour-of-day bin of `mid_time`.
+    pub hour_bin: usize,
+    /// Courier who made the stay.
+    pub courier: CourierId,
+}
+
+/// Append-only stay-point store with incremental connectivity.
+#[derive(Debug)]
+pub struct StayPointSet {
+    radius: f64,
+    stays: Vec<StayRec>,
+    grid: GridIndex<usize>,
+    /// Union-find parent per stay (union by size, path halving).
+    parent: Vec<usize>,
+    size: Vec<u32>,
+    /// Stay indices per trip id, chronological within each trip.
+    by_trip: Vec<Vec<usize>>,
+}
+
+impl StayPointSet {
+    /// An empty set whose components connect stays strictly closer than
+    /// `radius` (the clustering distance `D`).
+    ///
+    /// # Panics
+    /// Panics if `radius` is not strictly positive and finite (the same
+    /// contract as the clustering it feeds).
+    pub fn new(radius: f64) -> Self {
+        Self {
+            radius,
+            stays: Vec::new(),
+            grid: GridIndex::new(radius),
+            parent: Vec::new(),
+            size: Vec::new(),
+            by_trip: Vec::new(),
+        }
+    }
+
+    /// Number of stays ingested so far.
+    pub fn len(&self) -> usize {
+        self.stays.len()
+    }
+
+    /// True when no stays were ingested.
+    pub fn is_empty(&self) -> bool {
+        self.stays.is_empty()
+    }
+
+    /// The stay at global index `i`.
+    pub fn rec(&self, i: usize) -> &StayRec {
+        &self.stays[i]
+    }
+
+    /// All stays in ingest order.
+    pub fn recs(&self) -> &[StayRec] {
+        &self.stays
+    }
+
+    /// Stay indices of one trip (empty for unknown trips), chronological.
+    pub fn stays_of_trip(&self, trip: TripId) -> &[usize] {
+        self.by_trip.get(trip.0 as usize).map_or(&[], Vec::as_slice)
+    }
+
+    /// Appends a stay, connecting it to every existing stay strictly closer
+    /// than the component radius. Returns the stay's global index.
+    pub fn push(&mut self, rec: StayRec) -> usize {
+        let i = self.stays.len();
+        let pos = rec.pos;
+        let trip_idx = rec.trip.0 as usize;
+        if self.by_trip.len() <= trip_idx {
+            self.by_trip.resize_with(trip_idx + 1, Vec::new);
+        }
+        self.by_trip[trip_idx].push(i);
+        self.stays.push(rec);
+        self.parent.push(i);
+        self.size.push(1);
+
+        let r2 = self.radius * self.radius;
+        let mut neighbours: Vec<usize> = Vec::new();
+        self.grid.for_each_within(&pos, self.radius, |p, &j| {
+            // The grid query is boundary-inclusive; the component relation
+            // is strict, mirroring the clustering threshold.
+            if p.distance_sq(&pos) < r2 {
+                neighbours.push(j);
+            }
+        });
+        for j in neighbours {
+            self.union(i, j);
+        }
+        self.grid.insert(pos, i);
+        i
+    }
+
+    /// Representative stay of `i`'s component.
+    pub fn find(&mut self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            self.parent[i] = self.parent[self.parent[i]];
+            i = self.parent[i];
+        }
+        i
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+    }
+
+    /// The component root of every stay, in one pass.
+    pub fn roots(&mut self) -> Vec<usize> {
+        (0..self.stays.len()).map(|i| self.find(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(x: f64, y: f64) -> StayRec {
+        StayRec {
+            trip: TripId(0),
+            pos: Point::new(x, y),
+            mid_time: 0.0,
+            duration_s: 60.0,
+            hour_bin: 0,
+            courier: CourierId(0),
+        }
+    }
+
+    #[test]
+    fn components_are_transitive_and_strict() {
+        let mut s = StayPointSet::new(40.0);
+        let a = s.push(rec(0.0, 0.0));
+        let b = s.push(rec(100.0, 0.0));
+        assert_ne!(s.find(a), s.find(b), "far stays are separate components");
+        // Exactly 40 m apart is NOT connected (strict threshold)...
+        let c = s.push(rec(40.0, 0.0));
+        assert_ne!(s.find(a), s.find(c));
+        // ...but a bridge below 40 m links a chain a - d - b transitively.
+        let d = s.push(rec(65.0, 0.0));
+        assert_eq!(s.find(c), s.find(d));
+        assert_eq!(s.find(d), s.find(b));
+        assert_ne!(s.find(a), s.find(b));
+        let e = s.push(rec(20.0, 0.0));
+        assert_eq!(s.find(a), s.find(e));
+        assert_eq!(s.find(a), s.find(b), "e bridges everything");
+    }
+
+    #[test]
+    fn insertion_order_does_not_change_components() {
+        let pts = [
+            (0.0, 0.0),
+            (35.0, 10.0),
+            (300.0, 0.0),
+            (18.0, -20.0),
+            (320.0, 25.0),
+        ];
+        let canonical = |order: &[usize]| -> Vec<Vec<(i64, i64)>> {
+            let mut s = StayPointSet::new(40.0);
+            let mut idx_of = vec![0usize; pts.len()];
+            for &o in order {
+                idx_of[o] = s.push(rec(pts[o].0, pts[o].1));
+            }
+            // Group original point ids by component, canonically sorted.
+            let mut groups: std::collections::BTreeMap<usize, Vec<(i64, i64)>> = Default::default();
+            for (o, p) in pts.iter().enumerate() {
+                let root = s.find(idx_of[o]);
+                groups
+                    .entry(root)
+                    .or_default()
+                    .push((p.0 as i64, p.1 as i64));
+            }
+            let mut out: Vec<Vec<(i64, i64)>> = groups
+                .into_values()
+                .map(|mut v| {
+                    v.sort_unstable();
+                    v
+                })
+                .collect();
+            out.sort();
+            out
+        };
+        let a = canonical(&[0, 1, 2, 3, 4]);
+        let b = canonical(&[4, 2, 3, 0, 1]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stays_of_trip_tracks_sparse_trip_ids() {
+        let mut s = StayPointSet::new(40.0);
+        let mut r = rec(0.0, 0.0);
+        r.trip = TripId(3);
+        s.push(r);
+        assert!(s.stays_of_trip(TripId(0)).is_empty());
+        assert!(s.stays_of_trip(TripId(7)).is_empty());
+        assert_eq!(s.stays_of_trip(TripId(3)), &[0]);
+    }
+}

@@ -120,17 +120,34 @@ pub fn extract_stay_points_parallel_with_stats(
     cfg: &ExtractionConfig,
     n_workers: usize,
 ) -> (Vec<TripStays>, ExtractionStats) {
+    extract_batch_with_stats(&dataset.trips, cfg, n_workers)
+}
+
+/// Extracts stay points for an arbitrary slice of trips (one streamed
+/// [`TripBatch`](dlinfma_synth::TripBatch)'s worth) across `n_workers`
+/// threads. Per-trip extraction is independent, so batching never changes
+/// the detected stays — the property the incremental engine's
+/// batch/streaming parity rests on.
+pub fn extract_batch_with_stats(
+    trips: &[dlinfma_synth::DeliveryTrip],
+    cfg: &ExtractionConfig,
+    n_workers: usize,
+) -> (Vec<TripStays>, ExtractionStats) {
     let n_workers = n_workers.max(1);
-    if n_workers == 1 || dataset.trips.len() < 2 {
-        return extract_stay_points_with_stats(dataset, cfg);
+    if n_workers == 1 || trips.len() < 2 {
+        let mut stats = ExtractionStats::default();
+        let out = trips
+            .iter()
+            .map(|t| extract_trip(t, cfg, &mut stats))
+            .collect();
+        return (out, stats);
     }
     let mut out: Vec<Option<TripStays>> = Vec::new();
-    out.resize_with(dataset.trips.len(), || None);
-    let chunk = dataset.trips.len().div_ceil(n_workers);
-    let mut chunk_stats = vec![ExtractionStats::default(); dataset.trips.len().div_ceil(chunk)];
+    out.resize_with(trips.len(), || None);
+    let chunk = trips.len().div_ceil(n_workers);
+    let mut chunk_stats = vec![ExtractionStats::default(); trips.len().div_ceil(chunk)];
     crossbeam::scope(|scope| {
-        for ((trips, slots), stats) in dataset
-            .trips
+        for ((trips, slots), stats) in trips
             .chunks(chunk)
             .zip(out.chunks_mut(chunk))
             .zip(chunk_stats.iter_mut())

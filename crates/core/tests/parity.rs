@@ -1,0 +1,113 @@
+//! Batch/streaming parity: feeding the engine day by day via `replay` must
+//! reproduce one-shot `DlInfMa::prepare` exactly — pool, candidate sets,
+//! features, and (after training on the identical samples) inference.
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
+use dlinfma_core::{DlInfMa, DlInfMaConfig, Engine, PoolMethod};
+use dlinfma_synth::{generate, replay, spatial_split, Preset, Scale};
+
+fn config_for(preset: Preset) -> DlInfMaConfig {
+    let mut cfg = DlInfMaConfig::fast();
+    // Mirror the eval harness: DowBJ keeps the re-tuned 30 m distance,
+    // SubBJ the paper's 40 m.
+    cfg.clustering_distance_m = match preset {
+        Preset::DowBJ => dlinfma_core::params::TUNED_CLUSTER_DISTANCE_M,
+        Preset::SubBJ => dlinfma_core::params::CLUSTER_DISTANCE_M,
+    };
+    cfg.model.max_epochs = 10;
+    cfg
+}
+
+/// Streams the dataset through an engine day by day, asserting the
+/// dirty-address bookkeeping along the way, and returns it.
+fn stream(dataset: &dlinfma_synth::Dataset, cfg: DlInfMaConfig) -> Engine {
+    let mut engine = Engine::new(dataset.addresses.clone(), cfg);
+    let mut days = 0;
+    for (i, batch) in replay(dataset).enumerate() {
+        let rep = engine.ingest(&batch);
+        assert_eq!(rep.rejected_trips, 0);
+        assert_eq!(rep.rejected_waybills, 0);
+        assert_eq!(rep.pool_size, engine.pool().len() as u64);
+        if i > 0 {
+            // Incrementality: after day 1 only part of the address space
+            // may be invalidated.
+            assert!(
+                rep.dirty_addresses < rep.total_addresses,
+                "day {}: {} dirty of {} addresses — nothing was incremental",
+                batch.day,
+                rep.dirty_addresses,
+                rep.total_addresses
+            );
+        }
+        days += 1;
+    }
+    assert!(days >= 2, "Tiny worlds replay over several days");
+    engine
+}
+
+fn assert_parity(preset: Preset, pool_method: PoolMethod, seed: u64) {
+    let (_, ds) = generate(preset, Scale::Tiny, seed);
+    let mut cfg = config_for(preset);
+    cfg.pool_method = pool_method;
+
+    let mut batch = DlInfMa::prepare(&ds, cfg);
+    let mut streamed = DlInfMa::from_engine(stream(&ds, cfg));
+
+    // Pool parity: same size, bitwise-identical candidates.
+    assert_eq!(batch.pool().len(), streamed.pool().len(), "pool size");
+    for (a, b) in batch
+        .pool()
+        .candidates()
+        .iter()
+        .zip(streamed.pool().candidates())
+    {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.pos, b.pos, "candidate {:?} centroid", a.id);
+        assert_eq!(a.profile, b.profile, "candidate {:?} profile", a.id);
+    }
+
+    // Sample parity: same address set, same candidate sets, same features.
+    let batch_samples: Vec<_> = batch.samples().collect();
+    assert_eq!(batch_samples.len(), streamed.samples().count());
+    for s in &batch_samples {
+        let t = streamed
+            .sample(s.address)
+            .unwrap_or_else(|| panic!("streamed engine lost {:?}", s.address));
+        assert_eq!(s.candidates, t.candidates, "{:?} candidate set", s.address);
+        assert_eq!(s.features, t.features, "{:?} features", s.address);
+        assert_eq!(s.n_deliveries, t.n_deliveries);
+        assert_eq!(s.poi_category, t.poi_category);
+        assert_eq!(s.geocode, t.geocode);
+    }
+
+    // Train both on identical splits; the seeded model must infer
+    // identically from identical samples.
+    let split = spatial_split(&ds, 0.6, 0.2);
+    batch.label_from_dataset(&ds);
+    streamed.label_from_dataset(&ds);
+    batch.train(&split.train, &split.val);
+    streamed.train(&split.train, &split.val);
+    for a in &ds.addresses {
+        assert_eq!(
+            batch.infer(a.id),
+            streamed.infer(a.id),
+            "inference diverged for {:?}",
+            a.id
+        );
+    }
+}
+
+#[test]
+fn batch_streaming_parity_dowbj() {
+    assert_parity(Preset::DowBJ, PoolMethod::Hierarchical, 11);
+}
+
+#[test]
+fn batch_streaming_parity_subbj() {
+    assert_parity(Preset::SubBJ, PoolMethod::Hierarchical, 23);
+}
+
+#[test]
+fn batch_streaming_parity_grid_pool() {
+    assert_parity(Preset::DowBJ, PoolMethod::Grid, 7);
+}

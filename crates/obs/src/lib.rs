@@ -16,8 +16,9 @@
 //! * [`metrics`] — named counters, gauges and fixed-bucket histograms with
 //!   lock-free handles, plus JSON and human-readable table export.
 //! * [`report`] — the typed [`PipelineReport`] that `DlInfMa::prepare` /
-//!   `train` emit: per-stage durations and funnel counts, with invariant
-//!   checking.
+//!   `train` emit (per-stage durations and funnel counts, with invariant
+//!   checking) and the per-ingest [`IngestReport`] the incremental engine
+//!   emits for every streamed batch.
 //! * [`json`] — a minimal JSON value, writer and parser (no serde) used by
 //!   every exporter and by the CLI's readers.
 //!
@@ -35,7 +36,7 @@ pub use metrics::{
     counter, gauge, histogram, metrics_snapshot, render_metrics, reset_metrics, try_histogram,
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, NonFiniteBound,
 };
-pub use report::{stage, EpochProgress, FunnelCounts, PipelineReport, StageReport};
+pub use report::{stage, EpochProgress, FunnelCounts, IngestReport, PipelineReport, StageReport};
 pub use span::{
     disable, enable, enabled, record_duration, render_spans, reset_spans, span, spans_snapshot,
     take_spans, SpanGuard, SpanRecord, Stopwatch,

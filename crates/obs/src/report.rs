@@ -243,6 +243,106 @@ impl PipelineReport {
     }
 }
 
+/// Per-ingest summary of one `Engine::ingest` call: what arrived, what the
+/// candidate pool did, how much of the address space was invalidated, and
+/// where the time went. Complements the cumulative [`PipelineReport`] the
+/// engine also maintains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestReport {
+    /// Day index of the ingested batch (0 for a full-batch ingest).
+    pub day: u32,
+    /// Trips accepted this ingest.
+    pub trips: u64,
+    /// Waybills accepted this ingest.
+    pub waybills: u64,
+    /// Trips rejected (duplicate trip ids).
+    pub rejected_trips: u64,
+    /// Waybills rejected (unknown trip or out-of-range address).
+    pub rejected_waybills: u64,
+    /// Stay points extracted from the batch's trips.
+    pub new_stays: u64,
+    /// Candidates created by this ingest.
+    pub clusters_added: u64,
+    /// Candidates removed (absorbed by re-clustering) this ingest.
+    pub clusters_removed: u64,
+    /// Candidate pool size after the ingest.
+    pub pool_size: u64,
+    /// Addresses whose candidate sets or features were recomputed.
+    pub dirty_addresses: u64,
+    /// Total addresses known to the engine.
+    pub total_addresses: u64,
+    /// Stay-point extraction (noise filter + detection) time, ns.
+    pub extraction_ns: u64,
+    /// Incremental clustering time, ns.
+    pub clustering_ns: u64,
+    /// Candidate retrieval time (dirty addresses only), ns.
+    pub retrieval_ns: u64,
+    /// Feature recount time (dirty addresses only), ns.
+    pub features_ns: u64,
+    /// Artifact materialization (pool + samples) time, ns.
+    pub materialize_ns: u64,
+}
+
+impl IngestReport {
+    /// Total time across the recorded phases, in nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.extraction_ns
+            + self.clustering_ns
+            + self.retrieval_ns
+            + self.features_ns
+            + self.materialize_ns
+    }
+
+    /// Renders the report as one human-readable line (the CLI `replay`
+    /// output format).
+    pub fn render_line(&self) -> String {
+        let mut line = format!(
+            "day {:>3}: trips {:>4} waybills {:>5} stays {:>5} | pool {:>5} (+{} -{}) | dirty addresses {} / {} | {:.3} ms",
+            self.day,
+            self.trips,
+            self.waybills,
+            self.new_stays,
+            self.pool_size,
+            self.clusters_added,
+            self.clusters_removed,
+            self.dirty_addresses,
+            self.total_addresses,
+            self.total_ns() as f64 / 1e6,
+        );
+        if self.rejected_trips > 0 || self.rejected_waybills > 0 {
+            line.push_str(&format!(
+                " | rejected trips {} waybills {}",
+                self.rejected_trips, self.rejected_waybills
+            ));
+        }
+        line
+    }
+
+    /// Converts the report to a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        let n = |v: u64| JsonValue::Num(v as f64);
+        JsonValue::Obj(vec![
+            ("day".into(), n(u64::from(self.day))),
+            ("trips".into(), n(self.trips)),
+            ("waybills".into(), n(self.waybills)),
+            ("rejected_trips".into(), n(self.rejected_trips)),
+            ("rejected_waybills".into(), n(self.rejected_waybills)),
+            ("new_stays".into(), n(self.new_stays)),
+            ("clusters_added".into(), n(self.clusters_added)),
+            ("clusters_removed".into(), n(self.clusters_removed)),
+            ("pool_size".into(), n(self.pool_size)),
+            ("dirty_addresses".into(), n(self.dirty_addresses)),
+            ("total_addresses".into(), n(self.total_addresses)),
+            ("extraction_ns".into(), n(self.extraction_ns)),
+            ("clustering_ns".into(), n(self.clustering_ns)),
+            ("retrieval_ns".into(), n(self.retrieval_ns)),
+            ("features_ns".into(), n(self.features_ns)),
+            ("materialize_ns".into(), n(self.materialize_ns)),
+            ("total_ns".into(), n(self.total_ns())),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,6 +376,43 @@ mod tests {
         let errs = r.check_funnel();
         assert_eq!(errs.len(), 1);
         assert!(errs[0].contains("filtered_points"));
+    }
+
+    #[test]
+    fn ingest_report_line_and_json_cover_the_dirty_counts() {
+        let r = IngestReport {
+            day: 3,
+            trips: 12,
+            waybills: 140,
+            new_stays: 150,
+            clusters_added: 4,
+            clusters_removed: 1,
+            pool_size: 90,
+            dirty_addresses: 35,
+            total_addresses: 120,
+            extraction_ns: 1_000_000,
+            clustering_ns: 2_000_000,
+            retrieval_ns: 500_000,
+            features_ns: 500_000,
+            materialize_ns: 1_000_000,
+            ..IngestReport::default()
+        };
+        assert_eq!(r.total_ns(), 5_000_000);
+        let line = r.render_line();
+        assert!(line.contains("day   3"));
+        assert!(line.contains("dirty addresses 35 / 120"));
+        assert!(!line.contains("rejected"), "no rejects, no noise: {line}");
+        let json = r.to_json().render();
+        assert!(json.contains("\"dirty_addresses\""));
+        assert!(json.contains("\"pool_size\""));
+
+        let rejected = IngestReport {
+            rejected_waybills: 2,
+            ..r
+        };
+        assert!(rejected
+            .render_line()
+            .contains("rejected trips 0 waybills 2"));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::query::{SpatioTemporalQuery, TimeRange};
 use dlinfma_geo::Point;
-use dlinfma_synth::{AddressId, CourierId, Dataset, TripId, Waybill};
+use dlinfma_synth::{AddressId, CourierId, Dataset, TripBatch, TripId, Waybill};
 use dlinfma_traj::{TrajPoint, Trajectory};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -105,6 +105,18 @@ impl TrajectoryStore {
             self.ingest_trip(trip.id, trip.courier, &trip.trajectory);
         }
         for w in &dataset.waybills {
+            self.ingest_waybill(w.clone());
+        }
+    }
+
+    /// Ingests one replayed [`TripBatch`] (trajectories + waybills), making
+    /// a streamed day of data queryable alongside the inference engine that
+    /// consumes the same batch.
+    pub fn ingest_batch(&self, batch: &TripBatch) {
+        for trip in &batch.trips {
+            self.ingest_trip(trip.id, trip.courier, &trip.trajectory);
+        }
+        for w in &batch.waybills {
             self.ingest_waybill(w.clone());
         }
     }

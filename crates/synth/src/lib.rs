@@ -15,7 +15,9 @@
 //! * the batch-confirmation delay model of Section V-D ([`delays`]);
 //! * presets mimicking DowBJ/SubBJ statistics at several scales
 //!   ([`presets`]) and the paper's disjoint spatial train/val/test split
-//!   ([`split`]).
+//!   ([`split`]);
+//! * a chronological per-day [`replay`] of a generated dataset, feeding the
+//!   streaming ingest path of `dlinfma_core::Engine`.
 //!
 //! Ground-truth fields exist on the generated types because the world is
 //! synthetic; the inference pipeline (in `dlinfma-core`) never reads them.
@@ -25,6 +27,7 @@ pub mod delays;
 pub mod json;
 pub mod model;
 pub mod presets;
+pub mod replay;
 pub mod sim;
 pub mod split;
 
@@ -35,5 +38,6 @@ pub use model::{
     StationId, TripId, Waybill, N_POI_CATEGORIES,
 };
 pub use presets::{generate, generate_with, world_config, Preset, Scale, WorldConfig};
+pub use replay::{replay, Replay, TripBatch};
 pub use sim::{assign_regions, simulate, SimConfig};
 pub use split::{spatial_split, Split};

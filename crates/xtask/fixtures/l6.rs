@@ -1,0 +1,12 @@
+// Seeded violation for rule L6: a reasonless allow directive.
+// `cargo run -p xtask -- lint crates/xtask/fixtures/l6.rs` must exit non-zero.
+
+pub fn stay_radius_m() -> f64 {
+    // lint: allow(L3)
+    21.5
+}
+
+pub fn cell_side_m() -> f64 {
+    // lint: allow(L3, )
+    31.5
+}

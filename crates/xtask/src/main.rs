@@ -1,6 +1,6 @@
 //! `cargo run -p xtask -- lint` — the workspace's in-tree static analyzer.
 //!
-//! Five repo-specific rules (see [`rules`]) run over every `crates/*/src`
+//! Six repo-specific rules (see [`rules`]) run over every `crates/*/src`
 //! file with a hand-rolled comment/string-aware tokenizer; findings print as
 //! `file:line: rule: message` and make the process exit non-zero. A
 //! committed baseline (`crates/xtask/lint.baseline`) can grandfather known
@@ -150,6 +150,7 @@ fn fixtures_self_check() -> ExitCode {
         ("l3.rs", Rule::L3),
         ("l4.rs", Rule::L4),
         ("l5.rs", Rule::L5),
+        ("l6.rs", Rule::L6),
     ];
     let mut ok = true;
     for (name, expected) in fixtures {
@@ -246,6 +247,7 @@ mod tests {
             ("l3.rs", Rule::L3),
             ("l4.rs", Rule::L4),
             ("l5.rs", Rule::L5),
+            ("l6.rs", Rule::L6),
         ] {
             let path = root.join("crates/xtask/fixtures").join(name);
             let findings = lint_one(&path, &root, true);

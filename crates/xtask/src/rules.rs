@@ -1,4 +1,4 @@
-//! The lint rules (L1–L5) and the machinery they share: `#[cfg(test)]`
+//! The lint rules (L1–L6) and the machinery they share: `#[cfg(test)]`
 //! region tracking, `// lint: allow(..)` directives, and finding reporting.
 //!
 //! Each rule is documented where it is implemented; `DESIGN.md` has the
@@ -21,6 +21,10 @@ pub enum Rule {
     L4,
     /// `==` / `!=` on floats.
     L5,
+    /// A `// lint: allow(<rule>)` directive with no reason string; a
+    /// reasonless allow suppresses nothing, so it must either gain a reason
+    /// or go.
+    L6,
 }
 
 impl Rule {
@@ -32,6 +36,7 @@ impl Rule {
             Rule::L3 => "L3",
             Rule::L4 => "L4",
             Rule::L5 => "L5",
+            Rule::L6 => "L6",
         }
     }
 
@@ -42,6 +47,7 @@ impl Rule {
             "L3" => Some(Rule::L3),
             "L4" => Some(Rule::L4),
             "L5" => Some(Rule::L5),
+            "L6" => Some(Rule::L6),
             _ => None,
         }
     }
@@ -106,9 +112,9 @@ const PAPER_CONSTS: [(f64, &str); 4] = [
 pub fn lint_source(src: &str, ctx: FileCtx) -> Vec<Finding> {
     let lexed = lex(src);
     let test_lines = test_regions(&lexed.tokens);
-    let allows = allow_directives(&lexed);
 
     let mut findings = Vec::new();
+    let allows = allow_directives(&lexed, ctx, &mut findings);
     rule_l1(&lexed.tokens, ctx, &mut findings);
     if ctx.check_panics {
         rule_l2(&lexed.tokens, ctx, &mut findings);
@@ -211,11 +217,25 @@ fn in_test_region(regions: &[(u32, u32)], line: u32) -> bool {
     regions.iter().any(|&(a, b)| (a..=b).contains(&line))
 }
 
-/// Parses `// lint: allow(<rule>, <reason>)` directives. A directive with no
-/// reason is ignored (the reason is mandatory). Each directive covers its own
-/// line and the next line carrying code, so it can sit above or beside the
-/// offending expression.
-fn allow_directives(lexed: &Lexed) -> Vec<(u32, Rule)> {
+/// Parses `// lint: allow(<rule>, <reason>)` directives. The reason is
+/// mandatory: a directive naming a valid rule without one suppresses
+/// nothing AND is itself reported (L6) — a silent no-op would read as
+/// "suppressed" while the rule still fires. Each valid directive covers its
+/// own line and the next line carrying code, so it can sit above or beside
+/// the offending expression.
+fn allow_directives(lexed: &Lexed, ctx: FileCtx, findings: &mut Vec<Finding>) -> Vec<(u32, Rule)> {
+    let mut reasonless = |line: u32, rule: Rule| {
+        findings.push(Finding {
+            file: ctx.path.to_string(),
+            line,
+            rule: Rule::L6,
+            message: format!(
+                "`lint: allow({r})` has no reason and suppresses nothing; \
+                 write `// lint: allow({r}, <why>)`",
+                r = rule.name()
+            ),
+        });
+    };
     let mut out = Vec::new();
     for c in &lexed.comments {
         let Some(idx) = c.text.find("lint: allow(") else {
@@ -227,12 +247,16 @@ fn allow_directives(lexed: &Lexed) -> Vec<(u32, Rule)> {
         };
         let inner = &inner[..close];
         let Some((rule_txt, reason)) = inner.split_once(',') else {
-            continue; // no reason given: directive does not count
+            if let Some(rule) = Rule::parse(inner) {
+                reasonless(c.line, rule);
+            }
+            continue;
         };
         let Some(rule) = Rule::parse(rule_txt) else {
             continue;
         };
         if reason.trim().is_empty() {
+            reasonless(c.line, rule);
             continue;
         }
         out.push((c.line, rule));
@@ -579,12 +603,26 @@ mod tests {
         assert!(rules_hit(inline).is_empty());
         let above = "// lint: allow(L3, coincidental value)\nfn f() { let d = 20.0; }";
         assert!(rules_hit(above).is_empty());
-        // Reason is mandatory: a bare allow does not suppress.
+        // Reason is mandatory: a bare allow does not suppress, and is
+        // itself flagged.
         let bare = "fn f() { let d = 20.0; } // lint: allow(L3)";
-        assert_eq!(rules_hit(bare), [Rule::L3]);
+        assert_eq!(rules_hit(bare), [Rule::L3, Rule::L6]);
         // Wrong rule does not suppress.
         let wrong = "fn f() { let d = 20.0; } // lint: allow(L5, nope)";
         assert_eq!(rules_hit(wrong), [Rule::L3]);
+    }
+
+    #[test]
+    fn l6_fires_on_reasonless_allow_directives() {
+        // Bare and empty-reason directives are findings even with nothing
+        // to suppress.
+        assert_eq!(rules_hit("fn f() {} // lint: allow(L2)"), [Rule::L6]);
+        assert_eq!(rules_hit("fn f() {} // lint: allow(L2, )"), [Rule::L6]);
+        // A reasoned directive or prose mentioning the syntax is fine.
+        assert!(rules_hit("fn f() {} // lint: allow(L2, provably in range)").is_empty());
+        assert!(
+            rules_hit("// see `lint: allow(<rule>, <reason>)` in DESIGN.md\nfn f() {}").is_empty()
+        );
     }
 
     #[test]

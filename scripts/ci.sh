@@ -28,8 +28,16 @@ run() {
 run cargo build --release --workspace "${CARGO_FLAGS[@]}"
 run cargo test --workspace -q "${CARGO_FLAGS[@]}"
 # In-tree static analysis (NaN ordering, panic freedom, paper constants);
-# offline-safe and fast, so it runs before the slower clippy pass.
+# offline-safe and fast, so it runs before the slower clippy pass. The
+# --fixtures pass lints the linter itself against seeded violations.
 run cargo run -p xtask "${CARGO_FLAGS[@]}" -- lint
+run cargo run -p xtask "${CARGO_FLAGS[@]}" -- lint --fixtures
+# Streaming-ingest smoke: replays the Tiny world day by day through the
+# incremental engine; exercises the same path the batch_streaming_parity
+# tests pin down, from the CLI.
+run cargo run --release -p dlinfma-cli "${CARGO_FLAGS[@]}" -- replay --preset dowbj --scale tiny
+# Machine-readable pipeline timing artifact (prepare + per-day ingest).
+run cargo run --release -p dlinfma-bench "${CARGO_FLAGS[@]}" --bin bench_pipeline -- BENCH_pipeline.json
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets "${CARGO_FLAGS[@]}" -- -D warnings
 
