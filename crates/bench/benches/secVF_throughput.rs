@@ -14,6 +14,7 @@ use dlinfma_core::{
     ExtractionConfig, LocMatcher,
 };
 use dlinfma_eval::ExperimentWorld;
+use dlinfma_pool::Pool;
 use dlinfma_synth::{generate, Preset, Scale};
 use std::time::Instant;
 
@@ -56,8 +57,9 @@ fn bench_pipeline(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(n_points));
     group.bench_function("sequential", |b| b.iter(|| extract_stay_points(&ds, &cfg)));
+    let pool = Pool::new(4);
     group.bench_function("parallel_4", |b| {
-        b.iter(|| extract_stay_points_parallel(&ds, &cfg, 4))
+        b.iter(|| extract_stay_points_parallel(&ds, &cfg, &pool))
     });
     group.finish();
 

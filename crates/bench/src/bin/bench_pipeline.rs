@@ -1,11 +1,18 @@
-//! Machine-readable pipeline timing artifact.
+//! Machine-readable pipeline timing artifact and regression gate.
 //!
-//! Runs the batch pipeline once and the streaming engine over a per-day
-//! replay on the Tiny world, then writes a single JSON file (default
-//! `BENCH_pipeline.json`, overridable as the first argument) with the
-//! one-shot prepare time, the per-stage breakdown, and per-day ingest
-//! timings. CI publishes this so pipeline-latency regressions show up as a
-//! diff rather than a vibe.
+//! Runs the batch pipeline at `workers = 1` and `workers = max` (recording
+//! the per-stage wall/CPU breakdown for each), replays the streaming engine
+//! per day on the Tiny world, and writes a single JSON file (default
+//! `BENCH_pipeline.json`, overridable as the first argument). CI publishes
+//! this so pipeline-latency regressions show up as a diff rather than a
+//! vibe.
+//!
+//! With `--gate <BENCH_baseline.json>` the run additionally compares its
+//! own prepare time against the committed baseline and exits non-zero on a
+//! regression beyond the documented 30% tolerance. Wall clocks are not
+//! portable across machines, so both files carry a `calibration_ns` (a
+//! fixed single-thread workload timed in-process) and the gate compares the
+//! *calibrated ratio* `prepare_ns / calibration_ns` instead of raw time.
 
 use dlinfma_core::{DlInfMa, Engine};
 use dlinfma_eval::pipeline_config;
@@ -15,19 +22,71 @@ use std::process::ExitCode;
 
 const SEED: u64 = 1;
 
+/// Regression tolerance of the `--gate` check: fail only when the
+/// calibrated prepare ratio exceeds the baseline's by more than this
+/// factor. 30% absorbs run-to-run scheduler noise on shared CI runners
+/// while still catching a real slowdown of the dominant stages.
+const GATE_TOLERANCE: f64 = 1.30;
+
+/// A fixed, optimization-resistant single-thread workload (FNV-1a over a
+/// counter stream) whose duration calibrates this machine's speed.
+fn calibration_ns() -> u64 {
+    let t = Stopwatch::start();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for i in 0u64..20_000_000 {
+        h ^= i;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    std::hint::black_box(h);
+    t.elapsed_ns()
+}
+
+fn prepare_at(workers: usize, dataset: &dlinfma_synth::Dataset, preset: Preset) -> (u64, DlInfMa) {
+    let mut cfg = pipeline_config(preset);
+    cfg.workers = workers;
+    let t = Stopwatch::start();
+    let batch = DlInfMa::prepare(dataset, cfg);
+    (t.elapsed_ns(), batch)
+}
+
 fn run() -> Result<(), String> {
-    let out = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+    let mut out = "BENCH_pipeline.json".to_string();
+    let mut gate: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--gate" {
+            gate = Some(args.next().ok_or("--gate needs a baseline path")?);
+        } else {
+            out = a;
+        }
+    }
     let preset = Preset::DowBJ;
     let (_, dataset) = generate(preset, Scale::Tiny, SEED);
-    let cfg = pipeline_config(preset);
+    let calib = calibration_ns();
 
-    let t = Stopwatch::start();
-    let batch = DlInfMa::prepare(&dataset, cfg);
-    let prepare_ns = t.elapsed_ns();
+    let max_workers = std::thread::available_parallelism().map_or(4, |n| n.get().min(16));
+    let mut sweep = Vec::new();
+    let mut prepare_ns = 0u64;
+    let mut batch = None;
+    let mut worker_counts = vec![1usize];
+    if max_workers > 1 {
+        worker_counts.push(max_workers);
+    }
+    for &w in &worker_counts {
+        let (ns, b) = prepare_at(w, &dataset, preset);
+        sweep.push(JsonValue::Obj(vec![
+            ("workers".into(), JsonValue::Num(w as f64)),
+            ("prepare_ns".into(), JsonValue::Num(ns as f64)),
+            ("report".into(), b.report().to_json()),
+        ]));
+        // The headline prepare time is the all-workers run (the default
+        // configuration users get).
+        prepare_ns = ns;
+        batch = Some(b);
+    }
+    let batch = batch.ok_or("worker sweep was empty")?;
 
-    let mut engine = Engine::new(dataset.addresses.clone(), cfg);
+    let mut engine = Engine::new(dataset.addresses.clone(), pipeline_config(preset));
     let mut days = Vec::new();
     for day in replay(&dataset) {
         days.push(engine.ingest(&day).to_json());
@@ -38,15 +97,49 @@ fn run() -> Result<(), String> {
         ("preset".into(), JsonValue::Str(preset.name().into())),
         ("scale".into(), JsonValue::Str("tiny".into())),
         ("seed".into(), JsonValue::Num(SEED as f64)),
+        ("calibration_ns".into(), JsonValue::Num(calib as f64)),
+        ("max_workers".into(), JsonValue::Num(max_workers as f64)),
         ("prepare_ns".into(), JsonValue::Num(prepare_ns as f64)),
         ("prepare_report".into(), batch.report().to_json()),
+        ("workers_sweep".into(), JsonValue::Arr(sweep)),
         ("ingest_days".into(), JsonValue::Arr(days)),
     ]);
     std::fs::write(&out, json.render_pretty()).map_err(|e| format!("write {out}: {e}"))?;
     println!(
-        "wrote {out} (prepare {:.3} ms, {n_days} replay days)",
+        "wrote {out} (prepare {:.3} ms at {max_workers} workers, {n_days} replay days)",
         prepare_ns as f64 / 1e6
     );
+
+    if let Some(baseline_path) = gate {
+        gate_check(&baseline_path, prepare_ns, calib)?;
+    }
+    Ok(())
+}
+
+/// Compares this run's calibrated prepare ratio against the committed
+/// baseline; errors beyond [`GATE_TOLERANCE`].
+fn gate_check(baseline_path: &str, prepare_ns: u64, calib: u64) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(baseline_path).map_err(|e| format!("read {baseline_path}: {e}"))?;
+    let base = JsonValue::parse(&text).map_err(|e| format!("parse {baseline_path}: {e:?}"))?;
+    let field = |k: &str| -> Result<f64, String> {
+        base.get(k)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("{baseline_path}: missing numeric `{k}`"))
+    };
+    let base_ratio = field("prepare_ns")? / field("calibration_ns")?.max(1.0);
+    let ratio = prepare_ns as f64 / calib.max(1) as f64;
+    println!(
+        "gate: calibrated prepare ratio {ratio:.3} vs baseline {base_ratio:.3} \
+         (tolerance {GATE_TOLERANCE}x)"
+    );
+    if ratio > base_ratio * GATE_TOLERANCE {
+        return Err(format!(
+            "prepare regressed: calibrated ratio {ratio:.3} exceeds baseline \
+             {base_ratio:.3} by more than {:.0}%",
+            (GATE_TOLERANCE - 1.0) * 100.0
+        ));
+    }
     Ok(())
 }
 

@@ -12,8 +12,13 @@
 //! spread over a district) near `O(n log n)` instead of the naive `O(n^3)`.
 
 use dlinfma_geo::{GridIndex, Point};
+use dlinfma_pool::Pool;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Below this many input points the parallel initial-pair scan costs more
+/// than it saves; [`merge_weighted_pooled`] falls back to the serial scan.
+const PARALLEL_PAIR_SCAN_MIN: usize = 512;
 
 /// A point with a multiplicity, used for incremental pool merging where an
 /// existing candidate summarizes many stay points.
@@ -102,6 +107,29 @@ pub fn hierarchical_cluster(points: &[Point], distance_threshold: f64) -> Vec<Cl
 /// Panics if `distance_threshold` is not finite and positive, or any weight
 /// is zero.
 pub fn merge_weighted(items: &[WeightedPoint], distance_threshold: f64) -> Vec<Cluster> {
+    merge_weighted_impl(items, distance_threshold, None)
+}
+
+/// [`merge_weighted`] with the initial nearest-pair scan fanned out over
+/// `pool` — the dominant cost on large inputs, where every point queries the
+/// grid for its radius-`D` neighbors. The merge loop itself stays
+/// sequential (each merge invalidates heap entries), but the heap it starts
+/// from is an order-insensitive multiset with a total tie-break order
+/// (`Pair`'s `Ord` falls back to indices), so the pooled and serial runs
+/// produce bitwise-identical clusters.
+pub fn merge_weighted_pooled(
+    items: &[WeightedPoint],
+    distance_threshold: f64,
+    pool: &Pool,
+) -> Vec<Cluster> {
+    merge_weighted_impl(items, distance_threshold, Some(pool))
+}
+
+fn merge_weighted_impl(
+    items: &[WeightedPoint],
+    distance_threshold: f64,
+    pool: Option<&Pool>,
+) -> Vec<Cluster> {
     let _span = dlinfma_obs::span("cluster/merge-weighted");
     assert!(
         distance_threshold.is_finite() && distance_threshold > 0.0,
@@ -131,39 +159,61 @@ pub fn merge_weighted(items: &[WeightedPoint], distance_threshold: f64) -> Vec<C
         grid.insert(a.centroid, (i, 0));
     }
 
-    let mut heap: BinaryHeap<Pair> = BinaryHeap::new();
-    let push_neighbors = |id: usize,
-                          active: &[Active],
-                          grid: &GridIndex<(usize, u64)>,
-                          heap: &mut BinaryHeap<Pair>| {
-        let me = &active[id];
-        grid.for_each_within(&me.centroid, d, |_, &(other, other_gen)| {
-            if other == id {
-                return;
-            }
-            let o = &active[other];
-            if !o.alive || o.generation != other_gen {
-                return;
-            }
-            let dist = me.centroid.distance(&o.centroid);
-            if dist < d {
-                heap.push(Pair {
-                    dist,
-                    a: id,
-                    b: other,
-                    a_gen: me.generation,
-                    b_gen: other_gen,
-                });
-            }
-        });
-    };
+    let collect_neighbors =
+        |id: usize, active: &[Active], grid: &GridIndex<(usize, u64)>, out: &mut Vec<Pair>| {
+            let me = &active[id];
+            grid.for_each_within(&me.centroid, d, |_, &(other, other_gen)| {
+                if other == id {
+                    return;
+                }
+                let o = &active[other];
+                if !o.alive || o.generation != other_gen {
+                    return;
+                }
+                let dist = me.centroid.distance(&o.centroid);
+                if dist < d {
+                    out.push(Pair {
+                        dist,
+                        a: id,
+                        b: other,
+                        a_gen: me.generation,
+                        b_gen: other_gen,
+                    });
+                }
+            });
+        };
 
-    for id in 0..active.len() {
-        push_neighbors(id, &active, &grid, &mut heap);
+    // The initial all-points neighbor scan dominates large inputs and is
+    // read-only, so it fans out over the pool. The heap is a multiset —
+    // which thread found a pair doesn't change what gets popped.
+    let mut heap: BinaryHeap<Pair> = BinaryHeap::new();
+    match pool {
+        Some(p) if p.threads() > 1 && active.len() >= PARALLEL_PAIR_SCAN_MIN => {
+            let ids: Vec<usize> = (0..active.len()).collect();
+            let chunk = ids.len().div_ceil(p.threads() * 4).max(1);
+            let lists = p.par_chunks(&ids, chunk, |_, ids| {
+                let mut local = Vec::new();
+                for &id in ids {
+                    collect_neighbors(id, &active, &grid, &mut local);
+                }
+                local
+            });
+            for l in lists {
+                heap.extend(l);
+            }
+        }
+        _ => {
+            let mut local = Vec::new();
+            for id in 0..active.len() {
+                collect_neighbors(id, &active, &grid, &mut local);
+            }
+            heap.extend(local);
+        }
     }
 
     let mut n_merges = 0u64;
     let mut n_stale = 0u64;
+    let mut scratch: Vec<Pair> = Vec::new();
     while let Some(Pair {
         a, b, a_gen, b_gen, ..
     }) = heap.pop()
@@ -191,7 +241,9 @@ pub fn merge_weighted(items: &[WeightedPoint], distance_threshold: f64) -> Vec<C
         active[a].generation += 1;
         let gen = active[a].generation;
         grid.insert(new_centroid, (a, gen));
-        push_neighbors(a, &active, &grid, &mut heap);
+        scratch.clear();
+        collect_neighbors(a, &active, &grid, &mut scratch);
+        heap.extend(scratch.drain(..));
     }
 
     let out: Vec<Cluster> = active
@@ -394,6 +446,40 @@ mod tests {
     #[should_panic(expected = "distance threshold must be positive")]
     fn invalid_threshold_panics() {
         let _ = hierarchical_cluster(&[Point::ZERO], 0.0);
+    }
+
+    #[test]
+    fn pooled_scan_is_bitwise_identical_to_serial() {
+        // Enough points to cross PARALLEL_PAIR_SCAN_MIN, dense enough that
+        // many merges happen, across several worker counts.
+        let mut rng = StdRng::seed_from_u64(7);
+        let items: Vec<WeightedPoint> = (0..900)
+            .map(|_| {
+                WeightedPoint::unit(Point::new(
+                    rng.gen_range(-400.0..400.0),
+                    rng.gen_range(-400.0..400.0),
+                ))
+            })
+            .collect();
+        let serial = merge_weighted(&items, 40.0);
+        for threads in [1, 2, 8] {
+            let pool = Pool::new(threads);
+            let pooled = merge_weighted_pooled(&items, 40.0, &pool);
+            assert_eq!(serial.len(), pooled.len(), "threads={threads}");
+            for (a, b) in serial.iter().zip(&pooled) {
+                assert_eq!(a.members, b.members, "threads={threads}");
+                assert_eq!(
+                    a.centroid.x.to_bits(),
+                    b.centroid.x.to_bits(),
+                    "threads={threads}"
+                );
+                assert_eq!(
+                    a.centroid.y.to_bits(),
+                    b.centroid.y.to_bits(),
+                    "threads={threads}"
+                );
+            }
+        }
     }
 
     proptest! {

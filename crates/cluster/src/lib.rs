@@ -25,6 +25,8 @@ pub mod optics;
 
 pub use dbscan::{dbscan, DbscanConfig};
 pub use gridmerge::grid_clusters;
-pub use hierarchical::{hierarchical_cluster, merge_weighted, Cluster, WeightedPoint};
+pub use hierarchical::{
+    hierarchical_cluster, merge_weighted, merge_weighted_pooled, Cluster, WeightedPoint,
+};
 pub use kmeans::{kmeans, KMeansResult};
 pub use optics::{optics_extract, optics_ordering, OpticsConfig, OrderedPoint};

@@ -16,6 +16,7 @@
 use crate::staypoints::TripStays;
 use dlinfma_cluster::{merge_weighted, WeightedPoint};
 use dlinfma_geo::{KdTree, Point};
+use dlinfma_pool::Pool;
 use dlinfma_synth::{CourierId, Dataset, TripId};
 use std::collections::HashSet;
 
@@ -376,6 +377,7 @@ pub fn build_pool_station_parallel(
     dataset: &Dataset,
     stays: &[TripStays],
     distance_threshold: f64,
+    pool: &Pool,
 ) -> CandidatePool {
     // Partition per-trip stays by station.
     let n_stations = dataset.stations.len().max(1);
@@ -385,28 +387,21 @@ pub fn build_pool_station_parallel(
         per_station[s].push(ts.clone());
     }
 
-    // Cluster each station independently in parallel.
-    let mut builders: Vec<Option<IncrementalPoolBuilder>> = Vec::new();
-    builders.resize_with(n_stations, || None);
-    crossbeam::scope(|scope| {
-        for (batch, slot) in per_station.iter().zip(builders.iter_mut()) {
-            scope.spawn(move |_| {
-                let mut b = IncrementalPoolBuilder::new();
-                b.add_batch(
-                    batch,
-                    &|trip| dataset.trip(trip).courier,
-                    distance_threshold,
-                );
-                *slot = Some(b);
-            });
-        }
-    })
-    // lint: allow(L2, scope errs only when a worker panicked; re-panicking is correct)
-    .expect("station workers do not panic");
+    // Cluster each station independently on the shared pool; results come
+    // back in station order, so the merge below is deterministic.
+    let builders = pool.par_map(&per_station, |batch| {
+        let mut b = IncrementalPoolBuilder::new();
+        b.add_batch(
+            batch,
+            &|trip| dataset.trip(trip).courier,
+            distance_threshold,
+        );
+        b
+    });
 
     // Merge station pools: one more clustering pass over all aggregates.
     let mut merged = IncrementalPoolBuilder::new();
-    for b in builders.into_iter().flatten() {
+    for b in builders {
         let offset = merged.aggs.len();
         merged.aggs.extend(b.aggs);
         merged
@@ -611,7 +606,7 @@ mod tests {
         );
         assert!(ds.stations.len() >= 2, "need a multi-station world");
         let one_shot = build_pool(&ds, &stays, 40.0);
-        let par = build_pool_station_parallel(&ds, &stays, 40.0);
+        let par = build_pool_station_parallel(&ds, &stays, 40.0, &Pool::new(4));
         let total_visits = |p: &CandidatePool| -> usize {
             (0..p.n_trips())
                 .map(|i| p.visits(TripId(i as u32)).len())

@@ -31,14 +31,21 @@ use crate::stages::{PoolState, RawSample, RetrievalIndex, SampleTable, StayPoint
 use crate::staypoints::extract_batch_with_stats;
 use dlinfma_geo::Point;
 use dlinfma_obs::{self as obs, stage, IngestReport, PipelineReport};
+use dlinfma_pool::Pool;
 use dlinfma_synth::{Address, AddressId, DeliveryTrip, TripBatch, TripId};
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 
-/// Cumulative per-stage nanoseconds across every ingest.
+/// Cumulative per-stage nanoseconds across every ingest. Extraction keeps
+/// both clocks: `noise`/`detect` are CPU sums across pool workers (the two
+/// phases run fused per trip, so only their accumulated times are
+/// separable), while `extract_wall` is the elapsed time of the whole
+/// parallel extraction call.
 #[derive(Debug, Default, Clone, Copy)]
 struct StageNs {
     noise: u64,
     detect: u64,
+    extract_wall: u64,
     cluster: u64,
     retrieval: u64,
     features: u64,
@@ -65,6 +72,11 @@ pub struct Engine {
     ns: StageNs,
     cum_raw_points: u64,
     cum_filtered_points: u64,
+    /// The shared work-stealing pool every parallel stage runs on, built
+    /// once from `cfg.workers` and reused across ingests (and handed to
+    /// `DlInfMa` for training and inference). Named `exec` because `pool`
+    /// is the candidate pool throughout this crate.
+    exec: Arc<Pool>,
 }
 
 impl Engine {
@@ -95,8 +107,14 @@ impl Engine {
             ns: StageNs::default(),
             cum_raw_points: 0,
             cum_filtered_points: 0,
+            exec: Arc::new(Pool::new(cfg.workers)),
             cfg,
         }
+    }
+
+    /// The shared thread pool the engine's parallel stages run on.
+    pub fn executor(&self) -> &Pool {
+        &self.exec
     }
 
     /// Ingests one batch of trips and waybills, updating every staged
@@ -127,17 +145,23 @@ impl Engine {
             owned_trips = accepted.iter().map(|t| (*t).clone()).collect();
             &owned_trips
         };
+        let t = obs::Stopwatch::start();
         let (trip_stays, stats) =
-            extract_batch_with_stats(trips_slice, &self.cfg.extraction, self.cfg.workers);
+            extract_batch_with_stats(trips_slice, &self.cfg.extraction, &self.exec);
+        let extract_wall = t.elapsed_ns();
         obs::record_duration(stage::NOISE_FILTER, stats.noise_filter_ns);
         obs::record_duration(stage::STAY_POINTS, stats.detect_ns);
         self.ns.noise += stats.noise_filter_ns;
         self.ns.detect += stats.detect_ns;
+        self.ns.extract_wall += extract_wall;
         self.cum_raw_points += stats.raw_points;
         self.cum_filtered_points += stats.filtered_points;
         rep.trips = accepted.len() as u64;
         rep.new_stays = stats.stay_points;
-        rep.extraction_ns = stats.noise_filter_ns + stats.detect_ns;
+        // Wall clock and summed-per-worker CPU diverge at workers > 1; the
+        // report carries both so throughput math stays honest.
+        rep.extraction_ns = extract_wall;
+        rep.extraction_cpu_ns = stats.noise_filter_ns + stats.detect_ns;
 
         let new_start = self.stays.len();
         for (trip, ts) in accepted.iter().zip(&trip_stays) {
@@ -159,7 +183,8 @@ impl Engine {
         let t = obs::Stopwatch::start();
         let delta = {
             let _span = obs::span(stage::CLUSTERING);
-            self.pool_state.update(&mut self.stays, new_start)
+            self.pool_state
+                .update(&mut self.stays, new_start, &self.exec)
         };
         rep.clustering_ns = t.elapsed_ns();
         self.ns.cluster += rep.clustering_ns;
@@ -207,57 +232,79 @@ impl Engine {
                 &[1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0],
             )
         });
-        let mut retrieved: Vec<(AddressId, Vec<usize>)> = Vec::with_capacity(dirty.len());
-        for &a in &dirty {
-            let Some(ev) = self.retrieval.evidence(a) else {
-                continue;
-            };
-            let mut keys: Vec<usize> = Vec::new();
-            for &(trip, bound) in &ev.trips {
-                for &si in self.stays.stays_of_trip(trip) {
-                    if self.stays.rec(si).mid_time <= bound {
-                        keys.push(self.pool_state.key_of(si));
+        // Each dirty address retrieves independently against the read-only
+        // stay/assignment state, so the scan fans out across the pool;
+        // `par_map` keeps the results in `dirty`'s (sorted) order, and the
+        // histogram is fed from the collected results to keep the obs
+        // collector single-writer.
+        let dirty_list: Vec<AddressId> = dirty.iter().copied().collect();
+        let (retrieval, stays, pool_state) = (&self.retrieval, &self.stays, &self.pool_state);
+        let retrieved: Vec<(AddressId, Vec<usize>)> = self
+            .exec
+            .par_map(&dirty_list, |&a| {
+                let Some(ev) = retrieval.evidence(a) else {
+                    return None;
+                };
+                let mut keys: Vec<usize> = Vec::new();
+                for &(trip, bound) in &ev.trips {
+                    for &si in stays.stays_of_trip(trip) {
+                        if stays.rec(si).mid_time <= bound {
+                            keys.push(pool_state.key_of(si));
+                        }
                     }
                 }
-            }
-            keys.sort_unstable();
-            keys.dedup();
-            if let Some(h) = &cand_hist {
+                keys.sort_unstable();
+                keys.dedup();
+                Some((a, keys))
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        if let Some(h) = &cand_hist {
+            for (_, keys) in &retrieved {
                 h.observe(keys.len() as f64);
             }
-            retrieved.push((a, keys));
         }
         rep.retrieval_ns = t.elapsed_ns();
         self.ns.retrieval += rep.retrieval_ns;
         obs::record_duration(stage::RETRIEVAL, rep.retrieval_ns);
 
         // --- Stage 4: raw feature counts, dirty addresses only. ----------
+        // Counting reads only the retrieval index and the live visit index;
+        // the table writes happen serially afterwards, in address order.
         let t = obs::Stopwatch::start();
-        let empty: HashSet<TripId> = HashSet::new();
-        for (a, keys) in retrieved {
+        let (retrieval, addresses, trips_by_key) =
+            (&self.retrieval, &self.addresses, &self.trips_by_key);
+        let lc_address_level = self.cfg.features.lc_address_level;
+        let counted: Vec<(AddressId, RawSample)> = self.exec.par_map(&retrieved, |(a, keys)| {
+            let a = *a;
+            let empty: HashSet<TripId> = HashSet::new();
             let addr_trips: HashSet<TripId> =
-                self.retrieval.address_trips(a).cloned().unwrap_or_default();
-            let exclude: &HashSet<TripId> = if self.cfg.features.lc_address_level {
-                self.retrieval.address_trips(a).unwrap_or(&empty)
+                retrieval.address_trips(a).cloned().unwrap_or_default();
+            let exclude: &HashSet<TripId> = if lc_address_level {
+                retrieval.address_trips(a).unwrap_or(&empty)
             } else {
-                let building = self.addresses[a.0 as usize].building;
-                self.retrieval.building_trips(building).unwrap_or(&empty)
+                let building = addresses[a.0 as usize].building;
+                retrieval.building_trips(building).unwrap_or(&empty)
             };
             let mut tc_hits: Vec<u32> = Vec::with_capacity(keys.len());
             let mut overlap_excl: Vec<u32> = Vec::with_capacity(keys.len());
-            for &k in &keys {
-                let cand_set = self.trips_by_key.get(&k).unwrap_or(&empty);
+            for k in keys {
+                let cand_set = trips_by_key.get(k).unwrap_or(&empty);
                 tc_hits.push(addr_trips.iter().filter(|t| cand_set.contains(t)).count() as u32);
                 overlap_excl.push(cand_set.iter().filter(|t| exclude.contains(t)).count() as u32);
             }
-            self.table.replace(
+            (
                 a,
                 RawSample {
-                    candidate_keys: keys,
+                    candidate_keys: keys.clone(),
                     tc_hits,
                     overlap_excl,
                 },
-            );
+            )
+        });
+        for (a, raw) in counted {
+            self.table.replace(a, raw);
         }
         rep.features_ns = t.elapsed_ns();
         self.ns.features += rep.features_ns;
@@ -306,70 +353,88 @@ impl Engine {
         }
         self.pool = CandidatePool::from_parts(candidates, trip_visits);
 
+        // Every sample is a pure function of its own raw counts and the
+        // shared read-only state, so the per-address finalization fans out
+        // across the pool; each address's features are computed in one task,
+        // so the floats are bitwise-identical at any worker count.
         let n_trips = self.retrieval.n_trips();
         let f = self.cfg.features;
+        let entries: Vec<(AddressId, &RawSample)> =
+            self.table.iter().map(|(&a, raw)| (a, raw)).collect();
+        let (retrieval, addresses, trips_by_key, pool, key_to_id) = (
+            &self.retrieval,
+            &self.addresses,
+            &self.trips_by_key,
+            &self.pool,
+            &key_to_id,
+        );
+        let built: Vec<(AddressId, AddressSample)> = self
+            .exec
+            .par_map(&entries, |&(a, raw)| {
+                let addr = addresses.get(a.0 as usize)?;
+                let n_addr_trips = retrieval.address_trips(a).map_or(0, HashSet::len);
+                let exclude_len = if f.lc_address_level {
+                    n_addr_trips
+                } else {
+                    retrieval
+                        .building_trips(addr.building)
+                        .map_or(0, HashSet::len)
+                };
+                let mut ids: Vec<CandidateId> = Vec::with_capacity(raw.candidate_keys.len());
+                let mut features: Vec<CandidateFeatures> =
+                    Vec::with_capacity(raw.candidate_keys.len());
+                for (j, &k) in raw.candidate_keys.iter().enumerate() {
+                    let Some(&cid) = key_to_id.get(&k) else {
+                        continue;
+                    };
+                    let cand = pool.candidate(CandidateId(cid));
+                    let trips_c_len = trips_by_key.get(&k).map_or(0, HashSet::len);
+                    let trip_coverage = if f.use_trip_coverage && n_addr_trips > 0 {
+                        raw.tc_hits[j] as f64 / n_addr_trips as f64
+                    } else {
+                        0.0
+                    };
+                    let denom = n_trips - exclude_len;
+                    let location_commonality = if f.use_location_commonality && denom > 0 {
+                        (trips_c_len - raw.overlap_excl[j] as usize) as f64 / denom as f64
+                    } else {
+                        0.0
+                    };
+                    let distance_m = if f.use_distance {
+                        cand.pos.distance(&addr.geocode)
+                    } else {
+                        0.0
+                    };
+                    ids.push(CandidateId(cid));
+                    features.push(CandidateFeatures {
+                        trip_coverage,
+                        location_commonality,
+                        distance_m,
+                        avg_duration_s: cand.profile.avg_duration_s,
+                        n_couriers: cand.profile.n_couriers as f64,
+                        n_stays: cand.profile.n_stays as f64,
+                        time_distribution: cand.profile.time_distribution,
+                    });
+                }
+                Some((
+                    a,
+                    AddressSample {
+                        address: a,
+                        candidates: ids,
+                        features,
+                        n_deliveries: n_addr_trips,
+                        poi_category: addr.poi_category,
+                        geocode: addr.geocode,
+                        label: None,
+                        truth_distances: None,
+                    },
+                ))
+            })
+            .into_iter()
+            .flatten()
+            .collect();
         self.samples.clear();
-        for (&a, raw) in self.table.iter() {
-            let Some(addr) = self.addresses.get(a.0 as usize) else {
-                continue;
-            };
-            let n_addr_trips = self.retrieval.address_trips(a).map_or(0, HashSet::len);
-            let exclude_len = if f.lc_address_level {
-                n_addr_trips
-            } else {
-                self.retrieval
-                    .building_trips(addr.building)
-                    .map_or(0, HashSet::len)
-            };
-            let mut ids: Vec<CandidateId> = Vec::with_capacity(raw.candidate_keys.len());
-            let mut features: Vec<CandidateFeatures> = Vec::with_capacity(raw.candidate_keys.len());
-            for (j, &k) in raw.candidate_keys.iter().enumerate() {
-                let Some(&cid) = key_to_id.get(&k) else {
-                    continue;
-                };
-                let cand = self.pool.candidate(CandidateId(cid));
-                let trips_c_len = self.trips_by_key.get(&k).map_or(0, HashSet::len);
-                let trip_coverage = if f.use_trip_coverage && n_addr_trips > 0 {
-                    raw.tc_hits[j] as f64 / n_addr_trips as f64
-                } else {
-                    0.0
-                };
-                let denom = n_trips - exclude_len;
-                let location_commonality = if f.use_location_commonality && denom > 0 {
-                    (trips_c_len - raw.overlap_excl[j] as usize) as f64 / denom as f64
-                } else {
-                    0.0
-                };
-                let distance_m = if f.use_distance {
-                    cand.pos.distance(&addr.geocode)
-                } else {
-                    0.0
-                };
-                ids.push(CandidateId(cid));
-                features.push(CandidateFeatures {
-                    trip_coverage,
-                    location_commonality,
-                    distance_m,
-                    avg_duration_s: cand.profile.avg_duration_s,
-                    n_couriers: cand.profile.n_couriers as f64,
-                    n_stays: cand.profile.n_stays as f64,
-                    time_distribution: cand.profile.time_distribution,
-                });
-            }
-            self.samples.insert(
-                a,
-                AddressSample {
-                    address: a,
-                    candidates: ids,
-                    features,
-                    n_deliveries: n_addr_trips,
-                    poi_category: addr.poi_category,
-                    geocode: addr.geocode,
-                    label: None,
-                    truth_distances: None,
-                },
-            );
-        }
+        self.samples.extend(built);
     }
 
     /// Refreshes the cumulative [`PipelineReport`] (stage durations and the
@@ -381,15 +446,28 @@ impl Engine {
             .map(|s| s.candidates.len() as u64)
             .sum();
         let stays = self.stays.len() as u64;
-        self.report.push_stage(
+        // The two extraction phases share one wall clock (they run fused per
+        // trip across the pool), so the measured wall time is attributed to
+        // each phase in proportion to its summed-CPU share, and the CPU sums
+        // ride along so `--verbose` stays honest at workers > 1.
+        let cpu_total = self.ns.noise + self.ns.detect;
+        let noise_wall = if cpu_total == 0 {
+            self.ns.extract_wall / 2
+        } else {
+            (self.ns.extract_wall as u128 * self.ns.noise as u128 / cpu_total as u128) as u64
+        };
+        let detect_wall = self.ns.extract_wall - noise_wall;
+        self.report.push_stage_cpu(
             stage::NOISE_FILTER,
-            self.ns.noise.max(1),
+            noise_wall.max(1),
+            Some(self.ns.noise),
             Some(self.cum_raw_points),
             Some(self.cum_filtered_points),
         );
-        self.report.push_stage(
+        self.report.push_stage_cpu(
             stage::STAY_POINTS,
-            self.ns.detect.max(1),
+            detect_wall.max(1),
+            Some(self.ns.detect),
             Some(self.cum_filtered_points),
             Some(stays),
         );
@@ -490,7 +568,15 @@ impl Engine {
         HashMap<AddressId, AddressSample>,
         Option<LocMatcher>,
         PipelineReport,
+        Arc<Pool>,
     ) {
-        (self.cfg, self.pool, self.samples, self.model, self.report)
+        (
+            self.cfg,
+            self.pool,
+            self.samples,
+            self.model,
+            self.report,
+            self.exec,
+        )
     }
 }

@@ -16,8 +16,9 @@
 use crate::features::{AddressSample, CandidateFeatures, FeatureConfig};
 use dlinfma_nn::layers::{Activation, Dense, Embedding, TransformerEncoder};
 use dlinfma_nn::{Adam, Graph, ParamId, ParamStore, StepDecay, Tensor, Var};
+use dlinfma_pool::Pool;
 use dlinfma_synth::N_POI_CATEGORIES;
-use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+use rand::{rngs::StdRng, seq::SliceRandom, Rng, SeedableRng};
 
 /// LocMatcher hyperparameters. `paper_defaults` reproduces Section V-B's
 /// setting exactly; `fast` trades a few points of fidelity for much shorter
@@ -142,7 +143,6 @@ fn soft_targets(distances: &[f64], tau: f64) -> Vec<f32> {
 /// negative with probability `keep_prob`; returns the reduced sample and
 /// the label's new index. `keep_prob >= 1` returns the sample unchanged.
 fn augment(sample: &AddressSample, keep_prob: f64, rng: &mut StdRng) -> (AddressSample, usize) {
-    use rand::Rng;
     // lint: allow(L2, train() is only handed labelled samples by construction)
     let target = sample.label.expect("training samples are labelled");
     if keep_prob >= 1.0 || sample.candidates.len() <= 2 {
@@ -341,12 +341,42 @@ impl LocMatcher {
     }
 
     /// [`LocMatcher::train`] invoking `progress` after every epoch, so
-    /// long-running training can surface live loss curves. Emits a
-    /// `training` span when the global collector is enabled.
+    /// long-running training can surface live loss curves. Runs on an
+    /// inline (single-worker) pool; see
+    /// [`LocMatcher::train_pooled_with_progress`] for the parallel path.
     pub fn train_with_progress(
         &mut self,
         train: &[AddressSample],
         val: &[AddressSample],
+        progress: &mut dyn FnMut(dlinfma_obs::EpochProgress),
+    ) -> TrainReport {
+        self.train_pooled_with_progress(train, val, &Pool::sequential(), progress)
+    }
+
+    /// [`LocMatcher::train`] running the forward/backward passes of each
+    /// mini-batch data-parallel on `pool`.
+    pub fn train_pooled(
+        &mut self,
+        train: &[AddressSample],
+        val: &[AddressSample],
+        pool: &Pool,
+    ) -> TrainReport {
+        self.train_pooled_with_progress(train, val, pool, &mut |_| {})
+    }
+
+    /// The full training loop: Adam + step decay, early stopping, pooled
+    /// mini-batches. Training is bit-for-bit reproducible at any worker
+    /// count: each sample draws a private RNG seed *sequentially* from the
+    /// epoch RNG before the batch fans out (so augmentation and dropout
+    /// never depend on scheduling), and losses and gradients are
+    /// accumulated on the caller in batch order, giving the same float
+    /// additions as a serial run. Emits a `training` span when the global
+    /// collector is enabled.
+    pub fn train_pooled_with_progress(
+        &mut self,
+        train: &[AddressSample],
+        val: &[AddressSample],
+        pool: &Pool,
         progress: &mut dyn FnMut(dlinfma_obs::EpochProgress),
     ) -> TrainReport {
         let _span = dlinfma_obs::span(dlinfma_obs::stage::TRAINING);
@@ -372,24 +402,34 @@ impl LocMatcher {
             let mut n_samples = 0usize;
             for batch in order.chunks(self.cfg.batch_size) {
                 self.store.zero_grads();
-                for &i in batch {
-                    let (sample, target) =
-                        augment(usable[i], self.cfg.candidate_keep_prob, &mut rng);
-                    let sample = &sample;
-                    let mut g = Graph::new();
-                    let logits = self.forward(&mut g, sample, true, &mut rng);
-                    let loss = match (self.cfg.soft_label_tau_m, &sample.truth_distances) {
-                        (Some(tau), Some(d)) => {
-                            let q = soft_targets(d, tau);
-                            g.softmax_cross_entropy_soft(logits, &q)
-                        }
-                        _ => g.softmax_cross_entropy_1d(logits, target),
-                    };
-                    epoch_loss += g.value(loss).item();
+                let seeded: Vec<(usize, u64)> =
+                    batch.iter().map(|&i| (i, rng.gen::<u64>())).collect();
+                let this = &*self;
+                let usable = &usable;
+                let results: Vec<(f32, Vec<(ParamId, Tensor)>)> =
+                    pool.par_map(&seeded, |&(i, seed)| {
+                        let mut srng = StdRng::seed_from_u64(seed);
+                        let (sample, target) =
+                            augment(usable[i], this.cfg.candidate_keep_prob, &mut srng);
+                        let sample = &sample;
+                        let mut g = Graph::new();
+                        let logits = this.forward(&mut g, sample, true, &mut srng);
+                        let loss = match (this.cfg.soft_label_tau_m, &sample.truth_distances) {
+                            (Some(tau), Some(d)) => {
+                                let q = soft_targets(d, tau);
+                                g.softmax_cross_entropy_soft(logits, &q)
+                            }
+                            _ => g.softmax_cross_entropy_1d(logits, target),
+                        };
+                        let loss_val = g.value(loss).item();
+                        let grads = g.backward(loss);
+                        (loss_val, g.take_param_grads(grads))
+                    });
+                for (loss_val, grads) in results {
+                    epoch_loss += loss_val;
                     n_samples += 1;
-                    let grads = g.backward(loss);
-                    for (pid, grad) in g.param_grads(&grads) {
-                        self.store.accumulate_grad(pid, grad);
+                    for (pid, grad) in grads {
+                        self.store.accumulate_grad(pid, &grad);
                     }
                 }
                 adam.step(&mut self.store, batch.len(), lr_scale);
@@ -397,7 +437,7 @@ impl LocMatcher {
             let train_loss = epoch_loss / n_samples.max(1) as f32;
             train_losses.push(train_loss);
 
-            let val_loss = self.mean_loss(val);
+            let val_loss = self.mean_loss_pooled(val, pool);
             val_losses.push(val_loss);
             let improved = val_loss < best_val - 1e-5;
             progress(dlinfma_obs::EpochProgress {
@@ -436,11 +476,24 @@ impl LocMatcher {
         train: &[AddressSample],
         val: &[AddressSample],
     ) -> LocMatcher {
+        Self::fit_best_pooled(grid, train, val, &Pool::sequential())
+    }
+
+    /// [`LocMatcher::fit_best`] training each grid point data-parallel on
+    /// `pool`. The grid itself is walked serially (each model's training is
+    /// already pooled), so the selected model is independent of worker
+    /// count.
+    pub fn fit_best_pooled(
+        grid: &[LocMatcherConfig],
+        train: &[AddressSample],
+        val: &[AddressSample],
+        pool: &Pool,
+    ) -> LocMatcher {
         assert!(!grid.is_empty(), "grid must be non-empty");
         let mut best: Option<(f64, LocMatcher)> = None;
         for &cfg in grid {
             let mut model = LocMatcher::new(cfg);
-            model.train(train, val);
+            model.train_pooled(train, val, pool);
             let score = model.mean_val_error(val);
             if best.as_ref().is_none_or(|(b, _)| score < *b) {
                 best = Some((score, model));
@@ -519,18 +572,28 @@ impl LocMatcher {
 
     /// Mean cross-entropy over labelled samples (no dropout).
     pub fn mean_loss(&self, samples: &[AddressSample]) -> f32 {
-        let mut rng = StdRng::seed_from_u64(0);
-        let mut total = 0.0f32;
-        let mut n = 0usize;
-        for s in samples {
-            let Some(target) = s.label else { continue };
+        self.mean_loss_pooled(samples, &Pool::sequential())
+    }
+
+    /// [`LocMatcher::mean_loss`] evaluating samples data-parallel on
+    /// `pool`; the losses are summed in sample order, so the result is
+    /// bitwise-identical at any worker count.
+    pub fn mean_loss_pooled(&self, samples: &[AddressSample], pool: &Pool) -> f32 {
+        let losses: Vec<Option<f32>> = pool.par_map(samples, |s| {
+            let target = s.label?;
             if s.candidates.is_empty() {
-                continue;
+                return None;
             }
+            let mut rng = StdRng::seed_from_u64(0);
             let mut g = Graph::new();
             let logits = self.forward(&mut g, s, false, &mut rng);
             let loss = g.softmax_cross_entropy_1d(logits, target);
-            total += g.value(loss).item();
+            Some(g.value(loss).item())
+        });
+        let mut total = 0.0f32;
+        let mut n = 0usize;
+        for loss in losses.into_iter().flatten() {
+            total += loss;
             n += 1;
         }
         if n == 0 {

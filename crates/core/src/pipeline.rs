@@ -27,8 +27,10 @@ use crate::staypoints::ExtractionConfig;
 use dlinfma_geo::Point;
 use dlinfma_obs::{self as obs, stage, PipelineReport};
 use dlinfma_params as params;
+use dlinfma_pool::Pool;
 use dlinfma_synth::{AddressId, Dataset, TripBatch};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Which clustering backs the candidate pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +95,9 @@ pub struct DlInfMa {
     samples: HashMap<AddressId, AddressSample>,
     model: Option<LocMatcher>,
     report: PipelineReport,
+    /// The engine's shared work-stealing pool, carried over so training and
+    /// batch inference reuse the same worker threads.
+    exec: Arc<Pool>,
 }
 
 impl DlInfMa {
@@ -120,14 +125,20 @@ impl DlInfMa {
     /// its materialized pool, samples, report, and model (if any). Labeling
     /// and training work exactly as after [`DlInfMa::prepare`].
     pub fn from_engine(engine: Engine) -> Self {
-        let (cfg, pool, samples, model, report) = engine.into_parts();
+        let (cfg, pool, samples, model, report, exec) = engine.into_parts();
         Self {
             cfg,
             pool,
             samples,
             model,
             report,
+            exec,
         }
+    }
+
+    /// The shared thread pool carried over from the engine.
+    pub fn executor(&self) -> &Pool {
+        &self.exec
     }
 
     /// Labels every sample with the candidate nearest to the ground-truth
@@ -190,7 +201,8 @@ impl DlInfMa {
         let val_samples = collect(val);
         let t = obs::Stopwatch::start();
         let mut model = LocMatcher::new(self.cfg.model);
-        let report = model.train_with_progress(&train_samples, &val_samples, progress);
+        let report =
+            model.train_pooled_with_progress(&train_samples, &val_samples, &self.exec, progress);
         self.report.push_stage(
             stage::TRAINING,
             t.elapsed_ns().max(1),

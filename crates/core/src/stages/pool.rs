@@ -27,8 +27,9 @@
 use super::staypoint_set::StayPointSet;
 use crate::candidates::{Agg, LocationProfile};
 use crate::pipeline::PoolMethod;
-use dlinfma_cluster::{merge_weighted, WeightedPoint};
+use dlinfma_cluster::{merge_weighted_pooled, WeightedPoint};
 use dlinfma_geo::Point;
+use dlinfma_pool::Pool;
 use std::collections::{HashMap, HashSet};
 
 /// What one pool update changed: the raw material for dirty-address
@@ -100,18 +101,24 @@ impl PoolState {
     }
 
     /// Incorporates the stays appended since the last update (global
-    /// indices `new_start..`), re-clustering only the touched components.
-    pub fn update(&mut self, stays: &mut StayPointSet, new_start: usize) -> PoolDelta {
+    /// indices `new_start..`), re-clustering only the touched components on
+    /// the shared pool.
+    pub fn update(&mut self, stays: &mut StayPointSet, new_start: usize, pool: &Pool) -> PoolDelta {
         if stays.len() <= new_start {
             return PoolDelta::default();
         }
         match self.method {
-            PoolMethod::Hierarchical => self.update_hierarchical(stays, new_start),
+            PoolMethod::Hierarchical => self.update_hierarchical(stays, new_start, pool),
             PoolMethod::Grid => self.update_grid(stays, new_start),
         }
     }
 
-    fn update_hierarchical(&mut self, stays: &mut StayPointSet, new_start: usize) -> PoolDelta {
+    fn update_hierarchical(
+        &mut self,
+        stays: &mut StayPointSet,
+        new_start: usize,
+        pool: &Pool,
+    ) -> PoolDelta {
         let roots = stays.roots();
         let dirty_roots: HashSet<usize> = roots[new_start..].iter().copied().collect();
 
@@ -143,23 +150,30 @@ impl PoolState {
         }
 
         // Rebuild each dirty component from its raw member stays, in global
-        // stay-index order — a pure function of the member set.
+        // stay-index order — a pure function of the member set. Components
+        // are independent, so the rebuilds fan out across the pool (and a
+        // single huge component parallelizes its own nearest-pair scan via
+        // the nested `merge_weighted_pooled` scope); the serial commit below
+        // walks the results in component order, keeping the state identical
+        // to a sequential rebuild.
         self.assign.resize(stays.len(), usize::MAX);
         let mut fresh: HashMap<usize, Vec<usize>> = HashMap::new();
         let mut comps: Vec<(usize, Vec<usize>)> =
             members_by_root.into_values().map(|m| (m[0], m)).collect();
         comps.sort_unstable_by_key(|(k, _)| *k);
-        for (comp_key, members) in comps {
+        let distance = self.distance;
+        let stays_ref: &StayPointSet = stays;
+        let rebuilt: Vec<(usize, Vec<ClusterRec>)> = pool.par_map(&comps, |(comp_key, members)| {
             let items: Vec<WeightedPoint> = members
                 .iter()
-                .map(|&i| WeightedPoint::unit(stays.rec(i).pos))
+                .map(|&i| WeightedPoint::unit(stays_ref.rec(i).pos))
                 .collect();
-            let clusters = merge_weighted(&items, self.distance);
+            let clusters = merge_weighted_pooled(&items, distance, pool);
             let mut recs: Vec<ClusterRec> = Vec::with_capacity(clusters.len());
             for cluster in &clusters {
                 let mut agg: Option<Agg> = None;
                 for &m in &cluster.members {
-                    let rec = stays.rec(members[m]);
+                    let rec = stays_ref.rec(members[m]);
                     let part = Agg::from_stay(rec.pos, rec.duration_s, rec.courier, rec.hour_bin);
                     match &mut agg {
                         Some(a) => a.merge_into(&part),
@@ -170,17 +184,21 @@ impl PoolState {
                 agg.pos = cluster.centroid;
                 let mut global: Vec<usize> = cluster.members.iter().map(|&m| members[m]).collect();
                 global.sort_unstable();
-                let key = global[0];
-                for &g in &global {
-                    self.assign[g] = key;
-                }
-                fresh.insert(key, global.clone());
                 recs.push(ClusterRec {
-                    key,
+                    key: global[0],
                     centroid: cluster.centroid,
                     members: global,
                     agg,
                 });
+            }
+            (*comp_key, recs)
+        });
+        for (comp_key, recs) in rebuilt {
+            for rec in &recs {
+                for &g in &rec.members {
+                    self.assign[g] = rec.key;
+                }
+                fresh.insert(rec.key, rec.members.clone());
             }
             self.components.insert(comp_key, recs);
         }

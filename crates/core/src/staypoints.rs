@@ -2,10 +2,11 @@
 //!
 //! Applies the heuristic noise filter and then the Definition-4 detector to
 //! every trip. Mirrors the deployed system's trajectory-level
-//! parallelization (Section V-F): trips are processed on a crossbeam scope
-//! across available cores.
+//! parallelization (Section V-F): trips are processed on the shared
+//! [`dlinfma_pool::Pool`] across available cores.
 
 use dlinfma_obs as obs;
+use dlinfma_pool::Pool;
 use dlinfma_synth::{Dataset, TripId};
 use dlinfma_traj::{
     detect_stay_points, filter_noise, NoiseFilterConfig, StayPoint, StayPointConfig,
@@ -102,39 +103,41 @@ pub fn extract_stay_points_with_stats(
     (out, stats)
 }
 
-/// Extracts stay points for every trip in parallel across `n_workers`
-/// threads (trip-level parallelism, as deployed).
+/// Extracts stay points for every trip on the shared pool (trip-level
+/// parallelism, as deployed).
 pub fn extract_stay_points_parallel(
     dataset: &Dataset,
     cfg: &ExtractionConfig,
-    n_workers: usize,
+    pool: &Pool,
 ) -> Vec<TripStays> {
-    extract_stay_points_parallel_with_stats(dataset, cfg, n_workers).0
+    extract_stay_points_parallel_with_stats(dataset, cfg, pool).0
 }
 
 /// [`extract_stay_points_parallel`] plus funnel counts and per-phase
-/// timings. Phase times are summed across workers, so they measure CPU
-/// work rather than wall clock when `n_workers > 1`.
+/// timings. Phase times in [`ExtractionStats`] are summed across workers —
+/// they measure CPU work, not wall clock, when the pool has more than one
+/// thread; callers that report durations should pair them with their own
+/// wall-clock measurement of the whole call (the engine stores both in its
+/// stage report).
 pub fn extract_stay_points_parallel_with_stats(
     dataset: &Dataset,
     cfg: &ExtractionConfig,
-    n_workers: usize,
+    pool: &Pool,
 ) -> (Vec<TripStays>, ExtractionStats) {
-    extract_batch_with_stats(&dataset.trips, cfg, n_workers)
+    extract_batch_with_stats(&dataset.trips, cfg, pool)
 }
 
 /// Extracts stay points for an arbitrary slice of trips (one streamed
-/// [`TripBatch`](dlinfma_synth::TripBatch)'s worth) across `n_workers`
-/// threads. Per-trip extraction is independent, so batching never changes
-/// the detected stays — the property the incremental engine's
-/// batch/streaming parity rests on.
+/// [`TripBatch`](dlinfma_synth::TripBatch)'s worth) on the shared pool.
+/// Per-trip extraction is independent, so batching never changes the
+/// detected stays — the property the incremental engine's batch/streaming
+/// parity rests on.
 pub fn extract_batch_with_stats(
     trips: &[dlinfma_synth::DeliveryTrip],
     cfg: &ExtractionConfig,
-    n_workers: usize,
+    pool: &Pool,
 ) -> (Vec<TripStays>, ExtractionStats) {
-    let n_workers = n_workers.max(1);
-    if n_workers == 1 || trips.len() < 2 {
+    if pool.threads() == 1 || trips.len() < 2 {
         let mut stats = ExtractionStats::default();
         let out = trips
             .iter()
@@ -142,34 +145,21 @@ pub fn extract_batch_with_stats(
             .collect();
         return (out, stats);
     }
-    let mut out: Vec<Option<TripStays>> = Vec::new();
-    out.resize_with(trips.len(), || None);
-    let chunk = trips.len().div_ceil(n_workers);
-    let mut chunk_stats = vec![ExtractionStats::default(); trips.len().div_ceil(chunk)];
-    crossbeam::scope(|scope| {
-        for ((trips, slots), stats) in trips
-            .chunks(chunk)
-            .zip(out.chunks_mut(chunk))
-            .zip(chunk_stats.iter_mut())
-        {
-            scope.spawn(move |_| {
-                for (t, slot) in trips.iter().zip(slots.iter_mut()) {
-                    *slot = Some(extract_trip(t, cfg, stats));
-                }
-            });
-        }
-    })
-    // lint: allow(L2, scope errs only when a worker panicked; re-panicking is correct)
-    .expect("stay-point workers do not panic");
+    let chunk = trips.len().div_ceil(pool.threads());
+    let per_chunk = pool.par_chunks(trips, chunk, |_, trips| {
+        let mut stats = ExtractionStats::default();
+        let out: Vec<TripStays> = trips
+            .iter()
+            .map(|t| extract_trip(t, cfg, &mut stats))
+            .collect();
+        (out, stats)
+    });
     let mut stats = ExtractionStats::default();
-    for s in &chunk_stats {
-        stats.merge(s);
+    let mut out = Vec::with_capacity(trips.len());
+    for (chunk_out, chunk_stats) in per_chunk {
+        out.extend(chunk_out);
+        stats.merge(&chunk_stats);
     }
-    let out = out
-        .into_iter()
-        // lint: allow(L2, every slot is written by its chunk's worker before the scope joins)
-        .map(|s| s.expect("every slot filled"))
-        .collect();
     (out, stats)
 }
 
@@ -225,7 +215,7 @@ mod tests {
         let (_, ds) = generate(Preset::DowBJ, Scale::Tiny, 0);
         let cfg = ExtractionConfig::paper_defaults();
         let seq = extract_stay_points(&ds, &cfg);
-        let par = extract_stay_points_parallel(&ds, &cfg, 4);
+        let par = extract_stay_points_parallel(&ds, &cfg, &Pool::new(4));
         assert_eq!(seq.len(), par.len());
         for (a, b) in seq.iter().zip(&par) {
             assert_eq!(a.trip, b.trip);

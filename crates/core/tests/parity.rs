@@ -45,6 +45,55 @@ fn stream(dataset: &dlinfma_synth::Dataset, cfg: DlInfMaConfig) -> Engine {
     engine
 }
 
+/// Asserts the prepared artifacts of two pipelines are bitwise-identical:
+/// same pool, same candidate sets, same feature floats.
+fn assert_same_artifacts(left: &DlInfMa, right: &DlInfMa) {
+    // Pool parity: same size, bitwise-identical candidates.
+    assert_eq!(left.pool().len(), right.pool().len(), "pool size");
+    for (a, b) in left
+        .pool()
+        .candidates()
+        .iter()
+        .zip(right.pool().candidates())
+    {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.pos, b.pos, "candidate {:?} centroid", a.id);
+        assert_eq!(a.profile, b.profile, "candidate {:?} profile", a.id);
+    }
+
+    // Sample parity: same address set, same candidate sets, same features.
+    let left_samples: Vec<_> = left.samples().collect();
+    assert_eq!(left_samples.len(), right.samples().count());
+    for s in &left_samples {
+        let t = right
+            .sample(s.address)
+            .unwrap_or_else(|| panic!("right pipeline lost {:?}", s.address));
+        assert_eq!(s.candidates, t.candidates, "{:?} candidate set", s.address);
+        assert_eq!(s.features, t.features, "{:?} features", s.address);
+        assert_eq!(s.n_deliveries, t.n_deliveries);
+        assert_eq!(s.poi_category, t.poi_category);
+        assert_eq!(s.geocode, t.geocode);
+    }
+}
+
+/// Trains both pipelines on identical splits and asserts their inference
+/// agrees on every address.
+fn assert_same_inference(left: &mut DlInfMa, right: &mut DlInfMa, ds: &dlinfma_synth::Dataset) {
+    let split = spatial_split(ds, 0.6, 0.2);
+    left.label_from_dataset(ds);
+    right.label_from_dataset(ds);
+    left.train(&split.train, &split.val);
+    right.train(&split.train, &split.val);
+    for a in &ds.addresses {
+        assert_eq!(
+            left.infer(a.id),
+            right.infer(a.id),
+            "inference diverged for {:?}",
+            a.id
+        );
+    }
+}
+
 fn assert_parity(preset: Preset, pool_method: PoolMethod, seed: u64) {
     let (_, ds) = generate(preset, Scale::Tiny, seed);
     let mut cfg = config_for(preset);
@@ -53,48 +102,28 @@ fn assert_parity(preset: Preset, pool_method: PoolMethod, seed: u64) {
     let mut batch = DlInfMa::prepare(&ds, cfg);
     let mut streamed = DlInfMa::from_engine(stream(&ds, cfg));
 
-    // Pool parity: same size, bitwise-identical candidates.
-    assert_eq!(batch.pool().len(), streamed.pool().len(), "pool size");
-    for (a, b) in batch
-        .pool()
-        .candidates()
-        .iter()
-        .zip(streamed.pool().candidates())
-    {
-        assert_eq!(a.id, b.id);
-        assert_eq!(a.pos, b.pos, "candidate {:?} centroid", a.id);
-        assert_eq!(a.profile, b.profile, "candidate {:?} profile", a.id);
-    }
+    assert_same_artifacts(&batch, &streamed);
+    // The seeded model must infer identically from identical samples.
+    assert_same_inference(&mut batch, &mut streamed, &ds);
+}
 
-    // Sample parity: same address set, same candidate sets, same features.
-    let batch_samples: Vec<_> = batch.samples().collect();
-    assert_eq!(batch_samples.len(), streamed.samples().count());
-    for s in &batch_samples {
-        let t = streamed
-            .sample(s.address)
-            .unwrap_or_else(|| panic!("streamed engine lost {:?}", s.address));
-        assert_eq!(s.candidates, t.candidates, "{:?} candidate set", s.address);
-        assert_eq!(s.features, t.features, "{:?} features", s.address);
-        assert_eq!(s.n_deliveries, t.n_deliveries);
-        assert_eq!(s.poi_category, t.poi_category);
-        assert_eq!(s.geocode, t.geocode);
-    }
-
-    // Train both on identical splits; the seeded model must infer
-    // identically from identical samples.
-    let split = spatial_split(&ds, 0.6, 0.2);
-    batch.label_from_dataset(&ds);
-    streamed.label_from_dataset(&ds);
-    batch.train(&split.train, &split.val);
-    streamed.train(&split.train, &split.val);
-    for a in &ds.addresses {
-        assert_eq!(
-            batch.infer(a.id),
-            streamed.infer(a.id),
-            "inference diverged for {:?}",
-            a.id
-        );
-    }
+/// Worker-count determinism: the whole pipeline — prepare AND post-training
+/// inference — must be bit-for-bit identical at 1 worker and at 8. This is
+/// the contract every parallel stage (ordered par_map merges, sequential
+/// per-sample seed draws, caller-side ordered gradient sums) exists to
+/// uphold.
+fn assert_worker_parity(preset: Preset, seed: u64) {
+    let (_, ds) = generate(preset, Scale::Tiny, seed);
+    let base = config_for(preset);
+    let prepare_at = |workers: usize| {
+        let mut cfg = base;
+        cfg.workers = workers;
+        DlInfMa::prepare(&ds, cfg)
+    };
+    let mut serial = prepare_at(1);
+    let mut pooled = prepare_at(8);
+    assert_same_artifacts(&serial, &pooled);
+    assert_same_inference(&mut serial, &mut pooled, &ds);
 }
 
 #[test]
@@ -110,4 +139,14 @@ fn batch_streaming_parity_subbj() {
 #[test]
 fn batch_streaming_parity_grid_pool() {
     assert_parity(Preset::DowBJ, PoolMethod::Grid, 7);
+}
+
+#[test]
+fn worker_count_parity_dowbj() {
+    assert_worker_parity(Preset::DowBJ, 11);
+}
+
+#[test]
+fn worker_count_parity_subbj() {
+    assert_worker_parity(Preset::SubBJ, 23);
 }

@@ -13,6 +13,7 @@ use dlinfma_core::{
     LocMatcher, PoolMethod,
 };
 use dlinfma_geo::Point;
+use dlinfma_pool::Pool;
 use dlinfma_synth::AddressId;
 use std::collections::HashMap;
 
@@ -164,24 +165,27 @@ pub struct MethodResult {
 }
 
 /// Trains LocMatcher on the given samples and returns a closure-friendly
-/// inference map over `test`.
+/// inference map over `test`. Training and the per-address inference sweep
+/// both run data-parallel on `exec`.
 fn locmatcher_predictions(
     cfg: dlinfma_core::LocMatcherConfig,
     train: &[AddressSample],
     val: &[AddressSample],
     test: &[AddressSample],
     pool: &CandidatePool,
+    exec: &Pool,
 ) -> HashMap<AddressId, Point> {
     // The paper grid-searches hyperparameters per method; mirror that with
     // a small validation-selected grid around the base configuration.
-    let model = LocMatcher::fit_best(&LocMatcher::experiment_grid(cfg), train, val);
+    let model = LocMatcher::fit_best_pooled(&LocMatcher::experiment_grid(cfg), train, val, exec);
     let _span = dlinfma_obs::span(dlinfma_obs::stage::INFERENCE);
-    test.iter()
-        .filter_map(|s| {
-            let idx = model.predict(s)?;
-            Some((s.address, pool.candidate(s.candidates[idx]).pos))
-        })
-        .collect()
+    exec.par_map(test, |s| {
+        let idx = model.predict(s)?;
+        Some((s.address, pool.candidate(s.candidates[idx]).pos))
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Re-extracts samples under a different feature configuration (feature
@@ -275,6 +279,7 @@ pub fn evaluate_errors(world: &ExperimentWorld, method: Method) -> Vec<f64> {
                 &world.val_samples(),
                 &world.test_samples(),
                 pool,
+                world.dlinfma.executor(),
             );
             world.test_errors(|a| preds.get(&a).copied())
         }
@@ -370,7 +375,8 @@ pub fn evaluate_errors(world: &ExperimentWorld, method: Method) -> Vec<f64> {
             let mut mcfg = base.model;
             mcfg.features = fcfg;
             mcfg.use_address_context = use_ctx;
-            let preds = locmatcher_predictions(mcfg, &train, &val, &test, pool);
+            let preds =
+                locmatcher_predictions(mcfg, &train, &val, &test, pool, world.dlinfma.executor());
             world.test_errors(|a| preds.get(&a).copied())
         }
     }

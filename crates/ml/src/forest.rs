@@ -5,7 +5,8 @@
 
 use crate::matrix::FeatureMatrix;
 use crate::tree::{RegressionTree, TreeConfig};
-use rand::Rng;
+use dlinfma_pool::Pool;
+use rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// Random forest hyperparameters.
 #[derive(Debug, Clone, Copy)]
@@ -47,6 +48,19 @@ impl RandomForest {
         cfg: &RandomForestConfig,
         rng: &mut R,
     ) -> Self {
+        Self::fit_pooled(x, labels, cfg, rng, &Pool::sequential())
+    }
+
+    /// [`RandomForest::fit`] growing trees data-parallel on `pool`. Each
+    /// tree draws a private RNG seed *sequentially* from `rng` before the
+    /// fan-out, so the fitted forest is identical at any worker count.
+    pub fn fit_pooled<R: Rng>(
+        x: &FeatureMatrix,
+        labels: &[bool],
+        cfg: &RandomForestConfig,
+        rng: &mut R,
+        pool: &Pool,
+    ) -> Self {
         assert_eq!(x.n_rows(), labels.len(), "x/labels length mismatch");
         let n = x.n_rows();
         let y: Vec<f64> = labels.iter().map(|&b| f64::from(u8::from(b))).collect();
@@ -59,21 +73,23 @@ impl RandomForest {
             tree_cfg.max_features = Some((x.n_cols() as f64).sqrt().ceil() as usize);
         }
 
-        let mut trees = Vec::with_capacity(cfg.n_trees);
-        for _ in 0..cfg.n_trees {
+        let seeds: Vec<u64> = (0..cfg.n_trees).map(|_| rng.gen()).collect();
+        let (y, base_w, tree_cfg) = (&y, &base_w, &tree_cfg);
+        let trees = pool.par_map(&seeds, |&seed| {
+            let mut trng = StdRng::seed_from_u64(seed);
             // Bootstrap via multiplicity weights: cheaper than copying rows
             // and statistically identical for weighted CART.
             let mut w = vec![0.0f64; n];
             if n > 0 {
                 for _ in 0..n {
-                    w[rng.gen_range(0..n)] += 1.0;
+                    w[trng.gen_range(0..n)] += 1.0;
                 }
-                for (wi, bw) in w.iter_mut().zip(&base_w) {
+                for (wi, bw) in w.iter_mut().zip(base_w) {
                     *wi *= bw;
                 }
             }
-            trees.push(RegressionTree::fit(x, &y, Some(&w), &tree_cfg, Some(rng)));
-        }
+            RegressionTree::fit(x, y, Some(&w), tree_cfg, Some(&mut trng))
+        });
         Self { trees }
     }
 
@@ -151,6 +167,32 @@ mod tests {
         };
         let rf = RandomForest::fit(&FeatureMatrix::from_rows(&[]), &[], &cfg, &mut rng);
         assert_eq!(rf.predict_proba(&[0.0]), 0.0);
+    }
+
+    #[test]
+    fn pooled_fit_is_identical_across_worker_counts() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (rows, labels) = ring_data(&mut rng, 120);
+        let x = FeatureMatrix::from_rows(&rows);
+        let cfg = RandomForestConfig {
+            n_trees: 12,
+            ..RandomForestConfig::default()
+        };
+        let fit_at = |workers: usize| {
+            let mut r = StdRng::seed_from_u64(42);
+            RandomForest::fit_pooled(&x, &labels, &cfg, &mut r, &Pool::new(workers))
+        };
+        let reference = fit_at(1);
+        for workers in [2, 8] {
+            let rf = fit_at(workers);
+            for row in rows.iter().take(40) {
+                assert_eq!(
+                    reference.predict_proba(row).to_bits(),
+                    rf.predict_proba(row).to_bits(),
+                    "forest must be bitwise-identical at {workers} workers"
+                );
+            }
+        }
     }
 
     #[test]

@@ -592,6 +592,17 @@ impl Graph {
             .filter_map(move |&(pid, node)| grads.grads[node].as_ref().map(|g| (pid, g)))
     }
 
+    /// Like [`Graph::param_grads`], but consumes the gradient buffer and
+    /// returns the tensors by value — the zero-copy handoff data-parallel
+    /// training uses to ship per-sample gradients between threads before
+    /// accumulating them in a fixed order.
+    pub fn take_param_grads(&self, mut grads: Gradients) -> Vec<(ParamId, Tensor)> {
+        self.params
+            .iter()
+            .filter_map(|&(pid, node)| grads.grads[node].take().map(|g| (pid, g)))
+            .collect()
+    }
+
     #[allow(clippy::needless_range_loop)] // index couples several arrays
     fn accumulate_parents(&self, idx: usize, g: &Tensor, grads: &mut [Option<Tensor>]) {
         let node = &self.nodes[idx];

@@ -36,6 +36,12 @@ pub struct StageReport {
     pub name: &'static str,
     /// Wall-clock duration in nanoseconds.
     pub duration_ns: u64,
+    /// Summed per-worker CPU time in nanoseconds, when the stage ran on
+    /// multiple workers. `None` for serial stages (CPU == wall). With
+    /// `workers > 1` the CPU sum exceeds the wall clock — reporting both
+    /// keeps `--verbose` honest about parallel speedup instead of
+    /// presenting summed worker time as elapsed time.
+    pub cpu_ns: Option<u64>,
     /// Items entering the stage (e.g. raw points), when meaningful.
     pub items_in: Option<u64>,
     /// Items leaving the stage (e.g. filtered points), when meaningful.
@@ -93,7 +99,8 @@ impl PipelineReport {
         Self::default()
     }
 
-    /// Adds a stage, replacing a same-named entry if the stage re-ran.
+    /// Adds a serial stage (CPU == wall), replacing a same-named entry if
+    /// the stage re-ran.
     pub fn push_stage(
         &mut self,
         name: &'static str,
@@ -101,9 +108,23 @@ impl PipelineReport {
         items_in: Option<u64>,
         items_out: Option<u64>,
     ) {
+        self.push_stage_cpu(name, duration_ns, None, items_in, items_out);
+    }
+
+    /// Adds a stage with distinct wall-clock and summed-CPU durations (a
+    /// stage that ran across pool workers), replacing a same-named entry.
+    pub fn push_stage_cpu(
+        &mut self,
+        name: &'static str,
+        duration_ns: u64,
+        cpu_ns: Option<u64>,
+        items_in: Option<u64>,
+        items_out: Option<u64>,
+    ) {
         let rec = StageReport {
             name,
             duration_ns,
+            cpu_ns,
             items_in,
             items_out,
         };
@@ -157,19 +178,25 @@ impl PipelineReport {
         errs
     }
 
-    /// Renders the report as a human-readable table.
+    /// Renders the report as a human-readable table. The `cpu (ms)` column
+    /// shows summed per-worker time for stages that ran across the pool
+    /// (`-` for serial stages, where CPU equals the wall clock).
     pub fn render_table(&self) -> String {
         let mut out = String::from("== pipeline report ==\n");
         out.push_str(&format!(
-            "{:<26} {:>14} {:>12} {:>12}\n",
-            "stage", "duration (ms)", "items in", "items out"
+            "{:<26} {:>14} {:>12} {:>12} {:>12}\n",
+            "stage", "wall (ms)", "cpu (ms)", "items in", "items out"
         ));
         for s in &self.stages {
             let fmt_opt = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |v| v.to_string());
+            let fmt_cpu = |v: Option<u64>| {
+                v.map_or_else(|| "-".to_string(), |v| format!("{:.3}", v as f64 / 1e6))
+            };
             out.push_str(&format!(
-                "{:<26} {:>14.3} {:>12} {:>12}\n",
+                "{:<26} {:>14.3} {:>12} {:>12} {:>12}\n",
                 s.name,
                 s.duration_ns as f64 / 1e6,
+                fmt_cpu(s.cpu_ns),
                 fmt_opt(s.items_in),
                 fmt_opt(s.items_out)
             ));
@@ -200,6 +227,11 @@ impl PipelineReport {
                             JsonValue::Obj(vec![
                                 ("name".into(), JsonValue::Str(s.name.to_string())),
                                 ("duration_ns".into(), JsonValue::Num(s.duration_ns as f64)),
+                                (
+                                    "cpu_ns".into(),
+                                    s.cpu_ns
+                                        .map_or(JsonValue::Null, |v| JsonValue::Num(v as f64)),
+                                ),
                                 (
                                     "items_in".into(),
                                     s.items_in
@@ -271,8 +303,12 @@ pub struct IngestReport {
     pub dirty_addresses: u64,
     /// Total addresses known to the engine.
     pub total_addresses: u64,
-    /// Stay-point extraction (noise filter + detection) time, ns.
+    /// Stay-point extraction (noise filter + detection) wall-clock time, ns.
     pub extraction_ns: u64,
+    /// Stay-point extraction CPU time summed across pool workers, ns. Equal
+    /// to `extraction_ns` (minus scheduling overhead) when the pool is
+    /// single-threaded; larger when extraction fanned out.
+    pub extraction_cpu_ns: u64,
     /// Incremental clustering time, ns.
     pub clustering_ns: u64,
     /// Candidate retrieval time (dirty addresses only), ns.
@@ -334,6 +370,7 @@ impl IngestReport {
             ("dirty_addresses".into(), n(self.dirty_addresses)),
             ("total_addresses".into(), n(self.total_addresses)),
             ("extraction_ns".into(), n(self.extraction_ns)),
+            ("extraction_cpu_ns".into(), n(self.extraction_cpu_ns)),
             ("clustering_ns".into(), n(self.clustering_ns)),
             ("retrieval_ns".into(), n(self.retrieval_ns)),
             ("features_ns".into(), n(self.features_ns)),
@@ -426,5 +463,34 @@ mod tests {
         let json = r.to_json().render();
         assert!(json.contains("\"noise-filter\""));
         assert!(json.contains("\"funnel\""));
+    }
+
+    #[test]
+    fn parallel_stage_reports_wall_and_cpu_separately() {
+        let mut r = PipelineReport::new();
+        // 8 workers each burning 1 ms: wall ~1 ms, CPU ~8 ms.
+        r.push_stage_cpu(
+            stage::NOISE_FILTER,
+            1_000_000,
+            Some(8_000_000),
+            Some(10),
+            Some(9),
+        );
+        r.push_stage(stage::CLUSTERING, 3_000_000, Some(9), Some(4));
+        let s = r.stage(stage::NOISE_FILTER).unwrap();
+        assert_eq!(s.duration_ns, 1_000_000);
+        assert_eq!(s.cpu_ns, Some(8_000_000));
+        // total_ns stays a wall-clock sum — CPU never double-counts into it.
+        assert_eq!(r.total_ns(), 4_000_000);
+
+        let table = r.render_table();
+        assert!(table.contains("cpu (ms)"));
+        assert!(table.contains("8.000"), "cpu column rendered: {table}");
+        let json = r.to_json().render();
+        assert!(json.contains("\"cpu_ns\""));
+
+        // Serial stages render a dash and export null.
+        let serial = r.stage(stage::CLUSTERING).unwrap();
+        assert_eq!(serial.cpu_ns, None);
     }
 }

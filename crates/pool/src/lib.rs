@@ -1,0 +1,630 @@
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+//! `dlinfma-pool` — the workspace's shared, deterministic thread pool.
+//!
+//! Every parallel stage of the pipeline (stay-point extraction, component
+//! re-clustering, retrieval, feature counting, minibatch gradient
+//! accumulation, per-address inference) runs on one [`Pool`], built once
+//! from `DlInfMaConfig::workers` and reused across ingests instead of
+//! spawning fresh threads per stage.
+//!
+//! # Architecture
+//!
+//! A classic scoped work-stealing design, zero-dependency by construction
+//! (the build container has no registry access):
+//!
+//! * `N - 1` persistent worker threads, each owning a deque
+//!   (`Mutex<VecDeque<Task>>`). Spawned tasks are distributed round-robin
+//!   across the deques; a worker pops its own deque from the back (LIFO,
+//!   cache-warm) and steals from siblings' fronts (FIFO, oldest first) when
+//!   its own runs dry.
+//! * [`Pool::scope`] borrows non-`'static` data, like
+//!   `std::thread::scope`: the scope joins every task it spawned before
+//!   returning, so borrows can never dangle. The calling thread *helps*
+//!   while joining — it runs queued tasks instead of blocking — which is
+//!   what makes nested scopes (a worker task opening its own scope)
+//!   deadlock-free.
+//! * A task panic is caught, the first payload is stowed, the remaining
+//!   tasks still run, and the panic resumes on the scope's caller after the
+//!   join — the pool itself never loses a worker.
+//!
+//! # Determinism
+//!
+//! The pool's contract, relied on by the `workers = 1` vs `workers = 8`
+//! parity tests: for pure per-item functions, every combinator returns
+//! **bit-identical results regardless of worker count or steal order**.
+//!
+//! * [`Pool::par_map`] / [`Pool::par_chunks`] write each result into the
+//!   slot of its input index; output order is input order by construction.
+//! * [`Pool::par_map_reduce_ordered`] folds the mapped results *in input
+//!   order* on the calling thread. Floating-point accumulation (gradient
+//!   sums, metric totals) therefore associates identically no matter how
+//!   the map work was scheduled.
+//!
+//! What is *not* deterministic is execution interleaving — tasks touching
+//! shared atomics or locks still race like any threaded code.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of work queued on the pool, lifetime-erased to `'static`.
+///
+/// Safety: the only constructor is [`Scope::spawn`], which transmutes a
+/// `'env` closure; [`Pool::scope`] joins all of a scope's tasks before the
+/// `'env` borrows can expire.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between the pool handle and its workers.
+struct Shared {
+    /// One deque per worker thread (empty for a sequential pool).
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// Queued-task count, guarded by `idle`'s mutex so a worker can check
+    /// it and go to sleep without missing a wake-up.
+    idle: Mutex<usize>,
+    /// Wakes sleeping workers when work arrives or the pool shuts down.
+    bell: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Pops a task from any deque: `home` first (back/LIFO), then steals
+    /// from the others (front/FIFO). `home == usize::MAX` scans all (the
+    /// helping caller has no home deque).
+    fn take(&self, home: usize) -> Option<Task> {
+        if let Some(q) = self.deques.get(home) {
+            if let Some(t) = lock(q).pop_back() {
+                self.uncount();
+                return Some(t);
+            }
+        }
+        for (i, q) in self.deques.iter().enumerate() {
+            if i == home {
+                continue;
+            }
+            if let Some(t) = lock(q).pop_front() {
+                self.uncount();
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn uncount(&self) {
+        let mut n = lock_m(&self.idle);
+        *n = n.saturating_sub(1);
+    }
+
+    fn push(&self, slot: usize, task: Task) {
+        lock(&self.deques[slot]).push_back(task);
+        *lock_m(&self.idle) += 1;
+        self.bell.notify_one();
+    }
+}
+
+/// Locks a deque, recovering from a poisoned mutex: tasks run under
+/// `catch_unwind`, so a panic can never unwind while a deque lock is held,
+/// but defensive recovery keeps the pool alive regardless.
+fn lock(q: &Mutex<VecDeque<Task>>) -> std::sync::MutexGuard<'_, VecDeque<Task>> {
+    q.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn lock_m(m: &Mutex<usize>) -> std::sync::MutexGuard<'_, usize> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn worker_loop(shared: Arc<Shared>, home: usize) {
+    loop {
+        if let Some(task) = shared.take(home) {
+            task();
+            continue;
+        }
+        let guard = lock_m(&shared.idle);
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if *guard == 0 {
+            // Nothing queued anywhere; sleep until a push rings the bell.
+            drop(shared.bell.wait(guard));
+        }
+        // Either woken or tasks appeared between scan and lock: rescan.
+    }
+}
+
+/// Per-scope completion tracking: outstanding-task count plus the first
+/// panic payload of the scope, if any.
+struct ScopeSync {
+    pending: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+}
+
+impl ScopeSync {
+    fn new() -> Self {
+        Self {
+            pending: Mutex::new(0),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn finish_one(&self, payload: Option<Box<dyn std::any::Any + Send + 'static>>) {
+        if let Some(p) = payload {
+            let mut slot = self
+                .panic
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            slot.get_or_insert(p);
+        }
+        let mut n = self
+            .pending
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *n -= 1;
+        if *n == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// A scoped spawn handle; see [`Pool::scope`].
+pub struct Scope<'pool, 'env> {
+    pool: &'pool Pool,
+    sync: &'pool Arc<ScopeSync>,
+    /// Round-robin target for the scope's pushes.
+    next: AtomicUsize,
+    /// Invariant over `'env`, like `std::thread::Scope`: keeps callers from
+    /// shrinking the environment lifetime and smuggling borrows out.
+    _env: std::marker::PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'_, 'env> {
+    /// Spawns a task that may borrow from the enclosing environment. Tasks
+    /// run on the pool's workers (and on the caller during the join); the
+    /// scope waits for all of them before [`Pool::scope`] returns.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        if self.pool.threads == 1 {
+            // Sequential pool: run inline, in spawn order.
+            match catch_unwind(AssertUnwindSafe(f)) {
+                Ok(()) => {}
+                Err(p) => {
+                    let mut slot = self
+                        .sync
+                        .panic
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    slot.get_or_insert(p);
+                }
+            }
+            return;
+        }
+        *self
+            .sync
+            .pending
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) += 1;
+        let sync = Arc::clone(self.sync);
+        let wrapped: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let outcome = catch_unwind(AssertUnwindSafe(f));
+            sync.finish_one(outcome.err());
+        });
+        // SAFETY: `Pool::scope` joins every spawned task before returning,
+        // so the `'env` borrows captured by the closure outlive its run.
+        let task: Task = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(
+                wrapped,
+            )
+        };
+        let slot = self.next.fetch_add(1, Ordering::Relaxed) % self.pool.shared.deques.len();
+        self.pool.shared.push(slot, task);
+    }
+}
+
+/// The shared work-stealing thread pool; see the crate docs.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl Pool {
+    /// A pool with `threads` total executors: the calling thread plus
+    /// `threads - 1` persistent workers. `Pool::new(1)` spawns no threads
+    /// and runs everything inline, in spawn order. `threads` is clamped to
+    /// at least 1.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            deques: (1..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            idle: Mutex::new(0),
+            bell: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (1..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dlinfma-pool-{}", i - 1))
+                    .spawn(move || worker_loop(shared, i - 1))
+                    .unwrap_or_else(|e| panic!("spawning pool worker: {e}"))
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            threads,
+        }
+    }
+
+    /// A single-threaded pool: every combinator degenerates to its serial
+    /// equivalent. Cheap to construct (no threads).
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// Total executors (calling thread included).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` with a [`Scope`] that can spawn borrowing tasks, joining
+    /// them all before returning. The calling thread helps run queued tasks
+    /// during the join. The first panic — from `f` itself or any task —
+    /// resumes on the caller once everything has joined.
+    pub fn scope<'env, R>(&self, f: impl FnOnce(&Scope<'_, 'env>) -> R) -> R {
+        let sync = Arc::new(ScopeSync::new());
+        let scope = Scope {
+            pool: self,
+            sync: &sync,
+            next: AtomicUsize::new(0),
+            _env: std::marker::PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        self.join(&sync);
+        let stored = sync
+            .panic
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
+        if let Some(p) = stored {
+            resume_unwind(p);
+        }
+        match result {
+            Ok(r) => r,
+            Err(p) => resume_unwind(p),
+        }
+    }
+
+    /// Blocks until `sync.pending == 0`, running queued tasks meanwhile.
+    fn join(&self, sync: &Arc<ScopeSync>) {
+        loop {
+            {
+                let n = sync
+                    .pending
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                if *n == 0 {
+                    return;
+                }
+            }
+            // Help: run any queued task (ours or a nested scope's).
+            if let Some(task) = self.shared.take(usize::MAX) {
+                task();
+                continue;
+            }
+            // Nothing left to run; the stragglers are mid-flight on
+            // workers. Sleep until the last one notifies.
+            let guard = sync
+                .pending
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if *guard == 0 {
+                return;
+            }
+            drop(sync.done.wait(guard));
+        }
+    }
+
+    /// Applies `f` to every item, returning results **in input order**.
+    /// Work is chunked across the pool and stolen freely; the output is
+    /// bit-identical for any worker count as long as `f` is a pure function
+    /// of its item.
+    pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let chunk = Self::auto_chunk(items.len(), self.threads);
+        let mut out: Vec<Option<U>> = Vec::new();
+        out.resize_with(items.len(), || None);
+        let f = &f;
+        self.scope(|s| {
+            for (its, slots) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                s.spawn(move || {
+                    for (it, slot) in its.iter().zip(slots.iter_mut()) {
+                        *slot = Some(f(it));
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|o| o.unwrap_or_else(|| unreachable!("scope joined with an unfilled slot")))
+            .collect()
+    }
+
+    /// Applies `f` to fixed-size chunks of `items` (the last may be short),
+    /// returning one result per chunk **in chunk order**. `f` receives the
+    /// chunk's start index. The chunking is the caller's — independent of
+    /// worker count — so per-chunk accumulations (timing sums, funnel
+    /// counts) are reproducible across pool sizes.
+    ///
+    /// # Panics
+    /// Panics if `chunk == 0`.
+    pub fn par_chunks<T, U, F>(&self, items: &[T], chunk: usize, f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &[T]) -> U + Sync,
+    {
+        assert!(chunk > 0, "chunk size must be positive");
+        if self.threads == 1 || items.len() <= chunk {
+            return items
+                .chunks(chunk)
+                .enumerate()
+                .map(|(i, c)| f(i * chunk, c))
+                .collect();
+        }
+        let n_chunks = items.len().div_ceil(chunk);
+        let mut out: Vec<Option<U>> = Vec::new();
+        out.resize_with(n_chunks, || None);
+        let f = &f;
+        self.scope(|s| {
+            for ((i, its), slot) in items.chunks(chunk).enumerate().zip(out.iter_mut()) {
+                s.spawn(move || {
+                    *slot = Some(f(i * chunk, its));
+                });
+            }
+        });
+        out.into_iter()
+            .map(|o| o.unwrap_or_else(|| unreachable!("scope joined with an unfilled slot")))
+            .collect()
+    }
+
+    /// Maps every item in parallel, then folds the mapped values **in input
+    /// order** on the calling thread: `reduce(...reduce(reduce(init, u0),
+    /// u1)..., un)`. Because the fold order is fixed, floating-point
+    /// reductions (gradient sums, loss totals) are bit-identical regardless
+    /// of worker count or steal order — the determinism anchor for
+    /// data-parallel training.
+    pub fn par_map_reduce_ordered<T, U, A, M, R>(
+        &self,
+        items: &[T],
+        map: M,
+        init: A,
+        mut reduce: R,
+    ) -> A
+    where
+        T: Sync,
+        U: Send,
+        M: Fn(&T) -> U + Sync,
+        R: FnMut(A, U) -> A,
+    {
+        let mapped = self.par_map(items, map);
+        mapped.into_iter().fold(init, |acc, u| reduce(acc, u))
+    }
+
+    /// Chunk size targeting ~4 chunks per executor, so stealing can balance
+    /// uneven items without drowning in per-task overhead.
+    fn auto_chunk(n: usize, threads: usize) -> usize {
+        n.div_ceil(threads * 4).max(1)
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            // Take the idle lock so no worker is between its queue scan and
+            // its wait when the bell rings.
+            let _guard = lock_m(&self.shared.idle);
+            self.shared.bell.notify_all();
+        }
+        for h in self.workers.drain(..) {
+            // A worker that panicked outside a task already unwound; there
+            // is nothing useful to do with the payload during drop.
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn sequential_pool_runs_inline_in_order() {
+        let pool = Pool::sequential();
+        assert_eq!(pool.threads(), 1);
+        let log = Mutex::new(Vec::new());
+        pool.scope(|s| {
+            for i in 0..5 {
+                let log = &log;
+                s.spawn(move || {
+                    log.lock().unwrap().push(i);
+                });
+            }
+        });
+        assert_eq!(log.into_inner().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn scope_joins_all_tasks_and_borrows() {
+        let pool = Pool::new(4);
+        let data: Vec<u64> = (0..1000).collect();
+        let total = AtomicU64::new(0);
+        pool.scope(|s| {
+            for chunk in data.chunks(37) {
+                let total = &total;
+                s.spawn(move || {
+                    let sum: u64 = chunk.iter().sum();
+                    total.fetch_add(sum, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 1000 * 999 / 2);
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        for threads in [1, 2, 4, 8] {
+            let pool = Pool::new(threads);
+            let items: Vec<u64> = (0..997).collect();
+            let out = pool.par_map(&items, |&x| x * x);
+            let want: Vec<u64> = items.iter().map(|&x| x * x).collect();
+            assert_eq!(out, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_results_identical_across_worker_counts() {
+        let items: Vec<f64> = (0..500).map(|i| (i as f64).sin()).collect();
+        let golden = Pool::new(1).par_map(&items, |&x| x.exp().sqrt());
+        for threads in [2, 3, 8] {
+            let got = Pool::new(threads).par_map(&items, |&x| x.exp().sqrt());
+            assert_eq!(golden, got, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_covers_everything_with_caller_chunking() {
+        let pool = Pool::new(3);
+        let items: Vec<usize> = (0..100).collect();
+        let out = pool.par_chunks(&items, 7, |start, chunk| (start, chunk.to_vec()));
+        assert_eq!(out.len(), 100usize.div_ceil(7));
+        let mut flat = Vec::new();
+        for (i, (start, chunk)) in out.iter().enumerate() {
+            assert_eq!(*start, i * 7);
+            flat.extend_from_slice(chunk);
+        }
+        assert_eq!(flat, items);
+    }
+
+    #[test]
+    fn ordered_reduce_is_bit_identical_across_worker_counts() {
+        // A sum of floats of wildly different magnitudes is order-sensitive;
+        // the ordered reduce must nail the serial result exactly.
+        let items: Vec<f64> = (0..2000)
+            .map(|i| (i as f64 * 0.7).sin() * 10f64.powi((i % 17) as i32 - 8))
+            .collect();
+        let serial: f64 = items.iter().map(|&x| x * 1.000001).sum();
+        for threads in [1, 2, 8] {
+            let got = Pool::new(threads).par_map_reduce_ordered(
+                &items,
+                |&x| x * 1.000001,
+                0.0f64,
+                |a, b| a + b,
+            );
+            assert!(
+                got.to_bits() == serial.to_bits(),
+                "threads={threads}: {got} vs {serial}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let pool = Pool::new(4);
+        let empty: Vec<u32> = Vec::new();
+        assert!(pool.par_map(&empty, |&x| x).is_empty());
+        assert_eq!(pool.par_map(&[42u32], |&x| x + 1), vec![43]);
+        assert!(pool
+            .par_chunks(&empty, 8, |_, c: &[u32]| c.len())
+            .is_empty());
+    }
+
+    #[test]
+    fn task_panic_propagates_after_join() {
+        let pool = Pool::new(4);
+        let finished = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                for i in 0..16 {
+                    let finished = &finished;
+                    s.spawn(move || {
+                        if i == 7 {
+                            panic!("boom");
+                        }
+                        finished.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err(), "the panic must surface on the caller");
+        // Every non-panicking task still ran; no worker died with the task.
+        assert_eq!(finished.load(Ordering::Relaxed), 15);
+        // The pool survives and serves the next scope.
+        let out = pool.par_map(&[1u32, 2, 3], |&x| x * 2);
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        let pool = Pool::new(2);
+        let total = AtomicU64::new(0);
+        pool.scope(|outer| {
+            for _ in 0..4 {
+                let total = &total;
+                let pool = &pool;
+                outer.spawn(move || {
+                    // A task opening its own scope on the same pool: the
+                    // join loop helps, so this cannot deadlock.
+                    pool.scope(|inner| {
+                        for _ in 0..4 {
+                            inner.spawn(|| {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_scopes() {
+        let pool = Pool::new(4);
+        for round in 0..50 {
+            let items: Vec<u64> = (0..64).collect();
+            let out = pool.par_map(&items, |&x| x + round);
+            assert_eq!(out[5], 5 + round);
+        }
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        for _ in 0..10 {
+            let pool = Pool::new(4);
+            let _ = pool.par_map(&[1u8, 2, 3], |&x| x);
+            drop(pool);
+        }
+    }
+}

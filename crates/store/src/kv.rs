@@ -182,7 +182,8 @@ mod tests {
         let store = std::sync::Arc::new(DeliveryLocationStore::new());
         store.refresh(&ds, &dl);
         let addrs: Vec<AddressId> = ds.waybills.iter().map(|w| w.address).collect();
-        std::thread::scope(|scope| {
+        let pool = dlinfma_pool::Pool::new(5);
+        pool.scope(|scope| {
             for _ in 0..4 {
                 let store = &store;
                 let addrs = &addrs;

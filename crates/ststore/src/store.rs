@@ -361,12 +361,17 @@ mod tests {
     fn concurrent_readers_during_ingest() {
         let (ds, _) = store_with_world();
         let store = std::sync::Arc::new(TrajectoryStore::new());
-        std::thread::scope(|scope| {
-            let writer = {
+        // The workspace pool's scope joins every task before returning, so
+        // the writer is guaranteed done by the assertion below.
+        let pool = dlinfma_pool::Pool::new(4);
+        pool.scope(|scope| {
+            {
                 let store = store.clone();
                 let ds = &ds;
-                scope.spawn(move || store.ingest_dataset(ds))
-            };
+                scope.spawn(move || {
+                    let _ = store.ingest_dataset(ds);
+                });
+            }
             for _ in 0..3 {
                 let store = store.clone();
                 scope.spawn(move || {
@@ -376,7 +381,6 @@ mod tests {
                     }
                 });
             }
-            writer.join().expect("writer finishes");
         });
         assert_eq!(store.n_fixes(), ds.total_gps_points());
     }

@@ -1,0 +1,21 @@
+// Seeded violation for rule L7: raw threads outside the workspace pool.
+// `cargo run -p xtask -- lint crates/xtask/fixtures/l7.rs` must exit non-zero.
+
+pub fn fan_out(work: Vec<Box<dyn FnOnce() + Send>>) {
+    std::thread::scope(|scope| {
+        for w in work {
+            scope.spawn(w);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    // L7 fires in test regions too: ad-hoc test threads bypass the pool's
+    // determinism and joining guarantees just like production ones.
+    #[test]
+    fn spawns_raw_thread() {
+        let handle = std::thread::spawn(|| 1 + 1);
+        drop(handle);
+    }
+}

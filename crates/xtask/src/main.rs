@@ -1,6 +1,6 @@
 //! `cargo run -p xtask -- lint` — the workspace's in-tree static analyzer.
 //!
-//! Six repo-specific rules (see [`rules`]) run over every `crates/*/src`
+//! Seven repo-specific rules (see [`rules`]) run over every `crates/*/src`
 //! file with a hand-rolled comment/string-aware tokenizer; findings print as
 //! `file:line: rule: message` and make the process exit non-zero. A
 //! committed baseline (`crates/xtask/lint.baseline`) can grandfather known
@@ -151,6 +151,7 @@ fn fixtures_self_check() -> ExitCode {
         ("l4.rs", Rule::L4),
         ("l5.rs", Rule::L5),
         ("l6.rs", Rule::L6),
+        ("l7.rs", Rule::L7),
     ];
     let mut ok = true;
     for (name, expected) in fixtures {
@@ -213,6 +214,7 @@ fn lint_one(path: &Path, root: &Path, all_rules: bool) -> Vec<Finding> {
         check_panics: all_rules || HOT_PATH_CRATES.contains(&crate_name),
         is_params_module: rel_str == "crates/params/src/lib.rs",
         is_obs_crate: !all_rules && crate_name == "obs",
+        is_pool_crate: !all_rules && crate_name == "pool",
     };
     lint_source(&src, ctx)
 }
@@ -248,6 +250,7 @@ mod tests {
             ("l4.rs", Rule::L4),
             ("l5.rs", Rule::L5),
             ("l6.rs", Rule::L6),
+            ("l7.rs", Rule::L7),
         ] {
             let path = root.join("crates/xtask/fixtures").join(name);
             let findings = lint_one(&path, &root, true);

@@ -1,4 +1,4 @@
-//! The lint rules (L1–L6) and the machinery they share: `#[cfg(test)]`
+//! The lint rules (L1–L7) and the machinery they share: `#[cfg(test)]`
 //! region tracking, `// lint: allow(..)` directives, and finding reporting.
 //!
 //! Each rule is documented where it is implemented; `DESIGN.md` has the
@@ -25,6 +25,12 @@ pub enum Rule {
     /// reasonless allow suppresses nothing, so it must either gain a reason
     /// or go.
     L6,
+    /// Raw `std::thread::spawn` / `std::thread::scope` outside the
+    /// workspace thread pool (`crates/pool`): all parallelism runs on the
+    /// shared deterministic pool. Unlike the other rules this one fires in
+    /// `#[cfg(test)]` regions too — ad-hoc threads in tests are exactly
+    /// where unpooled concurrency sneaks back in.
+    L7,
 }
 
 impl Rule {
@@ -37,6 +43,7 @@ impl Rule {
             Rule::L4 => "L4",
             Rule::L5 => "L5",
             Rule::L6 => "L6",
+            Rule::L7 => "L7",
         }
     }
 
@@ -48,6 +55,7 @@ impl Rule {
             "L4" => Some(Rule::L4),
             "L5" => Some(Rule::L5),
             "L6" => Some(Rule::L6),
+            "L7" => Some(Rule::L7),
             _ => None,
         }
     }
@@ -95,6 +103,8 @@ pub struct FileCtx<'a> {
     pub is_params_module: bool,
     /// L4 exempt (the observability crate owns timing).
     pub is_obs_crate: bool,
+    /// L7 exempt (the pool crate implements the threading it bans).
+    pub is_pool_crate: bool,
 }
 
 /// Paper constants L3 guards, with the canonical replacement for each.
@@ -126,9 +136,14 @@ pub fn lint_source(src: &str, ctx: FileCtx) -> Vec<Finding> {
         rule_l4(&lexed.tokens, ctx, &mut findings);
     }
     rule_l5(&lexed.tokens, ctx, &mut findings);
+    if !ctx.is_pool_crate {
+        rule_l7(&lexed.tokens, ctx, &mut findings);
+    }
 
+    // L7 findings survive test regions (see its rule doc); everything else
+    // is production-code-only. Allow directives apply to every rule.
     findings.retain(|f| {
-        !in_test_region(&test_lines, f.line)
+        (f.rule == Rule::L7 || !in_test_region(&test_lines, f.line))
             && !allows
                 .iter()
                 .any(|(line, rule)| *rule == f.rule && *line == f.line)
@@ -450,6 +465,39 @@ fn rule_l5(tokens: &[Token], ctx: FileCtx, out: &mut Vec<Finding>) {
     }
 }
 
+/// L7 — unpooled threads.
+///
+/// Every parallel stage runs on the shared `dlinfma-pool` work-stealing
+/// pool so worker counts, determinism guarantees and caller-helps joining
+/// hold workspace-wide. A raw `std::thread::spawn` / `std::thread::scope`
+/// (or a `thread::Builder`) bypasses all of that. Only `crates/pool` itself
+/// may touch `std::thread`.
+fn rule_l7(tokens: &[Token], ctx: FileCtx, out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "thread" {
+            continue;
+        }
+        if tokens.get(i + 1).map(|t| t.text.as_str()) != Some("::") {
+            continue;
+        }
+        let Some(next) = tokens.get(i + 2) else {
+            continue;
+        };
+        if matches!(next.text.as_str(), "spawn" | "scope" | "Builder") {
+            out.push(Finding {
+                file: ctx.path.to_string(),
+                line: t.line,
+                rule: Rule::L7,
+                message: format!(
+                    "raw `thread::{}` outside crates/pool; run the work on the shared \
+                     `dlinfma_pool::Pool` (scope/par_map) instead",
+                    next.text
+                ),
+            });
+        }
+    }
+}
+
 fn is_keyword(s: &str) -> bool {
     matches!(
         s,
@@ -507,6 +555,7 @@ mod tests {
             check_panics: true,
             is_params_module: false,
             is_obs_crate: false,
+            is_pool_crate: false,
         }
     }
 
@@ -623,6 +672,35 @@ mod tests {
         assert!(
             rules_hit("// see `lint: allow(<rule>, <reason>)` in DESIGN.md\nfn f() {}").is_empty()
         );
+    }
+
+    #[test]
+    fn l7_fires_on_raw_threads_even_in_tests() {
+        assert_eq!(
+            rules_hit("fn f() { std::thread::spawn(|| {}); }"),
+            [Rule::L7]
+        );
+        assert_eq!(
+            rules_hit("fn f() { std::thread::scope(|s| {}); }"),
+            [Rule::L7]
+        );
+        assert_eq!(
+            rules_hit("fn f() { std::thread::Builder::new(); }"),
+            [Rule::L7]
+        );
+        // Unlike the other rules, a #[cfg(test)] region does not exempt.
+        let in_tests = "#[cfg(test)]\nmod tests {\n  fn t() { std::thread::spawn(|| {}); }\n}\n";
+        assert_eq!(rules_hit(in_tests), [Rule::L7]);
+        // Non-spawning thread APIs and the pool crate are fine.
+        assert!(rules_hit("fn f() { std::thread::available_parallelism(); }").is_empty());
+        let mut c = ctx();
+        c.is_pool_crate = true;
+        assert!(lint_source("fn f() { std::thread::spawn(|| {}); }", c).is_empty());
+        // A reasoned allow still works.
+        assert!(rules_hit(
+            "fn f() { std::thread::spawn(|| {}); } // lint: allow(L7, detached watchdog)"
+        )
+        .is_empty());
     }
 
     #[test]

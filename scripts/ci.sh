@@ -3,16 +3,22 @@
 #
 # Offline-safe: pass --offline (or set CARGO_NET_OFFLINE=true) to forbid
 # network access; the build then uses only vendored/cached dependencies.
+#
+# --quick runs the short loop (build + test + in-tree lint) for inner-dev
+# iteration; the full run adds the replay smoke, the pipeline timing
+# artifact with its regression gate, rustfmt, and clippy.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 CARGO_FLAGS=()
+QUICK=0
 for arg in "$@"; do
     case "$arg" in
     --offline) CARGO_FLAGS+=(--offline) ;;
+    --quick) QUICK=1 ;;
     *)
-        echo "usage: scripts/ci.sh [--offline]" >&2
+        echo "usage: scripts/ci.sh [--offline] [--quick]" >&2
         exit 2
         ;;
     esac
@@ -27,17 +33,29 @@ run() {
 
 run cargo build --release --workspace "${CARGO_FLAGS[@]}"
 run cargo test --workspace -q "${CARGO_FLAGS[@]}"
-# In-tree static analysis (NaN ordering, panic freedom, paper constants);
-# offline-safe and fast, so it runs before the slower clippy pass. The
-# --fixtures pass lints the linter itself against seeded violations.
+# In-tree static analysis (NaN ordering, panic freedom, paper constants,
+# unpooled threads); offline-safe and fast, so it runs before the slower
+# clippy pass. The --fixtures pass lints the linter itself against seeded
+# violations.
 run cargo run -p xtask "${CARGO_FLAGS[@]}" -- lint
 run cargo run -p xtask "${CARGO_FLAGS[@]}" -- lint --fixtures
+
+if [[ $QUICK -eq 1 ]]; then
+    echo "ci: quick loop green (build + test + lint)"
+    exit 0
+fi
+
 # Streaming-ingest smoke: replays the Tiny world day by day through the
 # incremental engine; exercises the same path the batch_streaming_parity
-# tests pin down, from the CLI.
-run cargo run --release -p dlinfma-cli "${CARGO_FLAGS[@]}" -- replay --preset dowbj --scale tiny
-# Machine-readable pipeline timing artifact (prepare + per-day ingest).
-run cargo run --release -p dlinfma-bench "${CARGO_FLAGS[@]}" --bin bench_pipeline -- BENCH_pipeline.json
+# tests pin down, from the CLI. The metrics export is a CI artifact.
+run cargo run --release -p dlinfma-cli "${CARGO_FLAGS[@]}" -- replay --preset dowbj --scale tiny --metrics-out METRICS_report.json
+# Machine-readable pipeline timing artifact (prepare + workers sweep +
+# per-day ingest), gated against the committed baseline. The gate compares
+# calibrated ratios (prepare time / in-process calibration workload), so it
+# is comparable across machines; it fails on a >30% regression — a
+# tolerance that absorbs shared-runner scheduler noise without hiding a
+# real slowdown (see GATE_TOLERANCE in bench_pipeline.rs).
+run cargo run --release -p dlinfma-bench "${CARGO_FLAGS[@]}" --bin bench_pipeline -- BENCH_pipeline.json --gate BENCH_baseline.json
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets "${CARGO_FLAGS[@]}" -- -D warnings
 
