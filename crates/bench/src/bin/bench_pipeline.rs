@@ -16,11 +16,19 @@
 
 use dlinfma_core::{DlInfMa, Engine};
 use dlinfma_eval::pipeline_config;
-use dlinfma_obs::{JsonValue, Stopwatch};
-use dlinfma_synth::{generate, replay, Preset, Scale};
+use dlinfma_obs::{self as obs, JsonValue, Stopwatch};
+use dlinfma_synth::{generate, replay, Dataset, Preset, Scale};
 use std::process::ExitCode;
 
 const SEED: u64 = 1;
+
+/// Tracing-overhead budget: a traced Tiny replay must stay within 10% of
+/// the untraced wall time (best-of-[`OVERHEAD_ROUNDS`], interleaved), plus
+/// a small absolute slack because the Tiny replay is only a few
+/// milliseconds and scheduler jitter alone exceeds 10% of that.
+const TRACE_OVERHEAD_TOLERANCE: f64 = 1.10;
+const TRACE_OVERHEAD_SLACK_NS: u64 = 2_000_000;
+const OVERHEAD_ROUNDS: usize = 5;
 
 /// Regression tolerance of the `--gate` check: fail only when the
 /// calibrated prepare ratio exceeds the baseline's by more than this
@@ -39,6 +47,26 @@ fn calibration_ns() -> u64 {
     }
     std::hint::black_box(h);
     t.elapsed_ns()
+}
+
+/// Wall time of one full engine replay of `dataset`, with the trace layer
+/// on or off. Traced runs drain the rings afterwards so successive
+/// measurements start from empty buffers.
+fn replay_wall_ns(dataset: &Dataset, preset: Preset, traced: bool) -> u64 {
+    if traced {
+        obs::trace_enable();
+    }
+    let mut engine = Engine::new(dataset.addresses.clone(), pipeline_config(preset));
+    let t = Stopwatch::start();
+    for day in replay(dataset) {
+        engine.ingest(&day);
+    }
+    let ns = t.elapsed_ns();
+    if traced {
+        obs::trace_disable();
+        let _ = obs::take_trace();
+    }
+    ns
 }
 
 fn prepare_at(workers: usize, dataset: &dlinfma_synth::Dataset, preset: Preset) -> (u64, DlInfMa) {
@@ -88,9 +116,44 @@ fn run() -> Result<(), String> {
 
     let mut engine = Engine::new(dataset.addresses.clone(), pipeline_config(preset));
     let mut days = Vec::new();
+    let mut clustering_ns = 0u64;
+    let mut clustering_cpu_ns = 0u64;
     for day in replay(&dataset) {
-        days.push(engine.ingest(&day).to_json());
+        let rep = engine.ingest(&day);
+        clustering_ns += rep.clustering_ns;
+        clustering_cpu_ns += rep.clustering_cpu_ns;
+        days.push(rep.to_json());
     }
+
+    // Tracing overhead: interleaved best-of-N traced vs untraced replays.
+    // Interleaving cancels drift (thermal, cache warm-up) that would bias a
+    // run-all-of-one-then-the-other comparison.
+    let mut untraced_best = u64::MAX;
+    let mut traced_best = u64::MAX;
+    for _ in 0..OVERHEAD_ROUNDS {
+        untraced_best = untraced_best.min(replay_wall_ns(&dataset, preset, false));
+        traced_best = traced_best.min(replay_wall_ns(&dataset, preset, true));
+    }
+    let overhead_ratio = traced_best as f64 / untraced_best.max(1) as f64;
+
+    // One more traced replay, kept this time: the Chrome-trace CI artifact.
+    obs::reset_trace();
+    obs::trace_enable();
+    let mut traced_engine = Engine::new(dataset.addresses.clone(), pipeline_config(preset));
+    for day in replay(&dataset) {
+        traced_engine.ingest(&day);
+    }
+    obs::trace_disable();
+    let capture = obs::take_trace();
+    let trace_out = std::path::Path::new(&out).with_file_name("BENCH_trace.json");
+    std::fs::write(&trace_out, obs::chrome_trace_json(&capture).render())
+        .map_err(|e| format!("write {}: {e}", trace_out.display()))?;
+    println!(
+        "wrote {} ({} events across {} threads)",
+        trace_out.display(),
+        capture.events.len(),
+        capture.threads.len()
+    );
 
     let n_days = days.len();
     let json = JsonValue::Obj(vec![
@@ -102,6 +165,23 @@ fn run() -> Result<(), String> {
         ("prepare_ns".into(), JsonValue::Num(prepare_ns as f64)),
         ("prepare_report".into(), batch.report().to_json()),
         ("workers_sweep".into(), JsonValue::Arr(sweep)),
+        ("clustering_ns".into(), JsonValue::Num(clustering_ns as f64)),
+        (
+            "clustering_cpu_ns".into(),
+            JsonValue::Num(clustering_cpu_ns as f64),
+        ),
+        (
+            "replay_untraced_ns".into(),
+            JsonValue::Num(untraced_best as f64),
+        ),
+        (
+            "replay_traced_ns".into(),
+            JsonValue::Num(traced_best as f64),
+        ),
+        (
+            "trace_overhead_ratio".into(),
+            JsonValue::Num(overhead_ratio),
+        ),
         ("ingest_days".into(), JsonValue::Arr(days)),
     ]);
     std::fs::write(&out, json.render_pretty()).map_err(|e| format!("write {out}: {e}"))?;
@@ -109,6 +189,26 @@ fn run() -> Result<(), String> {
         "wrote {out} (prepare {:.3} ms at {max_workers} workers, {n_days} replay days)",
         prepare_ns as f64 / 1e6
     );
+
+    println!(
+        "trace overhead: {:.3} ms traced vs {:.3} ms untraced ({:+.1}%)",
+        traced_best as f64 / 1e6,
+        untraced_best as f64 / 1e6,
+        (overhead_ratio - 1.0) * 100.0
+    );
+    if traced_best
+        > (untraced_best as f64 * TRACE_OVERHEAD_TOLERANCE) as u64 + TRACE_OVERHEAD_SLACK_NS
+    {
+        return Err(format!(
+            "tracing overhead {:.1}% exceeds the {:.0}% budget \
+             (traced {:.3} ms vs untraced {:.3} ms, slack {:.1} ms)",
+            (overhead_ratio - 1.0) * 100.0,
+            (TRACE_OVERHEAD_TOLERANCE - 1.0) * 100.0,
+            traced_best as f64 / 1e6,
+            untraced_best as f64 / 1e6,
+            TRACE_OVERHEAD_SLACK_NS as f64 / 1e6
+        ));
+    }
 
     if let Some(baseline_path) = gate {
         gate_check(&baseline_path, prepare_ns, calib)?;

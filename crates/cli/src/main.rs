@@ -6,8 +6,12 @@
 //! dlinfma eval     --preset dowbj --scale tiny  --seed 1 [--all]
 //! dlinfma infer    --preset dowbj --scale tiny  --seed 1 --address 12
 //! dlinfma replay   --preset dowbj --scale tiny  --seed 1
+//! dlinfma health   --preset dowbj --scale tiny  --seed 1
 //! dlinfma geojson  --preset dowbj --scale tiny  --seed 1 --out map.geojson
 //! ```
+//!
+//! Every command accepts `--trace-out FILE` to record a Chrome trace-event
+//! JSON profile of the run (open it at <https://ui.perfetto.dev>).
 
 use dlinfma_core::{DlInfMa, DlInfMaConfig, Engine};
 use dlinfma_eval::{
@@ -59,6 +63,7 @@ impl Args {
                         "out",
                         "address",
                         "metrics-out",
+                        "trace-out",
                     ];
                     if !KNOWN.contains(&name) {
                         return Err(format!("unknown flag '--{name}'\n{}", usage()));
@@ -138,15 +143,22 @@ fn usage() -> &'static str {
      \x20 eval      [--all]        train + evaluate methods on the test region\n\
      \x20 infer     --address N    train DLInfMA and infer one address\n\
      \x20 replay                   stream the dataset day by day through the engine\n\
+     \x20 health                   replay the dataset and print ingest health monitors\n\
      \x20 geojson   --out FILE     train DLInfMA and export a GeoJSON map\n\
      observability:\n\
      \x20 --verbose           print stage timings, spans and metrics to stderr\n\
-     \x20 --metrics-out FILE  write spans/metrics/report as JSON"
+     \x20 --metrics-out FILE  write spans/metrics/report/health as JSON\n\
+     \x20 --trace-out FILE    write a Chrome trace-event profile (Perfetto-loadable)"
 }
 
-/// Prints the collected observability data to stderr (`--verbose`) and/or
-/// writes the JSON export (`--metrics-out FILE`).
-fn emit_observability(args: &Args, report: Option<&obs::PipelineReport>) -> Result<(), String> {
+/// Prints the collected observability data to stderr (`--verbose`), writes
+/// the JSON export (`--metrics-out FILE`), and drains the trace rings to a
+/// Chrome trace-event file (`--trace-out FILE`).
+fn emit_observability(
+    args: &Args,
+    report: Option<&obs::PipelineReport>,
+    health: Option<&obs::HealthReport>,
+) -> Result<(), String> {
     if args.verbose {
         if let Some(r) = report {
             eprint!("{}", r.render_table());
@@ -158,9 +170,27 @@ fn emit_observability(args: &Args, report: Option<&obs::PipelineReport>) -> Resu
         eprint!("{}", obs::render_metrics(&obs::metrics_snapshot()));
     }
     if let Some(path) = args.get("metrics-out") {
-        let json = obs::export_json(report).render_pretty();
-        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+        let mut json = obs::export_json(report);
+        if let (obs::JsonValue::Obj(fields), Some(h)) = (&mut json, health) {
+            fields.push(("health".to_string(), h.to_json()));
+        }
+        std::fs::write(path, json.render_pretty()).map_err(|e| format!("write {path}: {e}"))?;
         eprintln!("wrote metrics to {path}");
+    }
+    if let Some(path) = args.get("trace-out") {
+        let capture = obs::take_trace();
+        std::fs::write(path, obs::chrome_trace_json(&capture).render())
+            .map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!(
+            "wrote trace to {path} ({} events across {} threads{})",
+            capture.events.len(),
+            capture.threads.len(),
+            if capture.dropped > 0 {
+                format!(", {} dropped", capture.dropped)
+            } else {
+                String::new()
+            }
+        );
     }
     Ok(())
 }
@@ -173,7 +203,11 @@ fn run() -> Result<(), String> {
     if args.verbose || args.get("metrics-out").is_some() {
         obs::enable();
     }
+    if args.get("trace-out").is_some() {
+        obs::trace_enable();
+    }
     let mut report: Option<obs::PipelineReport> = None;
+    let mut health: Option<obs::HealthReport> = None;
 
     match args.command.as_str() {
         "generate" => {
@@ -281,6 +315,18 @@ fn run() -> Result<(), String> {
                 store.n_waybills()
             );
             report = Some(engine.report().clone());
+            health = Some(engine.health_report());
+        }
+        "health" => {
+            let (_, dataset) = generate(preset, scale, seed);
+            let mut engine = Engine::new(dataset.addresses.clone(), args.pipeline_cfg(preset)?);
+            for batch in dlinfma_synth::replay(&dataset) {
+                engine.ingest(&batch);
+            }
+            let h = engine.health_report();
+            print!("{}", h.render());
+            report = Some(engine.report().clone());
+            health = Some(h);
         }
         "geojson" => {
             let out = args.get("out").ok_or("geojson needs --out FILE")?;
@@ -296,7 +342,7 @@ fn run() -> Result<(), String> {
         }
         other => return Err(format!("unknown command '{other}'\n{}", usage())),
     }
-    emit_observability(&args, report.as_ref())
+    emit_observability(&args, report.as_ref(), health.as_ref())
 }
 
 fn main() -> ExitCode {
@@ -352,6 +398,13 @@ mod tests {
         assert!(a.workers().unwrap_err().contains("--workers '0'"));
         let a = parse(&["eval", "--workers", "x"]).unwrap();
         assert!(a.workers().unwrap_err().contains("--workers 'x'"));
+    }
+
+    #[test]
+    fn trace_and_metrics_output_flags_parse() {
+        let a = parse(&["replay", "--trace-out", "t.json", "--metrics-out", "m.json"]).unwrap();
+        assert_eq!(a.get("trace-out"), Some("t.json"));
+        assert_eq!(a.get("metrics-out"), Some("m.json"));
     }
 
     #[test]

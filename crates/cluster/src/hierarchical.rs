@@ -12,6 +12,7 @@
 //! spread over a district) near `O(n log n)` instead of the naive `O(n^3)`.
 
 use dlinfma_geo::{GridIndex, Point};
+use dlinfma_obs::{self as obs, names};
 use dlinfma_pool::Pool;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -19,6 +20,48 @@ use std::collections::BinaryHeap;
 /// Below this many input points the parallel initial-pair scan costs more
 /// than it saves; [`merge_weighted_pooled`] falls back to the serial scan.
 const PARALLEL_PAIR_SCAN_MIN: usize = 512;
+
+/// Heap pops between `cluster/heap-size` trace counter samples inside the
+/// merge loop — frequent enough to see the heap drain, cheap enough not to
+/// perturb it.
+const HEAP_SAMPLE_EVERY: u64 = 1024;
+
+/// Where one merge call spent its time, split between the parallel initial
+/// pair scan and the sequential heap merge loop. `scan_cpu_ns` is summed
+/// per-chunk worker time (equals `scan_wall_ns` modulo scheduling overhead
+/// when serial); the engine aggregates these into the clustering stage's
+/// CPU column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MergeStats {
+    /// Wall-clock time of the initial nearest-pair scan, ns.
+    pub scan_wall_ns: u64,
+    /// Summed per-chunk CPU time of the scan, ns.
+    pub scan_cpu_ns: u64,
+    /// Wall-clock time of the heap merge loop, ns.
+    pub merge_ns: u64,
+    /// Merges performed.
+    pub merges: u64,
+    /// Stale heap entries skipped by lazy deletion.
+    pub stale: u64,
+}
+
+impl MergeStats {
+    /// Folds another call's stats into this one (the engine sums the
+    /// per-dirty-component merges of one ingest).
+    pub fn accumulate(&mut self, other: &MergeStats) {
+        self.scan_wall_ns += other.scan_wall_ns;
+        self.scan_cpu_ns += other.scan_cpu_ns;
+        self.merge_ns += other.merge_ns;
+        self.merges += other.merges;
+        self.stale += other.stale;
+    }
+
+    /// Total CPU attributed to the call: scan worker time plus the serial
+    /// merge loop.
+    pub fn cpu_ns(&self) -> u64 {
+        self.scan_cpu_ns + self.merge_ns
+    }
+}
 
 /// A point with a multiplicity, used for incremental pool merging where an
 /// existing candidate summarizes many stay points.
@@ -107,7 +150,7 @@ pub fn hierarchical_cluster(points: &[Point], distance_threshold: f64) -> Vec<Cl
 /// Panics if `distance_threshold` is not finite and positive, or any weight
 /// is zero.
 pub fn merge_weighted(items: &[WeightedPoint], distance_threshold: f64) -> Vec<Cluster> {
-    merge_weighted_impl(items, distance_threshold, None)
+    merge_weighted_impl(items, distance_threshold, None).0
 }
 
 /// [`merge_weighted`] with the initial nearest-pair scan fanned out over
@@ -122,6 +165,17 @@ pub fn merge_weighted_pooled(
     distance_threshold: f64,
     pool: &Pool,
 ) -> Vec<Cluster> {
+    merge_weighted_impl(items, distance_threshold, Some(pool)).0
+}
+
+/// [`merge_weighted_pooled`] returning the call's [`MergeStats`] alongside
+/// the clusters, for callers that attribute clustering wall/CPU time (the
+/// incremental engine, the bench harness).
+pub fn merge_weighted_pooled_stats(
+    items: &[WeightedPoint],
+    distance_threshold: f64,
+    pool: &Pool,
+) -> (Vec<Cluster>, MergeStats) {
     merge_weighted_impl(items, distance_threshold, Some(pool))
 }
 
@@ -129,8 +183,8 @@ fn merge_weighted_impl(
     items: &[WeightedPoint],
     distance_threshold: f64,
     pool: Option<&Pool>,
-) -> Vec<Cluster> {
-    let _span = dlinfma_obs::span("cluster/merge-weighted");
+) -> (Vec<Cluster>, MergeStats) {
+    let _span = obs::span(names::CLUSTER_MERGE_WEIGHTED);
     assert!(
         distance_threshold.is_finite() && distance_threshold > 0.0,
         "distance threshold must be positive, got {distance_threshold}"
@@ -186,38 +240,53 @@ fn merge_weighted_impl(
     // The initial all-points neighbor scan dominates large inputs and is
     // read-only, so it fans out over the pool. The heap is a multiset —
     // which thread found a pair doesn't change what gets popped.
+    let mut stats = MergeStats::default();
+    let scan_sw = obs::Stopwatch::start();
     let mut heap: BinaryHeap<Pair> = BinaryHeap::new();
     match pool {
         Some(p) if p.threads() > 1 && active.len() >= PARALLEL_PAIR_SCAN_MIN => {
             let ids: Vec<usize> = (0..active.len()).collect();
             let chunk = ids.len().div_ceil(p.threads() * 4).max(1);
             let lists = p.par_chunks(&ids, chunk, |_, ids| {
+                let _scan_span = obs::trace_span(names::CLUSTER_PAIR_SCAN);
+                let sw = obs::Stopwatch::start();
                 let mut local = Vec::new();
                 for &id in ids {
                     collect_neighbors(id, &active, &grid, &mut local);
                 }
-                local
+                (local, sw.elapsed_ns())
             });
-            for l in lists {
+            for (l, cpu_ns) in lists {
+                stats.scan_cpu_ns += cpu_ns;
                 heap.extend(l);
             }
         }
         _ => {
+            let _scan_span = obs::trace_span(names::CLUSTER_PAIR_SCAN);
             let mut local = Vec::new();
             for id in 0..active.len() {
                 collect_neighbors(id, &active, &grid, &mut local);
             }
             heap.extend(local);
+            stats.scan_cpu_ns = scan_sw.elapsed_ns();
         }
     }
+    stats.scan_wall_ns = scan_sw.elapsed_ns();
 
+    let merge_span = obs::trace_span(names::CLUSTER_MERGE_LOOP);
+    let merge_sw = obs::Stopwatch::start();
     let mut n_merges = 0u64;
     let mut n_stale = 0u64;
+    let mut n_pops = 0u64;
     let mut scratch: Vec<Pair> = Vec::new();
     while let Some(Pair {
         a, b, a_gen, b_gen, ..
     }) = heap.pop()
     {
+        n_pops += 1;
+        if n_pops.is_multiple_of(HEAP_SAMPLE_EVERY) {
+            obs::trace_counter(names::CLUSTER_HEAP_SIZE, heap.len() as f64);
+        }
         if !active[a].alive
             || !active[b].alive
             || active[a].generation != a_gen
@@ -245,6 +314,10 @@ fn merge_weighted_impl(
         collect_neighbors(a, &active, &grid, &mut scratch);
         heap.extend(scratch.drain(..));
     }
+    stats.merge_ns = merge_sw.elapsed_ns();
+    stats.merges = n_merges;
+    stats.stale = n_stale;
+    drop(merge_span);
 
     let out: Vec<Cluster> = active
         .into_iter()
@@ -255,13 +328,13 @@ fn merge_weighted_impl(
             weight: a.weight,
         })
         .collect();
-    if dlinfma_obs::enabled() {
-        dlinfma_obs::counter("cluster/inputs").add(items.len() as u64);
-        dlinfma_obs::counter("cluster/merges").add(n_merges);
-        dlinfma_obs::counter("cluster/stale-heap-entries").add(n_stale);
-        dlinfma_obs::counter("cluster/clusters-out").add(out.len() as u64);
+    if obs::enabled() {
+        obs::counter(names::CLUSTER_INPUTS).add(items.len() as u64);
+        obs::counter(names::CLUSTER_MERGES).add(n_merges);
+        obs::counter(names::CLUSTER_STALE_HEAP_ENTRIES).add(n_stale);
+        obs::counter(names::CLUSTER_CLUSTERS_OUT).add(out.len() as u64);
     }
-    out
+    (out, stats)
 }
 
 #[cfg(test)]

@@ -26,7 +26,8 @@ pub mod optics;
 pub use dbscan::{dbscan, DbscanConfig};
 pub use gridmerge::grid_clusters;
 pub use hierarchical::{
-    hierarchical_cluster, merge_weighted, merge_weighted_pooled, Cluster, WeightedPoint,
+    hierarchical_cluster, merge_weighted, merge_weighted_pooled, merge_weighted_pooled_stats,
+    Cluster, MergeStats, WeightedPoint,
 };
 pub use kmeans::{kmeans, KMeansResult};
 pub use optics::{optics_extract, optics_ordering, OpticsConfig, OrderedPoint};

@@ -30,7 +30,9 @@ use crate::pipeline::DlInfMaConfig;
 use crate::stages::{PoolState, RawSample, RetrievalIndex, SampleTable, StayPointSet, StayRec};
 use crate::staypoints::extract_batch_with_stats;
 use dlinfma_geo::Point;
-use dlinfma_obs::{self as obs, stage, IngestReport, PipelineReport};
+use dlinfma_obs::{
+    self as obs, names, stage, HealthMonitor, HealthReport, IngestReport, PipelineReport,
+};
 use dlinfma_pool::Pool;
 use dlinfma_synth::{Address, AddressId, DeliveryTrip, TripBatch, TripId};
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -47,6 +49,7 @@ struct StageNs {
     detect: u64,
     extract_wall: u64,
     cluster: u64,
+    cluster_cpu: u64,
     retrieval: u64,
     features: u64,
 }
@@ -77,6 +80,10 @@ pub struct Engine {
     /// `DlInfMa` for training and inference). Named `exec` because `pool`
     /// is the candidate pool throughout this crate.
     exec: Arc<Pool>,
+    /// Per-day ingest health monitor (funnel deltas, throughput, anomaly
+    /// flags); fed once per [`Engine::ingest`], served by
+    /// [`Engine::health_report`].
+    health: HealthMonitor,
 }
 
 impl Engine {
@@ -108,6 +115,7 @@ impl Engine {
             cum_raw_points: 0,
             cum_filtered_points: 0,
             exec: Arc::new(Pool::new(cfg.workers)),
+            health: HealthMonitor::default(),
             cfg,
         }
     }
@@ -120,6 +128,8 @@ impl Engine {
     /// Ingests one batch of trips and waybills, updating every staged
     /// artifact and re-materializing the pool and samples.
     pub fn ingest(&mut self, batch: &TripBatch) -> IngestReport {
+        let _ingest_span = obs::trace_span(names::ENGINE_INGEST);
+        let pool_before = self.exec.telemetry();
         let mut rep = IngestReport {
             day: batch.day,
             total_addresses: self.addresses.len() as u64,
@@ -146,8 +156,10 @@ impl Engine {
             &owned_trips
         };
         let t = obs::Stopwatch::start();
+        let extract_span = obs::trace_span(names::ENGINE_EXTRACT);
         let (trip_stays, stats) =
             extract_batch_with_stats(trips_slice, &self.cfg.extraction, &self.exec);
+        drop(extract_span);
         let extract_wall = t.elapsed_ns();
         obs::record_duration(stage::NOISE_FILTER, stats.noise_filter_ns);
         obs::record_duration(stage::STAY_POINTS, stats.detect_ns);
@@ -187,7 +199,9 @@ impl Engine {
                 .update(&mut self.stays, new_start, &self.exec)
         };
         rep.clustering_ns = t.elapsed_ns();
+        rep.clustering_cpu_ns = delta.cluster_stats.cpu_ns();
         self.ns.cluster += rep.clustering_ns;
+        self.ns.cluster_cpu += rep.clustering_cpu_ns;
         rep.clusters_added = delta.added;
         rep.clusters_removed = delta.removed;
 
@@ -213,6 +227,7 @@ impl Engine {
             dirty.insert(a);
         }
         rep.dirty_addresses = dirty.len() as u64;
+        obs::trace_counter(names::ENGINE_DIRTY_ADDRESSES, dirty.len() as f64);
 
         // --- Stage 3: retrieval, dirty addresses only. --------------------
         // One stopwatch per stage (not per address): the live visit index
@@ -227,7 +242,7 @@ impl Engine {
         }
         let cand_hist = obs::enabled().then(|| {
             obs::histogram(
-                "retrieval/candidate-set-size",
+                names::RETRIEVAL_CANDIDATE_SET_SIZE,
                 // lint: allow(L3, bucket edge in a 1-2-5 series of counts, not the 20 m stay radius)
                 &[1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0],
             )
@@ -242,9 +257,8 @@ impl Engine {
         let retrieved: Vec<(AddressId, Vec<usize>)> = self
             .exec
             .par_map(&dirty_list, |&a| {
-                let Some(ev) = retrieval.evidence(a) else {
-                    return None;
-                };
+                let _span = obs::trace_span(names::ENGINE_RETRIEVE_ADDRESS);
+                let ev = retrieval.evidence(a)?;
                 let mut keys: Vec<usize> = Vec::new();
                 for &(trip, bound) in &ev.trips {
                     for &si in stays.stays_of_trip(trip) {
@@ -277,6 +291,7 @@ impl Engine {
             (&self.retrieval, &self.addresses, &self.trips_by_key);
         let lc_address_level = self.cfg.features.lc_address_level;
         let counted: Vec<(AddressId, RawSample)> = self.exec.par_map(&retrieved, |(a, keys)| {
+            let _span = obs::trace_span(names::ENGINE_FEATURES_ADDRESS);
             let a = *a;
             let empty: HashSet<TripId> = HashSet::new();
             let addr_trips: HashSet<TripId> =
@@ -312,13 +327,30 @@ impl Engine {
 
         // --- Stage 5: materialize the batch artifacts from live state. ---
         let t = obs::Stopwatch::start();
-        self.materialize();
+        {
+            let _span = obs::trace_span(names::ENGINE_MATERIALIZE);
+            self.materialize();
+        }
         rep.materialize_ns = t.elapsed_ns();
         self.ns.features += rep.materialize_ns;
         rep.pool_size = self.pool.len() as u64;
+        obs::trace_counter(names::ENGINE_POOL_SIZE, rep.pool_size as f64);
+
+        // Scheduler telemetry: the per-ingest delta rides on the ingest
+        // report, the running totals on the pipeline report.
+        let pool_after = self.exec.telemetry();
+        rep.pool = Some(pool_after.minus(&pool_before));
+        self.report.pool = Some(pool_after);
 
         self.refresh_report();
+        self.health.observe(&rep, self.samples.len() as u64);
         rep
+    }
+
+    /// The per-day ingest health report (funnel deltas, throughput, anomaly
+    /// flags) accumulated across every ingest so far.
+    pub fn health_report(&self) -> HealthReport {
+        self.health.report()
     }
 
     /// Rebuilds the materialized [`CandidatePool`] and [`AddressSample`]s
@@ -471,9 +503,13 @@ impl Engine {
             Some(self.cum_filtered_points),
             Some(stays),
         );
-        self.report.push_stage(
+        // Clustering CPU is only measured by the hierarchical back-end's
+        // merge instrumentation; grid mode reports wall time alone.
+        let cluster_cpu = (self.ns.cluster_cpu > 0).then_some(self.ns.cluster_cpu);
+        self.report.push_stage_cpu(
             stage::CLUSTERING,
             self.ns.cluster.max(1),
+            cluster_cpu,
             Some(stays),
             Some(self.pool.len() as u64),
         );

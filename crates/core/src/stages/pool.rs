@@ -27,7 +27,7 @@
 use super::staypoint_set::StayPointSet;
 use crate::candidates::{Agg, LocationProfile};
 use crate::pipeline::PoolMethod;
-use dlinfma_cluster::{merge_weighted_pooled, WeightedPoint};
+use dlinfma_cluster::{merge_weighted_pooled_stats, MergeStats, WeightedPoint};
 use dlinfma_geo::Point;
 use dlinfma_pool::Pool;
 use std::collections::{HashMap, HashSet};
@@ -43,6 +43,10 @@ pub struct PoolDelta {
     pub added: u64,
     /// Clusters removed (absorbed or re-cut) by the update.
     pub removed: u64,
+    /// Summed merge instrumentation across the re-clustered components
+    /// (zero for grid mode, which has no merge phase). Feeds the
+    /// clustering stage's CPU attribution in the pipeline report.
+    pub cluster_stats: MergeStats,
 }
 
 /// One cluster record: stable key, centroid, members, profile aggregate.
@@ -163,37 +167,42 @@ impl PoolState {
         comps.sort_unstable_by_key(|(k, _)| *k);
         let distance = self.distance;
         let stays_ref: &StayPointSet = stays;
-        let rebuilt: Vec<(usize, Vec<ClusterRec>)> = pool.par_map(&comps, |(comp_key, members)| {
-            let items: Vec<WeightedPoint> = members
-                .iter()
-                .map(|&i| WeightedPoint::unit(stays_ref.rec(i).pos))
-                .collect();
-            let clusters = merge_weighted_pooled(&items, distance, pool);
-            let mut recs: Vec<ClusterRec> = Vec::with_capacity(clusters.len());
-            for cluster in &clusters {
-                let mut agg: Option<Agg> = None;
-                for &m in &cluster.members {
-                    let rec = stays_ref.rec(members[m]);
-                    let part = Agg::from_stay(rec.pos, rec.duration_s, rec.courier, rec.hour_bin);
-                    match &mut agg {
-                        Some(a) => a.merge_into(&part),
-                        None => agg = Some(part),
+        let rebuilt: Vec<(usize, Vec<ClusterRec>, MergeStats)> =
+            pool.par_map(&comps, |(comp_key, members)| {
+                let items: Vec<WeightedPoint> = members
+                    .iter()
+                    .map(|&i| WeightedPoint::unit(stays_ref.rec(i).pos))
+                    .collect();
+                let (clusters, stats) = merge_weighted_pooled_stats(&items, distance, pool);
+                let mut recs: Vec<ClusterRec> = Vec::with_capacity(clusters.len());
+                for cluster in &clusters {
+                    let mut agg: Option<Agg> = None;
+                    for &m in &cluster.members {
+                        let rec = stays_ref.rec(members[m]);
+                        let part =
+                            Agg::from_stay(rec.pos, rec.duration_s, rec.courier, rec.hour_bin);
+                        match &mut agg {
+                            Some(a) => a.merge_into(&part),
+                            None => agg = Some(part),
+                        }
                     }
+                    let Some(mut agg) = agg else { continue };
+                    agg.pos = cluster.centroid;
+                    let mut global: Vec<usize> =
+                        cluster.members.iter().map(|&m| members[m]).collect();
+                    global.sort_unstable();
+                    recs.push(ClusterRec {
+                        key: global[0],
+                        centroid: cluster.centroid,
+                        members: global,
+                        agg,
+                    });
                 }
-                let Some(mut agg) = agg else { continue };
-                agg.pos = cluster.centroid;
-                let mut global: Vec<usize> = cluster.members.iter().map(|&m| members[m]).collect();
-                global.sort_unstable();
-                recs.push(ClusterRec {
-                    key: global[0],
-                    centroid: cluster.centroid,
-                    members: global,
-                    agg,
-                });
-            }
-            (*comp_key, recs)
-        });
-        for (comp_key, recs) in rebuilt {
+                (*comp_key, recs, stats)
+            });
+        let mut cluster_stats = MergeStats::default();
+        for (comp_key, recs, stats) in rebuilt {
+            cluster_stats.accumulate(&stats);
             for rec in &recs {
                 for &g in &rec.members {
                     self.assign[g] = rec.key;
@@ -203,7 +212,9 @@ impl PoolState {
             self.components.insert(comp_key, recs);
         }
 
-        Self::delta_from(old, fresh)
+        let mut delta = Self::delta_from(old, fresh);
+        delta.cluster_stats = cluster_stats;
+        delta
     }
 
     fn update_grid(&mut self, stays: &mut StayPointSet, new_start: usize) -> PoolDelta {
@@ -252,6 +263,7 @@ impl PoolState {
             changed_keys: changed,
             added,
             removed: 0,
+            cluster_stats: MergeStats::default(),
         }
     }
 
@@ -280,6 +292,7 @@ impl PoolState {
             changed_keys: changed,
             added,
             removed,
+            cluster_stats: MergeStats::default(),
         }
     }
 

@@ -1,0 +1,540 @@
+//! Ingest health monitors: per-day funnel deltas, rolling throughput, and
+//! threshold-based anomaly flags.
+//!
+//! The deployed pipeline ingests one courier-day at a time; the paper's
+//! robustness analysis (Section V-D) shows accuracy degrading quietly when
+//! the input regime drifts — batch-confirmed waybills, erratic schedules,
+//! sparse GPS days. A [`HealthMonitor`] watches the stream of
+//! [`IngestReport`]s an engine emits and turns them into a machine-readable
+//! [`HealthReport`]: one [`DayHealth`] row per ingest plus
+//! [`HealthFlag`]s when a day crosses a threshold. The CLI renders this as
+//! `dlinfma health` and embeds it in `--metrics-out` JSON.
+//!
+//! Flag logic is a pure function of the observed reports, so tests can
+//! drive it with synthetic `IngestReport`s and deterministic expectations.
+
+use crate::json::JsonValue;
+use crate::report::IngestReport;
+
+/// Tunable thresholds for anomaly detection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthThresholds {
+    /// A day whose dirty-address fraction exceeds this (after warmup)
+    /// flags [`HealthFlag::DirtyFractionSpike`]. A spike means an ingest
+    /// invalidated most of the address space — re-clustering churn far
+    /// above the incremental steady state.
+    pub dirty_fraction_spike: f64,
+    /// Days observed before spike / slowdown flags may fire; the first
+    /// ingests legitimately dirty everything and run cold.
+    pub warmup_days: usize,
+    /// A day whose per-trip ingest time exceeds the rolling mean by this
+    /// factor flags [`HealthFlag::IngestSlowdown`].
+    pub slowdown_factor: f64,
+    /// Rolling window (in days) for the throughput baseline.
+    pub window: usize,
+}
+
+impl Default for HealthThresholds {
+    fn default() -> Self {
+        Self {
+            dirty_fraction_spike: 0.5,
+            warmup_days: 2,
+            slowdown_factor: 4.0,
+            window: 7,
+        }
+    }
+}
+
+/// One anomaly observed on one ingested day.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HealthFlag {
+    /// The batch carried no trips and no waybills at all.
+    ZeroTripDay,
+    /// Trips arrived but stay-point extraction produced nothing — GPS is
+    /// missing, too sparse, or entirely noise-filtered.
+    ZeroStayDay {
+        /// Trips in the batch that yielded no stays.
+        trips: u64,
+    },
+    /// The engine holds waybills but zero materialized samples — the
+    /// retrieval funnel has collapsed.
+    ZeroSampleDay,
+    /// Dirty-address fraction crossed the spike threshold after warmup.
+    DirtyFractionSpike {
+        /// Observed dirty fraction for the day.
+        fraction: f64,
+        /// The threshold it crossed.
+        threshold: f64,
+    },
+    /// The batch contained rejected trips or waybills (duplicates,
+    /// unknown trips, out-of-range addresses).
+    RejectedInput {
+        /// Rejected trips.
+        trips: u64,
+        /// Rejected waybills.
+        waybills: u64,
+    },
+    /// Per-trip ingest time exceeded the rolling baseline by the
+    /// slowdown factor.
+    IngestSlowdown {
+        /// This day's nanoseconds per trip.
+        per_trip_ns: u64,
+        /// Rolling-window baseline nanoseconds per trip.
+        rolling_ns: u64,
+    },
+}
+
+impl HealthFlag {
+    /// Stable machine-readable kind tag (used in JSON).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            HealthFlag::ZeroTripDay => "zero-trip-day",
+            HealthFlag::ZeroStayDay { .. } => "zero-stay-day",
+            HealthFlag::ZeroSampleDay => "zero-sample-day",
+            HealthFlag::DirtyFractionSpike { .. } => "dirty-fraction-spike",
+            HealthFlag::RejectedInput { .. } => "rejected-input",
+            HealthFlag::IngestSlowdown { .. } => "ingest-slowdown",
+        }
+    }
+
+    /// One-line human-readable description.
+    pub fn describe(&self) -> String {
+        match self {
+            HealthFlag::ZeroTripDay => "batch carried no trips or waybills".into(),
+            HealthFlag::ZeroStayDay { trips } => {
+                format!("{trips} trips produced zero stay points")
+            }
+            HealthFlag::ZeroSampleDay => "no materialized samples despite ingested waybills".into(),
+            HealthFlag::DirtyFractionSpike {
+                fraction,
+                threshold,
+            } => format!(
+                "dirty-address fraction {:.2} exceeds spike threshold {:.2}",
+                fraction, threshold
+            ),
+            HealthFlag::RejectedInput { trips, waybills } => {
+                format!("rejected {trips} trips / {waybills} waybills")
+            }
+            HealthFlag::IngestSlowdown {
+                per_trip_ns,
+                rolling_ns,
+            } => format!(
+                "{:.3} ms/trip vs rolling {:.3} ms/trip",
+                *per_trip_ns as f64 / 1e6,
+                *rolling_ns as f64 / 1e6
+            ),
+        }
+    }
+}
+
+/// Health row for one ingested day: the funnel deltas plus derived rates
+/// and any flags raised.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DayHealth {
+    /// Day index from the ingest report.
+    pub day: u32,
+    /// Trips accepted.
+    pub trips: u64,
+    /// Waybills accepted.
+    pub waybills: u64,
+    /// Stay points extracted.
+    pub stays: u64,
+    /// Addresses invalidated.
+    pub dirty_addresses: u64,
+    /// Addresses known to the engine.
+    pub total_addresses: u64,
+    /// `dirty_addresses / total_addresses` (0 when no addresses yet).
+    pub dirty_fraction: f64,
+    /// Net candidate-pool change (added − removed).
+    pub pool_net: i64,
+    /// Candidate pool size after the ingest.
+    pub pool_size: u64,
+    /// Total ingest wall time, nanoseconds.
+    pub ingest_ns: u64,
+    /// Nanoseconds per accepted trip (0 when no trips).
+    pub per_trip_ns: u64,
+    /// Materialized samples after this ingest (cumulative engine state).
+    pub samples_total: u64,
+    /// Anomalies raised for this day.
+    pub flags: Vec<HealthFlag>,
+}
+
+/// Observes a stream of [`IngestReport`]s and accumulates [`DayHealth`]
+/// rows with anomaly flags.
+#[derive(Debug, Clone, Default)]
+pub struct HealthMonitor {
+    thresholds: HealthThresholds,
+    days: Vec<DayHealth>,
+    cumulative_waybills: u64,
+}
+
+impl HealthMonitor {
+    /// A monitor with the given thresholds.
+    pub fn new(thresholds: HealthThresholds) -> Self {
+        Self {
+            thresholds,
+            days: Vec::new(),
+            cumulative_waybills: 0,
+        }
+    }
+
+    /// Folds one ingest into the monitor. `samples_total` is the engine's
+    /// materialized sample count *after* the ingest (the monitor cannot
+    /// derive it from the report alone). Returns the day's health row.
+    pub fn observe(&mut self, rep: &IngestReport, samples_total: u64) -> &DayHealth {
+        let t = &self.thresholds;
+        self.cumulative_waybills += rep.waybills;
+        let dirty_fraction = if rep.total_addresses > 0 {
+            rep.dirty_addresses as f64 / rep.total_addresses as f64
+        } else {
+            0.0
+        };
+        let ingest_ns = rep.total_ns();
+        let per_trip_ns = ingest_ns.checked_div(rep.trips).unwrap_or(0);
+
+        let mut flags = Vec::new();
+        if rep.trips == 0 && rep.waybills == 0 {
+            flags.push(HealthFlag::ZeroTripDay);
+        } else if rep.trips > 0 && rep.new_stays == 0 {
+            flags.push(HealthFlag::ZeroStayDay { trips: rep.trips });
+        }
+        if samples_total == 0 && self.cumulative_waybills > 0 {
+            flags.push(HealthFlag::ZeroSampleDay);
+        }
+        if rep.rejected_trips > 0 || rep.rejected_waybills > 0 {
+            flags.push(HealthFlag::RejectedInput {
+                trips: rep.rejected_trips,
+                waybills: rep.rejected_waybills,
+            });
+        }
+        let past_warmup = self.days.len() >= t.warmup_days;
+        if past_warmup && dirty_fraction > t.dirty_fraction_spike {
+            flags.push(HealthFlag::DirtyFractionSpike {
+                fraction: dirty_fraction,
+                threshold: t.dirty_fraction_spike,
+            });
+        }
+        if past_warmup && per_trip_ns > 0 {
+            let window: Vec<u64> = self
+                .days
+                .iter()
+                .rev()
+                .filter(|d| d.per_trip_ns > 0)
+                .take(t.window)
+                .map(|d| d.per_trip_ns)
+                .collect();
+            if !window.is_empty() {
+                let rolling_ns = window.iter().sum::<u64>() / window.len() as u64;
+                if rolling_ns > 0 && per_trip_ns as f64 > rolling_ns as f64 * t.slowdown_factor {
+                    flags.push(HealthFlag::IngestSlowdown {
+                        per_trip_ns,
+                        rolling_ns,
+                    });
+                }
+            }
+        }
+
+        self.days.push(DayHealth {
+            day: rep.day,
+            trips: rep.trips,
+            waybills: rep.waybills,
+            stays: rep.new_stays,
+            dirty_addresses: rep.dirty_addresses,
+            total_addresses: rep.total_addresses,
+            dirty_fraction,
+            pool_net: rep.clusters_added as i64 - rep.clusters_removed as i64,
+            pool_size: rep.pool_size,
+            ingest_ns,
+            per_trip_ns,
+            samples_total,
+            flags,
+        });
+        self.days.last().expect("row pushed above")
+    }
+
+    /// Days observed so far.
+    pub fn days(&self) -> &[DayHealth] {
+        &self.days
+    }
+
+    /// Snapshot of everything observed so far.
+    pub fn report(&self) -> HealthReport {
+        HealthReport {
+            thresholds: self.thresholds.clone(),
+            days: self.days.clone(),
+        }
+    }
+
+    /// Forgets all observed days (thresholds are kept).
+    pub fn reset(&mut self) {
+        self.days.clear();
+        self.cumulative_waybills = 0;
+    }
+}
+
+/// The rendered/exported form of a [`HealthMonitor`]'s observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthReport {
+    /// Thresholds the monitor ran with.
+    pub thresholds: HealthThresholds,
+    /// One row per observed ingest.
+    pub days: Vec<DayHealth>,
+}
+
+impl HealthReport {
+    /// Every `(day, flag)` pair across the run.
+    pub fn anomalies(&self) -> Vec<(u32, &HealthFlag)> {
+        self.days
+            .iter()
+            .flat_map(|d| d.flags.iter().map(move |f| (d.day, f)))
+            .collect()
+    }
+
+    /// True when no day raised any flag.
+    pub fn is_healthy(&self) -> bool {
+        self.days.iter().all(|d| d.flags.is_empty())
+    }
+
+    /// Renders the per-day table plus an anomaly summary (the
+    /// `dlinfma health` output).
+    pub fn render(&self) -> String {
+        let mut out = String::from("== ingest health ==\n");
+        if self.days.is_empty() {
+            out.push_str("(no ingests observed)\n");
+            return out;
+        }
+        out.push_str(&format!(
+            "{:>4} {:>6} {:>8} {:>6} {:>7} {:>10} {:>11} {:>10}  flags\n",
+            "day", "trips", "waybills", "stays", "dirty%", "pool(+/-)", "ingest(ms)", "samples"
+        ));
+        for d in &self.days {
+            let flags = if d.flags.is_empty() {
+                "-".to_string()
+            } else {
+                d.flags
+                    .iter()
+                    .map(HealthFlag::kind)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            out.push_str(&format!(
+                "{:>4} {:>6} {:>8} {:>6} {:>6.1}% {:>5}({:+})  {:>10.3} {:>10}  {}\n",
+                d.day,
+                d.trips,
+                d.waybills,
+                d.stays,
+                d.dirty_fraction * 100.0,
+                d.pool_size,
+                d.pool_net,
+                d.ingest_ns as f64 / 1e6,
+                d.samples_total,
+                flags
+            ));
+        }
+        let anomalies = self.anomalies();
+        if anomalies.is_empty() {
+            out.push_str(&format!(
+                "healthy: {} day(s), no anomalies\n",
+                self.days.len()
+            ));
+        } else {
+            out.push_str(&format!(
+                "{} anomal{} across {} day(s):\n",
+                anomalies.len(),
+                if anomalies.len() == 1 { "y" } else { "ies" },
+                self.days.len()
+            ));
+            for (day, flag) in anomalies {
+                out.push_str(&format!(
+                    "  day {:>3}: {}: {}\n",
+                    day,
+                    flag.kind(),
+                    flag.describe()
+                ));
+            }
+        }
+        out
+    }
+
+    /// Converts the report to a JSON object (the `health` key of
+    /// `--metrics-out` files).
+    pub fn to_json(&self) -> JsonValue {
+        let n = |v: u64| JsonValue::Num(v as f64);
+        let flag_json = |f: &HealthFlag| {
+            JsonValue::Obj(vec![
+                ("kind".into(), JsonValue::Str(f.kind().into())),
+                ("detail".into(), JsonValue::Str(f.describe())),
+            ])
+        };
+        JsonValue::Obj(vec![
+            (
+                "thresholds".into(),
+                JsonValue::Obj(vec![
+                    (
+                        "dirty_fraction_spike".into(),
+                        JsonValue::Num(self.thresholds.dirty_fraction_spike),
+                    ),
+                    (
+                        "warmup_days".into(),
+                        JsonValue::Num(self.thresholds.warmup_days as f64),
+                    ),
+                    (
+                        "slowdown_factor".into(),
+                        JsonValue::Num(self.thresholds.slowdown_factor),
+                    ),
+                    (
+                        "window".into(),
+                        JsonValue::Num(self.thresholds.window as f64),
+                    ),
+                ]),
+            ),
+            ("healthy".into(), JsonValue::Bool(self.is_healthy())),
+            (
+                "days".into(),
+                JsonValue::Arr(
+                    self.days
+                        .iter()
+                        .map(|d| {
+                            JsonValue::Obj(vec![
+                                ("day".into(), n(u64::from(d.day))),
+                                ("trips".into(), n(d.trips)),
+                                ("waybills".into(), n(d.waybills)),
+                                ("stays".into(), n(d.stays)),
+                                ("dirty_addresses".into(), n(d.dirty_addresses)),
+                                ("total_addresses".into(), n(d.total_addresses)),
+                                ("dirty_fraction".into(), JsonValue::Num(d.dirty_fraction)),
+                                ("pool_net".into(), JsonValue::Num(d.pool_net as f64)),
+                                ("pool_size".into(), n(d.pool_size)),
+                                ("ingest_ns".into(), n(d.ingest_ns)),
+                                ("per_trip_ns".into(), n(d.per_trip_ns)),
+                                ("samples_total".into(), n(d.samples_total)),
+                                (
+                                    "flags".into(),
+                                    JsonValue::Arr(d.flags.iter().map(flag_json).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "anomalies".into(),
+                JsonValue::Arr(
+                    self.anomalies()
+                        .iter()
+                        .map(|(day, f)| {
+                            let mut obj = vec![("day".into(), n(u64::from(*day)))];
+                            if let JsonValue::Obj(fields) = flag_json(f) {
+                                obj.extend(fields);
+                            }
+                            JsonValue::Obj(obj)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn day(day: u32, trips: u64, stays: u64, dirty: u64, total: u64) -> IngestReport {
+        IngestReport {
+            day,
+            trips,
+            waybills: trips * 10,
+            new_stays: stays,
+            dirty_addresses: dirty,
+            total_addresses: total,
+            pool_size: 50,
+            clusters_added: 2,
+            clusters_removed: 1,
+            extraction_ns: trips * 1_000_000,
+            ..IngestReport::default()
+        }
+    }
+
+    #[test]
+    fn healthy_stream_raises_no_flags() {
+        let mut m = HealthMonitor::default();
+        for d in 0..5 {
+            m.observe(&day(d, 10, 40, 12, 120), 100);
+        }
+        let r = m.report();
+        assert!(r.is_healthy(), "{:?}", r.anomalies());
+        assert_eq!(r.days.len(), 5);
+        assert!(r.render().contains("no anomalies"));
+    }
+
+    #[test]
+    fn warmup_suppresses_spike_then_flags_it() {
+        let mut m = HealthMonitor::default();
+        // Day 0–1: everything dirty (cold start) — warmup, no flag.
+        m.observe(&day(0, 10, 40, 120, 120), 90);
+        m.observe(&day(1, 10, 40, 110, 120), 95);
+        assert!(m.days()[0].flags.is_empty() && m.days()[1].flags.is_empty());
+        // Day 2: still >50% dirty — now flagged.
+        let row = m.observe(&day(2, 10, 40, 80, 120), 100).clone();
+        assert_eq!(row.flags.len(), 1);
+        assert_eq!(row.flags[0].kind(), "dirty-fraction-spike");
+    }
+
+    #[test]
+    fn funnel_collapse_and_rejects_flag() {
+        let mut m = HealthMonitor::default();
+        let zero_stay = m.observe(&day(0, 10, 0, 5, 120), 0).clone();
+        let kinds: Vec<_> = zero_stay.flags.iter().map(HealthFlag::kind).collect();
+        assert!(kinds.contains(&"zero-stay-day"), "{kinds:?}");
+        assert!(kinds.contains(&"zero-sample-day"), "{kinds:?}");
+
+        let empty = m.observe(&IngestReport::default(), 10).clone();
+        assert_eq!(empty.flags[0].kind(), "zero-trip-day");
+
+        let rejected = m
+            .observe(
+                &IngestReport {
+                    rejected_waybills: 3,
+                    trips: 5,
+                    new_stays: 4,
+                    ..day(2, 5, 4, 1, 120)
+                },
+                10,
+            )
+            .clone();
+        assert!(rejected.flags.iter().any(|f| f.kind() == "rejected-input"));
+    }
+
+    #[test]
+    fn slowdown_uses_rolling_baseline() {
+        let mut m = HealthMonitor::default();
+        for d in 0..4 {
+            m.observe(&day(d, 10, 40, 10, 120), 100); // 1 ms/trip
+        }
+        let slow = IngestReport {
+            extraction_ns: 10 * 5_000_000, // 5 ms/trip > 4× baseline
+            ..day(4, 10, 40, 10, 120)
+        };
+        let row = m.observe(&slow, 100).clone();
+        assert!(
+            row.flags.iter().any(|f| f.kind() == "ingest-slowdown"),
+            "{:?}",
+            row.flags
+        );
+    }
+
+    #[test]
+    fn report_json_has_days_and_anomalies() {
+        let mut m = HealthMonitor::default();
+        m.observe(&day(0, 10, 0, 5, 120), 0);
+        let json = m.report().to_json().render();
+        assert!(json.contains("\"days\""));
+        assert!(json.contains("\"anomalies\""));
+        assert!(json.contains("\"zero-stay-day\""));
+        assert!(json.contains("\"healthy\":false"));
+
+        m.reset();
+        assert!(m.report().days.is_empty());
+    }
+}

@@ -19,6 +19,14 @@
 //!   `train` emit (per-stage durations and funnel counts, with invariant
 //!   checking) and the per-ingest [`IngestReport`] the incremental engine
 //!   emits for every streamed batch.
+//! * [`trace`] — per-thread event rings exported as Chrome trace-event
+//!   JSON (`chrome://tracing` / Perfetto), recording span begin/end,
+//!   instants and counter tracks. Also disabled by default; installed by
+//!   the CLI's `--trace-out`.
+//! * [`health`] — ingest health monitors: per-day funnel deltas with
+//!   threshold-based anomaly flags, rendered by `dlinfma health`.
+//! * [`names`] — the central registry of span/event/counter names
+//!   (lint rule L8 rejects ad-hoc literals at instrumentation sites).
 //! * [`json`] — a minimal JSON value, writer and parser (no serde) used by
 //!   every exporter and by the CLI's readers.
 //!
@@ -26,20 +34,32 @@
 //! this under `--verbose` / `--metrics-out`), run the pipeline, then
 //! [`export_json`] or the render helpers.
 
+pub mod health;
 pub mod json;
 pub mod metrics;
+pub mod names;
 pub mod report;
 pub mod span;
+pub mod trace;
 
+pub use health::{DayHealth, HealthFlag, HealthMonitor, HealthReport, HealthThresholds};
 pub use json::{JsonParseError, JsonValue};
 pub use metrics::{
     counter, gauge, histogram, metrics_snapshot, render_metrics, reset_metrics, try_histogram,
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, NonFiniteBound,
 };
-pub use report::{stage, EpochProgress, FunnelCounts, IngestReport, PipelineReport, StageReport};
+pub use report::{
+    stage, EpochProgress, FunnelCounts, IngestReport, PipelineReport, PoolReport, PoolWorkerReport,
+    StageReport,
+};
 pub use span::{
     disable, enable, enabled, record_duration, render_spans, reset_spans, span, spans_snapshot,
     take_spans, SpanGuard, SpanRecord, Stopwatch,
+};
+pub use trace::{
+    chrome_trace, chrome_trace_json, reset_trace, take_trace, trace_complete, trace_counter,
+    trace_disable, trace_enable, trace_enabled, trace_instant, trace_span, validate_chrome_trace,
+    TraceCapture, TraceEvent, TracePhase, TraceSpanGuard, TraceSummary, RING_CAPACITY,
 };
 
 /// One JSON document with everything the collector knows: recorded spans,
@@ -57,12 +77,16 @@ pub fn export_json(report: Option<&PipelineReport>) -> JsonValue {
     JsonValue::Obj(obj)
 }
 
-/// Resets every global collector: spans, metrics, and the enabled flag.
-/// Intended for tests and long-lived processes between runs.
+/// Resets every global collector: spans, metrics, the trace rings, and
+/// both enabled flags. Intended for tests and long-lived processes between
+/// runs — two back-to-back pipeline runs separated by a `reset_all` must
+/// not leak events or double-count metrics into each other.
 pub fn reset_all() {
     disable();
+    trace_disable();
     reset_spans();
     reset_metrics();
+    reset_trace();
 }
 
 #[cfg(test)]

@@ -84,6 +84,127 @@ pub struct EpochProgress {
     pub improved: bool,
 }
 
+/// Telemetry for one pool worker (or the caller helping a join), part of a
+/// [`PoolReport`]. All counts are cumulative over the report's window.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PoolWorkerReport {
+    /// `worker-N` for pool threads, `caller` for the thread that joins
+    /// scopes and helps drain the deques.
+    pub label: String,
+    /// Tasks executed by this worker.
+    pub tasks: u64,
+    /// Tasks popped from a sibling's deque.
+    pub steals: u64,
+    /// Wake-ups that found queued work somewhere but lost the race for it.
+    pub steal_failures: u64,
+    /// Deepest this worker's own deque ever got.
+    pub queue_hwm: u64,
+    /// Nanoseconds spent running tasks.
+    pub busy_ns: u64,
+    /// Nanoseconds spent parked waiting for work.
+    pub idle_ns: u64,
+}
+
+/// Scheduler telemetry from `dlinfma-pool`, embedded in
+/// [`PipelineReport`] (cumulative since pool creation) and
+/// [`IngestReport`] (delta for that one ingest). Observation-only: the
+/// counters never influence scheduling, so worker-count parity holds with
+/// telemetry on.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PoolReport {
+    /// Worker threads the pool runs (1 = inline execution, no threads).
+    pub threads: u64,
+    /// Per-worker rows; the final row is the caller slot.
+    pub workers: Vec<PoolWorkerReport>,
+}
+
+impl PoolReport {
+    /// Tasks executed across all workers.
+    pub fn total_tasks(&self) -> u64 {
+        self.workers.iter().map(|w| w.tasks).sum()
+    }
+
+    /// Steals across all workers.
+    pub fn total_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// Per-worker difference `self − earlier` (saturating), used to turn
+    /// two cumulative snapshots into a per-ingest delta. Workers are
+    /// matched by position; a changed worker set yields `self` unchanged.
+    pub fn minus(&self, earlier: &PoolReport) -> PoolReport {
+        if earlier.workers.len() != self.workers.len() {
+            return self.clone();
+        }
+        PoolReport {
+            threads: self.threads,
+            workers: self
+                .workers
+                .iter()
+                .zip(&earlier.workers)
+                .map(|(now, then)| PoolWorkerReport {
+                    label: now.label.clone(),
+                    tasks: now.tasks.saturating_sub(then.tasks),
+                    steals: now.steals.saturating_sub(then.steals),
+                    steal_failures: now.steal_failures.saturating_sub(then.steal_failures),
+                    queue_hwm: now.queue_hwm, // high-water mark doesn't diff
+                    busy_ns: now.busy_ns.saturating_sub(then.busy_ns),
+                    idle_ns: now.idle_ns.saturating_sub(then.idle_ns),
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the per-worker table.
+    pub fn render_table(&self) -> String {
+        let mut out = format!("== pool report ({} thread(s)) ==\n", self.threads);
+        out.push_str(&format!(
+            "{:<10} {:>8} {:>8} {:>10} {:>10} {:>12} {:>12}\n",
+            "worker", "tasks", "steals", "steal-miss", "queue-hwm", "busy (ms)", "idle (ms)"
+        ));
+        for w in &self.workers {
+            out.push_str(&format!(
+                "{:<10} {:>8} {:>8} {:>10} {:>10} {:>12.3} {:>12.3}\n",
+                w.label,
+                w.tasks,
+                w.steals,
+                w.steal_failures,
+                w.queue_hwm,
+                w.busy_ns as f64 / 1e6,
+                w.idle_ns as f64 / 1e6
+            ));
+        }
+        out
+    }
+
+    /// Converts the report to a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        let n = |v: u64| JsonValue::Num(v as f64);
+        JsonValue::Obj(vec![
+            ("threads".into(), n(self.threads)),
+            (
+                "workers".into(),
+                JsonValue::Arr(
+                    self.workers
+                        .iter()
+                        .map(|w| {
+                            JsonValue::Obj(vec![
+                                ("label".into(), JsonValue::Str(w.label.clone())),
+                                ("tasks".into(), n(w.tasks)),
+                                ("steals".into(), n(w.steals)),
+                                ("steal_failures".into(), n(w.steal_failures)),
+                                ("queue_hwm".into(), n(w.queue_hwm)),
+                                ("busy_ns".into(), n(w.busy_ns)),
+                                ("idle_ns".into(), n(w.idle_ns)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
 /// Per-stage durations and funnel counts for one pipeline run.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct PipelineReport {
@@ -91,6 +212,9 @@ pub struct PipelineReport {
     pub stages: Vec<StageReport>,
     /// The data funnel.
     pub funnel: FunnelCounts,
+    /// Scheduler telemetry, cumulative since the pool was created. `None`
+    /// when the producer did not sample its pool.
+    pub pool: Option<PoolReport>,
 }
 
 impl PipelineReport {
@@ -211,13 +335,16 @@ impl PipelineReport {
             f.candidates_retrieved,
             f.samples_labelled
         ));
+        if let Some(pool) = &self.pool {
+            out.push_str(&pool.render_table());
+        }
         out
     }
 
     /// Converts the report to a JSON object.
     pub fn to_json(&self) -> JsonValue {
         let f = &self.funnel;
-        JsonValue::Obj(vec![
+        let mut obj = vec![
             (
                 "stages".into(),
                 JsonValue::Arr(
@@ -271,7 +398,11 @@ impl PipelineReport {
                     ),
                 ]),
             ),
-        ])
+        ];
+        if let Some(pool) = &self.pool {
+            obj.push(("pool".into(), pool.to_json()));
+        }
+        JsonValue::Obj(obj)
     }
 }
 
@@ -279,7 +410,7 @@ impl PipelineReport {
 /// candidate pool did, how much of the address space was invalidated, and
 /// where the time went. Complements the cumulative [`PipelineReport`] the
 /// engine also maintains.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct IngestReport {
     /// Day index of the ingested batch (0 for a full-batch ingest).
     pub day: u32,
@@ -309,14 +440,22 @@ pub struct IngestReport {
     /// to `extraction_ns` (minus scheduling overhead) when the pool is
     /// single-threaded; larger when extraction fanned out.
     pub extraction_cpu_ns: u64,
-    /// Incremental clustering time, ns.
+    /// Incremental clustering wall-clock time, ns.
     pub clustering_ns: u64,
+    /// Clustering CPU time summed across pool workers (nearest-pair scans
+    /// plus the serial merge loops of every re-clustered component), ns.
+    /// Zero for grid mode, which has no merge phase.
+    pub clustering_cpu_ns: u64,
     /// Candidate retrieval time (dirty addresses only), ns.
     pub retrieval_ns: u64,
     /// Feature recount time (dirty addresses only), ns.
     pub features_ns: u64,
     /// Artifact materialization (pool + samples) time, ns.
     pub materialize_ns: u64,
+    /// Scheduler telemetry delta for this ingest (what the pool did while
+    /// this batch was processed). `None` when the engine did not sample
+    /// its pool.
+    pub pool: Option<PoolReport>,
 }
 
 impl IngestReport {
@@ -357,7 +496,7 @@ impl IngestReport {
     /// Converts the report to a JSON object.
     pub fn to_json(&self) -> JsonValue {
         let n = |v: u64| JsonValue::Num(v as f64);
-        JsonValue::Obj(vec![
+        let mut obj = vec![
             ("day".into(), n(u64::from(self.day))),
             ("trips".into(), n(self.trips)),
             ("waybills".into(), n(self.waybills)),
@@ -372,11 +511,16 @@ impl IngestReport {
             ("extraction_ns".into(), n(self.extraction_ns)),
             ("extraction_cpu_ns".into(), n(self.extraction_cpu_ns)),
             ("clustering_ns".into(), n(self.clustering_ns)),
+            ("clustering_cpu_ns".into(), n(self.clustering_cpu_ns)),
             ("retrieval_ns".into(), n(self.retrieval_ns)),
             ("features_ns".into(), n(self.features_ns)),
             ("materialize_ns".into(), n(self.materialize_ns)),
             ("total_ns".into(), n(self.total_ns())),
-        ])
+        ];
+        if let Some(pool) = &self.pool {
+            obj.push(("pool".into(), pool.to_json()));
+        }
+        JsonValue::Obj(obj)
     }
 }
 
@@ -463,6 +607,47 @@ mod tests {
         let json = r.to_json().render();
         assert!(json.contains("\"noise-filter\""));
         assert!(json.contains("\"funnel\""));
+    }
+
+    #[test]
+    fn pool_report_embeds_renders_and_diffs() {
+        let snap = |tasks: u64| PoolReport {
+            threads: 2,
+            workers: vec![
+                PoolWorkerReport {
+                    label: "worker-0".into(),
+                    tasks,
+                    steals: tasks / 2,
+                    busy_ns: tasks * 1_000,
+                    queue_hwm: 4,
+                    ..PoolWorkerReport::default()
+                },
+                PoolWorkerReport {
+                    label: "caller".into(),
+                    tasks: 1,
+                    ..PoolWorkerReport::default()
+                },
+            ],
+        };
+        let earlier = snap(10);
+        let now = snap(16);
+        let delta = now.minus(&earlier);
+        assert_eq!(delta.total_tasks(), 6); // workers 3 + 3; the caller row's 1 − 1 cancels
+        assert_eq!(delta.workers[0].steals, 3);
+        assert_eq!(delta.workers[0].queue_hwm, 4, "hwm is not a delta");
+
+        let mut pipeline = PipelineReport::new();
+        pipeline.pool = Some(now.clone());
+        let table = pipeline.render_table();
+        assert!(table.contains("pool report"), "{table}");
+        assert!(table.contains("worker-0"));
+        assert!(pipeline.to_json().render().contains("\"pool\""));
+
+        let ingest = IngestReport {
+            pool: Some(delta),
+            ..IngestReport::default()
+        };
+        assert!(ingest.to_json().render().contains("\"steal_failures\""));
     }
 
     #[test]

@@ -40,6 +40,12 @@ thread_local! {
     static THREAD_ID: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
 }
 
+/// Dense per-process id of the calling thread, shared with the trace rings
+/// so span records and trace events agree on thread numbering.
+pub(crate) fn current_thread_id() -> u64 {
+    THREAD_ID.with(|t| *t)
+}
+
 /// One recorded span.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanRecord {
@@ -82,14 +88,19 @@ fn now_since_epoch(now: Instant) -> u64 {
 
 /// Opens a span; the returned guard records the duration when dropped.
 ///
-/// While the collector is disabled this is a no-op costing one atomic load.
+/// While the collector is disabled this is a no-op costing one atomic load
+/// (two when the trace sink is also checked — see [`crate::trace`]). When a
+/// trace sink is installed the span additionally emits begin/end trace
+/// events, so stage spans appear in `--trace-out` files for free.
 #[must_use = "the span closes when the guard drops"]
 pub fn span(name: &'static str) -> SpanGuard {
+    let trace = crate::trace::trace_span(name);
     if !enabled() {
         return SpanGuard {
             idx: None,
             start: None,
             generation: 0,
+            _trace: trace,
         };
     }
     let start = Instant::now();
@@ -124,6 +135,7 @@ pub fn span(name: &'static str) -> SpanGuard {
         idx,
         start: Some(start),
         generation,
+        _trace: trace,
     }
 }
 
@@ -132,6 +144,7 @@ pub fn span(name: &'static str) -> SpanGuard {
 /// small pieces (e.g. per-trip noise filtering) rather than one contiguous
 /// region.
 pub fn record_duration(name: &'static str, duration_ns: u64) {
+    crate::trace::trace_complete(name, duration_ns);
     if !enabled() {
         return;
     }
@@ -198,6 +211,8 @@ pub struct SpanGuard {
     idx: Option<usize>,
     start: Option<Instant>,
     generation: u64,
+    /// Emits the matching trace end event when the guard drops.
+    _trace: crate::trace::TraceSpanGuard,
 }
 
 impl Drop for SpanGuard {

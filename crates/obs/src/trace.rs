@@ -1,0 +1,633 @@
+//! Chrome-trace recording: per-thread event rings flushed to a
+//! `chrome://tracing` / Perfetto-loadable JSON file.
+//!
+//! The span collector ([`crate::span`]) answers "how long did stage X take
+//! in aggregate"; this module answers "what was every thread doing, when".
+//! It records four event kinds — span begin/end pairs, already-measured
+//! complete spans, instant markers and counter samples — each stamped with
+//! a monotonic timestamp and the recording thread's id.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Disabled is free.** [`trace_span`] / [`trace_instant`] /
+//!    [`trace_counter`] cost one relaxed atomic load and allocate nothing
+//!    while no sink is installed, so instrumentation can live inside the
+//!    pool's per-task dispatch and the engine's per-address loops.
+//! 2. **Enabled is lock-minimal.** Each thread appends to its own
+//!    mutex-protected ring; that mutex is uncontended except while
+//!    [`take_trace`] drains. The only global locks are taken once per
+//!    thread (ring registration, epoch read), not per event.
+//! 3. **Bounded.** A ring holds at most [`RING_CAPACITY`] events; beyond
+//!    that new events are counted as dropped rather than grown or
+//!    overwritten, so the retained prefix keeps begin/end pairs balanced.
+//!
+//! The export format is the Trace Event Format's JSON object form:
+//! `{"traceEvents": [...]}` with `ph` ∈ {`B`,`E`,`X`,`i`,`C`,`M`},
+//! timestamps in fractional microseconds, one `tid` per recording thread
+//! (named after the OS thread, so pool workers show up as
+//! `dlinfma-pool-N` tracks). [`validate_chrome_trace`] is the matching
+//! shape checker used by tests and `cargo run -p xtask -- trace-check`.
+
+use crate::json::JsonValue;
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Hard cap on events retained per thread ring. Beyond it new events are
+/// dropped (and counted), never silently overwritten — overwriting the
+/// oldest events would orphan `End` records whose `Begin` was evicted.
+pub const RING_CAPACITY: usize = 1 << 15;
+
+static TRACE_ENABLED: AtomicBool = AtomicBool::new(false);
+/// Bumped by [`reset_trace`]; rings registered under an older generation
+/// are abandoned by their owning thread on the next event.
+static TRACE_GENERATION: AtomicU64 = AtomicU64::new(0);
+static RINGS: Mutex<Vec<Arc<Mutex<Ring>>>> = Mutex::new(Vec::new());
+static TRACE_EPOCH: Mutex<Option<Instant>> = Mutex::new(None);
+
+thread_local! {
+    static LOCAL: RefCell<Option<LocalRing>> = const { RefCell::new(None) };
+}
+
+/// Event kinds, mirroring the Chrome trace-event phases we emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePhase {
+    /// Span opened (`ph: "B"`).
+    Begin,
+    /// Span closed (`ph: "E"`).
+    End,
+    /// Complete span with a known duration (`ph: "X"`).
+    Complete,
+    /// Instant marker (`ph: "i"`).
+    Instant,
+    /// Counter sample (`ph: "C"`).
+    Counter,
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Event name; must come from [`crate::names`] or
+    /// [`crate::report::stage`] (lint rule L8).
+    pub name: &'static str,
+    /// Which Chrome phase this event exports as.
+    pub phase: TracePhase,
+    /// Start offset in nanoseconds since the trace epoch. For
+    /// [`TracePhase::Complete`] this is the span's *start* (record time
+    /// minus duration).
+    pub ts_ns: u64,
+    /// Duration in nanoseconds; meaningful for [`TracePhase::Complete`].
+    pub dur_ns: u64,
+    /// Counter value; meaningful for [`TracePhase::Counter`].
+    pub value: f64,
+    /// Dense per-process id of the recording thread (same numbering as
+    /// [`crate::span::SpanRecord::thread`]).
+    pub thread: u64,
+}
+
+struct Ring {
+    events: Vec<TraceEvent>,
+    dropped: u64,
+    thread: u64,
+    label: String,
+}
+
+struct LocalRing {
+    ring: Arc<Mutex<Ring>>,
+    generation: u64,
+    /// Cached copy of the global epoch so per-event timestamps never touch
+    /// the epoch mutex.
+    epoch: Instant,
+}
+
+/// Installs the trace sink: subsequent events are recorded.
+pub fn trace_enable() {
+    TRACE_ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Removes the trace sink. Spans already begun still record their end
+/// event so per-thread begin/end pairs stay balanced.
+pub fn trace_disable() {
+    TRACE_ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether a trace sink is installed. The disabled path of every recording
+/// call is this one relaxed load.
+#[inline]
+pub fn trace_enabled() -> bool {
+    TRACE_ENABLED.load(Ordering::Relaxed)
+}
+
+fn register_ring(generation: u64) -> LocalRing {
+    let thread = crate::span::current_thread_id();
+    let label = std::thread::current()
+        .name()
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("thread-{thread}"));
+    let epoch = {
+        let mut e = TRACE_EPOCH.lock().expect("trace epoch lock");
+        *e.get_or_insert_with(Instant::now)
+    };
+    let ring = Arc::new(Mutex::new(Ring {
+        events: Vec::with_capacity(RING_CAPACITY.min(256)),
+        dropped: 0,
+        thread,
+        label,
+    }));
+    RINGS
+        .lock()
+        .expect("trace registry lock")
+        .push(Arc::clone(&ring));
+    LocalRing {
+        ring,
+        generation,
+        epoch,
+    }
+}
+
+/// Appends one event to the calling thread's ring, registering the ring on
+/// first use (or after a reset). Does not check the enabled flag — guards
+/// use this to close spans begun before a `trace_disable`.
+fn record_always(name: &'static str, phase: TracePhase, dur_ns: u64, value: f64) {
+    LOCAL.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let generation = TRACE_GENERATION.load(Ordering::Relaxed);
+        let stale = match slot.as_ref() {
+            Some(l) => l.generation != generation,
+            None => true,
+        };
+        if stale {
+            *slot = Some(register_ring(generation));
+        }
+        let local = slot.as_mut().expect("ring installed above");
+        let now_ns = Instant::now()
+            .saturating_duration_since(local.epoch)
+            .as_nanos() as u64;
+        let ts_ns = match phase {
+            TracePhase::Complete => now_ns.saturating_sub(dur_ns),
+            _ => now_ns,
+        };
+        let mut ring = local.ring.lock().expect("trace ring lock");
+        if ring.events.len() >= RING_CAPACITY {
+            ring.dropped += 1;
+            return;
+        }
+        let thread = ring.thread;
+        ring.events.push(TraceEvent {
+            name,
+            phase,
+            ts_ns,
+            dur_ns,
+            value,
+            thread,
+        });
+    });
+}
+
+#[inline]
+fn record(name: &'static str, phase: TracePhase, dur_ns: u64, value: f64) {
+    if !trace_enabled() {
+        return;
+    }
+    record_always(name, phase, dur_ns, value);
+}
+
+/// Guard returned by [`trace_span`]; records the matching end event on
+/// drop (even if tracing was disabled in between, so pairs stay balanced —
+/// but not across a [`reset_trace`], which would orphan the end).
+#[must_use = "the trace span closes when the guard drops"]
+#[derive(Debug)]
+pub struct TraceSpanGuard {
+    name: Option<&'static str>,
+    generation: u64,
+}
+
+impl Drop for TraceSpanGuard {
+    fn drop(&mut self) {
+        let Some(name) = self.name else { return };
+        if TRACE_GENERATION.load(Ordering::Relaxed) != self.generation {
+            return;
+        }
+        record_always(name, TracePhase::End, 0, 0.0);
+    }
+}
+
+/// Opens a trace span on the calling thread; the guard emits the end event
+/// when dropped. Disabled cost: one relaxed atomic load, no allocation.
+#[inline]
+pub fn trace_span(name: &'static str) -> TraceSpanGuard {
+    if !trace_enabled() {
+        return TraceSpanGuard {
+            name: None,
+            generation: 0,
+        };
+    }
+    record_always(name, TracePhase::Begin, 0, 0.0);
+    TraceSpanGuard {
+        name: Some(name),
+        generation: TRACE_GENERATION.load(Ordering::Relaxed),
+    }
+}
+
+/// Records a complete span of known duration ending now (exports as one
+/// `X` event whose `ts` is the inferred start).
+#[inline]
+pub fn trace_complete(name: &'static str, dur_ns: u64) {
+    record(name, TracePhase::Complete, dur_ns, 0.0);
+}
+
+/// Records an instant marker.
+#[inline]
+pub fn trace_instant(name: &'static str) {
+    record(name, TracePhase::Instant, 0, 0.0);
+}
+
+/// Records a counter sample; each named counter renders as its own track.
+#[inline]
+pub fn trace_counter(name: &'static str, value: f64) {
+    record(name, TracePhase::Counter, 0, value);
+}
+
+/// Everything drained from the per-thread rings by [`take_trace`].
+#[derive(Debug, Clone, Default)]
+pub struct TraceCapture {
+    /// Events from all threads, sorted by timestamp (per-thread relative
+    /// order preserved for equal timestamps).
+    pub events: Vec<TraceEvent>,
+    /// `(thread id, thread name)` for every ring that contributed.
+    pub threads: Vec<(u64, String)>,
+    /// Events discarded at the [`RING_CAPACITY`] cap.
+    pub dropped: u64,
+}
+
+/// Drains every thread ring into one sorted capture. Rings stay registered,
+/// so recording can continue afterwards; call between logical runs (or once
+/// at process exit, as the CLI does for `--trace-out`).
+pub fn take_trace() -> TraceCapture {
+    let rings: Vec<Arc<Mutex<Ring>>> = RINGS.lock().expect("trace registry lock").clone();
+    let mut capture = TraceCapture::default();
+    for ring in rings {
+        let mut r = ring.lock().expect("trace ring lock");
+        capture.dropped += r.dropped;
+        r.dropped = 0;
+        if !capture.threads.iter().any(|(t, _)| *t == r.thread) {
+            capture.threads.push((r.thread, r.label.clone()));
+        }
+        capture.events.extend(std::mem::take(&mut r.events));
+    }
+    capture.threads.sort();
+    // Stable: events from one ring are already in chronological order, and
+    // that relative order must survive for begin/end nesting.
+    capture.events.sort_by_key(|e| e.ts_ns);
+    capture
+}
+
+/// Clears all trace state: deregisters every ring, restarts the epoch, and
+/// invalidates open [`TraceSpanGuard`]s (their end events are discarded
+/// rather than recorded unmatched). Does not change the enabled flag.
+pub fn reset_trace() {
+    TRACE_GENERATION.fetch_add(1, Ordering::Relaxed);
+    RINGS.lock().expect("trace registry lock").clear();
+    *TRACE_EPOCH.lock().expect("trace epoch lock") = None;
+}
+
+fn phase_str(p: TracePhase) -> &'static str {
+    match p {
+        TracePhase::Begin => "B",
+        TracePhase::End => "E",
+        TracePhase::Complete => "X",
+        TracePhase::Instant => "i",
+        TracePhase::Counter => "C",
+    }
+}
+
+/// Converts a capture to the Chrome trace-event JSON object form.
+pub fn chrome_trace_json(capture: &TraceCapture) -> JsonValue {
+    let mut events: Vec<JsonValue> =
+        Vec::with_capacity(capture.events.len() + capture.threads.len());
+    for (tid, label) in &capture.threads {
+        events.push(JsonValue::Obj(vec![
+            ("name".into(), JsonValue::Str("thread_name".into())),
+            ("ph".into(), JsonValue::Str("M".into())),
+            ("pid".into(), JsonValue::Num(1.0)),
+            ("tid".into(), JsonValue::Num(*tid as f64)),
+            (
+                "args".into(),
+                JsonValue::Obj(vec![("name".into(), JsonValue::Str(label.clone()))]),
+            ),
+        ]));
+    }
+    for e in &capture.events {
+        let mut obj = vec![
+            ("name".into(), JsonValue::Str(e.name.to_string())),
+            ("ph".into(), JsonValue::Str(phase_str(e.phase).into())),
+            ("pid".into(), JsonValue::Num(1.0)),
+            ("tid".into(), JsonValue::Num(e.thread as f64)),
+            ("ts".into(), JsonValue::Num(e.ts_ns as f64 / 1000.0)),
+        ];
+        match e.phase {
+            TracePhase::Complete => {
+                obj.push(("dur".into(), JsonValue::Num(e.dur_ns as f64 / 1000.0)));
+            }
+            TracePhase::Instant => {
+                obj.push(("s".into(), JsonValue::Str("t".into())));
+            }
+            TracePhase::Counter => {
+                obj.push((
+                    "args".into(),
+                    JsonValue::Obj(vec![("value".into(), JsonValue::Num(e.value))]),
+                ));
+            }
+            _ => {}
+        }
+        events.push(JsonValue::Obj(obj));
+    }
+    JsonValue::Obj(vec![
+        ("displayTimeUnit".into(), JsonValue::Str("ms".into())),
+        (
+            "dlinfmaDropped".into(),
+            JsonValue::Num(capture.dropped as f64),
+        ),
+        ("traceEvents".into(), JsonValue::Arr(events)),
+    ])
+}
+
+/// Renders a capture as a Chrome trace-event JSON document (what
+/// `--trace-out` writes).
+pub fn chrome_trace(capture: &TraceCapture) -> String {
+    chrome_trace_json(capture).render()
+}
+
+/// Summary returned by a successful [`validate_chrome_trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Non-metadata events in the file.
+    pub events: usize,
+    /// Distinct thread ids seen.
+    pub threads: usize,
+    /// Distinct event names (excluding metadata).
+    pub names: BTreeSet<String>,
+    /// Matched begin/end pairs plus complete (`X`) events.
+    pub complete_spans: usize,
+    /// Dropped-event count the producer recorded.
+    pub dropped: u64,
+}
+
+fn event_num(obj: &[(String, JsonValue)], key: &str) -> Option<f64> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| match v {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        })
+}
+
+fn event_str<'a>(obj: &'a [(String, JsonValue)], key: &str) -> Option<&'a str> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| match v {
+            JsonValue::Str(s) => Some(s.as_str()),
+            _ => None,
+        })
+}
+
+/// The golden-shape check for Chrome-trace files: valid JSON of the object
+/// form, every event carries `ph`/`tid`/`name`, timestamps are
+/// non-negative and non-decreasing per thread, `X` durations are
+/// non-negative, and begin/end events match up per thread (unbalanced
+/// stacks are only tolerated when the producer reported drops).
+pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
+    let doc = JsonValue::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let JsonValue::Obj(root) = &doc else {
+        return Err("root must be a JSON object with a traceEvents key".into());
+    };
+    let dropped = event_num(root, "dlinfmaDropped").unwrap_or(0.0) as u64;
+    let Some((_, JsonValue::Arr(events))) = root.iter().find(|(k, _)| k == "traceEvents") else {
+        return Err("missing traceEvents array".into());
+    };
+
+    let mut summary = TraceSummary {
+        events: 0,
+        threads: 0,
+        names: BTreeSet::new(),
+        complete_spans: 0,
+        dropped,
+    };
+    // Per-tid open-span stack of (name, ts) and last timestamp seen.
+    let mut stacks: Vec<(u64, Vec<(String, f64)>)> = Vec::new();
+    let mut last_ts: Vec<(u64, f64)> = Vec::new();
+
+    for (i, ev) in events.iter().enumerate() {
+        let JsonValue::Obj(obj) = ev else {
+            return Err(format!("event {i}: not an object"));
+        };
+        let ph = event_str(obj, "ph").ok_or_else(|| format!("event {i}: missing ph"))?;
+        let name = event_str(obj, "name")
+            .ok_or_else(|| format!("event {i}: missing name"))?
+            .to_string();
+        let tid = event_num(obj, "tid").ok_or_else(|| format!("event {i}: missing tid"))? as u64;
+        if ph == "M" {
+            continue;
+        }
+        let ts = event_num(obj, "ts").ok_or_else(|| format!("event {i}: missing ts"))?;
+        if ts < 0.0 {
+            return Err(format!("event {i} ({name}): negative ts {ts}"));
+        }
+        match last_ts.iter_mut().find(|(t, _)| *t == tid) {
+            Some((_, prev)) => {
+                if ts < *prev {
+                    return Err(format!(
+                        "event {i} ({name}): ts {ts} went backwards on tid {tid} (prev {prev})"
+                    ));
+                }
+                *prev = ts;
+            }
+            None => last_ts.push((tid, ts)),
+        }
+        summary.events += 1;
+        summary.names.insert(name.clone());
+        let stack = match stacks.iter_mut().find(|(t, _)| *t == tid) {
+            Some((_, s)) => s,
+            None => {
+                stacks.push((tid, Vec::new()));
+                &mut stacks.last_mut().expect("just pushed").1
+            }
+        };
+        match ph {
+            "B" => stack.push((name, ts)),
+            "E" => {
+                let Some((open, begin_ts)) = stack.pop() else {
+                    return Err(format!("event {i} ({name}): E without open B on tid {tid}"));
+                };
+                if open != name {
+                    return Err(format!(
+                        "event {i}: E `{name}` closes B `{open}` on tid {tid}"
+                    ));
+                }
+                if ts < begin_ts {
+                    return Err(format!(
+                        "event {i} ({name}): negative duration ({begin_ts}..{ts})"
+                    ));
+                }
+                summary.complete_spans += 1;
+            }
+            "X" => {
+                let dur = event_num(obj, "dur")
+                    .ok_or_else(|| format!("event {i} ({name}): X without dur"))?;
+                if dur < 0.0 {
+                    return Err(format!("event {i} ({name}): negative dur {dur}"));
+                }
+                summary.complete_spans += 1;
+            }
+            "i" | "C" => {}
+            other => return Err(format!("event {i} ({name}): unknown phase `{other}`")),
+        }
+    }
+    if dropped == 0 {
+        for (tid, stack) in &stacks {
+            if let Some((name, _)) = stack.last() {
+                return Err(format!(
+                    "tid {tid}: span `{name}` opened but never closed (and no drops reported)"
+                ));
+            }
+        }
+    }
+    summary.threads = last_ts.len();
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    // Pure-function tests only: anything touching the global rings lives in
+    // tests/obs.rs under the cross-test lock.
+    use super::*;
+
+    fn capture_of(events: Vec<TraceEvent>) -> TraceCapture {
+        let mut threads: Vec<(u64, String)> = Vec::new();
+        for e in &events {
+            if !threads.iter().any(|(t, _)| *t == e.thread) {
+                threads.push((e.thread, format!("thread-{}", e.thread)));
+            }
+        }
+        TraceCapture {
+            events,
+            threads,
+            dropped: 0,
+        }
+    }
+
+    fn ev(name: &'static str, phase: TracePhase, ts_ns: u64, thread: u64) -> TraceEvent {
+        TraceEvent {
+            name,
+            phase,
+            ts_ns,
+            dur_ns: 0,
+            value: 0.0,
+            thread,
+        }
+    }
+
+    #[test]
+    fn export_then_validate_round_trips() {
+        let mut c = capture_of(vec![
+            ev("a", TracePhase::Begin, 0, 0),
+            ev("b", TracePhase::Begin, 100, 1),
+            ev("b", TracePhase::End, 250, 1),
+            ev("a", TracePhase::End, 300, 0),
+            ev("mark", TracePhase::Instant, 400, 0),
+        ]);
+        c.events.push(TraceEvent {
+            name: "x",
+            phase: TracePhase::Complete,
+            ts_ns: 500,
+            dur_ns: 80,
+            value: 0.0,
+            thread: 1,
+        });
+        c.events.push(TraceEvent {
+            name: "count",
+            phase: TracePhase::Counter,
+            ts_ns: 600,
+            dur_ns: 0,
+            value: 7.0,
+            thread: 0,
+        });
+        let text = chrome_trace(&c);
+        let summary = validate_chrome_trace(&text).expect("valid trace");
+        assert_eq!(summary.events, 7);
+        assert_eq!(summary.threads, 2);
+        assert_eq!(summary.complete_spans, 3);
+        assert!(summary.names.contains("a") && summary.names.contains("count"));
+        assert!(text.contains("\"thread_name\""));
+        assert!(text.contains("dlinfma") || text.contains("thread-0"));
+    }
+
+    #[test]
+    fn validator_rejects_unbalanced_and_mismatched_spans() {
+        let open = capture_of(vec![ev("a", TracePhase::Begin, 0, 0)]);
+        let err = validate_chrome_trace(&chrome_trace(&open)).unwrap_err();
+        assert!(err.contains("never closed"), "{err}");
+
+        let mut tolerated = open.clone();
+        tolerated.dropped = 3;
+        assert!(validate_chrome_trace(&chrome_trace(&tolerated)).is_ok());
+
+        let crossed = capture_of(vec![
+            ev("a", TracePhase::Begin, 0, 0),
+            ev("b", TracePhase::End, 10, 0),
+        ]);
+        let err = validate_chrome_trace(&chrome_trace(&crossed)).unwrap_err();
+        assert!(err.contains("closes"), "{err}");
+
+        let stray = capture_of(vec![ev("a", TracePhase::End, 0, 0)]);
+        let err = validate_chrome_trace(&chrome_trace(&stray)).unwrap_err();
+        assert!(err.contains("without open B"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("[]").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        let err = validate_chrome_trace(r#"{"traceEvents":[{"ph":"B","tid":0}]}"#).unwrap_err();
+        assert!(err.contains("missing name"), "{err}");
+        let err =
+            validate_chrome_trace(r#"{"traceEvents":[{"name":"a","ph":"Z","tid":0,"ts":1}]}"#)
+                .unwrap_err();
+        assert!(err.contains("unknown phase"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_backwards_time_per_thread() {
+        // Out-of-order on one tid is an error even though another tid
+        // interleaves freely.
+        let text = r#"{"traceEvents":[
+            {"name":"a","ph":"i","tid":0,"ts":100,"s":"t"},
+            {"name":"b","ph":"i","tid":1,"ts":5,"s":"t"},
+            {"name":"c","ph":"i","tid":0,"ts":50,"s":"t"}
+        ]}"#;
+        let err = validate_chrome_trace(text).unwrap_err();
+        assert!(err.contains("went backwards"), "{err}");
+    }
+
+    #[test]
+    fn complete_events_carry_start_and_duration_in_microseconds() {
+        let c = capture_of(vec![TraceEvent {
+            name: "x",
+            phase: TracePhase::Complete,
+            ts_ns: 1_500,
+            dur_ns: 3_000,
+            value: 0.0,
+            thread: 0,
+        }]);
+        let text = chrome_trace(&c);
+        assert!(
+            text.contains("\"ph\": \"X\"") || text.contains("\"ph\":\"X\""),
+            "{text}"
+        );
+        let summary = validate_chrome_trace(&text).expect("valid");
+        assert_eq!(summary.complete_spans, 1);
+    }
+}

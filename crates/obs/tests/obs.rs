@@ -198,6 +198,128 @@ fn export_json_is_structurally_valid() {
 }
 
 #[test]
+fn trace_capture_round_trips_through_chrome_export() {
+    let _g = lock();
+    obs::trace_enable();
+    {
+        let _outer = obs::trace_span("outer");
+        {
+            let _inner = obs::trace_span("inner");
+        }
+        obs::trace_instant("blip");
+        obs::trace_counter("gauge", 7.0);
+    }
+    obs::record_duration("accumulated", 1_500);
+    obs::trace_disable();
+
+    let capture = obs::take_trace();
+    assert_eq!(capture.dropped, 0);
+    assert!(!capture.threads.is_empty(), "recording thread registered");
+    let begins = capture
+        .events
+        .iter()
+        .filter(|e| e.phase == obs::TracePhase::Begin)
+        .count();
+    let ends = capture
+        .events
+        .iter()
+        .filter(|e| e.phase == obs::TracePhase::End)
+        .count();
+    assert_eq!(begins, 2);
+    assert_eq!(begins, ends);
+
+    let text = obs::chrome_trace_json(&capture).render();
+    let summary = obs::validate_chrome_trace(&text).expect("export validates");
+    for name in ["outer", "inner", "blip", "gauge", "accumulated"] {
+        assert!(summary.names.contains(name), "missing {name}");
+    }
+    assert_eq!(summary.dropped, 0);
+
+    // The rings were drained: a second take sees nothing.
+    assert!(obs::take_trace().events.is_empty());
+}
+
+#[test]
+fn spans_emit_trace_events_when_tracing_is_on() {
+    let _g = lock();
+    obs::enable();
+    obs::trace_enable();
+    {
+        let _s = obs::span("shared-name");
+    }
+    obs::disable();
+    obs::trace_disable();
+    // One obs span -> one span record AND one matched B/E trace pair with
+    // the same name, so the two sinks never disagree on naming.
+    assert_eq!(obs::spans_snapshot().len(), 1);
+    let capture = obs::take_trace();
+    let names: Vec<_> = capture.events.iter().map(|e| e.name).collect();
+    assert_eq!(names, ["shared-name", "shared-name"]);
+}
+
+#[test]
+fn reset_all_clears_trace_state_between_runs() {
+    let _g = lock();
+    // Run 1 records and is then reset without being taken.
+    obs::trace_enable();
+    {
+        let _s = obs::trace_span("run-1");
+    }
+    obs::reset_all();
+    assert!(!obs::trace_enabled(), "reset_all turns tracing off");
+    // Run 2 must see only its own events — no leak from run 1.
+    obs::trace_enable();
+    {
+        let _s = obs::trace_span("run-2");
+    }
+    obs::trace_disable();
+    let capture = obs::take_trace();
+    assert!(
+        capture.events.iter().all(|e| e.name == "run-2"),
+        "run-1 events leaked: {:?}",
+        capture.events
+    );
+    assert_eq!(capture.events.len(), 2);
+}
+
+#[test]
+fn disabled_trace_span_overhead_is_negligible() {
+    let _g = lock();
+    let n = 1_000_000u32;
+    let start = std::time::Instant::now();
+    for _ in 0..n {
+        let _s = obs::trace_span("disabled-hot-path");
+        obs::trace_counter("disabled-counter", 1.0);
+    }
+    let per_call = start.elapsed().as_nanos() as f64 / f64::from(n);
+    assert!(obs::take_trace().events.is_empty());
+    // Disabled tracing is one relaxed load per call site; same 100x-slack
+    // bound as the disabled span path above.
+    assert!(
+        per_call < 1_000.0,
+        "disabled trace cost {per_call:.1} ns/iteration"
+    );
+}
+
+#[test]
+fn trace_ring_capacity_drops_new_events_and_reports() {
+    let _g = lock();
+    obs::trace_enable();
+    for _ in 0..(obs::RING_CAPACITY + 100) {
+        obs::trace_instant("spin");
+    }
+    obs::trace_disable();
+    let capture = obs::take_trace();
+    assert_eq!(capture.events.len(), obs::RING_CAPACITY);
+    assert!(capture.dropped >= 100);
+    // A capped capture still exports and validates (drop-new keeps the
+    // B/E prefix balanced, and the dropped count rides in the file).
+    let text = obs::chrome_trace_json(&capture).render();
+    let summary = obs::validate_chrome_trace(&text).expect("capped export validates");
+    assert_eq!(summary.dropped, capture.dropped);
+}
+
+#[test]
 fn span_cap_drops_and_reports() {
     let _g = lock();
     obs::enable();

@@ -43,10 +43,22 @@
 //!
 //! What is *not* deterministic is execution interleaving — tasks touching
 //! shared atomics or locks still race like any threaded code.
+//!
+//! # Telemetry
+//!
+//! Every executor keeps relaxed-atomic counters — tasks run, steals,
+//! steal failures, queue high-water mark, busy/idle nanoseconds — sampled
+//! by [`Pool::telemetry`] into an [`obs::PoolReport`]. When the obs trace
+//! sink is installed, each task additionally records a `pool/task` span on
+//! its worker thread and steals record instant events, so `--trace-out`
+//! files show per-worker busy/idle tracks. All of it is observation-only:
+//! no scheduling decision reads a counter, which is what lets the
+//! worker-count parity tests pin determinism with telemetry on.
 
+use dlinfma_obs as obs;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -56,6 +68,18 @@ use std::thread::JoinHandle;
 /// `'env` closure; [`Pool::scope`] joins all of a scope's tasks before the
 /// `'env` borrows can expire.
 type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Per-executor telemetry counters. Relaxed atomics: they are never read
+/// on a scheduling decision, only by [`Pool::telemetry`] snapshots.
+#[derive(Default)]
+struct WorkerStats {
+    tasks: AtomicU64,
+    steals: AtomicU64,
+    steal_failures: AtomicU64,
+    queue_hwm: AtomicU64,
+    busy_ns: AtomicU64,
+    idle_ns: AtomicU64,
+}
 
 /// State shared between the pool handle and its workers.
 struct Shared {
@@ -67,26 +91,32 @@ struct Shared {
     /// Wakes sleeping workers when work arrives or the pool shuts down.
     bell: Condvar,
     shutdown: AtomicBool,
+    /// One slot per worker plus a final slot for the caller thread (which
+    /// executes tasks inline and while helping joins).
+    stats: Vec<WorkerStats>,
 }
 
 impl Shared {
     /// Pops a task from any deque: `home` first (back/LIFO), then steals
     /// from the others (front/FIFO). `home == usize::MAX` scans all (the
-    /// helping caller has no home deque).
-    fn take(&self, home: usize) -> Option<Task> {
+    /// helping caller has no home deque). The flag is true when a worker
+    /// took the task from a sibling's deque — a steal; the caller draining
+    /// deques during a join is doing its job, not stealing.
+    fn take(&self, home: usize) -> Option<(Task, bool)> {
         if let Some(q) = self.deques.get(home) {
             if let Some(t) = lock(q).pop_back() {
                 self.uncount();
-                return Some(t);
+                return Some((t, false));
             }
         }
+        let is_worker = home < self.deques.len();
         for (i, q) in self.deques.iter().enumerate() {
             if i == home {
                 continue;
             }
             if let Some(t) = lock(q).pop_front() {
                 self.uncount();
-                return Some(t);
+                return Some((t, is_worker));
             }
         }
         None
@@ -98,9 +128,34 @@ impl Shared {
     }
 
     fn push(&self, slot: usize, task: Task) {
-        lock(&self.deques[slot]).push_back(task);
+        let depth = {
+            let mut q = lock(&self.deques[slot]);
+            q.push_back(task);
+            q.len() as u64
+        };
+        self.stats[slot]
+            .queue_hwm
+            .fetch_max(depth, Ordering::Relaxed);
         *lock_m(&self.idle) += 1;
         self.bell.notify_one();
+    }
+
+    /// Runs one task with telemetry: busy time and task count. The
+    /// `pool/task` trace span lives inside the task closure itself (see
+    /// [`Scope::spawn`]) so its End event is recorded *before* the scope's
+    /// completion signal — a span opened out here would race with a
+    /// `take_trace` that runs right after the join returns.
+    fn run_task(&self, stats_slot: usize, task: Task) {
+        let sw = obs::Stopwatch::start();
+        task();
+        let stats = &self.stats[stats_slot];
+        stats.busy_ns.fetch_add(sw.elapsed_ns(), Ordering::Relaxed);
+        stats.tasks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Index of the caller thread's stats slot (the final one).
+    fn caller_slot(&self) -> usize {
+        self.stats.len() - 1
     }
 }
 
@@ -117,8 +172,12 @@ fn lock_m(m: &Mutex<usize>) -> std::sync::MutexGuard<'_, usize> {
 
 fn worker_loop(shared: Arc<Shared>, home: usize) {
     loop {
-        if let Some(task) = shared.take(home) {
-            task();
+        if let Some((task, stolen)) = shared.take(home) {
+            if stolen {
+                shared.stats[home].steals.fetch_add(1, Ordering::Relaxed);
+                obs::trace_instant(obs::names::POOL_STEAL);
+            }
+            shared.run_task(home, task);
             continue;
         }
         let guard = lock_m(&shared.idle);
@@ -127,7 +186,17 @@ fn worker_loop(shared: Arc<Shared>, home: usize) {
         }
         if *guard == 0 {
             // Nothing queued anywhere; sleep until a push rings the bell.
+            let sw = obs::Stopwatch::start();
             drop(shared.bell.wait(guard));
+            shared.stats[home]
+                .idle_ns
+                .fetch_add(sw.elapsed_ns(), Ordering::Relaxed);
+        } else {
+            // Work was queued somewhere but the scan lost every race for
+            // it: a failed steal round.
+            shared.stats[home]
+                .steal_failures
+                .fetch_add(1, Ordering::Relaxed);
         }
         // Either woken or tasks appeared between scan and lock: rescan.
     }
@@ -189,7 +258,11 @@ impl<'env> Scope<'_, 'env> {
         F: FnOnce() + Send + 'env,
     {
         if self.pool.threads == 1 {
-            // Sequential pool: run inline, in spawn order.
+            // Sequential pool: run inline, in spawn order (telemetry still
+            // lands in the caller slot so reports stay comparable).
+            let shared = &self.pool.shared;
+            let _trace = obs::trace_span(obs::names::POOL_TASK);
+            let sw = obs::Stopwatch::start();
             match catch_unwind(AssertUnwindSafe(f)) {
                 Ok(()) => {}
                 Err(p) => {
@@ -201,6 +274,9 @@ impl<'env> Scope<'_, 'env> {
                     slot.get_or_insert(p);
                 }
             }
+            let stats = &shared.stats[shared.caller_slot()];
+            stats.busy_ns.fetch_add(sw.elapsed_ns(), Ordering::Relaxed);
+            stats.tasks.fetch_add(1, Ordering::Relaxed);
             return;
         }
         *self
@@ -210,7 +286,14 @@ impl<'env> Scope<'_, 'env> {
             .unwrap_or_else(std::sync::PoisonError::into_inner) += 1;
         let sync = Arc::clone(self.sync);
         let wrapped: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
-            let outcome = catch_unwind(AssertUnwindSafe(f));
+            // The span must close before `finish_one` signals completion:
+            // once the last signal lands, `Pool::scope` can return and the
+            // caller may drain the trace rings, so an End recorded after the
+            // signal would be lost (or leak into the next capture).
+            let outcome = {
+                let _trace = obs::trace_span(obs::names::POOL_TASK);
+                catch_unwind(AssertUnwindSafe(f))
+            };
             sync.finish_one(outcome.err());
         });
         // SAFETY: `Pool::scope` joins every spawned task before returning,
@@ -252,6 +335,8 @@ impl Pool {
             idle: Mutex::new(0),
             bell: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            // One slot per worker plus the caller slot.
+            stats: (0..threads).map(|_| WorkerStats::default()).collect(),
         });
         let workers = (1..threads)
             .map(|i| {
@@ -294,6 +379,13 @@ impl Pool {
         };
         let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
         self.join(&sync);
+        if obs::trace_enabled() {
+            // Counter tracks so the trace shows scheduler throughput
+            // evolving scope by scope.
+            let report = self.telemetry_totals();
+            obs::trace_counter(obs::names::POOL_TASKS_TOTAL, report.0 as f64);
+            obs::trace_counter(obs::names::POOL_STEALS_TOTAL, report.1 as f64);
+        }
         let stored = sync
             .panic
             .lock()
@@ -321,8 +413,8 @@ impl Pool {
                 }
             }
             // Help: run any queued task (ours or a nested scope's).
-            if let Some(task) = self.shared.take(usize::MAX) {
-                task();
+            if let Some((task, _)) = self.shared.take(usize::MAX) {
+                self.shared.run_task(self.shared.caller_slot(), task);
                 continue;
             }
             // Nothing left to run; the stragglers are mid-flight on
@@ -418,7 +510,7 @@ impl Pool {
         items: &[T],
         map: M,
         init: A,
-        mut reduce: R,
+        reduce: R,
     ) -> A
     where
         T: Sync,
@@ -427,13 +519,66 @@ impl Pool {
         R: FnMut(A, U) -> A,
     {
         let mapped = self.par_map(items, map);
-        mapped.into_iter().fold(init, |acc, u| reduce(acc, u))
+        mapped.into_iter().fold(init, reduce)
     }
 
     /// Chunk size targeting ~4 chunks per executor, so stealing can balance
     /// uneven items without drowning in per-task overhead.
     fn auto_chunk(n: usize, threads: usize) -> usize {
         n.div_ceil(threads * 4).max(1)
+    }
+
+    /// Cumulative scheduler telemetry since the pool was created (or the
+    /// last [`Pool::reset_telemetry`]). Use [`obs::PoolReport::minus`] on
+    /// two snapshots to window a single ingest or scope.
+    pub fn telemetry(&self) -> obs::PoolReport {
+        let caller = self.shared.caller_slot();
+        obs::PoolReport {
+            threads: self.threads as u64,
+            workers: self
+                .shared
+                .stats
+                .iter()
+                .enumerate()
+                .map(|(i, s)| obs::PoolWorkerReport {
+                    label: if i == caller {
+                        "caller".to_string()
+                    } else {
+                        format!("worker-{i}")
+                    },
+                    tasks: s.tasks.load(Ordering::Relaxed),
+                    steals: s.steals.load(Ordering::Relaxed),
+                    steal_failures: s.steal_failures.load(Ordering::Relaxed),
+                    queue_hwm: s.queue_hwm.load(Ordering::Relaxed),
+                    busy_ns: s.busy_ns.load(Ordering::Relaxed),
+                    idle_ns: s.idle_ns.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+
+    /// Zeroes every telemetry counter. Never required for correctness —
+    /// counters are observation-only — but long-lived processes may want
+    /// fresh windows without diffing snapshots.
+    pub fn reset_telemetry(&self) {
+        for s in &self.shared.stats {
+            s.tasks.store(0, Ordering::Relaxed);
+            s.steals.store(0, Ordering::Relaxed);
+            s.steal_failures.store(0, Ordering::Relaxed);
+            s.queue_hwm.store(0, Ordering::Relaxed);
+            s.busy_ns.store(0, Ordering::Relaxed);
+            s.idle_ns.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// `(total tasks, total steals)` across all executors.
+    fn telemetry_totals(&self) -> (u64, u64) {
+        self.shared.stats.iter().fold((0, 0), |(t, s), w| {
+            (
+                t + w.tasks.load(Ordering::Relaxed),
+                s + w.steals.load(Ordering::Relaxed),
+            )
+        })
     }
 }
 
@@ -532,7 +677,7 @@ mod tests {
         // A sum of floats of wildly different magnitudes is order-sensitive;
         // the ordered reduce must nail the serial result exactly.
         let items: Vec<f64> = (0..2000)
-            .map(|i| (i as f64 * 0.7).sin() * 10f64.powi((i % 17) as i32 - 8))
+            .map(|i| (i as f64 * 0.7).sin() * 10f64.powi((i % 17) - 8))
             .collect();
         let serial: f64 = items.iter().map(|&x| x * 1.000001).sum();
         for threads in [1, 2, 8] {
@@ -617,6 +762,48 @@ mod tests {
             let out = pool.par_map(&items, |&x| x + round);
             assert_eq!(out[5], 5 + round);
         }
+    }
+
+    #[test]
+    fn telemetry_counts_tasks_and_diffs_as_snapshots() {
+        let pool = Pool::new(4);
+        let items: Vec<u64> = (0..256).collect();
+        let _ = pool.par_map(&items, |&x| x * 2);
+        let first = pool.telemetry();
+        assert_eq!(first.threads, 4);
+        assert_eq!(first.workers.len(), 4, "3 workers + caller slot");
+        assert_eq!(first.workers.last().unwrap().label, "caller");
+        assert!(first.total_tasks() > 0, "{first:?}");
+        assert!(
+            first.workers.iter().map(|w| w.busy_ns).sum::<u64>() > 0,
+            "tasks ran, busy time must be nonzero"
+        );
+
+        let _ = pool.par_map(&items, |&x| x + 1);
+        let second = pool.telemetry();
+        let delta = second.minus(&first);
+        assert_eq!(
+            delta.total_tasks(),
+            second.total_tasks() - first.total_tasks()
+        );
+
+        pool.reset_telemetry();
+        assert_eq!(pool.telemetry().total_tasks(), 0);
+    }
+
+    #[test]
+    fn sequential_pool_attributes_tasks_to_the_caller() {
+        let pool = Pool::sequential();
+        pool.scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {});
+            }
+        });
+        let t = pool.telemetry();
+        assert_eq!(t.workers.len(), 1);
+        assert_eq!(t.workers[0].label, "caller");
+        assert_eq!(t.workers[0].tasks, 3);
+        assert_eq!(t.total_steals(), 0, "nothing to steal inline");
     }
 
     #[test]

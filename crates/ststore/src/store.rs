@@ -369,7 +369,7 @@ mod tests {
                 let store = store.clone();
                 let ds = &ds;
                 scope.spawn(move || {
-                    let _ = store.ingest_dataset(ds);
+                    store.ingest_dataset(ds);
                 });
             }
             for _ in 0..3 {

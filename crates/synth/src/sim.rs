@@ -207,7 +207,7 @@ pub fn assign_regions(city: &City, cfg: &SimConfig) -> Vec<(StationId, CourierId
 /// [`crate::delays::inject_delays`]).
 #[allow(clippy::needless_range_loop)] // courier indexes pools and ids alike
 pub fn simulate<R: Rng>(city: &City, cfg: &SimConfig, rng: &mut R) -> Dataset {
-    let _span = dlinfma_obs::span("synth/simulate");
+    let _span = dlinfma_obs::span(dlinfma_obs::names::SYNTH_SIMULATE);
     let assignment = assign_regions(city, cfg);
     let n_couriers = cfg.n_stations * cfg.couriers_per_station;
 
@@ -382,10 +382,10 @@ pub fn simulate<R: Rng>(city: &City, cfg: &SimConfig, rng: &mut R) -> Dataset {
     };
     dataset.validate();
     if dlinfma_obs::enabled() {
-        dlinfma_obs::counter("synth/trips").add(dataset.trips.len() as u64);
-        dlinfma_obs::counter("synth/waybills").add(dataset.waybills.len() as u64);
+        dlinfma_obs::counter(dlinfma_obs::names::SYNTH_TRIPS).add(dataset.trips.len() as u64);
+        dlinfma_obs::counter(dlinfma_obs::names::SYNTH_WAYBILLS).add(dataset.waybills.len() as u64);
         let fixes: usize = dataset.trips.iter().map(|t| t.trajectory.len()).sum();
-        dlinfma_obs::counter("synth/gps-fixes").add(fixes as u64);
+        dlinfma_obs::counter(dlinfma_obs::names::SYNTH_GPS_FIXES).add(fixes as u64);
     }
     dataset
 }

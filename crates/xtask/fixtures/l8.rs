@@ -1,0 +1,9 @@
+//! L8 fixture: ad-hoc string-literal event names passed to obs sinks.
+//! Every name must come from the `dlinfma_obs::names` registry (or the
+//! `obs::stage` constants) so traces keep stable names.
+
+fn f() {
+    let _g = dlinfma_obs::span("ad-hoc/span-name");
+    dlinfma_obs::counter("ad-hoc/count").add(1);
+    dlinfma_obs::trace_instant("ad-hoc/blip");
+}

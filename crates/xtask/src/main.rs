@@ -1,6 +1,6 @@
 //! `cargo run -p xtask -- lint` — the workspace's in-tree static analyzer.
 //!
-//! Seven repo-specific rules (see [`rules`]) run over every `crates/*/src`
+//! Eight repo-specific rules (see [`rules`]) run over every `crates/*/src`
 //! file with a hand-rolled comment/string-aware tokenizer; findings print as
 //! `file:line: rule: message` and make the process exit non-zero. A
 //! committed baseline (`crates/xtask/lint.baseline`) can grandfather known
@@ -10,6 +10,7 @@
 //!   cargo run -p xtask -- lint               # scan the workspace
 //!   cargo run -p xtask -- lint FILE...       # lint specific files, all rules
 //!   cargo run -p xtask -- lint --fixtures    # self-check on seeded fixtures
+//!   cargo run -p xtask -- trace-check FILE   # validate a Chrome-trace export
 
 mod lexer;
 mod rules;
@@ -32,11 +33,51 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint_command(&args[1..]),
+        Some("trace-check") => trace_check_command(&args[1..]),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint [--fixtures] [FILE...]");
+            eprintln!(
+                "usage: cargo run -p xtask -- lint [--fixtures] [FILE...]\n\
+                 \x20      cargo run -p xtask -- trace-check FILE..."
+            );
             ExitCode::from(2)
         }
     }
+}
+
+/// Validates Chrome trace-event files (`--trace-out` / bench artifacts):
+/// well-formed JSON, matched begin/end pairs per thread, monotonic
+/// non-negative timestamps. Exits non-zero on the first malformed file.
+fn trace_check_command(paths: &[String]) -> ExitCode {
+    if paths.is_empty() {
+        eprintln!("xtask: trace-check needs at least one trace file");
+        return ExitCode::from(2);
+    }
+    for p in paths {
+        let text = match std::fs::read_to_string(p) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("xtask: cannot read {p}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match dlinfma_obs::validate_chrome_trace(&text) {
+            Ok(summary) => {
+                println!(
+                    "{p}: ok — {} events, {} threads, {} complete spans, {} names, {} dropped",
+                    summary.events,
+                    summary.threads,
+                    summary.complete_spans,
+                    summary.names.len(),
+                    summary.dropped
+                );
+            }
+            Err(e) => {
+                eprintln!("{p}: INVALID trace: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn workspace_root() -> PathBuf {
@@ -152,6 +193,7 @@ fn fixtures_self_check() -> ExitCode {
         ("l5.rs", Rule::L5),
         ("l6.rs", Rule::L6),
         ("l7.rs", Rule::L7),
+        ("l8.rs", Rule::L8),
     ];
     let mut ok = true;
     for (name, expected) in fixtures {
@@ -251,6 +293,7 @@ mod tests {
             ("l5.rs", Rule::L5),
             ("l6.rs", Rule::L6),
             ("l7.rs", Rule::L7),
+            ("l8.rs", Rule::L8),
         ] {
             let path = root.join("crates/xtask/fixtures").join(name);
             let findings = lint_one(&path, &root, true);

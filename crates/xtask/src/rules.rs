@@ -1,4 +1,4 @@
-//! The lint rules (L1–L7) and the machinery they share: `#[cfg(test)]`
+//! The lint rules (L1–L8) and the machinery they share: `#[cfg(test)]`
 //! region tracking, `// lint: allow(..)` directives, and finding reporting.
 //!
 //! Each rule is documented where it is implemented; `DESIGN.md` has the
@@ -31,6 +31,11 @@ pub enum Rule {
     /// `#[cfg(test)]` regions too — ad-hoc threads in tests are exactly
     /// where unpooled concurrency sneaks back in.
     L7,
+    /// String-literal span/metric/trace name passed to an obs sink
+    /// (`span`, `counter`, `trace_span`, …) outside `crates/obs`: every
+    /// event name lives once, in `dlinfma_obs::names` (or `obs::stage`),
+    /// so traces keep stable names and dashboards never chase typos.
+    L8,
 }
 
 impl Rule {
@@ -44,6 +49,7 @@ impl Rule {
             Rule::L5 => "L5",
             Rule::L6 => "L6",
             Rule::L7 => "L7",
+            Rule::L8 => "L8",
         }
     }
 
@@ -56,6 +62,7 @@ impl Rule {
             "L5" => Some(Rule::L5),
             "L6" => Some(Rule::L6),
             "L7" => Some(Rule::L7),
+            "L8" => Some(Rule::L8),
             _ => None,
         }
     }
@@ -138,6 +145,9 @@ pub fn lint_source(src: &str, ctx: FileCtx) -> Vec<Finding> {
     rule_l5(&lexed.tokens, ctx, &mut findings);
     if !ctx.is_pool_crate {
         rule_l7(&lexed.tokens, ctx, &mut findings);
+    }
+    if !ctx.is_obs_crate {
+        rule_l8(&lexed.tokens, ctx, &mut findings);
     }
 
     // L7 findings survive test regions (see its rule doc); everything else
@@ -498,6 +508,65 @@ fn rule_l7(tokens: &[Token], ctx: FileCtx, out: &mut Vec<Finding>) {
     }
 }
 
+/// Obs functions whose first argument is an event/metric name. Only exact
+/// path-call forms (`obs::span(..)`, `dlinfma_obs::counter(..)`, `.scoped(..)`)
+/// count, so unrelated local functions that happen to share a name and take
+/// a string don't fire.
+const OBS_NAME_SINKS: [&str; 11] = [
+    "span",
+    "scoped",
+    "record_duration",
+    "counter",
+    "gauge",
+    "histogram",
+    "try_histogram",
+    "trace_span",
+    "trace_complete",
+    "trace_instant",
+    "trace_counter",
+];
+
+/// L8 — ad-hoc span/metric/trace names.
+///
+/// Every event name flows through the central registry
+/// (`dlinfma_obs::names`, or the `obs::stage` constants) so Chrome traces
+/// keep stable track/span names across refactors and the CI trace check can
+/// pin them. A string literal passed straight to an obs sink creates an
+/// unregistered name that silently forks the namespace.
+fn rule_l8(tokens: &[Token], ctx: FileCtx, out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || !OBS_NAME_SINKS.contains(&t.text.as_str()) {
+            continue;
+        }
+        // Require a path or method call (`::ident(` / `.ident(`) so a local
+        // `fn span(s: &str)` in some unrelated crate is out of scope.
+        let is_call_path = i
+            .checked_sub(1)
+            .is_some_and(|p| tokens[p].text == "::" || tokens[p].text == ".");
+        if !is_call_path {
+            continue;
+        }
+        if tokens.get(i + 1).map(|t| t.text.as_str()) != Some("(") {
+            continue;
+        }
+        let Some(arg) = tokens.get(i + 2) else {
+            continue;
+        };
+        if arg.kind == TokKind::Literal {
+            out.push(Finding {
+                file: ctx.path.to_string(),
+                line: t.line,
+                rule: Rule::L8,
+                message: format!(
+                    "string-literal name passed to `{}`; register it in \
+                     `dlinfma_obs::names` and use the constant",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
 fn is_keyword(s: &str) -> bool {
     matches!(
         s,
@@ -701,6 +770,28 @@ mod tests {
             "fn f() { std::thread::spawn(|| {}); } // lint: allow(L7, detached watchdog)"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn l8_fires_on_literal_obs_names_only() {
+        assert_eq!(
+            rules_hit("fn f() { let _g = obs::span(\"ad-hoc\"); }"),
+            [Rule::L8]
+        );
+        assert_eq!(
+            rules_hit("fn f() { dlinfma_obs::counter(\"n\").add(1); }"),
+            [Rule::L8]
+        );
+        assert_eq!(rules_hit("fn f() { obs::trace_span(\"x\"); }"), [Rule::L8]);
+        // Registry constants, non-call mentions, and unrelated local
+        // functions that share a sink name are all fine.
+        assert!(rules_hit("fn f() { let _g = obs::span(names::ENGINE_INGEST); }").is_empty());
+        assert!(rules_hit("fn f() { obs::record_duration(stage::RETRIEVAL, ns); }").is_empty());
+        assert!(rules_hit("fn span(s: &str) {} fn f() { span(\"free function\"); }").is_empty());
+        // The obs crate itself (registry + its docs/tests) is exempt.
+        let mut c = ctx();
+        c.is_obs_crate = true;
+        assert!(lint_source("fn f() { obs::trace_span(\"x\"); }", c).is_empty());
     }
 
     #[test]

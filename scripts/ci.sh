@@ -46,9 +46,12 @@ if [[ $QUICK -eq 1 ]]; then
 fi
 
 # Streaming-ingest smoke: replays the Tiny world day by day through the
-# incremental engine; exercises the same path the batch_streaming_parity
-# tests pin down, from the CLI. The metrics export is a CI artifact.
-run cargo run --release -p dlinfma-cli "${CARGO_FLAGS[@]}" -- replay --preset dowbj --scale tiny --metrics-out METRICS_report.json
+# incremental engine with tracing on; exercises the same path the
+# batch_streaming_parity tests pin down, from the CLI. The metrics export
+# and the Chrome trace are CI artifacts; trace-check validates the trace's
+# golden shape (matched B/E pairs per thread, monotonic timestamps).
+run cargo run --release -p dlinfma-cli "${CARGO_FLAGS[@]}" -- replay --preset dowbj --scale tiny --metrics-out METRICS_report.json --trace-out TRACE_replay.json
+run cargo run -p xtask "${CARGO_FLAGS[@]}" -- trace-check TRACE_replay.json
 # Machine-readable pipeline timing artifact (prepare + workers sweep +
 # per-day ingest), gated against the committed baseline. The gate compares
 # calibrated ratios (prepare time / in-process calibration workload), so it
