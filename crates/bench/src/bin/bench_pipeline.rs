@@ -14,6 +14,7 @@
 //! fixed single-thread workload timed in-process) and the gate compares the
 //! *calibrated ratio* `prepare_ns / calibration_ns` instead of raw time.
 
+use dlinfma_bench::{calibrated_gate, calibration_ns, ensure_writable};
 use dlinfma_core::{DlInfMa, Engine};
 use dlinfma_eval::pipeline_config;
 use dlinfma_obs::{self as obs, JsonValue, Stopwatch};
@@ -35,19 +36,6 @@ const OVERHEAD_ROUNDS: usize = 5;
 /// factor. 30% absorbs run-to-run scheduler noise on shared CI runners
 /// while still catching a real slowdown of the dominant stages.
 const GATE_TOLERANCE: f64 = 1.30;
-
-/// A fixed, optimization-resistant single-thread workload (FNV-1a over a
-/// counter stream) whose duration calibrates this machine's speed.
-fn calibration_ns() -> u64 {
-    let t = Stopwatch::start();
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for i in 0u64..20_000_000 {
-        h ^= i;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    std::hint::black_box(h);
-    t.elapsed_ns()
-}
 
 /// Wall time of one full engine replay of `dataset`, with the trace layer
 /// on or off. Traced runs drain the rings afterwards so successive
@@ -88,6 +76,8 @@ fn run() -> Result<(), String> {
             out = a;
         }
     }
+    // Fail fast on an unwritable output path before the measured run.
+    ensure_writable("--out", &out)?;
     let preset = Preset::DowBJ;
     let (_, dataset) = generate(preset, Scale::Tiny, SEED);
     let calib = calibration_ns();
@@ -211,34 +201,17 @@ fn run() -> Result<(), String> {
     }
 
     if let Some(baseline_path) = gate {
-        gate_check(&baseline_path, prepare_ns, calib)?;
-    }
-    Ok(())
-}
-
-/// Compares this run's calibrated prepare ratio against the committed
-/// baseline; errors beyond [`GATE_TOLERANCE`].
-fn gate_check(baseline_path: &str, prepare_ns: u64, calib: u64) -> Result<(), String> {
-    let text =
-        std::fs::read_to_string(baseline_path).map_err(|e| format!("read {baseline_path}: {e}"))?;
-    let base = JsonValue::parse(&text).map_err(|e| format!("parse {baseline_path}: {e:?}"))?;
-    let field = |k: &str| -> Result<f64, String> {
-        base.get(k)
-            .and_then(JsonValue::as_f64)
-            .ok_or_else(|| format!("{baseline_path}: missing numeric `{k}`"))
-    };
-    let base_ratio = field("prepare_ns")? / field("calibration_ns")?.max(1.0);
-    let ratio = prepare_ns as f64 / calib.max(1) as f64;
-    println!(
-        "gate: calibrated prepare ratio {ratio:.3} vs baseline {base_ratio:.3} \
-         (tolerance {GATE_TOLERANCE}x)"
-    );
-    if ratio > base_ratio * GATE_TOLERANCE {
-        return Err(format!(
-            "prepare regressed: calibrated ratio {ratio:.3} exceeds baseline \
-             {base_ratio:.3} by more than {:.0}%",
-            (GATE_TOLERANCE - 1.0) * 100.0
-        ));
+        let (ratio, base_ratio) = calibrated_gate(
+            &baseline_path,
+            "prepare_ns",
+            prepare_ns,
+            calib,
+            GATE_TOLERANCE,
+        )?;
+        println!(
+            "gate: calibrated prepare ratio {ratio:.3} vs baseline {base_ratio:.3} \
+             (tolerance {GATE_TOLERANCE}x)"
+        );
     }
     Ok(())
 }

@@ -1,1 +1,185 @@
-//! Criterion benchmark crate; see `benches/` for every table and figure driver.
+//! Criterion benchmark crate; see `benches/` for every table and figure
+//! driver, and `src/bin/` for the machine-readable `BENCH_*.json` artifact
+//! bins (`bench_pipeline`, `bench_serve`).
+//!
+//! This library holds the measurement and gating helpers those bins share:
+//! the machine-speed calibration workload, nearest-rank percentiles, and
+//! the calibrated regression gate with fail-fast baseline validation.
+
+use dlinfma_obs::{JsonValue, Stopwatch};
+
+/// A fixed, optimization-resistant single-thread workload (FNV-1a over a
+/// counter stream) whose duration calibrates this machine's speed. Both the
+/// artifact and its committed baseline carry this number, so gates compare
+/// *calibrated ratios* instead of raw wall time, which is not portable
+/// across machines.
+pub fn calibration_ns() -> u64 {
+    let t = Stopwatch::start();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for i in 0u64..20_000_000 {
+        h ^= i;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    std::hint::black_box(h);
+    t.elapsed_ns()
+}
+
+/// Nearest-rank percentile over an ascending-sorted latency slice.
+/// `p` is in percent (`50.0`, `99.9`); empty input yields 0.
+pub fn percentile_ns(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    // The epsilon keeps exact ranks (e.g. p99.9 of 1000 samples = rank 999)
+    // from being bumped a slot by binary-fraction noise in `p / 100.0`.
+    let rank = ((p / 100.0) * sorted.len() as f64 - 1e-9).ceil();
+    let idx = (rank as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// Fail-fast output-path check: create/open `path` for writing *before*
+/// the measured run, so a typo'd directory errors immediately instead of
+/// discarding minutes of benchmarking at write time. Errors name `flag`.
+pub fn ensure_writable(flag: &str, path: &str) -> Result<(), String> {
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map(|_| ())
+        .map_err(|e| format!("cannot open {flag} '{path}': {e}"))
+}
+
+/// Compares this run's calibrated ratio (`value_ns / calib_ns`) for
+/// `metric` against the committed baseline file and errors beyond
+/// `tolerance`×. Returns `(run_ratio, baseline_ratio)` on success so the
+/// caller can print them.
+///
+/// The baseline is validated eagerly with named errors: a missing file, a
+/// missing `metric`/`calibration_ns` key, or a zero/negative/non-finite
+/// value all fail the gate rather than silently passing (a zero-valued
+/// baseline metric would make the gate vacuous or make any run look
+/// infinitely regressed, depending on which side it lands).
+pub fn calibrated_gate(
+    baseline_path: &str,
+    metric: &str,
+    value_ns: u64,
+    calib_ns: u64,
+    tolerance: f64,
+) -> Result<(f64, f64), String> {
+    let text = std::fs::read_to_string(baseline_path).map_err(|e| {
+        format!(
+            "gate baseline {baseline_path}: {e} \
+             (regenerate it by running this bin and committing the output)"
+        )
+    })?;
+    let base =
+        JsonValue::parse(&text).map_err(|e| format!("gate baseline {baseline_path}: {e}"))?;
+    let field = |k: &str| -> Result<f64, String> {
+        let v = base
+            .get(k)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("gate baseline {baseline_path}: missing numeric `{k}`"))?;
+        if !v.is_finite() || v <= 0.0 {
+            return Err(format!(
+                "gate baseline {baseline_path}: `{k}` is {v}; must be a positive finite \
+                 number (regenerate the baseline)"
+            ));
+        }
+        Ok(v)
+    };
+    let base_ratio = field(metric)? / field("calibration_ns")?;
+    let ratio = value_ns as f64 / calib_ns.max(1) as f64;
+    if ratio > base_ratio * tolerance {
+        return Err(format!(
+            "{metric} regressed: calibrated ratio {ratio:.3} exceeds baseline \
+             {base_ratio:.3} by more than {:.0}%",
+            (tolerance - 1.0) * 100.0
+        ));
+    }
+    Ok((ratio, base_ratio))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str, content: Option<&str>) -> String {
+        let dir = std::env::temp_dir().join("dlinfma-bench-gate-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        match content {
+            Some(c) => std::fs::write(&path, c).unwrap(),
+            None => {
+                std::fs::remove_file(&path).ok();
+            }
+        }
+        path.to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let lat: Vec<u64> = (1..=1000).collect();
+        assert_eq!(percentile_ns(&lat, 50.0), 500);
+        assert_eq!(percentile_ns(&lat, 95.0), 950);
+        assert_eq!(percentile_ns(&lat, 99.0), 990);
+        assert_eq!(percentile_ns(&lat, 99.9), 999);
+        assert_eq!(percentile_ns(&lat, 100.0), 1000);
+        assert_eq!(percentile_ns(&[42], 99.9), 42);
+        assert_eq!(percentile_ns(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond() {
+        let p = tmp(
+            "ok.json",
+            Some(r#"{"metric_ns": 1000, "calibration_ns": 1000}"#),
+        );
+        // Same ratio: passes.
+        let (ratio, base_ratio) = calibrated_gate(&p, "metric_ns", 500, 500, 1.3).unwrap();
+        assert!((ratio - 1.0).abs() < 1e-12 && (base_ratio - 1.0).abs() < 1e-12);
+        // 2x the baseline ratio against 1.3x tolerance: fails.
+        let err = calibrated_gate(&p, "metric_ns", 1000, 500, 1.3).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+    }
+
+    #[test]
+    fn gate_fails_fast_on_missing_baseline_file() {
+        let p = tmp("absent.json", None);
+        let err = calibrated_gate(&p, "metric_ns", 1, 1, 1.3).unwrap_err();
+        assert!(err.contains(&p), "{err}");
+        assert!(err.contains("regenerate"), "{err}");
+    }
+
+    #[test]
+    fn gate_fails_fast_on_zero_or_missing_metric() {
+        let zero = tmp(
+            "zero.json",
+            Some(r#"{"metric_ns": 0, "calibration_ns": 1000}"#),
+        );
+        let err = calibrated_gate(&zero, "metric_ns", 1, 1, 1.3).unwrap_err();
+        assert!(err.contains("`metric_ns` is 0"), "{err}");
+
+        let zero_calib = tmp(
+            "zero-calib.json",
+            Some(r#"{"metric_ns": 1000, "calibration_ns": 0}"#),
+        );
+        let err = calibrated_gate(&zero_calib, "metric_ns", 1, 1, 1.3).unwrap_err();
+        assert!(err.contains("`calibration_ns` is 0"), "{err}");
+
+        let missing = tmp("missing-key.json", Some(r#"{"calibration_ns": 1000}"#));
+        let err = calibrated_gate(&missing, "metric_ns", 1, 1, 1.3).unwrap_err();
+        assert!(err.contains("missing numeric `metric_ns`"), "{err}");
+
+        let garbage = tmp("garbage.json", Some("not json"));
+        let err = calibrated_gate(&garbage, "metric_ns", 1, 1, 1.3).unwrap_err();
+        assert!(err.contains("garbage.json"), "{err}");
+    }
+
+    #[test]
+    fn ensure_writable_names_the_flag() {
+        let err = ensure_writable("--out", "/nonexistent-dir-for-bench-test/x.json").unwrap_err();
+        assert!(err.contains("--out"), "{err}");
+        let ok = tmp("writable.json", Some("{}"));
+        ensure_writable("--out", &ok).unwrap();
+    }
+}

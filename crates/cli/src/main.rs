@@ -8,6 +8,7 @@
 //! dlinfma replay   --preset dowbj --scale tiny  --seed 1
 //! dlinfma health   --preset dowbj --scale tiny  --seed 1
 //! dlinfma geojson  --preset dowbj --scale tiny  --seed 1 --out map.geojson
+//! dlinfma serve    --preset dowbj --scale tiny  --seed 1 --port 8080
 //! ```
 //!
 //! Every command accepts `--trace-out FILE` to record a Chrome trace-event
@@ -64,6 +65,11 @@ impl Args {
                         "address",
                         "metrics-out",
                         "trace-out",
+                        "port",
+                        "day-delay-ms",
+                        "train-days",
+                        "serve-ms",
+                        "self-check",
                     ];
                     if !KNOWN.contains(&name) {
                         return Err(format!("unknown flag '--{name}'\n{}", usage()));
@@ -132,6 +138,34 @@ impl Args {
         }
         Ok(cfg)
     }
+
+    /// A numeric flag with a default; errors name the flag and the value.
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("bad --{name} '{v}': {e}")),
+        }
+    }
+
+    /// Fail-fast validation of every output path: each named file must be
+    /// creatable/writable *before* the run starts, so a typo'd directory
+    /// errors in milliseconds instead of silently discarding minutes of
+    /// replay when the file is finally opened at the end.
+    fn validate_output_flags(&self) -> Result<(), String> {
+        for flag in ["out", "metrics-out", "trace-out"] {
+            if let Some(path) = self.get(flag) {
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .map_err(|e| format!("cannot open --{flag} '{path}': {e}"))?;
+            }
+        }
+        Ok(())
+    }
 }
 
 fn usage() -> &'static str {
@@ -145,6 +179,9 @@ fn usage() -> &'static str {
      \x20 replay                   stream the dataset day by day through the engine\n\
      \x20 health                   replay the dataset and print ingest health monitors\n\
      \x20 geojson   --out FILE     train DLInfMA and export a GeoJSON map\n\
+     \x20 serve     [--port N]     HTTP lookups from snapshots under live ingest;\n\
+     \x20           [--day-delay-ms N] [--train-days N] [--serve-ms N] [--self-check N]\n\
+     \x20           endpoints: /lookup?address=N /batch?addresses=N,M /healthz /stats /shutdown\n\
      observability:\n\
      \x20 --verbose           print stage timings, spans and metrics to stderr\n\
      \x20 --metrics-out FILE  write spans/metrics/report/health as JSON\n\
@@ -197,6 +234,7 @@ fn emit_observability(
 
 fn run() -> Result<(), String> {
     let args = Args::parse()?;
+    args.validate_output_flags()?;
     let preset = args.preset()?;
     let scale = args.scale()?;
     let seed = args.seed()?;
@@ -340,6 +378,106 @@ fn run() -> Result<(), String> {
             std::fs::write(out, json).map_err(|e| format!("write {out}: {e}"))?;
             println!("wrote {out}");
         }
+        "serve" => {
+            let port: u16 = args.num("port", 0)?;
+            let day_delay_ms: u64 = args.num("day-delay-ms", 200)?;
+            let train_days: u32 = args.num("train-days", 2)?;
+            let serve_ms: u64 = args.num("serve-ms", 0)?;
+            let self_check: u64 = args.num("self-check", 0)?;
+            let (_, dataset) = generate(preset, scale, seed);
+            let mut engine = Engine::new(dataset.addresses.clone(), args.pipeline_cfg(preset)?);
+            let cell = std::sync::Arc::new(dlinfma_store::SnapshotCell::new());
+            let cfg = dlinfma_serve::ServeConfig {
+                addr: format!("127.0.0.1:{port}"),
+                ..dlinfma_serve::ServeConfig::default()
+            };
+            let mut server = dlinfma_serve::Server::start(cfg, std::sync::Arc::clone(&cell))
+                .map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
+            println!(
+                "serving on http://{} ({} addresses; model trains after day {train_days})",
+                server.addr(),
+                dataset.addresses.len()
+            );
+
+            // Background ingest: one epoch per replayed day. The engine
+            // moves into the service thread and comes back at join.
+            let batches: Vec<_> = dlinfma_synth::replay(&dataset).collect();
+            let n_days = batches.len();
+            let ingest = {
+                let cell = std::sync::Arc::clone(&cell);
+                let dataset = dataset.clone();
+                dlinfma_pool::spawn_service("cli-ingest", move || {
+                    let epoch = dlinfma_serve::replay_and_publish(
+                        &mut engine,
+                        batches,
+                        &cell,
+                        day_delay_ms,
+                        |engine, day| {
+                            if day == train_days {
+                                let n = dlinfma_serve::train_engine_model(engine, &dataset);
+                                println!("day {day}: trained model on {n} labelled samples");
+                            }
+                        },
+                    );
+                    (engine, epoch)
+                })
+            };
+
+            // Optional in-process smoke: issue lookups against ourselves
+            // while the ingest thread is live, proving reads don't block.
+            if self_check > 0 {
+                let mut client = dlinfma_serve::HttpClient::connect(server.addr())
+                    .map_err(|e| format!("self-check connect: {e}"))?;
+                let probe: Vec<String> = dataset
+                    .waybills
+                    .iter()
+                    .take(8)
+                    .map(|w| w.address.0.to_string())
+                    .collect();
+                let target = format!("/batch?addresses={}", probe.join(","));
+                let mut last_epoch = 0.0f64;
+                for i in 0..self_check {
+                    let (status, body) = client
+                        .get(&target)
+                        .map_err(|e| format!("self-check request {i}: {e}"))?;
+                    if status != 200 {
+                        return Err(format!("self-check request {i}: HTTP {status}"));
+                    }
+                    let epoch = body["epoch"]
+                        .as_f64()
+                        .ok_or("self-check: response missing epoch")?;
+                    if epoch < last_epoch {
+                        return Err(format!(
+                            "self-check: epoch went backwards ({last_epoch} -> {epoch})"
+                        ));
+                    }
+                    last_epoch = epoch;
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+                println!(
+                    "self-check: {self_check} epoch-consistent responses (last epoch {last_epoch})"
+                );
+            }
+
+            let (engine, final_epoch) = ingest.join().map_err(|_| "ingest thread panicked")?;
+            println!("ingest complete: {n_days} days, final epoch {final_epoch}");
+            if serve_ms > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(serve_ms));
+            } else if self_check == 0 {
+                println!("serving until GET /shutdown ...");
+                while !server.stop_requested() {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                }
+            }
+            server.shutdown();
+            let stats = server.stats();
+            println!(
+                "served {} requests ({} errors) over {} connections",
+                stats.requests, stats.errors, stats.connections
+            );
+            report = Some(engine.report().clone());
+            health = Some(engine.health_report());
+        }
         other => return Err(format!("unknown command '{other}'\n{}", usage())),
     }
     emit_observability(&args, report.as_ref(), health.as_ref())
@@ -405,6 +543,54 @@ mod tests {
         let a = parse(&["replay", "--trace-out", "t.json", "--metrics-out", "m.json"]).unwrap();
         assert_eq!(a.get("trace-out"), Some("t.json"));
         assert_eq!(a.get("metrics-out"), Some("m.json"));
+    }
+
+    #[test]
+    fn output_flags_fail_fast_and_name_the_flag() {
+        // A typo'd directory must error at validation time — before any
+        // work runs — and the message must say which flag is at fault.
+        for flag in ["out", "metrics-out", "trace-out"] {
+            let bad = format!("/nonexistent-dir-for-dlinfma-test/{flag}.json");
+            let a = parse(&["replay", &format!("--{flag}"), &bad]).unwrap();
+            let err = a.validate_output_flags().unwrap_err();
+            assert!(err.contains(&format!("--{flag}")), "{err}");
+            assert!(err.contains(&bad), "{err}");
+        }
+    }
+
+    #[test]
+    fn output_flag_validation_accepts_writable_paths() {
+        let dir = std::env::temp_dir().join("dlinfma-cli-flagcheck");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ok.json");
+        let path = path.to_str().unwrap();
+        let a = parse(&["replay", "--trace-out", path]).unwrap();
+        a.validate_output_flags().unwrap();
+        assert!(std::path::Path::new(path).exists(), "file pre-created");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn serve_flags_parse_with_defaults() {
+        let a = parse(&[
+            "serve",
+            "--port",
+            "8080",
+            "--day-delay-ms",
+            "5",
+            "--self-check",
+            "20",
+        ])
+        .unwrap();
+        assert_eq!(a.num::<u16>("port", 0).unwrap(), 8080);
+        assert_eq!(a.num::<u64>("day-delay-ms", 200).unwrap(), 5);
+        assert_eq!(a.num::<u32>("train-days", 2).unwrap(), 2); // default
+        assert_eq!(a.num::<u64>("self-check", 0).unwrap(), 20);
+        let err = parse(&["serve", "--port", "seventy"])
+            .unwrap()
+            .num::<u16>("port", 0)
+            .unwrap_err();
+        assert!(err.contains("--port 'seventy'"), "{err}");
     }
 
     #[test]

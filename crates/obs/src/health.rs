@@ -482,6 +482,74 @@ mod tests {
     }
 
     #[test]
+    fn spike_warmup_boundary_is_exact() {
+        // The warmup contract: a spike-worthy day at index `warmup_days - 1`
+        // must stay silent, the same day at index `warmup_days` must flag.
+        // Exercised at a non-default warmup so an off-by-one against the
+        // default can't hide.
+        for warmup_days in [1usize, 3, 5] {
+            let mut m = HealthMonitor::new(HealthThresholds {
+                warmup_days,
+                ..HealthThresholds::default()
+            });
+            for d in 0..warmup_days {
+                let row = m.observe(&day(d as u32, 10, 40, 120, 120), 100).clone();
+                assert!(
+                    row.flags.is_empty(),
+                    "warmup={warmup_days}: day {d} (< warmup) flagged: {:?}",
+                    row.flags
+                );
+            }
+            let row = m
+                .observe(&day(warmup_days as u32, 10, 40, 120, 120), 100)
+                .clone();
+            assert_eq!(
+                row.flags.iter().map(HealthFlag::kind).collect::<Vec<_>>(),
+                vec!["dirty-fraction-spike"],
+                "warmup={warmup_days}: day {warmup_days} (== warmup) must flag"
+            );
+        }
+    }
+
+    #[test]
+    fn slowdown_warmup_boundary_is_exact() {
+        // Same boundary for the throughput flag: a 100× slower day on index
+        // `warmup_days - 1` is suppressed; on index `warmup_days` it fires.
+        let warmup_days = 3usize;
+        let slow_day = |d: u32| IngestReport {
+            extraction_ns: 10 * 100_000_000,
+            ..day(d, 10, 40, 10, 120)
+        };
+        let mut m = HealthMonitor::new(HealthThresholds {
+            warmup_days,
+            ..HealthThresholds::default()
+        });
+        for d in 0..warmup_days - 1 {
+            m.observe(&day(d as u32, 10, 40, 10, 120), 100);
+        }
+        let boundary = m.observe(&slow_day(warmup_days as u32 - 1), 100).clone();
+        assert!(
+            boundary.flags.is_empty(),
+            "day warmup-1 must stay silent: {:?}",
+            boundary.flags
+        );
+
+        let mut m = HealthMonitor::new(HealthThresholds {
+            warmup_days,
+            ..HealthThresholds::default()
+        });
+        for d in 0..warmup_days {
+            m.observe(&day(d as u32, 10, 40, 10, 120), 100);
+        }
+        let row = m.observe(&slow_day(warmup_days as u32), 100).clone();
+        assert!(
+            row.flags.iter().any(|f| f.kind() == "ingest-slowdown"),
+            "day == warmup must flag the slowdown: {:?}",
+            row.flags
+        );
+    }
+
+    #[test]
     fn funnel_collapse_and_rejects_flag() {
         let mut m = HealthMonitor::default();
         let zero_stay = m.observe(&day(0, 10, 0, 5, 120), 0).clone();

@@ -16,6 +16,13 @@ pub enum JsonValue {
     Bool(bool),
     /// A number; non-finite values render as `null`.
     Num(f64),
+    /// An integer nanosecond quantity rendered as *exact* decimal
+    /// microseconds (`1500` → `1.500`). Chrome's trace format wants `ts` /
+    /// `dur` in microseconds, but routing a `u64` nanosecond clock through
+    /// [`JsonValue::Num`]'s `f64` silently rounds once a capture crosses
+    /// 2^53 ns (~104 days of uptime); this variant formats digits from the
+    /// integer instead, so no width is ever lost.
+    Nanos(u64),
     /// A string.
     Str(String),
     /// An array.
@@ -45,6 +52,7 @@ impl JsonValue {
             JsonValue::Null => out.push_str("null"),
             JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             JsonValue::Num(n) => write_num(out, *n),
+            JsonValue::Nanos(ns) => write_nanos_as_micros(out, *ns),
             JsonValue::Str(s) => write_str(out, s),
             JsonValue::Arr(items) => {
                 out.push('[');
@@ -122,10 +130,13 @@ impl JsonValue {
         }
     }
 
-    /// The number if `self` is numeric.
+    /// The number if `self` is numeric. For [`JsonValue::Nanos`] this is
+    /// the microsecond value the variant renders as, rounded to the nearest
+    /// representable `f64` — fine for arithmetic, lossy past 2^53.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             JsonValue::Num(n) => Some(*n),
+            JsonValue::Nanos(ns) => Some(*ns as f64 / 1_000.0),
             _ => None,
         }
     }
@@ -469,6 +480,21 @@ fn write_num(out: &mut String, n: f64) {
     }
 }
 
+/// Formats integer nanoseconds as exact decimal microseconds, entirely in
+/// integer arithmetic: `1500` → `1.5`, `1501` → `1.501`, `2_000` → `2`.
+/// A sub-microsecond remainder keeps its (trimmed) three digits so the
+/// round-trip `µs * 1000` reproduces the original nanosecond count.
+fn write_nanos_as_micros(out: &mut String, ns: u64) {
+    let micros = ns / 1_000;
+    let rem = ns % 1_000;
+    if rem == 0 {
+        out.push_str(&format!("{micros}"));
+    } else {
+        let frac = format!("{rem:03}");
+        out.push_str(&format!("{micros}.{}", frac.trim_end_matches('0')));
+    }
+}
+
 fn write_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
@@ -488,6 +514,29 @@ fn write_str(out: &mut String, s: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn nanos_render_exact_microseconds() {
+        assert_eq!(JsonValue::Nanos(0).render(), "0");
+        assert_eq!(JsonValue::Nanos(1_500).render(), "1.5");
+        assert_eq!(JsonValue::Nanos(1_501).render(), "1.501");
+        assert_eq!(JsonValue::Nanos(2_000).render(), "2");
+        assert_eq!(JsonValue::Nanos(7).render(), "0.007");
+        assert_eq!(JsonValue::Nanos(950).render(), "0.95");
+    }
+
+    #[test]
+    fn nanos_survive_beyond_f64_integer_range() {
+        // 2^53 + 1 ns is the first count an f64 nanosecond clock cannot
+        // hold; the integer formatter must keep every digit.
+        let ns = (1u64 << 53) + 1;
+        assert_eq!(JsonValue::Nanos(ns).render(), "9007199254740.993");
+        // The old `ns as f64 / 1000.0` path rounds the same value away.
+        let lossy = format!("{}", ns as f64 / 1_000.0);
+        assert_ne!(lossy, "9007199254740.993");
+        // Largest possible capture timestamp stays exact too.
+        assert_eq!(JsonValue::Nanos(u64::MAX).render(), "18446744073709551.615");
+    }
 
     #[test]
     fn renders_scalars() {

@@ -325,11 +325,13 @@ pub fn chrome_trace_json(capture: &TraceCapture) -> JsonValue {
             ("ph".into(), JsonValue::Str(phase_str(e.phase).into())),
             ("pid".into(), JsonValue::Num(1.0)),
             ("tid".into(), JsonValue::Num(e.thread as f64)),
-            ("ts".into(), JsonValue::Num(e.ts_ns as f64 / 1000.0)),
+            // Exact-nanosecond variant: `f64` microseconds would silently
+            // round timestamps once a capture crosses 2^53 ns of uptime.
+            ("ts".into(), JsonValue::Nanos(e.ts_ns)),
         ];
         match e.phase {
             TracePhase::Complete => {
-                obj.push(("dur".into(), JsonValue::Num(e.dur_ns as f64 / 1000.0)));
+                obj.push(("dur".into(), JsonValue::Nanos(e.dur_ns)));
             }
             TracePhase::Instant => {
                 obj.push(("s".into(), JsonValue::Str("t".into())));
@@ -562,6 +564,58 @@ mod tests {
         assert!(summary.names.contains("a") && summary.names.contains("count"));
         assert!(text.contains("\"thread_name\""));
         assert!(text.contains("dlinfma") || text.contains("thread-0"));
+    }
+
+    #[test]
+    fn export_escapes_hostile_names_and_thread_labels() {
+        // Event names come from the registry in production, but the emitter
+        // must not rely on that: a name or OS thread label containing
+        // quotes, backslashes or control characters has to render as valid
+        // JSON and survive a parse round-trip byte-for-byte.
+        let hostile: &'static str = "evil\"name\\with\n\u{1}ctl";
+        let mut c = capture_of(vec![ev(hostile, TracePhase::Instant, 10, 0)]);
+        c.threads[0].1 = "label \"quoted\" \\ back\r\nslash\u{7}".to_string();
+        let text = chrome_trace(&c);
+        let doc = JsonValue::parse(&text).expect("escaped output parses");
+        let events = doc["traceEvents"].as_array().unwrap();
+        let meta = &events[0];
+        assert_eq!(meta["ph"].as_str(), Some("M"));
+        assert_eq!(
+            meta["args"]["name"].as_str(),
+            Some("label \"quoted\" \\ back\r\nslash\u{7}")
+        );
+        assert_eq!(events[1]["name"].as_str(), Some(hostile));
+        validate_chrome_trace(&text).expect("valid trace");
+    }
+
+    #[test]
+    fn export_keeps_nanosecond_precision_past_f64_range() {
+        // A capture taken after ~104 days of uptime crosses 2^53 ns; `ts`
+        // and `dur` must still carry exact nanosecond-resolution decimals.
+        let base = (1u64 << 53) + 1; // not representable as f64
+        let mut c = capture_of(vec![ev("a", TracePhase::Instant, base, 0)]);
+        c.events.push(TraceEvent {
+            name: "x",
+            phase: TracePhase::Complete,
+            ts_ns: base + 2,
+            dur_ns: 1_000_001,
+            value: 0.0,
+            thread: 0,
+        });
+        let text = chrome_trace(&c);
+        assert!(
+            text.contains("\"ts\":9007199254740.993"),
+            "instant ts lost precision: {text}"
+        );
+        assert!(
+            text.contains("\"ts\":9007199254740.995"),
+            "complete ts lost precision: {text}"
+        );
+        assert!(
+            text.contains("\"dur\":1000.001"),
+            "dur lost precision: {text}"
+        );
+        validate_chrome_trace(&text).expect("valid trace");
     }
 
     #[test]

@@ -582,6 +582,25 @@ impl Pool {
     }
 }
 
+/// Spawns a named, long-lived OS service thread and returns its handle.
+///
+/// Pool workers are the wrong executor for blocking, open-ended work — an
+/// accept loop or a background ingest would starve a deque slot for the
+/// process lifetime. Service threads live outside the pool; this helper is
+/// the one sanctioned spawn site so they all carry a `dlinfma-svc-*` name
+/// (which trace exports and debuggers surface) instead of anonymous
+/// `std::thread::spawn` calls scattered across crates.
+pub fn spawn_service<T, F>(name: &str, f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(format!("dlinfma-svc-{name}"))
+        .spawn(f)
+        .unwrap_or_else(|e| panic!("spawning service thread {name}: {e}"))
+}
+
 impl Drop for Pool {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
@@ -618,6 +637,33 @@ mod tests {
             }
         });
         assert_eq!(log.into_inner().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn new_zero_threads_clamps_to_one_inline_executor() {
+        // `Pool::new(0)` is documented to clamp to a single inline
+        // executor rather than panic or deadlock; pin that contract.
+        let pool = Pool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let log = Mutex::new(Vec::new());
+        pool.scope(|s| {
+            for i in 0..3 {
+                let log = &log;
+                s.spawn(move || log.lock().unwrap().push(i));
+            }
+        });
+        assert_eq!(log.into_inner().unwrap(), vec![0, 1, 2]);
+        assert_eq!(pool.par_map(&[1u64, 2, 3], |&x| x * 2), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn spawn_service_names_thread_and_returns_value() {
+        let h = spawn_service("test", || {
+            (std::thread::current().name().map(str::to_owned), 21u32 * 2)
+        });
+        let (name, v) = h.join().unwrap();
+        assert_eq!(name.as_deref(), Some("dlinfma-svc-test"));
+        assert_eq!(v, 42);
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! Minimal HTTP/1.1 framing shared by the server, the `bench_serve` load
+//! generator, the CLI self-check and the tests.
+//!
+//! Implements just enough of RFC 9112 for keep-alive `GET` exchanges with
+//! JSON bodies — the workspace builds against an offline registry, so no
+//! external HTTP crate is available (or needed).
+
+use dlinfma_obs::JsonValue;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One parsed request head (bodies are ignored; the API is `GET`-only).
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Path without the query string, e.g. `/lookup`.
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// True when the client asked for `Connection: close` (or spoke
+    /// HTTP/1.0 without `keep-alive`).
+    pub close: bool,
+}
+
+impl Request {
+    /// First query value for `key`, if present.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Splits a request target into path and query pairs. No percent-decoding:
+/// the API's values are numeric ids and comma lists.
+fn split_target(target: &str) -> (String, Vec<(String, String)>) {
+    match target.split_once('?') {
+        None => (target.to_string(), Vec::new()),
+        Some((path, qs)) => {
+            let query = qs
+                .split('&')
+                .filter(|kv| !kv.is_empty())
+                .map(|kv| match kv.split_once('=') {
+                    Some((k, v)) => (k.to_string(), v.to_string()),
+                    None => (kv.to_string(), String::new()),
+                })
+                .collect();
+            (path.to_string(), query)
+        }
+    }
+}
+
+/// Reads one request head off the connection.
+///
+/// `Ok(None)` means the peer closed cleanly between requests. Read-timeout
+/// errors (`WouldBlock` / `TimedOut`) bubble up so the connection loop can
+/// poll its stop flag and come back.
+pub(crate) fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Request>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m.to_string(), t.to_string(), v.to_string()),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed request line: {line:?}"),
+            ))
+        }
+    };
+    let mut close = version == "HTTP/1.0";
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Ok(None);
+        }
+        let header = header.trim();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = header.split_once(':') {
+            if k.trim().eq_ignore_ascii_case("connection") {
+                let v = v.trim();
+                if v.eq_ignore_ascii_case("close") {
+                    close = true;
+                } else if v.eq_ignore_ascii_case("keep-alive") {
+                    close = false;
+                }
+            }
+        }
+    }
+    let (path, query) = split_target(&target);
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        close,
+    }))
+}
+
+/// Writes a complete JSON response with `Content-Length` framing.
+pub(crate) fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A keep-alive HTTP/1.1 client speaking the server's JSON dialect.
+///
+/// One client owns one TCP connection; `get` pipelines request after
+/// request over it, which is what the closed-loop load generator needs.
+#[derive(Debug)]
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+}
+
+impl HttpClient {
+    /// Connects to a server address (e.g. the value of [`crate::Server::addr`]).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Issues `GET <target>` and returns `(status, parsed JSON body)`.
+    pub fn get(&mut self, target: &str) -> io::Result<(u16, JsonValue)> {
+        {
+            let stream = self.reader.get_mut();
+            let req =
+                format!("GET {target} HTTP/1.1\r\nHost: dlinfma\r\nConnection: keep-alive\r\n\r\n");
+            stream.write_all(req.as_bytes())?;
+            stream.flush()?;
+        }
+        let mut status_line = String::new();
+        if self.reader.read_line(&mut status_line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed connection before responding",
+            ));
+        }
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed status line: {status_line:?}"),
+                )
+            })?;
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            if self.reader.read_line(&mut header)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed inside response headers",
+                ));
+            }
+            let header = header.trim();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = header.split_once(':') {
+                if k.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = v.trim().parse().map_err(|e| {
+                        io::Error::new(io::ErrorKind::InvalidData, format!("content-length: {e}"))
+                    })?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        let text = String::from_utf8(body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("utf8 body: {e}")))?;
+        let json = JsonValue::parse(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("json body: {e}")))?;
+        Ok((status, json))
+    }
+}

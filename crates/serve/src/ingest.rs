@@ -1,0 +1,107 @@
+//! The background ingest side of the serving layer: replay days through an
+//! [`Engine`] and publish an immutable snapshot at every materialize
+//! boundary.
+
+use dlinfma_core::{AddressSample, Engine, LocMatcher};
+use dlinfma_geo::Point;
+use dlinfma_obs as obs;
+use dlinfma_store::{LocationSnapshot, SnapshotCell};
+use dlinfma_synth::{spatial_split, AddressId, Dataset, TripBatch};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Labels the engine's materialized samples against the dataset's ground
+/// truth, trains a `LocMatcher` on a spatial split, and installs it with
+/// [`Engine::set_model`] so [`Engine::infer`] (and therefore address-level
+/// serving) comes online. Returns the number of labelled samples trained
+/// on.
+///
+/// Labelling mirrors the batch pipeline's `label_with`: each sample's
+/// label is the candidate nearest the true delivery location, skipping
+/// non-finite distances.
+pub fn train_engine_model(engine: &mut Engine, dataset: &Dataset) -> usize {
+    let truths: HashMap<AddressId, Point> = dataset
+        .addresses
+        .iter()
+        .map(|a| (a.id, a.true_delivery_location))
+        .collect();
+    let mut samples: HashMap<AddressId, AddressSample> =
+        engine.samples().map(|s| (s.address, s.clone())).collect();
+    let mut labelled = 0usize;
+    for sample in samples.values_mut() {
+        let Some(truth) = truths.get(&sample.address) else {
+            continue;
+        };
+        let distances: Vec<f64> = sample
+            .candidates
+            .iter()
+            .map(|c| engine.pool().candidate(*c).pos.distance(truth))
+            .collect();
+        sample.label = distances
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_finite())
+            .min_by(|(_, a), (_, b)| a.total_cmp(b))
+            .map(|(i, _)| i);
+        sample.truth_distances = Some(distances);
+        if sample.label.is_some() {
+            labelled += 1;
+        }
+    }
+    let split = spatial_split(dataset, 0.6, 0.2);
+    let collect = |ids: &[AddressId]| -> Vec<AddressSample> {
+        ids.iter()
+            .filter_map(|a| samples.get(a))
+            .filter(|s| s.label.is_some())
+            .cloned()
+            .collect()
+    };
+    let train = collect(&split.train);
+    let val = collect(&split.val);
+    let mut model = LocMatcher::new(engine.config().model);
+    model.train_pooled(&train, &val, engine.executor());
+    engine.set_model(model);
+    labelled
+}
+
+/// Builds a snapshot from the engine's current state and publishes it.
+/// The build happens entirely outside the cell's lock — readers keep
+/// answering from the previous epoch until the O(1) swap. Returns the
+/// published epoch.
+pub fn publish_snapshot(engine: &Engine, cell: &SnapshotCell, days_ingested: u32) -> u64 {
+    let _span = obs::trace_span(obs::names::SERVE_PUBLISH);
+    let snap = LocationSnapshot::from_engine(engine, days_ingested);
+    let epoch = cell.publish(snap);
+    obs::trace_counter(obs::names::SERVE_EPOCH, epoch as f64);
+    obs::gauge(obs::names::SERVE_EPOCH).set(epoch as f64);
+    epoch
+}
+
+/// The background replay loop: for each batch, ingest, run the caller's
+/// hook (e.g. train the model once enough days are in), then build and
+/// publish a fresh snapshot. Sleeps `day_delay_ms` between days to emulate
+/// a live feed. Returns the last epoch published (0 when `batches` was
+/// empty).
+pub fn replay_and_publish<I>(
+    engine: &mut Engine,
+    batches: I,
+    cell: &SnapshotCell,
+    day_delay_ms: u64,
+    mut after_ingest: impl FnMut(&mut Engine, u32),
+) -> u64
+where
+    I: IntoIterator<Item = TripBatch>,
+{
+    let mut days = 0u32;
+    let mut epoch = 0u64;
+    for batch in batches {
+        engine.ingest(&batch);
+        days += 1;
+        after_ingest(engine, days);
+        epoch = publish_snapshot(engine, cell, days);
+        if day_delay_ms > 0 {
+            std::thread::sleep(Duration::from_millis(day_delay_ms));
+        }
+    }
+    epoch
+}

@@ -5,6 +5,8 @@
 //!
 //! * [`kv`] — the concurrent address→location store with the deployed
 //!   fallback chain (address → building → geocode);
+//! * [`snapshot`] — immutable epoch-tagged snapshots of the same tables,
+//!   published via `Arc` swap for the always-on serving layer;
 //! * [`route`] — Application 1: TSP route planning over inferred locations;
 //! * [`availability`] — Application 2: customer availability inference from
 //!   corrected delivery times.
@@ -12,6 +14,7 @@
 pub mod availability;
 pub mod kv;
 pub mod route;
+pub mod snapshot;
 
 pub use availability::{
     availability_profiles, corrected_delivery_time, weekly_availability, AvailabilityProfile,
@@ -19,3 +22,4 @@ pub use availability::{
 };
 pub use kv::{DeliveryLocationStore, QuerySource};
 pub use route::{plan_route, Route};
+pub use snapshot::{LocationSnapshot, SnapshotCell};

@@ -59,6 +59,15 @@ run cargo run -p xtask "${CARGO_FLAGS[@]}" -- trace-check TRACE_replay.json
 # tolerance that absorbs shared-runner scheduler noise without hiding a
 # real slowdown (see GATE_TOLERANCE in bench_pipeline.rs).
 run cargo run --release -p dlinfma-bench "${CARGO_FLAGS[@]}" --bin bench_pipeline -- BENCH_pipeline.json --gate BENCH_baseline.json
+# Serving smoke + latency artifact: boots the HTTP server, replays the
+# Tiny world through the background ingest thread, and hammers it with
+# closed-loop clients plus an open-loop arrival stream while epochs are
+# being published live. Every response is checked for epoch consistency
+# (a backwards epoch or non-OK status fails the run) and the server must
+# shut down cleanly. The calibrated mean-latency gate is a loose 3x —
+# a smoke alarm for order-of-magnitude serving regressions, not a
+# microbenchmark (see SERVE_GATE_TOLERANCE in bench_serve.rs).
+run cargo run --release -p dlinfma-bench "${CARGO_FLAGS[@]}" --bin bench_serve -- BENCH_serve.json --gate BENCH_serve_baseline.json
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets "${CARGO_FLAGS[@]}" -- -D warnings
 
