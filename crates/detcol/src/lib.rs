@@ -1,0 +1,314 @@
+//! Deterministic ordered collections.
+//!
+//! The repo's load-bearing invariant is bit-for-bit determinism: the same
+//! trips must produce the same artifacts at any worker count, any batch
+//! split, and (for the sharded engine) any shard count. `std::collections::
+//! HashMap`/`HashSet` break that structurally — their iteration order is
+//! randomized per process — so any hash iteration whose order can reach an
+//! artifact is a latent parity bug that no fixed-seed test reliably
+//! catches.
+//!
+//! [`OrdMap`] and [`OrdSet`] are thin wrappers over `BTreeMap`/`BTreeSet`
+//! whose entire contract is: **iteration is strictly ascending by key, and
+//! therefore a pure function of the contents** — never of insertion order,
+//! hasher seed, process, or platform. The xtask determinism auditor (rules
+//! L9/L10, see `DESIGN.md`) steers every iterated hash collection in the
+//! workspace onto these types; hash containers stay acceptable only for
+//! lookup-only tables, documented with a reasoned `// lint: allow`.
+//!
+//! The wrappers deliberately stay *thin*: they deref to the underlying
+//! BTree types, so every std method is available, and swapping the backing
+//! store later (e.g. for an adaptive radix tree) is a one-crate change.
+//! Construction mirrors the hash types (`new`, `from_iter`, `Extend`,
+//! `From<[(K, V); N]>`), so a migration is usually just a type rename.
+
+use std::collections::{btree_map, btree_set, BTreeMap, BTreeSet};
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// An ordered map with deterministic (strictly ascending-by-key) iteration.
+///
+/// See the crate docs for why this exists. All read/write methods come from
+/// the `Deref` to [`BTreeMap`].
+pub struct OrdMap<K, V>(BTreeMap<K, V>);
+
+/// An ordered set with deterministic (strictly ascending) iteration.
+///
+/// See the crate docs for why this exists. All read/write methods come from
+/// the `Deref` to [`BTreeSet`].
+pub struct OrdSet<T>(BTreeSet<T>);
+
+impl<K: Ord, V> OrdMap<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self(BTreeMap::new())
+    }
+
+    /// The backing `BTreeMap`, by value.
+    pub fn into_inner(self) -> BTreeMap<K, V> {
+        self.0
+    }
+}
+
+impl<T: Ord> OrdSet<T> {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self(BTreeSet::new())
+    }
+
+    /// The backing `BTreeSet`, by value.
+    pub fn into_inner(self) -> BTreeSet<T> {
+        self.0
+    }
+}
+
+impl<K, V> Deref for OrdMap<K, V> {
+    type Target = BTreeMap<K, V>;
+    fn deref(&self) -> &BTreeMap<K, V> {
+        &self.0
+    }
+}
+
+impl<K, V> DerefMut for OrdMap<K, V> {
+    fn deref_mut(&mut self) -> &mut BTreeMap<K, V> {
+        &mut self.0
+    }
+}
+
+impl<T> Deref for OrdSet<T> {
+    type Target = BTreeSet<T>;
+    fn deref(&self) -> &BTreeSet<T> {
+        &self.0
+    }
+}
+
+impl<T> DerefMut for OrdSet<T> {
+    fn deref_mut(&mut self) -> &mut BTreeSet<T> {
+        &mut self.0
+    }
+}
+
+impl<K: Ord, V> Default for OrdMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Ord> Default for OrdSet<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Clone, V: Clone> Clone for OrdMap<K, V> {
+    fn clone(&self) -> Self {
+        Self(self.0.clone())
+    }
+}
+
+impl<T: Clone> Clone for OrdSet<T> {
+    fn clone(&self) -> Self {
+        Self(self.0.clone())
+    }
+}
+
+impl<K: fmt::Debug, V: fmt::Debug> fmt::Debug for OrdMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for OrdSet<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl<K: PartialEq, V: PartialEq> PartialEq for OrdMap<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl<K: Eq, V: Eq> Eq for OrdMap<K, V> {}
+
+impl<T: PartialEq> PartialEq for OrdSet<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl<T: Eq> Eq for OrdSet<T> {}
+
+impl<K: Ord, V> FromIterator<(K, V)> for OrdMap<K, V> {
+    /// Later entries win on duplicate keys, matching `HashMap::from_iter`.
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        Self(BTreeMap::from_iter(iter))
+    }
+}
+
+impl<T: Ord> FromIterator<T> for OrdSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Self(BTreeSet::from_iter(iter))
+    }
+}
+
+impl<K: Ord, V, const N: usize> From<[(K, V); N]> for OrdMap<K, V> {
+    fn from(arr: [(K, V); N]) -> Self {
+        Self(BTreeMap::from(arr))
+    }
+}
+
+impl<T: Ord, const N: usize> From<[T; N]> for OrdSet<T> {
+    fn from(arr: [T; N]) -> Self {
+        Self(BTreeSet::from(arr))
+    }
+}
+
+impl<K: Ord, V> From<BTreeMap<K, V>> for OrdMap<K, V> {
+    fn from(inner: BTreeMap<K, V>) -> Self {
+        Self(inner)
+    }
+}
+
+impl<T: Ord> From<BTreeSet<T>> for OrdSet<T> {
+    fn from(inner: BTreeSet<T>) -> Self {
+        Self(inner)
+    }
+}
+
+impl<K: Ord, V> Extend<(K, V)> for OrdMap<K, V> {
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        self.0.extend(iter);
+    }
+}
+
+impl<T: Ord> Extend<T> for OrdSet<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        self.0.extend(iter);
+    }
+}
+
+impl<K, V> IntoIterator for OrdMap<K, V> {
+    type Item = (K, V);
+    type IntoIter = btree_map::IntoIter<K, V>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl<'a, K, V> IntoIterator for &'a OrdMap<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = btree_map::Iter<'a, K, V>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl<'a, K, V> IntoIterator for &'a mut OrdMap<K, V> {
+    type Item = (&'a K, &'a mut V);
+    type IntoIter = btree_map::IterMut<'a, K, V>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter_mut()
+    }
+}
+
+impl<T> IntoIterator for OrdSet<T> {
+    type Item = T;
+    type IntoIter = btree_set::IntoIter<T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a OrdSet<T> {
+    type Item = &'a T;
+    type IntoIter = btree_set::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_iteration_is_a_pure_function_of_contents() {
+        // Two insertion orders, one drain-reinsert cycle: identical walks.
+        let mut a: OrdMap<u32, &str> = OrdMap::new();
+        for k in [9u32, 1, 5, 3, 7] {
+            a.insert(k, "x");
+        }
+        let b: OrdMap<u32, &str> = [3u32, 7, 9, 5, 1].into_iter().map(|k| (k, "x")).collect();
+        assert_eq!(a, b);
+        let ka: Vec<u32> = a.keys().copied().collect();
+        let kb: Vec<u32> = b.keys().copied().collect();
+        assert_eq!(ka, kb);
+        assert_eq!(ka, vec![1, 3, 5, 7, 9], "ascending by key");
+    }
+
+    #[test]
+    fn set_iteration_is_sorted_regardless_of_insertion_order() {
+        let s: OrdSet<i64> = [5i64, -2, 40, 0, -2].into_iter().collect();
+        let walked: Vec<i64> = s.iter().copied().collect();
+        assert_eq!(walked, vec![-2, 0, 5, 40]);
+        assert_eq!(s.len(), 4, "duplicates collapse");
+    }
+
+    #[test]
+    fn from_iter_keeps_the_last_value_per_key_like_hashmap() {
+        let m: OrdMap<u8, u8> = [(1u8, 10u8), (2, 20), (1, 11)].into_iter().collect();
+        assert_eq!(m.get(&1), Some(&11));
+        assert_eq!(m.get(&2), Some(&20));
+    }
+
+    #[test]
+    fn deref_exposes_the_full_btree_api() {
+        let mut m: OrdMap<u32, u32> = OrdMap::new();
+        m.insert(2, 4);
+        m.entry(3).or_insert(9);
+        m.retain(|&k, _| k != 2);
+        assert_eq!(m.iter().next(), Some((&3, &9)));
+        assert!(m.contains_key(&3));
+
+        let mut s: OrdSet<u32> = OrdSet::new();
+        s.insert(4);
+        s.insert(1);
+        assert_eq!(s.first(), Some(&1));
+        assert_eq!(s.range(2..).next(), Some(&4));
+    }
+
+    #[test]
+    fn loops_and_extend_work_like_the_std_types() {
+        let mut m: OrdMap<u32, u32> = OrdMap::new();
+        m.extend([(2u32, 1u32), (1, 1)]);
+        let mut seen = Vec::new();
+        for (k, v) in &m {
+            seen.push((*k, *v));
+        }
+        assert_eq!(seen, vec![(1, 1), (2, 1)]);
+        for (_, v) in &mut m {
+            *v += 1;
+        }
+        let owned: Vec<(u32, u32)> = m.into_iter().collect();
+        assert_eq!(owned, vec![(1, 2), (2, 2)]);
+
+        let mut s: OrdSet<u32> = OrdSet::new();
+        s.extend([3u32, 1]);
+        let walked: Vec<u32> = (&s).into_iter().copied().collect();
+        assert_eq!(walked, vec![1, 3]);
+        assert_eq!(s.into_iter().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn into_inner_and_from_round_trip() {
+        let m: OrdMap<u8, u8> = [(1u8, 2u8)].into();
+        let inner = m.into_inner();
+        let back = OrdMap::from(inner);
+        assert_eq!(back.get(&1), Some(&2));
+
+        let s: OrdSet<u8> = [7u8].into();
+        assert!(OrdSet::from(s.into_inner()).contains(&7));
+    }
+}
