@@ -15,10 +15,10 @@
 
 use crate::staypoints::TripStays;
 use dlinfma_cluster::{merge_weighted, WeightedPoint};
+use dlinfma_detcol::OrdSet;
 use dlinfma_geo::{KdTree, Point};
 use dlinfma_pool::Pool;
 use dlinfma_synth::{CourierId, Dataset, TripId};
-use std::collections::HashSet;
 
 /// Identifier of a location candidate within a [`CandidatePool`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -119,7 +119,7 @@ pub(crate) struct Agg {
     pub(crate) pos: Point,
     pub(crate) weight: usize,
     pub(crate) total_duration_s: f64,
-    pub(crate) couriers: HashSet<u32>,
+    pub(crate) couriers: OrdSet<u32>,
     pub(crate) hist: [u32; TIME_BINS],
 }
 
@@ -132,7 +132,7 @@ impl Agg {
     ) -> Self {
         let mut hist = [0u32; TIME_BINS];
         hist[hour_bin] += 1;
-        let mut couriers = HashSet::new();
+        let mut couriers = OrdSet::new();
         couriers.insert(courier.0);
         Self {
             pos,

@@ -29,6 +29,7 @@ use crate::locmatcher::LocMatcher;
 use crate::pipeline::DlInfMaConfig;
 use crate::stages::{PoolState, RawSample, RetrievalIndex, SampleTable, StayPointSet, StayRec};
 use crate::staypoints::extract_batch_with_stats;
+use dlinfma_detcol::OrdMap;
 use dlinfma_geo::Point;
 use dlinfma_obs::{
     self as obs, names, stage, HealthMonitor, HealthReport, IngestReport, PipelineReport,
@@ -69,7 +70,7 @@ pub struct Engine {
     trips_by_key: HashMap<usize, HashSet<TripId>>,
     // Materialized artifacts, refreshed at the end of every ingest.
     pool: CandidatePool,
-    samples: HashMap<AddressId, AddressSample>,
+    samples: OrdMap<AddressId, AddressSample>,
     model: Option<LocMatcher>,
     report: PipelineReport,
     ns: StageNs,
@@ -108,7 +109,7 @@ impl Engine {
             visits_len: 0,
             trips_by_key: HashMap::new(),
             pool: CandidatePool::from_parts(Vec::new(), Vec::new()),
-            samples: HashMap::new(),
+            samples: OrdMap::new(),
             model: None,
             report: PipelineReport::new(),
             ns: StageNs::default(),
@@ -360,7 +361,7 @@ impl Engine {
     fn materialize(&mut self) {
         let mut snap = self.pool_state.snapshot();
         snap.sort_unstable_by_key(|(k, _, _)| *k);
-        let key_to_id: HashMap<usize, u32> = snap
+        let key_to_id: OrdMap<usize, u32> = snap
             .iter()
             .enumerate()
             .map(|(i, (k, _, _))| (*k, i as u32))
@@ -543,7 +544,7 @@ impl Engine {
         self.samples.get(&addr)
     }
 
-    /// All materialized samples (unordered).
+    /// All materialized samples, ascending by address id.
     pub fn samples(&self) -> impl Iterator<Item = &AddressSample> {
         self.samples.values()
     }
@@ -601,7 +602,7 @@ impl Engine {
     ) -> (
         DlInfMaConfig,
         CandidatePool,
-        HashMap<AddressId, AddressSample>,
+        OrdMap<AddressId, AddressSample>,
         Option<LocMatcher>,
         PipelineReport,
         Arc<Pool>,

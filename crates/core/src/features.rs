@@ -16,6 +16,7 @@
 
 use crate::candidates::{CandidateId, CandidatePool, TIME_BINS};
 use crate::retrieval::{retrieve_candidates, AddressEvidence};
+use dlinfma_detcol::OrdSet;
 use dlinfma_geo::Point;
 use dlinfma_synth::{AddressId, BuildingId, Dataset, TripId};
 use std::collections::{HashMap, HashSet};
@@ -224,7 +225,7 @@ impl<'a> FeatureExtractor<'a> {
 
     /// Trip coverage of candidate `cand` for the trips in `addr_trips`
     /// (Equation 1).
-    fn trip_coverage(&self, cand: CandidateId, addr_trips: &HashSet<TripId>) -> f64 {
+    fn trip_coverage(&self, cand: CandidateId, addr_trips: &OrdSet<TripId>) -> f64 {
         if addr_trips.is_empty() {
             return 0.0;
         }
@@ -260,7 +261,7 @@ impl<'a> FeatureExtractor<'a> {
         &self,
         address: AddressId,
         cand: CandidateId,
-        addr_trips: &HashSet<TripId>,
+        addr_trips: &OrdSet<TripId>,
     ) -> CandidateFeatures {
         let c = self.pool.candidate(cand);
         let geocode = self.dataset.address(address).geocode;
@@ -300,7 +301,7 @@ impl<'a> FeatureExtractor<'a> {
         evidence: &AddressEvidence,
         candidates: Vec<CandidateId>,
     ) -> AddressSample {
-        let addr_trips: HashSet<TripId> = evidence.trips.iter().map(|&(t, _)| t).collect();
+        let addr_trips: OrdSet<TripId> = evidence.trips.iter().map(|&(t, _)| t).collect();
         let features = candidates
             .iter()
             .map(|&c| self.candidate_features(evidence.address, c, &addr_trips))
@@ -382,7 +383,7 @@ mod tests {
             .find(|e| e.trips.len() >= 2)
             .expect("some address has multiple deliveries");
         let s = fx.sample(e);
-        let addr_trips: HashSet<TripId> = e.trips.iter().map(|&(t, _)| t).collect();
+        let addr_trips: OrdSet<TripId> = e.trips.iter().map(|&(t, _)| t).collect();
         for (c, f) in s.candidates.iter().zip(&s.features) {
             let manual = addr_trips
                 .iter()

@@ -24,12 +24,12 @@ use crate::engine::Engine;
 use crate::features::{AddressSample, FeatureConfig};
 use crate::locmatcher::{LocMatcher, LocMatcherConfig, TrainReport};
 use crate::staypoints::ExtractionConfig;
+use dlinfma_detcol::OrdMap;
 use dlinfma_geo::Point;
 use dlinfma_obs::{self as obs, stage, PipelineReport};
 use dlinfma_params as params;
 use dlinfma_pool::Pool;
 use dlinfma_synth::{AddressId, Dataset, TripBatch};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Which clustering backs the candidate pool.
@@ -92,7 +92,7 @@ impl DlInfMaConfig {
 pub struct DlInfMa {
     cfg: DlInfMaConfig,
     pool: CandidatePool,
-    samples: HashMap<AddressId, AddressSample>,
+    samples: OrdMap<AddressId, AddressSample>,
     model: Option<LocMatcher>,
     report: PipelineReport,
     /// The engine's shared work-stealing pool, carried over so training and
@@ -170,7 +170,7 @@ impl DlInfMa {
 
     /// Labels from the synthetic dataset's ground-truth fields.
     pub fn label_from_dataset(&mut self, dataset: &Dataset) {
-        let truths: HashMap<AddressId, Point> = dataset
+        let truths: OrdMap<AddressId, Point> = dataset
             .addresses
             .iter()
             .map(|a| (a.id, a.true_delivery_location))
@@ -246,7 +246,7 @@ impl DlInfMa {
         self.samples.get(&addr)
     }
 
-    /// All prepared samples (unordered).
+    /// All prepared samples, ascending by address id.
     pub fn samples(&self) -> impl Iterator<Item = &AddressSample> {
         self.samples.values()
     }

@@ -28,9 +28,9 @@ use super::staypoint_set::StayPointSet;
 use crate::candidates::{Agg, LocationProfile};
 use crate::pipeline::PoolMethod;
 use dlinfma_cluster::{merge_weighted_pooled_stats, MergeStats, WeightedPoint};
+use dlinfma_detcol::{OrdMap, OrdSet};
 use dlinfma_geo::Point;
 use dlinfma_pool::Pool;
-use std::collections::{HashMap, HashSet};
 
 /// What one pool update changed: the raw material for dirty-address
 /// tracking and the ingest report's pool delta.
@@ -67,9 +67,9 @@ pub struct PoolState {
     distance: f64,
     /// Hierarchical mode: cluster records per component, keyed by the
     /// component key (minimum stay index in the component).
-    components: HashMap<usize, Vec<ClusterRec>>,
+    components: OrdMap<usize, Vec<ClusterRec>>,
     /// Grid mode: one record per occupied cell.
-    cells: HashMap<(i64, i64), ClusterRec>,
+    cells: OrdMap<(i64, i64), ClusterRec>,
     /// Current cluster key of every stay, parallel to the stay set.
     assign: Vec<usize>,
 }
@@ -80,8 +80,8 @@ impl PoolState {
         Self {
             method,
             distance,
-            components: HashMap::new(),
-            cells: HashMap::new(),
+            components: OrdMap::new(),
+            cells: OrdMap::new(),
             assign: Vec::new(),
         }
     }
@@ -124,11 +124,11 @@ impl PoolState {
         pool: &Pool,
     ) -> PoolDelta {
         let roots = stays.roots();
-        let dirty_roots: HashSet<usize> = roots[new_start..].iter().copied().collect();
+        let dirty_roots: OrdSet<usize> = roots[new_start..].iter().copied().collect();
 
         // Gather the members of every dirty component, ascending by
         // construction of the scan.
-        let mut members_by_root: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut members_by_root: OrdMap<usize, Vec<usize>> = OrdMap::new();
         for (i, &r) in roots.iter().enumerate() {
             if dirty_roots.contains(&r) {
                 members_by_root.entry(r).or_default().push(i);
@@ -138,7 +138,7 @@ impl PoolState {
         // Retire the records of dirty components: a component whose member
         // set changed contains at least one new stay, so its key (any of
         // its old members) resolves to a dirty root.
-        let mut old: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut old: OrdMap<usize, Vec<usize>> = OrdMap::new();
         let dirty_comp_keys: Vec<usize> = self
             .components
             .keys()
@@ -161,9 +161,11 @@ impl PoolState {
         // walks the results in component order, keeping the state identical
         // to a sequential rebuild.
         self.assign.resize(stays.len(), usize::MAX);
-        let mut fresh: HashMap<usize, Vec<usize>> = HashMap::new();
-        let mut comps: Vec<(usize, Vec<usize>)> =
-            members_by_root.into_values().map(|m| (m[0], m)).collect();
+        let mut fresh: OrdMap<usize, Vec<usize>> = OrdMap::new();
+        let mut comps: Vec<(usize, Vec<usize>)> = members_by_root
+            .into_iter()
+            .map(|(_, m)| (m[0], m))
+            .collect();
         comps.sort_unstable_by_key(|(k, _)| *k);
         let distance = self.distance;
         let stays_ref: &StayPointSet = stays;
@@ -238,7 +240,7 @@ impl PoolState {
                         pos: Point::ZERO,
                         weight: 0,
                         total_duration_s: 0.0,
-                        couriers: HashSet::new(),
+                        couriers: OrdSet::new(),
                         hist: [0; crate::candidates::TIME_BINS],
                     },
                 }
@@ -267,7 +269,7 @@ impl PoolState {
         }
     }
 
-    fn delta_from(old: HashMap<usize, Vec<usize>>, fresh: HashMap<usize, Vec<usize>>) -> PoolDelta {
+    fn delta_from(old: OrdMap<usize, Vec<usize>>, fresh: OrdMap<usize, Vec<usize>>) -> PoolDelta {
         let mut changed: Vec<usize> = Vec::new();
         let mut added = 0u64;
         let mut removed = 0u64;

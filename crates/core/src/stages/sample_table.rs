@@ -10,8 +10,8 @@
 //! floating-point features at materialization time from live state,
 //! reproducing the batch extractor's arithmetic bit for bit.
 
+use dlinfma_detcol::{OrdMap, OrdSet};
 use dlinfma_synth::AddressId;
-use std::collections::{HashMap, HashSet};
 
 /// Raw (integer) feature state of one address, parallel vectors over its
 /// retrieved candidates.
@@ -31,9 +31,9 @@ pub struct RawSample {
 /// All addresses' raw samples plus the inverse candidate-key index.
 #[derive(Debug, Default)]
 pub struct SampleTable {
-    rows: HashMap<AddressId, RawSample>,
+    rows: OrdMap<AddressId, RawSample>,
     /// Which addresses reference each candidate key.
-    by_key: HashMap<usize, HashSet<AddressId>>,
+    by_key: OrdMap<usize, OrdSet<AddressId>>,
 }
 
 impl SampleTable {
@@ -57,7 +57,7 @@ impl SampleTable {
         self.rows.get(&address)
     }
 
-    /// Iterates over all `(address, raw sample)` rows, unordered.
+    /// Iterates over all `(address, raw sample)` rows, ascending by address.
     pub fn iter(&self) -> impl Iterator<Item = (&AddressId, &RawSample)> {
         self.rows.iter()
     }
@@ -82,8 +82,8 @@ impl SampleTable {
 
     /// Every address referencing any of `keys` — the candidate-side dirty
     /// set of an ingest.
-    pub fn addresses_referencing(&self, keys: &[usize]) -> HashSet<AddressId> {
-        let mut out = HashSet::new();
+    pub fn addresses_referencing(&self, keys: &[usize]) -> OrdSet<AddressId> {
+        let mut out = OrdSet::new();
         for k in keys {
             if let Some(set) = self.by_key.get(k) {
                 out.extend(set.iter().copied());
