@@ -3,11 +3,11 @@
 //! boundary.
 
 use dlinfma_core::{AddressSample, Engine, LocMatcher};
+use dlinfma_detcol::OrdMap;
 use dlinfma_geo::Point;
 use dlinfma_obs as obs;
 use dlinfma_store::{LocationSnapshot, SnapshotCell};
 use dlinfma_synth::{spatial_split, AddressId, Dataset, TripBatch};
-use std::collections::HashMap;
 use std::time::Duration;
 
 /// Labels the engine's materialized samples against the dataset's ground
@@ -20,12 +20,12 @@ use std::time::Duration;
 /// label is the candidate nearest the true delivery location, skipping
 /// non-finite distances.
 pub fn train_engine_model(engine: &mut Engine, dataset: &Dataset) -> usize {
-    let truths: HashMap<AddressId, Point> = dataset
+    let truths: OrdMap<AddressId, Point> = dataset
         .addresses
         .iter()
         .map(|a| (a.id, a.true_delivery_location))
         .collect();
-    let mut samples: HashMap<AddressId, AddressSample> =
+    let mut samples: OrdMap<AddressId, AddressSample> =
         engine.samples().map(|s| (s.address, s.clone())).collect();
     let mut labelled = 0usize;
     for sample in samples.values_mut() {

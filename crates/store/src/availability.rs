@@ -9,8 +9,8 @@
 //! corrected times.
 
 use dlinfma_core::{CandidatePool, DlInfMa};
+use dlinfma_detcol::OrdMap;
 use dlinfma_synth::{AddressId, Dataset};
-use std::collections::HashMap;
 
 /// Hour-of-day availability profile of one address.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,8 +100,8 @@ pub fn weekly_availability(
     dataset: &Dataset,
     dlinfma: &DlInfMa,
     radius_m: f64,
-) -> HashMap<AddressId, WeeklyAvailability> {
-    let mut out: HashMap<AddressId, WeeklyAvailability> = HashMap::new();
+) -> OrdMap<AddressId, WeeklyAvailability> {
+    let mut out: OrdMap<AddressId, WeeklyAvailability> = OrdMap::new();
     for (wi, w) in dataset.waybills.iter().enumerate() {
         let Some(inferred) = dlinfma.infer(w.address) else {
             continue;
@@ -142,8 +142,8 @@ pub fn availability_profiles(
     dataset: &Dataset,
     dlinfma: &DlInfMa,
     radius_m: f64,
-) -> HashMap<AddressId, AvailabilityProfile> {
-    let mut out: HashMap<AddressId, AvailabilityProfile> = HashMap::new();
+) -> OrdMap<AddressId, AvailabilityProfile> {
+    let mut out: OrdMap<AddressId, AvailabilityProfile> = OrdMap::new();
     for (wi, w) in dataset.waybills.iter().enumerate() {
         let Some(inferred) = dlinfma.infer(w.address) else {
             continue;

@@ -12,6 +12,7 @@
 //! write lock.
 
 use dlinfma_core::DlInfMa;
+use dlinfma_detcol::OrdMap;
 use dlinfma_geo::Point;
 use dlinfma_synth::{AddressId, BuildingId, Dataset};
 use parking_lot::RwLock;
@@ -51,9 +52,9 @@ impl DeliveryLocationStore {
     /// locations plus, per building, the location inferred for the most
     /// addresses (the "mostly used" building-level answer).
     pub fn refresh(&self, dataset: &Dataset, dlinfma: &DlInfMa) {
-        type Votes = HashMap<(i64, i64), (usize, Point)>;
+        type Votes = OrdMap<(i64, i64), (usize, Point)>;
         let mut by_address: HashMap<AddressId, Point> = HashMap::new();
-        let mut building_votes: HashMap<BuildingId, Votes> = HashMap::new();
+        let mut building_votes: OrdMap<BuildingId, Votes> = OrdMap::new();
         for a in &dataset.addresses {
             if let Some(p) = dlinfma.infer(a.id) {
                 by_address.insert(a.id, p);

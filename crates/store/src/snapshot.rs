@@ -21,6 +21,7 @@
 
 use crate::kv::QuerySource;
 use dlinfma_core::Engine;
+use dlinfma_detcol::OrdMap;
 use dlinfma_geo::Point;
 use dlinfma_synth::{AddressId, BuildingId};
 use parking_lot::RwLock;
@@ -65,9 +66,9 @@ impl LocationSnapshot {
     /// whole address universe so the chain always bottoms out. The epoch is
     /// stamped later, at [`SnapshotCell::publish`] time.
     pub fn from_engine(engine: &Engine, days_ingested: u32) -> Self {
-        type Votes = HashMap<(i64, i64), (usize, Point)>;
+        type Votes = OrdMap<(i64, i64), (usize, Point)>;
         let mut by_address: HashMap<AddressId, Point> = HashMap::new();
-        let mut building_votes: HashMap<BuildingId, Votes> = HashMap::new();
+        let mut building_votes: OrdMap<BuildingId, Votes> = OrdMap::new();
         for a in engine.addresses() {
             if let Some(p) = engine.infer(a.id) {
                 by_address.insert(a.id, p);
