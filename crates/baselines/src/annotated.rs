@@ -9,20 +9,20 @@
 //! annotations drift away from the true delivery location — the failure mode
 //! DLInfMA is designed to survive.
 
+use dlinfma_detcol::OrdMap;
 use dlinfma_geo::Point;
 use dlinfma_synth::{AddressId, Dataset};
-use std::collections::HashMap;
 
 /// Per-address annotated delivery locations.
 #[derive(Debug, Clone, Default)]
 pub struct AnnotatedLocations {
-    per_address: HashMap<AddressId, Vec<Point>>,
+    per_address: OrdMap<AddressId, Vec<Point>>,
 }
 
 impl AnnotatedLocations {
     /// Derives annotations for every waybill in the dataset.
     pub fn from_dataset(dataset: &Dataset) -> Self {
-        let mut per_address: HashMap<AddressId, Vec<Point>> = HashMap::new();
+        let mut per_address: OrdMap<AddressId, Vec<Point>> = OrdMap::new();
         for w in &dataset.waybills {
             let trip = dataset.trip(w.trip);
             if let Some(pos) = trip.trajectory.position_at(w.t_recorded_delivery) {
@@ -44,7 +44,7 @@ impl AnnotatedLocations {
         self.per_address.get(&addr).map_or(&[], Vec::as_slice)
     }
 
-    /// Addresses with at least one annotation.
+    /// Addresses with at least one annotation, ascending by id.
     pub fn addresses(&self) -> impl Iterator<Item = AddressId> + '_ {
         self.per_address.keys().copied()
     }

@@ -12,6 +12,7 @@ use dlinfma_core::{
     collect_evidence, AddressSample, CandidatePool, DlInfMa, FeatureConfig, FeatureExtractor,
     LocMatcher, PoolMethod,
 };
+use dlinfma_detcol::OrdMap;
 use dlinfma_geo::Point;
 use dlinfma_pool::Pool;
 use dlinfma_synth::AddressId;
@@ -197,7 +198,7 @@ fn samples_with_features(
 ) -> Vec<AddressSample> {
     let extractor = FeatureExtractor::new(&world.dataset, world.dlinfma.pool(), fcfg);
     let evidence = collect_evidence(&world.dataset);
-    let by_addr: HashMap<AddressId, &dlinfma_core::AddressEvidence> =
+    let by_addr: OrdMap<AddressId, &dlinfma_core::AddressEvidence> =
         evidence.iter().map(|e| (e.address, e)).collect();
     ids.iter()
         .filter_map(|a| {

@@ -1,6 +1,7 @@
 //! Dataset statistics: Table I and the four Figure 9 distributions.
 
 use dlinfma_core::{AddressSample, CandidatePool};
+use dlinfma_detcol::OrdMap;
 use dlinfma_synth::{Dataset, DeliverySpotKind};
 use std::collections::HashMap;
 
@@ -51,7 +52,7 @@ pub fn dataset_stats(dataset: &Dataset) -> DatasetStats {
 /// per building. Returns `counts[k]` = number of buildings with `k + 1`
 /// distinct locations (two locations are distinct when > 10 m apart).
 pub fn building_location_distribution(dataset: &Dataset) -> Vec<usize> {
-    let mut per_building: HashMap<u32, Vec<dlinfma_geo::Point>> = HashMap::new();
+    let mut per_building: OrdMap<u32, Vec<dlinfma_geo::Point>> = OrdMap::new();
     for a in &dataset.addresses {
         // Distinctness is defined on ground-truth spots; lockers shared by
         // several addresses count once.

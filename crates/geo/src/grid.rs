@@ -169,16 +169,18 @@ impl<T> GridIndex<T> {
     }
 
     fn max_extent(&self) -> f64 {
-        let keys = self.cells.keys();
-        let mut max_abs: i64 = 0;
-        for (x, y) in keys {
-            max_abs = max_abs.max(x.abs()).max(y.abs());
-        }
+        let max_abs = self
+            .cells
+            .keys()
+            .map(|(x, y)| x.abs().max(y.abs()))
+            .max()
+            .unwrap_or(0);
         (max_abs + 1) as f64 * self.cell * 2.0
     }
 
     /// Iterates over all stored items in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (&Point, &T)> {
+        // lint: allow(L9, cells stay hashed for O1 ring lookups on the retrieval hot path; every consumer folds order-insensitively - see bounds)
         self.cells.values().flatten().map(|(p, v)| (p, v))
     }
 

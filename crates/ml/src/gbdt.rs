@@ -7,8 +7,8 @@
 
 use crate::matrix::FeatureMatrix;
 use crate::tree::{RegressionTree, TreeConfig};
+use dlinfma_detcol::OrdMap;
 use rand::Rng;
-use std::collections::HashMap;
 
 /// GBDT hyperparameters.
 #[derive(Debug, Clone, Copy)]
@@ -87,8 +87,8 @@ impl Gbdt {
             let mut tree = RegressionTree::fit(x, &residual, Some(&w), &cfg.tree, Some(rng));
 
             // Newton leaf update: sum(w*(y-p)) / sum(w*p*(1-p)) per leaf.
-            let mut num: HashMap<usize, f64> = HashMap::new();
-            let mut den: HashMap<usize, f64> = HashMap::new();
+            let mut num: OrdMap<usize, f64> = OrdMap::new();
+            let mut den: OrdMap<usize, f64> = OrdMap::new();
             for i in 0..n {
                 let leaf = tree.apply(x.row(i));
                 let p = sigmoid(f[i]);

@@ -5,8 +5,8 @@
 //! the baselines all reason about the same few meters-and-seconds numbers.
 //! Scattering them as magic literals caused the drift the `xtask lint` L3
 //! rule now prevents: **every non-test use of a paper constant must
-//! reference this crate** (or carry an explicit `// lint: allow(L3, ...)`
-//! with a reason why the literal is a coincidence, not the paper constant).
+//! reference this crate** (or carry an explicit L3 allow directive with a
+//! reason why the literal is a coincidence, not the paper constant).
 //!
 //! This crate is dependency-free and sits below every other crate in the
 //! workspace graph, so `geo`/`traj`/`cluster` can use it without cycles.

@@ -1,11 +1,11 @@
 //! The embedded trajectory/waybill store.
 
 use crate::query::{SpatioTemporalQuery, TimeRange};
+use dlinfma_detcol::OrdMap;
 use dlinfma_geo::Point;
 use dlinfma_synth::{AddressId, CourierId, Dataset, TripBatch, TripId, Waybill};
 use dlinfma_traj::{TrajPoint, Trajectory};
 use parking_lot::RwLock;
-use std::collections::HashMap;
 
 /// One stored GPS fix with its provenance.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,15 +30,15 @@ const BUCKET_S: f64 = 3_600.0;
 #[derive(Default)]
 struct Inner {
     /// Grid×time index: (cell x, cell y, time bucket) -> fixes.
-    st_index: HashMap<(i64, i64, i64), Vec<StoredFix>>,
+    st_index: OrdMap<(i64, i64, i64), Vec<StoredFix>>,
     /// Per-courier fixes in insertion (chronological) order.
-    by_courier: HashMap<CourierId, Vec<StoredFix>>,
+    by_courier: OrdMap<CourierId, Vec<StoredFix>>,
     /// Per-trip metadata mirrored from the dataset.
-    trips: HashMap<TripId, (CourierId, f64, f64)>,
+    trips: OrdMap<TripId, (CourierId, f64, f64)>,
     /// All waybills in dataset order.
     waybills: Vec<Waybill>,
     /// Waybill indices per address.
-    waybills_by_address: HashMap<AddressId, Vec<usize>>,
+    waybills_by_address: OrdMap<AddressId, Vec<usize>>,
     n_fixes: usize,
 }
 
@@ -218,7 +218,7 @@ impl TrajectoryStore {
     pub fn export_dataset(&self, reference: &Dataset) -> Dataset {
         let inner = self.inner.read();
         // Reassemble each trip's fixes from the courier streams.
-        let mut per_trip: HashMap<TripId, Vec<TrajPoint>> = HashMap::new();
+        let mut per_trip: OrdMap<TripId, Vec<TrajPoint>> = OrdMap::new();
         for fixes in inner.by_courier.values() {
             for f in fixes {
                 per_trip
