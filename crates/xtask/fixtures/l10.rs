@@ -1,0 +1,13 @@
+// Seeded violation for rule L10: collecting into a std hash container.
+// `cargo run -p xtask -- lint crates/xtask/fixtures/l10.rs` must exit non-zero.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn index_waybills(pairs: &[(u64, u64)]) -> usize {
+    let by_addr: HashMap<u64, u64> = pairs.iter().copied().collect();
+    by_addr.len()
+}
+
+pub fn distinct_trips(ids: &[u64]) -> usize {
+    ids.iter().copied().collect::<HashSet<u64>>().len()
+}

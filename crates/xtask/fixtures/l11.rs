@@ -1,0 +1,26 @@
+// Seeded violation for rule L11: shared-mutable accumulation inside pool
+// scopes (results then depend on work-stealing scheduling order).
+// `cargo run -p xtask -- lint crates/xtask/fixtures/l11.rs` must exit non-zero.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub fn stay_count(pool: &dlinfma_pool::Pool, trips: &[u64]) -> u64 {
+    let total = AtomicU64::new(0);
+    pool.scope(|_s| {
+        for t in trips {
+            total.fetch_add(*t, Ordering::Relaxed);
+        }
+    });
+    total.load(Ordering::Relaxed)
+}
+
+pub fn gather(pool: &dlinfma_pool::Pool, xs: &[u64]) -> Vec<u64> {
+    let acc = Mutex::new(Vec::new());
+    pool.par_chunks(xs, 64, |chunk| {
+        if let Ok(mut grabbed) = acc.lock() {
+            grabbed.extend_from_slice(chunk);
+        }
+    });
+    acc.into_inner().unwrap_or_default()
+}

@@ -1,0 +1,12 @@
+// Seeded violation for rule L12: ambient process state (wall clock,
+// environment, thread identity) in pipeline code.
+// `cargo run -p xtask -- lint crates/xtask/fixtures/l12.rs` must exit non-zero.
+
+pub fn run_stamp() -> u64 {
+    let _started = std::time::SystemTime::now();
+    if std::env::var("DLINFMA_FAST_PATH").is_ok() {
+        return 1;
+    }
+    let _worker = std::thread::current();
+    0
+}

@@ -1,0 +1,9 @@
+// Seeded violation for the stale-allow extension of rule L6: a reasoned
+// directive whose rule no longer fires on the lines it covers suppresses
+// nothing, and left in place it would mask the next finding there.
+// `cargo run -p xtask -- lint crates/xtask/fixtures/l6_stale.rs` must exit non-zero.
+
+// lint: allow(L3, tuned cluster distance; the constant has since moved to params)
+pub fn stay_radius_m() -> f64 {
+    21.5
+}

@@ -1,0 +1,17 @@
+// Seeded violation for rule L9: std hash-container iteration whose order
+// can reach an artifact.
+// `cargo run -p xtask -- lint crates/xtask/fixtures/l9.rs` must exit non-zero.
+
+use std::collections::HashMap;
+
+pub fn candidate_order(by_addr: &HashMap<u64, u64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for (addr, building) in by_addr {
+        out.push(addr ^ building);
+    }
+    out
+}
+
+pub fn building_ids(by_addr: &HashMap<u64, u64>) -> Vec<u64> {
+    by_addr.values().copied().collect()
+}

@@ -475,4 +475,65 @@ mod tests {
         let z = l.tokens.iter().find(|t| t.text == "z").unwrap();
         assert_eq!(z.line, 6);
     }
+
+    #[test]
+    fn raw_strings_with_extra_hashes_swallow_inner_terminators() {
+        // `"#` inside an `r##`-string would close an `r#`-string; only the
+        // matching `"##` may terminate. Everything inside is opaque.
+        let l = lex(r####"let s = r##"one "# two "quoted" unwrap()"##; done"####);
+        assert!(l
+            .tokens
+            .iter()
+            .all(|t| t.text != "unwrap" && t.text != "two"));
+        let idents: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "s", "done"]);
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_matching_depth() {
+        // Rust block comments nest: the first `*/` closes the inner comment,
+        // not the outer one. `mid` must stay commented out; `after` must not.
+        let l = lex("before /* outer /* inner */ mid */ after");
+        let idents: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["before", "after"]);
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals_disambiguate_in_one_snippet() {
+        // `'a` (lifetime) vs `'a'` (char), an escaped-quote char `'\''`, and
+        // a lifetime bound immediately followed by a char literal.
+        let l = lex(r"fn f<'a>(x: &'a str) -> char { let q = '\''; let c = 'a'; q.max(c) }");
+        let lifetimes = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        // Char literals are stored opaquely (as `'.'`), so count them
+        // rather than reading their text back.
+        let chars = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn shift_right_stays_two_angle_tokens() {
+        // Angle-depth scans (L10's turbofish walk) rely on `>>` never being
+        // fused into one punct token.
+        let toks = kinds("let m = a.collect::<Vec<Vec<u8>>>();");
+        assert!(toks.iter().all(|(k, t)| *k != TokKind::Punct || t != ">>"));
+    }
 }

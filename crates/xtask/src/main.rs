@@ -1,21 +1,25 @@
 //! `cargo run -p xtask -- lint` — the workspace's in-tree static analyzer.
 //!
-//! Eight repo-specific rules (see [`rules`]) run over every `crates/*/src`
-//! file with a hand-rolled comment/string-aware tokenizer; findings print as
+//! Twelve repo-specific rules (see [`rules`]; L9–L12 form the determinism
+//! audit) run over every `crates/*/src` file with a hand-rolled
+//! comment/string-aware tokenizer; findings print as
 //! `file:line: rule: message` and make the process exit non-zero. A
 //! committed baseline (`crates/xtask/lint.baseline`) can grandfather known
 //! findings — it ships empty, and the CI step keeps it that way.
 //!
 //! Usage:
 //!   cargo run -p xtask -- lint               # scan the workspace
+//!   cargo run -p xtask -- lint --json        # same scan, JSON report on stdout
 //!   cargo run -p xtask -- lint FILE...       # lint specific files, all rules
 //!   cargo run -p xtask -- lint --fixtures    # self-check on seeded fixtures
 //!   cargo run -p xtask -- trace-check FILE   # validate a Chrome-trace export
 
 mod lexer;
+mod report;
 mod rules;
 
-use rules::{lint_source, FileCtx, Finding, Rule};
+use report::{build_report, validate_lint_report, ReportInput};
+use rules::{lint_file, Allow, FileCtx, FileLint, Finding, Rule, RULE_COUNT};
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -93,24 +97,30 @@ fn lint_command(args: &[String]) -> ExitCode {
     if args.iter().any(|a| a == "--fixtures") {
         return fixtures_self_check();
     }
-    if !args.is_empty() {
-        return lint_explicit_files(args);
+    let json = args.iter().any(|a| a == "--json");
+    let files: Vec<String> = args.iter().filter(|a| *a != "--json").cloned().collect();
+    if !files.is_empty() {
+        return lint_explicit_files(&files);
     }
-    lint_workspace()
+    lint_workspace(json)
 }
 
-/// Scans `crates/*/src`, applies the baseline, reports.
-fn lint_workspace() -> ExitCode {
-    let root = workspace_root();
+/// One full `crates/*/src` scan: every file linted, findings pre-baseline,
+/// the reasoned-allow inventory, and per-rule timings.
+struct WorkspaceScan {
+    files: Vec<PathBuf>,
+    findings: Vec<Finding>,
+    allows: Vec<(String, Allow)>,
+    timings: [u64; RULE_COUNT],
+}
+
+fn scan_workspace(root: &Path) -> Result<WorkspaceScan, String> {
     let mut files = Vec::new();
     let crates_dir = root.join("crates");
-    let mut crate_dirs: Vec<PathBuf> = match std::fs::read_dir(&crates_dir) {
-        Ok(rd) => rd.filter_map(|e| e.ok().map(|e| e.path())).collect(),
-        Err(e) => {
-            eprintln!("xtask: cannot read {}: {e}", crates_dir.display());
-            return ExitCode::from(2);
-        }
-    };
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
     crate_dirs.sort();
     for dir in crate_dirs {
         let name = dir.file_name().and_then(|n| n.to_str()).unwrap_or("");
@@ -121,33 +131,98 @@ fn lint_workspace() -> ExitCode {
     }
     files.sort();
 
-    let baseline = load_baseline(&root);
     let mut findings = Vec::new();
+    let mut allows = Vec::new();
+    let mut timings = [0u64; RULE_COUNT];
     for file in &files {
-        findings.extend(lint_one(file, &root, false));
+        let lint = lint_one_timed(file, root, false, Some(&mut timings));
+        let rel = display_path(file, root);
+        findings.extend(lint.findings);
+        allows.extend(lint.allows.into_iter().map(|a| (rel.clone(), a)));
     }
+    Ok(WorkspaceScan {
+        files,
+        findings,
+        allows,
+        timings,
+    })
+}
+
+/// Scans `crates/*/src`, applies the baseline, reports — as
+/// `file:line: rule: message` lines, or as the JSON report (stdout) with a
+/// per-rule timing table on stderr when `json` is set.
+fn lint_workspace(json: bool) -> ExitCode {
+    let root = workspace_root();
+    let scan = match scan_workspace(&root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xtask: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = load_baseline(&root);
 
     let mut seen_keys = BTreeSet::new();
-    let mut reported = 0usize;
-    for f in &findings {
+    let mut surviving: Vec<Finding> = Vec::new();
+    for f in &scan.findings {
         seen_keys.insert(f.key());
-        if baseline.contains(&f.key()) {
-            continue;
+        if !baseline.contains(&f.key()) {
+            surviving.push(f.clone());
         }
-        println!("{}", f.render());
-        reported += 1;
+    }
+
+    if json {
+        let snippet = |f: &Finding| -> Option<String> {
+            let text = std::fs::read_to_string(root.join(&f.file)).ok()?;
+            text.lines()
+                .nth(f.line.saturating_sub(1) as usize)
+                .map(|l| l.trim().to_string())
+        };
+        let report = build_report(&ReportInput {
+            files: scan.files.len(),
+            findings: &surviving,
+            allows: &scan.allows,
+            timings: &scan.timings,
+            snippet: &snippet,
+        });
+        let rendered = report.render_pretty();
+        // Belt and braces: never emit a report that drifts from the shape
+        // the self-tests pin.
+        if let Err(e) = validate_lint_report(&rendered) {
+            eprintln!("xtask: internal error: report failed golden-shape check: {e}");
+            return ExitCode::from(2);
+        }
+        println!("{rendered}");
+        for rule in Rule::ALL {
+            let count = surviving.iter().filter(|f| f.rule == rule).count();
+            eprintln!(
+                "xtask: {:>4}  {} finding(s)  {} µs",
+                rule.name(),
+                count,
+                scan.timings[rule.index()] / 1_000
+            );
+        }
+    } else {
+        for f in &surviving {
+            println!("{}", f.render());
+        }
     }
     for stale in baseline.difference(&seen_keys) {
         eprintln!("xtask: warning: stale baseline entry `{stale}` (no longer fires)");
     }
-    if reported > 0 {
+    if !surviving.is_empty() {
         eprintln!(
-            "xtask: {reported} lint finding(s) in {} file(s) — fix, `// lint: allow(<rule>, <reason>)`, or baseline",
-            files.len()
+            "xtask: {} lint finding(s) in {} file(s) — fix, `// lint: allow(<rule>, <reason>)`, or baseline",
+            surviving.len(),
+            scan.files.len()
         );
         ExitCode::FAILURE
     } else {
-        eprintln!("xtask: lint clean ({} files)", files.len());
+        eprintln!(
+            "xtask: lint clean ({} files, {} reasoned allows)",
+            scan.files.len(),
+            scan.allows.len()
+        );
         ExitCode::SUCCESS
     }
 }
@@ -168,7 +243,7 @@ fn lint_explicit_files(paths: &[String]) -> ExitCode {
             eprintln!("xtask: no such file: {p}");
             return ExitCode::from(2);
         }
-        for f in lint_one(&abs, &root, true) {
+        for f in lint_one(&abs, &root, true).findings {
             println!("{}", f.render());
             reported += 1;
         }
@@ -185,20 +260,11 @@ fn lint_explicit_files(paths: &[String]) -> ExitCode {
 /// rule fires — the linter linting itself.
 fn fixtures_self_check() -> ExitCode {
     let root = workspace_root();
-    let fixtures = [
-        ("l1.rs", Rule::L1),
-        ("l2.rs", Rule::L2),
-        ("l3.rs", Rule::L3),
-        ("l4.rs", Rule::L4),
-        ("l5.rs", Rule::L5),
-        ("l6.rs", Rule::L6),
-        ("l7.rs", Rule::L7),
-        ("l8.rs", Rule::L8),
-    ];
+    let fixtures = FIXTURES;
     let mut ok = true;
     for (name, expected) in fixtures {
         let path = root.join("crates/xtask/fixtures").join(name);
-        let findings = lint_one(&path, &root, true);
+        let findings = lint_one(&path, &root, true).findings;
         let hit = findings.iter().any(|f| f.rule == expected);
         let clean_of_noise = findings.iter().all(|f| f.rule == expected);
         if hit && clean_of_noise {
@@ -237,16 +303,48 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-fn lint_one(path: &Path, root: &Path, all_rules: bool) -> Vec<Finding> {
+/// Every seeded fixture with the one rule it must trip.
+const FIXTURES: [(&str, Rule); 13] = [
+    ("l1.rs", Rule::L1),
+    ("l2.rs", Rule::L2),
+    ("l3.rs", Rule::L3),
+    ("l4.rs", Rule::L4),
+    ("l5.rs", Rule::L5),
+    ("l6.rs", Rule::L6),
+    ("l6_stale.rs", Rule::L6),
+    ("l7.rs", Rule::L7),
+    ("l8.rs", Rule::L8),
+    ("l9.rs", Rule::L9),
+    ("l10.rs", Rule::L10),
+    ("l11.rs", Rule::L11),
+    ("l12.rs", Rule::L12),
+];
+
+fn display_path(path: &Path, root: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn lint_one(path: &Path, root: &Path, all_rules: bool) -> FileLint {
+    lint_one_timed(path, root, all_rules, None)
+}
+
+fn lint_one_timed(
+    path: &Path,
+    root: &Path,
+    all_rules: bool,
+    timings: Option<&mut [u64; RULE_COUNT]>,
+) -> FileLint {
     let src = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("xtask: cannot read {}: {e}", path.display());
-            return Vec::new();
+            return FileLint::default();
         }
     };
-    let rel = path.strip_prefix(root).unwrap_or(path);
-    let rel_str = rel.to_string_lossy().replace('\\', "/");
+    let rel_str = display_path(path, root);
     let crate_name = rel_str
         .strip_prefix("crates/")
         .and_then(|r| r.split('/').next())
@@ -258,7 +356,7 @@ fn lint_one(path: &Path, root: &Path, all_rules: bool) -> Vec<Finding> {
         is_obs_crate: !all_rules && crate_name == "obs",
         is_pool_crate: !all_rules && crate_name == "pool",
     };
-    lint_source(&src, ctx)
+    lint_file(&src, ctx, timings)
 }
 
 fn load_baseline(root: &Path) -> BTreeSet<String> {
@@ -285,18 +383,9 @@ mod tests {
     #[test]
     fn every_fixture_trips_exactly_its_rule() {
         let root = workspace_root();
-        for (name, rule) in [
-            ("l1.rs", Rule::L1),
-            ("l2.rs", Rule::L2),
-            ("l3.rs", Rule::L3),
-            ("l4.rs", Rule::L4),
-            ("l5.rs", Rule::L5),
-            ("l6.rs", Rule::L6),
-            ("l7.rs", Rule::L7),
-            ("l8.rs", Rule::L8),
-        ] {
+        for (name, rule) in FIXTURES {
             let path = root.join("crates/xtask/fixtures").join(name);
-            let findings = lint_one(&path, &root, true);
+            let findings = lint_one(&path, &root, true).findings;
             assert!(
                 !findings.is_empty() && findings.iter().all(|f| f.rule == rule),
                 "fixture {name}: {:?}",
@@ -306,25 +395,25 @@ mod tests {
     }
 
     #[test]
+    fn every_rule_has_a_fixture() {
+        for rule in Rule::ALL {
+            assert!(
+                FIXTURES.iter().any(|&(_, r)| r == rule),
+                "rule {} has no seeded fixture",
+                rule.name()
+            );
+        }
+    }
+
+    #[test]
     fn workspace_scan_is_lint_clean() {
         // The committed tree must stay clean: this is the same check CI runs.
         let root = workspace_root();
-        let mut files = Vec::new();
-        for dir in std::fs::read_dir(root.join("crates"))
-            .unwrap()
-            .filter_map(Result::ok)
-        {
-            let name = dir.file_name();
-            let name = name.to_string_lossy();
-            if SKIPPED_CRATES.contains(&name.as_ref()) {
-                continue;
-            }
-            collect_rs_files(&dir.path().join("src"), &mut files);
-        }
+        let scan = scan_workspace(&root).expect("workspace scan");
         let baseline = load_baseline(&root);
-        let offending: Vec<String> = files
+        let offending: Vec<String> = scan
+            .findings
             .iter()
-            .flat_map(|f| lint_one(f, &root, false))
             .filter(|f| !baseline.contains(&f.key()))
             .map(|f| f.render())
             .collect();
@@ -333,6 +422,30 @@ mod tests {
             "lint findings:\n{}",
             offending.join("\n")
         );
+        // Every surviving allow directive carries a reason (the parser
+        // rejects reasonless ones, so the inventory proves it).
+        assert!(scan.allows.iter().all(|(_, a)| !a.reason.trim().is_empty()));
+    }
+
+    #[test]
+    fn workspace_json_report_matches_golden_shape() {
+        let root = workspace_root();
+        let scan = scan_workspace(&root).expect("workspace scan");
+        let baseline = load_baseline(&root);
+        let surviving: Vec<Finding> = scan
+            .findings
+            .iter()
+            .filter(|f| !baseline.contains(&f.key()))
+            .cloned()
+            .collect();
+        let report = build_report(&ReportInput {
+            files: scan.files.len(),
+            findings: &surviving,
+            allows: &scan.allows,
+            timings: &scan.timings,
+            snippet: &|_| None,
+        });
+        validate_lint_report(&report.render_pretty()).expect("golden shape");
     }
 
     #[test]

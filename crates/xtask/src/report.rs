@@ -1,0 +1,262 @@
+//! The machine-readable lint report (`cargo run -p xtask -- lint --json`)
+//! and its golden-shape validator.
+//!
+//! CI captures the rendered report as `LINT_report.json` and uploads it as
+//! an artifact, so the shape is a contract: `schema` pins the version, and
+//! [`validate_lint_report`] (exercised by self-tests against the live
+//! workspace scan) rejects any drift before a consumer sees it.
+
+use crate::rules::{Allow, Finding, Rule, RULE_COUNT};
+use dlinfma_obs::JsonValue;
+
+/// Schema tag the report carries; bump when the shape changes.
+pub const LINT_REPORT_SCHEMA: &str = "dlinfma-lint-report-v1";
+
+/// Everything the JSON report needs from a workspace scan.
+pub struct ReportInput<'a> {
+    /// Number of files scanned.
+    pub files: usize,
+    /// Findings that survived the baseline (what the human mode prints).
+    pub findings: &'a [Finding],
+    /// Reasoned allow directives across the scan, with their file paths.
+    pub allows: &'a [(String, Allow)],
+    /// Per-rule wall time in nanoseconds, indexed by [`Rule::index`].
+    pub timings: &'a [u64; RULE_COUNT],
+    /// Looks up the source line text for a finding (for the `snippet`
+    /// field); returns `None` when the file cannot be read.
+    pub snippet: &'a dyn Fn(&Finding) -> Option<String>,
+}
+
+/// Builds the report tree. Rendering is the caller's choice
+/// (`render_pretty` for the artifact).
+pub fn build_report(input: &ReportInput) -> JsonValue {
+    let findings = input
+        .findings
+        .iter()
+        .map(|f| {
+            JsonValue::Obj(vec![
+                ("rule".into(), JsonValue::Str(f.rule.name().into())),
+                ("file".into(), JsonValue::Str(f.file.clone())),
+                ("line".into(), JsonValue::Num(f.line as f64)),
+                (
+                    "snippet".into(),
+                    JsonValue::Str((input.snippet)(f).unwrap_or_default()),
+                ),
+                ("message".into(), JsonValue::Str(f.message.clone())),
+            ])
+        })
+        .collect();
+    let allows = input
+        .allows
+        .iter()
+        .map(|(file, a)| {
+            JsonValue::Obj(vec![
+                ("rule".into(), JsonValue::Str(a.rule.name().into())),
+                ("file".into(), JsonValue::Str(file.clone())),
+                ("line".into(), JsonValue::Num(a.line as f64)),
+                ("reason".into(), JsonValue::Str(a.reason.clone())),
+            ])
+        })
+        .collect();
+    let rules = Rule::ALL
+        .into_iter()
+        .map(|r| {
+            let count = input.findings.iter().filter(|f| f.rule == r).count();
+            JsonValue::Obj(vec![
+                ("rule".into(), JsonValue::Str(r.name().into())),
+                ("findings".into(), JsonValue::Num(count as f64)),
+                (
+                    "micros".into(),
+                    JsonValue::Num((input.timings[r.index()] / 1_000) as f64),
+                ),
+            ])
+        })
+        .collect();
+    JsonValue::Obj(vec![
+        ("schema".into(), JsonValue::Str(LINT_REPORT_SCHEMA.into())),
+        ("files".into(), JsonValue::Num(input.files as f64)),
+        ("clean".into(), JsonValue::Bool(input.findings.is_empty())),
+        ("findings".into(), JsonValue::Arr(findings)),
+        ("allows".into(), JsonValue::Arr(allows)),
+        ("rules".into(), JsonValue::Arr(rules)),
+    ])
+}
+
+/// Validates a rendered report against the golden shape: schema tag,
+/// required keys with the right types, one `rules` entry per rule in
+/// [`Rule::ALL`] order, and `clean` consistent with `findings`.
+pub fn validate_lint_report(text: &str) -> Result<(), String> {
+    let v = JsonValue::parse(text)
+        .map_err(|e| format!("not JSON: {} at byte {}", e.message, e.offset))?;
+    let schema = v
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing `schema`")?;
+    if schema != LINT_REPORT_SCHEMA {
+        return Err(format!(
+            "schema `{schema}`, expected `{LINT_REPORT_SCHEMA}`"
+        ));
+    }
+    v.get("files")
+        .and_then(JsonValue::as_f64)
+        .filter(|&n| n >= 0.0 && n.fract() == 0.0)
+        .ok_or("`files` must be a non-negative integer")?;
+    let clean = v
+        .get("clean")
+        .and_then(JsonValue::as_bool)
+        .ok_or("`clean` must be a bool")?;
+
+    let findings = v
+        .get("findings")
+        .and_then(JsonValue::as_array)
+        .ok_or("`findings` must be an array")?;
+    for (i, f) in findings.iter().enumerate() {
+        for key in ["rule", "file", "snippet", "message"] {
+            f.get(key)
+                .and_then(JsonValue::as_str)
+                .ok_or(format!("findings[{i}].{key} must be a string"))?;
+        }
+        f.get("line")
+            .and_then(JsonValue::as_f64)
+            .filter(|&n| n >= 1.0)
+            .ok_or(format!("findings[{i}].line must be a positive number"))?;
+    }
+    if clean != findings.is_empty() {
+        return Err("`clean` disagrees with `findings`".into());
+    }
+
+    let allows = v
+        .get("allows")
+        .and_then(JsonValue::as_array)
+        .ok_or("`allows` must be an array")?;
+    for (i, a) in allows.iter().enumerate() {
+        for key in ["rule", "file", "reason"] {
+            a.get(key)
+                .and_then(JsonValue::as_str)
+                .filter(|s| !s.is_empty())
+                .ok_or(format!("allows[{i}].{key} must be a non-empty string"))?;
+        }
+        a.get("line")
+            .and_then(JsonValue::as_f64)
+            .filter(|&n| n >= 1.0)
+            .ok_or(format!("allows[{i}].line must be a positive number"))?;
+    }
+
+    let rules = v
+        .get("rules")
+        .and_then(JsonValue::as_array)
+        .ok_or("`rules` must be an array")?;
+    if rules.len() != RULE_COUNT {
+        return Err(format!(
+            "`rules` has {} entries, expected {RULE_COUNT}",
+            rules.len()
+        ));
+    }
+    for (entry, rule) in rules.iter().zip(Rule::ALL) {
+        let name = entry
+            .get("rule")
+            .and_then(JsonValue::as_str)
+            .ok_or("rules[].rule must be a string")?;
+        if name != rule.name() {
+            return Err(format!(
+                "rules[] out of order: `{name}` where `{}` expected",
+                rule.name()
+            ));
+        }
+        for key in ["findings", "micros"] {
+            entry
+                .get(key)
+                .and_then(JsonValue::as_f64)
+                .filter(|&n| n >= 0.0)
+                .ok_or(format!("rules[].{key} must be a non-negative number"))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_input() -> (Vec<Finding>, Vec<(String, Allow)>, [u64; RULE_COUNT]) {
+        let findings = vec![Finding {
+            file: "crates/demo/src/lib.rs".into(),
+            line: 3,
+            rule: Rule::L9,
+            message: "iterates a std hash container".into(),
+        }];
+        let allows = vec![(
+            "crates/demo/src/lib.rs".into(),
+            Allow {
+                line: 9,
+                rule: Rule::L2,
+                reason: "caller checks".into(),
+                covers: vec![9, 10],
+            },
+        )];
+        (findings, allows, [1_500; RULE_COUNT])
+    }
+
+    #[test]
+    fn built_report_passes_validation() {
+        let (findings, allows, timings) = sample_input();
+        let report = build_report(&ReportInput {
+            files: 42,
+            findings: &findings,
+            allows: &allows,
+            timings: &timings,
+            snippet: &|_| Some("for v in m.values() {".into()),
+        });
+        let text = report.render_pretty();
+        validate_lint_report(&text).expect("golden shape");
+        assert!(text.contains("dlinfma-lint-report-v1"));
+        assert!(text.contains("\"clean\": false"));
+    }
+
+    #[test]
+    fn empty_report_is_clean_and_valid() {
+        let report = build_report(&ReportInput {
+            files: 0,
+            findings: &[],
+            allows: &[],
+            timings: &[0; RULE_COUNT],
+            snippet: &|_| None,
+        });
+        validate_lint_report(&report.render()).expect("golden shape");
+        assert!(report.get("clean").and_then(JsonValue::as_bool).unwrap());
+    }
+
+    #[test]
+    fn validation_rejects_shape_drift() {
+        // Not JSON at all.
+        assert!(validate_lint_report("nope").is_err());
+        // Wrong schema tag.
+        assert!(validate_lint_report(
+            "{\"schema\":\"v0\",\"files\":1,\"clean\":true,\"findings\":[],\"allows\":[],\"rules\":[]}"
+        )
+        .is_err());
+        // Right tag but a truncated rules table.
+        assert!(validate_lint_report(
+            "{\"schema\":\"dlinfma-lint-report-v1\",\"files\":1,\"clean\":true,\
+             \"findings\":[],\"allows\":[],\"rules\":[]}"
+        )
+        .is_err());
+        // `clean` must agree with `findings`.
+        let (findings, allows, timings) = sample_input();
+        let mut report = build_report(&ReportInput {
+            files: 1,
+            findings: &findings,
+            allows: &allows,
+            timings: &timings,
+            snippet: &|_| None,
+        });
+        if let JsonValue::Obj(entries) = &mut report {
+            for (k, v) in entries.iter_mut() {
+                if k == "clean" {
+                    *v = JsonValue::Bool(true);
+                }
+            }
+        }
+        assert!(validate_lint_report(&report.render()).is_err());
+    }
+}

@@ -1,10 +1,16 @@
-//! The lint rules (L1–L8) and the machinery they share: `#[cfg(test)]`
+//! The lint rules (L1–L12) and the machinery they share: `#[cfg(test)]`
 //! region tracking, `// lint: allow(..)` directives, and finding reporting.
 //!
-//! Each rule is documented where it is implemented; `DESIGN.md` has the
-//! rationale tied to the paper's pipeline.
+//! L1–L8 guard correctness and observability; L9–L12 form the determinism
+//! audit: they flag the constructs (hash-order iteration, wall clock,
+//! environment, thread identity, scheduling-order accumulation) that make
+//! output a function of anything other than the input. Each rule is
+//! documented where it is implemented; `DESIGN.md` has the rationale tied
+//! to the paper's pipeline.
 
 use crate::lexer::{float_value, lex, Lexed, TokKind, Token};
+use std::collections::BTreeSet;
+use std::time::Instant;
 
 /// The lint rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -36,10 +42,58 @@ pub enum Rule {
     /// event name lives once, in `dlinfma_obs::names` (or `obs::stage`),
     /// so traces keep stable names and dashboards never chase typos.
     L8,
+    /// Iteration over a std `HashMap`/`HashSet` (`for … in`, `.iter()`,
+    /// `.keys()`, `.values()`, `.drain()`, `.into_iter()`, …): hash
+    /// iteration order is randomized per process, so any order that can
+    /// reach an artifact is a parity bug no fixed-seed test reliably
+    /// catches. Sites that reduce order-insensitively (`count`/`sum`/
+    /// `all`/…), sort in-chain or on the very next statement, or collect
+    /// into an ordered container are accepted; everything else migrates to
+    /// `dlinfma_detcol::{OrdMap, OrdSet}` or carries a reasoned allow.
+    L9,
+    /// `.collect()` into a std `HashMap`/`HashSet` (turbofish or
+    /// type-ascribed binding): the freshly built container invites ordered
+    /// consumption downstream; collect into `OrdMap`/`OrdSet` (or
+    /// `BTreeMap`/`BTreeSet`) instead, or keep it lookup-only with a
+    /// reasoned allow.
+    L10,
+    /// Shared-mutable accumulation inside a pool scope (`fetch_*`,
+    /// `.lock()`, `Mutex`/`RwLock` construction within `.scope(..)` /
+    /// `.par_map(..)` / `.par_chunks(..)` closures): results then depend on
+    /// work-stealing scheduling order. Return per-task values and combine
+    /// with the order-stable `par_map_reduce_ordered` instead.
+    L11,
+    /// Ambient process state in pipeline crates: `SystemTime`, `env::var`,
+    /// `thread::current`. Output must be a pure function of input; obs owns
+    /// the wall clock, pool owns thread identity, the CLI owns the
+    /// environment (both crates are exempt).
+    L12,
 }
 
 impl Rule {
-    /// The rule's display name (`L1` … `L5`).
+    /// Every rule, in report order. Drives per-rule timing and the `--json`
+    /// report.
+    pub const ALL: [Rule; RULE_COUNT] = [
+        Rule::L1,
+        Rule::L2,
+        Rule::L3,
+        Rule::L4,
+        Rule::L5,
+        Rule::L6,
+        Rule::L7,
+        Rule::L8,
+        Rule::L9,
+        Rule::L10,
+        Rule::L11,
+        Rule::L12,
+    ];
+
+    /// Position in [`Rule::ALL`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The rule's display name (`L1` … `L12`).
     pub fn name(self) -> &'static str {
         match self {
             Rule::L1 => "L1",
@@ -50,23 +104,20 @@ impl Rule {
             Rule::L6 => "L6",
             Rule::L7 => "L7",
             Rule::L8 => "L8",
+            Rule::L9 => "L9",
+            Rule::L10 => "L10",
+            Rule::L11 => "L11",
+            Rule::L12 => "L12",
         }
     }
 
     fn parse(s: &str) -> Option<Rule> {
-        match s.trim() {
-            "L1" => Some(Rule::L1),
-            "L2" => Some(Rule::L2),
-            "L3" => Some(Rule::L3),
-            "L4" => Some(Rule::L4),
-            "L5" => Some(Rule::L5),
-            "L6" => Some(Rule::L6),
-            "L7" => Some(Rule::L7),
-            "L8" => Some(Rule::L8),
-            _ => None,
-        }
+        Rule::ALL.into_iter().find(|r| r.name() == s.trim())
     }
 }
+
+/// How many rules there are (`Rule::ALL.len()`).
+pub const RULE_COUNT: usize = 12;
 
 /// One lint violation.
 #[derive(Debug, Clone)]
@@ -125,30 +176,107 @@ const PAPER_CONSTS: [(f64, &str); 4] = [
     (13.5, "dlinfma_params::GPS_SAMPLE_INTERVAL_S"),
 ];
 
-/// Lints one file's source text.
+/// One reasoned `// lint: allow(<rule>, <reason>)` directive.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Line the directive sits on.
+    pub line: u32,
+    /// Rule it suppresses.
+    pub rule: Rule,
+    /// The (mandatory) reason text.
+    pub reason: String,
+    /// Lines the directive covers: its own plus the next line with code.
+    pub covers: Vec<u32>,
+}
+
+/// Everything the linter knows about one file: the surviving findings plus
+/// the reasoned-allow inventory the `--json` report publishes.
+#[derive(Debug, Default)]
+pub struct FileLint {
+    /// Findings after allow suppression and `#[cfg(test)]` filtering.
+    pub findings: Vec<Finding>,
+    /// All reasoned allow directives in the file (used and stale alike;
+    /// stale ones additionally show up as L6 findings).
+    pub allows: Vec<Allow>,
+}
+
+/// Lints one file's source text, returning the surviving findings.
+#[cfg(test)]
 pub fn lint_source(src: &str, ctx: FileCtx) -> Vec<Finding> {
+    lint_file(src, ctx, None).findings
+}
+
+/// Lints one file's source text. When `timings` is given, per-rule wall
+/// time in nanoseconds (indexed by [`Rule::index`]) is accumulated into it.
+pub fn lint_file(src: &str, ctx: FileCtx, mut timings: Option<&mut [u64; RULE_COUNT]>) -> FileLint {
     let lexed = lex(src);
     let test_lines = test_regions(&lexed.tokens);
 
     let mut findings = Vec::new();
-    let allows = allow_directives(&lexed, ctx, &mut findings);
-    rule_l1(&lexed.tokens, ctx, &mut findings);
+    macro_rules! timed {
+        ($rule:expr, $body:expr) => {{
+            let start = Instant::now();
+            let result = $body;
+            if let Some(t) = timings.as_deref_mut() {
+                t[$rule.index()] += start.elapsed().as_nanos() as u64;
+            }
+            result
+        }};
+    }
+
+    let allows = timed!(Rule::L6, allow_directives(&lexed, ctx, &mut findings));
+    timed!(Rule::L1, rule_l1(&lexed.tokens, ctx, &mut findings));
     if ctx.check_panics {
-        rule_l2(&lexed.tokens, ctx, &mut findings);
+        timed!(Rule::L2, rule_l2(&lexed.tokens, ctx, &mut findings));
     }
     if !ctx.is_params_module {
-        rule_l3(&lexed.tokens, ctx, &mut findings);
+        timed!(Rule::L3, rule_l3(&lexed.tokens, ctx, &mut findings));
     }
     if !ctx.is_obs_crate {
-        rule_l4(&lexed.tokens, ctx, &mut findings);
+        timed!(Rule::L4, rule_l4(&lexed.tokens, ctx, &mut findings));
     }
-    rule_l5(&lexed.tokens, ctx, &mut findings);
+    timed!(Rule::L5, rule_l5(&lexed.tokens, ctx, &mut findings));
     if !ctx.is_pool_crate {
-        rule_l7(&lexed.tokens, ctx, &mut findings);
+        timed!(Rule::L7, rule_l7(&lexed.tokens, ctx, &mut findings));
     }
     if !ctx.is_obs_crate {
-        rule_l8(&lexed.tokens, ctx, &mut findings);
+        timed!(Rule::L8, rule_l8(&lexed.tokens, ctx, &mut findings));
     }
+    timed!(Rule::L9, rule_l9(&lexed.tokens, ctx, &mut findings));
+    timed!(Rule::L10, rule_l10(&lexed.tokens, ctx, &mut findings));
+    if !ctx.is_pool_crate {
+        timed!(Rule::L11, rule_l11(&lexed.tokens, ctx, &mut findings));
+    }
+    if !(ctx.is_obs_crate || ctx.is_pool_crate) {
+        timed!(Rule::L12, rule_l12(&lexed.tokens, ctx, &mut findings));
+    }
+
+    // Stale-allow check (the L6 extension): a reasoned directive that
+    // matches no finding on the lines it covers suppresses nothing — it
+    // outlived its fix, and left in place it would silently mask the next
+    // finding on that line. Checked against the pre-filter findings so a
+    // directive that suppresses a test-region finding still counts as used.
+    timed!(Rule::L6, {
+        let stale: Vec<Finding> = allows
+            .iter()
+            .filter(|a| {
+                !findings
+                    .iter()
+                    .any(|f| f.rule == a.rule && a.covers.contains(&f.line))
+            })
+            .map(|a| Finding {
+                file: ctx.path.to_string(),
+                line: a.line,
+                rule: Rule::L6,
+                message: format!(
+                    "stale `lint: allow({r}, ..)`: no {r} finding on this or the next \
+                     code line; delete the directive",
+                    r = a.rule.name()
+                ),
+            })
+            .collect();
+        findings.extend(stale);
+    });
 
     // L7 findings survive test regions (see its rule doc); everything else
     // is production-code-only. Allow directives apply to every rule.
@@ -156,10 +284,10 @@ pub fn lint_source(src: &str, ctx: FileCtx) -> Vec<Finding> {
         (f.rule == Rule::L7 || !in_test_region(&test_lines, f.line))
             && !allows
                 .iter()
-                .any(|(line, rule)| *rule == f.rule && *line == f.line)
+                .any(|a| a.rule == f.rule && a.covers.contains(&f.line))
     });
     findings.sort_by_key(|f| (f.line, f.rule));
-    findings
+    FileLint { findings, allows }
 }
 
 /// Line ranges covered by `#[cfg(test)]` / `#[test]` items (inclusive).
@@ -248,7 +376,7 @@ fn in_test_region(regions: &[(u32, u32)], line: u32) -> bool {
 /// "suppressed" while the rule still fires. Each valid directive covers its
 /// own line and the next line carrying code, so it can sit above or beside
 /// the offending expression.
-fn allow_directives(lexed: &Lexed, ctx: FileCtx, findings: &mut Vec<Finding>) -> Vec<(u32, Rule)> {
+fn allow_directives(lexed: &Lexed, ctx: FileCtx, findings: &mut Vec<Finding>) -> Vec<Allow> {
     let mut reasonless = |line: u32, rule: Rule| {
         findings.push(Finding {
             file: ctx.path.to_string(),
@@ -261,7 +389,7 @@ fn allow_directives(lexed: &Lexed, ctx: FileCtx, findings: &mut Vec<Finding>) ->
             ),
         });
     };
-    let mut out = Vec::new();
+    let mut out: Vec<Allow> = Vec::new();
     for c in &lexed.comments {
         let Some(idx) = c.text.find("lint: allow(") else {
             continue;
@@ -284,11 +412,18 @@ fn allow_directives(lexed: &Lexed, ctx: FileCtx, findings: &mut Vec<Finding>) ->
             reasonless(c.line, rule);
             continue;
         }
-        out.push((c.line, rule));
-        // Also cover the next line that has code (directive-above style).
+        // The directive covers its own line plus the next line that has
+        // code (directive-above style).
+        let mut covers = vec![c.line];
         if let Some(next) = lexed.tokens.iter().map(|t| t.line).find(|&l| l > c.line) {
-            out.push((next, rule));
+            covers.push(next);
         }
+        out.push(Allow {
+            line: c.line,
+            rule,
+            reason: reason.trim().to_string(),
+            covers,
+        });
     }
     out
 }
@@ -567,6 +702,455 @@ fn rule_l8(tokens: &[Token], ctx: FileCtx, out: &mut Vec<Finding>) {
     }
 }
 
+/// Methods that iterate a hash container (rule L9).
+const HASH_ITER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Chain members that make an L9 iteration site deterministic: reductions
+/// whose result cannot depend on visit order, the sort family, and ordered
+/// collection targets (matched both as methods and inside `collect::<..>`
+/// turbofish).
+const ORDER_INSENSITIVE_CHAIN: [&str; 21] = [
+    "count",
+    "sum",
+    "product",
+    "all",
+    "any",
+    "min",
+    "max",
+    "min_by",
+    "max_by",
+    "min_by_key",
+    "max_by_key",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "BTreeMap",
+    "BTreeSet",
+    "OrdMap",
+    "OrdSet",
+];
+
+/// For a `HashMap`/`HashSet` type token at `i`, the identifier it is
+/// ascribed to (`name: [&][mut] [std::collections::] HashMap<..>` — covers
+/// let bindings, fn params, struct fields and struct-literal inits), if any.
+fn ascribed_name(tokens: &[Token], i: usize) -> Option<&str> {
+    let mut j = i;
+    while j >= 2
+        && tokens[j - 1].text == "::"
+        && matches!(tokens[j - 2].text.as_str(), "collections" | "std")
+    {
+        j -= 2;
+    }
+    while j >= 1
+        && (matches!(tokens[j - 1].text.as_str(), "&" | "mut")
+            || tokens[j - 1].kind == TokKind::Lifetime)
+    {
+        j -= 1;
+    }
+    if j >= 2
+        && tokens[j - 1].text == ":"
+        && tokens[j - 2].kind == TokKind::Ident
+        && !is_keyword(&tokens[j - 2].text)
+    {
+        return Some(&tokens[j - 2].text);
+    }
+    None
+}
+
+/// Identifiers declared with a std hash container type anywhere in this
+/// file: type ascriptions plus `name = HashMap::new()`-style constructor
+/// bindings. Purely lexical and file-local by design — the linter has no
+/// type information, so a name declared hash-typed once is treated as
+/// hash-typed at every use site in the file.
+fn hash_typed_names(tokens: &[Token]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+            continue;
+        }
+        if let Some(n) = ascribed_name(tokens, i) {
+            names.insert(n.to_string());
+        }
+        // `name = HashMap::new()` / `with_capacity` / `from` / `default`,
+        // optionally through a `std::collections::` path prefix.
+        let is_ctor = tokens.get(i + 1).map(|t| t.text.as_str()) == Some("::")
+            && tokens.get(i + 2).is_some_and(|m| {
+                matches!(
+                    m.text.as_str(),
+                    "new" | "with_capacity" | "from" | "default"
+                )
+            });
+        if is_ctor {
+            let mut j = i;
+            while j >= 2
+                && tokens[j - 1].text == "::"
+                && matches!(tokens[j - 2].text.as_str(), "collections" | "std")
+            {
+                j -= 2;
+            }
+            if j >= 2
+                && tokens[j - 1].text == "="
+                && tokens[j - 2].kind == TokKind::Ident
+                && !is_keyword(&tokens[j - 2].text)
+            {
+                names.insert(tokens[j - 2].text.clone());
+            }
+        }
+    }
+    names
+}
+
+/// Walks a method-call chain starting at the `.` at `dot`: returns every
+/// chain method name plus any turbofish type identifiers (closure bodies
+/// are skipped by jumping paren-to-paren), and the index just past the
+/// final call's closing paren.
+fn call_chain(tokens: &[Token], mut j: usize) -> (Vec<&str>, usize) {
+    let mut names = Vec::new();
+    while tokens.get(j).map(|t| t.text.as_str()) == Some(".") {
+        let Some(m) = tokens.get(j + 1) else { break };
+        if m.kind != TokKind::Ident {
+            // Tuple access such as `.0` ends the chain for our purposes.
+            break;
+        }
+        names.push(m.text.as_str());
+        j += 2;
+        if tokens.get(j).map(|t| t.text.as_str()) == Some("::")
+            && tokens.get(j + 1).map(|t| t.text.as_str()) == Some("<")
+        {
+            // Turbofish: collect the type idents, then continue after `>`.
+            j += 1;
+            let mut depth = 0i32;
+            while let Some(t) = tokens.get(j) {
+                match t.text.as_str() {
+                    "<" => depth += 1,
+                    ">" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {
+                        if t.kind == TokKind::Ident {
+                            names.push(t.text.as_str());
+                        }
+                    }
+                }
+                j += 1;
+            }
+        }
+        match match_paren(tokens, j) {
+            Some(close) => j = close + 1,
+            None => break,
+        }
+    }
+    (names, j)
+}
+
+/// True when the statement ending at `end` (expected to be `;`) is
+/// immediately followed by `<ident>.sort*(..)` — the sanctioned
+/// sort-at-the-boundary pattern for a collected hash iteration.
+fn next_statement_sorts(tokens: &[Token], end: usize) -> bool {
+    if tokens.get(end).map(|t| t.text.as_str()) != Some(";") {
+        return false;
+    }
+    tokens
+        .get(end + 1)
+        .is_some_and(|r| r.kind == TokKind::Ident)
+        && tokens.get(end + 2).map(|t| t.text.as_str()) == Some(".")
+        && tokens
+            .get(end + 3)
+            .is_some_and(|m| m.text.starts_with("sort"))
+        && tokens.get(end + 4).map(|t| t.text.as_str()) == Some("(")
+}
+
+/// L9 — hash-order iteration.
+///
+/// Iterating a std `HashMap`/`HashSet` visits entries in a per-process
+/// random order; if that order can reach an artifact (a `Vec`, a report, a
+/// file) the output stops being a pure function of the input and the parity
+/// tests only catch it by seed luck. Detection is lexical: names declared
+/// hash-typed in this file (ascription or constructor binding), flagged at
+/// `for .. in name` and `name.iter()`-family sites unless the call chain
+/// reduces order-insensitively, sorts, collects into an ordered container,
+/// or the very next statement sorts the collected result.
+fn rule_l9(tokens: &[Token], ctx: FileCtx, out: &mut Vec<Finding>) {
+    let names = hash_typed_names(tokens);
+    if names.is_empty() {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || !names.contains(&t.text) {
+            continue;
+        }
+        // `for pat in [&][mut] [recv.]name {`
+        if tokens.get(i + 1).map(|n| n.text.as_str()) == Some("{") {
+            let mut j = i;
+            while j >= 2 && tokens[j - 1].text == "." && tokens[j - 2].kind == TokKind::Ident {
+                j -= 2;
+            }
+            while j >= 1 && matches!(tokens[j - 1].text.as_str(), "&" | "mut") {
+                j -= 1;
+            }
+            if j >= 1 && tokens[j - 1].text == "in" {
+                out.push(Finding {
+                    file: ctx.path.to_string(),
+                    line: t.line,
+                    rule: Rule::L9,
+                    message: format!(
+                        "`for .. in {}` iterates a std hash container in nondeterministic \
+                         order; migrate to `dlinfma_detcol::OrdMap`/`OrdSet` or sort first",
+                        t.text
+                    ),
+                });
+                continue;
+            }
+        }
+        // `name.iter()`-family method chains.
+        if tokens.get(i + 1).map(|n| n.text.as_str()) != Some(".") {
+            continue;
+        }
+        let Some(m) = tokens.get(i + 2) else { continue };
+        if m.kind != TokKind::Ident || !HASH_ITER_METHODS.contains(&m.text.as_str()) {
+            continue;
+        }
+        if tokens.get(i + 3).map(|n| n.text.as_str()) != Some("(") {
+            continue;
+        }
+        let (chain, end) = call_chain(tokens, i + 1);
+        if chain.iter().any(|c| ORDER_INSENSITIVE_CHAIN.contains(c)) {
+            continue;
+        }
+        if next_statement_sorts(tokens, end) {
+            continue;
+        }
+        out.push(Finding {
+            file: ctx.path.to_string(),
+            line: t.line,
+            rule: Rule::L9,
+            message: format!(
+                "`{}.{}()` iterates a std hash container in nondeterministic order; \
+                 consume order-insensitively, sort the result, or migrate to \
+                 `dlinfma_detcol::OrdMap`/`OrdSet`",
+                t.text, m.text
+            ),
+        });
+    }
+}
+
+/// L10 — collecting into a hash container.
+///
+/// `.collect::<HashMap<..>>()` (or the type-ascribed equivalent) builds a
+/// container whose iteration order is random; the collection point is where
+/// the ordered alternative costs one type name, so that is where the rule
+/// fires. Covers the turbofish form and `let name: HashMap<..> = ..
+/// .collect();` bindings.
+fn rule_l10(tokens: &[Token], ctx: FileCtx, out: &mut Vec<Finding>) {
+    let mut flagged: BTreeSet<u32> = BTreeSet::new();
+    let mut push = |line: u32, which: &str, out: &mut Vec<Finding>| {
+        if flagged.insert(line) {
+            out.push(Finding {
+                file: ctx.path.to_string(),
+                line,
+                rule: Rule::L10,
+                message: format!(
+                    "`.collect()` into a std `{which}`; collect into \
+                     `dlinfma_detcol::OrdMap`/`OrdSet` (or `BTreeMap`/`BTreeSet`) so \
+                     downstream iteration is ordered, or keep it lookup-only with a \
+                     reasoned allow"
+                ),
+            });
+        }
+    };
+    // Turbofish form: `.collect::<[std::collections::]Hash{Map,Set}<..>>()`.
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "collect" {
+            continue;
+        }
+        if i.checked_sub(1).map(|p| tokens[p].text.as_str()) != Some(".") {
+            continue;
+        }
+        if tokens.get(i + 1).map(|t| t.text.as_str()) != Some("::")
+            || tokens.get(i + 2).map(|t| t.text.as_str()) != Some("<")
+        {
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut j = i + 2;
+        while let Some(u) = tokens.get(j) {
+            match u.text.as_str() {
+                "<" => depth += 1,
+                ">" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "HashMap" | "HashSet" if u.kind == TokKind::Ident => {
+                    push(t.line, &u.text.clone(), out);
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    // Ascribed form: `let name: HashMap<..> = .. .collect();`.
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+            continue;
+        }
+        if ascribed_name(tokens, i).is_none() {
+            continue;
+        }
+        // Skip the type's own generics; a binding has `=` at angle depth 0
+        // before the declaration ends (a field/param ends at `,`/`;`/`)`).
+        let mut j = i + 1;
+        let mut angle = 0i32;
+        let mut eq = None;
+        while let Some(u) = tokens.get(j) {
+            match u.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "=" if angle == 0 => {
+                    eq = Some(j);
+                    break;
+                }
+                "," | ";" | ")" | "{" | "}" if angle <= 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(eq) = eq else { continue };
+        // Scan the initializer (to its `;` at bracket depth 0) for `collect`.
+        let mut j = eq + 1;
+        let mut depth = 0i32;
+        while let Some(u) = tokens.get(j) {
+            match u.text.as_str() {
+                "(" | "{" | "[" => depth += 1,
+                ")" | "}" | "]" => depth -= 1,
+                ";" if depth <= 0 => break,
+                "collect" if u.kind == TokKind::Ident => {
+                    push(u.line, &t.text.clone(), out);
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+}
+
+/// Pool entry points whose closures run on worker threads in scheduling
+/// order (rule L11). `par_map_reduce_ordered` is the sanctioned ordered
+/// reduction and is deliberately absent.
+const POOL_SCOPE_METHODS: [&str; 3] = ["scope", "par_map", "par_chunks"];
+
+/// L11 — shared-mutable accumulation inside pool scopes.
+///
+/// An `AtomicU64::fetch_add` or a locked accumulator inside `.scope(..)` /
+/// `.par_map(..)` / `.par_chunks(..)` produces values in work-stealing
+/// scheduling order: floating-point sums, Vec pushes and first-writer-wins
+/// updates all become run-dependent. Tasks must return values; the caller
+/// combines them in task order (`par_map` already is ordered;
+/// `par_map_reduce_ordered` does the reduction).
+fn rule_l11(tokens: &[Token], ctx: FileCtx, out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || !POOL_SCOPE_METHODS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if i.checked_sub(1).map(|p| tokens[p].text.as_str()) != Some(".") {
+            continue;
+        }
+        let Some(close) = match_paren(tokens, i + 1) else {
+            continue;
+        };
+        for j in i + 2..close {
+            let u = &tokens[j];
+            if u.kind != TokKind::Ident {
+                continue;
+            }
+            let prev = tokens[j - 1].text.as_str();
+            let next = tokens.get(j + 1).map(|t| t.text.as_str());
+            let what = if u.text.starts_with("fetch_") && prev == "." && next == Some("(") {
+                Some(format!("atomic `.{}(..)`", u.text))
+            } else if u.text == "lock" && prev == "." && next == Some("(") {
+                Some("`.lock()` accumulation".to_string())
+            } else if matches!(u.text.as_str(), "Mutex" | "RwLock") && next == Some("::") {
+                Some(format!("`{}` construction", u.text))
+            } else {
+                None
+            };
+            if let Some(what) = what {
+                out.push(Finding {
+                    file: ctx.path.to_string(),
+                    line: u.line,
+                    rule: Rule::L11,
+                    message: format!(
+                        "{what} inside `.{}(..)`: shared-mutable accumulation depends on \
+                         work-stealing scheduling order; return per-task values and reduce \
+                         with `par_map_reduce_ordered`",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// L12 — ambient process state.
+///
+/// `SystemTime`, `env::var` and `thread::current` make pipeline output
+/// depend on when/where/on-which-thread it ran instead of on the input.
+/// Wall clock belongs to obs, thread identity to pool (both exempt), and
+/// configuration enters through the CLI as explicit parameters.
+fn rule_l12(tokens: &[Token], ctx: FileCtx, out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let next = tokens.get(i + 1).map(|t| t.text.as_str());
+        let next2 = tokens.get(i + 2).map(|t| t.text.as_str());
+        let what = match t.text.as_str() {
+            "SystemTime" => Some("wall clock `SystemTime`"),
+            "env"
+                if next == Some("::")
+                    && matches!(next2, Some("var" | "var_os" | "vars" | "vars_os")) =>
+            {
+                Some("environment read `env::var`")
+            }
+            "thread" if next == Some("::") && next2 == Some("current") => {
+                Some("thread identity `thread::current()`")
+            }
+            _ => None,
+        };
+        if let Some(what) = what {
+            out.push(Finding {
+                file: ctx.path.to_string(),
+                line: t.line,
+                rule: Rule::L12,
+                message: format!(
+                    "{what} makes output depend on ambient process state; take the value \
+                     as a parameter instead (obs owns the wall clock, the CLI owns the \
+                     environment)"
+                ),
+            });
+        }
+    }
+}
+
 fn is_keyword(s: &str) -> bool {
     matches!(
         s,
@@ -725,9 +1309,9 @@ mod tests {
         // itself flagged.
         let bare = "fn f() { let d = 20.0; } // lint: allow(L3)";
         assert_eq!(rules_hit(bare), [Rule::L3, Rule::L6]);
-        // Wrong rule does not suppress.
+        // Wrong rule does not suppress — and, matching nothing, is stale.
         let wrong = "fn f() { let d = 20.0; } // lint: allow(L5, nope)";
-        assert_eq!(rules_hit(wrong), [Rule::L3]);
+        assert_eq!(rules_hit(wrong), [Rule::L3, Rule::L6]);
     }
 
     #[test]
@@ -736,10 +1320,29 @@ mod tests {
         // to suppress.
         assert_eq!(rules_hit("fn f() {} // lint: allow(L2)"), [Rule::L6]);
         assert_eq!(rules_hit("fn f() {} // lint: allow(L2, )"), [Rule::L6]);
-        // A reasoned directive or prose mentioning the syntax is fine.
-        assert!(rules_hit("fn f() {} // lint: allow(L2, provably in range)").is_empty());
+        // A reasoned directive that suppresses a real finding is fine, as is
+        // prose mentioning the syntax.
+        assert!(rules_hit(
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() } // lint: allow(L2, test helper)"
+        )
+        .is_empty());
         assert!(
             rules_hit("// see `lint: allow(<rule>, <reason>)` in DESIGN.md\nfn f() {}").is_empty()
+        );
+    }
+
+    #[test]
+    fn l6_flags_stale_allow_directives() {
+        // A reasoned directive whose rule no longer fires on its lines is
+        // stale: it suppresses nothing and would mask the next finding.
+        let stale = "// lint: allow(L3, the constant moved away)\nfn f() -> u8 { 7 }";
+        assert_eq!(rules_hit(stale), [Rule::L6]);
+        let f = &lint_source(stale, ctx())[0];
+        assert!(f.message.contains("stale"), "message: {}", f.message);
+        // Inline-style stale directive too.
+        assert_eq!(
+            rules_hit("fn f() -> u8 { 7 } // lint: allow(L5, long gone)"),
+            [Rule::L6]
         );
     }
 
@@ -792,6 +1395,140 @@ mod tests {
         let mut c = ctx();
         c.is_obs_crate = true;
         assert!(lint_source("fn f() { obs::trace_span(\"x\"); }", c).is_empty());
+    }
+
+    #[test]
+    fn l9_fires_on_hash_iteration() {
+        // for-loop over a hash-typed fn param.
+        let src = "use std::collections::HashMap;\nfn f(m: &HashMap<u8, u8>) { for (k, v) in m { let _ = (k, v); } }";
+        assert_eq!(rules_hit(src), [Rule::L9]);
+        // Method iteration on a constructor-bound local, through `self.`-style
+        // receivers and `&mut`.
+        let src = "fn f() { let mut m = std::collections::HashMap::new(); m.insert(1u8, 2u8); for v in m.values() { let _ = v; } }";
+        assert_eq!(rules_hit(src), [Rule::L9]);
+        let src = "struct S { m: HashMap<u8, u8> }\nimpl S { fn f(&mut self) { for v in &mut self.m { let _ = v; } } }";
+        assert_eq!(rules_hit(src), [Rule::L9]);
+        // Untracked (non-hash) names never fire.
+        assert!(rules_hit("fn f(v: &Vec<u8>) { for x in v { let _ = x; } }").is_empty());
+    }
+
+    #[test]
+    fn l9_accepts_order_insensitive_and_sorted_consumption() {
+        // Order-insensitive reductions.
+        assert!(rules_hit(
+            "fn f(s: &HashSet<u32>) -> usize { s.iter().filter(|x| **x > 1).count() }"
+        )
+        .is_empty());
+        assert!(rules_hit("fn f(m: &HashMap<u8, u64>) -> u64 { m.values().sum() }").is_empty());
+        // Sort on the very next statement (the collect-then-sort boundary).
+        let sorted = "fn f(m: &HashMap<u8, u8>) -> Vec<u8> { let mut v: Vec<u8> = m.keys().copied().collect(); v.sort_unstable(); v }";
+        assert!(rules_hit(sorted).is_empty());
+        // Collecting into an ordered container in-chain.
+        assert!(rules_hit(
+            "fn f(m: &HashMap<u8, u8>) -> std::collections::BTreeSet<u8> { m.keys().copied().collect::<std::collections::BTreeSet<u8>>() }"
+        )
+        .is_empty());
+        // A reasoned allow survives.
+        assert!(rules_hit(
+            "fn f(m: &HashMap<u8, u8>) { for v in m.values() { let _ = v; } } // lint: allow(L9, lookup-only diagnostic)"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn l10_fires_on_hash_collects() {
+        // Turbofish form.
+        assert_eq!(
+            rules_hit(
+                "fn f(xs: &[u32]) -> usize { let s = xs.iter().copied().collect::<std::collections::HashSet<u32>>(); s.len() }"
+            ),
+            [Rule::L10]
+        );
+        // Type-ascribed binding form.
+        assert_eq!(
+            rules_hit(
+                "fn f(xs: &[(u8, u8)]) -> usize { let m: std::collections::HashMap<u8, u8> = xs.iter().copied().collect(); m.len() }"
+            ),
+            [Rule::L10]
+        );
+        // Ordered targets and hash-typed fields without an initializer are
+        // clean.
+        assert!(rules_hit(
+            "fn f(xs: &[u32]) -> std::collections::BTreeSet<u32> { xs.iter().copied().collect() }"
+        )
+        .is_empty());
+        assert!(rules_hit("struct S { m: HashMap<u8, u8> }").is_empty());
+    }
+
+    #[test]
+    fn l11_fires_on_shared_accumulation_in_pool_scopes() {
+        let atomic = "fn f(pool: &Pool, xs: &[u64]) -> u64 { let t = AtomicU64::new(0); pool.scope(|s| { t.fetch_add(1, Ordering::Relaxed); }); t.load(Ordering::Relaxed) }";
+        assert_eq!(rules_hit(atomic), [Rule::L11]);
+        let locked = "fn f(pool: &Pool) { let r = Mutex::new(Vec::new()); pool.par_map(&[1u8], |x| { r.lock().push(*x); *x }); }";
+        assert_eq!(rules_hit(locked), [Rule::L11]);
+        // The ordered reduction path and non-pool call sites are sanctioned.
+        assert!(rules_hit(
+            "fn f(pool: &Pool, xs: &[u64]) -> u64 { pool.par_map_reduce_ordered(xs, |x| *x, |a, b| a + b) }"
+        )
+        .is_empty());
+        assert!(rules_hit("fn f(t: &AtomicU64) { t.fetch_add(1, Ordering::Relaxed); }").is_empty());
+        // The pool crate implements the machinery it guards.
+        let mut c = ctx();
+        c.is_pool_crate = true;
+        assert!(lint_source(
+            "fn f(p: &Pool, t: &AtomicU64) { p.scope(|s| { t.fetch_add(1, Ordering::Relaxed); }); }",
+            c
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn l12_fires_on_ambient_process_state() {
+        assert_eq!(
+            rules_hit("fn f() -> std::time::SystemTime { std::time::SystemTime::now() }"),
+            [Rule::L12]
+        );
+        assert_eq!(
+            rules_hit("fn f() -> bool { std::env::var(\"DLINFMA_DEBUG\").is_ok() }"),
+            [Rule::L12]
+        );
+        assert_eq!(
+            rules_hit("fn f() { let _t = std::thread::current(); }"),
+            [Rule::L12]
+        );
+        // CLI args, `env!` and non-identity thread APIs are out of scope.
+        assert!(rules_hit(
+            "fn f() { let _ = std::env::args(); std::thread::available_parallelism(); }"
+        )
+        .is_empty());
+        // obs and pool own their clocks and thread identities.
+        let mut c = ctx();
+        c.is_obs_crate = true;
+        assert!(lint_source("fn f() { std::time::SystemTime::now(); }", c).is_empty());
+        let mut c = ctx();
+        c.is_pool_crate = true;
+        assert!(lint_source("fn f() { std::thread::current(); }", c).is_empty());
+    }
+
+    #[test]
+    fn rule_all_order_matches_index() {
+        for (i, r) in Rule::ALL.into_iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Rule::parse(r.name()), Some(r));
+        }
+    }
+
+    #[test]
+    fn lint_file_reports_allow_inventory_and_timings() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // lint: allow(L2, caller checks)";
+        let mut ns = [0u64; RULE_COUNT];
+        let lint = lint_file(src, ctx(), Some(&mut ns));
+        assert!(lint.findings.is_empty());
+        assert_eq!(lint.allows.len(), 1);
+        assert_eq!(lint.allows[0].rule, Rule::L2);
+        assert_eq!(lint.allows[0].reason, "caller checks");
+        // Unconditional rules accumulated some time.
+        assert!(ns[Rule::L2.index()] > 0 || ns[Rule::L5.index()] > 0 || ns.iter().any(|&n| n > 0));
     }
 
     #[test]
