@@ -34,10 +34,14 @@ run() {
 run cargo build --release --workspace "${CARGO_FLAGS[@]}"
 run cargo test --workspace -q "${CARGO_FLAGS[@]}"
 # In-tree static analysis (NaN ordering, panic freedom, paper constants,
-# unpooled threads); offline-safe and fast, so it runs before the slower
-# clippy pass. The --fixtures pass lints the linter itself against seeded
-# violations.
-run cargo run -p xtask "${CARGO_FLAGS[@]}" -- lint
+# unpooled threads, and the L9-L12 determinism audit); offline-safe and
+# fast, so it runs before the slower clippy pass. The --json invocation is
+# the gate: it writes the machine-readable findings report (uploaded as a
+# CI artifact) and prints the per-rule timing table to stderr. The
+# --fixtures pass lints the linter itself against seeded violations.
+echo "==> cargo run -p xtask -- lint --json (> LINT_report.json)"
+cargo run -p xtask "${CARGO_FLAGS[@]}" -- lint --json > LINT_report.json ||
+    { cargo run -p xtask "${CARGO_FLAGS[@]}" -- lint; exit 1; }
 run cargo run -p xtask "${CARGO_FLAGS[@]}" -- lint --fixtures
 
 if [[ $QUICK -eq 1 ]]; then
