@@ -245,6 +245,7 @@ mod tests {
         let dlinfma = DlInfMa::prepare(&ds, DlInfMaConfig::fast());
         let empty = AddressSample {
             address: dlinfma_synth::AddressId(0),
+            station: dlinfma_synth::StationId(0),
             candidates: vec![],
             features: vec![],
             n_deliveries: 0,

@@ -15,10 +15,10 @@
 //! *calibrated ratio* `prepare_ns / calibration_ns` instead of raw time.
 
 use dlinfma_bench::{calibrated_gate, calibration_ns, ensure_writable};
-use dlinfma_core::{DlInfMa, Engine};
+use dlinfma_core::{DlInfMa, Engine, ShardedEngine};
 use dlinfma_eval::pipeline_config;
 use dlinfma_obs::{self as obs, JsonValue, Stopwatch};
-use dlinfma_synth::{generate, replay, Dataset, Preset, Scale};
+use dlinfma_synth::{generate, generate_with, replay, world_config, Dataset, Preset, Scale};
 use std::process::ExitCode;
 
 const SEED: u64 = 1;
@@ -55,6 +55,18 @@ fn replay_wall_ns(dataset: &Dataset, preset: Preset, traced: bool) -> u64 {
         let _ = obs::take_trace();
     }
     ns
+}
+
+/// Full fleet-mode replay of `dataset` at `shards` station shards; returns
+/// the wall time and the merged funnel totals so the sweep records that
+/// every shard count produced the identical artifacts.
+fn fleet_replay_at(shards: usize, dataset: &Dataset, preset: Preset) -> (u64, usize, usize) {
+    let mut fleet = ShardedEngine::new(dataset.addresses.clone(), pipeline_config(preset), shards);
+    let t = Stopwatch::start();
+    for day in replay(dataset) {
+        fleet.ingest(&day);
+    }
+    (t.elapsed_ns(), fleet.n_stays(), fleet.n_candidates())
 }
 
 fn prepare_at(workers: usize, dataset: &dlinfma_synth::Dataset, preset: Preset) -> (u64, DlInfMa) {
@@ -103,6 +115,36 @@ fn run() -> Result<(), String> {
         batch = Some(b);
     }
     let batch = batch.ok_or("worker sweep was empty")?;
+
+    // Fleet mode: the same replay partitioned over 1/2/4 station shards on
+    // a three-station world. The merged totals must not move with the shard
+    // count — that invariance rides along in the artifact.
+    let sharded_dataset = {
+        let mut wc = world_config(preset, Scale::Tiny);
+        wc.sim.n_stations = 3;
+        generate_with(&wc, SEED).1
+    };
+    let mut shards_sweep = Vec::new();
+    let mut fleet_totals: Option<(usize, usize)> = None;
+    for shards in [1usize, 2, 4] {
+        let (ns, n_stays, n_candidates) = fleet_replay_at(shards, &sharded_dataset, preset);
+        match fleet_totals {
+            None => fleet_totals = Some((n_stays, n_candidates)),
+            Some(t) if t != (n_stays, n_candidates) => {
+                return Err(format!(
+                    "shard sweep diverged at {shards} shards: \
+                     ({n_stays} stays, {n_candidates} candidates) vs {t:?}"
+                ));
+            }
+            Some(_) => {}
+        }
+        shards_sweep.push(JsonValue::Obj(vec![
+            ("shards".into(), JsonValue::Num(shards as f64)),
+            ("replay_ns".into(), JsonValue::Num(ns as f64)),
+            ("n_stays".into(), JsonValue::Num(n_stays as f64)),
+            ("n_candidates".into(), JsonValue::Num(n_candidates as f64)),
+        ]));
+    }
 
     let mut engine = Engine::new(dataset.addresses.clone(), pipeline_config(preset));
     let mut days = Vec::new();
@@ -155,6 +197,7 @@ fn run() -> Result<(), String> {
         ("prepare_ns".into(), JsonValue::Num(prepare_ns as f64)),
         ("prepare_report".into(), batch.report().to_json()),
         ("workers_sweep".into(), JsonValue::Arr(sweep)),
+        ("shards_sweep".into(), JsonValue::Arr(shards_sweep)),
         ("clustering_ns".into(), JsonValue::Num(clustering_ns as f64)),
         (
             "clustering_cpu_ns".into(),
@@ -179,6 +222,12 @@ fn run() -> Result<(), String> {
         "wrote {out} (prepare {:.3} ms at {max_workers} workers, {n_days} replay days)",
         prepare_ns as f64 / 1e6
     );
+    if let Some((n_stays, n_candidates)) = fleet_totals {
+        println!(
+            "shard sweep 1/2/4: merged totals stable at {n_stays} stays, \
+             {n_candidates} candidates"
+        );
+    }
 
     println!(
         "trace overhead: {:.3} ms traced vs {:.3} ms untraced ({:+.1}%)",

@@ -6,6 +6,7 @@
 //! dlinfma eval     --preset dowbj --scale tiny  --seed 1 [--all]
 //! dlinfma infer    --preset dowbj --scale tiny  --seed 1 --address 12
 //! dlinfma replay   --preset dowbj --scale tiny  --seed 1
+//! dlinfma replay   --preset dowbj --scale tiny  --seed 1 --shards 4
 //! dlinfma health   --preset dowbj --scale tiny  --seed 1
 //! dlinfma geojson  --preset dowbj --scale tiny  --seed 1 --out map.geojson
 //! dlinfma serve    --preset dowbj --scale tiny  --seed 1 --port 8080
@@ -61,6 +62,7 @@ impl Args {
                         "scale",
                         "seed",
                         "workers",
+                        "shards",
                         "out",
                         "address",
                         "metrics-out",
@@ -129,6 +131,19 @@ impl Args {
         }
     }
 
+    /// Station shards for fleet mode (`replay`/`serve`); defaults to 1
+    /// (one whole-fleet engine — bit-identical to any other shard count).
+    fn shards(&self) -> Result<usize, String> {
+        match self.get("shards") {
+            None => Ok(1),
+            Some(v) => match v.parse::<usize>() {
+                Ok(0) => Err("bad --shards '0': must be at least 1".to_string()),
+                Ok(n) => Ok(n),
+                Err(e) => Err(format!("bad --shards '{v}': {e}")),
+            },
+        }
+    }
+
     /// The pipeline configuration for this invocation: the preset's tuned
     /// configuration with the `--workers` override applied.
     fn pipeline_cfg(&self, preset: Preset) -> Result<DlInfMaConfig, String> {
@@ -176,11 +191,12 @@ fn usage() -> &'static str {
      \x20 stats                    print Table I-style dataset statistics\n\
      \x20 eval      [--all]        train + evaluate methods on the test region\n\
      \x20 infer     --address N    train DLInfMA and infer one address\n\
-     \x20 replay                   stream the dataset day by day through the engine\n\
+     \x20 replay    [--shards N]   stream the dataset day by day through the engine\n\
+     \x20                          (--shards N > 1: fleet mode, one engine per station shard)\n\
      \x20 health                   replay the dataset and print ingest health monitors\n\
      \x20 geojson   --out FILE     train DLInfMA and export a GeoJSON map\n\
      \x20 serve     [--port N]     HTTP lookups from snapshots under live ingest;\n\
-     \x20           [--day-delay-ms N] [--train-days N] [--serve-ms N] [--self-check N]\n\
+     \x20           [--shards N] [--day-delay-ms N] [--train-days N] [--serve-ms N] [--self-check N]\n\
      \x20           endpoints: /lookup?address=N /batch?addresses=N,M /healthz /stats /shutdown\n\
      observability:\n\
      \x20 --verbose           print stage timings, spans and metrics to stderr\n\
@@ -330,30 +346,60 @@ fn run() -> Result<(), String> {
             println!("error        {:.1} m", inferred.distance(&truth));
         }
         "replay" => {
+            let shards = args.shards()?;
             let (_, dataset) = generate(preset, scale, seed);
             let store = dlinfma_ststore::TrajectoryStore::new();
-            let mut engine = Engine::new(dataset.addresses.clone(), args.pipeline_cfg(preset)?);
-            let mut days = 0u64;
-            let mut total_ns = 0u64;
-            for batch in dlinfma_synth::replay(&dataset) {
-                store.ingest_batch(&batch);
-                let rep = engine.ingest(&batch);
-                println!("{}", rep.render_line());
-                days += 1;
-                total_ns += rep.total_ns();
+            if shards > 1 {
+                // Fleet mode: one engine per station shard, merged totals.
+                let mut fleet = dlinfma_core::ShardedEngine::new(
+                    dataset.addresses.clone(),
+                    args.pipeline_cfg(preset)?,
+                    shards,
+                );
+                let mut days = 0u64;
+                let mut total_ns = 0u64;
+                for batch in dlinfma_synth::replay(&dataset) {
+                    store.ingest_batch(&batch);
+                    let rep = fleet.ingest(&batch);
+                    println!("{}", rep.render_line());
+                    days += 1;
+                    total_ns += rep.aggregate().total_ns();
+                }
+                println!(
+                    "replayed {days} days across {shards} shards: {} stays, {} candidates, \
+                     {} sampled addresses ({:.3} ms total ingest; store holds {} fixes, \
+                     {} waybills)",
+                    fleet.n_stays(),
+                    fleet.n_candidates(),
+                    fleet.merged_samples().len(),
+                    total_ns as f64 / 1e6,
+                    store.n_fixes(),
+                    store.n_waybills()
+                );
+            } else {
+                let mut engine = Engine::new(dataset.addresses.clone(), args.pipeline_cfg(preset)?);
+                let mut days = 0u64;
+                let mut total_ns = 0u64;
+                for batch in dlinfma_synth::replay(&dataset) {
+                    store.ingest_batch(&batch);
+                    let rep = engine.ingest(&batch);
+                    println!("{}", rep.render_line());
+                    days += 1;
+                    total_ns += rep.total_ns();
+                }
+                println!(
+                    "replayed {days} days: {} stays, {} candidates, {} sampled addresses \
+                     ({:.3} ms total ingest; store holds {} fixes, {} waybills)",
+                    engine.n_stays(),
+                    engine.pool().len(),
+                    engine.samples().count(),
+                    total_ns as f64 / 1e6,
+                    store.n_fixes(),
+                    store.n_waybills()
+                );
+                report = Some(engine.report().clone());
+                health = Some(engine.health_report());
             }
-            println!(
-                "replayed {days} days: {} stays, {} candidates, {} sampled addresses \
-                 ({:.3} ms total ingest; store holds {} fixes, {} waybills)",
-                engine.n_stays(),
-                engine.pool().len(),
-                engine.samples().count(),
-                total_ns as f64 / 1e6,
-                store.n_fixes(),
-                store.n_waybills()
-            );
-            report = Some(engine.report().clone());
-            health = Some(engine.health_report());
         }
         "health" => {
             let (_, dataset) = generate(preset, scale, seed);
@@ -384,8 +430,8 @@ fn run() -> Result<(), String> {
             let train_days: u32 = args.num("train-days", 2)?;
             let serve_ms: u64 = args.num("serve-ms", 0)?;
             let self_check: u64 = args.num("self-check", 0)?;
+            let shards = args.shards()?;
             let (_, dataset) = generate(preset, scale, seed);
-            let mut engine = Engine::new(dataset.addresses.clone(), args.pipeline_cfg(preset)?);
             let cell = std::sync::Arc::new(dlinfma_store::SnapshotCell::new());
             let cfg = dlinfma_serve::ServeConfig {
                 addr: format!("127.0.0.1:{port}"),
@@ -394,32 +440,65 @@ fn run() -> Result<(), String> {
             let mut server = dlinfma_serve::Server::start(cfg, std::sync::Arc::clone(&cell))
                 .map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
             println!(
-                "serving on http://{} ({} addresses; model trains after day {train_days})",
+                "serving on http://{} ({} addresses, {shards} shard(s); \
+                 model trains after day {train_days})",
                 server.addr(),
                 dataset.addresses.len()
             );
+
+            /// What the ingest thread hands back at join: whichever engine
+            /// shape it drove, plus the last published epoch.
+            enum IngestResult {
+                Single(Box<Engine>, u64),
+                Fleet(Box<dlinfma_core::ShardedEngine>, u64),
+            }
 
             // Background ingest: one epoch per replayed day. The engine
             // moves into the service thread and comes back at join.
             let batches: Vec<_> = dlinfma_synth::replay(&dataset).collect();
             let n_days = batches.len();
+            let pipeline_cfg = args.pipeline_cfg(preset)?;
             let ingest = {
                 let cell = std::sync::Arc::clone(&cell);
                 let dataset = dataset.clone();
                 dlinfma_pool::spawn_service("cli-ingest", move || {
-                    let epoch = dlinfma_serve::replay_and_publish(
-                        &mut engine,
-                        batches,
-                        &cell,
-                        day_delay_ms,
-                        |engine, day| {
-                            if day == train_days {
-                                let n = dlinfma_serve::train_engine_model(engine, &dataset);
-                                println!("day {day}: trained model on {n} labelled samples");
-                            }
-                        },
-                    );
-                    (engine, epoch)
+                    if shards > 1 {
+                        let mut fleet = dlinfma_core::ShardedEngine::new(
+                            dataset.addresses.clone(),
+                            pipeline_cfg,
+                            shards,
+                        );
+                        let epoch = dlinfma_serve::replay_and_publish_sharded(
+                            &mut fleet,
+                            batches,
+                            &cell,
+                            day_delay_ms,
+                            |fleet, day| {
+                                if day == train_days {
+                                    let n = dlinfma_serve::train_sharded_model(fleet, &dataset);
+                                    println!(
+                                        "day {day}: trained fleet model on {n} labelled samples"
+                                    );
+                                }
+                            },
+                        );
+                        IngestResult::Fleet(Box::new(fleet), epoch)
+                    } else {
+                        let mut engine = Engine::new(dataset.addresses.clone(), pipeline_cfg);
+                        let epoch = dlinfma_serve::replay_and_publish(
+                            &mut engine,
+                            batches,
+                            &cell,
+                            day_delay_ms,
+                            |engine, day| {
+                                if day == train_days {
+                                    let n = dlinfma_serve::train_engine_model(engine, &dataset);
+                                    println!("day {day}: trained model on {n} labelled samples");
+                                }
+                            },
+                        );
+                        IngestResult::Single(Box::new(engine), epoch)
+                    }
                 })
             };
 
@@ -459,7 +538,10 @@ fn run() -> Result<(), String> {
                 );
             }
 
-            let (engine, final_epoch) = ingest.join().map_err(|_| "ingest thread panicked")?;
+            let result = ingest.join().map_err(|_| "ingest thread panicked")?;
+            let final_epoch = match &result {
+                IngestResult::Single(_, e) | IngestResult::Fleet(_, e) => *e,
+            };
             println!("ingest complete: {n_days} days, final epoch {final_epoch}");
             if serve_ms > 0 {
                 std::thread::sleep(std::time::Duration::from_millis(serve_ms));
@@ -475,8 +557,19 @@ fn run() -> Result<(), String> {
                 "served {} requests ({} errors) over {} connections",
                 stats.requests, stats.errors, stats.connections
             );
-            report = Some(engine.report().clone());
-            health = Some(engine.health_report());
+            match result {
+                IngestResult::Single(engine, _) => {
+                    report = Some(engine.report().clone());
+                    health = Some(engine.health_report());
+                }
+                IngestResult::Fleet(fleet, _) => {
+                    println!(
+                        "fleet: {} shards, per-shard epochs {:?}",
+                        fleet.n_shards(),
+                        fleet.shard_epochs()
+                    );
+                }
+            }
         }
         other => return Err(format!("unknown command '{other}'\n{}", usage())),
     }
@@ -536,6 +629,18 @@ mod tests {
         assert!(a.workers().unwrap_err().contains("--workers '0'"));
         let a = parse(&["eval", "--workers", "x"]).unwrap();
         assert!(a.workers().unwrap_err().contains("--workers 'x'"));
+    }
+
+    #[test]
+    fn shards_flag_parses_defaults_and_rejects_zero() {
+        let a = parse(&["replay"]).unwrap();
+        assert_eq!(a.shards().unwrap(), 1);
+        let a = parse(&["replay", "--shards", "4"]).unwrap();
+        assert_eq!(a.shards().unwrap(), 4);
+        let a = parse(&["serve", "--shards", "0"]).unwrap();
+        assert!(a.shards().unwrap_err().contains("--shards '0'"));
+        let a = parse(&["serve", "--shards", "x"]).unwrap();
+        assert!(a.shards().unwrap_err().contains("--shards 'x'"));
     }
 
     #[test]

@@ -35,7 +35,8 @@ use dlinfma_obs::{
     self as obs, names, stage, HealthMonitor, HealthReport, IngestReport, PipelineReport,
 };
 use dlinfma_pool::Pool;
-use dlinfma_synth::{Address, AddressId, DeliveryTrip, TripBatch, TripId};
+use dlinfma_synth::{Address, AddressId, DeliveryTrip, StationId, TripBatch, TripId};
+use std::cmp::Reverse;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
@@ -63,7 +64,10 @@ pub struct Engine {
     pool_state: PoolState,
     retrieval: RetrievalIndex,
     table: SampleTable,
-    seen_trips: HashSet<u32>,
+    /// Departure station of every accepted trip; doubles as the seen-trip
+    /// set for duplicate rejection and lets waybills referencing trips from
+    /// earlier batches recover their station.
+    trip_station: HashMap<u32, StationId>,
     /// Length of the per-trip visit table (max ingested trip id + 1).
     visits_len: usize,
     /// Live `candidate key -> trips visiting it`, rebuilt each ingest.
@@ -97,6 +101,18 @@ impl Engine {
     /// Panics if `cfg.clustering_distance_m` is not strictly positive and
     /// finite (the clustering contract, identical to the batch path).
     pub fn new(addresses: Vec<Address>, cfg: DlInfMaConfig) -> Self {
+        let workers = cfg.workers;
+        Self::with_executor(addresses, cfg, Arc::new(Pool::new(workers)))
+    }
+
+    /// An empty engine running its parallel stages on an existing pool —
+    /// the shard constructor, letting every shard of a
+    /// [`ShardedEngine`](crate::ShardedEngine) share one set of workers.
+    ///
+    /// # Panics
+    /// Panics if `cfg.clustering_distance_m` is not strictly positive and
+    /// finite (the clustering contract, identical to the batch path).
+    pub fn with_executor(addresses: Vec<Address>, cfg: DlInfMaConfig, exec: Arc<Pool>) -> Self {
         let mut cfg = cfg;
         cfg.model.features = cfg.features;
         Self {
@@ -105,7 +121,7 @@ impl Engine {
             pool_state: PoolState::new(cfg.pool_method, cfg.clustering_distance_m),
             retrieval: RetrievalIndex::new(),
             table: SampleTable::new(),
-            seen_trips: HashSet::new(),
+            trip_station: HashMap::new(),
             visits_len: 0,
             trips_by_key: HashMap::new(),
             pool: CandidatePool::from_parts(Vec::new(), Vec::new()),
@@ -115,7 +131,7 @@ impl Engine {
             ns: StageNs::default(),
             cum_raw_points: 0,
             cum_filtered_points: 0,
-            exec: Arc::new(Pool::new(cfg.workers)),
+            exec,
             health: HealthMonitor::default(),
             cfg,
         }
@@ -142,7 +158,13 @@ impl Engine {
             .trips
             .iter()
             .filter(|t| {
-                let fresh = self.seen_trips.insert(t.id.0);
+                let fresh = match self.trip_station.entry(t.id.0) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(t.station);
+                        true
+                    }
+                    std::collections::hash_map::Entry::Occupied(_) => false,
+                };
                 if !fresh {
                     rep.rejected_trips += 1;
                 }
@@ -178,7 +200,7 @@ impl Engine {
 
         let new_start = self.stays.len();
         for (trip, ts) in accepted.iter().zip(&trip_stays) {
-            self.retrieval.note_trip();
+            self.retrieval.note_trip(trip.station);
             self.visits_len = self.visits_len.max(trip.id.0 as usize + 1);
             for sp in &ts.stays {
                 self.stays.push(StayRec {
@@ -188,6 +210,7 @@ impl Engine {
                     duration_s: sp.duration(),
                     hour_bin: hour_bin(sp.mid_time()),
                     courier: trip.courier,
+                    station: trip.station,
                 });
             }
         }
@@ -209,16 +232,21 @@ impl Engine {
         // --- Waybills: evidence + the waybill side of the dirty set. -----
         let mut dirty: BTreeSet<AddressId> = BTreeSet::new();
         for w in &batch.waybills {
-            if !self.seen_trips.contains(&w.trip.0) {
+            let Some(&station) = self.trip_station.get(&w.trip.0) else {
                 rep.rejected_waybills += 1;
                 continue;
-            }
+            };
             let Some(addr) = self.addresses.get(w.address.0 as usize) else {
                 rep.rejected_waybills += 1;
                 continue;
             };
-            self.retrieval
-                .add_waybill(w.address, addr.building, w.trip, w.t_recorded_delivery);
+            self.retrieval.add_waybill(
+                w.address,
+                addr.building,
+                w.trip,
+                w.t_recorded_delivery,
+                station,
+            );
             dirty.insert(w.address);
             rep.waybills += 1;
         }
@@ -253,30 +281,69 @@ impl Engine {
         // `par_map` keeps the results in `dirty`'s (sorted) order, and the
         // histogram is fed from the collected results to keep the obs
         // collector single-writer.
+        //
+        // Retrieval is scoped to one station per address, mirroring the
+        // paper's per-station deployment: stations are ranked by distinct
+        // evidence trips (descending, tie-break smallest id) and the first
+        // station whose trips yield any candidate keys wins; when every
+        // station comes up empty the top-ranked ("primary") station is kept
+        // with an empty candidate set. Only the chosen station's trips
+        // contribute keys, and its trip count becomes the trip-coverage
+        // denominator — the invariant that makes the sample identical
+        // whether this engine saw the whole fleet or only one station's
+        // shard, and the in-engine twin of `ShardedEngine`'s cross-shard
+        // fallback.
         let dirty_list: Vec<AddressId> = dirty.iter().copied().collect();
-        let (retrieval, stays, pool_state) = (&self.retrieval, &self.stays, &self.pool_state);
-        let retrieved: Vec<(AddressId, Vec<usize>)> = self
+        let (retrieval, stays, pool_state, trip_station) = (
+            &self.retrieval,
+            &self.stays,
+            &self.pool_state,
+            &self.trip_station,
+        );
+        let retrieved: Vec<(AddressId, Vec<usize>, StationId, u32)> = self
             .exec
             .par_map(&dirty_list, |&a| {
                 let _span = obs::trace_span(names::ENGINE_RETRIEVE_ADDRESS);
                 let ev = retrieval.evidence(a)?;
-                let mut keys: Vec<usize> = Vec::new();
-                for &(trip, bound) in &ev.trips {
-                    for &si in stays.stays_of_trip(trip) {
-                        if stays.rec(si).mid_time <= bound {
-                            keys.push(pool_state.key_of(si));
-                        }
+                let mut per_station: OrdMap<StationId, u32> = OrdMap::new();
+                for &(trip, _) in &ev.trips {
+                    if let Some(&st) = trip_station.get(&trip.0) {
+                        *per_station.entry(st).or_insert(0) += 1;
                     }
                 }
-                keys.sort_unstable();
-                keys.dedup();
-                Some((a, keys))
+                let mut ranked: Vec<(StationId, u32)> = per_station.into_iter().collect();
+                ranked.sort_unstable_by_key(|&(s, c)| (Reverse(c), s));
+                let mut chosen: Option<(Vec<usize>, StationId, u32)> = None;
+                for &(station, count) in &ranked {
+                    let mut keys: Vec<usize> = Vec::new();
+                    for &(trip, bound) in &ev.trips {
+                        if trip_station.get(&trip.0) != Some(&station) {
+                            continue;
+                        }
+                        for &si in stays.stays_of_trip(trip) {
+                            if stays.rec(si).mid_time <= bound {
+                                keys.push(pool_state.key_of(si));
+                            }
+                        }
+                    }
+                    keys.sort_unstable();
+                    keys.dedup();
+                    if !keys.is_empty() {
+                        chosen = Some((keys, station, count));
+                        break;
+                    }
+                    if chosen.is_none() {
+                        chosen = Some((keys, station, count));
+                    }
+                }
+                let (keys, station, n_addr_trips) = chosen?;
+                Some((a, keys, station, n_addr_trips))
             })
             .into_iter()
             .flatten()
             .collect();
         if let Some(h) = &cand_hist {
-            for (_, keys) in &retrieved {
+            for (_, keys, _, _) in &retrieved {
                 h.observe(keys.len() as f64);
             }
         }
@@ -291,34 +358,47 @@ impl Engine {
         let (retrieval, addresses, trips_by_key) =
             (&self.retrieval, &self.addresses, &self.trips_by_key);
         let lc_address_level = self.cfg.features.lc_address_level;
-        let counted: Vec<(AddressId, RawSample)> = self.exec.par_map(&retrieved, |(a, keys)| {
-            let _span = obs::trace_span(names::ENGINE_FEATURES_ADDRESS);
-            let a = *a;
-            let empty: HashSet<TripId> = HashSet::new();
-            let addr_trips: HashSet<TripId> =
-                retrieval.address_trips(a).cloned().unwrap_or_default();
-            let exclude: &HashSet<TripId> = if lc_address_level {
-                retrieval.address_trips(a).unwrap_or(&empty)
-            } else {
-                let building = addresses[a.0 as usize].building;
-                retrieval.building_trips(building).unwrap_or(&empty)
-            };
-            let mut tc_hits: Vec<u32> = Vec::with_capacity(keys.len());
-            let mut overlap_excl: Vec<u32> = Vec::with_capacity(keys.len());
-            for k in keys {
-                let cand_set = trips_by_key.get(k).unwrap_or(&empty);
-                tc_hits.push(addr_trips.iter().filter(|t| cand_set.contains(t)).count() as u32);
-                overlap_excl.push(cand_set.iter().filter(|t| exclude.contains(t)).count() as u32);
-            }
-            (
-                a,
-                RawSample {
-                    candidate_keys: keys.clone(),
-                    tc_hits,
-                    overlap_excl,
-                },
-            )
-        });
+        let counted: Vec<(AddressId, RawSample)> =
+            self.exec
+                .par_map(&retrieved, |(a, keys, station, n_addr_trips)| {
+                    let _span = obs::trace_span(names::ENGINE_FEATURES_ADDRESS);
+                    let (a, station, n_addr_trips) = (*a, *station, *n_addr_trips);
+                    let empty: HashSet<TripId> = HashSet::new();
+                    let addr_trips: HashSet<TripId> =
+                        retrieval.address_trips(a).cloned().unwrap_or_default();
+                    // Candidate trip sets are single-station (clustering
+                    // never crosses stations), so intersecting with the
+                    // address's full trip set or its primary-station subset
+                    // yields the same counts — the full set is cheaper.
+                    let exclude: &HashSet<TripId> = if lc_address_level {
+                        retrieval.address_trips(a).unwrap_or(&empty)
+                    } else {
+                        let building = addresses[a.0 as usize].building;
+                        retrieval
+                            .building_station_trips(building, station)
+                            .unwrap_or(&empty)
+                    };
+                    let mut tc_hits: Vec<u32> = Vec::with_capacity(keys.len());
+                    let mut overlap_excl: Vec<u32> = Vec::with_capacity(keys.len());
+                    for k in keys {
+                        let cand_set = trips_by_key.get(k).unwrap_or(&empty);
+                        tc_hits.push(
+                            addr_trips.iter().filter(|t| cand_set.contains(t)).count() as u32
+                        );
+                        overlap_excl
+                            .push(cand_set.iter().filter(|t| exclude.contains(t)).count() as u32);
+                    }
+                    (
+                        a,
+                        RawSample {
+                            candidate_keys: keys.clone(),
+                            tc_hits,
+                            overlap_excl,
+                            station,
+                            n_addr_trips,
+                        },
+                    )
+                });
         for (a, raw) in counted {
             self.table.replace(a, raw);
         }
@@ -389,8 +469,9 @@ impl Engine {
         // Every sample is a pure function of its own raw counts and the
         // shared read-only state, so the per-address finalization fans out
         // across the pool; each address's features are computed in one task,
-        // so the floats are bitwise-identical at any worker count.
-        let n_trips = self.retrieval.n_trips();
+        // so the floats are bitwise-identical at any worker count. All
+        // normalizers are scoped to the sample's primary station, so they
+        // are also identical at any *shard* count.
         let f = self.cfg.features;
         let entries: Vec<(AddressId, &RawSample)> =
             self.table.iter().map(|(&a, raw)| (a, raw)).collect();
@@ -405,12 +486,13 @@ impl Engine {
             .exec
             .par_map(&entries, |&(a, raw)| {
                 let addr = addresses.get(a.0 as usize)?;
-                let n_addr_trips = retrieval.address_trips(a).map_or(0, HashSet::len);
+                let n_addr_trips = raw.n_addr_trips as usize;
+                let n_station_trips = retrieval.n_trips_in(raw.station);
                 let exclude_len = if f.lc_address_level {
                     n_addr_trips
                 } else {
                     retrieval
-                        .building_trips(addr.building)
+                        .building_station_trips(addr.building, raw.station)
                         .map_or(0, HashSet::len)
                 };
                 let mut ids: Vec<CandidateId> = Vec::with_capacity(raw.candidate_keys.len());
@@ -427,7 +509,7 @@ impl Engine {
                     } else {
                         0.0
                     };
-                    let denom = n_trips - exclude_len;
+                    let denom = n_station_trips.saturating_sub(exclude_len);
                     let location_commonality = if f.use_location_commonality && denom > 0 {
                         (trips_c_len - raw.overlap_excl[j] as usize) as f64 / denom as f64
                     } else {
@@ -453,6 +535,7 @@ impl Engine {
                     a,
                     AddressSample {
                         address: a,
+                        station: raw.station,
                         candidates: ids,
                         features,
                         n_deliveries: n_addr_trips,

@@ -16,9 +16,10 @@
 
 use crate::candidates::{CandidateId, CandidatePool, TIME_BINS};
 use crate::retrieval::{retrieve_candidates, AddressEvidence};
-use dlinfma_detcol::OrdSet;
+use dlinfma_detcol::{OrdMap, OrdSet};
 use dlinfma_geo::Point;
-use dlinfma_synth::{AddressId, BuildingId, Dataset, TripId};
+use dlinfma_synth::{AddressId, BuildingId, Dataset, StationId, TripId};
+use std::cmp::Reverse;
 use std::collections::{HashMap, HashSet};
 
 /// Which features to extract; all on by default.
@@ -158,6 +159,10 @@ impl CandidateFeatures {
 pub struct AddressSample {
     /// The address.
     pub address: AddressId,
+    /// Primary station of the address's evidence: the station delivering
+    /// the most distinct trips (tie-break: smallest id). In fleet mode this
+    /// is the shard that owns the sample.
+    pub station: StationId,
     /// Retrieved candidate ids (sorted).
     pub candidates: Vec<CandidateId>,
     /// Per-candidate features, parallel to `candidates`.
@@ -302,6 +307,16 @@ impl<'a> FeatureExtractor<'a> {
         candidates: Vec<CandidateId>,
     ) -> AddressSample {
         let addr_trips: OrdSet<TripId> = evidence.trips.iter().map(|&(t, _)| t).collect();
+        // Primary station of the evidence: most distinct trips, tie-break
+        // smallest id — the same rule the engine's retrieval stage applies.
+        let mut per_station: OrdMap<StationId, u32> = OrdMap::new();
+        for &t in &addr_trips {
+            *per_station.entry(self.dataset.trip(t).station).or_insert(0) += 1;
+        }
+        let station = per_station
+            .iter()
+            .max_by_key(|&(&s, &c)| (c, Reverse(s)))
+            .map_or(StationId(0), |(&s, _)| s);
         let features = candidates
             .iter()
             .map(|&c| self.candidate_features(evidence.address, c, &addr_trips))
@@ -309,6 +324,7 @@ impl<'a> FeatureExtractor<'a> {
         let a = self.dataset.address(evidence.address);
         AddressSample {
             address: evidence.address,
+            station,
             candidates,
             features,
             n_deliveries: evidence.trips.len(),

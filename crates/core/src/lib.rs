@@ -31,6 +31,7 @@ pub mod features;
 pub mod locmatcher;
 pub mod pipeline;
 pub mod retrieval;
+pub mod sharded;
 pub mod stages;
 pub mod staypoints;
 
@@ -45,6 +46,7 @@ pub use features::{AddressSample, CandidateFeatures, FeatureConfig, FeatureExtra
 pub use locmatcher::{LocMatcher, LocMatcherConfig, TrainReport};
 pub use pipeline::{DlInfMa, DlInfMaConfig, PoolMethod};
 pub use retrieval::{collect_evidence, retrieve_candidates, AddressEvidence};
+pub use sharded::ShardedEngine;
 pub use staypoints::{
     extract_batch_with_stats, extract_stay_points, extract_stay_points_parallel, ExtractionConfig,
     TripStays,

@@ -672,6 +672,7 @@ mod tests {
             .collect();
         AddressSample {
             address: dlinfma_synth::AddressId(0),
+            station: dlinfma_synth::StationId(0),
             candidates: (0..n).map(|i| CandidateId(i as u32)).collect(),
             features,
             n_deliveries: rng.gen_range(1..10),
@@ -744,6 +745,7 @@ mod tests {
         let model = LocMatcher::new(LocMatcherConfig::fast());
         let s = AddressSample {
             address: dlinfma_synth::AddressId(0),
+            station: dlinfma_synth::StationId(0),
             candidates: vec![],
             features: vec![],
             n_deliveries: 0,

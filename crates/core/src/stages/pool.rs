@@ -68,8 +68,9 @@ pub struct PoolState {
     /// Hierarchical mode: cluster records per component, keyed by the
     /// component key (minimum stay index in the component).
     components: OrdMap<usize, Vec<ClusterRec>>,
-    /// Grid mode: one record per occupied cell.
-    cells: OrdMap<(i64, i64), ClusterRec>,
+    /// Grid mode: one record per occupied `(station, cell)` — cells are
+    /// station-scoped so grid pools shard exactly like hierarchical ones.
+    cells: OrdMap<(u32, i64, i64), ClusterRec>,
     /// Current cluster key of every stay, parallel to the stay set.
     assign: Vec<usize>,
 }
@@ -226,6 +227,7 @@ impl PoolState {
         for i in new_start..stays.len() {
             let rec = stays.rec(i);
             let cell = (
+                rec.station.0,
                 (rec.pos.x / self.distance).floor() as i64,
                 (rec.pos.y / self.distance).floor() as i64,
             );

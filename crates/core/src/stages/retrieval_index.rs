@@ -9,9 +9,17 @@
 //! trip, folded exactly as the batch path folds them) plus the
 //! building-level and address-level trip sets Equation 2's normalization
 //! needs.
+//!
+//! Trip counts and building trip sets are *station-scoped*: the paper
+//! deploys DLInfMA per delivery station, so normalizers count only the
+//! trips of an address's own station. That makes every derived quantity a
+//! function of one station's data alone — the property that lets
+//! [`ShardedEngine`](crate::ShardedEngine) split the fleet by station
+//! without changing a single feature value.
 
 use crate::retrieval::AddressEvidence;
-use dlinfma_synth::{AddressId, BuildingId, TripId};
+use dlinfma_detcol::OrdMap;
+use dlinfma_synth::{AddressId, BuildingId, StationId, TripId};
 use std::collections::{HashMap, HashSet};
 
 /// Accumulated evidence across every ingested waybill.
@@ -20,11 +28,14 @@ pub struct RetrievalIndex {
     /// Per address: per trip, the latest recorded delivery time (the
     /// retrieval bound).
     bounds: HashMap<AddressId, HashMap<TripId, f64>>,
-    /// Trips that delivered to each building.
-    building_trips: HashMap<BuildingId, HashSet<TripId>>,
+    /// Trips that delivered to each building, per departing station.
+    building_trips: HashMap<(BuildingId, StationId), HashSet<TripId>>,
     /// Trips that delivered to each address.
     address_trips: HashMap<AddressId, HashSet<TripId>>,
-    /// Accepted trips so far (the live `n_trips` of Equation 2).
+    /// Accepted trips per station (the live `n_trips` of Equation 2,
+    /// station-scoped).
+    trips_per_station: OrdMap<StationId, usize>,
+    /// Accepted trips so far, all stations.
     n_trips: usize,
 }
 
@@ -34,24 +45,32 @@ impl RetrievalIndex {
         Self::default()
     }
 
-    /// Counts one accepted trip.
-    pub fn note_trip(&mut self) {
+    /// Counts one accepted trip departing from `station`.
+    pub fn note_trip(&mut self, station: StationId) {
         self.n_trips += 1;
+        *self.trips_per_station.entry(station).or_insert(0) += 1;
     }
 
-    /// Total accepted trips.
+    /// Total accepted trips, all stations.
     pub fn n_trips(&self) -> usize {
         self.n_trips
     }
 
+    /// Accepted trips departing from `station`.
+    pub fn n_trips_in(&self, station: StationId) -> usize {
+        self.trips_per_station.get(&station).copied().unwrap_or(0)
+    }
+
     /// Folds one waybill into the evidence, exactly like the batch path:
     /// the bound starts at `-inf` and takes the maximum recorded time.
+    /// `station` is the delivering trip's departure station.
     pub fn add_waybill(
         &mut self,
         address: AddressId,
         building: BuildingId,
         trip: TripId,
         t_recorded: f64,
+        station: StationId,
     ) {
         let bound = self
             .bounds
@@ -61,7 +80,7 @@ impl RetrievalIndex {
             .or_insert(f64::NEG_INFINITY);
         *bound = bound.max(t_recorded);
         self.building_trips
-            .entry(building)
+            .entry((building, station))
             .or_default()
             .insert(trip);
         self.address_trips.entry(address).or_default().insert(trip);
@@ -88,9 +107,13 @@ impl RetrievalIndex {
         self.bounds.len()
     }
 
-    /// Trips that delivered to `building`.
-    pub fn building_trips(&self, building: BuildingId) -> Option<&HashSet<TripId>> {
-        self.building_trips.get(&building)
+    /// Trips departing `station` that delivered to `building`.
+    pub fn building_station_trips(
+        &self,
+        building: BuildingId,
+        station: StationId,
+    ) -> Option<&HashSet<TripId>> {
+        self.building_trips.get(&(building, station))
     }
 
     /// Trips that delivered to `address`.
@@ -106,25 +129,52 @@ mod tests {
     #[test]
     fn bounds_take_the_latest_recorded_time() {
         let mut idx = RetrievalIndex::new();
-        let (a, b, t) = (AddressId(1), BuildingId(0), TripId(2));
-        idx.add_waybill(a, b, t, 50.0);
-        idx.add_waybill(a, b, t, 20.0);
-        idx.add_waybill(a, b, TripId(1), 99.0);
+        let (a, b, t, s) = (AddressId(1), BuildingId(0), TripId(2), StationId(0));
+        idx.add_waybill(a, b, t, 50.0, s);
+        idx.add_waybill(a, b, t, 20.0, s);
+        idx.add_waybill(a, b, TripId(1), 99.0, s);
         let ev = idx.evidence(a).expect("evidence exists");
         assert_eq!(ev.trips, vec![(TripId(1), 99.0), (TripId(2), 50.0)]);
         assert!(idx.evidence(AddressId(9)).is_none());
         assert_eq!(idx.address_trips(a).map(HashSet::len), Some(2));
-        assert_eq!(idx.building_trips(b).map(HashSet::len), Some(2));
+        assert_eq!(idx.building_station_trips(b, s).map(HashSet::len), Some(2));
     }
 
     #[test]
     fn non_finite_recorded_times_keep_the_finite_maximum() {
         let mut idx = RetrievalIndex::new();
-        let (a, b, t) = (AddressId(0), BuildingId(0), TripId(0));
-        idx.add_waybill(a, b, t, f64::NAN);
-        idx.add_waybill(a, b, t, 10.0);
-        idx.add_waybill(a, b, t, f64::NAN);
+        let (a, b, t, s) = (AddressId(0), BuildingId(0), TripId(0), StationId(0));
+        idx.add_waybill(a, b, t, f64::NAN, s);
+        idx.add_waybill(a, b, t, 10.0, s);
+        idx.add_waybill(a, b, t, f64::NAN, s);
         let ev = idx.evidence(a).expect("evidence exists");
         assert_eq!(ev.trips, vec![(t, 10.0)]);
+    }
+
+    #[test]
+    fn trip_counts_and_building_trips_are_station_scoped() {
+        let mut idx = RetrievalIndex::new();
+        idx.note_trip(StationId(0));
+        idx.note_trip(StationId(0));
+        idx.note_trip(StationId(1));
+        assert_eq!(idx.n_trips(), 3);
+        assert_eq!(idx.n_trips_in(StationId(0)), 2);
+        assert_eq!(idx.n_trips_in(StationId(1)), 1);
+        assert_eq!(idx.n_trips_in(StationId(7)), 0);
+
+        let b = BuildingId(4);
+        idx.add_waybill(AddressId(0), b, TripId(0), 1.0, StationId(0));
+        idx.add_waybill(AddressId(1), b, TripId(2), 2.0, StationId(1));
+        assert_eq!(
+            idx.building_station_trips(b, StationId(0))
+                .map(HashSet::len),
+            Some(1)
+        );
+        assert_eq!(
+            idx.building_station_trips(b, StationId(1))
+                .map(HashSet::len),
+            Some(1)
+        );
+        assert!(idx.building_station_trips(b, StationId(2)).is_none());
     }
 }

@@ -11,11 +11,11 @@
 //! reproducing the batch extractor's arithmetic bit for bit.
 
 use dlinfma_detcol::{OrdMap, OrdSet};
-use dlinfma_synth::AddressId;
+use dlinfma_synth::{AddressId, StationId};
 
 /// Raw (integer) feature state of one address, parallel vectors over its
 /// retrieved candidates.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct RawSample {
     /// Retrieved candidate keys, sorted ascending.
     pub candidate_keys: Vec<usize>,
@@ -26,6 +26,13 @@ pub struct RawSample {
     /// building's (or, in the LC_addr ablation, the address's) trip set —
     /// the location-commonality overlap.
     pub overlap_excl: Vec<u32>,
+    /// The address's primary station (most distinct evidence trips,
+    /// tie-break smallest id) — the station whose normalizers finalize the
+    /// floating-point features.
+    pub station: StationId,
+    /// Distinct primary-station evidence trips of the address — the trip
+    /// coverage denominator.
+    pub n_addr_trips: u32,
 }
 
 /// All addresses' raw samples plus the inverse candidate-key index.
@@ -107,6 +114,8 @@ mod tests {
                 candidate_keys: vec![3, 7],
                 tc_hits: vec![1, 2],
                 overlap_excl: vec![0, 1],
+                station: StationId(0),
+                n_addr_trips: 2,
             },
         );
         assert_eq!(t.addresses_referencing(&[7]).len(), 1);
@@ -117,6 +126,8 @@ mod tests {
                 candidate_keys: vec![3],
                 tc_hits: vec![1],
                 overlap_excl: vec![0],
+                station: StationId(0),
+                n_addr_trips: 2,
             },
         );
         assert!(t.addresses_referencing(&[7]).is_empty());

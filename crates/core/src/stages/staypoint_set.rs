@@ -2,13 +2,21 @@
 //!
 //! Stays are appended in ingest order, so a stay's index doubles as a
 //! stable, globally-unique identifier. A union-find over the "closer than
-//! `D`" relation partitions the set into *clustering components*: connected
-//! components are a property of the point set alone, so batch and streaming
-//! ingestion agree on them regardless of arrival order — the foundation of
-//! the engine's parity guarantee.
+//! `D` *and* same station" relation partitions the set into *clustering
+//! components*: connected components are a property of the point set alone,
+//! so batch and streaming ingestion agree on them regardless of arrival
+//! order — the foundation of the engine's parity guarantee.
+//!
+//! Station-scoping the relation is what makes the engine *shardable*: a
+//! component never spans stations, so an engine fed only one station's
+//! trips computes exactly the components a whole-city engine computes for
+//! that station (the paper deploys DLInfMA per delivery station, Section
+//! VI). Two stays of different stations never union even when spatially
+//! close — mirroring the deployed system, where each station's pipeline
+//! only ever sees its own couriers' trajectories.
 
 use dlinfma_geo::{GridIndex, Point};
-use dlinfma_synth::{CourierId, TripId};
+use dlinfma_synth::{CourierId, StationId, TripId};
 
 /// One ingested stay point with the metadata every later stage needs.
 #[derive(Debug, Clone)]
@@ -25,6 +33,9 @@ pub struct StayRec {
     pub hour_bin: usize,
     /// Courier who made the stay.
     pub courier: CourierId,
+    /// Station of the trip's courier; the shard key. Connectivity (and so
+    /// clustering) never crosses stations.
+    pub station: StationId,
 }
 
 /// Append-only stay-point store with incremental connectivity.
@@ -83,11 +94,13 @@ impl StayPointSet {
         self.by_trip.get(trip.0 as usize).map_or(&[], Vec::as_slice)
     }
 
-    /// Appends a stay, connecting it to every existing stay strictly closer
-    /// than the component radius. Returns the stay's global index.
+    /// Appends a stay, connecting it to every existing *same-station* stay
+    /// strictly closer than the component radius. Returns the stay's global
+    /// index.
     pub fn push(&mut self, rec: StayRec) -> usize {
         let i = self.stays.len();
         let pos = rec.pos;
+        let station = rec.station;
         let trip_idx = rec.trip.0 as usize;
         if self.by_trip.len() <= trip_idx {
             self.by_trip.resize_with(trip_idx + 1, Vec::new);
@@ -101,8 +114,9 @@ impl StayPointSet {
         let mut neighbours: Vec<usize> = Vec::new();
         self.grid.for_each_within(&pos, self.radius, |p, &j| {
             // The grid query is boundary-inclusive; the component relation
-            // is strict, mirroring the clustering threshold.
-            if p.distance_sq(&pos) < r2 {
+            // is strict, mirroring the clustering threshold — and scoped to
+            // the stay's station so components shard cleanly.
+            if self.stays[j].station == station && p.distance_sq(&pos) < r2 {
                 neighbours.push(j);
             }
         });
@@ -154,6 +168,7 @@ mod tests {
             duration_s: 60.0,
             hour_bin: 0,
             courier: CourierId(0),
+            station: StationId(0),
         }
     }
 
@@ -213,6 +228,21 @@ mod tests {
         let a = canonical(&[0, 1, 2, 3, 4]);
         let b = canonical(&[4, 2, 3, 0, 1]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn components_never_cross_stations() {
+        let mut s = StayPointSet::new(40.0);
+        let a = s.push(rec(0.0, 0.0));
+        let mut other = rec(10.0, 0.0);
+        other.station = StationId(1);
+        let b = s.push(other);
+        // Spatially well within D, but different stations: separate.
+        assert_ne!(s.find(a), s.find(b));
+        // A same-station stay between them joins only its own station.
+        let c = s.push(rec(5.0, 0.0));
+        assert_eq!(s.find(a), s.find(c));
+        assert_ne!(s.find(b), s.find(c));
     }
 
     #[test]

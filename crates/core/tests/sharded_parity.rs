@@ -1,0 +1,260 @@
+//! Shard-count determinism — the fleet-mode headline guarantee: a
+//! [`ShardedEngine`]'s merged artifacts (samples, features, trained model,
+//! inference) are bit-identical at any shard count × any worker count, and
+//! a 1-shard fleet matches a plain [`Engine`] bit for bit. Plus the
+//! cross-shard fallback unit test: an address whose best-evidence station
+//! yields no candidates is served by the shard that has some.
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
+use dlinfma_core::{DlInfMa, DlInfMaConfig, Engine, ShardedEngine};
+use dlinfma_synth::{
+    generate_with, replay, spatial_split, world_config, Dataset, Preset, Scale, StationId,
+    TripBatch, Waybill,
+};
+use std::collections::BTreeMap;
+
+fn config_for(preset: Preset) -> DlInfMaConfig {
+    let mut cfg = DlInfMaConfig::fast();
+    cfg.clustering_distance_m = match preset {
+        Preset::DowBJ => dlinfma_core::params::TUNED_CLUSTER_DISTANCE_M,
+        Preset::SubBJ => dlinfma_core::params::CLUSTER_DISTANCE_M,
+    };
+    cfg.model.max_epochs = 10;
+    cfg
+}
+
+/// A Tiny world with three stations, so a 4-shard fleet actually splits
+/// the fleet (stations 0..3 land on shards 0..3 via `station % shards`).
+fn multi_station_world(preset: Preset, seed: u64) -> Dataset {
+    let mut wc = world_config(preset, Scale::Tiny);
+    wc.sim.n_stations = 3;
+    let (_, ds) = generate_with(&wc, seed);
+    assert_eq!(ds.stations.len(), 3);
+    ds
+}
+
+/// Replays the whole dataset through a fleet and trains the fleet model on
+/// the canonical spatial split.
+fn run_fleet(ds: &Dataset, mut cfg: DlInfMaConfig, shards: usize, workers: usize) -> ShardedEngine {
+    cfg.workers = workers;
+    let mut fleet = ShardedEngine::new(ds.addresses.clone(), cfg, shards);
+    for batch in replay(ds) {
+        fleet.ingest(&batch);
+    }
+    let split = spatial_split(ds, 0.6, 0.2);
+    assert!(fleet.train_with(ds, &split.train, &split.val) > 0);
+    fleet
+}
+
+/// Asserts two fleets' merged serving surfaces are bitwise-identical:
+/// funnel totals, per-address samples (features, deliveries, station,
+/// candidates resolved through the owning shard's pool), and post-training
+/// inference. Candidate *ids* are per-shard-pool dense and deliberately not
+/// compared; their resolved positions and profiles are.
+fn assert_merged_parity(left: &ShardedEngine, right: &ShardedEngine, ds: &Dataset) {
+    assert_eq!(left.n_trips(), right.n_trips(), "trip totals");
+    assert_eq!(left.n_stays(), right.n_stays(), "stay totals");
+    assert_eq!(left.n_candidates(), right.n_candidates(), "pool totals");
+
+    let ls = left.merged_samples();
+    let rs = right.merged_samples();
+    assert_eq!(ls.len(), rs.len(), "merged sample count");
+    for ((lshard, l), (rshard, r)) in ls.iter().zip(&rs) {
+        assert_eq!(l.address, r.address);
+        assert_eq!(l.station, r.station, "{:?} owning station", l.address);
+        assert_eq!(l.n_deliveries, r.n_deliveries, "{:?}", l.address);
+        assert_eq!(l.features, r.features, "{:?} features", l.address);
+        assert_eq!(l.poi_category, r.poi_category);
+        assert_eq!(l.geocode, r.geocode);
+        assert_eq!(
+            l.candidates.len(),
+            r.candidates.len(),
+            "{:?} candidate count",
+            l.address
+        );
+        for (&lc, &rc) in l.candidates.iter().zip(&r.candidates) {
+            let a = left.shard(*lshard).pool().candidate(lc);
+            let b = right.shard(*rshard).pool().candidate(rc);
+            assert_eq!(a.pos, b.pos, "{:?} candidate centroid", l.address);
+            assert_eq!(a.profile, b.profile, "{:?} candidate profile", l.address);
+        }
+    }
+
+    for a in &ds.addresses {
+        assert_eq!(
+            left.infer(a.id),
+            right.infer(a.id),
+            "inference diverged for {:?}",
+            a.id
+        );
+    }
+}
+
+/// The acceptance matrix: shards {1, 4} × workers {1, 8}, all four cells
+/// bit-identical to the (1 shard, 1 worker) reference.
+fn assert_shard_worker_matrix(preset: Preset, seed: u64) {
+    let ds = multi_station_world(preset, seed);
+    let cfg = config_for(preset);
+    let reference = run_fleet(&ds, cfg, 1, 1);
+    for (shards, workers) in [(1, 8), (4, 1), (4, 8)] {
+        let other = run_fleet(&ds, cfg, shards, workers);
+        if shards > 1 {
+            // The matrix is only meaningful if the fleet actually split.
+            let active = other.shards().iter().filter(|e| e.n_trips() > 0).count();
+            assert!(active >= 2, "only {active} shards saw trips");
+        }
+        assert_merged_parity(&reference, &other, &ds);
+    }
+}
+
+#[test]
+fn shard_count_parity_dowbj() {
+    assert_shard_worker_matrix(Preset::DowBJ, 11);
+}
+
+#[test]
+fn shard_count_parity_subbj() {
+    assert_shard_worker_matrix(Preset::SubBJ, 23);
+}
+
+/// A 1-shard fleet IS the single-engine path: same samples (ids included —
+/// the pools are the same pool), same trained model, same inference as the
+/// plain `Engine`/`DlInfMa` pipeline.
+#[test]
+fn one_shard_fleet_matches_plain_engine() {
+    let ds = multi_station_world(Preset::DowBJ, 11);
+    let cfg = config_for(Preset::DowBJ);
+
+    let mut engine = Engine::new(ds.addresses.clone(), cfg);
+    for batch in replay(&ds) {
+        engine.ingest(&batch);
+    }
+    let fleet = run_fleet(&ds, cfg, 1, cfg.workers);
+
+    assert_eq!(fleet.n_trips(), engine.n_trips());
+    assert_eq!(fleet.n_stays(), engine.n_stays());
+    assert_eq!(fleet.n_candidates(), engine.pool().len());
+
+    let engine_samples: Vec<_> = engine.samples().collect();
+    let fleet_samples = fleet.merged_samples();
+    assert_eq!(engine_samples.len(), fleet_samples.len());
+    for s in &engine_samples {
+        let (shard, t) = fleet.merged_sample(s.address).unwrap();
+        assert_eq!(shard, 0);
+        assert_eq!(s.candidates, t.candidates, "{:?}", s.address);
+        assert_eq!(s.features, t.features, "{:?}", s.address);
+        assert_eq!(s.station, t.station);
+        assert_eq!(s.n_deliveries, t.n_deliveries);
+    }
+
+    // Train the plain pipeline with the identical recipe; inference must
+    // agree bit for bit on every address.
+    let mut plain = DlInfMa::from_engine(engine);
+    let split = spatial_split(&ds, 0.6, 0.2);
+    plain.label_from_dataset(&ds);
+    plain.train(&split.train, &split.val);
+    for a in &ds.addresses {
+        assert_eq!(plain.infer(a.id), fleet.infer(a.id), "{:?}", a.id);
+    }
+}
+
+/// Cross-shard fallback: an address whose *primary* station (most evidence
+/// trips) produces no candidates must be served by the shard whose station
+/// does — and the served sample must be bitwise what a whole-fleet engine
+/// materializes through its in-engine station fallback.
+#[test]
+fn cross_shard_fallback_serves_from_the_shard_with_candidates() {
+    let mut ds = multi_station_world(Preset::DowBJ, 7);
+
+    // Pick a delivered address; call its evidence station B. Synth evidence
+    // is single-station, so all of its trips sit at B.
+    let target = ds.waybills[0].address;
+    let b_station = ds.trips[ds.waybills[0].trip.0 as usize].station;
+    let b_count = {
+        let mut trips: Vec<u32> = ds
+            .waybills
+            .iter()
+            .filter(|w| w.address == target)
+            .map(|w| w.trip.0)
+            .collect();
+        trips.sort_unstable();
+        trips.dedup();
+        for &t in &trips {
+            assert_eq!(
+                ds.trips[t as usize].station, b_station,
+                "synth evidence is expected single-station"
+            );
+        }
+        trips.len()
+    };
+
+    // Station A: a different station with enough trips to outvote B.
+    let mut per_station: BTreeMap<StationId, Vec<u32>> = BTreeMap::new();
+    for t in &ds.trips {
+        per_station.entry(t.station).or_default().push(t.id.0);
+    }
+    let (&a_station, a_trips) = per_station
+        .iter()
+        .filter(|(&s, _)| s != b_station)
+        .max_by_key(|(&s, v)| (v.len(), std::cmp::Reverse(s)))
+        .unwrap();
+    let n_fake = b_count + 1;
+    assert!(
+        a_trips.len() >= n_fake,
+        "station {a_station:?} has only {} trips, need {n_fake}",
+        a_trips.len()
+    );
+
+    // Forge A-station evidence for the target: more distinct trips than B,
+    // but with a recorded-time bound *before* any stay, so retrieval at A
+    // yields zero candidates. A becomes the primary station with nothing
+    // to serve — exactly the straddling case fallback exists for.
+    for &t in a_trips.iter().take(n_fake) {
+        ds.waybills.push(Waybill {
+            address: target,
+            trip: dlinfma_synth::TripId(t),
+            t_received: ds.trips[t as usize].t_start,
+            t_recorded_delivery: -1.0,
+            t_actual_delivery: ds.trips[t as usize].t_start,
+        });
+    }
+
+    let cfg = config_for(Preset::DowBJ);
+    let full = TripBatch::full(&ds);
+    let mut single = Engine::new(ds.addresses.clone(), cfg);
+    single.ingest(&full);
+    let mut fleet = ShardedEngine::new(ds.addresses.clone(), cfg, 3);
+    fleet.ingest(&full);
+
+    // The whole-fleet engine falls back in-retrieval: past candidate-less
+    // A to B, whose candidates survive.
+    let s = single.sample(target).expect("target sampled");
+    assert_eq!(s.station, b_station, "in-engine fallback chose B");
+    assert!(!s.candidates.is_empty(), "B's candidates survive");
+    assert_eq!(s.n_deliveries, b_count);
+
+    // Stations 0..3 map to shards 0..3, so A and B live on different
+    // shards. A's shard holds the primary (candidate-less) sample...
+    let a_shard = a_station.0 as usize % 3;
+    let b_shard = b_station.0 as usize % 3;
+    assert_ne!(a_shard, b_shard);
+    let on_a = fleet.shard(a_shard).sample(target).expect("A-side sample");
+    assert_eq!(on_a.station, a_station);
+    assert!(on_a.candidates.is_empty(), "A has nothing to serve");
+    assert_eq!(on_a.n_deliveries, n_fake);
+
+    // ...and the merge serves the address from B's shard, bitwise equal to
+    // the whole-fleet engine's sample.
+    let (shard, merged) = fleet.merged_sample(target).expect("merged sample");
+    assert_eq!(shard, b_shard, "served by the shard with candidates");
+    assert_eq!(merged.station, b_station);
+    assert_eq!(merged.features, s.features);
+    assert_eq!(merged.n_deliveries, s.n_deliveries);
+    assert_eq!(merged.candidates.len(), s.candidates.len());
+    for (&mc, &sc) in merged.candidates.iter().zip(&s.candidates) {
+        let a = fleet.shard(shard).pool().candidate(mc);
+        let b = single.pool().candidate(sc);
+        assert_eq!(a.pos, b.pos);
+        assert_eq!(a.profile, b.profile);
+    }
+}

@@ -524,9 +524,110 @@ impl IngestReport {
     }
 }
 
+/// One fleet-mode ingest: the per-shard [`IngestReport`]s of a single day
+/// batch fanned out across a `ShardedEngine`'s station shards, plus an
+/// aggregate view for operators who want the day as one line.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FleetIngestReport {
+    /// Day index of the ingested batch.
+    pub day: u32,
+    /// `(shard index, that shard's report)`, ascending by shard index.
+    pub shards: Vec<(u32, IngestReport)>,
+}
+
+impl FleetIngestReport {
+    /// Sums the per-shard counters into one fleet-level [`IngestReport`].
+    ///
+    /// Counters and durations add across shards (shards ingest
+    /// sequentially within a day, so summed wall time is the day's wall
+    /// time); `total_addresses` takes the maximum because every shard
+    /// holds the same address universe; the per-shard scheduler deltas are
+    /// dropped (they overlap on the shared pool).
+    pub fn aggregate(&self) -> IngestReport {
+        let mut agg = IngestReport {
+            day: self.day,
+            ..IngestReport::default()
+        };
+        for (_, r) in &self.shards {
+            agg.trips += r.trips;
+            agg.waybills += r.waybills;
+            agg.rejected_trips += r.rejected_trips;
+            agg.rejected_waybills += r.rejected_waybills;
+            agg.new_stays += r.new_stays;
+            agg.clusters_added += r.clusters_added;
+            agg.clusters_removed += r.clusters_removed;
+            agg.pool_size += r.pool_size;
+            agg.dirty_addresses += r.dirty_addresses;
+            agg.total_addresses = agg.total_addresses.max(r.total_addresses);
+            agg.extraction_ns += r.extraction_ns;
+            agg.extraction_cpu_ns += r.extraction_cpu_ns;
+            agg.clustering_ns += r.clustering_ns;
+            agg.clustering_cpu_ns += r.clustering_cpu_ns;
+            agg.retrieval_ns += r.retrieval_ns;
+            agg.features_ns += r.features_ns;
+            agg.materialize_ns += r.materialize_ns;
+        }
+        agg
+    }
+
+    /// Renders the aggregate as one line, suffixed with the shard count
+    /// (the CLI `replay --shards` output format).
+    pub fn render_line(&self) -> String {
+        format!(
+            "{} | shards {}",
+            self.aggregate().render_line(),
+            self.shards.len()
+        )
+    }
+
+    /// Converts the report to a JSON object: the aggregate's fields plus a
+    /// `shards` array of per-shard reports.
+    pub fn to_json(&self) -> JsonValue {
+        let JsonValue::Obj(mut obj) = self.aggregate().to_json() else {
+            unreachable!("IngestReport::to_json returns an object");
+        };
+        obj.push((
+            "shards".into(),
+            JsonValue::Arr(self.shards.iter().map(|(_, r)| r.to_json()).collect()),
+        ));
+        JsonValue::Obj(obj)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fleet_report_aggregates_counters_and_keeps_shards() {
+        let mk = |trips: u64, pool: u64| IngestReport {
+            day: 3,
+            trips,
+            pool_size: pool,
+            total_addresses: 100,
+            extraction_ns: 10,
+            ..IngestReport::default()
+        };
+        let fleet = FleetIngestReport {
+            day: 3,
+            shards: vec![(0, mk(4, 7)), (1, mk(6, 9))],
+        };
+        let agg = fleet.aggregate();
+        assert_eq!(agg.day, 3);
+        assert_eq!(agg.trips, 10);
+        assert_eq!(agg.pool_size, 16);
+        assert_eq!(agg.total_addresses, 100, "universe is shared, not summed");
+        assert_eq!(agg.extraction_ns, 20);
+        assert!(fleet.render_line().ends_with("| shards 2"));
+        let JsonValue::Obj(obj) = fleet.to_json() else {
+            panic!("object expected");
+        };
+        let shards = obj.iter().find(|(k, _)| k == "shards").unwrap();
+        let JsonValue::Arr(arr) = &shards.1 else {
+            panic!("array expected");
+        };
+        assert_eq!(arr.len(), 2);
+    }
 
     #[test]
     fn push_stage_replaces_same_name() {

@@ -2,7 +2,7 @@
 //! [`Engine`] and publish an immutable snapshot at every materialize
 //! boundary.
 
-use dlinfma_core::{AddressSample, Engine, LocMatcher};
+use dlinfma_core::{AddressSample, Engine, LocMatcher, ShardedEngine};
 use dlinfma_detcol::OrdMap;
 use dlinfma_geo::Point;
 use dlinfma_obs as obs;
@@ -74,6 +74,61 @@ pub fn publish_snapshot(engine: &Engine, cell: &SnapshotCell, days_ingested: u32
     let epoch = cell.publish(snap);
     obs::trace_counter(obs::names::SERVE_EPOCH, epoch as f64);
     obs::gauge(obs::names::SERVE_EPOCH).set(epoch as f64);
+    epoch
+}
+
+/// Fleet-mode twin of [`train_engine_model`]: labels the fleet's merged
+/// samples against ground truth, trains one `LocMatcher` on the same
+/// spatial split, and installs it as the fleet model. The merged sample
+/// set is shard-count-invariant, and so is the model — a 1-shard fleet
+/// trains the bit-identical model the single-engine path would. Returns
+/// the number of labelled samples.
+pub fn train_sharded_model(fleet: &mut ShardedEngine, dataset: &Dataset) -> usize {
+    let split = spatial_split(dataset, 0.6, 0.2);
+    fleet.train_with(dataset, &split.train, &split.val)
+}
+
+/// Fleet-mode twin of [`publish_snapshot`]: merges the fleet's shards into
+/// one [`LocationSnapshot`] (per-shard epochs included) and publishes it
+/// with a single atomic swap. Returns the published epoch.
+pub fn publish_sharded_snapshot(
+    fleet: &ShardedEngine,
+    cell: &SnapshotCell,
+    days_ingested: u32,
+) -> u64 {
+    let _span = obs::trace_span(obs::names::SERVE_PUBLISH);
+    let snap = LocationSnapshot::from_sharded(fleet, days_ingested);
+    let epoch = cell.publish(snap);
+    obs::trace_counter(obs::names::SERVE_EPOCH, epoch as f64);
+    obs::gauge(obs::names::SERVE_EPOCH).set(epoch as f64);
+    epoch
+}
+
+/// Fleet-mode twin of [`replay_and_publish`]: each day batch is
+/// partitioned by station inside [`ShardedEngine::ingest`], the caller's
+/// hook runs, and one merged snapshot is published. Returns the last epoch
+/// published (0 when `batches` was empty).
+pub fn replay_and_publish_sharded<I>(
+    fleet: &mut ShardedEngine,
+    batches: I,
+    cell: &SnapshotCell,
+    day_delay_ms: u64,
+    mut after_ingest: impl FnMut(&mut ShardedEngine, u32),
+) -> u64
+where
+    I: IntoIterator<Item = TripBatch>,
+{
+    let mut days = 0u32;
+    let mut epoch = 0u64;
+    for batch in batches {
+        fleet.ingest(&batch);
+        days += 1;
+        after_ingest(fleet, days);
+        epoch = publish_sharded_snapshot(fleet, cell, days);
+        if day_delay_ms > 0 {
+            std::thread::sleep(Duration::from_millis(day_delay_ms));
+        }
+    }
     epoch
 }
 

@@ -21,6 +21,11 @@
 //! * [`train_engine_model`] — labels the engine's materialized samples
 //!   against ground truth and trains/installs a `LocMatcher`, so
 //!   address-level answers come online mid-stream.
+//! * Fleet mode — [`replay_and_publish_sharded`], [`train_sharded_model`]
+//!   and [`publish_sharded_snapshot`] run the same loop over a
+//!   station-sharded [`dlinfma_core::ShardedEngine`]: per-station ingest,
+//!   one fleet model over the merged samples, one atomically-published
+//!   merged snapshot carrying per-shard epochs.
 //! * [`HttpClient`] — the matching keep-alive client used by the
 //!   `bench_serve` load generator, the CLI self-check and the tests.
 //!
@@ -32,5 +37,8 @@ mod ingest;
 mod server;
 
 pub use http::{HttpClient, Request};
-pub use ingest::{replay_and_publish, train_engine_model};
+pub use ingest::{
+    publish_sharded_snapshot, publish_snapshot, replay_and_publish, replay_and_publish_sharded,
+    train_engine_model, train_sharded_model,
+};
 pub use server::{ServeConfig, ServeStats, Server};

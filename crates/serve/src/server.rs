@@ -354,6 +354,16 @@ fn handle(req: &Request, shared: &Shared, cell: &SnapshotCell) -> (u16, JsonValu
                         JsonValue::Num(snap.n_candidates() as f64),
                     ),
                     ("stays".into(), JsonValue::Num(snap.n_stays() as f64)),
+                    ("shards".into(), JsonValue::Num(snap.n_shards() as f64)),
+                    (
+                        "shard_epochs".into(),
+                        JsonValue::Arr(
+                            snap.shard_epochs()
+                                .iter()
+                                .map(|&e| JsonValue::Num(e as f64))
+                                .collect(),
+                        ),
+                    ),
                 ]),
             )
         }

@@ -16,7 +16,8 @@ use std::time::Duration;
 
 /// A snapshot mapping addresses `0..n` to the sentinel point `(k, k)`.
 /// Published at epoch `e`, a consistent view must satisfy `x == y == k`
-/// for every address, and the test publisher arranges `k == e`.
+/// for every address, and the test publisher arranges `k == e`. Tagged as
+/// merged from two shards so responses exercise the fleet-mode surface.
 fn sentinel_snapshot(n: u32, k: f64) -> LocationSnapshot {
     let by_address: HashMap<AddressId, Point> =
         (0..n).map(|i| (AddressId(i), Point::new(k, k))).collect();
@@ -24,6 +25,7 @@ fn sentinel_snapshot(n: u32, k: f64) -> LocationSnapshot {
         .map(|i| (AddressId(i), (BuildingId(0), Point::new(-1.0, -1.0))))
         .collect();
     LocationSnapshot::from_tables(by_address, HashMap::new(), geocodes)
+        .with_shard_epochs(vec![k as u64; 2])
 }
 
 fn start_server(cell: Arc<SnapshotCell>) -> Server {
@@ -86,6 +88,11 @@ fn serves_engine_state_end_to_end() {
     assert_eq!(status, 200);
     assert!(stats["requests"].as_f64().unwrap() >= 30.0);
     assert_eq!(stats["errors"].as_f64(), Some(1.0)); // the early 404
+
+    // A single-engine snapshot reports itself as one shard whose epoch is
+    // the ingested day count.
+    assert_eq!(stats["shards"].as_f64(), Some(1.0));
+    assert_eq!(stats["shard_epochs"][0].as_f64(), Some(f64::from(n_days)));
     let (status, _) = client.get("/shutdown").unwrap();
     assert_eq!(status, 200);
     assert!(server.stop_requested());
@@ -160,6 +167,23 @@ fn batch_reads_observe_single_epoch_under_live_publishes() {
                 assert!(
                     epoch >= last_epoch,
                     "client {c}: epoch went backwards ({last_epoch} -> {epoch})"
+                );
+                // The snapshots being served are merged from two shards,
+                // yet a batch response carries exactly ONE global epoch —
+                // never per-shard epochs a client could tear between.
+                let JsonValue::Obj(fields) = &body else {
+                    panic!("client {c}: batch body is not an object");
+                };
+                assert_eq!(
+                    fields.iter().filter(|(k, _)| k == "epoch").count(),
+                    1,
+                    "client {c}: merged batch response must carry exactly \
+                     one global epoch"
+                );
+                assert!(
+                    fields.iter().all(|(k, _)| k != "shard_epochs"),
+                    "client {c}: per-shard epochs leaked into a batch \
+                     response"
                 );
                 last_epoch = epoch;
                 let results = body["results"].as_array().expect("results array");

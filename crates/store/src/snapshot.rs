@@ -20,13 +20,21 @@
 //! mostly-used location, then the geocode.
 
 use crate::kv::QuerySource;
-use dlinfma_core::Engine;
+use dlinfma_core::{Engine, ShardedEngine};
 use dlinfma_detcol::OrdMap;
 use dlinfma_geo::Point;
 use dlinfma_synth::{AddressId, BuildingId};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// The three query tables of a snapshot: address-level inferences,
+/// building-level votes, and the geocode universe.
+type SnapshotTables = (
+    HashMap<AddressId, Point>,
+    HashMap<BuildingId, Point>,
+    HashMap<AddressId, (BuildingId, Point)>,
+);
 
 /// One immutable, epoch-tagged view of the delivery-location tables.
 ///
@@ -40,6 +48,11 @@ pub struct LocationSnapshot {
     n_stays: usize,
     healthy: bool,
     anomalies: usize,
+    /// Day batches ingested per source shard when the snapshot was frozen;
+    /// one entry for a single-engine snapshot, empty for the pre-ingest
+    /// snapshot. The snapshot itself is still published atomically — these
+    /// only report how far each shard's ingest had progressed.
+    shard_epochs: Vec<u64>,
     by_address: HashMap<AddressId, Point>,
     by_building: HashMap<BuildingId, Point>,
     geocodes: HashMap<AddressId, (BuildingId, Point)>,
@@ -66,11 +79,69 @@ impl LocationSnapshot {
     /// whole address universe so the chain always bottoms out. The epoch is
     /// stamped later, at [`SnapshotCell::publish`] time.
     pub fn from_engine(engine: &Engine, days_ingested: u32) -> Self {
+        let (by_address, by_building, geocodes) =
+            Self::build_tables(engine.addresses(), |a| engine.infer(a));
+        let health = engine.health_report();
+        Self {
+            epoch: 0,
+            days_ingested,
+            n_candidates: engine.pool().len(),
+            n_stays: engine.n_stays(),
+            healthy: health.is_healthy(),
+            anomalies: health.anomalies().len(),
+            shard_epochs: vec![u64::from(days_ingested)],
+            by_address,
+            by_building,
+            geocodes,
+        }
+    }
+
+    /// Freezes a [`ShardedEngine`]'s merged state into one snapshot — the
+    /// fleet-mode twin of [`LocationSnapshot::from_engine`].
+    ///
+    /// Address-level entries come from [`ShardedEngine::infer`] (the owning
+    /// shard's sample scored by the fleet model, with cross-shard
+    /// fallback); the building-level vote and the geocode table are
+    /// computed over the merged index exactly as in the single-engine path,
+    /// so a 1-shard fleet freezes to the bit-identical snapshot. Health is
+    /// the conjunction of the shards' health reports; `shard_epochs`
+    /// carries each shard's ingested-day count. The merged snapshot is
+    /// published through the same [`SnapshotCell::publish`] as any other —
+    /// one atomic swap, never per-shard.
+    pub fn from_sharded(fleet: &ShardedEngine, days_ingested: u32) -> Self {
+        let (by_address, by_building, geocodes) =
+            Self::build_tables(fleet.addresses(), |a| fleet.infer(a));
+        let (healthy, anomalies) = fleet.shards().iter().fold((true, 0), |(h, n), e| {
+            let r = e.health_report();
+            (h && r.is_healthy(), n + r.anomalies().len())
+        });
+        Self {
+            epoch: 0,
+            days_ingested,
+            n_candidates: fleet.n_candidates(),
+            n_stays: fleet.n_stays(),
+            healthy,
+            anomalies,
+            shard_epochs: fleet.shard_epochs(),
+            by_address,
+            by_building,
+            geocodes,
+        }
+    }
+
+    /// The shared table-building core of the two freeze paths: address
+    /// entries from `infer`, building entries as the per-building
+    /// mostly-used inferred location with ~1 m vote quantization, geocodes
+    /// over the whole universe.
+    fn build_tables(
+        addresses: &[dlinfma_synth::Address],
+        infer: impl Fn(AddressId) -> Option<Point>,
+    ) -> SnapshotTables {
         type Votes = OrdMap<(i64, i64), (usize, Point)>;
         let mut by_address: HashMap<AddressId, Point> = HashMap::new();
         let mut building_votes: OrdMap<BuildingId, Votes> = OrdMap::new();
-        for a in engine.addresses() {
-            if let Some(p) = engine.infer(a.id) {
+        for a in addresses {
+            if let Some(p) = infer(a.id) {
                 by_address.insert(a.id, p);
                 let key = ((p.x * 1.0) as i64, (p.y * 1.0) as i64);
                 let slot = building_votes
@@ -90,23 +161,11 @@ impl LocationSnapshot {
                     .map(|(_, (_, p))| (b, p))
             })
             .collect();
-        let geocodes = engine
-            .addresses()
+        let geocodes = addresses
             .iter()
             .map(|a| (a.id, (a.building, a.geocode)))
             .collect();
-        let health = engine.health_report();
-        Self {
-            epoch: 0,
-            days_ingested,
-            n_candidates: engine.pool().len(),
-            n_stays: engine.n_stays(),
-            healthy: health.is_healthy(),
-            anomalies: health.anomalies().len(),
-            by_address,
-            by_building,
-            geocodes,
-        }
+        (by_address, by_building, geocodes)
     }
 
     /// A snapshot over externally-built tables (no engine attached):
@@ -124,6 +183,15 @@ impl LocationSnapshot {
             geocodes,
             ..Self::default()
         }
+    }
+
+    /// Overrides the per-shard epoch markers — for snapshots built from
+    /// externally-produced tables ([`LocationSnapshot::from_tables`]) where
+    /// the caller knows how many source shards stood behind them.
+    #[must_use]
+    pub fn with_shard_epochs(mut self, shard_epochs: Vec<u64>) -> Self {
+        self.shard_epochs = shard_epochs;
+        self
     }
 
     /// Answers a query through the deployed fallback chain; `None` only for
@@ -183,6 +251,19 @@ impl LocationSnapshot {
     /// Anomaly count in the source engine's health report.
     pub fn anomalies(&self) -> usize {
         self.anomalies
+    }
+
+    /// Day batches each source shard had ingested at freeze time — one
+    /// entry per shard ([`LocationSnapshot::from_engine`] reports itself as
+    /// a single shard), empty for the pre-ingest snapshot.
+    pub fn shard_epochs(&self) -> &[u64] {
+        &self.shard_epochs
+    }
+
+    /// Number of engine shards behind this snapshot (0 for the pre-ingest
+    /// snapshot, 1 for the single-engine path).
+    pub fn n_shards(&self) -> usize {
+        self.shard_epochs.len()
     }
 }
 
@@ -300,6 +381,61 @@ mod tests {
         let (p, src) = snap.query(a.id).unwrap();
         assert_eq!(src, QuerySource::Geocode);
         assert_eq!((p.x, p.y), (a.geocode.x, a.geocode.y));
+    }
+
+    /// Freezing a fleet must behave like freezing one engine: at 1 shard
+    /// the snapshots agree field-for-field, and at 2 shards the merged
+    /// snapshot carries the same universe, the same funnel totals, one
+    /// epoch entry per shard, and publishes through the cell as a single
+    /// atomic swap.
+    #[test]
+    fn from_sharded_merges_shards_into_one_snapshot() {
+        use dlinfma_core::ShardedEngine;
+        use dlinfma_synth::{generate_with, world_config};
+
+        let mut wcfg = world_config(Preset::DowBJ, Scale::Tiny);
+        wcfg.sim.n_stations = 3;
+        let (_, ds) = generate_with(&wcfg, 17);
+
+        let mut engine = Engine::new(ds.addresses.clone(), DlInfMaConfig::fast());
+        let mut fleet1 = ShardedEngine::new(ds.addresses.clone(), DlInfMaConfig::fast(), 1);
+        let mut fleet2 = ShardedEngine::new(ds.addresses.clone(), DlInfMaConfig::fast(), 2);
+        let mut days = 0u32;
+        for batch in replay(&ds) {
+            engine.ingest(&batch);
+            fleet1.ingest(&batch);
+            fleet2.ingest(&batch);
+            days += 1;
+        }
+
+        let single = LocationSnapshot::from_engine(&engine, days);
+        let one = LocationSnapshot::from_sharded(&fleet1, days);
+        let two = LocationSnapshot::from_sharded(&fleet2, days);
+
+        // 1 shard == the single-engine path, field for field.
+        assert_eq!(one.len(), single.len());
+        assert_eq!(one.n_addresses(), single.n_addresses());
+        assert_eq!(one.n_candidates(), single.n_candidates());
+        assert_eq!(one.n_stays(), single.n_stays());
+        assert_eq!(one.healthy(), single.healthy());
+        assert_eq!(one.anomalies(), single.anomalies());
+        assert_eq!(one.shard_epochs(), single.shard_epochs());
+        assert_eq!(one.n_shards(), 1);
+
+        // 2 shards: same universe and funnel totals, per-shard epochs.
+        assert_eq!(two.n_addresses(), single.n_addresses());
+        assert_eq!(two.n_candidates(), single.n_candidates());
+        assert_eq!(two.n_stays(), single.n_stays());
+        assert_eq!(two.n_shards(), 2);
+        assert_eq!(two.shard_epochs(), &[u64::from(days); 2]);
+        for a in &ds.addresses {
+            assert_eq!(two.query(a.id), single.query(a.id));
+        }
+
+        // One atomic publish for the whole merged snapshot.
+        let cell = SnapshotCell::new();
+        assert_eq!(cell.publish(two), 1);
+        assert_eq!(cell.load().n_shards(), 2);
     }
 
     /// The no-torn-reads proof at the store layer: a publisher swaps

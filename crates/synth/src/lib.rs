@@ -38,6 +38,6 @@ pub use model::{
     StationId, TripId, Waybill, N_POI_CATEGORIES,
 };
 pub use presets::{generate, generate_with, world_config, Preset, Scale, WorldConfig};
-pub use replay::{replay, Replay, TripBatch};
+pub use replay::{partition_by_station, replay, Replay, TripBatch};
 pub use sim::{assign_regions, simulate, SimConfig};
 pub use split::{spatial_split, Split};

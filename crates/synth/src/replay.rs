@@ -13,8 +13,12 @@
 //! trip ids day-major, concatenating the replayed batches reproduces the
 //! dataset's trip order exactly — the property the engine's batch/streaming
 //! parity guarantee rests on.
+//!
+//! Every batch also carries the [`Station`]s its trips depart from, so a
+//! fleet-mode consumer can partition the stream by station without a
+//! side-channel back to the dataset ([`partition_by_station`]).
 
-use crate::model::{Dataset, DeliveryTrip, Waybill};
+use crate::model::{Dataset, DeliveryTrip, Station, Waybill};
 
 /// Seconds per simulated day.
 const DAY_S: f64 = 86_400.0;
@@ -31,6 +35,9 @@ pub struct TripBatch {
     pub trips: Vec<DeliveryTrip>,
     /// Waybills delivered by the batch's trips.
     pub waybills: Vec<Waybill>,
+    /// Stations the batch's trips depart from, ascending by id. Populated
+    /// from the generated city so shard partitioning has real keys.
+    pub stations: Vec<Station>,
 }
 
 impl TripBatch {
@@ -40,6 +47,7 @@ impl TripBatch {
             day: 0,
             trips: dataset.trips.clone(),
             waybills: dataset.waybills.clone(),
+            stations: stations_of(&dataset.trips, &dataset.stations),
         }
     }
 
@@ -47,6 +55,68 @@ impl TripBatch {
     pub fn n_gps_points(&self) -> usize {
         self.trips.iter().map(|t| t.trajectory.len()).sum()
     }
+}
+
+/// The stations (ascending by id) referenced by `trips`, cloned out of the
+/// dataset's station table. Trips whose station id is unknown to the table
+/// contribute nothing — the consumer sees exactly the metadata that exists.
+fn stations_of(trips: &[DeliveryTrip], table: &[Station]) -> Vec<Station> {
+    let mut ids: Vec<u32> = trips.iter().map(|t| t.station.0).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids.into_iter()
+        .filter_map(|id| table.iter().find(|s| s.id.0 == id).cloned())
+        .collect()
+}
+
+/// Splits one batch into `n_shards` station-keyed sub-batches: shard `s`
+/// receives every trip whose `station.0 % n_shards == s`, the waybills those
+/// trips delivered, and the matching station metadata. Trip and waybill
+/// order within each shard is the batch's order (a subsequence of it), which
+/// is what keeps per-shard engines bit-identical to a one-shard run.
+///
+/// The returned vector always has exactly `n_shards` entries; shards with no
+/// trips that day get an empty batch (same `day`, no trips or waybills).
+/// Waybills whose trip is not in the batch default to shard 0 (they carry no
+/// station key of their own); stateful consumers reroute them from their own
+/// trip tables.
+///
+/// # Panics
+/// Panics if `n_shards` is zero.
+pub fn partition_by_station(batch: &TripBatch, n_shards: usize) -> Vec<TripBatch> {
+    assert!(n_shards > 0, "n_shards must be at least 1");
+    let mut shards: Vec<TripBatch> = (0..n_shards)
+        .map(|_| TripBatch {
+            day: batch.day,
+            trips: Vec::new(),
+            waybills: Vec::new(),
+            stations: Vec::new(),
+        })
+        .collect();
+    let mut shard_of_trip: std::collections::BTreeMap<u32, usize> =
+        std::collections::BTreeMap::new();
+    for trip in &batch.trips {
+        let s = trip.station.0 as usize % n_shards;
+        shard_of_trip.insert(trip.id.0, s);
+        shards[s].trips.push(trip.clone());
+    }
+    for w in &batch.waybills {
+        // A waybill follows its trip. A waybill referencing a trip outside
+        // the batch carries no station of its own, so it lands on shard 0;
+        // a stateful consumer (`dlinfma_core::ShardedEngine`) reroutes such
+        // stragglers from its persistent trip table before ingesting.
+        let s = shard_of_trip.get(&w.trip.0).copied().unwrap_or(0);
+        shards[s].waybills.push(w.clone());
+    }
+    for (s, shard) in shards.iter_mut().enumerate() {
+        shard.stations = batch
+            .stations
+            .iter()
+            .filter(|st| st.id.0 as usize % n_shards == s)
+            .cloned()
+            .collect();
+    }
+    shards
 }
 
 /// Iterator over per-day [`TripBatch`]es; see [`replay`].
@@ -74,10 +144,12 @@ impl Iterator for Replay<'_> {
                     .map(|&wi| self.dataset.waybills[wi].clone())
             })
             .collect();
+        let stations = stations_of(&trips, &self.dataset.stations);
         Some(TripBatch {
             day,
             trips,
             waybills,
+            stations,
         })
     }
 }
@@ -109,7 +181,7 @@ pub fn replay(dataset: &Dataset) -> Replay<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::presets::{generate, Preset, Scale};
+    use crate::presets::{generate, world_config, Preset, Scale};
 
     #[test]
     fn replay_partitions_the_dataset_in_trip_order() {
@@ -137,6 +209,80 @@ mod tests {
                 assert!(b.trips.iter().any(|t| t.id == w.trip));
             }
         }
+    }
+
+    #[test]
+    fn every_replayed_trip_carries_its_station() {
+        // Regression: batches used to come out with no station metadata,
+        // leaving shard partitioning without keys. A multi-station world
+        // must replay with every trip's station present in its batch.
+        let mut cfg = world_config(Preset::DowBJ, Scale::Tiny);
+        cfg.sim.n_stations = 3;
+        let (_, ds) = crate::presets::generate_with(&cfg, 9);
+        assert_eq!(ds.stations.len(), 3);
+        for b in replay(&ds) {
+            assert!(!b.stations.is_empty(), "day {}: no stations", b.day);
+            for t in &b.trips {
+                assert!(
+                    b.stations.iter().any(|s| s.id == t.station),
+                    "day {}: trip {:?} station {:?} missing from batch",
+                    b.day,
+                    t.id,
+                    t.station
+                );
+            }
+            // Station metadata matches the dataset's table verbatim.
+            for s in &b.stations {
+                let in_table = ds.stations.iter().find(|t| t.id == s.id).unwrap();
+                assert_eq!(s.location, in_table.location);
+            }
+        }
+        let full = TripBatch::full(&ds);
+        assert_eq!(full.stations.len(), 3);
+    }
+
+    #[test]
+    fn partition_by_station_routes_trips_and_waybills_together() {
+        let mut cfg = world_config(Preset::DowBJ, Scale::Tiny);
+        cfg.sim.n_stations = 3;
+        let (_, ds) = crate::presets::generate_with(&cfg, 9);
+        for batch in replay(&ds) {
+            let shards = partition_by_station(&batch, 2);
+            assert_eq!(shards.len(), 2);
+            let total_trips: usize = shards.iter().map(|s| s.trips.len()).sum();
+            let total_waybills: usize = shards.iter().map(|s| s.waybills.len()).sum();
+            assert_eq!(total_trips, batch.trips.len());
+            assert_eq!(total_waybills, batch.waybills.len());
+            for (s, shard) in shards.iter().enumerate() {
+                assert_eq!(shard.day, batch.day);
+                for t in &shard.trips {
+                    assert_eq!(t.station.0 as usize % 2, s);
+                }
+                // Each shard's waybills reference only that shard's trips.
+                for w in &shard.waybills {
+                    assert!(shard.trips.iter().any(|t| t.id == w.trip));
+                }
+                // Relative trip order is preserved (a subsequence of the
+                // batch's id order).
+                for pair in shard.trips.windows(2) {
+                    assert!(pair[0].id < pair[1].id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_into_one_shard_is_identity() {
+        let (_, ds) = generate(Preset::SubBJ, Scale::Tiny, 6);
+        let batch = TripBatch::full(&ds);
+        let shards = partition_by_station(&batch, 1);
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].trips.len(), batch.trips.len());
+        assert_eq!(shards[0].waybills.len(), batch.waybills.len());
+        assert_eq!(shards[0].stations.len(), batch.stations.len());
+        let ids: Vec<u32> = shards[0].trips.iter().map(|t| t.id.0).collect();
+        let orig: Vec<u32> = batch.trips.iter().map(|t| t.id.0).collect();
+        assert_eq!(ids, orig);
     }
 
     #[test]

@@ -44,8 +44,15 @@ cargo run -p xtask "${CARGO_FLAGS[@]}" -- lint --json > LINT_report.json ||
     { cargo run -p xtask "${CARGO_FLAGS[@]}" -- lint; exit 1; }
 run cargo run -p xtask "${CARGO_FLAGS[@]}" -- lint --fixtures
 
+# Fleet-mode smoke: the Tiny replay partitioned over two station shards,
+# driven end to end from the CLI (`--shards` → ShardedEngine). The merged
+# totals it prints must match the single-engine replay's — the shard-count
+# parity tests pin that bit-for-bit; this exercises the same path from the
+# binary.
+run cargo run --release -p dlinfma-cli "${CARGO_FLAGS[@]}" -- replay --preset dowbj --scale tiny --shards 2
+
 if [[ $QUICK -eq 1 ]]; then
-    echo "ci: quick loop green (build + test + lint)"
+    echo "ci: quick loop green (build + test + lint + 2-shard replay)"
     exit 0
 fi
 
