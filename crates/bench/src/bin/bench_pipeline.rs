@@ -15,7 +15,7 @@
 //! *calibrated ratio* `prepare_ns / calibration_ns` instead of raw time.
 
 use dlinfma_bench::{calibrated_gate, calibration_ns, ensure_writable};
-use dlinfma_core::{DlInfMa, Engine, ShardedEngine};
+use dlinfma_core::{snapshot, DlInfMa, Engine, ShardedEngine};
 use dlinfma_eval::pipeline_config;
 use dlinfma_obs::{self as obs, JsonValue, Stopwatch};
 use dlinfma_synth::{generate, generate_with, replay, world_config, Dataset, Preset, Scale};
@@ -157,6 +157,27 @@ fn run() -> Result<(), String> {
         days.push(rep.to_json());
     }
 
+    // Informational snapshot codec timing on the fully-replayed engine:
+    // how long a durable checkpoint costs to encode, and a warm restart
+    // to decode. Not gated — checkpointing is off the ingest hot path —
+    // but published so codec regressions show up as a diff.
+    let t = Stopwatch::start();
+    let snap_bytes = snapshot::engine_to_bytes(&engine);
+    let snapshot_encode_ns = t.elapsed_ns();
+    let exec = std::sync::Arc::new(dlinfma_pool::Pool::new(pipeline_config(preset).workers));
+    let t = Stopwatch::start();
+    let restored = snapshot::engine_from_bytes(
+        &snap_bytes,
+        dataset.addresses.clone(),
+        pipeline_config(preset),
+        exec,
+    )
+    .map_err(|e| format!("snapshot round trip failed: {e}"))?;
+    let snapshot_decode_ns = t.elapsed_ns();
+    if snapshot::engine_to_bytes(&restored) != snap_bytes {
+        return Err("snapshot round trip is not byte-identical".to_string());
+    }
+
     // Tracing overhead: interleaved best-of-N traced vs untraced replays.
     // Interleaving cancels drift (thermal, cache warm-up) that would bias a
     // run-all-of-one-then-the-other comparison.
@@ -214,6 +235,18 @@ fn run() -> Result<(), String> {
         (
             "trace_overhead_ratio".into(),
             JsonValue::Num(overhead_ratio),
+        ),
+        (
+            "snapshot_encode_ns".into(),
+            JsonValue::Num(snapshot_encode_ns as f64),
+        ),
+        (
+            "snapshot_decode_ns".into(),
+            JsonValue::Num(snapshot_decode_ns as f64),
+        ),
+        (
+            "snapshot_bytes".into(),
+            JsonValue::Num(snap_bytes.len() as f64),
         ),
         ("ingest_days".into(), JsonValue::Arr(days)),
     ]);

@@ -15,7 +15,7 @@
 //! Every command accepts `--trace-out FILE` to record a Chrome trace-event
 //! JSON profile of the run (open it at <https://ui.perfetto.dev>).
 
-use dlinfma_core::{DlInfMa, DlInfMaConfig, Engine};
+use dlinfma_core::{snapshot, DlInfMa, DlInfMaConfig, Engine, RestoredEngine};
 use dlinfma_eval::{
     dataset_stats, evaluate, multi_location_building_fraction, pipeline_config,
     render_metrics_table, ExperimentWorld, Method,
@@ -72,6 +72,9 @@ impl Args {
                         "train-days",
                         "serve-ms",
                         "self-check",
+                        "snapshot-dir",
+                        "checkpoint-every",
+                        "from-day",
                     ];
                     if !KNOWN.contains(&name) {
                         return Err(format!("unknown flag '--{name}'\n{}", usage()));
@@ -165,10 +168,25 @@ impl Args {
         }
     }
 
+    /// `--checkpoint-every K`: checkpoint every K ingested days; `None`
+    /// when the flag is absent (no periodic checkpoints).
+    fn checkpoint_every(&self) -> Result<Option<u32>, String> {
+        match self.get("checkpoint-every") {
+            None => Ok(None),
+            Some(v) => match v.parse::<u32>() {
+                Ok(0) => Err("bad --checkpoint-every '0': must be at least 1".to_string()),
+                Ok(n) => Ok(Some(n)),
+                Err(e) => Err(format!("bad --checkpoint-every '{v}': {e}")),
+            },
+        }
+    }
+
     /// Fail-fast validation of every output path: each named file must be
     /// creatable/writable *before* the run starts, so a typo'd directory
     /// errors in milliseconds instead of silently discarding minutes of
-    /// replay when the file is finally opened at the end.
+    /// replay when the file is finally opened at the end. `--snapshot-dir`
+    /// gets the same treatment: the directory must be creatable up front,
+    /// so checkpoints can't fail after a day of ingest.
     fn validate_output_flags(&self) -> Result<(), String> {
         for flag in ["out", "metrics-out", "trace-out"] {
             if let Some(path) = self.get(flag) {
@@ -178,6 +196,13 @@ impl Args {
                     .open(path)
                     .map_err(|e| format!("cannot open --{flag} '{path}': {e}"))?;
             }
+        }
+        if let Some(dir) = self.get("snapshot-dir") {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create --snapshot-dir '{dir}': {e}"))?;
+        }
+        if self.checkpoint_every()?.is_some() && self.get("snapshot-dir").is_none() {
+            return Err("--checkpoint-every needs --snapshot-dir DIR".to_string());
         }
         Ok(())
     }
@@ -193,10 +218,16 @@ fn usage() -> &'static str {
      \x20 infer     --address N    train DLInfMA and infer one address\n\
      \x20 replay    [--shards N]   stream the dataset day by day through the engine\n\
      \x20                          (--shards N > 1: fleet mode, one engine per station shard)\n\
+     \x20           [--snapshot-dir D --checkpoint-every K]  durable checkpoint every K days\n\
+     \x20 checkpoint --snapshot-dir D [--shards N]  replay fully, write one checkpoint,\n\
+     \x20                          read it back and verify byte-identical re-encode\n\
+     \x20 resume    --snapshot-dir D [--from-day N]  restore a checkpoint (latest by\n\
+     \x20                          default) and ingest the remaining days\n\
      \x20 health                   replay the dataset and print ingest health monitors\n\
      \x20 geojson   --out FILE     train DLInfMA and export a GeoJSON map\n\
      \x20 serve     [--port N]     HTTP lookups from snapshots under live ingest;\n\
      \x20           [--shards N] [--day-delay-ms N] [--train-days N] [--serve-ms N] [--self-check N]\n\
+     \x20           [--snapshot-dir D]  warm restart from the latest checkpoint\n\
      \x20           endpoints: /lookup?address=N /batch?addresses=N,M /healthz /stats /shutdown\n\
      observability:\n\
      \x20 --verbose           print stage timings, spans and metrics to stderr\n\
@@ -347,6 +378,8 @@ fn run() -> Result<(), String> {
         }
         "replay" => {
             let shards = args.shards()?;
+            let snapshot_dir = args.get("snapshot-dir");
+            let every = args.checkpoint_every()?;
             let (_, dataset) = generate(preset, scale, seed);
             let store = dlinfma_ststore::TrajectoryStore::new();
             if shards > 1 {
@@ -364,6 +397,17 @@ fn run() -> Result<(), String> {
                     println!("{}", rep.render_line());
                     days += 1;
                     total_ns += rep.aggregate().total_ns();
+                    if let (Some(dir), Some(k)) = (snapshot_dir, every) {
+                        if days.is_multiple_of(u64::from(k)) {
+                            let path = snapshot::write_fleet_checkpoint(
+                                std::path::Path::new(dir),
+                                days as u32,
+                                &fleet,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            println!("checkpointed day {days} to {}", path.display());
+                        }
+                    }
                 }
                 println!(
                     "replayed {days} days across {shards} shards: {} stays, {} candidates, \
@@ -386,6 +430,17 @@ fn run() -> Result<(), String> {
                     println!("{}", rep.render_line());
                     days += 1;
                     total_ns += rep.total_ns();
+                    if let (Some(dir), Some(k)) = (snapshot_dir, every) {
+                        if days.is_multiple_of(u64::from(k)) {
+                            let path = snapshot::write_engine_checkpoint(
+                                std::path::Path::new(dir),
+                                days as u32,
+                                &engine,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            println!("checkpointed day {days} to {}", path.display());
+                        }
+                    }
                 }
                 println!(
                     "replayed {days} days: {} stays, {} candidates, {} sampled addresses \
@@ -399,6 +454,145 @@ fn run() -> Result<(), String> {
                 );
                 report = Some(engine.report().clone());
                 health = Some(engine.health_report());
+            }
+        }
+        "checkpoint" => {
+            // Cheap durable-format round trip: replay everything, write one
+            // checkpoint, read it back and require the re-encode to be
+            // byte-identical. This is CI's quick-loop format check.
+            let dir = args
+                .get("snapshot-dir")
+                .ok_or("checkpoint needs --snapshot-dir DIR")?;
+            let dir_path = std::path::Path::new(dir);
+            let shards = args.shards()?;
+            let (_, dataset) = generate(preset, scale, seed);
+            let cfg = args.pipeline_cfg(preset)?;
+            let mut days = 0u32;
+            let written = if shards > 1 {
+                let mut fleet =
+                    dlinfma_core::ShardedEngine::new(dataset.addresses.clone(), cfg, shards);
+                for batch in dlinfma_synth::replay(&dataset) {
+                    fleet.ingest(&batch);
+                    days += 1;
+                }
+                let path = snapshot::write_fleet_checkpoint(dir_path, days, &fleet)
+                    .map_err(|e| e.to_string())?;
+                let originals: Vec<Vec<u8>> = (0..shards)
+                    .map(|s| snapshot::engine_to_bytes(fleet.shard(s)))
+                    .collect();
+                (path, originals)
+            } else {
+                let mut engine = Engine::new(dataset.addresses.clone(), cfg);
+                for batch in dlinfma_synth::replay(&dataset) {
+                    engine.ingest(&batch);
+                    days += 1;
+                }
+                let path = snapshot::write_engine_checkpoint(dir_path, days, &engine)
+                    .map_err(|e| e.to_string())?;
+                (path, vec![snapshot::engine_to_bytes(&engine)])
+            };
+            let (path, originals) = written;
+            let restored = snapshot::read_checkpoint(dir_path, days, &dataset.addresses, cfg)
+                .map_err(|e| e.to_string())?;
+            let reencoded: Vec<Vec<u8>> = match &restored.engine {
+                RestoredEngine::Single(e) => vec![snapshot::engine_to_bytes(e)],
+                RestoredEngine::Fleet(f) => (0..f.n_shards())
+                    .map(|s| snapshot::engine_to_bytes(f.shard(s)))
+                    .collect(),
+            };
+            if originals != reencoded {
+                return Err(format!(
+                    "checkpoint round trip is not byte-identical at {}",
+                    path.display()
+                ));
+            }
+            let total: usize = originals.iter().map(Vec::len).sum();
+            println!(
+                "checkpoint verified: day {days}, {shards} shard(s), {total} snapshot bytes at {}",
+                path.display()
+            );
+        }
+        "resume" => {
+            let dir = args
+                .get("snapshot-dir")
+                .ok_or("resume needs --snapshot-dir DIR")?;
+            let dir_path = std::path::Path::new(dir);
+            let every = args.checkpoint_every()?;
+            let (_, dataset) = generate(preset, scale, seed);
+            let cfg = args.pipeline_cfg(preset)?;
+            let day = match args.get("from-day") {
+                Some(v) => v
+                    .parse::<u32>()
+                    .map_err(|e| format!("bad --from-day '{v}': {e}"))?,
+                None => snapshot::latest_checkpoint(dir_path)
+                    .map_err(|e| e.to_string())?
+                    .ok_or_else(|| format!("no checkpoint under '{dir}'"))?,
+            };
+            let cp = snapshot::read_checkpoint(dir_path, day, &dataset.addresses, cfg)
+                .map_err(|e| e.to_string())?;
+            let restored_shards = match &cp.engine {
+                RestoredEngine::Single(_) => 1,
+                RestoredEngine::Fleet(f) => f.n_shards(),
+            };
+            if args.get("shards").is_some() && args.shards()? != restored_shards {
+                return Err(format!(
+                    "--shards {} does not match the checkpoint ({restored_shards} shard(s))",
+                    args.shards()?
+                ));
+            }
+            println!("resumed from day-{day} checkpoint under {dir} ({restored_shards} shard(s))");
+            let remaining = dlinfma_synth::replay(&dataset).skip(cp.days_ingested as usize);
+            let mut days = u64::from(cp.days_ingested);
+            match cp.engine {
+                RestoredEngine::Single(mut engine) => {
+                    for batch in remaining {
+                        let rep = engine.ingest(&batch);
+                        println!("{}", rep.render_line());
+                        days += 1;
+                        if let Some(k) = every {
+                            if days.is_multiple_of(u64::from(k)) {
+                                let path = snapshot::write_engine_checkpoint(
+                                    dir_path,
+                                    days as u32,
+                                    &engine,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                println!("checkpointed day {days} to {}", path.display());
+                            }
+                        }
+                    }
+                    println!(
+                        "resumed at day {day}, {days} days total: {} stays, {} candidates, \
+                         {} sampled addresses",
+                        engine.n_stays(),
+                        engine.pool().len(),
+                        engine.samples().count(),
+                    );
+                    report = Some(engine.report().clone());
+                    health = Some(engine.health_report());
+                }
+                RestoredEngine::Fleet(mut fleet) => {
+                    for batch in remaining {
+                        let rep = fleet.ingest(&batch);
+                        println!("{}", rep.render_line());
+                        days += 1;
+                        if let Some(k) = every {
+                            if days.is_multiple_of(u64::from(k)) {
+                                let path =
+                                    snapshot::write_fleet_checkpoint(dir_path, days as u32, &fleet)
+                                        .map_err(|e| e.to_string())?;
+                                println!("checkpointed day {days} to {}", path.display());
+                            }
+                        }
+                    }
+                    println!(
+                        "resumed at day {day}, {days} days total: {} stays, {} candidates, \
+                         {} sampled addresses",
+                        fleet.n_stays(),
+                        fleet.n_candidates(),
+                        fleet.merged_samples().len(),
+                    );
+                }
             }
         }
         "health" => {
@@ -432,6 +626,54 @@ fn run() -> Result<(), String> {
             let self_check: u64 = args.num("self-check", 0)?;
             let shards = args.shards()?;
             let (_, dataset) = generate(preset, scale, seed);
+            let pipeline_cfg = args.pipeline_cfg(preset)?;
+
+            // Warm restart: restore the latest checkpoint when one exists
+            // under --snapshot-dir. The restored shape (single vs fleet,
+            // shard count) wins; an explicit conflicting --shards errors.
+            let warm = match args.get("snapshot-dir") {
+                None => None,
+                Some(dir) => {
+                    let dir_path = std::path::Path::new(dir);
+                    match snapshot::latest_checkpoint(dir_path).map_err(|e| e.to_string())? {
+                        None => {
+                            println!("no checkpoint under {dir}; cold start");
+                            None
+                        }
+                        Some(day) => {
+                            let cp = snapshot::read_checkpoint(
+                                dir_path,
+                                day,
+                                &dataset.addresses,
+                                pipeline_cfg,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            let restored_shards = match &cp.engine {
+                                RestoredEngine::Single(_) => 1,
+                                RestoredEngine::Fleet(f) => f.n_shards(),
+                            };
+                            if args.get("shards").is_some() && shards != restored_shards {
+                                return Err(format!(
+                                    "--shards {shards} does not match the checkpoint \
+                                     ({restored_shards} shard(s))"
+                                ));
+                            }
+                            println!(
+                                "warm restart: restored day-{day} checkpoint under {dir} \
+                                 ({restored_shards} shard(s))"
+                            );
+                            Some(cp)
+                        }
+                    }
+                }
+            };
+            let shards = match &warm {
+                Some(cp) => match &cp.engine {
+                    RestoredEngine::Single(_) => 1,
+                    RestoredEngine::Fleet(f) => f.n_shards(),
+                },
+                None => shards,
+            };
             let cell = std::sync::Arc::new(dlinfma_store::SnapshotCell::new());
             let cfg = dlinfma_serve::ServeConfig {
                 addr: format!("127.0.0.1:{port}"),
@@ -453,26 +695,64 @@ fn run() -> Result<(), String> {
                 Fleet(Box<dlinfma_core::ShardedEngine>, u64),
             }
 
-            // Background ingest: one epoch per replayed day. The engine
-            // moves into the service thread and comes back at join.
-            let batches: Vec<_> = dlinfma_synth::replay(&dataset).collect();
+            // Background ingest: one epoch per replayed day. On a warm
+            // restart only the days past the checkpoint replay, with
+            // absolute day numbers, and the restored state publishes
+            // immediately so lookups answer before the first new day
+            // lands. The engine moves into the service thread and comes
+            // back at join.
+            let start_day = warm.as_ref().map_or(0, |cp| cp.days_ingested);
+            let batches: Vec<_> = dlinfma_synth::replay(&dataset)
+                .skip(start_day as usize)
+                .collect();
             let n_days = batches.len();
-            let pipeline_cfg = args.pipeline_cfg(preset)?;
+
+            /// The pipeline shape the ingest thread drives — restored from
+            /// a checkpoint or built cold.
+            enum PipelineState {
+                Single(Box<Engine>),
+                Fleet(Box<dlinfma_core::ShardedEngine>),
+            }
+            let state = match warm {
+                Some(cp) => match cp.engine {
+                    RestoredEngine::Single(e) => PipelineState::Single(e),
+                    RestoredEngine::Fleet(f) => PipelineState::Fleet(f),
+                },
+                None if shards > 1 => {
+                    PipelineState::Fleet(Box::new(dlinfma_core::ShardedEngine::new(
+                        dataset.addresses.clone(),
+                        pipeline_cfg,
+                        shards,
+                    )))
+                }
+                None => PipelineState::Single(Box::new(Engine::new(
+                    dataset.addresses.clone(),
+                    pipeline_cfg,
+                ))),
+            };
+
             let ingest = {
                 let cell = std::sync::Arc::clone(&cell);
                 let dataset = dataset.clone();
-                dlinfma_pool::spawn_service("cli-ingest", move || {
-                    if shards > 1 {
-                        let mut fleet = dlinfma_core::ShardedEngine::new(
-                            dataset.addresses.clone(),
-                            pipeline_cfg,
-                            shards,
-                        );
-                        let epoch = dlinfma_serve::replay_and_publish_sharded(
+                dlinfma_pool::spawn_service("cli-ingest", move || match state {
+                    PipelineState::Fleet(mut fleet) => {
+                        let mut warm_epoch = 0u64;
+                        if start_day > 0 {
+                            if start_day >= train_days && fleet.model().is_none() {
+                                let n = dlinfma_serve::train_sharded_model(&mut fleet, &dataset);
+                                println!(
+                                    "warm restart: trained fleet model on {n} labelled samples"
+                                );
+                            }
+                            warm_epoch =
+                                dlinfma_serve::publish_sharded_snapshot(&fleet, &cell, start_day);
+                        }
+                        let epoch = dlinfma_serve::replay_and_publish_sharded_from(
                             &mut fleet,
                             batches,
                             &cell,
                             day_delay_ms,
+                            start_day,
                             |fleet, day| {
                                 if day == train_days {
                                     let n = dlinfma_serve::train_sharded_model(fleet, &dataset);
@@ -482,14 +762,23 @@ fn run() -> Result<(), String> {
                                 }
                             },
                         );
-                        IngestResult::Fleet(Box::new(fleet), epoch)
-                    } else {
-                        let mut engine = Engine::new(dataset.addresses.clone(), pipeline_cfg);
-                        let epoch = dlinfma_serve::replay_and_publish(
+                        IngestResult::Fleet(fleet, if epoch == 0 { warm_epoch } else { epoch })
+                    }
+                    PipelineState::Single(mut engine) => {
+                        let mut warm_epoch = 0u64;
+                        if start_day > 0 {
+                            if start_day >= train_days && engine.model().is_none() {
+                                let n = dlinfma_serve::train_engine_model(&mut engine, &dataset);
+                                println!("warm restart: trained model on {n} labelled samples");
+                            }
+                            warm_epoch = dlinfma_serve::publish_snapshot(&engine, &cell, start_day);
+                        }
+                        let epoch = dlinfma_serve::replay_and_publish_from(
                             &mut engine,
                             batches,
                             &cell,
                             day_delay_ms,
+                            start_day,
                             |engine, day| {
                                 if day == train_days {
                                     let n = dlinfma_serve::train_engine_model(engine, &dataset);
@@ -497,7 +786,7 @@ fn run() -> Result<(), String> {
                                 }
                             },
                         );
-                        IngestResult::Single(Box::new(engine), epoch)
+                        IngestResult::Single(engine, if epoch == 0 { warm_epoch } else { epoch })
                     }
                 })
             };
@@ -673,6 +962,58 @@ mod tests {
         a.validate_output_flags().unwrap();
         assert!(std::path::Path::new(path).exists(), "file pre-created");
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn checkpoint_every_requires_a_snapshot_dir() {
+        let a = parse(&["replay", "--checkpoint-every", "2"]).unwrap();
+        let err = a.validate_output_flags().unwrap_err();
+        assert!(
+            err.contains("--checkpoint-every needs --snapshot-dir"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_every_rejects_zero_and_garbage_by_name() {
+        let a = parse(&["replay", "--checkpoint-every", "0"]).unwrap();
+        assert!(a
+            .checkpoint_every()
+            .unwrap_err()
+            .contains("--checkpoint-every '0'"));
+        let a = parse(&["resume", "--checkpoint-every", "x"]).unwrap();
+        assert!(a
+            .checkpoint_every()
+            .unwrap_err()
+            .contains("--checkpoint-every 'x'"));
+    }
+
+    #[test]
+    fn snapshot_dir_fails_fast_and_names_the_flag() {
+        // A path that cannot be a directory (its parent is a regular file)
+        // must error at validation time — before any replay work — for
+        // both `replay` and `serve`.
+        let file = std::env::temp_dir().join("dlinfma-snapdir-not-a-dir");
+        std::fs::write(&file, b"x").unwrap();
+        let bad = file.join("sub");
+        let bad = bad.to_str().unwrap();
+        for command in ["replay", "serve"] {
+            let a = parse(&[command, "--snapshot-dir", bad]).unwrap();
+            let err = a.validate_output_flags().unwrap_err();
+            assert!(err.contains("--snapshot-dir"), "{err}");
+            assert!(err.contains(bad), "{err}");
+        }
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn snapshot_dir_validation_creates_the_directory() {
+        let dir = std::env::temp_dir().join("dlinfma-snapdir-ok/nested");
+        std::fs::remove_dir_all(dir.parent().unwrap()).ok();
+        let a = parse(&["replay", "--snapshot-dir", dir.to_str().unwrap()]).unwrap();
+        a.validate_output_flags().unwrap();
+        assert!(dir.is_dir(), "directory pre-created");
+        std::fs::remove_dir_all(dir.parent().unwrap()).ok();
     }
 
     #[test]

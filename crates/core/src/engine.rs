@@ -56,6 +56,19 @@ struct StageNs {
     features: u64,
 }
 
+/// Borrowed view of the staged state a snapshot persists; produced by
+/// [`Engine::snap_state`], consumed by [`crate::snapshot`].
+pub(crate) struct EngineSnapState<'a> {
+    pub(crate) stays: &'a StayPointSet,
+    pub(crate) pool_state: &'a PoolState,
+    pub(crate) retrieval: &'a RetrievalIndex,
+    pub(crate) table: &'a SampleTable,
+    pub(crate) trip_station: &'a HashMap<u32, StationId>,
+    pub(crate) cum_raw_points: u64,
+    pub(crate) cum_filtered_points: u64,
+    pub(crate) model: Option<&'a LocMatcher>,
+}
+
 /// The incremental DLInfMA engine; see the module docs.
 pub struct Engine {
     cfg: DlInfMaConfig,
@@ -676,6 +689,84 @@ impl Engine {
         let model = self.model.as_ref()?;
         let idx = model.predict(sample)?;
         Some(self.pool.candidate(sample.candidates[idx]).pos)
+    }
+
+    /// Borrowed view of the staged state a snapshot persists; consumed by
+    /// [`crate::snapshot`]. Deliberately excludes everything derived
+    /// (materialized pool, samples, visit index) and everything
+    /// observational (stage timings, health monitor, scheduler telemetry):
+    /// snapshot bytes must be a pure function of the ingested data, and
+    /// every excluded piece is either recomputable from what is here or
+    /// wall-clock noise.
+    pub(crate) fn snap_state(&self) -> EngineSnapState<'_> {
+        EngineSnapState {
+            stays: &self.stays,
+            pool_state: &self.pool_state,
+            retrieval: &self.retrieval,
+            table: &self.table,
+            trip_station: &self.trip_station,
+            cum_raw_points: self.cum_raw_points,
+            cum_filtered_points: self.cum_filtered_points,
+            model: self.model.as_ref(),
+        }
+    }
+
+    /// Reassembles an engine from decoded staged artifacts — the resume
+    /// path of [`crate::snapshot`]. Derived state (the live visit index,
+    /// the materialized pool and samples, the pipeline report) is rebuilt
+    /// here exactly as an ingest would rebuild it; timing counters restart
+    /// at zero because snapshots exclude observability state.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_restored(
+        addresses: Vec<Address>,
+        cfg: DlInfMaConfig,
+        exec: Arc<Pool>,
+        stays: StayPointSet,
+        pool_state: PoolState,
+        retrieval: RetrievalIndex,
+        table: SampleTable,
+        trip_station: HashMap<u32, StationId>,
+        cum_raw_points: u64,
+        cum_filtered_points: u64,
+        model: Option<LocMatcher>,
+    ) -> Self {
+        let mut cfg = cfg;
+        cfg.model.features = cfg.features;
+        let visits_len = trip_station
+            .keys()
+            .map(|&t| t as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut engine = Self {
+            addresses,
+            stays,
+            pool_state,
+            retrieval,
+            table,
+            trip_station,
+            visits_len,
+            trips_by_key: HashMap::new(),
+            pool: CandidatePool::from_parts(Vec::new(), Vec::new()),
+            samples: OrdMap::new(),
+            model,
+            report: PipelineReport::new(),
+            ns: StageNs::default(),
+            cum_raw_points,
+            cum_filtered_points,
+            exec,
+            health: HealthMonitor::default(),
+            cfg,
+        };
+        for (i, rec) in engine.stays.recs().iter().enumerate() {
+            engine
+                .trips_by_key
+                .entry(engine.pool_state.key_of(i))
+                .or_default()
+                .insert(rec.trip);
+        }
+        engine.materialize();
+        engine.refresh_report();
+        engine
     }
 
     /// Decomposes the engine into the batch pipeline's parts

@@ -32,6 +32,7 @@ pub mod locmatcher;
 pub mod pipeline;
 pub mod retrieval;
 pub mod sharded;
+pub mod snapshot;
 pub mod stages;
 pub mod staypoints;
 
@@ -47,6 +48,7 @@ pub use locmatcher::{LocMatcher, LocMatcherConfig, TrainReport};
 pub use pipeline::{DlInfMa, DlInfMaConfig, PoolMethod};
 pub use retrieval::{collect_evidence, retrieve_candidates, AddressEvidence};
 pub use sharded::ShardedEngine;
+pub use snapshot::{Checkpoint, RestoredEngine, SnapshotError};
 pub use staypoints::{
     extract_batch_with_stats, extract_stay_points, extract_stay_points_parallel, ExtractionConfig,
     TripStays,

@@ -99,6 +99,34 @@ impl ShardedEngine {
         }
     }
 
+    /// Reassembles a fleet from restored shards — the resume path of
+    /// [`crate::snapshot`]. `shards` must all share `exec` (the snapshot
+    /// reader builds them that way) and `shard_days` must be parallel to
+    /// them.
+    pub(crate) fn from_restored(
+        shards: Vec<Engine>,
+        exec: Arc<Pool>,
+        model: Option<LocMatcher>,
+        days_ingested: u32,
+        shard_days: Vec<u32>,
+        trip_shard: HashMap<u32, usize>,
+    ) -> Self {
+        Self {
+            shards,
+            exec,
+            model,
+            days_ingested,
+            shard_days,
+            trip_shard,
+        }
+    }
+
+    /// Snapshot view of the fleet-level routing state: per-shard day
+    /// counts and the persistent trip → shard table.
+    pub(crate) fn snap_state(&self) -> (&[u32], &HashMap<u32, usize>, Option<&LocMatcher>) {
+        (&self.shard_days, &self.trip_shard, self.model.as_ref())
+    }
+
     /// Number of station shards.
     pub fn n_shards(&self) -> usize {
         self.shards.len()

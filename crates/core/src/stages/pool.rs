@@ -31,6 +31,7 @@ use dlinfma_cluster::{merge_weighted_pooled_stats, MergeStats, WeightedPoint};
 use dlinfma_detcol::{OrdMap, OrdSet};
 use dlinfma_geo::Point;
 use dlinfma_pool::Pool;
+use dlinfma_snap::{Dec, Enc, SnapError};
 
 /// What one pool update changed: the raw material for dirty-address
 /// tracking and the ingest report's pool delta.
@@ -298,6 +299,165 @@ impl PoolState {
             removed,
             cluster_stats: MergeStats::default(),
         }
+    }
+
+    /// Encodes the pool state for a snapshot. Components, cells and assign
+    /// entries are written in their deterministic (`OrdMap` / index) order,
+    /// so the bytes are a pure function of the staged state.
+    pub(crate) fn snap_encode(&self, e: &mut Enc) {
+        e.u8(match self.method {
+            PoolMethod::Hierarchical => 0,
+            PoolMethod::Grid => 1,
+        });
+        e.f64(self.distance);
+        e.usize(self.components.len());
+        for (k, recs) in &self.components {
+            e.usize(*k);
+            e.usize(recs.len());
+            for rec in recs {
+                Self::encode_rec(e, rec);
+            }
+        }
+        e.usize(self.cells.len());
+        for (&(station, cx, cy), rec) in &self.cells {
+            e.u32(station);
+            e.i64(cx);
+            e.i64(cy);
+            Self::encode_rec(e, rec);
+        }
+        e.usize(self.assign.len());
+        for &a in &self.assign {
+            e.usize(a);
+        }
+    }
+
+    fn encode_rec(e: &mut Enc, rec: &ClusterRec) {
+        e.usize(rec.key);
+        e.f64(rec.centroid.x);
+        e.f64(rec.centroid.y);
+        e.usize(rec.members.len());
+        for &m in &rec.members {
+            e.usize(m);
+        }
+        e.f64(rec.agg.pos.x);
+        e.f64(rec.agg.pos.y);
+        e.usize(rec.agg.weight);
+        e.f64(rec.agg.total_duration_s);
+        e.usize(rec.agg.couriers.len());
+        for &c in &rec.agg.couriers {
+            e.u32(c);
+        }
+        for &h in &rec.agg.hist {
+            e.u32(h);
+        }
+    }
+
+    fn decode_rec(d: &mut Dec, n_stays: usize) -> Result<ClusterRec, SnapError> {
+        let key = d.usize()?;
+        if key >= n_stays {
+            return Err(SnapError::Malformed {
+                what: "cluster key out of range",
+            });
+        }
+        let centroid = Point::new(d.f64()?, d.f64()?);
+        let n_members = d.seq_len(8)?;
+        let mut members: Vec<usize> = Vec::with_capacity(n_members);
+        for _ in 0..n_members {
+            let m = d.usize()?;
+            if m >= n_stays {
+                return Err(SnapError::Malformed {
+                    what: "cluster member out of range",
+                });
+            }
+            members.push(m);
+        }
+        let pos = Point::new(d.f64()?, d.f64()?);
+        let weight = d.usize()?;
+        let total_duration_s = d.f64()?;
+        let n_couriers = d.seq_len(4)?;
+        let mut couriers = OrdSet::new();
+        for _ in 0..n_couriers {
+            couriers.insert(d.u32()?);
+        }
+        let mut hist = [0u32; crate::candidates::TIME_BINS];
+        for h in &mut hist {
+            *h = d.u32()?;
+        }
+        Ok(ClusterRec {
+            key,
+            centroid,
+            members,
+            agg: Agg {
+                pos,
+                weight,
+                total_duration_s,
+                couriers,
+                hist,
+            },
+        })
+    }
+
+    /// Decodes a snapshot produced by [`PoolState::snap_encode`]. `n_stays`
+    /// bounds every stay index in the state (cluster keys are indexed into
+    /// the stay set's root array on the next ingest, so out-of-range keys
+    /// must be rejected here). Never panics on hostile bytes.
+    pub(crate) fn snap_decode(d: &mut Dec, n_stays: usize) -> Result<Self, SnapError> {
+        let method = match d.u8()? {
+            0 => PoolMethod::Hierarchical,
+            1 => PoolMethod::Grid,
+            _ => {
+                return Err(SnapError::Malformed {
+                    what: "unknown pool method byte",
+                })
+            }
+        };
+        let distance = d.f64()?;
+        if !(distance.is_finite() && distance > 0.0) {
+            return Err(SnapError::Malformed {
+                what: "pool distance must be positive and finite",
+            });
+        }
+        let n_components = d.seq_len(16)?;
+        let mut components: OrdMap<usize, Vec<ClusterRec>> = OrdMap::new();
+        for _ in 0..n_components {
+            let comp_key = d.usize()?;
+            if comp_key >= n_stays {
+                return Err(SnapError::Malformed {
+                    what: "component key out of range",
+                });
+            }
+            let n_recs = d.seq_len(8)?;
+            let mut recs: Vec<ClusterRec> = Vec::with_capacity(n_recs);
+            for _ in 0..n_recs {
+                recs.push(Self::decode_rec(d, n_stays)?);
+            }
+            components.insert(comp_key, recs);
+        }
+        let n_cells = d.seq_len(20)?;
+        let mut cells: OrdMap<(u32, i64, i64), ClusterRec> = OrdMap::new();
+        for _ in 0..n_cells {
+            let station = d.u32()?;
+            let cx = d.i64()?;
+            let cy = d.i64()?;
+            cells.insert((station, cx, cy), Self::decode_rec(d, n_stays)?);
+        }
+        let n_assign = d.seq_len(8)?;
+        if n_assign != n_stays {
+            return Err(SnapError::Malformed {
+                what: "assignment table length does not match the stay set",
+            });
+        }
+        let mut assign: Vec<usize> = Vec::with_capacity(n_assign);
+        for _ in 0..n_assign {
+            assign.push(d.usize()?);
+        }
+        Ok(Self {
+            method,
+            distance,
+            components,
+            cells,
+            assign,
+        })
     }
 
     /// All clusters as `(key, centroid, profile)`, unordered. Grid-mode

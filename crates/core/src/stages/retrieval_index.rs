@@ -19,6 +19,7 @@
 
 use crate::retrieval::AddressEvidence;
 use dlinfma_detcol::OrdMap;
+use dlinfma_snap::{Dec, Enc, SnapError};
 use dlinfma_synth::{AddressId, BuildingId, StationId, TripId};
 use std::collections::{HashMap, HashSet};
 
@@ -119,6 +120,146 @@ impl RetrievalIndex {
     /// Trips that delivered to `address`.
     pub fn address_trips(&self, address: AddressId) -> Option<&HashSet<TripId>> {
         self.address_trips.get(&address)
+    }
+
+    /// Encodes the evidence for a snapshot. Every hash container is
+    /// flattened and sorted first, so the bytes are a pure function of the
+    /// folded waybills — hash-iteration order never reaches the file.
+    pub(crate) fn snap_encode(&self, e: &mut Enc) {
+        let mut bound_rows: Vec<(u32, Vec<(u32, f64)>)> = self
+            .bounds
+            .iter()
+            .map(|(a, per)| {
+                let mut trips: Vec<(u32, f64)> = per.iter().map(|(t, &b)| (t.0, b)).collect();
+                trips.sort_unstable_by_key(|&(t, _)| t);
+                (a.0, trips)
+            })
+            .collect();
+        bound_rows.sort_unstable_by_key(|&(a, _)| a);
+        e.usize(bound_rows.len());
+        for (a, trips) in &bound_rows {
+            e.u32(*a);
+            e.usize(trips.len());
+            for &(t, b) in trips {
+                e.u32(t);
+                e.f64(b);
+            }
+        }
+
+        let mut building_rows: Vec<((u32, u32), Vec<u32>)> = self
+            .building_trips
+            .iter()
+            .map(|(&(b, s), trips)| {
+                let mut ids: Vec<u32> = trips.iter().map(|t| t.0).collect();
+                ids.sort_unstable();
+                ((b.0, s.0), ids)
+            })
+            .collect();
+        building_rows.sort_unstable_by_key(|&(k, _)| k);
+        e.usize(building_rows.len());
+        for ((b, s), trip_ids) in &building_rows {
+            e.u32(*b);
+            e.u32(*s);
+            e.usize(trip_ids.len());
+            for &t in trip_ids {
+                e.u32(t);
+            }
+        }
+
+        let mut address_rows: Vec<(u32, Vec<u32>)> = self
+            .address_trips
+            .iter()
+            .map(|(a, trips)| {
+                let mut ids: Vec<u32> = trips.iter().map(|t| t.0).collect();
+                ids.sort_unstable();
+                (a.0, ids)
+            })
+            .collect();
+        address_rows.sort_unstable_by_key(|&(a, _)| a);
+        e.usize(address_rows.len());
+        for (a, trip_ids) in &address_rows {
+            e.u32(*a);
+            e.usize(trip_ids.len());
+            for &t in trip_ids {
+                e.u32(t);
+            }
+        }
+
+        e.usize(self.trips_per_station.len());
+        for (s, &n) in &self.trips_per_station {
+            e.u32(s.0);
+            e.usize(n);
+        }
+        e.usize(self.n_trips);
+    }
+
+    /// Decodes a snapshot produced by [`RetrievalIndex::snap_encode`].
+    /// Never panics on hostile bytes.
+    pub(crate) fn snap_decode(d: &mut Dec) -> Result<Self, SnapError> {
+        let mut bounds: HashMap<AddressId, HashMap<TripId, f64>> = HashMap::new();
+        let n_bounds = d.seq_len(12)?;
+        for _ in 0..n_bounds {
+            let a = AddressId(d.u32()?);
+            let n_trips = d.seq_len(12)?;
+            let mut per: HashMap<TripId, f64> = HashMap::with_capacity(n_trips);
+            for _ in 0..n_trips {
+                let t = TripId(d.u32()?);
+                per.insert(t, d.f64()?);
+            }
+            if bounds.insert(a, per).is_some() {
+                return Err(SnapError::Malformed {
+                    what: "duplicate address in evidence bounds",
+                });
+            }
+        }
+
+        let mut building_trips: HashMap<(BuildingId, StationId), HashSet<TripId>> = HashMap::new();
+        let n_buildings = d.seq_len(16)?;
+        for _ in 0..n_buildings {
+            let b = BuildingId(d.u32()?);
+            let s = StationId(d.u32()?);
+            let n_ids = d.seq_len(4)?;
+            let mut trip_set: HashSet<TripId> = HashSet::with_capacity(n_ids);
+            for _ in 0..n_ids {
+                trip_set.insert(TripId(d.u32()?));
+            }
+            if building_trips.insert((b, s), trip_set).is_some() {
+                return Err(SnapError::Malformed {
+                    what: "duplicate building in trip index",
+                });
+            }
+        }
+
+        let mut address_trips: HashMap<AddressId, HashSet<TripId>> = HashMap::new();
+        let n_addresses = d.seq_len(12)?;
+        for _ in 0..n_addresses {
+            let a = AddressId(d.u32()?);
+            let n_ids = d.seq_len(4)?;
+            let mut trip_set: HashSet<TripId> = HashSet::with_capacity(n_ids);
+            for _ in 0..n_ids {
+                trip_set.insert(TripId(d.u32()?));
+            }
+            if address_trips.insert(a, trip_set).is_some() {
+                return Err(SnapError::Malformed {
+                    what: "duplicate address in trip index",
+                });
+            }
+        }
+
+        let mut trips_per_station: OrdMap<StationId, usize> = OrdMap::new();
+        let n_stations = d.seq_len(12)?;
+        for _ in 0..n_stations {
+            let s = StationId(d.u32()?);
+            trips_per_station.insert(s, d.usize()?);
+        }
+        let n_trips = d.usize()?;
+        Ok(Self {
+            bounds,
+            building_trips,
+            address_trips,
+            trips_per_station,
+            n_trips,
+        })
     }
 }
 

@@ -11,6 +11,7 @@
 //! reproducing the batch extractor's arithmetic bit for bit.
 
 use dlinfma_detcol::{OrdMap, OrdSet};
+use dlinfma_snap::{Dec, Enc, SnapError};
 use dlinfma_synth::{AddressId, StationId};
 
 /// Raw (integer) feature state of one address, parallel vectors over its
@@ -85,6 +86,72 @@ impl SampleTable {
             self.by_key.entry(*k).or_default().insert(address);
         }
         self.rows.insert(address, raw);
+    }
+
+    /// Encodes the table for a snapshot: rows only, ascending by address.
+    /// The inverse key index is a pure function of the rows and is rebuilt
+    /// on decode.
+    pub(crate) fn snap_encode(&self, e: &mut Enc) {
+        e.usize(self.rows.len());
+        for (a, raw) in &self.rows {
+            e.u32(a.0);
+            e.u32(raw.station.0);
+            e.u32(raw.n_addr_trips);
+            e.usize(raw.candidate_keys.len());
+            for &k in &raw.candidate_keys {
+                e.usize(k);
+            }
+            for &h in &raw.tc_hits {
+                e.u32(h);
+            }
+            for &o in &raw.overlap_excl {
+                e.u32(o);
+            }
+        }
+    }
+
+    /// Decodes a snapshot produced by [`SampleTable::snap_encode`],
+    /// rebuilding the inverse index through [`SampleTable::replace`]. The
+    /// three per-candidate vectors share one declared length, so the
+    /// parallel-vector invariant materialization indexes on holds by
+    /// construction. Never panics on hostile bytes.
+    pub(crate) fn snap_decode(d: &mut Dec) -> Result<Self, SnapError> {
+        let mut table = Self::new();
+        let n_rows = d.seq_len(20)?;
+        for _ in 0..n_rows {
+            let a = AddressId(d.u32()?);
+            let station = StationId(d.u32()?);
+            let n_addr_trips = d.u32()?;
+            let n_keys = d.seq_len(8)?;
+            let mut candidate_keys: Vec<usize> = Vec::with_capacity(n_keys);
+            for _ in 0..n_keys {
+                candidate_keys.push(d.usize()?);
+            }
+            let mut tc_hits: Vec<u32> = Vec::with_capacity(n_keys);
+            for _ in 0..n_keys {
+                tc_hits.push(d.u32()?);
+            }
+            let mut overlap_excl: Vec<u32> = Vec::with_capacity(n_keys);
+            for _ in 0..n_keys {
+                overlap_excl.push(d.u32()?);
+            }
+            if table.rows.contains_key(&a) {
+                return Err(SnapError::Malformed {
+                    what: "duplicate address in sample table",
+                });
+            }
+            table.replace(
+                a,
+                RawSample {
+                    candidate_keys,
+                    tc_hits,
+                    overlap_excl,
+                    station,
+                    n_addr_trips,
+                },
+            );
+        }
+        Ok(table)
     }
 
     /// Every address referencing any of `keys` — the candidate-side dirty

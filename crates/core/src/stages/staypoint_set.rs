@@ -16,7 +16,15 @@
 //! only ever sees its own couriers' trajectories.
 
 use dlinfma_geo::{GridIndex, Point};
+use dlinfma_snap::{Dec, Enc, SnapError};
 use dlinfma_synth::{CourierId, StationId, TripId};
+
+/// Highest trip index a snapshot may reference. Trip ids size the dense
+/// per-trip tables (`by_trip`, the materialized visit table), so a hostile
+/// snapshot with a huge id would otherwise provoke a giant allocation
+/// before any validation could reject it. Sixteen million trips is far
+/// beyond any supported scale.
+pub(crate) const MAX_TRIP_INDEX: usize = 1 << 24;
 
 /// One ingested stay point with the metadata every later stage needs.
 #[derive(Debug, Clone)]
@@ -153,6 +161,135 @@ impl StayPointSet {
     /// The component root of every stay, in one pass.
     pub fn roots(&mut self) -> Vec<usize> {
         (0..self.stays.len()).map(|i| self.find(i)).collect()
+    }
+
+    /// Read-only root lookup: follows the parent chain without compressing
+    /// it. Path halving never changes which stay is a component's root, so
+    /// this agrees with [`StayPointSet::find`] on every input — it exists
+    /// so encoding a snapshot does not mutate (and therefore cannot
+    /// depend on) the incidental parent-pointer layout.
+    fn root_of(&self, mut i: usize) -> usize {
+        while let Some(&p) = self.parent.get(i) {
+            if p == i {
+                return i;
+            }
+            i = p;
+        }
+        i
+    }
+
+    /// Encodes the set for a snapshot: radius, stays in ingest order, and
+    /// the *canonical* root of every stay. Canonical roots (rather than the
+    /// raw parent array) make the bytes a pure function of the union
+    /// history — path compression timing differs between a cold run and a
+    /// resumed one, but the roots it converges to never do.
+    pub(crate) fn snap_encode(&self, e: &mut Enc) {
+        e.f64(self.radius);
+        e.usize(self.stays.len());
+        for rec in &self.stays {
+            e.u32(rec.trip.0);
+            e.f64(rec.pos.x);
+            e.f64(rec.pos.y);
+            e.f64(rec.mid_time);
+            e.f64(rec.duration_s);
+            e.u8(rec.hour_bin as u8);
+            e.u32(rec.courier.0);
+            e.u32(rec.station.0);
+        }
+        for i in 0..self.stays.len() {
+            e.usize(self.root_of(i));
+        }
+    }
+
+    /// Decodes a snapshot produced by [`StayPointSet::snap_encode`],
+    /// validating every field and rebuilding the derived state (grid,
+    /// per-trip index, component sizes). Never panics on hostile bytes.
+    pub(crate) fn snap_decode(d: &mut Dec) -> Result<Self, SnapError> {
+        let radius = d.f64()?;
+        if !(radius.is_finite() && radius > 0.0) {
+            return Err(SnapError::Malformed {
+                what: "stay radius must be positive and finite",
+            });
+        }
+        // One stay is 45 bytes; its root adds 8 more.
+        let n = d.seq_len(45)?;
+        let mut stays: Vec<StayRec> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let trip = TripId(d.u32()?);
+            if trip.0 as usize >= MAX_TRIP_INDEX {
+                return Err(SnapError::Malformed {
+                    what: "stay trip id exceeds the format's trip-index cap",
+                });
+            }
+            let pos = Point::new(d.f64()?, d.f64()?);
+            let mid_time = d.f64()?;
+            let duration_s = d.f64()?;
+            let hour_bin = usize::from(d.u8()?);
+            if hour_bin >= crate::candidates::TIME_BINS {
+                return Err(SnapError::Malformed {
+                    what: "stay hour bin out of range",
+                });
+            }
+            let courier = CourierId(d.u32()?);
+            let station = StationId(d.u32()?);
+            stays.push(StayRec {
+                trip,
+                pos,
+                mid_time,
+                duration_s,
+                hour_bin,
+                courier,
+                station,
+            });
+        }
+        let mut parent: Vec<usize> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let r = d.usize()?;
+            if r >= n {
+                return Err(SnapError::Malformed {
+                    what: "stay root out of range",
+                });
+            }
+            parent.push(r);
+        }
+        // Canonical roots are idempotent: a root's own entry points to
+        // itself. Anything else is not a forest of depth <= 1.
+        for &r in &parent {
+            if parent.get(r) != Some(&r) {
+                return Err(SnapError::Malformed {
+                    what: "stay roots are not canonical",
+                });
+            }
+        }
+        // Component sizes: union-by-size only ever reads the size of a
+        // *root*, so counting members per root reproduces every future
+        // union decision a cold engine would make.
+        let mut size = vec![0u32; n];
+        for &r in &parent {
+            if let Some(s) = size.get_mut(r) {
+                *s += 1;
+            }
+        }
+        let mut grid = GridIndex::new(radius);
+        let mut by_trip: Vec<Vec<usize>> = Vec::new();
+        for (i, rec) in stays.iter().enumerate() {
+            grid.insert(rec.pos, i);
+            let t = rec.trip.0 as usize;
+            if by_trip.len() <= t {
+                by_trip.resize_with(t + 1, Vec::new);
+            }
+            if let Some(list) = by_trip.get_mut(t) {
+                list.push(i);
+            }
+        }
+        Ok(Self {
+            radius,
+            stays,
+            grid,
+            parent,
+            size,
+            by_trip,
+        })
     }
 }
 

@@ -1,0 +1,196 @@
+//! Snapshot format compatibility — the gate that keeps old checkpoints
+//! readable. A golden format-v1 checkpoint of the Tiny world is committed
+//! under `tests/fixtures/golden-tiny-v1/`; this suite proves today's
+//! decoder still reads it and re-encodes it **bit-identically**, and that
+//! hostile mutations of a real engine snapshot always fail with a typed
+//! error instead of a panic.
+//!
+//! See `tests/fixtures/golden-tiny-v1/README.md` for the version-bump
+//! procedure (when the golden fixture may be regenerated, and how).
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
+use dlinfma_core::snapshot::{
+    engine_to_bytes, read_checkpoint, write_engine_checkpoint, RestoredEngine,
+};
+use dlinfma_core::{DlInfMaConfig, Engine};
+use dlinfma_snap::{write_container, Sections};
+use dlinfma_synth::{generate_with, replay, world_config, Dataset, Preset, Scale};
+use std::path::Path;
+
+/// The committed fixture: a day-2 checkpoint of the fixture world.
+const FIXTURE_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden-tiny-v1");
+/// Days ingested into the fixture checkpoint.
+const FIXTURE_DAY: u32 = 2;
+/// World seed the fixture was generated from.
+const FIXTURE_SEED: u64 = 77;
+
+/// The exact world the fixture was generated from. Changing the synthetic
+/// generator regenerates different data — that's fine, the fixture is
+/// committed bytes and this function is only needed to *resume* from it.
+fn fixture_world() -> Dataset {
+    let mut wc = world_config(Preset::DowBJ, Scale::Tiny);
+    wc.sim.n_stations = 3;
+    let (_, ds) = generate_with(&wc, FIXTURE_SEED);
+    ds
+}
+
+/// The exact configuration the fixture was written under (fingerprinted
+/// in its CONFIG section — decode fails loudly if this drifts).
+fn fixture_cfg() -> DlInfMaConfig {
+    let mut cfg = DlInfMaConfig::fast();
+    cfg.model.max_epochs = 4;
+    cfg.workers = 2;
+    cfg
+}
+
+fn fixture_shard_path() -> std::path::PathBuf {
+    Path::new(FIXTURE_DIR).join("day-00002/shard-0000.snap")
+}
+
+#[test]
+fn golden_v1_fixture_decodes_and_reencodes_bit_identically() {
+    let ds = fixture_world();
+    let fixture_bytes = std::fs::read(fixture_shard_path()).expect(
+        "golden fixture missing — run `cargo test -p dlinfma-core --test format_compat \
+         -- --ignored regenerate` after a deliberate format bump",
+    );
+    let cp = read_checkpoint(
+        Path::new(FIXTURE_DIR),
+        FIXTURE_DAY,
+        &ds.addresses,
+        fixture_cfg(),
+    )
+    .expect("today's decoder must read the committed v1 checkpoint");
+    assert_eq!(cp.days_ingested, FIXTURE_DAY);
+    let RestoredEngine::Single(engine) = cp.engine else {
+        panic!("fixture is a single-engine checkpoint");
+    };
+    assert_eq!(
+        engine_to_bytes(&engine),
+        fixture_bytes,
+        "re-encoding the restored engine must reproduce the committed bytes exactly"
+    );
+    assert!(engine.n_trips() > 0, "fixture holds ingested trips");
+    assert!(engine.n_stays() > 0, "fixture holds extracted stays");
+}
+
+#[test]
+fn golden_v1_fixture_resumes_cleanly() {
+    // Restoring the committed checkpoint and ingesting further days must
+    // work (growth from a v1 checkpoint), and a second checkpoint written
+    // from the resumed engine must round-trip.
+    let ds = fixture_world();
+    let cp = read_checkpoint(
+        Path::new(FIXTURE_DIR),
+        FIXTURE_DAY,
+        &ds.addresses,
+        fixture_cfg(),
+    )
+    .expect("fixture decodes");
+    let RestoredEngine::Single(mut engine) = cp.engine else {
+        panic!("fixture is a single-engine checkpoint");
+    };
+    let before = engine.n_trips();
+    for batch in replay(&ds).skip(FIXTURE_DAY as usize) {
+        engine.ingest(&batch);
+    }
+    assert!(engine.n_trips() > before, "resumed ingest adds trips");
+    let bytes = engine_to_bytes(&engine);
+    let dir = std::env::temp_dir().join(format!("dlinfma-compat-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let day = FIXTURE_DAY + (replay(&ds).count() as u32 - FIXTURE_DAY);
+    write_engine_checkpoint(&dir, day, &engine).unwrap();
+    let cp = read_checkpoint(&dir, day, &ds.addresses, fixture_cfg()).unwrap();
+    let RestoredEngine::Single(restored) = cp.engine else {
+        panic!("expected a single engine");
+    };
+    assert_eq!(bytes, engine_to_bytes(&restored));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A small live engine snapshot for hostile-bytes sweeps: one ingested
+/// day keeps the file small enough to mutate densely.
+fn small_engine_bytes() -> (Dataset, Vec<u8>) {
+    let ds = fixture_world();
+    let mut engine = Engine::new(ds.addresses.clone(), fixture_cfg());
+    let batch = replay(&ds).next().expect("tiny world has days");
+    engine.ingest(&batch);
+    (ds, engine_to_bytes(&engine))
+}
+
+#[test]
+fn flipping_any_sampled_byte_never_panics_and_always_errors() {
+    let (ds, bytes) = small_engine_bytes();
+    let exec = std::sync::Arc::new(dlinfma_pool::Pool::new(2));
+    // Flip every 97th byte (coprime to the section framing) — each flip
+    // must be caught by the magic check, a CRC, or a typed decode error.
+    for i in (0..bytes.len()).step_by(97) {
+        let mut corrupt = bytes.clone();
+        corrupt[i] ^= 0x20;
+        let result = dlinfma_core::snapshot::engine_from_bytes(
+            &corrupt,
+            ds.addresses.clone(),
+            fixture_cfg(),
+            std::sync::Arc::clone(&exec),
+        );
+        assert!(result.is_err(), "flipped byte {i} must not decode");
+    }
+}
+
+#[test]
+fn truncated_section_payloads_yield_typed_errors_not_panics() {
+    // Rebuild the container with one section's payload truncated (CRC
+    // recomputed, so the container layer passes) — this drives hostile
+    // bytes into the *stage decoders*, which must error, never panic.
+    let (ds, bytes) = small_engine_bytes();
+    let exec = std::sync::Arc::new(dlinfma_pool::Pool::new(2));
+    let parsed = Sections::parse(&bytes).expect("own bytes parse");
+    let sections: Vec<(u32, Vec<u8>)> = parsed
+        .iter()
+        .map(|(tag, payload)| (tag, payload.to_vec()))
+        .collect();
+    for target in 0..sections.len() {
+        let payload_len = sections[target].1.len();
+        let step = (payload_len / 48).max(1);
+        for cut in (0..payload_len).step_by(step) {
+            let mutated: Vec<(u32, Vec<u8>)> = sections
+                .iter()
+                .enumerate()
+                .map(|(i, (tag, payload))| {
+                    if i == target {
+                        (*tag, payload[..cut].to_vec())
+                    } else {
+                        (*tag, payload.clone())
+                    }
+                })
+                .collect();
+            let container = write_container(&mutated);
+            let result = dlinfma_core::snapshot::engine_from_bytes(
+                &container,
+                ds.addresses.clone(),
+                fixture_cfg(),
+                std::sync::Arc::clone(&exec),
+            );
+            assert!(
+                result.is_err(),
+                "section {target} truncated to {cut} bytes must not decode"
+            );
+        }
+    }
+}
+
+/// Regenerates the golden fixture. **Only run this after a deliberate
+/// format-version bump** — see the README next to the fixture. The diff
+/// it produces is the reviewable artifact of the bump.
+#[test]
+#[ignore = "rewrites the committed golden fixture; run only on a deliberate format bump"]
+fn regenerate_golden_fixture() {
+    let ds = fixture_world();
+    let mut engine = Engine::new(ds.addresses.clone(), fixture_cfg());
+    for batch in replay(&ds).take(FIXTURE_DAY as usize) {
+        engine.ingest(&batch);
+    }
+    let path = write_engine_checkpoint(Path::new(FIXTURE_DIR), FIXTURE_DAY, &engine)
+        .expect("fixture writes");
+    println!("regenerated golden fixture at {}", path.display());
+}

@@ -1,0 +1,173 @@
+//! Resume parity — the durable-snapshot headline guarantee: restoring a
+//! day-`k` checkpoint and ingesting days `k+1..n` is **bit-identical** to
+//! a cold run over days `1..n`, at any worker count and any shard count.
+//! Equality is asserted on snapshot *bytes* (the strongest equality the
+//! engine can state: every stage artifact, counter, and table must agree
+//! bit for bit), plus a trained-inference spot check on top.
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
+use dlinfma_core::snapshot::{
+    engine_to_bytes, latest_checkpoint, read_checkpoint, write_engine_checkpoint,
+    write_fleet_checkpoint, RestoredEngine,
+};
+use dlinfma_core::{DlInfMaConfig, Engine, ShardedEngine};
+use dlinfma_synth::{generate_with, replay, world_config, Dataset, Preset, Scale, TripBatch};
+use std::path::PathBuf;
+
+fn fast_cfg(workers: usize) -> DlInfMaConfig {
+    let mut cfg = DlInfMaConfig::fast();
+    cfg.model.max_epochs = 4;
+    cfg.workers = workers;
+    cfg
+}
+
+/// A Tiny world with three stations so multi-shard fleets actually split.
+fn tiny_world(seed: u64) -> Dataset {
+    let mut wc = world_config(Preset::DowBJ, Scale::Tiny);
+    wc.sim.n_stations = 3;
+    let (_, ds) = generate_with(&wc, seed);
+    ds
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dlinfma-resume-parity-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Cold-runs `workers`×`shards`, checkpoints at day `k`, restores the
+/// checkpoint in a fresh process-state, ingests the remaining days, and
+/// requires the final snapshot bytes to equal the cold run's — per shard.
+fn assert_resume_parity(ds: &Dataset, workers: usize, shards: usize, k: usize) {
+    let batches: Vec<TripBatch> = replay(ds).collect();
+    assert!(
+        k < batches.len(),
+        "checkpoint day must leave days to resume"
+    );
+    let dir = scratch_dir(&format!("w{workers}s{shards}"));
+    let cfg = fast_cfg(workers);
+
+    // Cold run, checkpointing at day k along the way.
+    let cold_bytes: Vec<Vec<u8>> = if shards > 1 {
+        let mut fleet = ShardedEngine::new(ds.addresses.clone(), cfg, shards);
+        for (i, b) in batches.iter().enumerate() {
+            fleet.ingest(b);
+            if i + 1 == k {
+                write_fleet_checkpoint(&dir, k as u32, &fleet).unwrap();
+            }
+        }
+        (0..shards)
+            .map(|s| engine_to_bytes(fleet.shard(s)))
+            .collect()
+    } else {
+        let mut engine = Engine::new(ds.addresses.clone(), cfg);
+        for (i, b) in batches.iter().enumerate() {
+            engine.ingest(b);
+            if i + 1 == k {
+                write_engine_checkpoint(&dir, k as u32, &engine).unwrap();
+            }
+        }
+        vec![engine_to_bytes(&engine)]
+    };
+
+    // Warm run: restore day k, ingest the rest.
+    assert_eq!(latest_checkpoint(&dir).unwrap(), Some(k as u32));
+    let cp = read_checkpoint(&dir, k as u32, &ds.addresses, cfg).unwrap();
+    assert_eq!(cp.days_ingested, k as u32);
+    let warm_bytes: Vec<Vec<u8>> = match cp.engine {
+        RestoredEngine::Single(mut engine) => {
+            assert_eq!(shards, 1, "single checkpoint implies one shard");
+            for b in &batches[k..] {
+                engine.ingest(b);
+            }
+            vec![engine_to_bytes(&engine)]
+        }
+        RestoredEngine::Fleet(mut fleet) => {
+            assert_eq!(fleet.n_shards(), shards);
+            for b in &batches[k..] {
+                fleet.ingest(b);
+            }
+            (0..shards)
+                .map(|s| engine_to_bytes(fleet.shard(s)))
+                .collect()
+        }
+    };
+
+    assert_eq!(
+        cold_bytes, warm_bytes,
+        "resumed snapshot bytes diverge from the cold run (workers {workers}, shards {shards})"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_parity_across_worker_and_shard_counts() {
+    let ds = tiny_world(11);
+    for &workers in &[1usize, 8] {
+        for &shards in &[1usize, 4] {
+            assert_resume_parity(&ds, workers, shards, 2);
+        }
+    }
+}
+
+#[test]
+fn resume_parity_holds_when_worker_count_changes_across_the_restart() {
+    // Checkpoint under 8 workers, resume under 1: the snapshot must not
+    // encode anything worker-dependent.
+    let ds = tiny_world(12);
+    let batches: Vec<TripBatch> = replay(&ds).collect();
+    let dir = scratch_dir("wswitch");
+
+    let mut cold = Engine::new(ds.addresses.clone(), fast_cfg(8));
+    for (i, b) in batches.iter().enumerate() {
+        cold.ingest(b);
+        if i + 1 == 2 {
+            write_engine_checkpoint(&dir, 2, &cold).unwrap();
+        }
+    }
+
+    let cp = read_checkpoint(&dir, 2, &ds.addresses, fast_cfg(1)).unwrap();
+    let RestoredEngine::Single(mut warm) = cp.engine else {
+        panic!("expected a single engine");
+    };
+    for b in &batches[2..] {
+        warm.ingest(b);
+    }
+    assert_eq!(engine_to_bytes(&cold), engine_to_bytes(&warm));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_restored_trained_engine_infers_identically() {
+    // Train a model, checkpoint, restore: the restored engine must carry
+    // the model and produce bit-identical inferences for every address.
+    let ds = tiny_world(13);
+    let split = dlinfma_synth::spatial_split(&ds, 0.6, 0.2);
+    let dir = scratch_dir("trained");
+    let cfg = fast_cfg(2);
+
+    let mut fleet = ShardedEngine::new(ds.addresses.clone(), cfg, 2);
+    for b in replay(&ds) {
+        fleet.ingest(&b);
+    }
+    fleet.train_with(&ds, &split.train, &split.val);
+    write_fleet_checkpoint(&dir, fleet.days_ingested(), &fleet).unwrap();
+
+    let cp = read_checkpoint(&dir, fleet.days_ingested(), &ds.addresses, cfg).unwrap();
+    let RestoredEngine::Fleet(restored) = cp.engine else {
+        panic!("expected a fleet");
+    };
+    assert!(restored.model().is_some(), "model must survive the restart");
+    for a in &ds.addresses {
+        assert_eq!(
+            fleet.infer(a.id),
+            restored.infer(a.id),
+            "inference diverged for address {}",
+            a.id.0
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -113,12 +113,30 @@ pub fn replay_and_publish_sharded<I>(
     batches: I,
     cell: &SnapshotCell,
     day_delay_ms: u64,
+    after_ingest: impl FnMut(&mut ShardedEngine, u32),
+) -> u64
+where
+    I: IntoIterator<Item = TripBatch>,
+{
+    replay_and_publish_sharded_from(fleet, batches, cell, day_delay_ms, 0, after_ingest)
+}
+
+/// [`replay_and_publish_sharded`] starting the day counter at `start_day`
+/// — the warm-restart path, where the fleet was restored from a day-`k`
+/// checkpoint and `batches` holds only the remaining days. The hook and
+/// the published snapshots see absolute day numbers.
+pub fn replay_and_publish_sharded_from<I>(
+    fleet: &mut ShardedEngine,
+    batches: I,
+    cell: &SnapshotCell,
+    day_delay_ms: u64,
+    start_day: u32,
     mut after_ingest: impl FnMut(&mut ShardedEngine, u32),
 ) -> u64
 where
     I: IntoIterator<Item = TripBatch>,
 {
-    let mut days = 0u32;
+    let mut days = start_day;
     let mut epoch = 0u64;
     for batch in batches {
         fleet.ingest(&batch);
@@ -142,12 +160,30 @@ pub fn replay_and_publish<I>(
     batches: I,
     cell: &SnapshotCell,
     day_delay_ms: u64,
+    after_ingest: impl FnMut(&mut Engine, u32),
+) -> u64
+where
+    I: IntoIterator<Item = TripBatch>,
+{
+    replay_and_publish_from(engine, batches, cell, day_delay_ms, 0, after_ingest)
+}
+
+/// [`replay_and_publish`] starting the day counter at `start_day` — the
+/// warm-restart path, where the engine was restored from a day-`k`
+/// checkpoint and `batches` holds only the remaining days. The hook and
+/// the published snapshots see absolute day numbers.
+pub fn replay_and_publish_from<I>(
+    engine: &mut Engine,
+    batches: I,
+    cell: &SnapshotCell,
+    day_delay_ms: u64,
+    start_day: u32,
     mut after_ingest: impl FnMut(&mut Engine, u32),
 ) -> u64
 where
     I: IntoIterator<Item = TripBatch>,
 {
-    let mut days = 0u32;
+    let mut days = start_day;
     let mut epoch = 0u64;
     for batch in batches {
         engine.ingest(&batch);

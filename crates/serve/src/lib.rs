@@ -38,7 +38,8 @@ mod server;
 
 pub use http::{HttpClient, Request};
 pub use ingest::{
-    publish_sharded_snapshot, publish_snapshot, replay_and_publish, replay_and_publish_sharded,
-    train_engine_model, train_sharded_model,
+    publish_sharded_snapshot, publish_snapshot, replay_and_publish, replay_and_publish_from,
+    replay_and_publish_sharded, replay_and_publish_sharded_from, train_engine_model,
+    train_sharded_model,
 };
 pub use server::{ServeConfig, ServeStats, Server};

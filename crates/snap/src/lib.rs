@@ -1,0 +1,540 @@
+//! The snapshot wire format: a zero-dependency, versioned, checksummed
+//! binary container for durable engine checkpoints.
+//!
+//! A snapshot file is a sequence of *tagged sections* behind a fixed
+//! header. Every scalar is explicit little-endian; floats travel as their
+//! IEEE-754 bit patterns, so encode∘decode is the identity on every value
+//! including NaN payloads — the property the engine's bit-identical
+//! resume-parity guarantee rests on:
+//!
+//! ```text
+//! +----------------+---------+---------+
+//! | magic (8)      | version | n_sec   |      header
+//! | "DLINSNAP"     | u32 LE  | u32 LE  |
+//! +----------------+---------+---------+
+//! | tag u32 | len u64 | crc32 u32 | payload (len bytes) |   section 0
+//! | tag u32 | len u64 | crc32 u32 | payload (len bytes) |   section 1
+//! | ...                                                 |
+//! +-----------------------------------------------------+
+//! ```
+//!
+//! The CRC-32 (IEEE 802.3 polynomial) covers each section's payload, so a
+//! flipped byte anywhere in a payload is caught before any typed decoding
+//! runs. Decoding is **panic-free on arbitrary bytes**: every failure mode
+//! is a typed [`SnapError`] — truncation, bad magic, unknown version,
+//! checksum mismatch, and declared lengths that overflow the bytes
+//! actually present. Unknown *section tags* are preserved and exposed, so
+//! a newer writer can add sections without breaking an older reader that
+//! ignores them; changing the meaning of an existing section requires a
+//! format-version bump (see `DESIGN.md`, "Snapshot format").
+//!
+//! The crate knows nothing about the engine: it provides the container
+//! ([`write_container`] / [`Sections`]) and the primitive codec
+//! ([`Enc`] / [`Dec`]); the typed artifact sections live next to the
+//! artifacts themselves in `dlinfma-core`.
+
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
+
+use std::fmt;
+
+/// File magic: the first eight bytes of every snapshot.
+pub const MAGIC: [u8; 8] = *b"DLINSNAP";
+
+/// Current wire-format version. Bump only on incompatible layout changes,
+/// together with the golden-fixture procedure documented in
+/// `crates/core/tests/fixtures/README.md`.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Every way decoding snapshot bytes can fail. Decoding never panics on
+/// hostile input; it returns one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapError {
+    /// The input ended before a declared value: `needed` more bytes were
+    /// required, `available` remained.
+    Truncated { needed: usize, available: usize },
+    /// The first eight bytes are not [`MAGIC`].
+    BadMagic,
+    /// The header declares a format version this build does not read.
+    UnknownVersion { found: u32, supported: u32 },
+    /// A section's payload does not match its recorded CRC-32.
+    ChecksumMismatch { tag: u32 },
+    /// A declared length (section payload or sequence count) exceeds the
+    /// bytes actually present.
+    LengthOverflow { declared: u64, available: u64 },
+    /// Bytes remained after the last declared section or field.
+    TrailingBytes { remaining: usize },
+    /// The same section tag appears twice.
+    DuplicateSection { tag: u32 },
+    /// A required section is absent.
+    MissingSection { tag: u32 },
+    /// A value decoded but violates the format's invariants.
+    Malformed { what: &'static str },
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Truncated { needed, available } => {
+                write!(
+                    f,
+                    "truncated snapshot: needed {needed} bytes, {available} available"
+                )
+            }
+            Self::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            Self::UnknownVersion { found, supported } => {
+                write!(
+                    f,
+                    "unknown snapshot format version {found} (this build reads {supported})"
+                )
+            }
+            Self::ChecksumMismatch { tag } => {
+                write!(f, "section 0x{tag:08x} failed its CRC-32 check")
+            }
+            Self::LengthOverflow {
+                declared,
+                available,
+            } => {
+                write!(
+                    f,
+                    "declared length {declared} overflows the {available} bytes present"
+                )
+            }
+            Self::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after the last section")
+            }
+            Self::DuplicateSection { tag } => write!(f, "duplicate section 0x{tag:08x}"),
+            Self::MissingSection { tag } => write!(f, "missing required section 0x{tag:08x}"),
+            Self::Malformed { what } => write!(f, "malformed snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+// --- CRC-32 (IEEE 802.3, reflected, init/xorout 0xFFFF_FFFF) -------------
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `bytes` (the IEEE polynomial used by zip/png/ethernet).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// --- Primitive encoder ---------------------------------------------------
+
+/// Little-endian append-only encoder for section payloads.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a bool as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i64`, little-endian.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64` (the format is 64-bit everywhere).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern (NaN-exact).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends an `f32` as its IEEE-754 bit pattern (NaN-exact).
+    pub fn f32(&mut self, v: f32) {
+        self.u32(v.to_bits());
+    }
+
+    /// Appends a length-prefixed UTF-8 string (u64 byte length).
+    pub fn str(&mut self, v: &str) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// Appends raw bytes with no length prefix.
+    pub fn raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+}
+
+// --- Primitive decoder ---------------------------------------------------
+
+/// Little-endian cursor over a section payload. Every read is
+/// bounds-checked; a short buffer yields [`SnapError::Truncated`].
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A cursor over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        let available = self.remaining();
+        if n > available {
+            return Err(SnapError::Truncated {
+                needed: n,
+                available,
+            });
+        }
+        let start = self.pos;
+        self.pos += n;
+        self.buf.get(start..self.pos).ok_or(SnapError::Truncated {
+            needed: n,
+            available,
+        })
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1)?.first().copied().unwrap_or(0))
+    }
+
+    /// Reads a bool; any byte other than 0/1 is malformed.
+    pub fn bool(&mut self) -> Result<bool, SnapError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapError::Malformed {
+                what: "bool byte out of range",
+            }),
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        let b = self.take(4)?;
+        let mut a = [0u8; 4];
+        a.copy_from_slice(b);
+        Ok(u32::from_le_bytes(a))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, SnapError> {
+        Ok(self.u64()? as i64)
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn f64(&mut self) -> Result<f64, SnapError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads an `f32` from its bit pattern.
+    pub fn f32(&mut self) -> Result<f32, SnapError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    /// Reads a `usize` stored as `u64`, rejecting values this platform
+    /// cannot represent.
+    pub fn usize(&mut self) -> Result<usize, SnapError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| SnapError::LengthOverflow {
+            declared: v,
+            available: self.remaining() as u64,
+        })
+    }
+
+    /// Reads a sequence length declared as `u64` and validates it against
+    /// the bytes actually remaining, assuming each element occupies at
+    /// least `min_elem_bytes` — the guard that stops a hostile length from
+    /// provoking a giant allocation before any element decodes.
+    pub fn seq_len(&mut self, min_elem_bytes: usize) -> Result<usize, SnapError> {
+        let declared = self.u64()?;
+        let available = self.remaining() as u64;
+        let budget = available / (min_elem_bytes.max(1) as u64);
+        if declared > budget {
+            return Err(SnapError::LengthOverflow {
+                declared,
+                available,
+            });
+        }
+        usize::try_from(declared).map_err(|_| SnapError::LengthOverflow {
+            declared,
+            available,
+        })
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, SnapError> {
+        let n = self.seq_len(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| SnapError::Malformed {
+            what: "invalid UTF-8 in string",
+        })
+    }
+
+    /// Asserts the payload is fully consumed.
+    pub fn finish(&self) -> Result<(), SnapError> {
+        let remaining = self.remaining();
+        if remaining == 0 {
+            Ok(())
+        } else {
+            Err(SnapError::TrailingBytes { remaining })
+        }
+    }
+}
+
+// --- Section container ---------------------------------------------------
+
+/// Size of a section header: tag (4) + length (8) + crc (4).
+const SECTION_HEADER: usize = 16;
+
+/// Serializes tagged sections into one snapshot file: magic, format
+/// version, section count, then each section with its CRC-32.
+pub fn write_container(sections: &[(u32, Vec<u8>)]) -> Vec<u8> {
+    let payload: usize = sections.iter().map(|(_, p)| p.len() + SECTION_HEADER).sum();
+    let mut out = Vec::with_capacity(MAGIC.len() + 8 + payload);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    for (tag, payload) in sections {
+        out.extend_from_slice(&tag.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&crc32(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+/// The parsed sections of one snapshot file, in file order.
+#[derive(Debug)]
+pub struct Sections<'a> {
+    sections: Vec<(u32, &'a [u8])>,
+}
+
+impl<'a> Sections<'a> {
+    /// Parses and fully validates a snapshot container: magic, version,
+    /// every section's declared length and CRC-32, no duplicate tags, no
+    /// trailing bytes. Never panics on hostile input.
+    pub fn parse(bytes: &'a [u8]) -> Result<Self, SnapError> {
+        let mut d = Dec::new(bytes);
+        let magic = d.take(MAGIC.len())?;
+        if magic != MAGIC {
+            return Err(SnapError::BadMagic);
+        }
+        let version = d.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(SnapError::UnknownVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let n_sections = d.u32()?;
+        let mut sections: Vec<(u32, &'a [u8])> = Vec::new();
+        for _ in 0..n_sections {
+            let tag = d.u32()?;
+            let len = d.u64()?;
+            let crc = d.u32()?;
+            let available = d.remaining() as u64;
+            if len > available {
+                return Err(SnapError::LengthOverflow {
+                    declared: len,
+                    available,
+                });
+            }
+            let payload = d.take(len as usize)?;
+            if crc32(payload) != crc {
+                return Err(SnapError::ChecksumMismatch { tag });
+            }
+            if sections.iter().any(|&(t, _)| t == tag) {
+                return Err(SnapError::DuplicateSection { tag });
+            }
+            sections.push((tag, payload));
+        }
+        d.finish()?;
+        Ok(Self { sections })
+    }
+
+    /// A required section's payload.
+    pub fn require(&self, tag: u32) -> Result<&'a [u8], SnapError> {
+        self.get(tag).ok_or(SnapError::MissingSection { tag })
+    }
+
+    /// An optional section's payload.
+    pub fn get(&self, tag: u32) -> Option<&'a [u8]> {
+        self.sections
+            .iter()
+            .find(|&&(t, _)| t == tag)
+            .map(|&(_, p)| p)
+    }
+
+    /// All sections in file order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &'a [u8])> + '_ {
+        self.sections.iter().copied()
+    }
+
+    /// Number of sections.
+    pub fn len(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// True when the container holds no sections.
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.bool(true);
+        e.bool(false);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX - 1);
+        e.i64(-42);
+        e.usize(12345);
+        e.f64(-0.0);
+        e.f64(f64::NAN);
+        e.f32(3.5);
+        e.str("héllo");
+        let bytes = e.into_bytes();
+
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert!(d.bool().unwrap());
+        assert!(!d.bool().unwrap());
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(d.i64().unwrap(), -42);
+        assert_eq!(d.usize().unwrap(), 12345);
+        assert_eq!(d.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(d.f64().unwrap().is_nan());
+        assert_eq!(d.f32().unwrap(), 3.5);
+        assert_eq!(d.str().unwrap(), "héllo");
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn seq_len_rejects_lengths_beyond_the_buffer() {
+        let mut e = Enc::new();
+        e.u64(1 << 40);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert!(matches!(
+            d.seq_len(4),
+            Err(SnapError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn container_round_trips_and_preserves_order() {
+        let file = write_container(&[(1, vec![1, 2, 3]), (9, vec![]), (2, b"xyz".to_vec())]);
+        let s = Sections::parse(&file).unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.require(1).unwrap(), &[1, 2, 3]);
+        assert_eq!(s.require(9).unwrap(), b"");
+        assert_eq!(s.get(2).unwrap(), b"xyz");
+        assert!(s.get(7).is_none());
+        assert_eq!(s.require(7), Err(SnapError::MissingSection { tag: 7 }));
+        let tags: Vec<u32> = s.iter().map(|(t, _)| t).collect();
+        assert_eq!(tags, vec![1, 9, 2]);
+    }
+
+    #[test]
+    fn bool_rejects_other_bytes() {
+        let mut d = Dec::new(&[2]);
+        assert_eq!(
+            d.bool(),
+            Err(SnapError::Malformed {
+                what: "bool byte out of range"
+            })
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Hostile-bytes coverage for the snapshot container: every mutilation of
+//! a valid file must come back as the right typed [`SnapError`], never a
+//! panic — plus a property-based round-trip over the section codec.
+
+#![allow(clippy::unwrap_used)]
+
+use dlinfma_snap::{crc32, write_container, Dec, Enc, Sections, SnapError, FORMAT_VERSION, MAGIC};
+use proptest::prelude::*;
+
+fn sample_file() -> Vec<u8> {
+    let mut a = Enc::new();
+    a.u32(7);
+    a.str("stays");
+    a.f64(40.0);
+    let mut b = Enc::new();
+    for i in 0..32u64 {
+        b.u64(i * i);
+    }
+    write_container(&[(1, a.into_bytes()), (2, b.into_bytes())])
+}
+
+#[test]
+fn every_truncation_is_a_typed_error() {
+    let file = sample_file();
+    assert!(Sections::parse(&file).is_ok());
+    for cut in 0..file.len() {
+        let err = Sections::parse(&file[..cut]).expect_err("truncated file must not parse");
+        assert!(
+            matches!(
+                err,
+                SnapError::Truncated { .. }
+                    | SnapError::BadMagic
+                    | SnapError::LengthOverflow { .. }
+            ),
+            "cut at {cut}: unexpected error {err:?}"
+        );
+    }
+    // Cuts inside the header are plain truncation (or a short magic).
+    assert_eq!(
+        Sections::parse(&file[..4]).unwrap_err(),
+        SnapError::Truncated {
+            needed: 8,
+            available: 4
+        }
+    );
+}
+
+#[test]
+fn bad_magic_is_rejected_before_anything_else() {
+    let mut file = sample_file();
+    file[0] ^= 0xFF;
+    assert_eq!(Sections::parse(&file).unwrap_err(), SnapError::BadMagic);
+}
+
+#[test]
+fn unknown_version_is_rejected_with_both_versions() {
+    let mut file = sample_file();
+    let v = (FORMAT_VERSION + 41).to_le_bytes();
+    file[MAGIC.len()..MAGIC.len() + 4].copy_from_slice(&v);
+    assert_eq!(
+        Sections::parse(&file).unwrap_err(),
+        SnapError::UnknownVersion {
+            found: FORMAT_VERSION + 41,
+            supported: FORMAT_VERSION
+        }
+    );
+}
+
+#[test]
+fn flipping_any_payload_byte_fails_the_checksum() {
+    let file = sample_file();
+    // First section: tag 1, header at offset 16, payload right after its
+    // 16-byte section header.
+    let payload_start = MAGIC.len() + 8 + 16;
+    for offset in [payload_start, payload_start + 5, file.len() - 1] {
+        let mut mutated = file.clone();
+        mutated[offset] ^= 0x01;
+        let err = Sections::parse(&mutated).unwrap_err();
+        assert!(
+            matches!(err, SnapError::ChecksumMismatch { .. }),
+            "flip at {offset}: unexpected error {err:?}"
+        );
+    }
+}
+
+#[test]
+fn section_length_overflow_is_typed_not_an_allocation() {
+    let mut file = write_container(&[(3, vec![0xAB; 8])]);
+    // Rewrite the section's declared length to something absurd; the
+    // parser must fail on the length check, not attempt the slice.
+    let len_at = MAGIC.len() + 8 + 4;
+    file[len_at..len_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(matches!(
+        Sections::parse(&file).unwrap_err(),
+        SnapError::LengthOverflow {
+            declared: u64::MAX,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn trailing_bytes_and_duplicate_tags_are_rejected() {
+    let mut file = sample_file();
+    file.push(0);
+    assert_eq!(
+        Sections::parse(&file).unwrap_err(),
+        SnapError::TrailingBytes { remaining: 1 }
+    );
+
+    let dup = write_container(&[(5, vec![1]), (5, vec![2])]);
+    assert_eq!(
+        Sections::parse(&dup).unwrap_err(),
+        SnapError::DuplicateSection { tag: 5 }
+    );
+}
+
+#[test]
+fn random_garbage_never_panics() {
+    // A cheap deterministic byte soup; value is in the "no panic" claim.
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    for len in 0..256usize {
+        let bytes: Vec<u8> = (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 56) as u8
+            })
+            .collect();
+        let _ = Sections::parse(&bytes);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn section_codec_round_trips(payloads in proptest::collection::vec(
+        proptest::collection::vec(0u8..=255, 0..64), 0..8)) {
+        let sections: Vec<(u32, Vec<u8>)> = payloads
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (i as u32, p))
+            .collect();
+        let file = write_container(&sections);
+        let parsed = Sections::parse(&file).expect("a written container parses");
+        prop_assert_eq!(parsed.len(), sections.len());
+        for (tag, payload) in &sections {
+            prop_assert_eq!(parsed.require(*tag).expect("section present"), payload.as_slice());
+            prop_assert_eq!(crc32(payload), crc32(parsed.require(*tag).expect("present")));
+        }
+    }
+
+    #[test]
+    fn scalar_codec_round_trips(
+        a in 0u64..=u64::MAX,
+        b in 0u32..=u32::MAX,
+        c in i64::MIN..=i64::MAX,
+        fbits in 0u64..=u64::MAX,
+        chars in proptest::collection::vec(b'a'..=b'z', 0..12),
+        flag_byte in 0u8..2,
+    ) {
+        let s = String::from_utf8(chars).expect("ascii");
+        let flag = flag_byte == 1;
+        let mut e = Enc::new();
+        e.u64(a);
+        e.u32(b);
+        e.i64(c);
+        e.f64(f64::from_bits(fbits));
+        e.str(&s);
+        e.bool(flag);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        prop_assert_eq!(d.u64().expect("u64"), a);
+        prop_assert_eq!(d.u32().expect("u32"), b);
+        prop_assert_eq!(d.i64().expect("i64"), c);
+        prop_assert_eq!(d.f64().expect("f64").to_bits(), fbits);
+        prop_assert_eq!(d.str().expect("str"), s);
+        prop_assert_eq!(d.bool().expect("bool"), flag);
+        d.finish().expect("fully consumed");
+    }
+}

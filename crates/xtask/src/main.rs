@@ -25,8 +25,9 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Crates whose library code must stay panic-free (rule L2): everything on
-/// the batch/serving path that ingests real-world (mis-annotated) data.
-const HOT_PATH_CRATES: [&str; 6] = ["geo", "traj", "cluster", "core", "store", "ststore"];
+/// the batch/serving path that ingests real-world (mis-annotated) data —
+/// including the snapshot codec, which decodes untrusted on-disk bytes.
+const HOT_PATH_CRATES: [&str; 7] = ["geo", "traj", "cluster", "core", "store", "ststore", "snap"];
 
 /// Directories under `crates/` that the workspace scan skips entirely: the
 /// linter itself (its fixtures are intentional violations) and the bench

@@ -51,10 +51,60 @@ run cargo run -p xtask "${CARGO_FLAGS[@]}" -- lint --fixtures
 # binary.
 run cargo run --release -p dlinfma-cli "${CARGO_FLAGS[@]}" -- replay --preset dowbj --scale tiny --shards 2
 
+# Durable-snapshot round trip: replay Tiny, write one checkpoint, read it
+# back (CRC-validated) and require the re-encode to be byte-identical.
+# Cheap enough for the quick loop; the full loop adds the resume-parity
+# and byte-determinism smokes below.
+rm -rf SNAP_quick
+run cargo run --release -p dlinfma-cli "${CARGO_FLAGS[@]}" -- checkpoint --preset dowbj --scale tiny --snapshot-dir SNAP_quick
+
 if [[ $QUICK -eq 1 ]]; then
-    echo "ci: quick loop green (build + test + lint + 2-shard replay)"
+    echo "ci: quick loop green (build + test + lint + 2-shard replay + snapshot round trip)"
     exit 0
 fi
+
+# Checkpoint/resume smoke: replay Tiny checkpointing every 2 days, copy
+# the day-2 checkpoint into a fresh directory, resume from it, and require
+# (a) the resumed run's printed stay/candidate/sample totals to match the
+# cold run's (timings excluded — they are not deterministic) and (b) every
+# checkpoint file the resumed run re-writes to be byte-identical to the
+# cold run's. This drives the resume-parity invariant end to end from the
+# release binary.
+echo "==> checkpoint/resume smoke"
+rm -rf SNAP_replay SNAP_resume
+cold_line=$(cargo run --release -p dlinfma-cli "${CARGO_FLAGS[@]}" -- replay --preset dowbj --scale tiny --snapshot-dir SNAP_replay --checkpoint-every 2 | tail -1)
+mkdir -p SNAP_resume
+cp -r SNAP_replay/day-00002 SNAP_resume/
+warm_line=$(cargo run --release -p dlinfma-cli "${CARGO_FLAGS[@]}" -- resume --preset dowbj --scale tiny --snapshot-dir SNAP_resume --checkpoint-every 2 | tail -1)
+cold_totals=$(grep -o '[0-9]* stays, [0-9]* candidates, [0-9]* sampled addresses' <<<"$cold_line")
+warm_totals=$(grep -o '[0-9]* stays, [0-9]* candidates, [0-9]* sampled addresses' <<<"$warm_line")
+if [[ -z $cold_totals || "$cold_totals" != "$warm_totals" ]]; then
+    echo "ci: resumed totals diverge from the cold run" >&2
+    echo "  cold: $cold_line" >&2
+    echo "  warm: $warm_line" >&2
+    exit 1
+fi
+last_day=$(ls SNAP_replay | sort | tail -1)
+for f in "SNAP_replay/$last_day"/*; do
+    cmp "$f" "SNAP_resume/$last_day/$(basename "$f")" || {
+        echo "ci: resumed checkpoint $f diverges from the cold run" >&2
+        exit 1
+    }
+done
+echo "    resume smoke green ($cold_totals; $last_day byte-identical)"
+
+# Snapshot byte determinism: two independent cold replays — at different
+# worker counts — must produce byte-identical checkpoint trees. diff -r
+# also catches a missing or extra file, not just differing bytes.
+echo "==> snapshot byte determinism"
+rm -rf SNAP_det_a SNAP_det_b
+cargo run --release -p dlinfma-cli "${CARGO_FLAGS[@]}" -- replay --preset dowbj --scale tiny --snapshot-dir SNAP_det_a --checkpoint-every 2 > /dev/null
+cargo run --release -p dlinfma-cli "${CARGO_FLAGS[@]}" -- replay --preset dowbj --scale tiny --workers 1 --snapshot-dir SNAP_det_b --checkpoint-every 2 > /dev/null
+diff -r SNAP_det_a SNAP_det_b || {
+    echo "ci: snapshot bytes differ between identical replays" >&2
+    exit 1
+}
+echo "    determinism green (checkpoint trees byte-identical across worker counts)"
 
 # Streaming-ingest smoke: replays the Tiny world day by day through the
 # incremental engine with tracing on; exercises the same path the
